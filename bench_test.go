@@ -1,0 +1,182 @@
+// Benchmarks regenerating the paper's tables and figures as testing.B
+// targets (one per experiment) plus the DESIGN.md ablations. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute numbers reflect this Go substrate, not the authors' testbed;
+// the shapes (who wins, by what factor, where the crossover sits) are what
+// EXPERIMENTS.md records against the paper.
+package plsqlaway
+
+import (
+	"fmt"
+	"testing"
+
+	"plsqlaway/internal/bench"
+	"plsqlaway/internal/profile"
+	"plsqlaway/internal/sqltypes"
+	"plsqlaway/internal/workload"
+)
+
+// BenchmarkTable1_Breakdown regenerates Table 1 (phase breakdown of
+// interpreted PL/pgSQL) once per iteration and reports the Exec·Start share
+// of walk as a custom metric.
+func BenchmarkTable1_Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table1(bench.Table1Config{
+			WalkSteps: 2_000, ParseLen: 2_000, TraverseHops: 1_000, FibN: 20_000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.Start+r.End, r.Name+"_ctxswitch_%")
+			}
+		}
+	}
+}
+
+// benchWalkOnce measures one walk() invocation at the given steps through
+// either the interpreter or the compiled WITH RECURSIVE form (Figure 10's
+// two series).
+func benchWalkOnce(b *testing.B, fn string, steps int64) {
+	env, err := bench.NewEnv(profile.PostgreSQL, "walk")
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := env.E
+	call := fmt.Sprintf("SELECT %s(coord(2, 2), $1, $2, $3)", fn)
+	args := []sqltypes.Value{
+		sqltypes.NewInt(1_000_000_000), sqltypes.NewInt(-1_000_000_000), sqltypes.NewInt(steps),
+	}
+	e.Seed(42)
+	if _, err := e.Query(call, args...); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Seed(42)
+		if _, err := e.Query(call, args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10_Walk10k_PLSQL(b *testing.B)     { benchWalkOnce(b, "walk", 10_000) }
+func BenchmarkFig10_Walk10k_Recursive(b *testing.B) { benchWalkOnce(b, "walk_c", 10_000) }
+func BenchmarkFig10_Walk50k_PLSQL(b *testing.B)     { benchWalkOnce(b, "walk", 50_000) }
+func BenchmarkFig10_Walk50k_Recursive(b *testing.B) { benchWalkOnce(b, "walk_c", 50_000) }
+
+// BenchmarkFig11a_WalkGrid regenerates a reduced Figure 11a grid and
+// reports the best amortized cell.
+func BenchmarkFig11a_WalkGrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		hm, err := bench.Figure11(bench.Fig11Config{
+			Fn:          "walk",
+			Invocations: []int64{2, 16, 128},
+			Iterations:  []int64{2, 16, 128},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(hm.Cells[2][2], "amortized_cell_%")
+			b.ReportMetric(hm.Cells[0][0], "corner_cell_%")
+		}
+	}
+}
+
+// BenchmarkFig11b_ParseGrid regenerates a reduced Figure 11b grid on the
+// Oracle profile.
+func BenchmarkFig11b_ParseGrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := bench.Figure11(bench.Fig11Config{
+			Fn:          "parse",
+			Profile:     profile.Oracle,
+			Invocations: []int64{2, 16, 128},
+			Iterations:  []int64{2, 16, 128},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2_PageWrites regenerates a reduced Table 2 and reports the
+// recursive form's page writes at the largest size.
+func BenchmarkTable2_PageWrites(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table2([]int{2_000, 4_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			last := rows[len(rows)-1]
+			b.ReportMetric(float64(last.RecursiveWrites), "recursive_page_writes")
+			b.ReportMetric(float64(last.IterateWrites), "iterate_page_writes")
+		}
+	}
+}
+
+// Ablations (DESIGN.md A1–A5).
+
+func benchAblation(b *testing.B, fn func(int64) ([]bench.AblationRow, error), size int64) {
+	for i := 0; i < b.N; i++ {
+		rows, err := fn(size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(rows) == 2 {
+			b.ReportMetric(rows[0].Ms, "variant0_ms")
+			b.ReportMetric(rows[1].Ms, "variant1_ms")
+		}
+	}
+}
+
+func BenchmarkAblation_Dialect(b *testing.B)   { benchAblation(b, bench.AblationDialect, 2_000) }
+func BenchmarkAblation_SSAOpt(b *testing.B)    { benchAblation(b, bench.AblationSSAOpt, 2_000) }
+func BenchmarkAblation_FastPath(b *testing.B)  { benchAblation(b, bench.AblationFastPath, 20_000) }
+func BenchmarkAblation_PlanCache(b *testing.B) { benchAblation(b, bench.AblationPlanCache, 1_000) }
+func BenchmarkAblation_Iterate(b *testing.B)   { benchAblation(b, bench.AblationIterate, 5_000) }
+
+// BenchmarkCompile measures the compiler pipeline itself (not an experiment
+// in the paper, but the cost a DBA would pay at CREATE FUNCTION time).
+func BenchmarkCompile_Walk(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(workload.WalkSrc, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngine_RecursiveCTE measures the raw recursive-CTE machinery:
+// one counting loop per iteration.
+func BenchmarkEngine_RecursiveCTE(b *testing.B) {
+	e := NewEngine()
+	q := "WITH RECURSIVE r(n) AS (SELECT 1 UNION ALL SELECT n + 1 FROM r WHERE n < 1000) SELECT max(n) FROM r"
+	if _, err := e.Query(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterp_Fib measures pure interpreter statement dispatch (no
+// embedded queries, fast path only).
+func BenchmarkInterp_Fib(b *testing.B) {
+	e := NewEngine()
+	if err := e.Exec(workload.FibSrc); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query("SELECT fibonacci($1)", Int(1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// benchrunner regenerates the paper's evaluation: Table 1, Figure 10,
+// Figures 11a/11b, Table 2, and the DESIGN.md ablations, printing each in a
+// paper-style text layout.
+//
+// Usage:
+//
+//	benchrunner [-experiment table1|fig10|fig11a|fig11b|table2|ablations|all]
+//	            [-quick]
+//
+// -quick shrinks workload sizes so a full run finishes in well under a
+// minute (the default sizes mirror the paper's and take several minutes,
+// dominated by the Figure 11 grids and Table 2's gigabyte-scale spill).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"plsqlaway/internal/bench"
+	"plsqlaway/internal/profile"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "table1, fig10, fig11a, fig11b, table2, ablations, or all")
+	quick := flag.Bool("quick", false, "reduced workload sizes")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*experiment, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	section := func(name string, fn func() error) {
+		if !all && !want[name] {
+			return
+		}
+		ran++
+		fmt.Printf("━━━ %s ━━━\n\n", name)
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n(%s took %s)\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	section("table1", func() error {
+		cfg := bench.Table1Config{}
+		if *quick {
+			cfg = bench.Table1Config{WalkSteps: 1_000, ParseLen: 1_000, TraverseHops: 500, FibN: 20_000}
+		}
+		rows, err := bench.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTable1(rows))
+		return nil
+	})
+
+	section("fig10", func() error {
+		cfg := bench.Fig10Config{}
+		if *quick {
+			cfg = bench.Fig10Config{Steps: []int64{2_000, 5_000, 10_000}, Rounds: 3}
+		}
+		pts, err := bench.Figure10(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatFigure10(pts))
+		return nil
+	})
+
+	section("fig11a", func() error {
+		cfg := bench.Fig11Config{Fn: "walk"}
+		if *quick {
+			cfg.Invocations = []int64{2, 8, 32, 128}
+			cfg.Iterations = []int64{2, 8, 32, 128}
+		}
+		hm, err := bench.Figure11(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatHeatMap(hm))
+		return nil
+	})
+
+	section("fig11b", func() error {
+		cfg := bench.Fig11Config{Fn: "parse", Profile: profile.Oracle}
+		if *quick {
+			cfg.Invocations = []int64{2, 8, 32, 128}
+			cfg.Iterations = []int64{2, 8, 32, 128}
+		}
+		hm, err := bench.Figure11(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatHeatMap(hm))
+		return nil
+	})
+
+	section("table2", func() error {
+		lengths := []int{10_000, 20_000, 30_000, 40_000, 50_000}
+		if *quick {
+			lengths = []int{2_000, 4_000, 8_000}
+		}
+		rows, err := bench.Table2(lengths)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTable2(rows))
+		return nil
+	})
+
+	section("ablations", func() error {
+		size := int64(20_000)
+		if *quick {
+			size = 2_000
+		}
+		for _, a := range []struct {
+			title string
+			fn    func(int64) ([]bench.AblationRow, error)
+			size  int64
+		}{
+			{"A1: LATERAL chain vs nested-derived-table rewrite", bench.AblationDialect, size},
+			{"A2: SSA optimization passes on/off", bench.AblationSSAOpt, size},
+			{"A3: interpreter simple-expression fast path", bench.AblationFastPath, size * 5},
+			{"A4: SPI plan cache on/off", bench.AblationPlanCache, size / 4},
+			{"A5: WITH RECURSIVE vs WITH ITERATE (run time)", bench.AblationIterate, size},
+		} {
+			rows, err := a.fn(a.size)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.FormatAblation(a.title, rows))
+		}
+		return nil
+	})
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q\n", *experiment)
+		os.Exit(1)
+	}
+}

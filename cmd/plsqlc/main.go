@@ -1,0 +1,94 @@
+// plsqlc is the PL/SQL-away compiler CLI: it reads a CREATE FUNCTION …
+// LANGUAGE plpgsql statement (file or stdin) and emits any stage of the
+// paper's pipeline.
+//
+// Usage:
+//
+//	plsqlc [-emit cfg|ssa|anf|udf|sql|all] [-dialect postgres|sqlite]
+//	       [-iterate] [-no-optimize] [file.sql]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"plsqlaway/internal/core"
+	"plsqlaway/internal/udf"
+)
+
+func main() {
+	emit := flag.String("emit", "sql", "stage to print: cfg, ssa, anf, udf, sql, or all")
+	dialect := flag.String("dialect", "postgres", "emitted SQL dialect: postgres (LATERAL) or sqlite (no LATERAL)")
+	iterate := flag.Bool("iterate", false, "emit WITH ITERATE instead of WITH RECURSIVE")
+	noOpt := flag.Bool("no-optimize", false, "skip the SSA optimization passes")
+	forceCTE := flag.Bool("force-cte", false, "use the recursive template even for loop-less functions")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	if flag.NArg() > 0 {
+		src, err = os.ReadFile(flag.Arg(0))
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := core.Options{Iterate: *iterate, NoOptimize: *noOpt, ForceCTE: *forceCTE}
+	switch strings.ToLower(*dialect) {
+	case "postgres", "postgresql", "pg":
+		opt.Dialect = udf.DialectPostgres
+	case "sqlite", "sqlite3":
+		opt.Dialect = udf.DialectSQLite
+	default:
+		fatal(fmt.Errorf("unknown dialect %q", *dialect))
+	}
+
+	res, err := core.Compile(string(src), opt)
+	if err != nil {
+		fatal(err)
+	}
+	for _, w := range res.Warnings {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", w)
+	}
+
+	stages := strings.Split(strings.ToLower(*emit), ",")
+	if *emit == "all" {
+		stages = []string{"cfg", "ssa", "anf", "udf", "sql"}
+	}
+	for i, stage := range stages {
+		if len(stages) > 1 {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Printf("-- ======== %s ========\n", strings.ToUpper(stage))
+		}
+		switch strings.TrimSpace(stage) {
+		case "cfg":
+			fmt.Print(res.CFG.Dump())
+		case "ssa":
+			fmt.Print(res.SSA.Dump())
+		case "anf":
+			fmt.Print(res.ANF.Dump())
+		case "udf":
+			sql, err := res.UDF.SQL()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(sql)
+		case "sql":
+			fmt.Println(res.SQL + ";")
+		default:
+			fatal(fmt.Errorf("unknown stage %q (want cfg, ssa, anf, udf, sql, all)", stage))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "plsqlc:", err)
+	os.Exit(1)
+}

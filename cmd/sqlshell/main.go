@@ -1,0 +1,168 @@
+// sqlshell is a minimal shell for the embedded engine: it executes SQL
+// script files and/or reads statements from stdin, printing result tables.
+// PL/pgSQL functions work (CREATE FUNCTION … LANGUAGE plpgsql), and the
+// meta-command \compile <fn> compiles a registered function away and
+// installs it as <fn>_c.
+//
+// Usage:
+//
+//	sqlshell [-profile postgres|oracle|sqlite] [-seed N] [script.sql…]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"plsqlaway/internal/catalog"
+	"plsqlaway/internal/core"
+	"plsqlaway/internal/engine"
+	"plsqlaway/internal/plast"
+	"plsqlaway/internal/profile"
+	"plsqlaway/internal/sqlast"
+)
+
+func main() {
+	profName := flag.String("profile", "postgres", "engine profile: postgres, oracle, or sqlite")
+	seed := flag.Uint64("seed", 42, "random() seed")
+	flag.Parse()
+
+	prof, err := profile.ByName(*profName)
+	if err != nil {
+		fatal(err)
+	}
+	e := engine.New(engine.WithProfile(prof), engine.WithSeed(*seed))
+
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runScript(e, string(src)); err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+	}
+
+	if fi, _ := os.Stdin.Stat(); flag.NArg() == 0 || fi.Mode()&os.ModeCharDevice != 0 {
+		repl(e)
+	}
+}
+
+// runScript executes each statement, printing query results.
+func runScript(e *engine.Engine, src string) error {
+	res, err := e.Query(src)
+	if err == nil {
+		if res != nil {
+			fmt.Print(res.Format())
+		}
+		return nil
+	}
+	// Not a single query — run as a script.
+	return e.Exec(src)
+}
+
+func repl(e *engine.Engine) {
+	fmt.Println("plsqlaway shell — end statements with ';', meta: \\compile <fn>, \\tables, \\functions, \\q")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("sql> ")
+		} else {
+			fmt.Print("...> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !meta(e, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.HasSuffix(trimmed, ";") {
+			stmt := buf.String()
+			buf.Reset()
+			res, err := e.Query(stmt)
+			if err != nil {
+				// DDL/DML path
+				if err2 := e.Exec(stmt); err2 != nil {
+					fmt.Println("error:", err)
+				} else {
+					fmt.Println("ok")
+				}
+			} else if res != nil {
+				fmt.Print(res.Format())
+			}
+			for _, n := range e.Counters().Notices {
+				fmt.Println("NOTICE:", n)
+			}
+			e.Counters().Notices = nil
+		}
+		prompt()
+	}
+}
+
+// meta handles backslash commands; returns false to quit.
+func meta(e *engine.Engine, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\q", "\\quit":
+		return false
+	case "\\tables":
+		for _, t := range e.Catalog().TableNames() {
+			fmt.Println(t)
+		}
+	case "\\functions":
+		for _, f := range e.Catalog().FunctionNames() {
+			fn, _ := e.Catalog().Function(f)
+			fmt.Printf("%s (%s)\n", f, fn.Kind)
+		}
+	case "\\compile":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\compile <function>")
+			return true
+		}
+		if err := compileAway(e, fields[1]); err != nil {
+			fmt.Println("error:", err)
+		}
+	default:
+		fmt.Println("unknown meta command", fields[0])
+	}
+	return true
+}
+
+// compileAway compiles a registered PL/pgSQL function and installs the
+// pure-SQL twin as <name>_c.
+func compileAway(e *engine.Engine, name string) error {
+	fn, ok := e.Catalog().Function(name)
+	if !ok {
+		return fmt.Errorf("function %q not found", name)
+	}
+	if fn.Kind != catalog.FuncPLpgSQL {
+		return fmt.Errorf("function %q is %s, not plpgsql", name, fn.Kind)
+	}
+	res, err := core.CompileFunction(fn.PL, core.Options{})
+	if err != nil {
+		return err
+	}
+	if err := e.InstallCompiled(name+"_c", res.Params, res.ReturnType, res.Query); err != nil {
+		return err
+	}
+	fmt.Printf("installed %s_c; emitted SQL:\n%s\n", name, sqlast.DeparseQuery(res.Query))
+	var _ []plast.Param = res.Params
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sqlshell:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,598 @@
+// Package anf translates SSA into administrative normal form — the paper's
+// ANF step (Figure 6), following Chakravarty et al.'s functional perspective
+// on SSA: every jump label Lx becomes a function Lx(), goto Lx becomes a
+// call, φ-bound variables become call parameters, and free variables are
+// lambda-lifted into explicit parameters. Loops turn into tail recursion;
+// every call is in tail position, which is what makes the final WITH
+// RECURSIVE translation possible.
+package anf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"plsqlaway/internal/cfg"
+	"plsqlaway/internal/plast"
+	"plsqlaway/internal/sqlast"
+	"plsqlaway/internal/sqltypes"
+	"plsqlaway/internal/ssa"
+)
+
+// Term is an ANF term: let·in, if·then·else, tail call, or return value.
+type Term interface{ isTerm() }
+
+// Let binds Var to the SQL expression Rhs in Body.
+type Let struct {
+	Var       string
+	Rhs       sqlast.Expr
+	Body      Term
+	Effectful bool
+}
+
+// If selects between two tail terms.
+type If struct {
+	Cond       sqlast.Expr
+	Then, Else Term
+}
+
+// Call is a tail call to a label function.
+type Call struct {
+	Fn   string
+	Args []sqlast.Expr
+}
+
+// Ret returns a value.
+type Ret struct {
+	Val sqlast.Expr
+}
+
+func (*Let) isTerm()  {}
+func (*If) isTerm()   {}
+func (*Call) isTerm() {}
+func (*Ret) isTerm()  {}
+
+// Fun is one letrec-bound label function.
+type Fun struct {
+	Name   string
+	Params []string
+	Body   Term
+}
+
+// Program is the ANF form of one PL/SQL function.
+type Program struct {
+	FnName     string
+	OrigParams []plast.Param
+	ReturnType sqltypes.Type
+	Funs       []Fun
+	Entry      *Call
+	// Types maps every version name to its declared type (needed by the
+	// UDF step for parameter declarations and NULL casts).
+	Types    map[string]sqltypes.Type
+	Warnings []string
+}
+
+// Fun returns the named function.
+func (p *Program) Fun(name string) *Fun {
+	for i := range p.Funs {
+		if p.Funs[i].Name == name {
+			return &p.Funs[i]
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// translation
+// ---------------------------------------------------------------------------
+
+// Build translates SSA to ANF and simplifies by inlining label functions
+// with a single call site (the paper's walk collapses to L1/L2 this way).
+func Build(f *ssa.Func) (*Program, error) {
+	p := &Program{
+		FnName:     f.Name,
+		OrigParams: f.Params,
+		ReturnType: f.ReturnType,
+		Types:      make(map[string]sqltypes.Type),
+		Warnings:   f.Warnings,
+	}
+	for v, base := range f.VarBase {
+		if t, ok := f.BaseTypes[base]; ok {
+			p.Types[v] = t
+		}
+	}
+	for _, prm := range f.Params {
+		p.Types[prm.Name] = prm.Type
+	}
+
+	liveIn := versionLiveness(f)
+	blocks := f.ReachableBlocks()
+
+	if len(f.Blocks[f.Entry].Phis) != 0 {
+		return nil, fmt.Errorf("anf: entry block unexpectedly has φ functions")
+	}
+
+	// Parameter layout per label function: φ vars first, then lifted
+	// live-ins (sorted for determinism).
+	paramsOf := map[cfg.BlockID][]string{}
+	for _, b := range blocks {
+		var params []string
+		isPhi := map[string]bool{}
+		for _, phi := range b.Phis {
+			params = append(params, phi.Var)
+			isPhi[phi.Var] = true
+		}
+		var lifted []string
+		for v := range liveIn[b.ID] {
+			if !isPhi[v] {
+				lifted = append(lifted, v)
+			}
+		}
+		sort.Strings(lifted)
+		paramsOf[b.ID] = append(params, lifted...)
+	}
+
+	fname := func(id cfg.BlockID) string { return fmt.Sprintf("L%d", id) }
+
+	mkCall := func(target cfg.BlockID, pred cfg.BlockID) (*Call, error) {
+		tb := f.Blocks[target]
+		call := &Call{Fn: fname(target)}
+		phiOf := map[string]*ssa.Phi{}
+		for i := range tb.Phis {
+			phiOf[tb.Phis[i].Var] = &tb.Phis[i]
+		}
+		for _, prm := range paramsOf[target] {
+			if phi, ok := phiOf[prm]; ok {
+				val := ""
+				for _, a := range phi.Args {
+					if a.Pred == pred {
+						val = a.Val
+						break
+					}
+				}
+				if val == "" {
+					return nil, fmt.Errorf("anf: φ %s in %s has no argument for predecessor L%d", prm, fname(target), pred)
+				}
+				call.Args = append(call.Args, sqlast.Col(val))
+				continue
+			}
+			// lambda-lifted live-in: same version visible at the call site
+			call.Args = append(call.Args, sqlast.Col(prm))
+		}
+		return call, nil
+	}
+
+	for _, b := range blocks {
+		var body Term
+		switch b.Term.Kind {
+		case cfg.TermReturn:
+			body = &Ret{Val: b.Term.Ret}
+		case cfg.TermJump:
+			c, err := mkCall(b.Term.Then, b.ID)
+			if err != nil {
+				return nil, err
+			}
+			body = c
+		case cfg.TermCondJump:
+			thenC, err := mkCall(b.Term.Then, b.ID)
+			if err != nil {
+				return nil, err
+			}
+			elseC, err := mkCall(b.Term.Else, b.ID)
+			if err != nil {
+				return nil, err
+			}
+			body = &If{Cond: b.Term.Cond, Then: thenC, Else: elseC}
+		}
+		// Wrap instructions as nested lets, innermost last.
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			body = &Let{Var: in.Var, Rhs: in.Expr, Body: body, Effectful: in.Effectful}
+		}
+		p.Funs = append(p.Funs, Fun{Name: fname(b.ID), Params: paramsOf[b.ID], Body: body})
+	}
+
+	entry, err := mkCall(f.Entry, -1)
+	if err != nil {
+		return nil, err
+	}
+	p.Entry = entry
+
+	inlineSingleUse(p)
+	if err := Validate(p); err != nil {
+		return nil, fmt.Errorf("anf: %w", err)
+	}
+	return p, nil
+}
+
+// versionLiveness computes live-in version sets per block (φ defs excluded;
+// φ args count as uses at the end of the predecessor).
+func versionLiveness(f *ssa.Func) map[cfg.BlockID]map[string]bool {
+	blocks := f.ReachableBlocks()
+	uses := func(e sqlast.Expr, out map[string]bool) {
+		if e == nil {
+			return
+		}
+		sqlast.WalkExpr(e, func(x sqlast.Expr) bool {
+			if cr, ok := x.(*sqlast.ColumnRef); ok && cr.Table == "" && f.IsVersion(cr.Column) {
+				out[cr.Column] = true
+			}
+			return true
+		})
+	}
+
+	type flow struct {
+		gen  map[string]bool // upward-exposed uses
+		kill map[string]bool // definitions (φ + instrs)
+	}
+	info := map[cfg.BlockID]*flow{}
+	for _, b := range blocks {
+		fl := &flow{gen: map[string]bool{}, kill: map[string]bool{}}
+		for _, phi := range b.Phis {
+			fl.kill[phi.Var] = true
+		}
+		add := func(e sqlast.Expr) {
+			tmp := map[string]bool{}
+			uses(e, tmp)
+			for v := range tmp {
+				if !fl.kill[v] {
+					fl.gen[v] = true
+				}
+			}
+		}
+		for _, in := range b.Instrs {
+			add(in.Expr)
+			fl.kill[in.Var] = true
+		}
+		add(b.Term.Cond)
+		add(b.Term.Ret)
+		info[b.ID] = fl
+	}
+
+	liveIn := map[cfg.BlockID]map[string]bool{}
+	for _, b := range blocks {
+		liveIn[b.ID] = map[string]bool{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range blocks {
+			out := map[string]bool{}
+			for _, s := range f.Succs(b.ID) {
+				sb := f.Blocks[s]
+				phiDef := map[string]bool{}
+				for _, phi := range sb.Phis {
+					phiDef[phi.Var] = true
+					for _, a := range phi.Args {
+						if a.Pred == b.ID && f.IsVersion(a.Val) {
+							out[a.Val] = true
+						}
+					}
+				}
+				for v := range liveIn[s] {
+					if !phiDef[v] {
+						out[v] = true
+					}
+				}
+			}
+			fl := info[b.ID]
+			in := liveIn[b.ID]
+			for v := range fl.gen {
+				if !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+			for v := range out {
+				if !fl.kill[v] && !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return liveIn
+}
+
+// inlineSingleUse substitutes label functions called from exactly one site
+// (and not self-recursive) into their caller, collapsing straight-line
+// block scaffolding into the paper's compact letrec shape.
+func inlineSingleUse(p *Program) {
+	for rounds := 0; rounds < 50; rounds++ {
+		counts := map[string]int{}
+		countTerm(p.Entry, counts)
+		for i := range p.Funs {
+			countTerm(p.Funs[i].Body, counts)
+		}
+		// The entry call's target is never inlined — Program.Entry must
+		// stay a call (loop-less functions are unfolded by the direct
+		// emitter instead).
+		counts[p.Entry.Fn] += 2
+		target := ""
+		for _, fn := range p.Funs {
+			if counts[fn.Name] == 1 && !callsSelf(fn.Body, fn.Name) {
+				target = fn.Name
+				break
+			}
+		}
+		if target == "" {
+			return
+		}
+		fn := p.Fun(target)
+		body := fn.Body
+		params := fn.Params
+		replace := func(t Term) Term {
+			return rewriteCalls(t, func(c *Call) Term {
+				if c.Fn != target {
+					return c
+				}
+				sub := map[string]sqlast.Expr{}
+				for i, prm := range params {
+					sub[prm] = c.Args[i]
+				}
+				return substituteTerm(body, sub)
+			})
+		}
+		var kept []Fun
+		for _, f2 := range p.Funs {
+			if f2.Name == target {
+				continue
+			}
+			f2.Body = replace(f2.Body)
+			kept = append(kept, f2)
+		}
+		p.Funs = kept
+	}
+}
+
+func countTerm(t Term, counts map[string]int) {
+	switch x := t.(type) {
+	case *Let:
+		countTerm(x.Body, counts)
+	case *If:
+		countTerm(x.Then, counts)
+		countTerm(x.Else, counts)
+	case *Call:
+		counts[x.Fn]++
+	}
+}
+
+func callsSelf(t Term, name string) bool {
+	found := false
+	walkTerm(t, func(tt Term) {
+		if c, ok := tt.(*Call); ok && c.Fn == name {
+			found = true
+		}
+	})
+	return found
+}
+
+func walkTerm(t Term, fn func(Term)) {
+	fn(t)
+	switch x := t.(type) {
+	case *Let:
+		walkTerm(x.Body, fn)
+	case *If:
+		walkTerm(x.Then, fn)
+		walkTerm(x.Else, fn)
+	}
+}
+
+// rewriteCalls rebuilds t, replacing Call nodes via fn (which may return a
+// whole substituted body).
+func rewriteCalls(t Term, fn func(*Call) Term) Term {
+	switch x := t.(type) {
+	case *Let:
+		c := *x
+		c.Body = rewriteCalls(x.Body, fn)
+		return &c
+	case *If:
+		c := *x
+		c.Then = rewriteCalls(x.Then, fn)
+		c.Else = rewriteCalls(x.Else, fn)
+		return &c
+	case *Call:
+		return fn(x)
+	default:
+		return t
+	}
+}
+
+// substituteTerm replaces parameter references with argument expressions,
+// respecting let shadowing (SSA versions are unique per definition, but a
+// let-bound version may coincide with a carried parameter name elsewhere).
+func substituteTerm(t Term, sub map[string]sqlast.Expr) Term {
+	if len(sub) == 0 {
+		return t
+	}
+	rwExpr := func(e sqlast.Expr) sqlast.Expr {
+		if e == nil {
+			return nil
+		}
+		return sqlast.RewriteExpr(e, func(x sqlast.Expr) sqlast.Expr {
+			if cr, ok := x.(*sqlast.ColumnRef); ok && cr.Table == "" {
+				if r, ok := sub[cr.Column]; ok {
+					return r
+				}
+			}
+			return x
+		})
+	}
+	switch x := t.(type) {
+	case *Let:
+		c := *x
+		c.Rhs = rwExpr(x.Rhs)
+		inner := sub
+		if _, shadowed := sub[x.Var]; shadowed {
+			inner = make(map[string]sqlast.Expr, len(sub)-1)
+			for k, v := range sub {
+				if k != x.Var {
+					inner[k] = v
+				}
+			}
+		}
+		c.Body = substituteTerm(x.Body, inner)
+		return &c
+	case *If:
+		c := *x
+		c.Cond = rwExpr(x.Cond)
+		c.Then = substituteTerm(x.Then, sub)
+		c.Else = substituteTerm(x.Else, sub)
+		return &c
+	case *Call:
+		c := &Call{Fn: x.Fn, Args: make([]sqlast.Expr, len(x.Args))}
+		for i, a := range x.Args {
+			c.Args[i] = rwExpr(a)
+		}
+		return c
+	case *Ret:
+		return &Ret{Val: rwExpr(x.Val)}
+	default:
+		return t
+	}
+}
+
+// ---------------------------------------------------------------------------
+// validation + printing
+// ---------------------------------------------------------------------------
+
+// Validate checks that calls reference existing functions with matching
+// arity, and that every version used is bound (parameter or let).
+func Validate(p *Program) error {
+	arity := map[string]int{}
+	for _, f := range p.Funs {
+		arity[f.Name] = len(f.Params)
+	}
+	checkCall := func(c *Call) error {
+		n, ok := arity[c.Fn]
+		if !ok {
+			return fmt.Errorf("call to undefined label function %s", c.Fn)
+		}
+		if len(c.Args) != n {
+			return fmt.Errorf("call to %s has %d args, wants %d", c.Fn, len(c.Args), n)
+		}
+		return nil
+	}
+	isVersion := func(name string) bool {
+		_, ok := p.Types[name]
+		return ok
+	}
+	var checkTerm func(t Term, bound map[string]bool) error
+	checkExpr := func(e sqlast.Expr, bound map[string]bool) error {
+		var err error
+		if e == nil {
+			return nil
+		}
+		sqlast.WalkExpr(e, func(x sqlast.Expr) bool {
+			if cr, ok := x.(*sqlast.ColumnRef); ok && cr.Table == "" && isVersion(cr.Column) && !bound[cr.Column] {
+				err = fmt.Errorf("version %s used unbound", cr.Column)
+				return false
+			}
+			return true
+		})
+		return err
+	}
+	checkTerm = func(t Term, bound map[string]bool) error {
+		switch x := t.(type) {
+		case *Let:
+			if err := checkExpr(x.Rhs, bound); err != nil {
+				return err
+			}
+			b2 := map[string]bool{}
+			for k := range bound {
+				b2[k] = true
+			}
+			b2[x.Var] = true
+			return checkTerm(x.Body, b2)
+		case *If:
+			if err := checkExpr(x.Cond, bound); err != nil {
+				return err
+			}
+			if err := checkTerm(x.Then, bound); err != nil {
+				return err
+			}
+			return checkTerm(x.Else, bound)
+		case *Call:
+			if err := checkCall(x); err != nil {
+				return err
+			}
+			for _, a := range x.Args {
+				if err := checkExpr(a, bound); err != nil {
+					return err
+				}
+			}
+			return nil
+		case *Ret:
+			return checkExpr(x.Val, bound)
+		}
+		return fmt.Errorf("unknown term %T", t)
+	}
+	for _, f := range p.Funs {
+		bound := map[string]bool{}
+		for _, prm := range f.Params {
+			bound[prm] = true
+		}
+		if err := checkTerm(f.Body, bound); err != nil {
+			return fmt.Errorf("in %s: %w", f.Name, err)
+		}
+	}
+	entryBound := map[string]bool{}
+	for _, prm := range p.OrigParams {
+		entryBound[prm.Name] = true
+	}
+	if err := checkCall(p.Entry); err != nil {
+		return err
+	}
+	for _, a := range p.Entry.Args {
+		if err := checkExpr(a, entryBound); err != nil {
+			return fmt.Errorf("in entry call: %w", err)
+		}
+	}
+	return nil
+}
+
+// Dump renders the program in the paper's Figure 6 letrec style.
+func (p *Program) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "function %s(", p.FnName)
+	for i, prm := range p.OrigParams {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(prm.Name)
+	}
+	sb.WriteString(") =\n")
+	for _, f := range p.Funs {
+		fmt.Fprintf(&sb, "  letrec %s(%s) =\n", f.Name, strings.Join(f.Params, ", "))
+		dumpTerm(&sb, f.Body, 2)
+		sb.WriteString("  in\n")
+	}
+	fmt.Fprintf(&sb, "  %s\n", callString(p.Entry))
+	return sb.String()
+}
+
+func callString(c *Call) string {
+	var args []string
+	for _, a := range c.Args {
+		args = append(args, sqlast.DeparseExpr(a))
+	}
+	return fmt.Sprintf("%s(%s)", c.Fn, strings.Join(args, ", "))
+}
+
+func dumpTerm(sb *strings.Builder, t Term, depth int) {
+	ind := strings.Repeat("  ", depth)
+	switch x := t.(type) {
+	case *Let:
+		fmt.Fprintf(sb, "%slet %s = %s in\n", ind, x.Var, sqlast.DeparseExpr(x.Rhs))
+		dumpTerm(sb, x.Body, depth)
+	case *If:
+		fmt.Fprintf(sb, "%sif %s then\n", ind, sqlast.DeparseExpr(x.Cond))
+		dumpTerm(sb, x.Then, depth+1)
+		fmt.Fprintf(sb, "%selse\n", ind)
+		dumpTerm(sb, x.Else, depth+1)
+	case *Call:
+		fmt.Fprintf(sb, "%s%s\n", ind, callString(x))
+	case *Ret:
+		fmt.Fprintf(sb, "%s%s\n", ind, sqlast.DeparseExpr(x.Val))
+	}
+}

@@ -1,0 +1,169 @@
+package anf
+
+import (
+	"strings"
+	"testing"
+
+	"plsqlaway/internal/cfg"
+	"plsqlaway/internal/plparser"
+	"plsqlaway/internal/sqlast"
+	"plsqlaway/internal/sqlparser"
+	"plsqlaway/internal/ssa"
+)
+
+func buildANF(t *testing.T, src string) *Program {
+	t.Helper()
+	stmt, err := sqlparser.ParseStatement(src)
+	if err != nil {
+		t.Fatalf("sql parse: %v", err)
+	}
+	f, err := plparser.ParseFunction(stmt.(*sqlast.CreateFunction))
+	if err != nil {
+		t.Fatalf("pl parse: %v", err)
+	}
+	g, err := cfg.Build(f)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	s, err := ssa.Build(g)
+	if err != nil {
+		t.Fatalf("ssa: %v", err)
+	}
+	if err := ssa.Optimize(s); err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	p, err := Build(s)
+	if err != nil {
+		t.Fatalf("anf: %v", err)
+	}
+	return p
+}
+
+const factSrc = `CREATE FUNCTION fact(n int) RETURNS int AS $$
+DECLARE acc int = 1;
+BEGIN
+  WHILE n > 1 LOOP
+    acc = acc * n;
+    n = n - 1;
+  END LOOP;
+  RETURN acc;
+END;
+$$ LANGUAGE plpgsql`
+
+func TestLoopBecomesTailRecursion(t *testing.T) {
+	p := buildANF(t, factSrc)
+	// One label function: the loop header, calling itself in tail position.
+	var header *Fun
+	for i := range p.Funs {
+		if callsSelf(p.Funs[i].Body, p.Funs[i].Name) {
+			header = &p.Funs[i]
+		}
+	}
+	if header == nil {
+		t.Fatalf("no self-recursive function:\n%s", p.Dump())
+	}
+	// φ variables become parameters.
+	if len(header.Params) < 2 {
+		t.Errorf("loop header should carry acc and n: %v", header.Params)
+	}
+}
+
+func TestCallsOnlyInTailPosition(t *testing.T) {
+	p := buildANF(t, factSrc)
+	// By construction Lets never contain Calls in Rhs — verify.
+	var check func(tm Term) bool
+	check = func(tm Term) bool {
+		switch x := tm.(type) {
+		case *Let:
+			// RHS is a SQL expression, never a Call term.
+			return check(x.Body)
+		case *If:
+			return check(x.Then) && check(x.Else)
+		case *Call, *Ret:
+			return true
+		}
+		return false
+	}
+	for _, f := range p.Funs {
+		if !check(f.Body) {
+			t.Errorf("%s has a call outside tail position:\n%s", f.Name, p.Dump())
+		}
+	}
+}
+
+func TestInlineCollapsesStraightLine(t *testing.T) {
+	// IF with returns in both arms: all the join/exit blocks inline away.
+	p := buildANF(t, `CREATE FUNCTION f(n int) RETURNS int AS $$
+BEGIN
+  IF n > 0 THEN
+    RETURN 1;
+  ELSE
+    RETURN -1;
+  END IF;
+END;
+$$ LANGUAGE plpgsql`)
+	if len(p.Funs) != 1 {
+		t.Errorf("loop-less function should collapse to the entry function, got %d:\n%s", len(p.Funs), p.Dump())
+	}
+}
+
+func TestEntryStaysACall(t *testing.T) {
+	p := buildANF(t, factSrc)
+	if p.Entry == nil {
+		t.Fatal("entry must be a call")
+	}
+	if p.Fun(p.Entry.Fn) == nil {
+		t.Fatalf("entry call target %s missing", p.Entry.Fn)
+	}
+}
+
+func TestValidateCatchesArityMismatch(t *testing.T) {
+	p := buildANF(t, factSrc)
+	// Break a call arity.
+	broken := false
+	for i := range p.Funs {
+		p.Funs[i].Body = rewriteCalls(p.Funs[i].Body, func(c *Call) Term {
+			if len(c.Args) > 0 && !broken {
+				broken = true
+				return &Call{Fn: c.Fn, Args: c.Args[1:]}
+			}
+			return c
+		})
+	}
+	if !broken {
+		t.Skip("no call to break")
+	}
+	if err := Validate(p); err == nil {
+		t.Error("arity mismatch must fail validation")
+	}
+}
+
+func TestValidateCatchesUnboundVersion(t *testing.T) {
+	p := buildANF(t, factSrc)
+	p.Funs[0].Body = &Ret{Val: sqlast.Col("acc_99")}
+	p.Types["acc_99"] = p.Types[p.Funs[0].Params[0]]
+	if err := Validate(p); err == nil || !strings.Contains(err.Error(), "unbound") {
+		t.Errorf("want unbound error, got %v", err)
+	}
+}
+
+func TestDumpShape(t *testing.T) {
+	p := buildANF(t, factSrc)
+	d := p.Dump()
+	for _, needle := range []string{"function fact(n)", "letrec", "let ", "if ", "in"} {
+		if !strings.Contains(d, needle) {
+			t.Errorf("dump missing %q:\n%s", needle, d)
+		}
+	}
+}
+
+func TestTypesCoverAllVersions(t *testing.T) {
+	p := buildANF(t, factSrc)
+	for _, f := range p.Funs {
+		for _, prm := range f.Params {
+			if _, ok := p.Types[prm]; !ok {
+				t.Errorf("no type for parameter %s", prm)
+			}
+		}
+	}
+}

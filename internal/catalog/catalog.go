@@ -1,0 +1,192 @@
+// Package catalog tracks the schema objects of one engine instance: base
+// tables (backed by heap storage) and functions (interpreted PL/pgSQL,
+// single-expression SQL UDFs, and compiled functions installed by the
+// PL/SQL-away compiler).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"plsqlaway/internal/plast"
+	"plsqlaway/internal/sqlast"
+	"plsqlaway/internal/sqltypes"
+	"plsqlaway/internal/storage"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type sqltypes.Type
+}
+
+// Table is a base table.
+type Table struct {
+	Name string
+	Cols []Column
+	Heap *storage.Heap
+
+	indexes *tableIndexes
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (t *Table) ColIndex(name string) int {
+	for i, c := range t.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// FuncKind distinguishes how a function body is evaluated.
+type FuncKind uint8
+
+// Function kinds.
+const (
+	// FuncPLpgSQL is interpreted statement by statement (context switches!).
+	FuncPLpgSQL FuncKind = iota
+	// FuncSQL is a LANGUAGE SQL function: a single query over its params.
+	FuncSQL
+	// FuncCompiled is a function compiled away: calls are answered by
+	// evaluating an inlined pure-SQL query (no interpreter involvement).
+	FuncCompiled
+)
+
+func (k FuncKind) String() string {
+	switch k {
+	case FuncPLpgSQL:
+		return "plpgsql"
+	case FuncSQL:
+		return "sql"
+	case FuncCompiled:
+		return "compiled"
+	default:
+		return "unknown"
+	}
+}
+
+// Function is a callable registered in the catalog.
+type Function struct {
+	Name       string
+	Params     []plast.Param
+	ReturnType sqltypes.Type
+	Kind       FuncKind
+
+	PL      *plast.Function // FuncPLpgSQL
+	SQLBody *sqlast.Query   // FuncSQL and FuncCompiled: body query; params are $1..$n
+}
+
+// Catalog is the schema registry. It is not safe for concurrent mutation;
+// the engine serializes access.
+type Catalog struct {
+	tables map[string]*Table
+	funcs  map[string]*Function
+	stats  *storage.Stats
+	// Version increments on every DDL change; the plan cache uses it to
+	// invalidate stale plans.
+	Version int64
+}
+
+// New creates an empty catalog charging storage to stats.
+func New(stats *storage.Stats) *Catalog {
+	return &Catalog{
+		tables: make(map[string]*Table),
+		funcs:  make(map[string]*Function),
+		stats:  stats,
+	}
+}
+
+// CreateTable registers a new table.
+func (c *Catalog) CreateTable(name string, cols []Column, ifNotExists bool) (*Table, error) {
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; ok {
+		if ifNotExists {
+			return c.tables[key], nil
+		}
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	seen := map[string]bool{}
+	for _, col := range cols {
+		if seen[col.Name] {
+			return nil, fmt.Errorf("catalog: duplicate column %q in table %q", col.Name, name)
+		}
+		seen[col.Name] = true
+	}
+	t := &Table{Name: key, Cols: cols, Heap: storage.NewHeap(c.stats)}
+	c.tables[key] = t
+	c.Version++
+	return t, nil
+}
+
+// DropTable removes a table.
+func (c *Catalog) DropTable(name string, ifExists bool) error {
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; !ok {
+		if ifExists {
+			return nil
+		}
+		return fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	delete(c.tables, key)
+	c.Version++
+	return nil
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*Table, bool) {
+	t, ok := c.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// TableNames lists tables in sorted order.
+func (c *Catalog) TableNames() []string {
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CreateFunction registers (or replaces) a function.
+func (c *Catalog) CreateFunction(f *Function, orReplace bool) error {
+	key := strings.ToLower(f.Name)
+	if _, ok := c.funcs[key]; ok && !orReplace {
+		return fmt.Errorf("catalog: function %q already exists", f.Name)
+	}
+	c.funcs[key] = f
+	c.Version++
+	return nil
+}
+
+// DropFunction removes a function.
+func (c *Catalog) DropFunction(name string, ifExists bool) error {
+	key := strings.ToLower(name)
+	if _, ok := c.funcs[key]; !ok {
+		if ifExists {
+			return nil
+		}
+		return fmt.Errorf("catalog: function %q does not exist", name)
+	}
+	delete(c.funcs, key)
+	c.Version++
+	return nil
+}
+
+// Function looks up a function by name.
+func (c *Catalog) Function(name string) (*Function, bool) {
+	f, ok := c.funcs[strings.ToLower(name)]
+	return f, ok
+}
+
+// FunctionNames lists functions in sorted order.
+func (c *Catalog) FunctionNames() []string {
+	names := make([]string, 0, len(c.funcs))
+	for n := range c.funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

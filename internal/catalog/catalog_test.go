@@ -1,0 +1,153 @@
+package catalog
+
+import (
+	"testing"
+
+	"plsqlaway/internal/sqltypes"
+	"plsqlaway/internal/storage"
+)
+
+func newCat() *Catalog { return New(&storage.Stats{}) }
+
+func TestCreateDropTable(t *testing.T) {
+	c := newCat()
+	cols := []Column{{Name: "a", Type: sqltypes.TypeInt}}
+	tbl, err := c.CreateTable("T1", cols, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Name != "t1" {
+		t.Errorf("name not lowered: %q", tbl.Name)
+	}
+	if _, ok := c.Table("t1"); !ok {
+		t.Error("lookup by lower name failed")
+	}
+	if _, ok := c.Table("T1"); !ok {
+		t.Error("lookup is case-insensitive")
+	}
+	if _, err := c.CreateTable("t1", cols, false); err == nil {
+		t.Error("duplicate create should fail")
+	}
+	if _, err := c.CreateTable("t1", cols, true); err != nil {
+		t.Error("IF NOT EXISTS should succeed")
+	}
+	if err := c.DropTable("t1", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropTable("t1", false); err == nil {
+		t.Error("double drop should fail")
+	}
+	if err := c.DropTable("t1", true); err != nil {
+		t.Error("IF EXISTS drop should succeed")
+	}
+}
+
+func TestDuplicateColumnRejected(t *testing.T) {
+	c := newCat()
+	_, err := c.CreateTable("t", []Column{
+		{Name: "a", Type: sqltypes.TypeInt}, {Name: "a", Type: sqltypes.TypeText},
+	}, false)
+	if err == nil {
+		t.Error("duplicate column should fail")
+	}
+}
+
+func TestVersionBumpsOnDDL(t *testing.T) {
+	c := newCat()
+	v0 := c.Version
+	c.CreateTable("t", []Column{{Name: "a", Type: sqltypes.TypeInt}}, false)
+	if c.Version == v0 {
+		t.Error("version should bump on create")
+	}
+	v1 := c.Version
+	c.DeclareIndex("t", "a")
+	if c.Version == v1 {
+		t.Error("version should bump on index declare")
+	}
+}
+
+func TestFunctions(t *testing.T) {
+	c := newCat()
+	f := &Function{Name: "f", ReturnType: sqltypes.TypeInt, Kind: FuncSQL}
+	if err := c.CreateFunction(f, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateFunction(f, false); err == nil {
+		t.Error("duplicate function should fail without OR REPLACE")
+	}
+	if err := c.CreateFunction(f, true); err != nil {
+		t.Error("OR REPLACE should succeed")
+	}
+	got, ok := c.Function("F")
+	if !ok || got.Kind != FuncSQL {
+		t.Error("case-insensitive function lookup failed")
+	}
+	if err := c.DropFunction("f", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropFunction("f", false); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestIndexProbe(t *testing.T) {
+	c := newCat()
+	tbl, _ := c.CreateTable("t", []Column{
+		{Name: "k", Type: sqltypes.TypeInt}, {Name: "v", Type: sqltypes.TypeText},
+	}, false)
+	for i := int64(0); i < 100; i++ {
+		tbl.Heap.Insert(storage.Tuple{sqltypes.NewInt(i % 10), sqltypes.NewText("x")})
+	}
+	if err := c.DeclareIndex("t", "k"); err != nil {
+		t.Fatal(err)
+	}
+	idx, ok := tbl.IndexOn(0)
+	if !ok {
+		t.Fatal("index not found")
+	}
+	hits, rows, err := idx.Probe(tbl, sqltypes.NewInt(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 10 {
+		t.Errorf("hits: %d, want 10", len(hits))
+	}
+	for _, h := range hits {
+		if rows[h][0].Int() != 3 {
+			t.Errorf("false positive: %v", rows[h])
+		}
+	}
+	// NULL key matches nothing.
+	hits, _, _ = idx.Probe(tbl, sqltypes.Null)
+	if len(hits) != 0 {
+		t.Error("NULL probe must be empty")
+	}
+	// Index refreshes after mutation.
+	tbl.Heap.Insert(storage.Tuple{sqltypes.NewInt(3), sqltypes.NewText("new")})
+	hits, _, _ = idx.Probe(tbl, sqltypes.NewInt(3))
+	if len(hits) != 11 {
+		t.Errorf("stale index after insert: %d hits", len(hits))
+	}
+	// Numeric cross-kind probe (float key hits int column).
+	hits, _, _ = idx.Probe(tbl, sqltypes.NewFloat(3))
+	if len(hits) != 11 {
+		t.Errorf("float probe of int column: %d hits, want 11", len(hits))
+	}
+}
+
+func TestDeclareIndexErrors(t *testing.T) {
+	c := newCat()
+	if err := c.DeclareIndex("nosuch", "a"); err == nil {
+		t.Error("missing table should fail")
+	}
+	c.CreateTable("t", []Column{{Name: "a", Type: sqltypes.TypeInt}}, false)
+	if err := c.DeclareIndex("t", "nosuch"); err == nil {
+		t.Error("missing column should fail")
+	}
+	if err := c.DeclareIndex("t", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeclareIndex("t", "a"); err != nil {
+		t.Error("re-declare should be idempotent")
+	}
+}

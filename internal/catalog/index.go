@@ -1,0 +1,89 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"plsqlaway/internal/sqltypes"
+	"plsqlaway/internal/storage"
+)
+
+// Index is a hash index over one column, rebuilt lazily when the heap's
+// generation moves (adequate for workload-scale tables; a production system
+// would maintain it incrementally).
+type Index struct {
+	Col     int
+	gen     int64
+	buckets map[uint64][]int // value hash → row positions
+	mu      sync.Mutex
+}
+
+// ensureIndexes is the per-table registry of *declared* indexes: the
+// planner only considers columns the user indexed with CREATE INDEX, like a
+// real optimizer.
+type tableIndexes struct {
+	byCol map[int]*Index
+}
+
+// DeclareIndex registers an index on the named column.
+func (c *Catalog) DeclareIndex(table, col string) error {
+	t, ok := c.Table(table)
+	if !ok {
+		return fmt.Errorf("catalog: relation %q does not exist", table)
+	}
+	ci := t.ColIndex(strings.ToLower(col))
+	if ci < 0 {
+		return fmt.Errorf("catalog: column %q of relation %q does not exist", col, table)
+	}
+	if t.indexes == nil {
+		t.indexes = &tableIndexes{byCol: map[int]*Index{}}
+	}
+	if _, dup := t.indexes.byCol[ci]; dup {
+		return nil // idempotent
+	}
+	t.indexes.byCol[ci] = &Index{Col: ci, gen: -1}
+	c.Version++
+	return nil
+}
+
+// IndexOn returns the declared index for a column, if any.
+func (t *Table) IndexOn(col int) (*Index, bool) {
+	if t.indexes == nil {
+		return nil, false
+	}
+	idx, ok := t.indexes.byCol[col]
+	return idx, ok
+}
+
+// Probe returns the row positions whose indexed column is Identical to key,
+// rebuilding the hash table first if the heap changed. NULL keys match
+// nothing (SQL equality).
+func (idx *Index) Probe(t *Table, key sqltypes.Value) ([]int, []storage.Tuple, error) {
+	if key.IsNull() {
+		return nil, nil, nil
+	}
+	rows, err := t.Heap.Rows()
+	if err != nil {
+		return nil, nil, err
+	}
+	idx.mu.Lock()
+	if idx.gen != t.Heap.Gen() {
+		idx.buckets = make(map[uint64][]int, len(rows))
+		for i, r := range rows {
+			h := sqltypes.Hash(r[idx.Col])
+			idx.buckets[h] = append(idx.buckets[h], i)
+		}
+		idx.gen = t.Heap.Gen()
+	}
+	candidates := idx.buckets[sqltypes.Hash(key)]
+	idx.mu.Unlock()
+
+	var hits []int
+	for _, i := range candidates {
+		if sqltypes.Identical(rows[i][idx.Col], key) {
+			hits = append(hits, i)
+		}
+	}
+	return hits, rows, nil
+}

@@ -1,0 +1,497 @@
+// Package cfg lowers a PL/pgSQL function body into a control-flow graph of
+// basic blocks whose only control constructs are goto, conditional goto,
+// and return — the first half of the paper's SSA step: "the zoo of PL/SQL
+// control flow constructs … are now exclusively expressed in terms of goto
+// and jump labels Lx" (Figure 5).
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"plsqlaway/internal/plast"
+	"plsqlaway/internal/sqlast"
+	"plsqlaway/internal/sqltypes"
+)
+
+// BlockID identifies a basic block.
+type BlockID int
+
+// Instr is one assignment: Var = Expr. Effectful instructions (volatile
+// calls, PERFORM wrappers) survive dead-code elimination even when unused.
+type Instr struct {
+	Var       string
+	Expr      sqlast.Expr
+	Effectful bool
+}
+
+// TermKind classifies block terminators.
+type TermKind uint8
+
+// Terminator kinds.
+const (
+	TermJump TermKind = iota
+	TermCondJump
+	TermReturn
+)
+
+// Terminator ends a block.
+type Terminator struct {
+	Kind TermKind
+	Cond sqlast.Expr // TermCondJump
+	Then BlockID     // TermJump target / TermCondJump true target
+	Else BlockID     // TermCondJump false target
+	Ret  sqlast.Expr // TermReturn
+}
+
+// Block is one basic block.
+type Block struct {
+	ID     BlockID
+	Instrs []Instr
+	Term   Terminator
+}
+
+// Graph is the CFG of one function.
+type Graph struct {
+	Name       string
+	Params     []plast.Param
+	ReturnType sqltypes.Type
+	// VarTypes maps every function variable (parameters, declarations,
+	// loop variables, compiler temporaries) to its declared type.
+	VarTypes map[string]sqltypes.Type
+	// VarOrder lists variables in declaration order (deterministic output).
+	VarOrder []string
+	Blocks   []*Block
+	Entry    BlockID
+	// Warnings collects constructs dropped with a note (RAISE NOTICE).
+	Warnings []string
+}
+
+// Block returns the block with the given id.
+func (g *Graph) Block(id BlockID) *Block { return g.Blocks[id] }
+
+// Preds computes the predecessor lists.
+func (g *Graph) Preds() [][]BlockID {
+	preds := make([][]BlockID, len(g.Blocks))
+	for _, b := range g.Blocks {
+		for _, s := range g.Succs(b.ID) {
+			preds[s] = append(preds[s], b.ID)
+		}
+	}
+	return preds
+}
+
+// Succs returns the successor blocks of id.
+func (g *Graph) Succs(id BlockID) []BlockID {
+	t := g.Blocks[id].Term
+	switch t.Kind {
+	case TermJump:
+		return []BlockID{t.Then}
+	case TermCondJump:
+		if t.Then == t.Else {
+			return []BlockID{t.Then}
+		}
+		return []BlockID{t.Then, t.Else}
+	default:
+		return nil
+	}
+}
+
+// IsVar reports whether name is a function variable.
+func (g *Graph) IsVar(name string) bool {
+	_, ok := g.VarTypes[name]
+	return ok
+}
+
+// Dump renders the graph in the paper's Figure 5 style.
+func (g *Graph) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "function %s(", g.Name)
+	for i, p := range g.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p.Name)
+	}
+	sb.WriteString(")\n{\n")
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "L%d:\n", b.ID)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s <- %s\n", in.Var, sqlast.DeparseExpr(in.Expr))
+		}
+		switch b.Term.Kind {
+		case TermJump:
+			fmt.Fprintf(&sb, "  goto L%d\n", b.Term.Then)
+		case TermCondJump:
+			fmt.Fprintf(&sb, "  if %s then goto L%d else goto L%d\n",
+				sqlast.DeparseExpr(b.Term.Cond), b.Term.Then, b.Term.Else)
+		case TermReturn:
+			fmt.Fprintf(&sb, "  return %s\n", sqlast.DeparseExpr(b.Term.Ret))
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// loopCtx tracks EXIT/CONTINUE targets.
+type loopCtx struct {
+	label       string
+	breakTarget BlockID
+	continueTgt BlockID
+}
+
+type builder struct {
+	g      *Graph
+	cur    BlockID
+	closed bool // current block already has a terminator
+	loops  []loopCtx
+	temp   int
+}
+
+// Build lowers a parsed PL/pgSQL function to a CFG. Functions containing
+// RAISE EXCEPTION cannot be compiled away (aborts are side effects);
+// RAISE NOTICE is dropped with a warning, PERFORM becomes an effectful
+// assignment to a discard temporary.
+func Build(f *plast.Function) (*Graph, error) {
+	g := &Graph{
+		Name:       f.Name,
+		Params:     f.Params,
+		ReturnType: f.ReturnType,
+		VarTypes:   make(map[string]sqltypes.Type),
+	}
+	addVar := func(name string, t sqltypes.Type) error {
+		if _, dup := g.VarTypes[name]; dup {
+			return fmt.Errorf("cfg: duplicate variable %q", name)
+		}
+		g.VarTypes[name] = t
+		g.VarOrder = append(g.VarOrder, name)
+		return nil
+	}
+	for _, p := range f.Params {
+		if err := addVar(p.Name, p.Type); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range f.Decls {
+		if err := addVar(d.Name, d.Type); err != nil {
+			return nil, err
+		}
+	}
+
+	b := &builder{g: g}
+	entry := b.newBlock()
+	g.Entry = entry
+	b.cur = entry
+
+	// Declarations initialize in order; uninitialized ones start NULL so
+	// every variable has a definition before any use (SSA needs this).
+	for _, d := range f.Decls {
+		init := d.Init
+		if init == nil {
+			init = sqlast.NullLit()
+		}
+		b.emit(Instr{Var: d.Name, Expr: init, Effectful: isEffectful(init)})
+	}
+
+	if err := b.stmts(f.Body); err != nil {
+		return nil, err
+	}
+	if !b.closed {
+		// PL/pgSQL raises "control reached end of function without RETURN"
+		// at run time; we reject at compile time for scalar functions.
+		return nil, fmt.Errorf("cfg: control can reach end of function %s without RETURN", f.Name)
+	}
+	return g, nil
+}
+
+func (b *builder) newBlock() BlockID {
+	id := BlockID(len(b.g.Blocks))
+	b.g.Blocks = append(b.g.Blocks, &Block{ID: id})
+	return id
+}
+
+func (b *builder) emit(in Instr) {
+	if b.closed {
+		return // unreachable code after RETURN/EXIT — dropped
+	}
+	blk := b.g.Blocks[b.cur]
+	blk.Instrs = append(blk.Instrs, in)
+}
+
+func (b *builder) terminate(t Terminator) {
+	if b.closed {
+		return
+	}
+	b.g.Blocks[b.cur].Term = t
+	b.closed = true
+}
+
+func (b *builder) startBlock(id BlockID) {
+	b.cur = id
+	b.closed = false
+}
+
+func (b *builder) freshTemp(prefix string, t sqltypes.Type) string {
+	b.temp++
+	name := fmt.Sprintf("%s$%d", prefix, b.temp)
+	b.g.VarTypes[name] = t
+	b.g.VarOrder = append(b.g.VarOrder, name)
+	return name
+}
+
+func (b *builder) stmts(list []plast.Stmt) error {
+	for _, s := range list {
+		if err := b.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmt(s plast.Stmt) error {
+	switch s := s.(type) {
+	case *plast.Assign:
+		if !b.g.IsVar(s.Name) {
+			return fmt.Errorf("cfg: assignment to undeclared variable %q", s.Name)
+		}
+		b.emit(Instr{Var: s.Name, Expr: s.Expr, Effectful: isEffectful(s.Expr)})
+		return nil
+
+	case *plast.If:
+		return b.ifStmt(s)
+
+	case *plast.Loop:
+		head := b.newBlock()
+		exit := b.newBlock()
+		b.terminate(Terminator{Kind: TermJump, Then: head})
+		b.startBlock(head)
+		b.loops = append(b.loops, loopCtx{label: s.Label, breakTarget: exit, continueTgt: head})
+		if err := b.stmts(s.Body); err != nil {
+			return err
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		b.terminate(Terminator{Kind: TermJump, Then: head})
+		b.startBlock(exit)
+		return nil
+
+	case *plast.While:
+		head := b.newBlock()
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.terminate(Terminator{Kind: TermJump, Then: head})
+		b.startBlock(head)
+		b.terminate(Terminator{Kind: TermCondJump, Cond: s.Cond, Then: body, Else: exit})
+		b.startBlock(body)
+		b.loops = append(b.loops, loopCtx{label: s.Label, breakTarget: exit, continueTgt: head})
+		if err := b.stmts(s.Body); err != nil {
+			return err
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		b.terminate(Terminator{Kind: TermJump, Then: head})
+		b.startBlock(exit)
+		return nil
+
+	case *plast.ForRange:
+		return b.forRange(s)
+
+	case *plast.Exit:
+		return b.exitOrContinue(s.Label, s.When, true)
+
+	case *plast.Continue:
+		return b.exitOrContinue(s.Label, s.When, false)
+
+	case *plast.Return:
+		b.terminate(Terminator{Kind: TermReturn, Ret: s.Expr})
+		return nil
+
+	case *plast.Perform:
+		// PERFORM evaluates and discards; keep the evaluation via a
+		// count(*) wrapper into an (effectful) discard temporary.
+		tmp := b.freshTemp("perform", sqltypes.TypeInt)
+		wrapped := &sqlast.ScalarSubquery{Sub: sqlast.WrapQuery(&sqlast.Select{
+			Items: []sqlast.SelectItem{{Expr: &sqlast.FuncCall{Name: "count", Star: true}}},
+			From: []sqlast.FromItem{&sqlast.SubqueryRef{
+				Query: s.Query, Alias: "perform$q",
+			}},
+		})}
+		b.emit(Instr{Var: tmp, Expr: wrapped, Effectful: true})
+		return nil
+
+	case *plast.Raise:
+		if s.Level == "EXCEPTION" {
+			return fmt.Errorf("cfg: RAISE EXCEPTION cannot be compiled away (aborting is a side effect); keep this function interpreted")
+		}
+		b.g.Warnings = append(b.g.Warnings, fmt.Sprintf("RAISE %s %q dropped during compilation", s.Level, s.Format))
+		return nil
+
+	case *plast.NullStmt:
+		return nil
+
+	default:
+		return fmt.Errorf("cfg: unsupported statement %T", s)
+	}
+}
+
+func (b *builder) ifStmt(s *plast.If) error {
+	join := b.newBlock()
+	joinUsed := false
+
+	// Chain of arms: IF/ELSIF* / ELSE.
+	arms := []plast.ElseIf{{Cond: s.Cond, Body: s.Then}}
+	arms = append(arms, s.ElseIfs...)
+
+	for _, arm := range arms {
+		thenBlk := b.newBlock()
+		elseBlk := b.newBlock()
+		b.terminate(Terminator{Kind: TermCondJump, Cond: arm.Cond, Then: thenBlk, Else: elseBlk})
+		b.startBlock(thenBlk)
+		if err := b.stmts(arm.Body); err != nil {
+			return err
+		}
+		if !b.closed {
+			joinUsed = true
+			b.terminate(Terminator{Kind: TermJump, Then: join})
+		}
+		b.startBlock(elseBlk)
+	}
+	if err := b.stmts(s.Else); err != nil {
+		return err
+	}
+	if !b.closed {
+		joinUsed = true
+		b.terminate(Terminator{Kind: TermJump, Then: join})
+	}
+	b.startBlock(join)
+	if !joinUsed {
+		// All paths returned/jumped elsewhere: join block is unreachable;
+		// mark it closed with a self-loop-free return of NULL — it will be
+		// pruned as unreachable by the SSA cleanup.
+		b.terminate(Terminator{Kind: TermReturn, Ret: sqlast.NullLit()})
+		b.closed = true
+	}
+	return nil
+}
+
+func (b *builder) forRange(s *plast.ForRange) error {
+	if _, known := b.g.VarTypes[s.Var]; !known {
+		b.g.VarTypes[s.Var] = sqltypes.TypeInt
+		b.g.VarOrder = append(b.g.VarOrder, s.Var)
+	}
+	// Bounds and step evaluate once, before the loop (PL/pgSQL semantics).
+	toTmp := b.freshTemp("to", sqltypes.TypeInt)
+	b.emit(Instr{Var: toTmp, Expr: s.To, Effectful: isEffectful(s.To)})
+	stepExpr := s.Step
+	if stepExpr == nil {
+		stepExpr = sqlast.IntLit(1)
+	}
+	stepTmp := b.freshTemp("step", sqltypes.TypeInt)
+	b.emit(Instr{Var: stepTmp, Expr: stepExpr, Effectful: isEffectful(stepExpr)})
+	// Iteration is driven by a hidden counter, exactly like PL/pgSQL's
+	// internal loop state: assigning to the loop variable inside the body
+	// must not affect the iteration sequence.
+	cnt := b.freshTemp("cnt", sqltypes.TypeInt)
+	b.emit(Instr{Var: cnt, Expr: s.From, Effectful: isEffectful(s.From)})
+
+	head := b.newBlock()
+	body := b.newBlock()
+	cont := b.newBlock()
+	exit := b.newBlock()
+
+	cmp := "<="
+	if s.Reverse {
+		cmp = ">="
+	}
+	b.terminate(Terminator{Kind: TermJump, Then: head})
+	b.startBlock(head)
+	b.terminate(Terminator{
+		Kind: TermCondJump,
+		Cond: &sqlast.Binary{Op: cmp, L: sqlast.Col(cnt), R: sqlast.Col(toTmp)},
+		Then: body, Else: exit,
+	})
+	b.startBlock(body)
+	b.emit(Instr{Var: s.Var, Expr: sqlast.Col(cnt)})
+	b.loops = append(b.loops, loopCtx{label: s.Label, breakTarget: exit, continueTgt: cont})
+	if err := b.stmts(s.Body); err != nil {
+		return err
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.terminate(Terminator{Kind: TermJump, Then: cont})
+	b.startBlock(cont)
+	op := "+"
+	if s.Reverse {
+		op = "-"
+	}
+	b.emit(Instr{Var: cnt, Expr: &sqlast.Binary{Op: op, L: sqlast.Col(cnt), R: sqlast.Col(stepTmp)}})
+	b.terminate(Terminator{Kind: TermJump, Then: head})
+	b.startBlock(exit)
+	return nil
+}
+
+func (b *builder) exitOrContinue(label string, when sqlast.Expr, isExit bool) error {
+	var target BlockID = -1
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		if label == "" || b.loops[i].label == label {
+			if isExit {
+				target = b.loops[i].breakTarget
+			} else {
+				target = b.loops[i].continueTgt
+			}
+			break
+		}
+	}
+	if target < 0 {
+		kw := "EXIT"
+		if !isExit {
+			kw = "CONTINUE"
+		}
+		return fmt.Errorf("cfg: %s with no matching loop%s", kw, labelNote(label))
+	}
+	if when == nil {
+		b.terminate(Terminator{Kind: TermJump, Then: target})
+		return nil
+	}
+	rest := b.newBlock()
+	b.terminate(Terminator{Kind: TermCondJump, Cond: when, Then: target, Else: rest})
+	b.startBlock(rest)
+	return nil
+}
+
+func labelNote(l string) string {
+	if l == "" {
+		return ""
+	}
+	return fmt.Sprintf(" labeled %q", l)
+}
+
+// pureFuncs lists builtins known to be side-effect free; anything else
+// (volatile builtins, user functions of unknown volatility) makes the
+// containing instruction effectful so dead-code elimination keeps it.
+var pureFuncs = map[string]bool{
+	"abs": true, "sign": true, "floor": true, "ceil": true, "ceiling": true,
+	"round": true, "trunc": true, "sqrt": true, "power": true, "pow": true,
+	"mod": true, "exp": true, "ln": true, "log": true, "pi": true,
+	"length": true, "char_length": true, "lower": true, "upper": true,
+	"substr": true, "substring": true, "left": true, "right": true,
+	"strpos": true, "replace": true, "concat": true, "ascii": true,
+	"chr": true, "repeat": true, "ltrim": true, "rtrim": true, "btrim": true,
+	"trim": true, "reverse": true, "md5hash": true, "coalesce": true,
+	"nullif": true, "greatest": true, "least": true, "coord": true,
+	"coord_x": true, "coord_y": true, "count": true, "sum": true,
+	"avg": true, "min": true, "max": true, "bool_and": true, "bool_or": true,
+	"string_agg": true, "row_number": true, "rank": true, "dense_rank": true,
+	"lag": true, "lead": true, "first_value": true, "last_value": true,
+}
+
+// isEffectful reports whether an expression must be preserved even if its
+// result is unused. sqlast.WalkExpr descends into subqueries, so volatile
+// calls buried in embedded queries are found too.
+func isEffectful(e sqlast.Expr) bool {
+	found := false
+	sqlast.WalkExpr(e, func(x sqlast.Expr) bool {
+		if fc, ok := x.(*sqlast.FuncCall); ok && !pureFuncs[strings.ToLower(fc.Name)] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

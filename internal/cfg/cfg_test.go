@@ -1,0 +1,274 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"plsqlaway/internal/plparser"
+	"plsqlaway/internal/sqlast"
+	"plsqlaway/internal/sqlparser"
+)
+
+func build(t *testing.T, src string) (*Graph, error) {
+	t.Helper()
+	stmt, err := sqlparser.ParseStatement(src)
+	if err != nil {
+		t.Fatalf("sql parse: %v", err)
+	}
+	f, err := plparser.ParseFunction(stmt.(*sqlast.CreateFunction))
+	if err != nil {
+		t.Fatalf("pl parse: %v", err)
+	}
+	return Build(f)
+}
+
+func mustBuild(t *testing.T, src string) *Graph {
+	t.Helper()
+	g, err := build(t, src)
+	if err != nil {
+		t.Fatalf("cfg build: %v", err)
+	}
+	return g
+}
+
+const whileSrc = `CREATE FUNCTION f(n int) RETURNS int AS $$
+DECLARE acc int = 1;
+BEGIN
+  WHILE n > 0 LOOP
+    acc = acc * n;
+    n = n - 1;
+  END LOOP;
+  RETURN acc;
+END;
+$$ LANGUAGE plpgsql`
+
+func TestWhileLowering(t *testing.T) {
+	g := mustBuild(t, whileSrc)
+	// entry, head, body, exit
+	if len(g.Blocks) != 4 {
+		t.Fatalf("blocks: %d\n%s", len(g.Blocks), g.Dump())
+	}
+	head := g.Blocks[1]
+	if head.Term.Kind != TermCondJump {
+		t.Errorf("loop head should cond-jump:\n%s", g.Dump())
+	}
+	body := g.Blocks[head.Term.Then]
+	if body.Term.Kind != TermJump || body.Term.Then != head.ID {
+		t.Errorf("body should jump back to head:\n%s", g.Dump())
+	}
+	exit := g.Blocks[head.Term.Else]
+	if exit.Term.Kind != TermReturn {
+		t.Errorf("exit should return:\n%s", g.Dump())
+	}
+}
+
+func TestDeclInitializationOrder(t *testing.T) {
+	g := mustBuild(t, `CREATE FUNCTION f() RETURNS int AS $$
+DECLARE a int = 1; b int; c int = 2;
+BEGIN RETURN a; END;
+$$ LANGUAGE plpgsql`)
+	entry := g.Blocks[g.Entry]
+	if len(entry.Instrs) != 3 {
+		t.Fatalf("entry instrs: %d", len(entry.Instrs))
+	}
+	if entry.Instrs[0].Var != "a" || entry.Instrs[1].Var != "b" || entry.Instrs[2].Var != "c" {
+		t.Errorf("decl order: %v", entry.Instrs)
+	}
+	if sqlast.DeparseExpr(entry.Instrs[1].Expr) != "NULL" {
+		t.Errorf("uninitialized decl should be NULL, got %s", sqlast.DeparseExpr(entry.Instrs[1].Expr))
+	}
+}
+
+func TestForLoweringEvaluatesBoundsOnce(t *testing.T) {
+	g := mustBuild(t, `CREATE FUNCTION f(n int) RETURNS int AS $$
+DECLARE s int = 0;
+BEGIN
+  FOR i IN 1..n * 2 LOOP
+    s = s + i;
+  END LOOP;
+  RETURN s;
+END;
+$$ LANGUAGE plpgsql`)
+	d := g.Dump()
+	// The bound lands in a temp assigned once, before the loop.
+	if !strings.Contains(d, "to$1 <- n * 2") {
+		t.Errorf("bound temp missing:\n%s", d)
+	}
+	if strings.Count(d, "n * 2") != 1 {
+		t.Errorf("bound should be evaluated once:\n%s", d)
+	}
+}
+
+func TestExitContinueTargets(t *testing.T) {
+	g := mustBuild(t, `CREATE FUNCTION f() RETURNS int AS $$
+DECLARE i int = 0;
+BEGIN
+  LOOP
+    i = i + 1;
+    CONTINUE WHEN i % 2 = 0;
+    EXIT WHEN i > 10;
+  END LOOP;
+  RETURN i;
+END;
+$$ LANGUAGE plpgsql`)
+	// must terminate in a RETURN-reachable graph (no dangling blocks)
+	reach := 0
+	for range g.Blocks {
+		reach++
+	}
+	if reach == 0 {
+		t.Fatal("no blocks")
+	}
+	d := g.Dump()
+	if !strings.Contains(d, "if i % 2 = 0 then goto") {
+		t.Errorf("CONTINUE WHEN lowering missing:\n%s", d)
+	}
+}
+
+func TestLabeledExitCrossesLoops(t *testing.T) {
+	g := mustBuild(t, `CREATE FUNCTION f() RETURNS int AS $$
+DECLARE i int = 0;
+BEGIN
+  <<outer>>
+  LOOP
+    LOOP
+      i = i + 1;
+      EXIT outer WHEN i > 3;
+    END LOOP;
+  END LOOP;
+  RETURN i;
+END;
+$$ LANGUAGE plpgsql`)
+	if g == nil {
+		t.Fatal("nil graph")
+	}
+}
+
+func TestMissingReturnRejected(t *testing.T) {
+	_, err := build(t, `CREATE FUNCTION f(n int) RETURNS int AS $$
+BEGIN
+  IF n > 0 THEN RETURN 1; END IF;
+END;
+$$ LANGUAGE plpgsql`)
+	if err == nil || !strings.Contains(err.Error(), "without RETURN") {
+		t.Errorf("want missing-RETURN error, got %v", err)
+	}
+}
+
+func TestAllPathsReturnAccepted(t *testing.T) {
+	g := mustBuild(t, `CREATE FUNCTION f(n int) RETURNS int AS $$
+BEGIN
+  IF n > 0 THEN RETURN 1; ELSE RETURN 2; END IF;
+END;
+$$ LANGUAGE plpgsql`)
+	if g == nil {
+		t.Fatal("nil graph")
+	}
+}
+
+func TestRaiseExceptionRejected(t *testing.T) {
+	_, err := build(t, `CREATE FUNCTION f() RETURNS int AS $$
+BEGIN
+  RAISE EXCEPTION 'no';
+  RETURN 1;
+END;
+$$ LANGUAGE plpgsql`)
+	if err == nil || !strings.Contains(err.Error(), "RAISE EXCEPTION") {
+		t.Errorf("want rejection, got %v", err)
+	}
+}
+
+func TestRaiseNoticeWarned(t *testing.T) {
+	g := mustBuild(t, `CREATE FUNCTION f() RETURNS int AS $$
+BEGIN
+  RAISE NOTICE 'hi';
+  RETURN 1;
+END;
+$$ LANGUAGE plpgsql`)
+	if len(g.Warnings) != 1 {
+		t.Errorf("warnings: %v", g.Warnings)
+	}
+}
+
+func TestPerformBecomesEffectfulInstr(t *testing.T) {
+	g := mustBuild(t, `CREATE FUNCTION f() RETURNS int AS $$
+BEGIN
+  PERFORM SELECT 1;
+  RETURN 0;
+END;
+$$ LANGUAGE plpgsql`)
+	found := false
+	for _, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			if strings.HasPrefix(in.Var, "perform$") {
+				found = true
+				if !in.Effectful {
+					t.Error("PERFORM instr must be effectful")
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no perform instr:\n%s", g.Dump())
+	}
+}
+
+func TestEffectfulDetection(t *testing.T) {
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"1 + 2", false},
+		{"abs(x)", false},
+		{"random()", true},
+		{"1 + random() * 2", true},
+		{"(SELECT random())", true},
+		{"(SELECT a FROM t)", false},
+		{"myudf(3)", true}, // unknown function: conservative
+	}
+	for _, c := range cases {
+		e, err := sqlparser.ParseExpr(c.expr)
+		if err != nil {
+			t.Fatalf("%s: %v", c.expr, err)
+		}
+		if got := isEffectful(e); got != c.want {
+			t.Errorf("isEffectful(%s) = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestUnreachableCodeAfterReturnDropped(t *testing.T) {
+	g := mustBuild(t, `CREATE FUNCTION f() RETURNS int AS $$
+BEGIN
+  RETURN 1;
+  RETURN 2;
+END;
+$$ LANGUAGE plpgsql`)
+	if strings.Contains(g.Dump(), "return 2") {
+		t.Errorf("unreachable RETURN survived:\n%s", g.Dump())
+	}
+}
+
+func TestAssignToUndeclaredRejected(t *testing.T) {
+	_, err := build(t, `CREATE FUNCTION f() RETURNS int AS $$
+BEGIN
+  nosuch = 1;
+  RETURN 0;
+END;
+$$ LANGUAGE plpgsql`)
+	if err == nil || !strings.Contains(err.Error(), "undeclared") {
+		t.Errorf("want undeclared-variable error, got %v", err)
+	}
+}
+
+func TestPredsSuccs(t *testing.T) {
+	g := mustBuild(t, whileSrc)
+	preds := g.Preds()
+	head := g.Blocks[1]
+	if len(preds[head.ID]) != 2 {
+		t.Errorf("loop head should have 2 preds (entry + back edge), got %d", len(preds[head.ID]))
+	}
+	if n := len(g.Succs(head.ID)); n != 2 {
+		t.Errorf("cond block should have 2 succs, got %d", n)
+	}
+}

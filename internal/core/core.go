@@ -1,0 +1,131 @@
+// Package core drives the paper's full compilation pipeline (Figure 4):
+//
+//	PL/SQL f ─SSA→ goto/φ form ─ANF→ letrec ─UDF→ tail-recursive SQL UDF
+//	         ─SQL→ WITH RECURSIVE query Qf
+//
+// Compile takes the text of a CREATE FUNCTION … LANGUAGE plpgsql statement
+// and yields every intermediate form plus the final pure-SQL query, ready
+// to be installed as a compiled function or inlined into a calling query.
+package core
+
+import (
+	"fmt"
+
+	"plsqlaway/internal/anf"
+	"plsqlaway/internal/cfg"
+	"plsqlaway/internal/plast"
+	"plsqlaway/internal/plparser"
+	"plsqlaway/internal/sqlast"
+	"plsqlaway/internal/sqlgen"
+	"plsqlaway/internal/sqlparser"
+	"plsqlaway/internal/sqltypes"
+	"plsqlaway/internal/ssa"
+	"plsqlaway/internal/udf"
+)
+
+// Options configures a compilation.
+type Options struct {
+	// Dialect selects the emitted SQL surface (Postgres uses LATERAL
+	// chains; SQLite the nested-derived-table rewrite).
+	Dialect udf.Dialect
+	// Iterate emits WITH ITERATE instead of WITH RECURSIVE.
+	Iterate bool
+	// Optimize runs the SSA cleanup passes (on by default via Compile;
+	// ablation A2 switches it off with NoOptimize).
+	NoOptimize bool
+	// ForceCTE keeps the recursive template even for loop-less functions.
+	ForceCTE bool
+}
+
+// Result carries every intermediate form of one compilation.
+type Result struct {
+	Function   *plast.Function
+	CFG        *cfg.Graph
+	SSA        *ssa.Func
+	ANF        *anf.Program
+	UDF        *udf.Definition
+	Query      *sqlast.Query // the final Qf
+	SQL        string        // Deparse(Query)
+	Params     []plast.Param
+	ParamNames []string
+	ReturnType sqltypes.Type
+	Warnings   []string
+}
+
+// Compile parses and compiles a CREATE FUNCTION … LANGUAGE plpgsql
+// statement.
+func Compile(src string, opt Options) (*Result, error) {
+	stmt, err := sqlparser.ParseStatement(src)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	cf, ok := stmt.(*sqlast.CreateFunction)
+	if !ok {
+		return nil, fmt.Errorf("core: expected CREATE FUNCTION, got %T", stmt)
+	}
+	if cf.Language != "plpgsql" {
+		return nil, fmt.Errorf("core: can only compile LANGUAGE plpgsql functions, got %q", cf.Language)
+	}
+	f, err := plparser.ParseFunction(cf)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return CompileFunction(f, opt)
+}
+
+// CompileFunction compiles an already-parsed PL/pgSQL function.
+func CompileFunction(f *plast.Function, opt Options) (*Result, error) {
+	res := &Result{
+		Function:   f,
+		Params:     f.Params,
+		ReturnType: f.ReturnType,
+	}
+	for _, p := range f.Params {
+		res.ParamNames = append(res.ParamNames, p.Name)
+	}
+
+	g, err := cfg.Build(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", f.Name, err)
+	}
+	res.CFG = g
+
+	s, err := ssa.Build(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", f.Name, err)
+	}
+	if !opt.NoOptimize {
+		if err := ssa.Optimize(s); err != nil {
+			return nil, fmt.Errorf("core: %s: optimizer broke SSA: %w", f.Name, err)
+		}
+	}
+	res.SSA = s
+
+	a, err := anf.Build(s)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", f.Name, err)
+	}
+	res.ANF = a
+
+	d, err := udf.Build(a, opt.Dialect)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", f.Name, err)
+	}
+	res.UDF = d
+
+	q, err := sqlgen.Emit(d, sqlgen.Options{Iterate: opt.Iterate, ForceCTE: opt.ForceCTE})
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", f.Name, err)
+	}
+	res.Query = q
+	res.SQL = sqlast.DeparseQuery(q)
+	res.Warnings = d.Warnings
+	return res, nil
+}
+
+// Inline splices this compilation's query into every call site of the
+// function inside q (the paper's "inlined at f's call sites in the
+// embracing query Q").
+func (r *Result) Inline(q *sqlast.Query) *sqlast.Query {
+	return sqlgen.InlineCall(q, r.Function.Name, r.ParamNames, r.Query)
+}

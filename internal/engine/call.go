@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"plsqlaway/internal/catalog"
+	"plsqlaway/internal/exec"
+	"plsqlaway/internal/plan"
+	"plsqlaway/internal/profile"
+	"plsqlaway/internal/sqltypes"
+)
+
+// callFunction is the executor's function-call hook. Its three arms are the
+// paper's three evaluation regimes:
+//
+//   - PL/pgSQL: a Q→f context switch into the statement-by-statement
+//     interpreter, whose embedded queries then pay f→Qi switches;
+//   - LANGUAGE SQL: the body query runs through a fresh executor per call
+//     (one instantiation, no interpreter);
+//   - compiled: identical mechanics to LANGUAGE SQL, but the body is the
+//     pure-SQL WITH RECURSIVE form the compiler emitted — the interpreter
+//     is gone. (Inlining via sqlgen.InlineCall removes even the per-call
+//     instantiation.)
+func (e *Engine) callFunction(f *catalog.Function, args []sqltypes.Value) (sqltypes.Value, error) {
+	if e.callDepth >= e.maxCallDepth {
+		return sqltypes.Null, fmt.Errorf("engine: call stack depth limit (%d) exceeded in %s — recursive UDFs hit stack limits, as the paper warns; use the WITH RECURSIVE form", e.maxCallDepth, f.Name)
+	}
+	e.callDepth++
+	defer func() { e.callDepth-- }()
+
+	// Cast arguments to declared parameter types.
+	cast := make([]sqltypes.Value, len(args))
+	for i, a := range args {
+		v, err := sqltypes.Cast(a, f.Params[i].Type)
+		if err != nil {
+			return sqltypes.Null, fmt.Errorf("engine: %s argument %s: %w", f.Name, f.Params[i].Name, err)
+		}
+		cast[i] = v
+	}
+
+	switch f.Kind {
+	case catalog.FuncPLpgSQL:
+		e.counters.CtxSwitchQF++
+		return e.interp.Call(f.PL, cast)
+
+	case catalog.FuncSQL, catalog.FuncCompiled:
+		return e.callSQLBody(f, cast)
+
+	default:
+		return sqltypes.Null, fmt.Errorf("engine: function %s has unknown kind", f.Name)
+	}
+}
+
+// callSQLBody evaluates a SQL-bodied function: plan cached per function,
+// instantiated per call.
+func (e *Engine) callSQLBody(f *catalog.Function, args []sqltypes.Value) (sqltypes.Value, error) {
+	hook := func(name string) (int, bool) {
+		for i, p := range f.Params {
+			if p.Name == name {
+				return i + 1, true
+			}
+		}
+		return 0, false
+	}
+	tPlan := time.Now()
+	key := "sqlfn:" + f.Name
+	p, err := e.cache.GetByText(key, f.SQLBody, plan.Options{Hook: hook, DisableLateral: e.prof.DisableLateral})
+	e.counters.PlanNS += time.Since(tPlan).Nanoseconds()
+	if err != nil {
+		return sqltypes.Null, err
+	}
+
+	tStart := time.Now()
+	ctx := e.newCtx()
+	ctx.Params = args
+	ex, err := exec.Instantiate(p, ctx)
+	if e.prof.StartPenalty > 0 {
+		profile.Spin(e.prof.StartPenalty * p.NodeCount)
+	}
+	e.counters.ExecStartNS += time.Since(tStart).Nanoseconds()
+	e.counters.ExecutorStarts++
+	if err != nil {
+		return sqltypes.Null, err
+	}
+
+	tRun := time.Now()
+	rows, runErr := ex.Run()
+	e.counters.ExecRunNS += time.Since(tRun).Nanoseconds()
+	e.counters.QueriesRun++
+
+	tEnd := time.Now()
+	ex.Shutdown()
+	e.counters.ExecEndNS += time.Since(tEnd).Nanoseconds()
+
+	if runErr != nil {
+		return sqltypes.Null, runErr
+	}
+	if len(rows) == 0 {
+		return sqltypes.Null, nil
+	}
+	if len(rows) > 1 || len(rows[0]) != 1 {
+		return sqltypes.Null, fmt.Errorf("engine: function %s body returned %d rows × %d cols, expected 1×1", f.Name, len(rows), len(rows[0]))
+	}
+	return sqltypes.Cast(rows[0][0], f.ReturnType)
+}

@@ -1,0 +1,273 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"plsqlaway/internal/plan"
+	"plsqlaway/internal/sqltypes"
+	"plsqlaway/internal/storage"
+)
+
+// aggState accumulates one aggregate over one group.
+type aggState struct {
+	spec     *aggSpecState
+	count    int64
+	sum      sqltypes.Value
+	extreme  sqltypes.Value
+	boolAcc  sqltypes.Value
+	strParts []string
+	distinct map[string]bool
+}
+
+type aggSpecState struct {
+	fn       string
+	arg      *ExprState
+	sep      *ExprState
+	star     bool
+	distinct bool
+}
+
+type aggNode struct {
+	child  Node
+	groups []*ExprState
+	specs  []*aggSpecState
+	out    []storage.Tuple
+	idx    int
+}
+
+func instantiateAgg(x *plan.Agg) (Node, error) {
+	child, err := instantiateNode(x.Child)
+	if err != nil {
+		return nil, err
+	}
+	n := &aggNode{child: child}
+	for _, g := range x.GroupBy {
+		es, err := instantiateExpr(g)
+		if err != nil {
+			return nil, err
+		}
+		n.groups = append(n.groups, es)
+	}
+	for _, a := range x.Aggs {
+		s := &aggSpecState{fn: a.Func, star: a.Star, distinct: a.Distinct}
+		if a.Arg != nil {
+			s.arg, err = instantiateExpr(a.Arg)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if a.Sep != nil {
+			s.sep, err = instantiateExpr(a.Sep)
+			if err != nil {
+				return nil, err
+			}
+		}
+		n.specs = append(n.specs, s)
+	}
+	return n, nil
+}
+
+func newAggState(s *aggSpecState) *aggState {
+	st := &aggState{spec: s, sum: sqltypes.Null, extreme: sqltypes.Null, boolAcc: sqltypes.Null}
+	if s.distinct {
+		st.distinct = make(map[string]bool)
+	}
+	return st
+}
+
+func (st *aggState) accumulate(ctx *Ctx, row storage.Tuple) error {
+	var v sqltypes.Value
+	if st.spec.star {
+		st.count++
+		return nil
+	}
+	v, err := st.spec.arg.Eval(ctx, row)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil // aggregates ignore NULL inputs
+	}
+	if st.distinct != nil {
+		k := tupleKey(storage.Tuple{v})
+		if st.distinct[k] {
+			return nil
+		}
+		st.distinct[k] = true
+	}
+	st.count++
+	switch st.spec.fn {
+	case "count":
+	case "sum", "avg":
+		if st.sum.IsNull() {
+			st.sum = v
+		} else {
+			st.sum, err = sqltypes.Add(st.sum, v)
+			if err != nil {
+				return err
+			}
+		}
+	case "min":
+		if st.extreme.IsNull() {
+			st.extreme = v
+		} else if c, err := sqltypes.Compare(v, st.extreme); err != nil {
+			return err
+		} else if c < 0 {
+			st.extreme = v
+		}
+	case "max":
+		if st.extreme.IsNull() {
+			st.extreme = v
+		} else if c, err := sqltypes.Compare(v, st.extreme); err != nil {
+			return err
+		} else if c > 0 {
+			st.extreme = v
+		}
+	case "bool_and":
+		if v.Kind() != sqltypes.KindBool {
+			return fmt.Errorf("bool_and expects boolean input, got %s", v.Kind())
+		}
+		if st.boolAcc.IsNull() {
+			st.boolAcc = v
+		} else {
+			st.boolAcc = sqltypes.NewBool(st.boolAcc.Bool() && v.Bool())
+		}
+	case "bool_or":
+		if v.Kind() != sqltypes.KindBool {
+			return fmt.Errorf("bool_or expects boolean input, got %s", v.Kind())
+		}
+		if st.boolAcc.IsNull() {
+			st.boolAcc = v
+		} else {
+			st.boolAcc = sqltypes.NewBool(st.boolAcc.Bool() || v.Bool())
+		}
+	case "string_agg":
+		st.strParts = append(st.strParts, v.String())
+	default:
+		return fmt.Errorf("exec: unknown aggregate %s", st.spec.fn)
+	}
+	return nil
+}
+
+func (st *aggState) result(ctx *Ctx, sampleRow storage.Tuple) (sqltypes.Value, error) {
+	switch st.spec.fn {
+	case "count":
+		return sqltypes.NewInt(st.count), nil
+	case "sum":
+		return st.sum, nil
+	case "avg":
+		if st.count == 0 || st.sum.IsNull() {
+			return sqltypes.Null, nil
+		}
+		return sqltypes.NewFloat(st.sum.AsFloat() / float64(st.count)), nil
+	case "min", "max":
+		return st.extreme, nil
+	case "bool_and", "bool_or":
+		return st.boolAcc, nil
+	case "string_agg":
+		if st.count == 0 {
+			return sqltypes.Null, nil
+		}
+		sep := ","
+		if st.spec.sep != nil {
+			sv, err := st.spec.sep.Eval(ctx, sampleRow)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if !sv.IsNull() {
+				sep = sv.String()
+			}
+		}
+		return sqltypes.NewText(strings.Join(st.strParts, sep)), nil
+	}
+	return sqltypes.Null, fmt.Errorf("exec: unknown aggregate %s", st.spec.fn)
+}
+
+func (n *aggNode) Open(ctx *Ctx) error {
+	n.out = nil
+	n.idx = 0
+	if err := n.child.Open(ctx); err != nil {
+		return err
+	}
+	type group struct {
+		keys   storage.Tuple
+		states []*aggState
+		sample storage.Tuple
+	}
+	var order []string
+	groupsByKey := map[string]*group{}
+	for {
+		t, err := n.child.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			break
+		}
+		keys := make(storage.Tuple, len(n.groups))
+		for i, g := range n.groups {
+			keys[i], err = g.Eval(ctx, t)
+			if err != nil {
+				return err
+			}
+		}
+		k := tupleKey(keys)
+		grp, ok := groupsByKey[k]
+		if !ok {
+			grp = &group{keys: keys, sample: t}
+			for _, s := range n.specs {
+				grp.states = append(grp.states, newAggState(s))
+			}
+			groupsByKey[k] = grp
+			order = append(order, k)
+		}
+		for _, st := range grp.states {
+			if err := st.accumulate(ctx, t); err != nil {
+				return err
+			}
+		}
+	}
+	if len(order) == 0 && len(n.groups) == 0 {
+		// Grand aggregate over empty input: one row of defaults.
+		row := make(storage.Tuple, len(n.specs))
+		for i, s := range n.specs {
+			st := newAggState(s)
+			v, err := st.result(ctx, nil)
+			if err != nil {
+				return err
+			}
+			row[i] = v
+		}
+		n.out = append(n.out, row)
+	}
+	for _, k := range order {
+		grp := groupsByKey[k]
+		row := make(storage.Tuple, 0, len(n.groups)+len(n.specs))
+		row = append(row, grp.keys...)
+		for _, st := range grp.states {
+			v, err := st.result(ctx, grp.sample)
+			if err != nil {
+				return err
+			}
+			row = append(row, v)
+		}
+		n.out = append(n.out, row)
+	}
+	return n.child.Close(ctx)
+}
+
+// Rescan recomputes with the current outer bindings; Open is re-callable
+// per the Node contract.
+func (n *aggNode) Rescan(ctx *Ctx) error { return n.Open(ctx) }
+
+func (n *aggNode) Close(ctx *Ctx) error { return nil }
+
+func (n *aggNode) Next(ctx *Ctx) (storage.Tuple, error) {
+	if n.idx >= len(n.out) {
+		return nil, nil
+	}
+	t := n.out[n.idx]
+	n.idx++
+	return t, nil
+}

@@ -1,0 +1,454 @@
+package exec
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+
+	"plsqlaway/internal/sqltypes"
+)
+
+// builtinFn implements one scalar builtin.
+type builtinFn func(ctx *Ctx, args []sqltypes.Value) (sqltypes.Value, error)
+
+// nullOnNullArgs wraps strict functions (NULL in → NULL out).
+func strict(fn builtinFn) builtinFn {
+	return func(ctx *Ctx, args []sqltypes.Value) (sqltypes.Value, error) {
+		for _, a := range args {
+			if a.IsNull() {
+				return sqltypes.Null, nil
+			}
+		}
+		return fn(ctx, args)
+	}
+}
+
+func wantNumeric(v sqltypes.Value) (float64, error) {
+	if !v.IsNumeric() {
+		return 0, fmt.Errorf("expected numeric argument, got %s", v.Kind())
+	}
+	return v.AsFloat(), nil
+}
+
+func wantInt(v sqltypes.Value) (int64, error) {
+	switch v.Kind() {
+	case sqltypes.KindInt:
+		return v.Int(), nil
+	case sqltypes.KindFloat:
+		return int64(v.Float()), nil
+	}
+	return 0, fmt.Errorf("expected integer argument, got %s", v.Kind())
+}
+
+func wantText(v sqltypes.Value) (string, error) {
+	if v.Kind() != sqltypes.KindText {
+		return "", fmt.Errorf("expected text argument, got %s", v.Kind())
+	}
+	return v.Text(), nil
+}
+
+func numeric1(f func(float64) float64) builtinFn {
+	return strict(func(_ *Ctx, args []sqltypes.Value) (sqltypes.Value, error) {
+		x, err := wantNumeric(args[0])
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewFloat(f(x)), nil
+	})
+}
+
+var builtins map[string]builtinFn
+
+func init() {
+	builtins = map[string]builtinFn{
+		"abs": strict(func(_ *Ctx, a []sqltypes.Value) (sqltypes.Value, error) {
+			if a[0].Kind() == sqltypes.KindInt {
+				v := a[0].Int()
+				if v < 0 {
+					v = -v
+				}
+				return sqltypes.NewInt(v), nil
+			}
+			x, err := wantNumeric(a[0])
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			return sqltypes.NewFloat(math.Abs(x)), nil
+		}),
+		"sign": strict(func(_ *Ctx, a []sqltypes.Value) (sqltypes.Value, error) {
+			x, err := wantNumeric(a[0])
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			switch {
+			case x > 0:
+				return sqltypes.NewInt(1), nil
+			case x < 0:
+				return sqltypes.NewInt(-1), nil
+			}
+			return sqltypes.NewInt(0), nil
+		}),
+		"floor":   numeric1(math.Floor),
+		"ceil":    numeric1(math.Ceil),
+		"ceiling": numeric1(math.Ceil),
+		"trunc":   numeric1(math.Trunc),
+		"sqrt": strict(func(_ *Ctx, a []sqltypes.Value) (sqltypes.Value, error) {
+			x, err := wantNumeric(a[0])
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if x < 0 {
+				return sqltypes.Null, fmt.Errorf("cannot take square root of a negative number")
+			}
+			return sqltypes.NewFloat(math.Sqrt(x)), nil
+		}),
+		"exp": numeric1(math.Exp),
+		"ln": strict(func(_ *Ctx, a []sqltypes.Value) (sqltypes.Value, error) {
+			x, err := wantNumeric(a[0])
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if x <= 0 {
+				return sqltypes.Null, fmt.Errorf("cannot take logarithm of a nonpositive number")
+			}
+			return sqltypes.NewFloat(math.Log(x)), nil
+		}),
+		"log": strict(func(_ *Ctx, a []sqltypes.Value) (sqltypes.Value, error) {
+			x, err := wantNumeric(a[len(a)-1])
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			base := 10.0
+			if len(a) == 2 {
+				base, err = wantNumeric(a[0])
+				if err != nil {
+					return sqltypes.Null, err
+				}
+			}
+			if x <= 0 || base <= 0 || base == 1 {
+				return sqltypes.Null, fmt.Errorf("invalid logarithm arguments")
+			}
+			return sqltypes.NewFloat(math.Log(x) / math.Log(base)), nil
+		}),
+		"pi": func(_ *Ctx, _ []sqltypes.Value) (sqltypes.Value, error) {
+			return sqltypes.NewFloat(math.Pi), nil
+		},
+		"round": strict(func(_ *Ctx, a []sqltypes.Value) (sqltypes.Value, error) {
+			x, err := wantNumeric(a[0])
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if len(a) == 1 {
+				return sqltypes.NewFloat(math.Round(x)), nil
+			}
+			d, err := wantInt(a[1])
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			scale := math.Pow(10, float64(d))
+			return sqltypes.NewFloat(math.Round(x*scale) / scale), nil
+		}),
+		"power": powerFn,
+		"pow":   powerFn,
+		"mod": strict(func(_ *Ctx, a []sqltypes.Value) (sqltypes.Value, error) {
+			return sqltypes.Mod(a[0], a[1])
+		}),
+		"random": func(ctx *Ctx, _ []sqltypes.Value) (sqltypes.Value, error) {
+			return sqltypes.NewFloat(ctx.Rand.Float64()), nil
+		},
+		"setseed": strict(func(ctx *Ctx, a []sqltypes.Value) (sqltypes.Value, error) {
+			x, err := wantNumeric(a[0])
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			ctx.Rand.Seed(math.Float64bits(x))
+			return sqltypes.Null, nil
+		}),
+
+		"length":      textLen,
+		"char_length": textLen,
+		"lower":       text1(strings.ToLower),
+		"upper":       text1(strings.ToUpper),
+		"reverse": text1(func(s string) string {
+			r := []rune(s)
+			for i, j := 0, len(r)-1; i < j; i, j = i+1, j-1 {
+				r[i], r[j] = r[j], r[i]
+			}
+			return string(r)
+		}),
+		"substr":    substrFn,
+		"substring": substrFn,
+		"left": strict(func(_ *Ctx, a []sqltypes.Value) (sqltypes.Value, error) {
+			s, err := wantText(a[0])
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			n, err := wantInt(a[1])
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			r := []rune(s)
+			n = clampInt(n, 0, int64(len(r)))
+			return sqltypes.NewText(string(r[:n])), nil
+		}),
+		"right": strict(func(_ *Ctx, a []sqltypes.Value) (sqltypes.Value, error) {
+			s, err := wantText(a[0])
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			n, err := wantInt(a[1])
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			r := []rune(s)
+			n = clampInt(n, 0, int64(len(r)))
+			return sqltypes.NewText(string(r[int64(len(r))-n:])), nil
+		}),
+		"strpos": strict(func(_ *Ctx, a []sqltypes.Value) (sqltypes.Value, error) {
+			s, err := wantText(a[0])
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			sub, err := wantText(a[1])
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			idx := strings.Index(s, sub)
+			if idx < 0 {
+				return sqltypes.NewInt(0), nil
+			}
+			return sqltypes.NewInt(int64(len([]rune(s[:idx])) + 1)), nil
+		}),
+		"replace": strict(func(_ *Ctx, a []sqltypes.Value) (sqltypes.Value, error) {
+			s, err := wantText(a[0])
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			from, err := wantText(a[1])
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			to, err := wantText(a[2])
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			return sqltypes.NewText(strings.ReplaceAll(s, from, to)), nil
+		}),
+		"repeat": strict(func(_ *Ctx, a []sqltypes.Value) (sqltypes.Value, error) {
+			s, err := wantText(a[0])
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			n, err := wantInt(a[1])
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if n < 0 {
+				n = 0
+			}
+			return sqltypes.NewText(strings.Repeat(s, int(n))), nil
+		}),
+		"concat": func(_ *Ctx, a []sqltypes.Value) (sqltypes.Value, error) {
+			var sb strings.Builder
+			for _, v := range a {
+				if !v.IsNull() {
+					sb.WriteString(v.String())
+				}
+			}
+			return sqltypes.NewText(sb.String()), nil
+		},
+		"ascii": strict(func(_ *Ctx, a []sqltypes.Value) (sqltypes.Value, error) {
+			s, err := wantText(a[0])
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if s == "" {
+				return sqltypes.NewInt(0), nil
+			}
+			return sqltypes.NewInt(int64([]rune(s)[0])), nil
+		}),
+		"chr": strict(func(_ *Ctx, a []sqltypes.Value) (sqltypes.Value, error) {
+			n, err := wantInt(a[0])
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			return sqltypes.NewText(string(rune(n))), nil
+		}),
+		"ltrim": trimFn(strings.TrimLeft),
+		"rtrim": trimFn(strings.TrimRight),
+		"btrim": trimFn(strings.Trim),
+		"trim":  trimFn(strings.Trim),
+		"md5hash": strict(func(_ *Ctx, a []sqltypes.Value) (sqltypes.Value, error) {
+			// A stand-in content hash (FNV-based) used by workloads that
+			// need a deterministic scrambling function.
+			s, err := wantText(a[0])
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			h := fnv.New64a()
+			h.Write([]byte(s))
+			return sqltypes.NewText(fmt.Sprintf("%016x", h.Sum64())), nil
+		}),
+
+		"coalesce": func(_ *Ctx, a []sqltypes.Value) (sqltypes.Value, error) {
+			for _, v := range a {
+				if !v.IsNull() {
+					return v, nil
+				}
+			}
+			return sqltypes.Null, nil
+		},
+		"nullif": func(_ *Ctx, a []sqltypes.Value) (sqltypes.Value, error) {
+			eq, _ := sqltypes.Equal(a[0], a[1])
+			if eq {
+				return sqltypes.Null, nil
+			}
+			return a[0], nil
+		},
+		"greatest": extremeFn(1),
+		"least":    extremeFn(-1),
+
+		"coord": strict(func(_ *Ctx, a []sqltypes.Value) (sqltypes.Value, error) {
+			x, err := wantInt(a[0])
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			y, err := wantInt(a[1])
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			return sqltypes.NewCoord(x, y), nil
+		}),
+		"coord_x": coordField(0),
+		"coord_y": coordField(1),
+	}
+}
+
+var powerFn = strict(func(_ *Ctx, a []sqltypes.Value) (sqltypes.Value, error) {
+	x, err := wantNumeric(a[0])
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	y, err := wantNumeric(a[1])
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	return sqltypes.NewFloat(math.Pow(x, y)), nil
+})
+
+var textLen = strict(func(_ *Ctx, a []sqltypes.Value) (sqltypes.Value, error) {
+	s, err := wantText(a[0])
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	return sqltypes.NewInt(int64(len([]rune(s)))), nil
+})
+
+func text1(f func(string) string) builtinFn {
+	return strict(func(_ *Ctx, a []sqltypes.Value) (sqltypes.Value, error) {
+		s, err := wantText(a[0])
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewText(f(s)), nil
+	})
+}
+
+var substrFn = strict(func(_ *Ctx, a []sqltypes.Value) (sqltypes.Value, error) {
+	s, err := wantText(a[0])
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	start, err := wantInt(a[1])
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	r := []rune(s)
+	// PostgreSQL semantics: 1-based start; negative/zero starts shift the
+	// window.
+	length := int64(len(r)) + 1 - start
+	if len(a) == 3 {
+		length, err = wantInt(a[2])
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if length < 0 {
+			return sqltypes.Null, fmt.Errorf("negative substring length not allowed")
+		}
+	}
+	end := start + length // exclusive, 1-based
+	if start < 1 {
+		start = 1
+	}
+	if end > int64(len(r))+1 {
+		end = int64(len(r)) + 1
+	}
+	if end <= start {
+		return sqltypes.NewText(""), nil
+	}
+	return sqltypes.NewText(string(r[start-1 : end-1])), nil
+})
+
+func trimFn(f func(string, string) string) builtinFn {
+	return strict(func(_ *Ctx, a []sqltypes.Value) (sqltypes.Value, error) {
+		s, err := wantText(a[0])
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		cut := " \t\n\r"
+		if len(a) == 2 {
+			cut, err = wantText(a[1])
+			if err != nil {
+				return sqltypes.Null, err
+			}
+		}
+		return sqltypes.NewText(f(s, cut)), nil
+	})
+}
+
+func extremeFn(dir int) builtinFn {
+	return func(_ *Ctx, a []sqltypes.Value) (sqltypes.Value, error) {
+		best := sqltypes.Null
+		for _, v := range a {
+			if v.IsNull() {
+				continue
+			}
+			if best.IsNull() {
+				best = v
+				continue
+			}
+			c, err := sqltypes.Compare(v, best)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if c*dir > 0 {
+				best = v
+			}
+		}
+		return best, nil
+	}
+}
+
+func coordField(i int) builtinFn {
+	return strict(func(_ *Ctx, a []sqltypes.Value) (sqltypes.Value, error) {
+		if a[0].Kind() != sqltypes.KindCoord {
+			return sqltypes.Null, fmt.Errorf("expected coord argument, got %s", a[0].Kind())
+		}
+		x, y := a[0].Coord()
+		if i == 0 {
+			return sqltypes.NewInt(x), nil
+		}
+		return sqltypes.NewInt(y), nil
+	})
+}
+
+func clampInt(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,124 @@
+package exec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"plsqlaway/internal/sqltypes"
+	"plsqlaway/internal/storage"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRand(8)
+	same := true
+	a.Seed(7)
+	for i := 0; i < 10; i++ {
+		if a.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestRandFloatRange(t *testing.T) {
+	r := NewRand(42)
+	f := func(_ uint8) bool {
+		v := r.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10_000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandZeroSeedRemapped(t *testing.T) {
+	r := NewRand(0)
+	if r.Next() == 0 {
+		t.Error("zero seed must be remapped (xorshift fixpoint)")
+	}
+}
+
+func TestRandIntn(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	if r.Intn(0) != 0 || r.Intn(-5) != 0 {
+		t.Error("Intn of non-positive n should be 0")
+	}
+}
+
+func TestTupleKeyConsistentWithIdentical(t *testing.T) {
+	pairs := [][2]storage.Tuple{
+		{{sqltypes.NewInt(3)}, {sqltypes.NewFloat(3)}},
+		{{sqltypes.NewFloat(0)}, {sqltypes.NewFloat(math.Copysign(0, -1))}},
+		{{sqltypes.NewCoord(1, 2)}, {sqltypes.NewRow([]sqltypes.Value{sqltypes.NewInt(1), sqltypes.NewInt(2)})}},
+		{{sqltypes.Null, sqltypes.NewText("a")}, {sqltypes.Null, sqltypes.NewText("a")}},
+	}
+	for _, p := range pairs {
+		if tupleKey(p[0]) != tupleKey(p[1]) {
+			t.Errorf("tupleKey(%v) != tupleKey(%v) though Identical", p[0], p[1])
+		}
+	}
+	if tupleKey(storage.Tuple{sqltypes.NewInt(1)}) == tupleKey(storage.Tuple{sqltypes.NewInt(2)}) {
+		t.Error("distinct tuples must not collide trivially")
+	}
+	if tupleKey(storage.Tuple{sqltypes.Null}) == tupleKey(storage.Tuple{sqltypes.NewInt(0)}) {
+		t.Error("NULL must differ from 0")
+	}
+}
+
+func TestOuterStackDiscipline(t *testing.T) {
+	ctx := NewCtx()
+	r1 := storage.Tuple{sqltypes.NewInt(1)}
+	r2 := storage.Tuple{sqltypes.NewInt(2)}
+	ctx.pushOuter(r1)
+	ctx.pushOuter(r2)
+	top, err := ctx.outerAt(0)
+	if err != nil || top[0].Int() != 2 {
+		t.Errorf("depth 0 = %v (%v)", top, err)
+	}
+	below, err := ctx.outerAt(1)
+	if err != nil || below[0].Int() != 1 {
+		t.Errorf("depth 1 = %v (%v)", below, err)
+	}
+	if _, err := ctx.outerAt(2); err == nil {
+		t.Error("depth beyond stack must error")
+	}
+	ctx.popOuter()
+	if got, _ := ctx.outerAt(0); got[0].Int() != 1 {
+		t.Error("pop broken")
+	}
+}
+
+func TestConcatAndNullTuple(t *testing.T) {
+	a := storage.Tuple{sqltypes.NewInt(1)}
+	b := storage.Tuple{sqltypes.NewInt(2), sqltypes.NewInt(3)}
+	c := concatTuples(a, b)
+	if len(c) != 3 || c[2].Int() != 3 {
+		t.Errorf("concat: %v", c)
+	}
+	// concat must not alias its inputs' backing arrays
+	c[0] = sqltypes.NewInt(99)
+	if a[0].Int() != 1 {
+		t.Error("concat aliased input")
+	}
+	n := nullTuple(3)
+	for _, v := range n {
+		if !v.IsNull() {
+			t.Errorf("nullTuple: %v", n)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package exec
+
+import (
+	"plsqlaway/internal/plan"
+	"plsqlaway/internal/storage"
+)
+
+// Executor is the instantiated runtime state of one plan — PostgreSQL's
+// QueryDesc/EState. Creating it (Instantiate) plus Open is the engine's
+// ExecutorStart; pulling rows is ExecutorRun; Shutdown is ExecutorEnd.
+type Executor struct {
+	Plan *plan.Plan
+	root Node
+	ctx  *Ctx
+}
+
+// Instantiate builds executor state from a (cached) plan. Like
+// PostgreSQL's plan cache + ExecutorStart, it first deep-copies the plan
+// tree (the cached original must stay pristine) and then allocates the
+// executor-node tree — the per-call work the paper's Figure 3 profiles as
+// f→Qi context-switch overhead.
+func Instantiate(p *plan.Plan, ctx *Ctx) (*Executor, error) {
+	pc := p.Clone()
+	root, err := instantiateNode(pc.Root)
+	if err != nil {
+		return nil, err
+	}
+	defs := make([]Node, len(pc.CTEs))
+	for i, cte := range pc.CTEs {
+		if cte.Plan == nil {
+			continue
+		}
+		defs[i], err = instantiateNode(cte.Plan)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ctx.cteDefs = defs
+	if len(ctx.cteStores) < len(p.CTEs) {
+		ctx.cteStores = make([]*storage.TupleStore, len(p.CTEs))
+		ctx.cteWorking = make([][]storage.Tuple, len(p.CTEs))
+	}
+	return &Executor{Plan: p, root: root, ctx: ctx}, nil
+}
+
+// Ctx exposes the execution context (the engine wires hooks through it).
+func (e *Executor) Ctx() *Ctx { return e.ctx }
+
+// Open prepares the plan for scanning.
+func (e *Executor) Open() error { return e.root.Open(e.ctx) }
+
+// Next pulls one row (nil at EOF).
+func (e *Executor) Next() (storage.Tuple, error) { return e.root.Next(e.ctx) }
+
+// Rescan resets the plan for re-execution with the same instantiation.
+func (e *Executor) Rescan() error { return e.root.Rescan(e.ctx) }
+
+// Run opens the plan and pulls every row.
+func (e *Executor) Run() ([]storage.Tuple, error) {
+	if err := e.Open(); err != nil {
+		return nil, err
+	}
+	var out []storage.Tuple
+	for {
+		t, err := e.Next()
+		if err != nil {
+			return out, err
+		}
+		if t == nil {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}
+
+// Shutdown closes the node tree, releases CTE spill files, and tears down
+// the executor state tree (ExecutorEnd: PostgreSQL frees the per-query
+// memory context here — we walk the tree releasing references so the
+// garbage collector can reclaim it immediately).
+func (e *Executor) Shutdown() {
+	e.root.Close(e.ctx)
+	e.ctx.releaseStores()
+	teardown(e.root)
+	for _, d := range e.ctx.cteDefs {
+		if d != nil {
+			teardown(d)
+		}
+	}
+	e.root = nil
+	e.ctx.cteDefs = nil
+}
+
+// teardown recursively clears node state.
+func teardown(n Node) {
+	switch x := n.(type) {
+	case *filterNode:
+		teardown(x.child)
+		x.child, x.pred = nil, nil
+	case *projectNode:
+		teardown(x.child)
+		x.child, x.exprs = nil, nil
+	case *nestLoopNode:
+		teardown(x.left)
+		teardown(x.right)
+		x.left, x.right, x.on, x.leftRow = nil, nil, nil, nil
+	case *materializeNode:
+		teardown(x.child)
+		x.child, x.rows = nil, nil
+	case *aggNode:
+		teardown(x.child)
+		x.child, x.out, x.groups, x.specs = nil, nil, nil, nil
+	case *windowNode:
+		teardown(x.child)
+		x.child, x.out, x.funcs = nil, nil, nil
+	case *sortNode:
+		teardown(x.child)
+		x.child, x.rows, x.keys = nil, nil, nil
+	case *limitNode:
+		teardown(x.child)
+		x.child, x.limit, x.offset = nil, nil, nil
+	case *distinctNode:
+		teardown(x.child)
+		x.child, x.seen = nil, nil
+	case *appendNode:
+		for i, c := range x.children {
+			teardown(c)
+			x.children[i] = nil
+		}
+	case *setOpNode:
+		teardown(x.left)
+		teardown(x.right)
+		x.left, x.right, x.out = nil, nil, nil
+	case *valuesNode:
+		x.rows = nil
+	case *recursiveUnionNode:
+		teardown(x.nonRec)
+		teardown(x.rec)
+		x.nonRec, x.rec, x.batch, x.working, x.seen = nil, nil, nil, nil, nil
+	case *withNode:
+		teardown(x.child)
+		x.child = nil
+	case *seqScanNode:
+		x.rows = nil
+	case *indexScanNode:
+		x.rows, x.hits, x.key = nil, nil, nil
+	case *cteScanNode:
+		x.iter, x.rows = nil, nil
+	case *resultNode:
+		x.exprs = nil
+	}
+}

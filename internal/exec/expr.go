@@ -1,0 +1,527 @@
+package exec
+
+import (
+	"fmt"
+
+	"plsqlaway/internal/catalog"
+	"plsqlaway/internal/plan"
+	"plsqlaway/internal/sqltypes"
+	"plsqlaway/internal/storage"
+)
+
+// exprKind discriminates instantiated expression nodes.
+type exprKind uint8
+
+const (
+	kConst exprKind = iota
+	kInput
+	kOuter
+	kParam
+	kBin
+	kUnary
+	kIsNull
+	kBetween
+	kInList
+	kCase
+	kFunc
+	kCast
+	kRow
+	kField
+	kSubplan
+	kUDF
+)
+
+// ExprState is an instantiated expression: the runtime twin of plan.Expr.
+// Building this tree is part of ExecutorStart — exactly the per-call
+// allocation work the paper's compilation removes from the hot loop.
+type ExprState struct {
+	kind exprKind
+
+	val     sqltypes.Value // kConst
+	idx     int            // kInput, kOuter, kField (positional), kParam (ordinal)
+	depth   int            // kOuter
+	op      string         // kBin, kUnary, kField (named field)
+	kids    []*ExprState   // operands / args / CASE [operand?, cond1, res1, cond2, res2, …]
+	elseK   *ExprState     // kCase
+	hasOp   bool           // kCase has operand
+	negate  bool           // kIsNull, kBetween, kInList, kSubplan
+	builtin builtinFn      // kFunc
+	name    string         // kFunc (diagnostics)
+	typ     sqltypes.Type  // kCast
+
+	sub     Node // kSubplan: instantiated subplan
+	subMode plan.SubplanMode
+	subCmp  *ExprState // kSubplan IN: left-hand value
+
+	fn *catalog.Function // kUDF
+}
+
+// InstantiateExpr builds the runtime tree for a standalone compiled
+// expression (the interpreter's fast path uses it directly).
+func InstantiateExpr(e plan.Expr) (*ExprState, error) { return instantiateExpr(e) }
+
+// instantiateExpr builds the runtime tree for e.
+func instantiateExpr(e plan.Expr) (*ExprState, error) {
+	switch x := e.(type) {
+	case *plan.Const:
+		return &ExprState{kind: kConst, val: x.Val}, nil
+	case *plan.InputRef:
+		return &ExprState{kind: kInput, idx: x.Idx}, nil
+	case *plan.OuterRef:
+		return &ExprState{kind: kOuter, idx: x.Idx, depth: x.Depth}, nil
+	case *plan.ParamRef:
+		return &ExprState{kind: kParam, idx: x.Ordinal}, nil
+	case *plan.BinOp:
+		l, err := instantiateExpr(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := instantiateExpr(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return &ExprState{kind: kBin, op: x.Op, kids: []*ExprState{l, r}}, nil
+	case *plan.UnaryOp:
+		k, err := instantiateExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return &ExprState{kind: kUnary, op: x.Op, kids: []*ExprState{k}}, nil
+	case *plan.IsNullExpr:
+		k, err := instantiateExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return &ExprState{kind: kIsNull, negate: x.Negate, kids: []*ExprState{k}}, nil
+	case *plan.BetweenExpr:
+		ks, err := instantiateAll(x.X, x.Lo, x.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return &ExprState{kind: kBetween, negate: x.Negate, kids: ks}, nil
+	case *plan.InListExpr:
+		ks, err := instantiateAll(append([]plan.Expr{x.X}, x.List...)...)
+		if err != nil {
+			return nil, err
+		}
+		return &ExprState{kind: kInList, negate: x.Negate, kids: ks}, nil
+	case *plan.CaseExpr:
+		st := &ExprState{kind: kCase}
+		if x.Operand != nil {
+			op, err := instantiateExpr(x.Operand)
+			if err != nil {
+				return nil, err
+			}
+			st.kids = append(st.kids, op)
+			st.hasOp = true
+		}
+		for _, w := range x.Whens {
+			c, err := instantiateExpr(w.Cond)
+			if err != nil {
+				return nil, err
+			}
+			r, err := instantiateExpr(w.Result)
+			if err != nil {
+				return nil, err
+			}
+			st.kids = append(st.kids, c, r)
+		}
+		if x.Else != nil {
+			e, err := instantiateExpr(x.Else)
+			if err != nil {
+				return nil, err
+			}
+			st.elseK = e
+		}
+		return st, nil
+	case *plan.FuncExpr:
+		ks, err := instantiateAll(x.Args...)
+		if err != nil {
+			return nil, err
+		}
+		fn, ok := builtins[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("exec: builtin %q not implemented", x.Name)
+		}
+		return &ExprState{kind: kFunc, name: x.Name, builtin: fn, kids: ks}, nil
+	case *plan.CastExpr:
+		k, err := instantiateExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return &ExprState{kind: kCast, typ: x.Type, kids: []*ExprState{k}}, nil
+	case *plan.RowCtor:
+		ks, err := instantiateAll(x.Fields...)
+		if err != nil {
+			return nil, err
+		}
+		return &ExprState{kind: kRow, kids: ks}, nil
+	case *plan.FieldSel:
+		k, err := instantiateExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return &ExprState{kind: kField, idx: x.Index, op: x.Name, kids: []*ExprState{k}}, nil
+	case *plan.SubplanExpr:
+		sub, err := instantiateNode(x.Plan)
+		if err != nil {
+			return nil, err
+		}
+		st := &ExprState{kind: kSubplan, sub: sub, subMode: x.Mode, negate: x.Negate}
+		if x.CompareX != nil {
+			cmp, err := instantiateExpr(x.CompareX)
+			if err != nil {
+				return nil, err
+			}
+			st.subCmp = cmp
+		}
+		return st, nil
+	case *plan.UDFCallExpr:
+		ks, err := instantiateAll(x.Args...)
+		if err != nil {
+			return nil, err
+		}
+		return &ExprState{kind: kUDF, fn: x.Func, kids: ks}, nil
+	default:
+		return nil, fmt.Errorf("exec: cannot instantiate expression %T", e)
+	}
+}
+
+func instantiateAll(es ...plan.Expr) ([]*ExprState, error) {
+	out := make([]*ExprState, len(es))
+	for i, e := range es {
+		var err error
+		out[i], err = instantiateExpr(e)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Eval evaluates the expression for the given input row.
+func (es *ExprState) Eval(ctx *Ctx, row storage.Tuple) (sqltypes.Value, error) {
+	switch es.kind {
+	case kConst:
+		return es.val, nil
+	case kInput:
+		if es.idx >= len(row) {
+			return sqltypes.Null, fmt.Errorf("exec: input column %d out of range (row width %d)", es.idx, len(row))
+		}
+		return row[es.idx], nil
+	case kOuter:
+		t, err := ctx.outerAt(es.depth)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if es.idx >= len(t) {
+			return sqltypes.Null, fmt.Errorf("exec: outer column %d out of range (row width %d)", es.idx, len(t))
+		}
+		return t[es.idx], nil
+	case kParam:
+		if es.idx < 1 || es.idx > len(ctx.Params) {
+			return sqltypes.Null, fmt.Errorf("exec: no value for parameter $%d", es.idx)
+		}
+		return ctx.Params[es.idx-1], nil
+	case kBin:
+		return es.evalBinary(ctx, row)
+	case kUnary:
+		x, err := es.kids[0].Eval(ctx, row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if es.op == "NOT" {
+			return sqltypes.Not(x)
+		}
+		return sqltypes.Neg(x)
+	case kIsNull:
+		x, err := es.kids[0].Eval(ctx, row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewBool(x.IsNull() != es.negate), nil
+	case kBetween:
+		x, err := es.kids[0].Eval(ctx, row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		lo, err := es.kids[1].Eval(ctx, row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		hi, err := es.kids[2].Eval(ctx, row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		ge, err := sqltypes.CompareOp(">=", x, lo)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		le, err := sqltypes.CompareOp("<=", x, hi)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		res, err := sqltypes.And(ge, le)
+		if err != nil || !es.negate {
+			return res, err
+		}
+		return sqltypes.Not(res)
+	case kInList:
+		return es.evalInList(ctx, row)
+	case kCase:
+		return es.evalCase(ctx, row)
+	case kFunc:
+		args := make([]sqltypes.Value, len(es.kids))
+		for i, k := range es.kids {
+			var err error
+			args[i], err = k.Eval(ctx, row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+		}
+		v, err := es.builtin(ctx, args)
+		if err != nil {
+			return sqltypes.Null, fmt.Errorf("%s: %w", es.name, err)
+		}
+		return v, nil
+	case kCast:
+		x, err := es.kids[0].Eval(ctx, row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return sqltypes.Cast(x, es.typ)
+	case kRow:
+		fields := make([]sqltypes.Value, len(es.kids))
+		for i, k := range es.kids {
+			var err error
+			fields[i], err = k.Eval(ctx, row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+		}
+		return sqltypes.NewRow(fields), nil
+	case kField:
+		x, err := es.kids[0].Eval(ctx, row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return fieldOf(x, es.idx, es.op)
+	case kSubplan:
+		return es.evalSubplan(ctx, row)
+	case kUDF:
+		args := make([]sqltypes.Value, len(es.kids))
+		for i, k := range es.kids {
+			var err error
+			args[i], err = k.Eval(ctx, row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+		}
+		if ctx.CallFn == nil {
+			return sqltypes.Null, fmt.Errorf("exec: no function-call hook installed for %s", es.fn.Name)
+		}
+		if ctx.CallDepth >= ctx.MaxCallDepth {
+			return sqltypes.Null, fmt.Errorf("exec: call stack depth limit (%d) exceeded in %s", ctx.MaxCallDepth, es.fn.Name)
+		}
+		ctx.CallDepth++
+		v, err := ctx.CallFn(es.fn, args)
+		ctx.CallDepth--
+		return v, err
+	default:
+		return sqltypes.Null, fmt.Errorf("exec: bad expression kind %d", es.kind)
+	}
+}
+
+func (es *ExprState) evalBinary(ctx *Ctx, row storage.Tuple) (sqltypes.Value, error) {
+	// AND/OR could short-circuit; full evaluation keeps SQL's symmetric
+	// semantics simple and our workloads cheap. Arithmetic and comparisons
+	// evaluate both sides anyway.
+	l, err := es.kids[0].Eval(ctx, row)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	// Short-circuit AND/OR on the left operand where three-valued logic
+	// allows it (avoids needless subplan evaluation).
+	switch es.op {
+	case "AND":
+		if l.Kind() == sqltypes.KindBool && !l.Bool() {
+			return sqltypes.NewBool(false), nil
+		}
+	case "OR":
+		if l.Kind() == sqltypes.KindBool && l.Bool() {
+			return sqltypes.NewBool(true), nil
+		}
+	}
+	r, err := es.kids[1].Eval(ctx, row)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	switch es.op {
+	case "+":
+		return sqltypes.Add(l, r)
+	case "-":
+		return sqltypes.Sub(l, r)
+	case "*":
+		return sqltypes.Mul(l, r)
+	case "/":
+		return sqltypes.Div(l, r)
+	case "%":
+		return sqltypes.Mod(l, r)
+	case "||":
+		return sqltypes.Concat(l, r)
+	case "AND":
+		return sqltypes.And(l, r)
+	case "OR":
+		return sqltypes.Or(l, r)
+	default:
+		return sqltypes.CompareOp(es.op, l, r)
+	}
+}
+
+func (es *ExprState) evalInList(ctx *Ctx, row storage.Tuple) (sqltypes.Value, error) {
+	x, err := es.kids[0].Eval(ctx, row)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	anyNull := false
+	for _, k := range es.kids[1:] {
+		v, err := k.Eval(ctx, row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		eq, null := sqltypes.Equal(x, v)
+		if null {
+			anyNull = true
+			continue
+		}
+		if eq {
+			return sqltypes.NewBool(!es.negate), nil
+		}
+	}
+	if anyNull {
+		return sqltypes.Null, nil
+	}
+	return sqltypes.NewBool(es.negate), nil
+}
+
+func (es *ExprState) evalCase(ctx *Ctx, row storage.Tuple) (sqltypes.Value, error) {
+	arms := es.kids
+	var operand sqltypes.Value
+	if es.hasOp {
+		var err error
+		operand, err = arms[0].Eval(ctx, row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		arms = arms[1:]
+	}
+	for i := 0; i+1 < len(arms); i += 2 {
+		cond, err := arms[i].Eval(ctx, row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		var hit bool
+		if es.hasOp {
+			eq, _ := sqltypes.Equal(operand, cond)
+			hit = eq
+		} else {
+			hit = cond.IsTrue()
+		}
+		if hit {
+			return arms[i+1].Eval(ctx, row)
+		}
+	}
+	if es.elseK != nil {
+		return es.elseK.Eval(ctx, row)
+	}
+	return sqltypes.Null, nil
+}
+
+func (es *ExprState) evalSubplan(ctx *Ctx, row storage.Tuple) (sqltypes.Value, error) {
+	var cmp sqltypes.Value
+	if es.subCmp != nil {
+		var err error
+		cmp, err = es.subCmp.Eval(ctx, row)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+	}
+	ctx.pushOuter(row)
+	defer ctx.popOuter()
+	if err := es.sub.Open(ctx); err != nil {
+		return sqltypes.Null, err
+	}
+	defer es.sub.Close(ctx)
+
+	switch es.subMode {
+	case plan.SubplanScalar:
+		t, err := es.sub.Next(ctx)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if t == nil {
+			return sqltypes.Null, nil
+		}
+		extra, err := es.sub.Next(ctx)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if extra != nil {
+			return sqltypes.Null, fmt.Errorf("exec: more than one row returned by a subquery used as an expression")
+		}
+		return t[0], nil
+	case plan.SubplanExists:
+		t, err := es.sub.Next(ctx)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewBool((t != nil) != es.negate), nil
+	case plan.SubplanIn:
+		anyNull := false
+		for {
+			t, err := es.sub.Next(ctx)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if t == nil {
+				break
+			}
+			eq, null := sqltypes.Equal(cmp, t[0])
+			if null {
+				anyNull = true
+				continue
+			}
+			if eq {
+				return sqltypes.NewBool(!es.negate), nil
+			}
+		}
+		if anyNull {
+			return sqltypes.Null, nil
+		}
+		return sqltypes.NewBool(es.negate), nil
+	}
+	return sqltypes.Null, fmt.Errorf("exec: bad subplan mode %d", es.subMode)
+}
+
+func fieldOf(x sqltypes.Value, idx int, name string) (sqltypes.Value, error) {
+	if x.IsNull() {
+		return sqltypes.Null, nil
+	}
+	if idx >= 0 {
+		if x.NumFields() == 0 {
+			return sqltypes.Null, fmt.Errorf("exec: field access on non-row value %s", x.Kind())
+		}
+		if idx >= x.NumFields() {
+			return sqltypes.Null, fmt.Errorf("exec: field f%d out of range for %d-field row", idx+1, x.NumFields())
+		}
+		return x.Field(idx), nil
+	}
+	if x.Kind() != sqltypes.KindCoord {
+		return sqltypes.Null, fmt.Errorf("exec: named field %q requires a coord value, got %s", name, x.Kind())
+	}
+	cx, cy := x.Coord()
+	if name == "x" {
+		return sqltypes.NewInt(cx), nil
+	}
+	return sqltypes.NewInt(cy), nil
+}

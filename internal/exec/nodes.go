@@ -1,0 +1,856 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"plsqlaway/internal/catalog"
+	"plsqlaway/internal/plan"
+	"plsqlaway/internal/sqltypes"
+	"plsqlaway/internal/storage"
+)
+
+// Node is an instantiated plan operator. Open prepares scanning from the
+// start (re-callable), Next streams tuples (nil at EOF), Rescan resets
+// cheaply for lateral re-execution, Close releases per-open resources.
+type Node interface {
+	Open(ctx *Ctx) error
+	Next(ctx *Ctx) (storage.Tuple, error)
+	Rescan(ctx *Ctx) error
+	Close(ctx *Ctx) error
+}
+
+// instantiateNode builds the runtime tree for a plan node. The allocations
+// this performs are the ExecutorStart cost the paper's Table 1 profiles.
+func instantiateNode(p plan.Node) (Node, error) {
+	switch x := p.(type) {
+	case *plan.Result:
+		exprs, err := instantiateAll(x.Exprs...)
+		if err != nil {
+			return nil, err
+		}
+		return &resultNode{exprs: exprs}, nil
+	case *plan.SeqScan:
+		return &seqScanNode{table: x.Table}, nil
+	case *plan.IndexScan:
+		key, err := instantiateExpr(x.Key)
+		if err != nil {
+			return nil, err
+		}
+		return &indexScanNode{table: x.Table, col: x.Col, key: key}, nil
+	case *plan.CTEScan:
+		return &cteScanNode{index: x.Index, working: x.Working}, nil
+	case *plan.Filter:
+		child, err := instantiateNode(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := instantiateExpr(x.Pred)
+		if err != nil {
+			return nil, err
+		}
+		return &filterNode{child: child, pred: pred}, nil
+	case *plan.Project:
+		child, err := instantiateNode(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		exprs, err := instantiateAll(x.Exprs...)
+		if err != nil {
+			return nil, err
+		}
+		return &projectNode{child: child, exprs: exprs}, nil
+	case *plan.NestLoop:
+		l, err := instantiateNode(x.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := instantiateNode(x.Right)
+		if err != nil {
+			return nil, err
+		}
+		n := &nestLoopNode{left: l, right: r, kind: x.Kind, rightWidth: x.Right.Width()}
+		if x.On != nil {
+			n.on, err = instantiateExpr(x.On)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return n, nil
+	case *plan.Materialize:
+		child, err := instantiateNode(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &materializeNode{child: child}, nil
+	case *plan.Agg:
+		return instantiateAgg(x)
+	case *plan.Window:
+		return instantiateWindow(x)
+	case *plan.Sort:
+		child, err := instantiateNode(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		keys, err := instantiateSortKeys(x.Keys)
+		if err != nil {
+			return nil, err
+		}
+		return &sortNode{child: child, keys: keys}, nil
+	case *plan.Limit:
+		child, err := instantiateNode(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		n := &limitNode{child: child}
+		if x.Limit != nil {
+			n.limit, err = instantiateExpr(x.Limit)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if x.Offset != nil {
+			n.offset, err = instantiateExpr(x.Offset)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return n, nil
+	case *plan.Distinct:
+		child, err := instantiateNode(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &distinctNode{child: child}, nil
+	case *plan.Append:
+		n := &appendNode{}
+		for _, c := range x.Children {
+			cn, err := instantiateNode(c)
+			if err != nil {
+				return nil, err
+			}
+			n.children = append(n.children, cn)
+		}
+		return n, nil
+	case *plan.SetOp:
+		l, err := instantiateNode(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := instantiateNode(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return &setOpNode{op: x.Op, all: x.All, left: l, right: r}, nil
+	case *plan.ValuesNode:
+		n := &valuesNode{}
+		for _, row := range x.Rows {
+			es, err := instantiateAll(row...)
+			if err != nil {
+				return nil, err
+			}
+			n.rows = append(n.rows, es)
+		}
+		return n, nil
+	case *plan.RecursiveUnion:
+		nonRec, err := instantiateNode(x.NonRec)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := instantiateNode(x.Rec)
+		if err != nil {
+			return nil, err
+		}
+		return &recursiveUnionNode{nonRec: nonRec, rec: rec, cteIndex: x.CTEIndex, iterate: x.Iterate, dedup: x.Dedup}, nil
+	case *plan.WithNode:
+		child, err := instantiateNode(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &withNode{indices: x.Indices, child: child}, nil
+	default:
+		return nil, fmt.Errorf("exec: cannot instantiate plan node %T", p)
+	}
+}
+
+func instantiateSortKeys(keys []plan.SortKey) ([]sortKeyState, error) {
+	out := make([]sortKeyState, len(keys))
+	for i, k := range keys {
+		es, err := instantiateExpr(k.Expr)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sortKeyState{expr: es, desc: k.Desc}
+	}
+	return out, nil
+}
+
+type sortKeyState struct {
+	expr *ExprState
+	desc bool
+}
+
+// compareKeyValues orders values with NULLS LAST ascending (PostgreSQL
+// default) and NULLS FIRST descending.
+func compareKeyValues(a, b sqltypes.Value, desc bool) int {
+	an, bn := a.IsNull(), b.IsNull()
+	if an || bn {
+		switch {
+		case an && bn:
+			return 0
+		case an:
+			if desc {
+				return -1
+			}
+			return 1
+		default:
+			if desc {
+				return 1
+			}
+			return -1
+		}
+	}
+	c, err := sqltypes.Compare(a, b)
+	if err != nil {
+		return 0
+	}
+	if desc {
+		return -c
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------------
+// result / scans / filter / project
+// ---------------------------------------------------------------------------
+
+type resultNode struct {
+	exprs []*ExprState
+	done  bool
+}
+
+func (n *resultNode) Open(ctx *Ctx) error   { n.done = false; return nil }
+func (n *resultNode) Rescan(ctx *Ctx) error { n.done = false; return nil }
+func (n *resultNode) Close(ctx *Ctx) error  { return nil }
+func (n *resultNode) Next(ctx *Ctx) (storage.Tuple, error) {
+	if n.done {
+		return nil, nil
+	}
+	n.done = true
+	row := make(storage.Tuple, len(n.exprs))
+	for i, e := range n.exprs {
+		v, err := e.Eval(ctx, nil)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+type seqScanNode struct {
+	table *catalog.Table
+	rows  []storage.Tuple
+	idx   int
+}
+
+func (n *seqScanNode) Open(ctx *Ctx) error {
+	rows, err := n.table.Heap.Rows()
+	if err != nil {
+		return err
+	}
+	n.rows = rows
+	n.idx = 0
+	return nil
+}
+
+func (n *seqScanNode) Rescan(ctx *Ctx) error { n.idx = 0; return nil }
+func (n *seqScanNode) Close(ctx *Ctx) error  { return nil }
+func (n *seqScanNode) Next(ctx *Ctx) (storage.Tuple, error) {
+	if n.idx >= len(n.rows) {
+		return nil, nil
+	}
+	t := n.rows[n.idx]
+	n.idx++
+	return t, nil
+}
+
+// indexScanNode probes a declared hash index: the key expression is
+// evaluated once per (re)scan against the current outer bindings.
+type indexScanNode struct {
+	table *catalog.Table
+	col   int
+	key   *ExprState
+	rows  []storage.Tuple
+	hits  []int
+	idx   int
+}
+
+func (n *indexScanNode) Open(ctx *Ctx) error { return n.Rescan(ctx) }
+
+func (n *indexScanNode) Rescan(ctx *Ctx) error {
+	n.idx = 0
+	k, err := n.key.Eval(ctx, nil)
+	if err != nil {
+		return err
+	}
+	index, ok := n.table.IndexOn(n.col)
+	if !ok {
+		return fmt.Errorf("exec: no index on %s column %d", n.table.Name, n.col)
+	}
+	n.hits, n.rows, err = index.Probe(n.table, k)
+	return err
+}
+
+func (n *indexScanNode) Close(ctx *Ctx) error { return nil }
+func (n *indexScanNode) Next(ctx *Ctx) (storage.Tuple, error) {
+	if n.idx >= len(n.hits) {
+		return nil, nil
+	}
+	t := n.rows[n.hits[n.idx]]
+	n.idx++
+	return t, nil
+}
+
+type filterNode struct {
+	child Node
+	pred  *ExprState
+}
+
+func (n *filterNode) Open(ctx *Ctx) error   { return n.child.Open(ctx) }
+func (n *filterNode) Rescan(ctx *Ctx) error { return n.child.Rescan(ctx) }
+func (n *filterNode) Close(ctx *Ctx) error  { return n.child.Close(ctx) }
+func (n *filterNode) Next(ctx *Ctx) (storage.Tuple, error) {
+	for {
+		t, err := n.child.Next(ctx)
+		if err != nil || t == nil {
+			return nil, err
+		}
+		v, err := n.pred.Eval(ctx, t)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsTrue() {
+			return t, nil
+		}
+	}
+}
+
+type projectNode struct {
+	child Node
+	exprs []*ExprState
+}
+
+func (n *projectNode) Open(ctx *Ctx) error   { return n.child.Open(ctx) }
+func (n *projectNode) Rescan(ctx *Ctx) error { return n.child.Rescan(ctx) }
+func (n *projectNode) Close(ctx *Ctx) error  { return n.child.Close(ctx) }
+func (n *projectNode) Next(ctx *Ctx) (storage.Tuple, error) {
+	t, err := n.child.Next(ctx)
+	if err != nil || t == nil {
+		return nil, err
+	}
+	out := make(storage.Tuple, len(n.exprs))
+	for i, e := range n.exprs {
+		v, err := e.Eval(ctx, t)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// joins
+// ---------------------------------------------------------------------------
+
+type nestLoopNode struct {
+	left, right Node
+	kind        plan.JoinKind
+	on          *ExprState
+	rightWidth  int
+
+	leftRow     storage.Tuple
+	needLeft    bool
+	matched     bool
+	pushed      bool
+	rightOpened bool
+}
+
+func (n *nestLoopNode) Open(ctx *Ctx) error {
+	if err := n.left.Open(ctx); err != nil {
+		return err
+	}
+	// The right side may be correlated (LATERAL): its Open must only run
+	// once a left row is on the outer stack, so it is deferred to Next.
+	n.rightOpened = false
+	n.needLeft = true
+	n.pushed = false
+	return nil
+}
+
+func (n *nestLoopNode) Rescan(ctx *Ctx) error {
+	if n.pushed {
+		ctx.popOuter()
+		n.pushed = false
+	}
+	if err := n.left.Rescan(ctx); err != nil {
+		return err
+	}
+	n.needLeft = true
+	return nil
+}
+
+func (n *nestLoopNode) Close(ctx *Ctx) error {
+	if n.pushed {
+		ctx.popOuter()
+		n.pushed = false
+	}
+	err1 := n.left.Close(ctx)
+	err2 := n.right.Close(ctx)
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Next maintains the invariant that the left row is on the outer stack
+// exactly while the right subtree (and the ON predicate) runs — it is
+// popped before a joined row is handed upward, so expressions evaluated by
+// parent nodes see the stack depth the binder assumed.
+func (n *nestLoopNode) Next(ctx *Ctx) (storage.Tuple, error) {
+	for {
+		if n.needLeft {
+			if n.pushed {
+				ctx.popOuter()
+				n.pushed = false
+			}
+			lt, err := n.left.Next(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if lt == nil {
+				return nil, nil
+			}
+			n.leftRow = lt
+			ctx.pushOuter(lt)
+			n.pushed = true
+			if !n.rightOpened {
+				if err := n.right.Open(ctx); err != nil {
+					return nil, err
+				}
+				n.rightOpened = true
+			} else if err := n.right.Rescan(ctx); err != nil {
+				return nil, err
+			}
+			n.needLeft = false
+			n.matched = false
+		}
+		if !n.pushed { // resuming after having emitted a row
+			ctx.pushOuter(n.leftRow)
+			n.pushed = true
+		}
+		rt, err := n.right.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if rt == nil {
+			ctx.popOuter()
+			n.pushed = false
+			n.needLeft = true
+			if n.kind == plan.JoinLeft && !n.matched {
+				return concatTuples(n.leftRow, nullTuple(n.rightWidth)), nil
+			}
+			continue
+		}
+		combined := concatTuples(n.leftRow, rt)
+		if n.on != nil {
+			ok, err := n.on.Eval(ctx, combined)
+			if err != nil {
+				return nil, err
+			}
+			if !ok.IsTrue() {
+				continue
+			}
+		}
+		n.matched = true
+		ctx.popOuter()
+		n.pushed = false
+		return combined, nil
+	}
+}
+
+type materializeNode struct {
+	child Node
+	rows  []storage.Tuple
+	idx   int
+	built bool
+}
+
+func (n *materializeNode) Open(ctx *Ctx) error {
+	n.idx = 0
+	if n.built {
+		return nil
+	}
+	if err := n.child.Open(ctx); err != nil {
+		return err
+	}
+	for {
+		t, err := n.child.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			break
+		}
+		n.rows = append(n.rows, t)
+	}
+	n.built = true
+	return n.child.Close(ctx)
+}
+
+func (n *materializeNode) Rescan(ctx *Ctx) error { n.idx = 0; return nil }
+func (n *materializeNode) Close(ctx *Ctx) error  { return nil }
+func (n *materializeNode) Next(ctx *Ctx) (storage.Tuple, error) {
+	if n.idx >= len(n.rows) {
+		return nil, nil
+	}
+	t := n.rows[n.idx]
+	n.idx++
+	return t, nil
+}
+
+// ---------------------------------------------------------------------------
+// sort / limit / distinct / append / set ops / values
+// ---------------------------------------------------------------------------
+
+type sortNode struct {
+	child Node
+	keys  []sortKeyState
+	rows  []storage.Tuple
+	idx   int
+}
+
+func (n *sortNode) Open(ctx *Ctx) error {
+	n.rows = n.rows[:0]
+	n.idx = 0
+	if err := n.child.Open(ctx); err != nil {
+		return err
+	}
+	type keyed struct {
+		row  storage.Tuple
+		keys []sqltypes.Value
+	}
+	var rows []keyed
+	for {
+		t, err := n.child.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			break
+		}
+		ks := make([]sqltypes.Value, len(n.keys))
+		for i, k := range n.keys {
+			v, err := k.expr.Eval(ctx, t)
+			if err != nil {
+				return err
+			}
+			ks[i] = v
+		}
+		rows = append(rows, keyed{row: t, keys: ks})
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for k := range n.keys {
+			c := compareKeyValues(rows[i].keys[k], rows[j].keys[k], n.keys[k].desc)
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	for _, r := range rows {
+		n.rows = append(n.rows, r.row)
+	}
+	return n.child.Close(ctx)
+}
+
+func (n *sortNode) Rescan(ctx *Ctx) error { return n.Open(ctx) }
+func (n *sortNode) Close(ctx *Ctx) error  { return nil }
+func (n *sortNode) Next(ctx *Ctx) (storage.Tuple, error) {
+	if n.idx >= len(n.rows) {
+		return nil, nil
+	}
+	t := n.rows[n.idx]
+	n.idx++
+	return t, nil
+}
+
+type limitNode struct {
+	child         Node
+	limit, offset *ExprState
+	remaining     int64
+	toSkip        int64
+	unlimited     bool
+}
+
+func (n *limitNode) Open(ctx *Ctx) error {
+	if err := n.child.Open(ctx); err != nil {
+		return err
+	}
+	return n.reset(ctx)
+}
+
+func (n *limitNode) reset(ctx *Ctx) error {
+	n.unlimited = true
+	n.remaining = 0
+	n.toSkip = 0
+	if n.limit != nil {
+		v, err := n.limit.Eval(ctx, nil)
+		if err != nil {
+			return err
+		}
+		if !v.IsNull() {
+			iv, err := sqltypes.Cast(v, sqltypes.TypeInt)
+			if err != nil {
+				return err
+			}
+			n.unlimited = false
+			n.remaining = iv.Int()
+		}
+	}
+	if n.offset != nil {
+		v, err := n.offset.Eval(ctx, nil)
+		if err != nil {
+			return err
+		}
+		if !v.IsNull() {
+			iv, err := sqltypes.Cast(v, sqltypes.TypeInt)
+			if err != nil {
+				return err
+			}
+			n.toSkip = iv.Int()
+		}
+	}
+	return nil
+}
+
+func (n *limitNode) Rescan(ctx *Ctx) error {
+	if err := n.child.Rescan(ctx); err != nil {
+		return err
+	}
+	return n.reset(ctx)
+}
+
+func (n *limitNode) Close(ctx *Ctx) error { return n.child.Close(ctx) }
+
+func (n *limitNode) Next(ctx *Ctx) (storage.Tuple, error) {
+	for n.toSkip > 0 {
+		t, err := n.child.Next(ctx)
+		if err != nil || t == nil {
+			return nil, err
+		}
+		n.toSkip--
+	}
+	if !n.unlimited {
+		if n.remaining <= 0 {
+			return nil, nil
+		}
+		n.remaining--
+	}
+	return n.child.Next(ctx)
+}
+
+type distinctNode struct {
+	child Node
+	seen  map[string]bool
+}
+
+func (n *distinctNode) Open(ctx *Ctx) error {
+	n.seen = make(map[string]bool)
+	return n.child.Open(ctx)
+}
+
+func (n *distinctNode) Rescan(ctx *Ctx) error {
+	n.seen = make(map[string]bool)
+	return n.child.Rescan(ctx)
+}
+
+func (n *distinctNode) Close(ctx *Ctx) error { return n.child.Close(ctx) }
+
+func (n *distinctNode) Next(ctx *Ctx) (storage.Tuple, error) {
+	for {
+		t, err := n.child.Next(ctx)
+		if err != nil || t == nil {
+			return nil, err
+		}
+		k := tupleKey(t)
+		if !n.seen[k] {
+			n.seen[k] = true
+			return t, nil
+		}
+	}
+}
+
+type appendNode struct {
+	children []Node
+	cur      int
+}
+
+func (n *appendNode) Open(ctx *Ctx) error {
+	n.cur = 0
+	for _, c := range n.children {
+		if err := c.Open(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (n *appendNode) Rescan(ctx *Ctx) error {
+	n.cur = 0
+	for _, c := range n.children {
+		if err := c.Rescan(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (n *appendNode) Close(ctx *Ctx) error {
+	var first error
+	for _, c := range n.children {
+		if err := c.Close(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (n *appendNode) Next(ctx *Ctx) (storage.Tuple, error) {
+	for n.cur < len(n.children) {
+		t, err := n.children[n.cur].Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if t != nil {
+			return t, nil
+		}
+		n.cur++
+	}
+	return nil, nil
+}
+
+type setOpNode struct {
+	op          string
+	all         bool
+	left, right Node
+
+	out []storage.Tuple
+	idx int
+}
+
+func (n *setOpNode) Open(ctx *Ctx) error {
+	n.out = nil
+	n.idx = 0
+	if err := n.left.Open(ctx); err != nil {
+		return err
+	}
+	if err := n.right.Open(ctx); err != nil {
+		return err
+	}
+	rightCount := map[string]int{}
+	for {
+		t, err := n.right.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			break
+		}
+		rightCount[tupleKey(t)]++
+	}
+	emitted := map[string]bool{}
+	for {
+		t, err := n.left.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			break
+		}
+		k := tupleKey(t)
+		switch n.op {
+		case "INTERSECT":
+			if rightCount[k] > 0 {
+				if n.all {
+					rightCount[k]--
+					n.out = append(n.out, t)
+				} else if !emitted[k] {
+					emitted[k] = true
+					n.out = append(n.out, t)
+				}
+			}
+		case "EXCEPT":
+			if n.all {
+				if rightCount[k] > 0 {
+					rightCount[k]--
+				} else {
+					n.out = append(n.out, t)
+				}
+			} else if rightCount[k] == 0 && !emitted[k] {
+				emitted[k] = true
+				n.out = append(n.out, t)
+			}
+		}
+	}
+	n.left.Close(ctx)
+	n.right.Close(ctx)
+	return nil
+}
+
+func (n *setOpNode) Rescan(ctx *Ctx) error {
+	if err := n.left.Rescan(ctx); err != nil {
+		return err
+	}
+	if err := n.right.Rescan(ctx); err != nil {
+		return err
+	}
+	return n.Open(ctx)
+}
+
+func (n *setOpNode) Close(ctx *Ctx) error { return nil }
+
+func (n *setOpNode) Next(ctx *Ctx) (storage.Tuple, error) {
+	if n.idx >= len(n.out) {
+		return nil, nil
+	}
+	t := n.out[n.idx]
+	n.idx++
+	return t, nil
+}
+
+type valuesNode struct {
+	rows [][]*ExprState
+	idx  int
+}
+
+func (n *valuesNode) Open(ctx *Ctx) error   { n.idx = 0; return nil }
+func (n *valuesNode) Rescan(ctx *Ctx) error { n.idx = 0; return nil }
+func (n *valuesNode) Close(ctx *Ctx) error  { return nil }
+func (n *valuesNode) Next(ctx *Ctx) (storage.Tuple, error) {
+	if n.idx >= len(n.rows) {
+		return nil, nil
+	}
+	es := n.rows[n.idx]
+	n.idx++
+	row := make(storage.Tuple, len(es))
+	for i, e := range es {
+		v, err := e.Eval(ctx, nil)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	return row, nil
+}

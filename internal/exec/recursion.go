@@ -1,0 +1,304 @@
+package exec
+
+import (
+	"fmt"
+
+	"plsqlaway/internal/storage"
+)
+
+// cteScanNode reads a common table expression. A working scan (the
+// self-reference inside a recursive term) streams the current working
+// table; plain scans stream the store materialized by withNode.
+type cteScanNode struct {
+	index   int
+	working bool
+
+	// plain mode
+	iter *storage.TupleIterator
+	// working mode
+	rows []storage.Tuple
+	idx  int
+}
+
+func (n *cteScanNode) Open(ctx *Ctx) error { return n.Rescan(ctx) }
+
+func (n *cteScanNode) Rescan(ctx *Ctx) error {
+	if n.working {
+		if n.index >= len(ctx.cteWorking) {
+			return fmt.Errorf("exec: working table %d not available", n.index)
+		}
+		n.rows = ctx.cteWorking[n.index]
+		n.idx = 0
+		return nil
+	}
+	if n.index >= len(ctx.cteStores) || ctx.cteStores[n.index] == nil {
+		return fmt.Errorf("exec: CTE %d not materialized", n.index)
+	}
+	n.iter = ctx.cteStores[n.index].Iterator()
+	return nil
+}
+
+func (n *cteScanNode) Close(ctx *Ctx) error { return nil }
+
+func (n *cteScanNode) Next(ctx *Ctx) (storage.Tuple, error) {
+	if n.working {
+		if n.idx >= len(n.rows) {
+			return nil, nil
+		}
+		t := n.rows[n.idx]
+		n.idx++
+		return t, nil
+	}
+	if n.iter == nil {
+		return nil, nil
+	}
+	return n.iter.Next()
+}
+
+// recursiveUnionNode implements WITH RECURSIVE (and the paper's WITH
+// ITERATE). It streams rows so the enclosing withNode can account every
+// accumulated row through a spilling TupleStore:
+//
+//	working ← nonRecursive term            (rows are emitted)
+//	while working not empty:
+//	    cteWorking[idx] ← working
+//	    working ← recursive term           (rows are emitted — vanilla mode)
+//
+// Iterate mode emits nothing until the iteration converges, then emits only
+// the final non-empty working table: tail recursion needs no trace, so no
+// buffer pages are ever written (Table 2).
+type recursiveUnionNode struct {
+	nonRec, rec Node
+	cteIndex    int
+	iterate     bool
+	dedup       bool
+
+	phase      int // 0 = emitting current batch, 1 = done
+	batch      []storage.Tuple
+	batchIdx   int
+	working    []storage.Tuple
+	seen       map[string]bool
+	iterations int
+	opened     bool
+}
+
+func (n *recursiveUnionNode) Open(ctx *Ctx) error {
+	n.phase = 0
+	n.batchIdx = 0
+	n.iterations = 0
+	n.seen = nil
+	if n.dedup {
+		n.seen = make(map[string]bool)
+	}
+	if err := n.nonRec.Open(ctx); err != nil {
+		return err
+	}
+	if err := n.rec.Open(ctx); err != nil {
+		return err
+	}
+	n.opened = true
+	// Seed the working table.
+	var err error
+	n.working, err = n.drain(ctx, n.nonRec)
+	if err != nil {
+		return err
+	}
+	if n.iterate {
+		if err := n.runToConvergence(ctx); err != nil {
+			return err
+		}
+	}
+	n.batch = n.working
+	return nil
+}
+
+// drain pulls all rows from a term, applying UNION dedup if requested.
+func (n *recursiveUnionNode) drain(ctx *Ctx, node Node) ([]storage.Tuple, error) {
+	var out []storage.Tuple
+	for {
+		t, err := node.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if t == nil {
+			return out, nil
+		}
+		if n.seen != nil {
+			k := tupleKey(t)
+			if n.seen[k] {
+				continue
+			}
+			n.seen[k] = true
+		}
+		out = append(out, t)
+	}
+}
+
+// step runs one round of the recursive term against the current working
+// table.
+func (n *recursiveUnionNode) step(ctx *Ctx) ([]storage.Tuple, error) {
+	n.iterations++
+	if n.iterations > ctx.MaxRecursion {
+		return nil, fmt.Errorf("exec: recursion limit of %d iterations exceeded (runaway WITH RECURSIVE?)", ctx.MaxRecursion)
+	}
+	for len(ctx.cteWorking) <= n.cteIndex {
+		ctx.cteWorking = append(ctx.cteWorking, nil)
+	}
+	ctx.cteWorking[n.cteIndex] = n.working
+	if err := n.rec.Rescan(ctx); err != nil {
+		return nil, err
+	}
+	return n.drain(ctx, n.rec)
+}
+
+// runToConvergence (Iterate mode) loops until the recursive term yields no
+// rows, keeping only the latest working table.
+func (n *recursiveUnionNode) runToConvergence(ctx *Ctx) error {
+	for len(n.working) > 0 {
+		next, err := n.step(ctx)
+		if err != nil {
+			return err
+		}
+		if len(next) == 0 {
+			return nil // working holds the final non-empty table
+		}
+		n.working = next
+	}
+	return nil
+}
+
+func (n *recursiveUnionNode) Rescan(ctx *Ctx) error {
+	if err := n.nonRec.Rescan(ctx); err != nil {
+		return err
+	}
+	// Re-seed completely.
+	n.phase = 0
+	n.batchIdx = 0
+	n.iterations = 0
+	if n.dedup {
+		n.seen = make(map[string]bool)
+	}
+	var err error
+	n.working, err = n.drain(ctx, n.nonRec)
+	if err != nil {
+		return err
+	}
+	if n.iterate {
+		if err := n.runToConvergence(ctx); err != nil {
+			return err
+		}
+	}
+	n.batch = n.working
+	return nil
+}
+
+func (n *recursiveUnionNode) Close(ctx *Ctx) error {
+	if !n.opened {
+		return nil
+	}
+	err1 := n.nonRec.Close(ctx)
+	err2 := n.rec.Close(ctx)
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func (n *recursiveUnionNode) Next(ctx *Ctx) (storage.Tuple, error) {
+	for {
+		if n.batchIdx < len(n.batch) {
+			t := n.batch[n.batchIdx]
+			n.batchIdx++
+			return t, nil
+		}
+		if n.phase == 1 || n.iterate {
+			return nil, nil
+		}
+		if len(n.working) == 0 {
+			n.phase = 1
+			return nil, nil
+		}
+		next, err := n.step(ctx)
+		if err != nil {
+			return nil, err
+		}
+		n.working = next
+		n.batch = next
+		n.batchIdx = 0
+		if len(next) == 0 {
+			n.phase = 1
+			return nil, nil
+		}
+	}
+}
+
+// withNode owns the CTEs of one query level. Opening (or rescanning)
+// re-materializes them — correlated CTE bodies (the inlined compiled
+// queries) see the current outer bindings.
+type withNode struct {
+	indices []int
+	child   Node
+}
+
+func (n *withNode) Open(ctx *Ctx) error {
+	if err := n.materialize(ctx); err != nil {
+		return err
+	}
+	return n.child.Open(ctx)
+}
+
+func (n *withNode) Rescan(ctx *Ctx) error {
+	if err := n.materialize(ctx); err != nil {
+		return err
+	}
+	return n.child.Rescan(ctx)
+}
+
+func (n *withNode) materialize(ctx *Ctx) error {
+	for _, idx := range n.indices {
+		for len(ctx.cteStores) <= idx {
+			ctx.cteStores = append(ctx.cteStores, nil)
+		}
+		if ctx.cteStores[idx] != nil {
+			ctx.cteStores[idx].Close()
+			ctx.cteStores[idx] = nil
+		}
+		def := ctx.cteDefs[idx]
+		if def == nil {
+			return fmt.Errorf("exec: CTE %d has no instantiated definition", idx)
+		}
+		store := storage.NewTupleStore(ctx.StorageStats, ctx.WorkMem)
+		if err := def.Open(ctx); err != nil {
+			return err
+		}
+		for {
+			t, err := def.Next(ctx)
+			if err != nil {
+				def.Close(ctx)
+				return err
+			}
+			if t == nil {
+				break
+			}
+			store.Append(t)
+		}
+		if err := def.Close(ctx); err != nil {
+			return err
+		}
+		store.Finish()
+		ctx.cteStores[idx] = store
+	}
+	return nil
+}
+
+func (n *withNode) Close(ctx *Ctx) error {
+	for _, idx := range n.indices {
+		if idx < len(ctx.cteStores) && ctx.cteStores[idx] != nil {
+			ctx.cteStores[idx].Close()
+			ctx.cteStores[idx] = nil
+		}
+	}
+	return n.child.Close(ctx)
+}
+
+func (n *withNode) Next(ctx *Ctx) (storage.Tuple, error) { return n.child.Next(ctx) }

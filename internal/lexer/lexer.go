@@ -1,0 +1,374 @@
+// Package lexer implements the tokenizer shared by the SQL parser and the
+// PL/pgSQL parser. It covers the pieces of PostgreSQL's lexical structure
+// the paper's programs exercise: case-insensitive keywords, quoted
+// identifiers such as "call?", string literals with doubled-quote escapes,
+// dollar-quoted function bodies ($$ … $$ and $tag$ … $tag$), numeric
+// literals, positional parameters ($1), multi-character operators
+// (:=, ::, ||, <=, >=, <>, !=, ..), and -- and /* */ comments (nested,
+// as in PostgreSQL).
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// TokenType classifies a token.
+type TokenType uint8
+
+// Token types.
+const (
+	EOF         TokenType = iota
+	Ident                 // identifier or keyword (Keyword normalized upper in Keyword field)
+	QuotedIdent           // "identifier"
+	Number                // integer or float literal
+	String                // 'string'
+	DollarBody            // $$ … $$ dollar-quoted string
+	Param                 // $1, $2, …
+	Op                    // operator or punctuation
+)
+
+func (t TokenType) String() string {
+	switch t {
+	case EOF:
+		return "EOF"
+	case Ident:
+		return "Ident"
+	case QuotedIdent:
+		return "QuotedIdent"
+	case Number:
+		return "Number"
+	case String:
+		return "String"
+	case DollarBody:
+		return "DollarBody"
+	case Param:
+		return "Param"
+	case Op:
+		return "Op"
+	default:
+		return fmt.Sprintf("TokenType(%d)", uint8(t))
+	}
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical unit.
+type Token struct {
+	Type    TokenType
+	Text    string // raw text (unquoted/unescaped payload for strings and quoted idents)
+	Keyword string // upper-cased Text for Ident tokens, "" otherwise
+	Pos     Pos
+}
+
+// IsKeyword reports whether the token is the given keyword (upper case).
+func (t Token) IsKeyword(kw string) bool { return t.Type == Ident && t.Keyword == kw }
+
+// IsOp reports whether the token is the given operator text.
+func (t Token) IsOp(op string) bool { return t.Type == Op && t.Text == op }
+
+// Lexer tokenizes an input string. It lexes eagerly into a slice so parsers
+// can freely peek and backtrack.
+type Lexer struct {
+	src    string
+	pos    int // byte offset
+	line   int
+	lineAt int // byte offset of start of current line
+}
+
+// Lex tokenizes src fully. The returned slice always ends with an EOF token.
+func Lex(src string) ([]Token, error) {
+	l := &Lexer{src: src, line: 1}
+	var toks []Token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Type == EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *Lexer) here() Pos { return Pos{Line: l.line, Col: l.pos - l.lineAt + 1} }
+
+func (l *Lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("lex error at %s: %s", l.here(), fmt.Sprintf(format, args...))
+}
+
+func (l *Lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekByteAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *Lexer) advance(n int) {
+	for i := 0; i < n && l.pos < len(l.src); i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.lineAt = l.pos + 1
+		}
+		l.pos++
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance(1)
+		case c == '-' && l.peekByteAt(1) == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		case c == '/' && l.peekByteAt(1) == '*':
+			depth := 0
+			for l.pos < len(l.src) {
+				if l.peekByte() == '/' && l.peekByteAt(1) == '*' {
+					depth++
+					l.advance(2)
+				} else if l.peekByte() == '*' && l.peekByteAt(1) == '/' {
+					depth--
+					l.advance(2)
+					if depth == 0 {
+						break
+					}
+				} else {
+					l.advance(1)
+				}
+			}
+			if depth != 0 {
+				return l.errf("unterminated /* comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentCont(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// multi-char operators, longest first.
+var operators = []string{
+	":=", "::", "..", "||", "<=", ">=", "<>", "!=", "=>",
+	"(", ")", ",", ";", ".", "=", "<", ">", "+", "-", "*", "/", "%", "[", "]", ":",
+}
+
+func (l *Lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	start := l.here()
+	if l.pos >= len(l.src) {
+		return Token{Type: EOF, Pos: start}, nil
+	}
+	c := l.peekByte()
+
+	// Dollar: parameter $1 or dollar-quoted body $$…$$ / $tag$…$tag$.
+	if c == '$' {
+		if isDigit(l.peekByteAt(1)) {
+			j := l.pos + 1
+			for j < len(l.src) && isDigit(l.src[j]) {
+				j++
+			}
+			text := l.src[l.pos+1 : j]
+			l.advance(j - l.pos)
+			return Token{Type: Param, Text: text, Pos: start}, nil
+		}
+		// $tag$
+		j := l.pos + 1
+		for j < len(l.src) && l.src[j] != '$' {
+			r, sz := utf8.DecodeRuneInString(l.src[j:])
+			if !isIdentCont(r) || r == '$' {
+				break
+			}
+			j += sz
+		}
+		if j < len(l.src) && l.src[j] == '$' {
+			tag := l.src[l.pos : j+1] // includes both dollars
+			bodyStart := j + 1
+			end := strings.Index(l.src[bodyStart:], tag)
+			if end < 0 {
+				return Token{}, l.errf("unterminated dollar-quoted string %s", tag)
+			}
+			body := l.src[bodyStart : bodyStart+end]
+			l.advance(bodyStart + end + len(tag) - l.pos)
+			return Token{Type: DollarBody, Text: body, Pos: start}, nil
+		}
+		return Token{}, l.errf("unexpected character %q", c)
+	}
+
+	// String literal.
+	if c == '\'' {
+		var sb strings.Builder
+		l.advance(1)
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, l.errf("unterminated string literal")
+			}
+			if l.peekByte() == '\'' {
+				if l.peekByteAt(1) == '\'' {
+					sb.WriteByte('\'')
+					l.advance(2)
+					continue
+				}
+				l.advance(1)
+				break
+			}
+			sb.WriteByte(l.src[l.pos])
+			l.advance(1)
+		}
+		return Token{Type: String, Text: sb.String(), Pos: start}, nil
+	}
+
+	// Quoted identifier.
+	if c == '"' {
+		var sb strings.Builder
+		l.advance(1)
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, l.errf("unterminated quoted identifier")
+			}
+			if l.peekByte() == '"' {
+				if l.peekByteAt(1) == '"' {
+					sb.WriteByte('"')
+					l.advance(2)
+					continue
+				}
+				l.advance(1)
+				break
+			}
+			sb.WriteByte(l.src[l.pos])
+			l.advance(1)
+		}
+		return Token{Type: QuotedIdent, Text: sb.String(), Pos: start}, nil
+	}
+
+	// Number: 12, 12.5, .5, 1e3, 1.5e-2. Careful not to eat "1..10" as a
+	// float — ".." is the FOR-loop range operator.
+	if isDigit(c) || (c == '.' && isDigit(l.peekByteAt(1))) {
+		j := l.pos
+		for j < len(l.src) && isDigit(l.src[j]) {
+			j++
+		}
+		if j < len(l.src) && l.src[j] == '.' && !(j+1 < len(l.src) && l.src[j+1] == '.') {
+			j++
+			for j < len(l.src) && isDigit(l.src[j]) {
+				j++
+			}
+		}
+		if j < len(l.src) && (l.src[j] == 'e' || l.src[j] == 'E') {
+			k := j + 1
+			if k < len(l.src) && (l.src[k] == '+' || l.src[k] == '-') {
+				k++
+			}
+			if k < len(l.src) && isDigit(l.src[k]) {
+				for k < len(l.src) && isDigit(l.src[k]) {
+					k++
+				}
+				j = k
+			}
+		}
+		text := l.src[l.pos:j]
+		l.advance(j - l.pos)
+		return Token{Type: Number, Text: text, Pos: start}, nil
+	}
+
+	// Identifier / keyword.
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	if isIdentStart(r) {
+		j := l.pos
+		for j < len(l.src) {
+			rr, sz := utf8.DecodeRuneInString(l.src[j:])
+			if !isIdentCont(rr) {
+				break
+			}
+			j += sz
+		}
+		text := l.src[l.pos:j]
+		l.advance(j - l.pos)
+		return Token{Type: Ident, Text: text, Keyword: strings.ToUpper(text), Pos: start}, nil
+	}
+
+	// Operators.
+	for _, op := range operators {
+		if strings.HasPrefix(l.src[l.pos:], op) {
+			l.advance(len(op))
+			return Token{Type: Op, Text: op, Pos: start}, nil
+		}
+	}
+	return Token{}, l.errf("unexpected character %q", string(r))
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+// QuoteIdent renders name as a SQL identifier, quoting when needed (used by
+// the SQL printer).
+func QuoteIdent(name string) string {
+	if name == "" {
+		return `""`
+	}
+	plain := true
+	for i, r := range name {
+		if i == 0 && !(r == '_' || unicode.IsLower(r)) {
+			plain = false
+			break
+		}
+		if !(r == '_' || unicode.IsLower(r) || unicode.IsDigit(r)) {
+			plain = false
+			break
+		}
+	}
+	if plain && !IsReservedKeyword(strings.ToUpper(name)) {
+		return name
+	}
+	return `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
+}
+
+// reserved keywords that must be quoted when used as identifiers by the
+// printer, and that the parser refuses as bare column aliases.
+var reserved = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "HAVING": true,
+	"ORDER": true, "LIMIT": true, "OFFSET": true, "UNION": true, "ALL": true,
+	"INTERSECT": true, "EXCEPT": true, "WITH": true, "RECURSIVE": true, "ITERATE": true,
+	"AS": true, "ON": true, "JOIN": true, "LEFT": true, "RIGHT": true, "INNER": true,
+	"OUTER": true, "CROSS": true, "LATERAL": true, "VALUES": true, "CASE": true,
+	"WHEN": true, "THEN": true, "ELSE": true, "END": true, "CAST": true, "AND": true,
+	"OR": true, "NOT": true, "NULL": true, "TRUE": true, "FALSE": true, "IN": true,
+	"EXISTS": true, "BETWEEN": true, "IS": true, "LIKE": true, "DISTINCT": true,
+	"WINDOW": true, "OVER": true, "PARTITION": true, "ROWS": true, "RANGE": true,
+	"UNBOUNDED": true, "PRECEDING": true, "FOLLOWING": true, "CURRENT": true,
+	"EXCLUDE": true, "ROW": true, "CREATE": true, "TABLE": true, "FUNCTION": true,
+	"INSERT": true, "INTO": true, "UPDATE": true, "DELETE": true, "SET": true,
+	"RETURNS": true, "LANGUAGE": true, "BY": true, "ASC": true, "DESC": true,
+	"USING": true, "RETURNING": true, "DEFAULT": true, "PRIMARY": true, "KEY": true,
+	"CHECK": true, "UNIQUE": true, "REPLACE": true, "DROP": true, "INDEX": true,
+}
+
+// IsReservedKeyword reports whether upper-case kw is reserved.
+func IsReservedKeyword(kw string) bool { return reserved[kw] }

@@ -1,0 +1,196 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexAll(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestBasicTokens(t *testing.T) {
+	toks := lexAll(t, "SELECT x, 42 FROM t WHERE y >= 1.5")
+	want := []struct {
+		typ  TokenType
+		text string
+	}{
+		{Ident, "SELECT"}, {Ident, "x"}, {Op, ","}, {Number, "42"},
+		{Ident, "FROM"}, {Ident, "t"}, {Ident, "WHERE"}, {Ident, "y"},
+		{Op, ">="}, {Number, "1.5"}, {EOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Type != w.typ {
+			t.Errorf("tok %d: type %v, want %v", i, toks[i].Type, w.typ)
+		}
+		if w.typ == Ident && !strings.EqualFold(toks[i].Text, w.text) {
+			t.Errorf("tok %d: text %q, want %q", i, toks[i].Text, w.text)
+		}
+		if w.typ != Ident && toks[i].Text != w.text {
+			t.Errorf("tok %d: text %q, want %q", i, toks[i].Text, w.text)
+		}
+	}
+}
+
+func TestKeywordNormalization(t *testing.T) {
+	toks := lexAll(t, "select Select SELECT")
+	for _, tok := range toks[:3] {
+		if tok.Keyword != "SELECT" {
+			t.Errorf("Keyword = %q, want SELECT", tok.Keyword)
+		}
+		if !tok.IsKeyword("SELECT") {
+			t.Error("IsKeyword(SELECT) should be true")
+		}
+	}
+}
+
+func TestQuotedIdent(t *testing.T) {
+	toks := lexAll(t, `SELECT "call?", "we""ird" FROM run`)
+	if toks[1].Type != QuotedIdent || toks[1].Text != "call?" {
+		t.Errorf(`want QuotedIdent "call?", got %v %q`, toks[1].Type, toks[1].Text)
+	}
+	if toks[3].Type != QuotedIdent || toks[3].Text != `we"ird` {
+		t.Errorf(`doubled quotes: got %q`, toks[3].Text)
+	}
+}
+
+func TestStringLiteral(t *testing.T) {
+	toks := lexAll(t, `'abc', '', 'o''clock'`)
+	if toks[0].Text != "abc" || toks[2].Text != "" || toks[4].Text != "o'clock" {
+		t.Errorf("string payloads: %q %q %q", toks[0].Text, toks[2].Text, toks[4].Text)
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks := lexAll(t, "1 1.5 .5 2e3 1.5e-2 10")
+	wants := []string{"1", "1.5", ".5", "2e3", "1.5e-2", "10"}
+	for i, w := range wants {
+		if toks[i].Type != Number || toks[i].Text != w {
+			t.Errorf("number %d: %v %q, want %q", i, toks[i].Type, toks[i].Text, w)
+		}
+	}
+}
+
+func TestRangeOperatorNotFloat(t *testing.T) {
+	// "1..10" in FOR loops must lex as Number(1) Op(..) Number(10).
+	toks := lexAll(t, "1..10")
+	if toks[0].Text != "1" || !toks[1].IsOp("..") || toks[2].Text != "10" {
+		t.Fatalf("1..10 lexed wrong: %v", toks[:3])
+	}
+}
+
+func TestOperators(t *testing.T) {
+	toks := lexAll(t, ":= :: || <= >= <> != = . ..")
+	wants := []string{":=", "::", "||", "<=", ">=", "<>", "!=", "=", ".", ".."}
+	for i, w := range wants {
+		if !toks[i].IsOp(w) {
+			t.Errorf("op %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestDollarQuoting(t *testing.T) {
+	toks := lexAll(t, "AS $$ SELECT 1; $$ LANGUAGE SQL")
+	if toks[1].Type != DollarBody || strings.TrimSpace(toks[1].Text) != "SELECT 1;" {
+		t.Errorf("dollar body: %v %q", toks[1].Type, toks[1].Text)
+	}
+	toks = lexAll(t, "$fn$ body with $$ inside $fn$")
+	if toks[0].Type != DollarBody || !strings.Contains(toks[0].Text, "$$ inside") {
+		t.Errorf("tagged dollar body: %v %q", toks[0].Type, toks[0].Text)
+	}
+}
+
+func TestParams(t *testing.T) {
+	toks := lexAll(t, "SELECT $1 + $23")
+	if toks[1].Type != Param || toks[1].Text != "1" {
+		t.Errorf("$1: %v %q", toks[1].Type, toks[1].Text)
+	}
+	if toks[3].Type != Param || toks[3].Text != "23" {
+		t.Errorf("$23: %v %q", toks[3].Type, toks[3].Text)
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks := lexAll(t, `SELECT -- line comment
+ 1 /* block /* nested */ comment */ + 2`)
+	var texts []string
+	for _, tok := range toks {
+		if tok.Type != EOF {
+			texts = append(texts, tok.Text)
+		}
+	}
+	if strings.Join(texts, " ") != "SELECT 1 + 2" {
+		t.Errorf("comments not skipped: %v", texts)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks := lexAll(t, "a\n  bb\n c")
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("bb at %v", toks[1].Pos)
+	}
+	if toks[2].Pos != (Pos{3, 2}) {
+		t.Errorf("c at %v", toks[2].Pos)
+	}
+}
+
+func TestUnicodeIdentifiersAndStrings(t *testing.T) {
+	toks := lexAll(t, "SELECT '↑', grüße FROM t")
+	if toks[1].Text != "↑" {
+		t.Errorf("unicode string: %q", toks[1].Text)
+	}
+	if toks[3].Text != "grüße" {
+		t.Errorf("unicode ident: %q", toks[3].Text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	bad := []string{"'unterminated", `"unterminated`, "$$unterminated", "/* unterminated", "SELECT #"}
+	for _, src := range bad {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) should error", src)
+		}
+	}
+}
+
+func TestQuoteIdent(t *testing.T) {
+	cases := map[string]string{
+		"abc":    "abc",
+		"a_1":    "a_1",
+		"call?":  `"call?"`,
+		"Upper":  `"Upper"`,
+		"select": `"select"`,
+		`qu"ote`: `"qu""ote"`,
+		"":       `""`,
+	}
+	for in, want := range cases {
+		if got := QuoteIdent(in); got != want {
+			t.Errorf("QuoteIdent(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLexIdempotentOnPrintedIdent(t *testing.T) {
+	// QuoteIdent output must lex back to a single identifier with the same
+	// payload.
+	for _, name := range []string{"call?", "plain", "Mixed Case", `has"quote`} {
+		toks := lexAll(t, QuoteIdent(name))
+		if len(toks) != 2 {
+			t.Fatalf("QuoteIdent(%q) lexed to %d tokens", name, len(toks)-1)
+		}
+		if toks[0].Text != name {
+			t.Errorf("round trip %q -> %q", name, toks[0].Text)
+		}
+	}
+}

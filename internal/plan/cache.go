@@ -1,0 +1,83 @@
+package plan
+
+import (
+	"plsqlaway/internal/catalog"
+	"plsqlaway/internal/sqlast"
+)
+
+// Cache memoizes plans by canonical query text. It reproduces PostgreSQL's
+// SPI plan cache as used by PL/pgSQL: embedded queries are *planned* once
+// per session but *instantiated* for every execution — the paper's whole
+// point is that instantiation, not planning, dominates the f→Qi context
+// switch.
+type Cache struct {
+	cat     *catalog.Catalog
+	entries map[string]*Plan
+	hits    int64
+	misses  int64
+	enabled bool
+}
+
+// NewCache creates an enabled plan cache for cat.
+func NewCache(cat *catalog.Catalog) *Cache {
+	return &Cache{cat: cat, entries: make(map[string]*Plan), enabled: true}
+}
+
+// SetEnabled toggles caching (ablation A4: with caching off, every embedded
+// query evaluation pays full planning too).
+func (c *Cache) SetEnabled(on bool) {
+	c.enabled = on
+	if !on {
+		c.entries = make(map[string]*Plan)
+	}
+}
+
+// Stats reports cache hits and misses.
+func (c *Cache) Stats() (hits, misses int64) { return c.hits, c.misses }
+
+// ResetStats zeroes the counters.
+func (c *Cache) ResetStats() { c.hits, c.misses = 0, 0 }
+
+// Get returns the cached plan for the query, planning (and caching) on
+// miss. Plans invalidate automatically when the catalog version moves.
+func (c *Cache) Get(q *sqlast.Query, opts Options) (*Plan, error) {
+	if !c.enabled {
+		c.misses++
+		return Build(c.cat, q, opts)
+	}
+	key := sqlast.DeparseQuery(q)
+	if p, ok := c.entries[key]; ok && p.CatalogVersion == c.cat.Version {
+		c.hits++
+		return p, nil
+	}
+	c.misses++
+	p, err := Build(c.cat, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.entries[key] = p
+	return p, nil
+}
+
+// GetByText memoizes by a caller-provided key, avoiding the deparse on hot
+// paths (the PL/pgSQL interpreter keys by statement identity).
+func (c *Cache) GetByText(key string, q *sqlast.Query, opts Options) (*Plan, error) {
+	if !c.enabled {
+		c.misses++
+		return Build(c.cat, q, opts)
+	}
+	if p, ok := c.entries[key]; ok && p.CatalogVersion == c.cat.Version {
+		c.hits++
+		return p, nil
+	}
+	c.misses++
+	p, err := Build(c.cat, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.entries[key] = p
+	return p, nil
+}
+
+// Len reports the number of cached plans.
+func (c *Cache) Len() int { return len(c.entries) }

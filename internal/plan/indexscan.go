@@ -1,0 +1,270 @@
+package plan
+
+import (
+	"plsqlaway/internal/catalog"
+)
+
+// IndexScan probes a declared hash index: it yields the table rows whose
+// indexed column equals Key (evaluated once per [re]scan — Key may reference
+// parameters or outer rows but not the scan's own columns). ResidualPred,
+// if set, filters the probed rows.
+type IndexScan struct {
+	Table *catalog.Table
+	Col   int
+	Key   Expr
+}
+
+func (*IndexScan) isNode()      {}
+func (n *IndexScan) Width() int { return len(n.Table.Cols) }
+
+// useIndexes rewrites Filter→SeqScan pairs into IndexScan (+ residual
+// Filter) when an equality conjunct matches a declared index. This is the
+// planner's access-path selection in miniature: embedded queries like
+// `SELECT p.action FROM policy AS p WHERE location = p.loc` turn their
+// full-table scan into a single-bucket probe, exactly what makes
+// PostgreSQL's Exec·Run share of such queries small relative to the
+// per-call ExecutorStart overhead the paper measures.
+func useIndexes(n Node) Node {
+	switch x := n.(type) {
+	case *Filter:
+		x.Child = useIndexes(x.Child)
+		scan, ok := x.Child.(*SeqScan)
+		if !ok {
+			return x
+		}
+		conjuncts := splitConjuncts(x.Pred)
+		for i, c := range conjuncts {
+			col, key, ok := indexableEquality(c, scan.Table)
+			if !ok {
+				continue
+			}
+			rest := make([]Expr, 0, len(conjuncts)-1)
+			rest = append(rest, conjuncts[:i]...)
+			rest = append(rest, conjuncts[i+1:]...)
+			var out Node = &IndexScan{Table: scan.Table, Col: col, Key: key}
+			if len(rest) > 0 {
+				out = &Filter{Child: out, Pred: andAll(rest)}
+			}
+			return out
+		}
+		return x
+	case *Project:
+		x.Child = useIndexes(x.Child)
+	case *NestLoop:
+		x.Left = useIndexes(x.Left)
+		x.Right = useIndexes(x.Right)
+		x.On = rewriteSubplans(x.On)
+	case *Materialize:
+		x.Child = useIndexes(x.Child)
+	case *Agg:
+		x.Child = useIndexes(x.Child)
+	case *Window:
+		x.Child = useIndexes(x.Child)
+	case *Sort:
+		x.Child = useIndexes(x.Child)
+	case *Limit:
+		x.Child = useIndexes(x.Child)
+	case *Distinct:
+		x.Child = useIndexes(x.Child)
+	case *Append:
+		for i := range x.Children {
+			x.Children[i] = useIndexes(x.Children[i])
+		}
+	case *SetOp:
+		x.L = useIndexes(x.L)
+		x.R = useIndexes(x.R)
+	case *RecursiveUnion:
+		x.NonRec = useIndexes(x.NonRec)
+		x.Rec = useIndexes(x.Rec)
+	case *WithNode:
+		x.Child = useIndexes(x.Child)
+	}
+	// Expressions with subplans live in Filter/Project/Result/Values/Agg…
+	switch x := n.(type) {
+	case *Filter:
+		x.Pred = rewriteSubplans(x.Pred)
+	case *Project:
+		for i := range x.Exprs {
+			x.Exprs[i] = rewriteSubplans(x.Exprs[i])
+		}
+	case *Result:
+		for i := range x.Exprs {
+			x.Exprs[i] = rewriteSubplans(x.Exprs[i])
+		}
+	case *ValuesNode:
+		for _, row := range x.Rows {
+			for i := range row {
+				row[i] = rewriteSubplans(row[i])
+			}
+		}
+	case *Agg:
+		for i := range x.GroupBy {
+			x.GroupBy[i] = rewriteSubplans(x.GroupBy[i])
+		}
+		for i := range x.Aggs {
+			x.Aggs[i].Arg = rewriteSubplans(x.Aggs[i].Arg)
+		}
+	case *Window:
+		for i := range x.Funcs {
+			x.Funcs[i].Arg = rewriteSubplans(x.Funcs[i].Arg)
+		}
+	case *Sort:
+		for i := range x.Keys {
+			x.Keys[i].Expr = rewriteSubplans(x.Keys[i].Expr)
+		}
+	}
+	return n
+}
+
+// rewriteSubplans applies useIndexes to plans nested inside expressions.
+func rewriteSubplans(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *SubplanExpr:
+		x.Plan = useIndexes(x.Plan)
+		x.CompareX = rewriteSubplans(x.CompareX)
+	case *BinOp:
+		x.L = rewriteSubplans(x.L)
+		x.R = rewriteSubplans(x.R)
+	case *UnaryOp:
+		x.X = rewriteSubplans(x.X)
+	case *IsNullExpr:
+		x.X = rewriteSubplans(x.X)
+	case *BetweenExpr:
+		x.X = rewriteSubplans(x.X)
+		x.Lo = rewriteSubplans(x.Lo)
+		x.Hi = rewriteSubplans(x.Hi)
+	case *InListExpr:
+		x.X = rewriteSubplans(x.X)
+		for i := range x.List {
+			x.List[i] = rewriteSubplans(x.List[i])
+		}
+	case *CaseExpr:
+		x.Operand = rewriteSubplans(x.Operand)
+		for i := range x.Whens {
+			x.Whens[i].Cond = rewriteSubplans(x.Whens[i].Cond)
+			x.Whens[i].Result = rewriteSubplans(x.Whens[i].Result)
+		}
+		x.Else = rewriteSubplans(x.Else)
+	case *FuncExpr:
+		for i := range x.Args {
+			x.Args[i] = rewriteSubplans(x.Args[i])
+		}
+	case *CastExpr:
+		x.X = rewriteSubplans(x.X)
+	case *RowCtor:
+		for i := range x.Fields {
+			x.Fields[i] = rewriteSubplans(x.Fields[i])
+		}
+	case *FieldSel:
+		x.X = rewriteSubplans(x.X)
+	case *UDFCallExpr:
+		for i := range x.Args {
+			x.Args[i] = rewriteSubplans(x.Args[i])
+		}
+	}
+	return e
+}
+
+// splitConjuncts flattens a conjunction.
+func splitConjuncts(e Expr) []Expr {
+	if b, ok := e.(*BinOp); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+func andAll(es []Expr) Expr {
+	out := es[0]
+	for _, e := range es[1:] {
+		out = &BinOp{Op: "AND", L: out, R: e}
+	}
+	return out
+}
+
+// indexableEquality recognizes `col = key` (or reversed) where col is a
+// declared-index column of the scanned table and key is independent of the
+// scan row (no InputRef, no subplan — those may not be re-evaluated out of
+// row context).
+func indexableEquality(e Expr, tbl *catalog.Table) (int, Expr, bool) {
+	b, ok := e.(*BinOp)
+	if !ok || b.Op != "=" {
+		return 0, nil, false
+	}
+	try := func(colSide, keySide Expr) (int, Expr, bool) {
+		ref, ok := colSide.(*InputRef)
+		if !ok {
+			return 0, nil, false
+		}
+		if _, declared := tbl.IndexOn(ref.Idx); !declared {
+			return 0, nil, false
+		}
+		if !rowIndependent(keySide) {
+			return 0, nil, false
+		}
+		return ref.Idx, keySide, true
+	}
+	if col, key, ok := try(b.L, b.R); ok {
+		return col, key, true
+	}
+	return try(b.R, b.L)
+}
+
+// rowIndependent reports whether e can be evaluated without an input row.
+func rowIndependent(e Expr) bool {
+	ok := true
+	var walk func(Expr)
+	walk = func(x Expr) {
+		if x == nil || !ok {
+			return
+		}
+		switch v := x.(type) {
+		case *InputRef, *SubplanExpr:
+			ok = false
+		case *BinOp:
+			walk(v.L)
+			walk(v.R)
+		case *UnaryOp:
+			walk(v.X)
+		case *IsNullExpr:
+			walk(v.X)
+		case *BetweenExpr:
+			walk(v.X)
+			walk(v.Lo)
+			walk(v.Hi)
+		case *InListExpr:
+			walk(v.X)
+			for _, i := range v.List {
+				walk(i)
+			}
+		case *CaseExpr:
+			walk(v.Operand)
+			for _, w := range v.Whens {
+				walk(w.Cond)
+				walk(w.Result)
+			}
+			walk(v.Else)
+		case *FuncExpr:
+			if v.Name == "random" || v.Name == "setseed" {
+				ok = false // volatile: must not be re-evaluated per rescan out of order
+			}
+			for _, a := range v.Args {
+				walk(a)
+			}
+		case *CastExpr:
+			walk(v.X)
+		case *RowCtor:
+			for _, f := range v.Fields {
+				walk(f)
+			}
+		case *FieldSel:
+			walk(v.X)
+		case *UDFCallExpr:
+			ok = false
+		}
+	}
+	walk(e)
+	return ok
+}

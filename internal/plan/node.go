@@ -1,0 +1,289 @@
+package plan
+
+import (
+	"plsqlaway/internal/catalog"
+)
+
+// Node is a plan operator. Width reports the number of output columns.
+type Node interface {
+	isNode()
+	Width() int
+}
+
+// Result emits exactly one row computed from Exprs (table-less SELECT).
+type Result struct{ Exprs []Expr }
+
+// SeqScan reads a base table.
+type SeqScan struct{ Table *catalog.Table }
+
+// CTEScan reads a common table expression. Working scans read the
+// recursive working table (the self-reference inside a recursive term);
+// others read the materialized result.
+type CTEScan struct {
+	Index   int
+	Wid     int
+	Working bool
+}
+
+// Filter emits child rows satisfying Pred.
+type Filter struct {
+	Child Node
+	Pred  Expr
+}
+
+// Project computes a new row per child row.
+type Project struct {
+	Child Node
+	Exprs []Expr
+}
+
+// JoinKind enumerates nest-loop join behaviours.
+type JoinKind uint8
+
+// Join kinds.
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+	JoinCross
+)
+
+// NestLoop joins Left and Right. The current left row is pushed onto the
+// outer-row stack while the right subtree runs, so lateral right sides see
+// it as OuterRef depth 0. On == nil means unconditional (cross).
+type NestLoop struct {
+	Left, Right Node
+	Kind        JoinKind
+	On          Expr
+}
+
+// Materialize caches its child's rows on first execution so cheap rescans
+// replay them (wrapped around uncorrelated join inners).
+type Materialize struct{ Child Node }
+
+// AggSpec is one aggregate computation.
+type AggSpec struct {
+	Func     string
+	Arg      Expr // nil for count(*)
+	Star     bool
+	Distinct bool
+	Sep      Expr // string_agg separator
+}
+
+// Agg groups child rows by GroupBy and computes Aggs per group. With no
+// GROUP BY it emits exactly one row (over the whole input). Output row is
+// group values followed by aggregate results.
+type Agg struct {
+	Child   Node
+	GroupBy []Expr
+	Aggs    []AggSpec
+}
+
+// SortKey is one ordering term.
+type SortKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// FrameBoundKind enumerates window frame bounds.
+type FrameBoundKind uint8
+
+// Frame bound kinds.
+const (
+	FrameUnboundedPreceding FrameBoundKind = iota
+	FramePreceding
+	FrameCurrentRow
+	FrameFollowing
+	FrameUnboundedFollowing
+)
+
+// FrameSpec is a resolved window frame.
+type FrameSpec struct {
+	Rows           bool // ROWS vs RANGE (peer groups)
+	Start, End     FrameBoundKind
+	StartOff       Expr
+	EndOff         Expr
+	ExcludeCurrent bool
+}
+
+// WindowFn is one window computation appended as an output column.
+type WindowFn struct {
+	Func        string
+	Arg         Expr
+	Star        bool
+	PartitionBy []Expr
+	OrderBy     []SortKey
+	Frame       *FrameSpec // nil: default frame
+	Offset      Expr       // lag/lead offset
+}
+
+// Window appends one column per WindowFn to each child row.
+type Window struct {
+	Child Node
+	Funcs []WindowFn
+}
+
+// Sort orders child rows.
+type Sort struct {
+	Child Node
+	Keys  []SortKey
+}
+
+// Limit applies LIMIT/OFFSET (expressions evaluated once at open).
+type Limit struct {
+	Child  Node
+	Limit  Expr
+	Offset Expr
+}
+
+// Distinct removes duplicate rows (NULL-aware, like SELECT DISTINCT).
+type Distinct struct{ Child Node }
+
+// Append concatenates children (UNION ALL).
+type Append struct{ Children []Node }
+
+// SetOp implements INTERSECT/EXCEPT (hash-based).
+type SetOp struct {
+	Op   string // "INTERSECT" or "EXCEPT"
+	All  bool
+	L, R Node
+}
+
+// ValuesNode emits literal rows.
+type ValuesNode struct {
+	Rows [][]Expr
+	Wid  int
+}
+
+// RecursiveUnion drives a recursive CTE: seed the working table from
+// NonRec, then repeatedly evaluate Rec (whose working CTEScan reads the
+// current working table) until it yields no rows. Vanilla mode accumulates
+// every intermediate row — the full tail-recursion trace the paper shows is
+// wasted effort; Iterate mode (the paper's WITH ITERATE proposal) keeps
+// only the latest working table and therefore writes no buffer pages.
+type RecursiveUnion struct {
+	NonRec, Rec Node
+	CTEIndex    int
+	Iterate     bool
+	Dedup       bool // UNION instead of UNION ALL
+}
+
+// WithNode owns the CTEs of one query level: opening (or rescanning) it
+// resets and eagerly materializes them so correlated CTE bodies see the
+// current outer bindings.
+type WithNode struct {
+	Indices []int
+	Child   Node
+}
+
+func (*Result) isNode()         {}
+func (*SeqScan) isNode()        {}
+func (*CTEScan) isNode()        {}
+func (*Filter) isNode()         {}
+func (*Project) isNode()        {}
+func (*NestLoop) isNode()       {}
+func (*Materialize) isNode()    {}
+func (*Agg) isNode()            {}
+func (*Window) isNode()         {}
+func (*Sort) isNode()           {}
+func (*Limit) isNode()          {}
+func (*Distinct) isNode()       {}
+func (*Append) isNode()         {}
+func (*SetOp) isNode()          {}
+func (*ValuesNode) isNode()     {}
+func (*RecursiveUnion) isNode() {}
+func (*WithNode) isNode()       {}
+
+// Width implementations.
+func (n *Result) Width() int      { return len(n.Exprs) }
+func (n *SeqScan) Width() int     { return len(n.Table.Cols) }
+func (n *CTEScan) Width() int     { return n.Wid }
+func (n *Filter) Width() int      { return n.Child.Width() }
+func (n *Project) Width() int     { return len(n.Exprs) }
+func (n *NestLoop) Width() int    { return n.Left.Width() + n.Right.Width() }
+func (n *Materialize) Width() int { return n.Child.Width() }
+func (n *Agg) Width() int         { return len(n.GroupBy) + len(n.Aggs) }
+func (n *Window) Width() int      { return n.Child.Width() + len(n.Funcs) }
+func (n *Sort) Width() int        { return n.Child.Width() }
+func (n *Limit) Width() int       { return n.Child.Width() }
+func (n *Distinct) Width() int    { return n.Child.Width() }
+func (n *Append) Width() int      { return n.Children[0].Width() }
+func (n *SetOp) Width() int       { return n.L.Width() }
+func (n *ValuesNode) Width() int  { return n.Wid }
+func (n *RecursiveUnion) Width() int {
+	return n.NonRec.Width()
+}
+func (n *WithNode) Width() int { return n.Child.Width() }
+
+// CTEDef is one planned common table expression.
+type CTEDef struct {
+	Name      string
+	Plan      Node
+	Wid       int
+	Cols      []string
+	Recursive bool
+}
+
+// Plan is a complete, bindable query plan. CatalogVersion lets the plan
+// cache detect staleness after DDL.
+type Plan struct {
+	Root           Node
+	Cols           []string
+	CTEs           []CTEDef
+	NumParams      int
+	CatalogVersion int64
+	// NodeCount is the number of plan operators (instantiation cost proxy,
+	// reported by EXPLAIN-style dumps and the benchmark harness).
+	NodeCount int
+}
+
+// CountNodes walks the plan and records NodeCount.
+func (p *Plan) CountNodes() {
+	n := 0
+	var walk func(Node)
+	walk = func(nd Node) {
+		if nd == nil {
+			return
+		}
+		n++
+		switch x := nd.(type) {
+		case *IndexScan:
+			// leaf
+		case *Filter:
+			walk(x.Child)
+		case *Project:
+			walk(x.Child)
+		case *NestLoop:
+			walk(x.Left)
+			walk(x.Right)
+		case *Materialize:
+			walk(x.Child)
+		case *Agg:
+			walk(x.Child)
+		case *Window:
+			walk(x.Child)
+		case *Sort:
+			walk(x.Child)
+		case *Limit:
+			walk(x.Child)
+		case *Distinct:
+			walk(x.Child)
+		case *Append:
+			for _, c := range x.Children {
+				walk(c)
+			}
+		case *SetOp:
+			walk(x.L)
+			walk(x.R)
+		case *RecursiveUnion:
+			walk(x.NonRec)
+			walk(x.Rec)
+		case *WithNode:
+			walk(x.Child)
+		}
+	}
+	walk(p.Root)
+	for _, cte := range p.CTEs {
+		walk(cte.Plan)
+	}
+	p.NodeCount = n
+}

@@ -1,0 +1,497 @@
+// Package plparser parses PL/pgSQL function bodies into plast trees. It
+// operates on the body text of a CREATE FUNCTION … LANGUAGE plpgsql
+// statement (already extracted by the SQL parser) and delegates every
+// embedded expression and query to the SQL expression grammar, mirroring
+// how PostgreSQL's plpgsql extension calls back into the main parser.
+package plparser
+
+import (
+	"fmt"
+	"strings"
+
+	"plsqlaway/internal/lexer"
+	"plsqlaway/internal/plast"
+	"plsqlaway/internal/sqlast"
+	"plsqlaway/internal/sqlparser"
+	"plsqlaway/internal/sqltypes"
+)
+
+// ParseFunction assembles a plast.Function from the pieces of a parsed
+// CREATE FUNCTION statement.
+func ParseFunction(cf *sqlast.CreateFunction) (*plast.Function, error) {
+	f := &plast.Function{Name: cf.Name, Source: cf.Body}
+	for _, p := range cf.Params {
+		t, err := sqltypes.ParseType(p.TypeName)
+		if err != nil {
+			return nil, fmt.Errorf("plparser: parameter %s: %w", p.Name, err)
+		}
+		f.Params = append(f.Params, plast.Param{Name: strings.ToLower(p.Name), Type: t})
+	}
+	rt, err := sqltypes.ParseType(cf.ReturnType)
+	if err != nil {
+		return nil, fmt.Errorf("plparser: return type: %w", err)
+	}
+	f.ReturnType = rt
+
+	p, err := newParser(cf.Body)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.parseBody(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ParseBody parses a bare `[DECLARE …] BEGIN … END` block (used directly in
+// tests).
+func ParseBody(src string) ([]plast.Decl, []plast.Stmt, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	var f plast.Function
+	if err := p.parseBody(&f); err != nil {
+		return nil, nil, err
+	}
+	return f.Decls, f.Body, nil
+}
+
+type parser struct {
+	toks []lexer.Token
+	pos  int
+}
+
+func newParser(src string) (*parser, error) {
+	toks, err := lexer.Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	return &parser{toks: toks}, nil
+}
+
+func (p *parser) peek() lexer.Token { return p.toks[p.pos] }
+func (p *parser) peekAt(n int) lexer.Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+func (p *parser) next() lexer.Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("plpgsql parse error at %s: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if p.peek().IsKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if p.peek().IsOp(op) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errf("expected %s, got %q", kw, p.peek().Text)
+	}
+	return nil
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errf("expected %q, got %q", op, p.peek().Text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.Type == lexer.Ident {
+		p.pos++
+		return strings.ToLower(t.Text), nil
+	}
+	if t.Type == lexer.QuotedIdent {
+		p.pos++
+		return t.Text, nil
+	}
+	return "", p.errf("expected identifier, got %q", t.Text)
+}
+
+// expr delegates to the SQL expression grammar on the shared token stream.
+func (p *parser) expr() (sqlast.Expr, error) {
+	e, next, err := sqlparser.ParseExprAt(p.toks, p.pos)
+	if err != nil {
+		return nil, err
+	}
+	p.pos = next
+	return e, nil
+}
+
+func (p *parser) query() (*sqlast.Query, error) {
+	q, next, err := sqlparser.ParseQueryAt(p.toks, p.pos)
+	if err != nil {
+		return nil, err
+	}
+	p.pos = next
+	return q, nil
+}
+
+func (p *parser) typeName() (sqltypes.Type, error) {
+	tn, next, err := sqlparser.ParseTypeNameAt(p.toks, p.pos)
+	if err != nil {
+		return sqltypes.Type{}, err
+	}
+	p.pos = next
+	return sqltypes.ParseType(tn)
+}
+
+// parseBody parses [DECLARE decls] BEGIN stmts END [;].
+func (p *parser) parseBody(f *plast.Function) error {
+	if p.acceptKw("DECLARE") {
+		for !p.peek().IsKeyword("BEGIN") {
+			d, err := p.parseDecl()
+			if err != nil {
+				return err
+			}
+			f.Decls = append(f.Decls, d)
+		}
+	}
+	if err := p.expectKw("BEGIN"); err != nil {
+		return err
+	}
+	body, err := p.parseStmtsUntil("END")
+	if err != nil {
+		return err
+	}
+	f.Body = body
+	if err := p.expectKw("END"); err != nil {
+		return err
+	}
+	p.acceptOp(";")
+	if p.peek().Type != lexer.EOF {
+		return p.errf("unexpected input after END: %q", p.peek().Text)
+	}
+	return nil
+}
+
+func (p *parser) parseDecl() (plast.Decl, error) {
+	name, err := p.ident()
+	if err != nil {
+		return plast.Decl{}, err
+	}
+	typ, err := p.typeName()
+	if err != nil {
+		return plast.Decl{}, err
+	}
+	d := plast.Decl{Name: name, Type: typ}
+	if p.acceptOp("=") || p.acceptOp(":=") || p.acceptKw("DEFAULT") {
+		init, err := p.expr()
+		if err != nil {
+			return plast.Decl{}, err
+		}
+		d.Init = init
+	}
+	if err := p.expectOp(";"); err != nil {
+		return plast.Decl{}, err
+	}
+	return d, nil
+}
+
+// stopKeyword reports whether the upcoming token terminates a statement
+// list for any of the given terminators (END, ELSE, ELSIF, …).
+func (p *parser) stopKeyword(stops ...string) bool {
+	t := p.peek()
+	if t.Type == lexer.EOF {
+		return true
+	}
+	for _, s := range stops {
+		if t.IsKeyword(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) parseStmtsUntil(stops ...string) ([]plast.Stmt, error) {
+	var stmts []plast.Stmt
+	for !p.stopKeyword(stops...) {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+func (p *parser) parseStmt() (plast.Stmt, error) {
+	t := p.peek()
+
+	// <<label>> prefixed loop
+	if t.IsOp("<") && p.peekAt(1).IsOp("<") {
+		p.next()
+		p.next()
+		label, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(">"); err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(">"); err != nil {
+			return nil, err
+		}
+		return p.parseLoopish(label)
+	}
+
+	switch {
+	case t.IsKeyword("IF"):
+		return p.parseIf()
+	case t.IsKeyword("LOOP"), t.IsKeyword("WHILE"), t.IsKeyword("FOR"):
+		return p.parseLoopish("")
+	case t.IsKeyword("EXIT"), t.IsKeyword("CONTINUE"):
+		p.next()
+		isExit := t.IsKeyword("EXIT")
+		var label string
+		if p.peek().Type == lexer.Ident && !p.peek().IsKeyword("WHEN") && !p.peek().IsOp(";") {
+			label, _ = p.ident()
+		}
+		var when sqlast.Expr
+		if p.acceptKw("WHEN") {
+			w, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			when = w
+		}
+		if err := p.expectOp(";"); err != nil {
+			return nil, err
+		}
+		if isExit {
+			return &plast.Exit{Label: label, When: when}, nil
+		}
+		return &plast.Continue{Label: label, When: when}, nil
+	case t.IsKeyword("RETURN"):
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(";"); err != nil {
+			return nil, err
+		}
+		return &plast.Return{Expr: e}, nil
+	case t.IsKeyword("PERFORM"):
+		p.next()
+		// PERFORM <select-list…> — PostgreSQL re-reads it as SELECT.
+		q, err := p.query()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(";"); err != nil {
+			return nil, err
+		}
+		return &plast.Perform{Query: q}, nil
+	case t.IsKeyword("RAISE"):
+		p.next()
+		level := "NOTICE"
+		if p.acceptKw("NOTICE") {
+			level = "NOTICE"
+		} else if p.acceptKw("EXCEPTION") {
+			level = "EXCEPTION"
+		} else if p.acceptKw("WARNING") || p.acceptKw("INFO") || p.acceptKw("DEBUG") || p.acceptKw("LOG") {
+			level = "NOTICE"
+		}
+		ft := p.peek()
+		if ft.Type != lexer.String {
+			return nil, p.errf("RAISE expects a format string, got %q", ft.Text)
+		}
+		p.next()
+		r := &plast.Raise{Level: level, Format: ft.Text}
+		for p.acceptOp(",") {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			r.Args = append(r.Args, a)
+		}
+		if err := p.expectOp(";"); err != nil {
+			return nil, err
+		}
+		return r, nil
+	case t.IsKeyword("NULL"):
+		p.next()
+		if err := p.expectOp(";"); err != nil {
+			return nil, err
+		}
+		return &plast.NullStmt{}, nil
+	}
+
+	// Assignment: name [=|:=] expr ;
+	if t.Type == lexer.Ident || t.Type == lexer.QuotedIdent {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if !p.acceptOp("=") && !p.acceptOp(":=") {
+			return nil, p.errf("expected '=' or ':=' after %q", name)
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(";"); err != nil {
+			return nil, err
+		}
+		return &plast.Assign{Name: name, Expr: e}, nil
+	}
+	return nil, p.errf("unexpected %q at start of statement", t.Text)
+}
+
+func (p *parser) parseIf() (plast.Stmt, error) {
+	p.next() // IF
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("THEN"); err != nil {
+		return nil, err
+	}
+	thenBody, err := p.parseStmtsUntil("ELSIF", "ELSEIF", "ELSE", "END")
+	if err != nil {
+		return nil, err
+	}
+	stmt := &plast.If{Cond: cond, Then: thenBody}
+	for p.peek().IsKeyword("ELSIF") || p.peek().IsKeyword("ELSEIF") {
+		p.next()
+		c, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("THEN"); err != nil {
+			return nil, err
+		}
+		b, err := p.parseStmtsUntil("ELSIF", "ELSEIF", "ELSE", "END")
+		if err != nil {
+			return nil, err
+		}
+		stmt.ElseIfs = append(stmt.ElseIfs, plast.ElseIf{Cond: c, Body: b})
+	}
+	if p.acceptKw("ELSE") {
+		b, err := p.parseStmtsUntil("END")
+		if err != nil {
+			return nil, err
+		}
+		stmt.Else = b
+	}
+	if err := p.expectKw("END"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("IF"); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(";"); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+// parseLoopish parses LOOP / WHILE / FOR with an optional preceding label.
+func (p *parser) parseLoopish(label string) (plast.Stmt, error) {
+	t := p.peek()
+	switch {
+	case t.IsKeyword("LOOP"):
+		p.next()
+		body, err := p.parseStmtsUntil("END")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.endLoop(); err != nil {
+			return nil, err
+		}
+		return &plast.Loop{Label: label, Body: body}, nil
+	case t.IsKeyword("WHILE"):
+		p.next()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("LOOP"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmtsUntil("END")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.endLoop(); err != nil {
+			return nil, err
+		}
+		return &plast.While{Label: label, Cond: cond, Body: body}, nil
+	case t.IsKeyword("FOR"):
+		p.next()
+		v, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("IN"); err != nil {
+			return nil, err
+		}
+		reverse := p.acceptKw("REVERSE")
+		from, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(".."); err != nil {
+			return nil, err
+		}
+		to, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		var step sqlast.Expr
+		if p.acceptKw("BY") {
+			s, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			step = s
+		}
+		if err := p.expectKw("LOOP"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmtsUntil("END")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.endLoop(); err != nil {
+			return nil, err
+		}
+		return &plast.ForRange{Label: label, Var: v, From: from, To: to, Step: step, Reverse: reverse, Body: body}, nil
+	}
+	return nil, p.errf("expected LOOP, WHILE, or FOR, got %q", t.Text)
+}
+
+func (p *parser) endLoop() error {
+	if err := p.expectKw("END"); err != nil {
+		return err
+	}
+	if err := p.expectKw("LOOP"); err != nil {
+		return err
+	}
+	// optional trailing label
+	if p.peek().Type == lexer.Ident && !p.peek().IsOp(";") && p.peek().Keyword != "" && !p.peek().IsKeyword("END") {
+		if p.peekAt(1).IsOp(";") {
+			p.next()
+		}
+	}
+	return p.expectOp(";")
+}

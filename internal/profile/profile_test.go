@@ -1,0 +1,93 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBreakdownSumsTo100(t *testing.T) {
+	c := Counters{ExecStartNS: 300, ExecRunNS: 550, ExecEndNS: 50, InterpNS: 100}
+	s, r, e, i := c.Breakdown()
+	if total := s + r + e + i; total < 99.99 || total > 100.01 {
+		t.Errorf("breakdown sums to %f", total)
+	}
+	if s != 30 || r != 55 || e != 5 || i != 10 {
+		t.Errorf("breakdown: %f %f %f %f", s, r, e, i)
+	}
+	var empty Counters
+	s, r, e, i = empty.Breakdown()
+	if s+r+e+i != 0 {
+		t.Error("empty counters should break down to zeros")
+	}
+}
+
+func TestTotalAndReset(t *testing.T) {
+	c := Counters{ExecStartNS: 1, ExecRunNS: 2, ExecEndNS: 3, InterpNS: 4, PlanNS: 5}
+	if c.TotalNS() != 15 {
+		t.Errorf("total: %d", c.TotalNS())
+	}
+	c.Notices = append(c.Notices, "x")
+	c.Reset()
+	if c.TotalNS() != 0 || len(c.Notices) != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestCountersString(t *testing.T) {
+	c := Counters{ExecStartNS: 100, ExecRunNS: 100, ExecEndNS: 100, InterpNS: 100, ExecutorStarts: 7}
+	s := c.String()
+	if !strings.Contains(s, "25.00%") || !strings.Contains(s, "starts=7") {
+		t.Errorf("string: %s", s)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"":         "postgresql",
+		"postgres": "postgresql",
+		"PG":       "postgresql",
+		"oracle":   "oracle",
+		"sqlite3":  "sqlite",
+	} {
+		p, err := ByName(name)
+		if err != nil || p.Name != want {
+			t.Errorf("ByName(%q) = %v (%v)", name, p.Name, err)
+		}
+	}
+	if _, err := ByName("db2"); err == nil {
+		t.Error("unknown profile should fail")
+	}
+}
+
+func TestProfileCapabilities(t *testing.T) {
+	if !PostgreSQL.AllowPLpgSQL || PostgreSQL.DisableLateral {
+		t.Error("postgres profile wrong")
+	}
+	if SQLite.AllowPLpgSQL || !SQLite.DisableLateral {
+		t.Error("sqlite profile wrong")
+	}
+	if Oracle.TimerResolution != 10*time.Millisecond {
+		t.Error("oracle timer resolution wrong")
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	if d := PostgreSQL.Quantize(1234 * time.Microsecond); d != 1234*time.Microsecond {
+		t.Errorf("neutral profile must not quantize: %v", d)
+	}
+	if d := Oracle.Quantize(34 * time.Millisecond); d != 30*time.Millisecond {
+		t.Errorf("oracle quantize: %v", d)
+	}
+	if d := Oracle.Quantize(7 * time.Millisecond); d != 0 {
+		t.Errorf("below-resolution should quantize to 0: %v", d)
+	}
+}
+
+func TestSpinDoesWork(t *testing.T) {
+	t0 := time.Now()
+	Spin(1_000_000)
+	if time.Since(t0) <= 0 {
+		t.Error("spin should take time")
+	}
+}

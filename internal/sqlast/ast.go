@@ -1,0 +1,519 @@
+// Package sqlast defines the SQL abstract syntax tree shared by the parser,
+// the planner, the pretty printer, and the PL/SQL compiler (which builds
+// these nodes directly when it emits the WITH RECURSIVE form of a function).
+package sqlast
+
+import (
+	"plsqlaway/internal/sqltypes"
+)
+
+// Node is implemented by every AST node.
+type Node interface{ isNode() }
+
+// Expr is a SQL scalar expression.
+type Expr interface {
+	Node
+	isExpr()
+}
+
+// Statement is a top-level SQL statement.
+type Statement interface {
+	Node
+	isStatement()
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+// Literal is a constant value.
+type Literal struct {
+	Val sqltypes.Value
+}
+
+// ColumnRef references a column, optionally qualified: [Table.]Column.
+// Unresolvable names may be turned into parameters by the binder's variable
+// hook — that is how PL/SQL variables inside embedded queries work.
+type ColumnRef struct {
+	Table  string
+	Column string
+}
+
+// Param is a positional parameter $Ordinal (1-based).
+type Param struct {
+	Ordinal int
+}
+
+// Unary is a prefix operator: -x, NOT x.
+type Unary struct {
+	Op string // "-", "NOT"
+	X  Expr
+}
+
+// Binary is an infix operator: arithmetic, comparison, AND/OR, ||.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// IsNull is x IS [NOT] NULL.
+type IsNull struct {
+	X      Expr
+	Negate bool
+}
+
+// Between is x [NOT] BETWEEN lo AND hi.
+type Between struct {
+	X, Lo, Hi Expr
+	Negate    bool
+}
+
+// InList is x [NOT] IN (e1, e2, …).
+type InList struct {
+	X      Expr
+	List   []Expr
+	Negate bool
+}
+
+// InSubquery is x [NOT] IN (SELECT …).
+type InSubquery struct {
+	X      Expr
+	Sub    *Query
+	Negate bool
+}
+
+// Exists is [NOT] EXISTS (SELECT …).
+type Exists struct {
+	Sub    *Query
+	Negate bool
+}
+
+// ScalarSubquery is (SELECT …) used as a scalar value.
+type ScalarSubquery struct {
+	Sub *Query
+}
+
+// WhenClause is one WHEN … THEN … arm of a CASE.
+type WhenClause struct {
+	Cond   Expr
+	Result Expr
+}
+
+// Case is CASE [operand] WHEN … THEN … [ELSE …] END.
+type Case struct {
+	Operand Expr // nil for searched CASE
+	Whens   []WhenClause
+	Else    Expr // nil means ELSE NULL
+}
+
+// FuncCall is a function invocation, possibly aggregate or window
+// (Over != nil or OverName != "").
+type FuncCall struct {
+	Name     string
+	Args     []Expr
+	Star     bool // COUNT(*)
+	Distinct bool // COUNT(DISTINCT x)
+	Over     *WindowSpec
+	OverName string // OVER name (reference to a named WINDOW)
+}
+
+// Cast is CAST(x AS type) or x::type.
+type Cast struct {
+	X        Expr
+	TypeName string
+}
+
+// RowExpr is ROW(e1, …, en).
+type RowExpr struct {
+	Fields []Expr
+}
+
+// FieldAccess extracts a field from a row-typed expression: (e).name.
+// Positional access uses names f1, f2, … like PostgreSQL's record fields.
+type FieldAccess struct {
+	X     Expr
+	Field string
+}
+
+func (*Literal) isNode()        {}
+func (*ColumnRef) isNode()      {}
+func (*Param) isNode()          {}
+func (*Unary) isNode()          {}
+func (*Binary) isNode()         {}
+func (*IsNull) isNode()         {}
+func (*Between) isNode()        {}
+func (*InList) isNode()         {}
+func (*InSubquery) isNode()     {}
+func (*Exists) isNode()         {}
+func (*ScalarSubquery) isNode() {}
+func (*Case) isNode()           {}
+func (*FuncCall) isNode()       {}
+func (*Cast) isNode()           {}
+func (*RowExpr) isNode()        {}
+func (*FieldAccess) isNode()    {}
+
+func (*Literal) isExpr()        {}
+func (*ColumnRef) isExpr()      {}
+func (*Param) isExpr()          {}
+func (*Unary) isExpr()          {}
+func (*Binary) isExpr()         {}
+func (*IsNull) isExpr()         {}
+func (*Between) isExpr()        {}
+func (*InList) isExpr()         {}
+func (*InSubquery) isExpr()     {}
+func (*Exists) isExpr()         {}
+func (*ScalarSubquery) isExpr() {}
+func (*Case) isExpr()           {}
+func (*FuncCall) isExpr()       {}
+func (*Cast) isExpr()           {}
+func (*RowExpr) isExpr()        {}
+func (*FieldAccess) isExpr()    {}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+// Query is a full query: optional WITH, a body (select / set operation /
+// VALUES), and outer ORDER BY / LIMIT.
+type Query struct {
+	With    *WithClause
+	Body    QueryExpr
+	OrderBy []OrderItem
+	Limit   Expr
+	Offset  Expr
+}
+
+// QueryExpr is the body of a query.
+type QueryExpr interface {
+	Node
+	isQueryExpr()
+}
+
+// Select is a SELECT … FROM … block.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []FromItem // comma list; empty means table-less SELECT
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	Windows  []NamedWindow
+}
+
+// SetOp combines two query bodies with UNION/INTERSECT/EXCEPT.
+type SetOp struct {
+	Op   string // "UNION", "INTERSECT", "EXCEPT"
+	All  bool
+	L, R QueryExpr
+}
+
+// Values is a VALUES (…), (…) list.
+type Values struct {
+	Rows [][]Expr
+}
+
+func (*Select) isNode()      {}
+func (*SetOp) isNode()       {}
+func (*Values) isNode()      {}
+func (*Select) isQueryExpr() {}
+func (*SetOp) isQueryExpr()  {}
+func (*Values) isQueryExpr() {}
+
+// SelectItem is one output column of a Select.
+type SelectItem struct {
+	Star      bool   // bare *
+	TableStar string // t.*
+	Expr      Expr
+	Alias     string
+}
+
+// OrderItem is one ORDER BY element.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// NamedWindow is WINDOW name AS (spec).
+type NamedWindow struct {
+	Name string
+	Spec *WindowSpec
+}
+
+// WithClause is WITH [RECURSIVE|ITERATE] cte1 AS (…), ….
+// Iterate marks the paper's proposed WITH ITERATE extension: the working
+// table is *replaced* each round instead of accumulated.
+type WithClause struct {
+	Recursive bool
+	Iterate   bool
+	CTEs      []CTE
+}
+
+// CTE is one common table expression.
+type CTE struct {
+	Name     string
+	ColNames []string
+	Query    *Query
+}
+
+// ---------------------------------------------------------------------------
+// FROM items
+// ---------------------------------------------------------------------------
+
+// FromItem is an element of the FROM list.
+type FromItem interface {
+	Node
+	isFromItem()
+}
+
+// TableRef is a base table or CTE reference.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// SubqueryRef is a derived table: [LATERAL] (query) AS alias(col, …).
+type SubqueryRef struct {
+	Query      *Query
+	Alias      string
+	ColAliases []string
+	Lateral    bool
+}
+
+// JoinType enumerates join kinds.
+type JoinType uint8
+
+// Join kinds.
+const (
+	JoinInner JoinType = iota
+	JoinLeft
+	JoinCross
+)
+
+func (jt JoinType) String() string {
+	switch jt {
+	case JoinInner:
+		return "JOIN"
+	case JoinLeft:
+		return "LEFT JOIN"
+	case JoinCross:
+		return "CROSS JOIN"
+	default:
+		return "JOIN"
+	}
+}
+
+// Join is an explicit join: L <type> [LATERAL] R ON cond. The Lateral flag
+// lives on the right-hand SubqueryRef.
+type Join struct {
+	Type JoinType
+	L, R FromItem
+	On   Expr // nil for CROSS JOIN
+}
+
+func (*TableRef) isNode()        {}
+func (*SubqueryRef) isNode()     {}
+func (*Join) isNode()            {}
+func (*TableRef) isFromItem()    {}
+func (*SubqueryRef) isFromItem() {}
+func (*Join) isFromItem()        {}
+
+// ---------------------------------------------------------------------------
+// Window specifications
+// ---------------------------------------------------------------------------
+
+// WindowSpec is (name? PARTITION BY … ORDER BY … frame). Name references a
+// named window whose clauses this spec inherits (the walk() query uses
+// `lt AS (leq ROWS UNBOUNDED PRECEDING EXCLUDE CURRENT ROW)`).
+type WindowSpec struct {
+	Name        string // inherited base window, "" if none
+	PartitionBy []Expr
+	OrderBy     []OrderItem
+	Frame       *Frame
+}
+
+// FrameMode distinguishes ROWS from RANGE frames.
+type FrameMode uint8
+
+// Frame modes.
+const (
+	FrameRange FrameMode = iota // default: RANGE UNBOUNDED PRECEDING … CURRENT ROW (peers)
+	FrameRows
+)
+
+// BoundType enumerates frame bound kinds.
+type BoundType uint8
+
+// Frame bound kinds.
+const (
+	BoundUnboundedPreceding BoundType = iota
+	BoundPreceding                    // <n> PRECEDING
+	BoundCurrentRow
+	BoundFollowing // <n> FOLLOWING
+	BoundUnboundedFollowing
+)
+
+// FrameBound is one end of a frame.
+type FrameBound struct {
+	Type   BoundType
+	Offset Expr // for BoundPreceding/BoundFollowing
+}
+
+// Frame is a window frame clause.
+type Frame struct {
+	Mode           FrameMode
+	Start, End     FrameBound
+	ExcludeCurrent bool // EXCLUDE CURRENT ROW
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+// SelectStatement wraps a Query as an executable statement.
+type SelectStatement struct {
+	Query *Query
+}
+
+// ColDef is a column definition in CREATE TABLE.
+type ColDef struct {
+	Name     string
+	TypeName string
+}
+
+// CreateTable is CREATE TABLE name (col type, …).
+type CreateTable struct {
+	Name        string
+	IfNotExists bool
+	Cols        []ColDef
+}
+
+// DropTable is DROP TABLE [IF EXISTS] name.
+type DropTable struct {
+	Name     string
+	IfExists bool
+}
+
+// CreateIndex is CREATE INDEX [name] ON table (col) — declared hash
+// indexes the planner may use for equality lookups.
+type CreateIndex struct {
+	Name   string
+	Table  string
+	Column string
+}
+
+// ParamDef is one function parameter.
+type ParamDef struct {
+	Name     string
+	TypeName string
+}
+
+// CreateFunction is CREATE [OR REPLACE] FUNCTION name(params) RETURNS type
+// AS $$ body $$ LANGUAGE lang. The body stays raw text here; the PL/SQL or
+// SQL sub-parser processes it when the function is installed.
+type CreateFunction struct {
+	OrReplace  bool
+	Name       string
+	Params     []ParamDef
+	ReturnType string
+	Language   string // "plpgsql" or "sql" (lower-cased)
+	Body       string
+}
+
+// DropFunction is DROP FUNCTION [IF EXISTS] name.
+type DropFunction struct {
+	Name     string
+	IfExists bool
+}
+
+// Insert is INSERT INTO table [(cols)] query.
+type Insert struct {
+	Table string
+	Cols  []string
+	Query *Query
+}
+
+// SetClause is one col = expr assignment in UPDATE.
+type SetClause struct {
+	Col  string
+	Expr Expr
+}
+
+// Update is UPDATE table SET … [WHERE …].
+type Update struct {
+	Table string
+	Alias string
+	Sets  []SetClause
+	Where Expr
+}
+
+// Delete is DELETE FROM table [WHERE …].
+type Delete struct {
+	Table string
+	Alias string
+	Where Expr
+}
+
+func (*SelectStatement) isNode() {}
+func (*CreateIndex) isNode()     {}
+func (*CreateTable) isNode()     {}
+func (*DropTable) isNode()       {}
+func (*CreateFunction) isNode()  {}
+func (*DropFunction) isNode()    {}
+func (*Insert) isNode()          {}
+func (*Update) isNode()          {}
+func (*Delete) isNode()          {}
+func (*Query) isNode()           {}
+
+func (*SelectStatement) isStatement() {}
+func (*CreateIndex) isStatement()     {}
+func (*CreateTable) isStatement()     {}
+func (*DropTable) isStatement()       {}
+func (*CreateFunction) isStatement()  {}
+func (*DropFunction) isStatement()    {}
+func (*Insert) isStatement()          {}
+func (*Update) isStatement()          {}
+func (*Delete) isStatement()          {}
+
+// ---------------------------------------------------------------------------
+// Construction helpers (heavily used by the compiler back end)
+// ---------------------------------------------------------------------------
+
+// Lit builds a literal expression.
+func Lit(v sqltypes.Value) *Literal { return &Literal{Val: v} }
+
+// IntLit builds an integer literal.
+func IntLit(i int64) *Literal { return Lit(sqltypes.NewInt(i)) }
+
+// BoolLit builds a boolean literal.
+func BoolLit(b bool) *Literal { return Lit(sqltypes.NewBool(b)) }
+
+// TextLit builds a text literal.
+func TextLit(s string) *Literal { return Lit(sqltypes.NewText(s)) }
+
+// NullLit builds a NULL literal.
+func NullLit() *Literal { return Lit(sqltypes.Null) }
+
+// Col builds an unqualified column reference.
+func Col(name string) *ColumnRef { return &ColumnRef{Column: name} }
+
+// QCol builds a qualified column reference.
+func QCol(table, name string) *ColumnRef { return &ColumnRef{Table: table, Column: name} }
+
+// Eq builds l = r.
+func Eq(l, r Expr) *Binary { return &Binary{Op: "=", L: l, R: r} }
+
+// SimpleSelect builds SELECT exprs… with optional aliases (parallel slices;
+// aliases may be nil).
+func SimpleSelect(exprs []Expr, aliases []string) *Select {
+	items := make([]SelectItem, len(exprs))
+	for i, e := range exprs {
+		items[i] = SelectItem{Expr: e}
+		if aliases != nil {
+			items[i].Alias = aliases[i]
+		}
+	}
+	return &Select{Items: items}
+}
+
+// WrapQuery wraps a bare Select (or other body) into a Query.
+func WrapQuery(body QueryExpr) *Query { return &Query{Body: body} }

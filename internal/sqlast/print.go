@@ -1,0 +1,628 @@
+package sqlast
+
+import (
+	"fmt"
+	"strings"
+
+	"plsqlaway/internal/lexer"
+)
+
+// Deparse renders a statement back to SQL text. The output reparses to an
+// identical AST (checked by property tests); the compiler relies on this to
+// hand emitted queries to any engine session, and the plan cache uses it as
+// a canonical key.
+func Deparse(s Statement) string {
+	var p printer
+	p.statement(s)
+	return p.sb.String()
+}
+
+// DeparseQuery renders a query.
+func DeparseQuery(q *Query) string {
+	var p printer
+	p.query(q)
+	return p.sb.String()
+}
+
+// DeparseExpr renders an expression.
+func DeparseExpr(e Expr) string {
+	var p printer
+	p.expr(e, 0)
+	return p.sb.String()
+}
+
+type printer struct {
+	sb strings.Builder
+}
+
+func (p *printer) ws(s string)              { p.sb.WriteString(s) }
+func (p *printer) wf(f string, args ...any) { fmt.Fprintf(&p.sb, f, args...) }
+func (p *printer) ident(name string)        { p.ws(lexer.QuoteIdent(name)) }
+
+func (p *printer) statement(s Statement) {
+	switch s := s.(type) {
+	case *SelectStatement:
+		p.query(s.Query)
+	case *CreateTable:
+		p.ws("CREATE TABLE ")
+		if s.IfNotExists {
+			p.ws("IF NOT EXISTS ")
+		}
+		p.ident(s.Name)
+		p.ws(" (")
+		for i, c := range s.Cols {
+			if i > 0 {
+				p.ws(", ")
+			}
+			p.ident(c.Name)
+			p.ws(" ")
+			p.ws(c.TypeName)
+		}
+		p.ws(")")
+	case *CreateIndex:
+		p.ws("CREATE INDEX ")
+		if s.Name != "" {
+			p.ident(s.Name)
+			p.ws(" ")
+		}
+		p.ws("ON ")
+		p.ident(s.Table)
+		p.ws(" (")
+		p.ident(s.Column)
+		p.ws(")")
+	case *DropTable:
+		p.ws("DROP TABLE ")
+		if s.IfExists {
+			p.ws("IF EXISTS ")
+		}
+		p.ident(s.Name)
+	case *CreateFunction:
+		p.ws("CREATE ")
+		if s.OrReplace {
+			p.ws("OR REPLACE ")
+		}
+		p.ws("FUNCTION ")
+		p.ident(s.Name)
+		p.ws("(")
+		for i, prm := range s.Params {
+			if i > 0 {
+				p.ws(", ")
+			}
+			p.ident(prm.Name)
+			p.ws(" ")
+			p.ws(prm.TypeName)
+		}
+		p.ws(") RETURNS ")
+		p.ws(s.ReturnType)
+		p.ws(" AS $body$")
+		p.ws(s.Body)
+		p.ws("$body$ LANGUAGE ")
+		p.ws(s.Language)
+	case *DropFunction:
+		p.ws("DROP FUNCTION ")
+		if s.IfExists {
+			p.ws("IF EXISTS ")
+		}
+		p.ident(s.Name)
+	case *Insert:
+		p.ws("INSERT INTO ")
+		p.ident(s.Table)
+		if len(s.Cols) > 0 {
+			p.ws(" (")
+			for i, c := range s.Cols {
+				if i > 0 {
+					p.ws(", ")
+				}
+				p.ident(c)
+			}
+			p.ws(")")
+		}
+		p.ws(" ")
+		p.query(s.Query)
+	case *Update:
+		p.ws("UPDATE ")
+		p.ident(s.Table)
+		if s.Alias != "" {
+			p.ws(" AS ")
+			p.ident(s.Alias)
+		}
+		p.ws(" SET ")
+		for i, sc := range s.Sets {
+			if i > 0 {
+				p.ws(", ")
+			}
+			p.ident(sc.Col)
+			p.ws(" = ")
+			p.expr(sc.Expr, 0)
+		}
+		if s.Where != nil {
+			p.ws(" WHERE ")
+			p.expr(s.Where, 0)
+		}
+	case *Delete:
+		p.ws("DELETE FROM ")
+		p.ident(s.Table)
+		if s.Alias != "" {
+			p.ws(" AS ")
+			p.ident(s.Alias)
+		}
+		if s.Where != nil {
+			p.ws(" WHERE ")
+			p.expr(s.Where, 0)
+		}
+	default:
+		p.wf("/* unknown statement %T */", s)
+	}
+}
+
+func (p *printer) query(q *Query) {
+	if q.With != nil {
+		p.ws("WITH ")
+		if q.With.Iterate {
+			p.ws("ITERATE ")
+		} else if q.With.Recursive {
+			p.ws("RECURSIVE ")
+		}
+		for i, cte := range q.With.CTEs {
+			if i > 0 {
+				p.ws(", ")
+			}
+			p.ident(cte.Name)
+			if len(cte.ColNames) > 0 {
+				p.ws("(")
+				for j, c := range cte.ColNames {
+					if j > 0 {
+						p.ws(", ")
+					}
+					p.ident(c)
+				}
+				p.ws(")")
+			}
+			p.ws(" AS (")
+			p.query(cte.Query)
+			p.ws(")")
+		}
+		p.ws(" ")
+	}
+	p.queryExpr(q.Body, false)
+	if len(q.OrderBy) > 0 {
+		p.ws(" ORDER BY ")
+		p.orderItems(q.OrderBy)
+	}
+	if q.Limit != nil {
+		p.ws(" LIMIT ")
+		p.expr(q.Limit, 0)
+	}
+	if q.Offset != nil {
+		p.ws(" OFFSET ")
+		p.expr(q.Offset, 0)
+	}
+}
+
+func (p *printer) queryExpr(qe QueryExpr, parenthesize bool) {
+	if parenthesize {
+		p.ws("(")
+		defer p.ws(")")
+	}
+	switch qe := qe.(type) {
+	case *Select:
+		p.selectBlock(qe)
+	case *SetOp:
+		// Left-associative chains print flat; nested right operands get
+		// parens so parsing stays unambiguous.
+		p.queryExpr(qe.L, isSetOp(qe.L) && setOpNeedsParens(qe.Op, qe.L))
+		p.wf(" %s ", qe.Op)
+		if qe.All {
+			p.ws("ALL ")
+		}
+		p.queryExpr(qe.R, isSetOp(qe.R))
+	case *Values:
+		p.ws("VALUES ")
+		for i, row := range qe.Rows {
+			if i > 0 {
+				p.ws(", ")
+			}
+			p.ws("(")
+			for j, e := range row {
+				if j > 0 {
+					p.ws(", ")
+				}
+				p.expr(e, 0)
+			}
+			p.ws(")")
+		}
+	}
+}
+
+func isSetOp(qe QueryExpr) bool { _, ok := qe.(*SetOp); return ok }
+
+func setOpNeedsParens(outer string, inner QueryExpr) bool {
+	in, ok := inner.(*SetOp)
+	if !ok {
+		return false
+	}
+	// INTERSECT binds tighter than UNION/EXCEPT; parenthesize when the
+	// nesting disagrees with that.
+	return outer == "INTERSECT" && in.Op != "INTERSECT"
+}
+
+func (p *printer) selectBlock(s *Select) {
+	p.ws("SELECT ")
+	if s.Distinct {
+		p.ws("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			p.ws(", ")
+		}
+		switch {
+		case it.Star:
+			p.ws("*")
+		case it.TableStar != "":
+			p.ident(it.TableStar)
+			p.ws(".*")
+		default:
+			p.expr(it.Expr, 0)
+			if it.Alias != "" {
+				p.ws(" AS ")
+				p.ident(it.Alias)
+			}
+		}
+	}
+	if len(s.From) > 0 {
+		p.ws(" FROM ")
+		for i, f := range s.From {
+			if i > 0 {
+				p.ws(", ")
+			}
+			p.fromItem(f)
+		}
+	}
+	if s.Where != nil {
+		p.ws(" WHERE ")
+		p.expr(s.Where, 0)
+	}
+	if len(s.GroupBy) > 0 {
+		p.ws(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				p.ws(", ")
+			}
+			p.expr(e, 0)
+		}
+	}
+	if s.Having != nil {
+		p.ws(" HAVING ")
+		p.expr(s.Having, 0)
+	}
+	if len(s.Windows) > 0 {
+		p.ws(" WINDOW ")
+		for i, w := range s.Windows {
+			if i > 0 {
+				p.ws(", ")
+			}
+			p.ident(w.Name)
+			p.ws(" AS (")
+			p.windowSpec(w.Spec)
+			p.ws(")")
+		}
+	}
+}
+
+func (p *printer) fromItem(f FromItem) {
+	switch f := f.(type) {
+	case *TableRef:
+		p.ident(f.Name)
+		if f.Alias != "" {
+			p.ws(" AS ")
+			p.ident(f.Alias)
+		}
+	case *SubqueryRef:
+		if f.Lateral {
+			p.ws("LATERAL ")
+		}
+		p.ws("(")
+		p.query(f.Query)
+		p.ws(")")
+		if f.Alias != "" {
+			p.ws(" AS ")
+			p.ident(f.Alias)
+		}
+		if len(f.ColAliases) > 0 {
+			p.ws("(")
+			for i, c := range f.ColAliases {
+				if i > 0 {
+					p.ws(", ")
+				}
+				p.ident(c)
+			}
+			p.ws(")")
+		}
+	case *Join:
+		p.fromItem(f.L)
+		p.wf(" %s ", f.Type)
+		if j, ok := f.R.(*Join); ok {
+			p.ws("(")
+			p.fromItem(j)
+			p.ws(")")
+		} else {
+			p.fromItem(f.R)
+		}
+		if f.On != nil {
+			p.ws(" ON ")
+			p.expr(f.On, 0)
+		}
+	}
+}
+
+func (p *printer) orderItems(items []OrderItem) {
+	for i, o := range items {
+		if i > 0 {
+			p.ws(", ")
+		}
+		p.expr(o.Expr, 0)
+		if o.Desc {
+			p.ws(" DESC")
+		}
+	}
+}
+
+func (p *printer) windowSpec(w *WindowSpec) {
+	first := true
+	sep := func() {
+		if !first {
+			p.ws(" ")
+		}
+		first = false
+	}
+	if w.Name != "" {
+		sep()
+		p.ident(w.Name)
+	}
+	if len(w.PartitionBy) > 0 {
+		sep()
+		p.ws("PARTITION BY ")
+		for i, e := range w.PartitionBy {
+			if i > 0 {
+				p.ws(", ")
+			}
+			p.expr(e, 0)
+		}
+	}
+	if len(w.OrderBy) > 0 {
+		sep()
+		p.ws("ORDER BY ")
+		p.orderItems(w.OrderBy)
+	}
+	if w.Frame != nil {
+		sep()
+		fr := w.Frame
+		if fr.Mode == FrameRows {
+			p.ws("ROWS ")
+		} else {
+			p.ws("RANGE ")
+		}
+		if fr.End.Type == BoundCurrentRow && fr.Start.Type == BoundUnboundedPreceding && !frameHasExplicitEnd(fr) {
+			p.frameBound(fr.Start)
+		} else {
+			p.ws("BETWEEN ")
+			p.frameBound(fr.Start)
+			p.ws(" AND ")
+			p.frameBound(fr.End)
+		}
+		if fr.ExcludeCurrent {
+			p.ws(" EXCLUDE CURRENT ROW")
+		}
+	}
+}
+
+// frameHasExplicitEnd: we always print the short form `ROWS <start>` when the
+// end is CURRENT ROW, matching how the paper's queries are written.
+func frameHasExplicitEnd(*Frame) bool { return false }
+
+func (p *printer) frameBound(b FrameBound) {
+	switch b.Type {
+	case BoundUnboundedPreceding:
+		p.ws("UNBOUNDED PRECEDING")
+	case BoundPreceding:
+		p.expr(b.Offset, 0)
+		p.ws(" PRECEDING")
+	case BoundCurrentRow:
+		p.ws("CURRENT ROW")
+	case BoundFollowing:
+		p.expr(b.Offset, 0)
+		p.ws(" FOLLOWING")
+	case BoundUnboundedFollowing:
+		p.ws("UNBOUNDED FOLLOWING")
+	}
+}
+
+// Expression precedence levels; must mirror the parser.
+const (
+	precOr = iota + 1
+	precAnd
+	precNot
+	precCmp
+	precAdd
+	precMul
+	precUnary
+	precPostfix
+)
+
+func binaryPrec(op string) int {
+	switch op {
+	case "OR":
+		return precOr
+	case "AND":
+		return precAnd
+	case "=", "<>", "!=", "<", "<=", ">", ">=":
+		return precCmp
+	case "+", "-", "||":
+		return precAdd
+	case "*", "/", "%":
+		return precMul
+	default:
+		return precPostfix
+	}
+}
+
+func (p *printer) expr(e Expr, minPrec int) {
+	prec := exprPrec(e)
+	if prec < minPrec {
+		p.ws("(")
+		defer p.ws(")")
+	}
+	switch e := e.(type) {
+	case *Literal:
+		p.ws(e.Val.SQLLiteral())
+	case *ColumnRef:
+		if e.Table != "" {
+			p.ident(e.Table)
+			p.ws(".")
+		}
+		p.ident(e.Column)
+	case *Param:
+		p.wf("$%d", e.Ordinal)
+	case *Unary:
+		if e.Op == "NOT" {
+			p.ws("NOT ")
+			p.expr(e.X, precNot)
+		} else {
+			p.ws(e.Op)
+			p.expr(e.X, precUnary)
+		}
+	case *Binary:
+		bp := binaryPrec(e.Op)
+		p.expr(e.L, bp)
+		p.wf(" %s ", e.Op)
+		p.expr(e.R, bp+1)
+	case *IsNull:
+		p.expr(e.X, precCmp+1)
+		if e.Negate {
+			p.ws(" IS NOT NULL")
+		} else {
+			p.ws(" IS NULL")
+		}
+	case *Between:
+		p.expr(e.X, precCmp+1)
+		if e.Negate {
+			p.ws(" NOT")
+		}
+		p.ws(" BETWEEN ")
+		p.expr(e.Lo, precAdd)
+		p.ws(" AND ")
+		p.expr(e.Hi, precAdd)
+	case *InList:
+		p.expr(e.X, precCmp+1)
+		if e.Negate {
+			p.ws(" NOT")
+		}
+		p.ws(" IN (")
+		for i, x := range e.List {
+			if i > 0 {
+				p.ws(", ")
+			}
+			p.expr(x, 0)
+		}
+		p.ws(")")
+	case *InSubquery:
+		p.expr(e.X, precCmp+1)
+		if e.Negate {
+			p.ws(" NOT")
+		}
+		p.ws(" IN (")
+		p.query(e.Sub)
+		p.ws(")")
+	case *Exists:
+		if e.Negate {
+			p.ws("NOT ")
+		}
+		p.ws("EXISTS (")
+		p.query(e.Sub)
+		p.ws(")")
+	case *ScalarSubquery:
+		p.ws("(")
+		p.query(e.Sub)
+		p.ws(")")
+	case *Case:
+		p.ws("CASE")
+		if e.Operand != nil {
+			p.ws(" ")
+			p.expr(e.Operand, 0)
+		}
+		for _, w := range e.Whens {
+			p.ws(" WHEN ")
+			p.expr(w.Cond, 0)
+			p.ws(" THEN ")
+			p.expr(w.Result, 0)
+		}
+		if e.Else != nil {
+			p.ws(" ELSE ")
+			p.expr(e.Else, 0)
+		}
+		p.ws(" END")
+	case *FuncCall:
+		p.ident(e.Name)
+		p.ws("(")
+		if e.Star {
+			p.ws("*")
+		} else {
+			if e.Distinct {
+				p.ws("DISTINCT ")
+			}
+			for i, a := range e.Args {
+				if i > 0 {
+					p.ws(", ")
+				}
+				p.expr(a, 0)
+			}
+		}
+		p.ws(")")
+		if e.OverName != "" {
+			p.ws(" OVER ")
+			p.ident(e.OverName)
+		} else if e.Over != nil {
+			p.ws(" OVER (")
+			p.windowSpec(e.Over)
+			p.ws(")")
+		}
+	case *Cast:
+		p.ws("CAST(")
+		p.expr(e.X, 0)
+		p.ws(" AS ")
+		p.ws(e.TypeName)
+		p.ws(")")
+	case *RowExpr:
+		p.ws("ROW(")
+		for i, f := range e.Fields {
+			if i > 0 {
+				p.ws(", ")
+			}
+			p.expr(f, 0)
+		}
+		p.ws(")")
+	case *FieldAccess:
+		p.ws("(")
+		p.expr(e.X, 0)
+		p.ws(").")
+		p.ident(e.Field)
+	default:
+		p.wf("/* unknown expr %T */", e)
+	}
+}
+
+func exprPrec(e Expr) int {
+	switch e := e.(type) {
+	case *Binary:
+		return binaryPrec(e.Op)
+	case *Unary:
+		if e.Op == "NOT" {
+			return precNot
+		}
+		return precUnary
+	case *IsNull, *Between, *InList, *InSubquery:
+		return precCmp
+	default:
+		return precPostfix
+	}
+}

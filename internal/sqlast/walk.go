@@ -1,0 +1,327 @@
+package sqlast
+
+// RewriteExpr applies fn bottom-up to every expression node reachable from
+// e, including expressions nested in subqueries, and returns the (possibly
+// new) root. fn receives a node whose children were already rewritten; it
+// returns the replacement. The compiler uses this to substitute recursive
+// call sites with ROW constructors (paper Figure 9), the binder uses it for
+// parameter substitution, and the dialect rewriters for LATERAL removal.
+func RewriteExpr(e Expr, fn func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *Literal, *ColumnRef, *Param:
+		// leaves
+	case *Unary:
+		c := *x
+		c.X = RewriteExpr(x.X, fn)
+		e = &c
+	case *Binary:
+		c := *x
+		c.L = RewriteExpr(x.L, fn)
+		c.R = RewriteExpr(x.R, fn)
+		e = &c
+	case *IsNull:
+		c := *x
+		c.X = RewriteExpr(x.X, fn)
+		e = &c
+	case *Between:
+		c := *x
+		c.X = RewriteExpr(x.X, fn)
+		c.Lo = RewriteExpr(x.Lo, fn)
+		c.Hi = RewriteExpr(x.Hi, fn)
+		e = &c
+	case *InList:
+		c := *x
+		c.List = rewriteExprs(x.List, fn)
+		c.X = RewriteExpr(x.X, fn)
+		e = &c
+	case *InSubquery:
+		c := *x
+		c.X = RewriteExpr(x.X, fn)
+		c.Sub = RewriteQuery(x.Sub, fn)
+		e = &c
+	case *Exists:
+		c := *x
+		c.Sub = RewriteQuery(x.Sub, fn)
+		e = &c
+	case *ScalarSubquery:
+		c := *x
+		c.Sub = RewriteQuery(x.Sub, fn)
+		e = &c
+	case *Case:
+		c := *x
+		c.Operand = RewriteExpr(x.Operand, fn)
+		c.Whens = make([]WhenClause, len(x.Whens))
+		for i, w := range x.Whens {
+			c.Whens[i] = WhenClause{Cond: RewriteExpr(w.Cond, fn), Result: RewriteExpr(w.Result, fn)}
+		}
+		c.Else = RewriteExpr(x.Else, fn)
+		e = &c
+	case *FuncCall:
+		c := *x
+		c.Args = rewriteExprs(x.Args, fn)
+		if x.Over != nil {
+			c.Over = rewriteWindowSpec(x.Over, fn)
+		}
+		e = &c
+	case *Cast:
+		c := *x
+		c.X = RewriteExpr(x.X, fn)
+		e = &c
+	case *RowExpr:
+		c := *x
+		c.Fields = rewriteExprs(x.Fields, fn)
+		e = &c
+	case *FieldAccess:
+		c := *x
+		c.X = RewriteExpr(x.X, fn)
+		e = &c
+	}
+	return fn(e)
+}
+
+func rewriteExprs(es []Expr, fn func(Expr) Expr) []Expr {
+	if es == nil {
+		return nil
+	}
+	out := make([]Expr, len(es))
+	for i, e := range es {
+		out[i] = RewriteExpr(e, fn)
+	}
+	return out
+}
+
+func rewriteWindowSpec(w *WindowSpec, fn func(Expr) Expr) *WindowSpec {
+	c := *w
+	c.PartitionBy = rewriteExprs(w.PartitionBy, fn)
+	c.OrderBy = rewriteOrderItems(w.OrderBy, fn)
+	if w.Frame != nil {
+		fr := *w.Frame
+		fr.Start.Offset = RewriteExpr(w.Frame.Start.Offset, fn)
+		fr.End.Offset = RewriteExpr(w.Frame.End.Offset, fn)
+		c.Frame = &fr
+	}
+	return &c
+}
+
+func rewriteOrderItems(items []OrderItem, fn func(Expr) Expr) []OrderItem {
+	if items == nil {
+		return nil
+	}
+	out := make([]OrderItem, len(items))
+	for i, o := range items {
+		out[i] = OrderItem{Expr: RewriteExpr(o.Expr, fn), Desc: o.Desc}
+	}
+	return out
+}
+
+// RewriteQuery applies fn to every expression in q (deeply) and returns the
+// rewritten query. The query structure itself is preserved.
+func RewriteQuery(q *Query, fn func(Expr) Expr) *Query {
+	if q == nil {
+		return nil
+	}
+	c := *q
+	if q.With != nil {
+		w := *q.With
+		w.CTEs = make([]CTE, len(q.With.CTEs))
+		for i, cte := range q.With.CTEs {
+			w.CTEs[i] = CTE{Name: cte.Name, ColNames: cte.ColNames, Query: RewriteQuery(cte.Query, fn)}
+		}
+		c.With = &w
+	}
+	c.Body = rewriteQueryExpr(q.Body, fn)
+	c.OrderBy = rewriteOrderItems(q.OrderBy, fn)
+	c.Limit = RewriteExpr(q.Limit, fn)
+	c.Offset = RewriteExpr(q.Offset, fn)
+	return &c
+}
+
+func rewriteQueryExpr(qe QueryExpr, fn func(Expr) Expr) QueryExpr {
+	switch x := qe.(type) {
+	case *Select:
+		c := *x
+		c.Items = make([]SelectItem, len(x.Items))
+		for i, it := range x.Items {
+			c.Items[i] = it
+			if it.Expr != nil {
+				c.Items[i].Expr = RewriteExpr(it.Expr, fn)
+			}
+		}
+		c.From = make([]FromItem, len(x.From))
+		for i, f := range x.From {
+			c.From[i] = rewriteFromItem(f, fn)
+		}
+		c.Where = RewriteExpr(x.Where, fn)
+		c.GroupBy = rewriteExprs(x.GroupBy, fn)
+		c.Having = RewriteExpr(x.Having, fn)
+		c.Windows = make([]NamedWindow, len(x.Windows))
+		for i, w := range x.Windows {
+			c.Windows[i] = NamedWindow{Name: w.Name, Spec: rewriteWindowSpec(w.Spec, fn)}
+		}
+		return &c
+	case *SetOp:
+		c := *x
+		c.L = rewriteQueryExpr(x.L, fn)
+		c.R = rewriteQueryExpr(x.R, fn)
+		return &c
+	case *Values:
+		c := *x
+		c.Rows = make([][]Expr, len(x.Rows))
+		for i, row := range x.Rows {
+			c.Rows[i] = rewriteExprs(row, fn)
+		}
+		return &c
+	default:
+		return qe
+	}
+}
+
+func rewriteFromItem(f FromItem, fn func(Expr) Expr) FromItem {
+	switch x := f.(type) {
+	case *TableRef:
+		return x
+	case *SubqueryRef:
+		c := *x
+		c.Query = RewriteQuery(x.Query, fn)
+		return &c
+	case *Join:
+		c := *x
+		c.L = rewriteFromItem(x.L, fn)
+		c.R = rewriteFromItem(x.R, fn)
+		c.On = RewriteExpr(x.On, fn)
+		return &c
+	default:
+		return f
+	}
+}
+
+// WalkExpr calls fn for every expression node reachable from e (pre-order),
+// descending into subqueries. fn returning false prunes the subtree.
+func WalkExpr(e Expr, fn func(Expr) bool) {
+	walkExpr(e, fn)
+}
+
+func walkExpr(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *Unary:
+		walkExpr(x.X, fn)
+	case *Binary:
+		walkExpr(x.L, fn)
+		walkExpr(x.R, fn)
+	case *IsNull:
+		walkExpr(x.X, fn)
+	case *Between:
+		walkExpr(x.X, fn)
+		walkExpr(x.Lo, fn)
+		walkExpr(x.Hi, fn)
+	case *InList:
+		walkExpr(x.X, fn)
+		for _, i := range x.List {
+			walkExpr(i, fn)
+		}
+	case *InSubquery:
+		walkExpr(x.X, fn)
+		WalkQuery(x.Sub, fn)
+	case *Exists:
+		WalkQuery(x.Sub, fn)
+	case *ScalarSubquery:
+		WalkQuery(x.Sub, fn)
+	case *Case:
+		walkExpr(x.Operand, fn)
+		for _, w := range x.Whens {
+			walkExpr(w.Cond, fn)
+			walkExpr(w.Result, fn)
+		}
+		walkExpr(x.Else, fn)
+	case *FuncCall:
+		for _, a := range x.Args {
+			walkExpr(a, fn)
+		}
+		if x.Over != nil {
+			for _, pb := range x.Over.PartitionBy {
+				walkExpr(pb, fn)
+			}
+			for _, ob := range x.Over.OrderBy {
+				walkExpr(ob.Expr, fn)
+			}
+		}
+	case *Cast:
+		walkExpr(x.X, fn)
+	case *RowExpr:
+		for _, fld := range x.Fields {
+			walkExpr(fld, fn)
+		}
+	case *FieldAccess:
+		walkExpr(x.X, fn)
+	}
+}
+
+// WalkQuery calls fn for every expression in q, descending into CTEs,
+// subqueries, and FROM items.
+func WalkQuery(q *Query, fn func(Expr) bool) {
+	if q == nil {
+		return
+	}
+	if q.With != nil {
+		for _, cte := range q.With.CTEs {
+			WalkQuery(cte.Query, fn)
+		}
+	}
+	walkQueryExpr(q.Body, fn)
+	for _, o := range q.OrderBy {
+		walkExpr(o.Expr, fn)
+	}
+	walkExpr(q.Limit, fn)
+	walkExpr(q.Offset, fn)
+}
+
+func walkQueryExpr(qe QueryExpr, fn func(Expr) bool) {
+	switch x := qe.(type) {
+	case *Select:
+		for _, it := range x.Items {
+			walkExpr(it.Expr, fn)
+		}
+		for _, f := range x.From {
+			walkFromItem(f, fn)
+		}
+		walkExpr(x.Where, fn)
+		for _, g := range x.GroupBy {
+			walkExpr(g, fn)
+		}
+		walkExpr(x.Having, fn)
+		for _, w := range x.Windows {
+			for _, pb := range w.Spec.PartitionBy {
+				walkExpr(pb, fn)
+			}
+			for _, ob := range w.Spec.OrderBy {
+				walkExpr(ob.Expr, fn)
+			}
+		}
+	case *SetOp:
+		walkQueryExpr(x.L, fn)
+		walkQueryExpr(x.R, fn)
+	case *Values:
+		for _, row := range x.Rows {
+			for _, e := range row {
+				walkExpr(e, fn)
+			}
+		}
+	}
+}
+
+func walkFromItem(f FromItem, fn func(Expr) bool) {
+	switch x := f.(type) {
+	case *SubqueryRef:
+		WalkQuery(x.Query, fn)
+	case *Join:
+		walkFromItem(x.L, fn)
+		walkFromItem(x.R, fn)
+		walkExpr(x.On, fn)
+	}
+}

@@ -1,0 +1,294 @@
+// Package sqlgen performs the paper's final SQL step: it embeds the
+// adapted body of the tail-recursive UDF into the generic WITH RECURSIVE
+// template of Figure 8. Recursive call sites become rows
+// (true, args, NULL), base cases become rows (false, NULL, v) — Figure 9 —
+// and the run table's final activation carries the function result. The
+// WITH ITERATE variant keeps only the latest run row (the paper's §3
+// proposal), and InlineCall splices the emitted query into call sites of an
+// embracing query (the paper's §4 outlook on PostgreSQL 12 CTE inlining).
+package sqlgen
+
+import (
+	"fmt"
+	"strings"
+
+	"plsqlaway/internal/anf"
+	"plsqlaway/internal/sqlast"
+	"plsqlaway/internal/udf"
+)
+
+// Options controls emission.
+type Options struct {
+	// Iterate emits WITH ITERATE instead of WITH RECURSIVE: tail recursion
+	// needs no trace, so the engine keeps only the latest run row and
+	// writes no buffer pages (Table 2).
+	Iterate bool
+	// ForceCTE emits the recursive template even for loop-less functions
+	// (which otherwise compile Froid-style to a plain expression).
+	ForceCTE bool
+}
+
+// runEncoder renders Figure 9: tail calls and base cases as run-table rows
+// ("call?", fn, union params…, result).
+type runEncoder struct {
+	d *udf.Definition
+}
+
+func (e runEncoder) Call(label int, unionArgs []sqlast.Expr) sqlast.Expr {
+	fields := []sqlast.Expr{sqlast.BoolLit(true), sqlast.IntLit(int64(label))}
+	fields = append(fields, unionArgs...)
+	fields = append(fields, sqlast.NullLit())
+	return &sqlast.RowExpr{Fields: fields}
+}
+
+func (e runEncoder) Value(v sqlast.Expr) sqlast.Expr {
+	fields := []sqlast.Expr{sqlast.BoolLit(false), sqlast.NullLit()}
+	for range e.d.UnionParams {
+		fields = append(fields, sqlast.NullLit())
+	}
+	fields = append(fields, v)
+	return &sqlast.RowExpr{Fields: fields}
+}
+
+// Emit produces the pure-SQL query Qf for a compiled function. Original
+// function parameters remain free column references (bound by name when the
+// function is installed, or substituted by InlineCall).
+func Emit(d *udf.Definition, opt Options) (*sqlast.Query, error) {
+	if !d.IsRecursive() && !opt.ForceCTE {
+		return emitDirect(d)
+	}
+	return emitCTE(d, opt)
+}
+
+// emitDirect handles loop-less functions Froid-style: the body is already a
+// single expression.
+func emitDirect(d *udf.Definition) (*sqlast.Query, error) {
+	entry := d.Prog.Entry
+	fn := d.Prog.Fun(entry.Fn)
+	if fn == nil {
+		return nil, fmt.Errorf("sqlgen: entry function %s missing", entry.Fn)
+	}
+	sub := map[string]sqlast.Expr{}
+	for i, prm := range fn.Params {
+		sub[prm] = entry.Args[i]
+	}
+	body := substituteTerm(fn.Body, sub)
+	expr, err := d.EmitTerm(body, plainEncoder{})
+	if err != nil {
+		return nil, err
+	}
+	return sqlast.WrapQuery(sqlast.SimpleSelect([]sqlast.Expr{expr}, []string{"result"})), nil
+}
+
+type plainEncoder struct{}
+
+func (plainEncoder) Call(int, []sqlast.Expr) sqlast.Expr {
+	return sqlast.NullLit() // unreachable: loop-less body has no calls
+}
+func (plainEncoder) Value(v sqlast.Expr) sqlast.Expr { return v }
+
+// emitCTE builds the Figure 8 template with flattened run columns:
+//
+//	WITH RECURSIVE run("call?", fn, p1…pk, result) AS (
+//	  SELECT true, <entry label>, <entry args>, CAST(NULL AS τ)
+//	  UNION ALL
+//	  SELECT (it.step).f1, …, (it.step).f(k+3)
+//	  FROM run AS r, LATERAL (SELECT <adapted body> AS step) AS it
+//	  WHERE r."call?"
+//	)
+//	SELECT r.result FROM run AS r WHERE NOT r."call?"
+func emitCTE(d *udf.Definition, opt Options) (*sqlast.Query, error) {
+	cols := []string{"call?", "fn"}
+	for _, p := range d.UnionParams {
+		cols = append(cols, p.Name)
+	}
+	cols = append(cols, "result")
+	width := len(cols)
+
+	// Non-recursive term: the original invocation.
+	entryArgs, err := d.UnionArgs(d.Prog.Entry)
+	if err != nil {
+		return nil, err
+	}
+	seed := []sqlast.Expr{
+		sqlast.BoolLit(true),
+		sqlast.IntLit(int64(d.LabelIndex[d.Prog.Entry.Fn])),
+	}
+	seed = append(seed, entryArgs...)
+	seed = append(seed, &sqlast.Cast{X: sqlast.NullLit(), TypeName: d.ReturnType.String()})
+	nonRec := sqlast.SimpleSelect(seed, nil)
+
+	// Adapted body: dispatch CASE with union params read from r.
+	bodyExpr, err := adaptedBody(d)
+	if err != nil {
+		return nil, err
+	}
+
+	// Recursive term (dialect-dependent join shape).
+	var recSel *sqlast.Select
+	explode := make([]sqlast.SelectItem, width)
+	for i := range explode {
+		explode[i] = sqlast.SelectItem{Expr: &sqlast.FieldAccess{
+			X:     sqlast.QCol("it", "step"),
+			Field: fmt.Sprintf("f%d", i+1),
+		}}
+	}
+	if d.Dialect == udf.DialectSQLite {
+		// No LATERAL: compute step in a correlated select list.
+		inner := &sqlast.Select{
+			Items: []sqlast.SelectItem{{Expr: bodyExpr, Alias: "step"}},
+			From:  []sqlast.FromItem{&sqlast.TableRef{Name: "run", Alias: "r"}},
+			Where: sqlast.QCol("r", "call?"),
+		}
+		recSel = &sqlast.Select{
+			Items: explode,
+			From: []sqlast.FromItem{&sqlast.SubqueryRef{
+				Query: sqlast.WrapQuery(inner), Alias: "it",
+			}},
+		}
+	} else {
+		iter := &sqlast.SubqueryRef{
+			Query:   sqlast.WrapQuery(sqlast.SimpleSelect([]sqlast.Expr{bodyExpr}, []string{"step"})),
+			Alias:   "it",
+			Lateral: true,
+		}
+		recSel = &sqlast.Select{
+			Items: explode,
+			From:  []sqlast.FromItem{&sqlast.TableRef{Name: "run", Alias: "r"}, iter},
+			Where: sqlast.QCol("r", "call?"),
+		}
+	}
+
+	cte := sqlast.CTE{
+		Name:     "run",
+		ColNames: cols,
+		Query: sqlast.WrapQuery(&sqlast.SetOp{
+			Op: "UNION", All: true,
+			L: nonRec,
+			R: recSel,
+		}),
+	}
+
+	final := &sqlast.Select{
+		Items: []sqlast.SelectItem{{Expr: sqlast.QCol("r", "result"), Alias: "result"}},
+		From:  []sqlast.FromItem{&sqlast.TableRef{Name: "run", Alias: "r"}},
+		Where: &sqlast.Unary{Op: "NOT", X: sqlast.QCol("r", "call?")},
+	}
+	return &sqlast.Query{
+		With: &sqlast.WithClause{Recursive: true, Iterate: opt.Iterate, CTEs: []sqlast.CTE{cte}},
+		Body: final,
+	}, nil
+}
+
+// adaptedBody renders body(f*, r): the dispatch CASE with every union
+// parameter reference rewritten to r.<param> and tails row-encoded.
+func adaptedBody(d *udf.Definition) (sqlast.Expr, error) {
+	isParam := map[string]bool{}
+	for _, p := range d.UnionParams {
+		isParam[p.Name] = true
+	}
+	toR := map[string]sqlast.Expr{}
+	for _, p := range d.UnionParams {
+		toR[p.Name] = sqlast.QCol("r", p.Name)
+	}
+	enc := runEncoder{d: d}
+
+	var arms []sqlast.WhenClause
+	for i := range d.Prog.Funs {
+		f := &d.Prog.Funs[i]
+		body := substituteTerm(f.Body, toR)
+		e, err := d.EmitTerm(body, enc)
+		if err != nil {
+			return nil, err
+		}
+		arms = append(arms, sqlast.WhenClause{
+			Cond:   sqlast.Eq(sqlast.QCol("r", "fn"), sqlast.IntLit(int64(d.LabelIndex[f.Name]))),
+			Result: e,
+		})
+	}
+	if len(arms) == 1 {
+		return arms[0].Result, nil
+	}
+	return &sqlast.Case{Whens: arms}, nil
+}
+
+// substituteTerm rewrites free variable references per sub, respecting let
+// shadowing: a name bound by a Let refers to the local binding inside the
+// let body, not to the run-table slot of the same SSA version carried by
+// another label function.
+func substituteTerm(t anf.Term, sub map[string]sqlast.Expr) anf.Term {
+	if len(sub) == 0 {
+		return t
+	}
+	rw := func(e sqlast.Expr) sqlast.Expr {
+		if e == nil {
+			return nil
+		}
+		return sqlast.RewriteExpr(e, func(x sqlast.Expr) sqlast.Expr {
+			if cr, ok := x.(*sqlast.ColumnRef); ok && cr.Table == "" {
+				if r, ok := sub[cr.Column]; ok {
+					return r
+				}
+			}
+			return x
+		})
+	}
+	switch x := t.(type) {
+	case *anf.Let:
+		c := *x
+		c.Rhs = rw(x.Rhs)
+		inner := sub
+		if _, shadowed := sub[x.Var]; shadowed {
+			inner = make(map[string]sqlast.Expr, len(sub)-1)
+			for k, v := range sub {
+				if k != x.Var {
+					inner[k] = v
+				}
+			}
+		}
+		c.Body = substituteTerm(x.Body, inner)
+		return &c
+	case *anf.If:
+		c := *x
+		c.Cond = rw(x.Cond)
+		c.Then = substituteTerm(x.Then, sub)
+		c.Else = substituteTerm(x.Else, sub)
+		return &c
+	case *anf.Call:
+		c := &anf.Call{Fn: x.Fn, Args: make([]sqlast.Expr, len(x.Args))}
+		for i, a := range x.Args {
+			c.Args[i] = rw(a)
+		}
+		return c
+	case *anf.Ret:
+		return &anf.Ret{Val: rw(x.Val)}
+	default:
+		return t
+	}
+}
+
+// InlineCall replaces every call to fnName in q with the compiled query as
+// a scalar subquery, substituting the call's argument expressions for the
+// function's parameters — the fully inlined, zero-context-switch form.
+func InlineCall(q *sqlast.Query, fnName string, paramNames []string, compiled *sqlast.Query) *sqlast.Query {
+	lower := strings.ToLower(fnName)
+	return sqlast.RewriteQuery(q, func(e sqlast.Expr) sqlast.Expr {
+		fc, ok := e.(*sqlast.FuncCall)
+		if !ok || strings.ToLower(fc.Name) != lower || len(fc.Args) != len(paramNames) {
+			return e
+		}
+		sub := map[string]sqlast.Expr{}
+		for i, p := range paramNames {
+			sub[p] = fc.Args[i]
+		}
+		body := sqlast.RewriteQuery(compiled, func(x sqlast.Expr) sqlast.Expr {
+			if cr, ok := x.(*sqlast.ColumnRef); ok && cr.Table == "" {
+				if r, ok := sub[cr.Column]; ok {
+					return r
+				}
+			}
+			return x
+		})
+		return &sqlast.ScalarSubquery{Sub: body}
+	})
+}

@@ -1,0 +1,190 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"plsqlaway/internal/anf"
+	"plsqlaway/internal/cfg"
+	"plsqlaway/internal/plparser"
+	"plsqlaway/internal/sqlast"
+	"plsqlaway/internal/sqlparser"
+	"plsqlaway/internal/ssa"
+	"plsqlaway/internal/udf"
+)
+
+const loopSrc = `CREATE FUNCTION f(n int) RETURNS int AS $$
+DECLARE acc int = 0;
+BEGIN
+  WHILE n > 0 LOOP
+    acc = acc + n;
+    n = n - 1;
+  END LOOP;
+  RETURN acc;
+END;
+$$ LANGUAGE plpgsql`
+
+const straightSrc = `CREATE FUNCTION g(x int) RETURNS int AS $$
+DECLARE y int;
+BEGIN
+  y = x * 2;
+  RETURN y + 1;
+END;
+$$ LANGUAGE plpgsql`
+
+func defFor(t *testing.T, src string, dialect udf.Dialect) *udf.Definition {
+	t.Helper()
+	stmt, err := sqlparser.ParseStatement(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := plparser.ParseFunction(stmt.(*sqlast.CreateFunction))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ssa.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ssa.Optimize(s); err != nil {
+		t.Fatal(err)
+	}
+	p, err := anf.Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := udf.Build(p, dialect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestTemplateShape(t *testing.T) {
+	d := defFor(t, loopSrc, udf.DialectPostgres)
+	q, err := Emit(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := sqlast.DeparseQuery(q)
+	for _, needle := range []string{
+		"WITH RECURSIVE run(", `"call?"`, "fn", "result",
+		"UNION ALL", "LATERAL", `WHERE r."call?"`,
+		`SELECT r.result AS result FROM run AS r WHERE NOT r."call?"`,
+		"CAST(NULL AS int)",
+	} {
+		if !strings.Contains(sql, needle) {
+			t.Errorf("template missing %q:\n%s", needle, sql)
+		}
+	}
+	// Reparses.
+	if _, err := sqlparser.ParseQuery(sql); err != nil {
+		t.Errorf("emitted SQL does not reparse: %v", err)
+	}
+}
+
+func TestIterateKeyword(t *testing.T) {
+	d := defFor(t, loopSrc, udf.DialectPostgres)
+	q, err := Emit(d, Options{Iterate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := sqlast.DeparseQuery(q)
+	if !strings.Contains(sql, "WITH ITERATE") {
+		t.Errorf("iterate keyword missing:\n%s", sql)
+	}
+}
+
+func TestSQLiteDialectHasNoLateral(t *testing.T) {
+	d := defFor(t, loopSrc, udf.DialectSQLite)
+	q, err := Emit(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := sqlast.DeparseQuery(q)
+	if strings.Contains(sql, "LATERAL") {
+		t.Errorf("sqlite dialect emitted LATERAL:\n%s", sql)
+	}
+	if _, err := sqlparser.ParseQuery(sql); err != nil {
+		t.Errorf("emitted SQL does not reparse: %v", err)
+	}
+}
+
+func TestLoopLessEmitsDirect(t *testing.T) {
+	d := defFor(t, straightSrc, udf.DialectPostgres)
+	if d.IsRecursive() {
+		t.Fatal("straight-line function should not be recursive")
+	}
+	q, err := Emit(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := sqlast.DeparseQuery(q)
+	if strings.Contains(sql, "WITH RECURSIVE") {
+		t.Errorf("direct emission expected:\n%s", sql)
+	}
+	// ForceCTE flips it.
+	q2, err := Emit(d, Options{ForceCTE: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sqlast.DeparseQuery(q2), "WITH RECURSIVE") {
+		t.Errorf("ForceCTE ignored:\n%s", sqlast.DeparseQuery(q2))
+	}
+}
+
+func TestRowEncodingArity(t *testing.T) {
+	d := defFor(t, loopSrc, udf.DialectPostgres)
+	q, err := Emit(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every ROW(…) constructor in the recursive term has call?+fn+params+result fields.
+	want := 2 + len(d.UnionParams) + 1
+	sqlast.WalkQuery(q, func(e sqlast.Expr) bool {
+		if r, ok := e.(*sqlast.RowExpr); ok {
+			if len(r.Fields) != want {
+				t.Errorf("ROW with %d fields, want %d", len(r.Fields), want)
+			}
+		}
+		return true
+	})
+}
+
+func TestInlineCallSubstitutesArgs(t *testing.T) {
+	d := defFor(t, loopSrc, udf.DialectPostgres)
+	q, err := Emit(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, err := sqlparser.ParseQuery("SELECT f(t.v + 1) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inlined := InlineCall(outer, "f", []string{"n"}, q)
+	sql := sqlast.DeparseQuery(inlined)
+	if strings.Contains(sql, "f(") {
+		t.Errorf("call site survived:\n%s", sql)
+	}
+	if !strings.Contains(sql, "t.v + 1") {
+		t.Errorf("argument not substituted:\n%s", sql)
+	}
+	// The seed row carries the substituted argument, not the raw name.
+	if !strings.Contains(sql, "SELECT true, 0, t.v + 1") {
+		t.Errorf("seed row should carry the substituted argument:\n%s", sql)
+	}
+}
+
+func TestInlineCallArityMismatchLeftAlone(t *testing.T) {
+	d := defFor(t, loopSrc, udf.DialectPostgres)
+	q, _ := Emit(d, Options{})
+	outer, _ := sqlparser.ParseQuery("SELECT f(1, 2) FROM t")
+	inlined := InlineCall(outer, "f", []string{"n"}, q)
+	if !strings.Contains(sqlast.DeparseQuery(inlined), "f(1, 2)") {
+		t.Error("wrong-arity call should be left untouched")
+	}
+}

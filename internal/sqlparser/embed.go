@@ -1,0 +1,35 @@
+package sqlparser
+
+import (
+	"plsqlaway/internal/lexer"
+	"plsqlaway/internal/sqlast"
+)
+
+// The PL/pgSQL parser shares its token stream with this package: statements
+// like `reward = reward + (SELECT …);` embed full SQL expressions, and the
+// expression grammar decides where they end. These entry points parse one
+// construct starting at a position inside an existing token slice and
+// report where parsing stopped.
+
+// ParseExprAt parses a single expression from toks starting at pos and
+// returns the expression and the position of the first unconsumed token.
+func ParseExprAt(toks []lexer.Token, pos int) (sqlast.Expr, int, error) {
+	p := &Parser{toks: toks, pos: pos}
+	e, err := p.parseExpr()
+	return e, p.pos, err
+}
+
+// ParseQueryAt parses a full query (SELECT/WITH/VALUES) from toks starting
+// at pos.
+func ParseQueryAt(toks []lexer.Token, pos int) (*sqlast.Query, int, error) {
+	p := &Parser{toks: toks, pos: pos}
+	q, err := p.parseQuery()
+	return q, p.pos, err
+}
+
+// ParseTypeNameAt parses a type name from toks starting at pos.
+func ParseTypeNameAt(toks []lexer.Token, pos int) (string, int, error) {
+	p := &Parser{toks: toks, pos: pos}
+	tn, err := p.parseTypeName()
+	return tn, p.pos, err
+}

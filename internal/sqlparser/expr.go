@@ -1,0 +1,480 @@
+package sqlparser
+
+import (
+	"strconv"
+	"strings"
+
+	"plsqlaway/internal/lexer"
+	"plsqlaway/internal/sqlast"
+	"plsqlaway/internal/sqltypes"
+)
+
+// Expression grammar, lowest to highest precedence (mirrors the printer):
+//
+//	OR
+//	AND
+//	NOT
+//	comparison (= <> < <= > >=), IS [NOT] NULL, [NOT] BETWEEN, [NOT] IN
+//	additive (+ - ||)
+//	multiplicative (* / %)
+//	unary -
+//	postfix (:: cast, field access)
+//	primary
+
+func (p *Parser) parseExpr() (sqlast.Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (sqlast.Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &sqlast.Binary{Op: "OR", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseAnd() (sqlast.Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().IsKeyword("AND") {
+		p.next()
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &sqlast.Binary{Op: "AND", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseNot() (sqlast.Expr, error) {
+	if p.peek().IsKeyword("NOT") && !p.peekAt(1).IsKeyword("EXISTS") {
+		p.next()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.Unary{Op: "NOT", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *Parser) parseComparison() (sqlast.Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		switch {
+		case t.IsOp("=") || t.IsOp("<>") || t.IsOp("!=") || t.IsOp("<") || t.IsOp("<=") || t.IsOp(">") || t.IsOp(">="):
+			p.next()
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			op := t.Text
+			if op == "!=" {
+				op = "<>"
+			}
+			left = &sqlast.Binary{Op: op, L: left, R: right}
+		case t.IsKeyword("IS"):
+			p.next()
+			negate := p.acceptKw("NOT")
+			if err := p.expect("NULL"); err != nil {
+				return nil, err
+			}
+			left = &sqlast.IsNull{X: left, Negate: negate}
+		case t.IsKeyword("BETWEEN") || (t.IsKeyword("NOT") && p.peekAt(1).IsKeyword("BETWEEN")):
+			negate := false
+			if t.IsKeyword("NOT") {
+				p.next()
+				negate = true
+			}
+			p.next() // BETWEEN
+			lo, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &sqlast.Between{X: left, Lo: lo, Hi: hi, Negate: negate}
+		case t.IsKeyword("IN") || (t.IsKeyword("NOT") && p.peekAt(1).IsKeyword("IN")):
+			negate := false
+			if t.IsKeyword("NOT") {
+				p.next()
+				negate = true
+			}
+			p.next() // IN
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			if nt := p.peek(); nt.IsKeyword("SELECT") || nt.IsKeyword("WITH") || nt.IsKeyword("VALUES") {
+				sub, err := p.parseQuery()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				left = &sqlast.InSubquery{X: left, Sub: sub, Negate: negate}
+			} else {
+				var list []sqlast.Expr
+				for {
+					e, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					list = append(list, e)
+					if !p.accept(",") {
+						break
+					}
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				left = &sqlast.InList{X: left, List: list, Negate: negate}
+			}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *Parser) parseAdditive() (sqlast.Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if !t.IsOp("+") && !t.IsOp("-") && !t.IsOp("||") {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &sqlast.Binary{Op: t.Text, L: left, R: right}
+	}
+}
+
+func (p *Parser) parseMultiplicative() (sqlast.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if !t.IsOp("*") && !t.IsOp("/") && !t.IsOp("%") {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &sqlast.Binary{Op: t.Text, L: left, R: right}
+	}
+}
+
+func (p *Parser) parseUnary() (sqlast.Expr, error) {
+	if p.peek().IsOp("-") {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold -literal immediately so -1 prints back as -1.
+		if lit, ok := x.(*sqlast.Literal); ok && lit.Val.IsNumeric() {
+			v, err := sqltypes.Neg(lit.Val)
+			if err == nil {
+				return sqlast.Lit(v), nil
+			}
+		}
+		return &sqlast.Unary{Op: "-", X: x}, nil
+	}
+	if p.peek().IsOp("+") {
+		p.next()
+		return p.parseUnary()
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (sqlast.Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.peek().IsOp("::"):
+			p.next()
+			tn, err := p.parseTypeName()
+			if err != nil {
+				return nil, err
+			}
+			x = &sqlast.Cast{X: x, TypeName: tn}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (sqlast.Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Type == lexer.Number:
+		p.next()
+		return numberLiteral(t.Text)
+	case t.Type == lexer.String:
+		p.next()
+		return sqlast.TextLit(t.Text), nil
+	case t.Type == lexer.Param:
+		p.next()
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 1 {
+			return nil, p.errf("bad parameter $%s", t.Text)
+		}
+		return &sqlast.Param{Ordinal: n}, nil
+	case t.IsKeyword("TRUE"):
+		p.next()
+		return sqlast.BoolLit(true), nil
+	case t.IsKeyword("FALSE"):
+		p.next()
+		return sqlast.BoolLit(false), nil
+	case t.IsKeyword("NULL"):
+		p.next()
+		return sqlast.NullLit(), nil
+	case t.IsKeyword("CASE"):
+		return p.parseCase()
+	case t.IsKeyword("CAST"):
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("AS"); err != nil {
+			return nil, err
+		}
+		tn, err := p.parseTypeName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &sqlast.Cast{X: x, TypeName: tn}, nil
+	case t.IsKeyword("EXISTS") || (t.IsKeyword("NOT") && p.peekAt(1).IsKeyword("EXISTS")):
+		negate := false
+		if t.IsKeyword("NOT") {
+			p.next()
+			negate = true
+		}
+		p.next() // EXISTS
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &sqlast.Exists{Sub: sub, Negate: negate}, nil
+	case t.IsKeyword("ROW"):
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		r := &sqlast.RowExpr{}
+		if !p.peek().IsOp(")") {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				r.Fields = append(r.Fields, e)
+				if !p.accept(",") {
+					break
+				}
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return r, nil
+	case t.IsOp("("):
+		p.next()
+		// Subquery or parenthesized expression.
+		if nt := p.peek(); nt.IsKeyword("SELECT") || nt.IsKeyword("WITH") || nt.IsKeyword("VALUES") {
+			sub, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return p.maybeFieldAccess(&sqlast.ScalarSubquery{Sub: sub})
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return p.maybeFieldAccess(x)
+	case t.Type == lexer.Ident || t.Type == lexer.QuotedIdent:
+		// Function call or column reference. LEFT/RIGHT/REPLACE are
+		// reserved for syntax but unambiguous as function names here.
+		callable := !lexer.IsReservedKeyword(t.Keyword) ||
+			t.Keyword == "LEFT" || t.Keyword == "RIGHT" || t.Keyword == "REPLACE"
+		if t.Type == lexer.Ident && callable && p.peekAt(1).IsOp("(") {
+			return p.parseFuncCall()
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().IsOp(".") && (p.peekAt(1).Type == lexer.Ident || p.peekAt(1).Type == lexer.QuotedIdent) {
+			p.next()
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &sqlast.ColumnRef{Table: name, Column: col}, nil
+		}
+		return &sqlast.ColumnRef{Column: name}, nil
+	}
+	return nil, p.errf("unexpected %q in expression", t.Text)
+}
+
+// maybeFieldAccess parses the `(expr).field` chain after a parenthesized
+// expression; `fN` names give positional access.
+func (p *Parser) maybeFieldAccess(x sqlast.Expr) (sqlast.Expr, error) {
+	for p.peek().IsOp(".") && (p.peekAt(1).Type == lexer.Ident || p.peekAt(1).Type == lexer.QuotedIdent) {
+		p.next()
+		f, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		x = &sqlast.FieldAccess{X: x, Field: f}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseCase() (sqlast.Expr, error) {
+	p.next() // CASE
+	c := &sqlast.Case{}
+	if !p.peek().IsKeyword("WHEN") {
+		op, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Operand = op
+	}
+	for p.acceptKw("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("THEN"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, sqlast.WhenClause{Cond: cond, Result: res})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN")
+	}
+	if p.acceptKw("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expect("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (p *Parser) parseFuncCall() (sqlast.Expr, error) {
+	var name string
+	if t := p.peek(); t.Type == lexer.Ident && lexer.IsReservedKeyword(t.Keyword) {
+		p.next()
+		name = strings.ToLower(t.Text)
+	} else {
+		var err error
+		name, err = p.ident()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	fc := &sqlast.FuncCall{Name: name}
+	if p.peek().IsOp("*") {
+		p.next()
+		fc.Star = true
+	} else if !p.peek().IsOp(")") {
+		if p.acceptKw("DISTINCT") {
+			fc.Distinct = true
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fc.Args = append(fc.Args, e)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if p.acceptKw("OVER") {
+		if p.accept("(") {
+			spec, err := p.parseWindowSpec()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			fc.Over = spec
+		} else {
+			wn, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			fc.OverName = wn
+		}
+	}
+	return fc, nil
+}

@@ -1,0 +1,487 @@
+// Package sqlparser implements a recursive-descent parser for the SQL
+// dialect the engine evaluates and the compiler emits: SELECT blocks with
+// LATERAL joins, WITH [RECURSIVE|ITERATE] common table expressions, window
+// functions with named windows and frames, ROW values with field access,
+// plus the DDL/DML the workloads need.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+
+	"plsqlaway/internal/lexer"
+	"plsqlaway/internal/sqlast"
+)
+
+// Parser consumes a token stream produced by the lexer.
+type Parser struct {
+	toks []lexer.Token
+	pos  int
+}
+
+// New builds a parser for src.
+func New(src string) (*Parser, error) {
+	toks, err := lexer.Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Parser{toks: toks}, nil
+}
+
+// ParseStatement parses a single SQL statement from src (a trailing
+// semicolon is allowed).
+func ParseStatement(src string) (sqlast.Statement, error) {
+	p, err := New(src)
+	if err != nil {
+		return nil, err
+	}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(";")
+	if !p.atEOF() {
+		return nil, p.errf("unexpected trailing input %q", p.peek().Text)
+	}
+	return stmt, nil
+}
+
+// ParseScript parses a semicolon-separated sequence of statements.
+func ParseScript(src string) ([]sqlast.Statement, error) {
+	p, err := New(src)
+	if err != nil {
+		return nil, err
+	}
+	var stmts []sqlast.Statement
+	for {
+		for p.accept(";") {
+		}
+		if p.atEOF() {
+			return stmts, nil
+		}
+		stmt, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, stmt)
+		if !p.accept(";") && !p.atEOF() {
+			return nil, p.errf("expected ';' between statements, got %q", p.peek().Text)
+		}
+	}
+}
+
+// ParseQuery parses a bare query (SELECT/VALUES/WITH …).
+func ParseQuery(src string) (*sqlast.Query, error) {
+	p, err := New(src)
+	if err != nil {
+		return nil, err
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(";")
+	if !p.atEOF() {
+		return nil, p.errf("unexpected trailing input %q", p.peek().Text)
+	}
+	return q, nil
+}
+
+// ParseExpr parses a scalar expression.
+func ParseExpr(src string) (sqlast.Expr, error) {
+	p, err := New(src)
+	if err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("unexpected trailing input %q", p.peek().Text)
+	}
+	return e, nil
+}
+
+// ---------------------------------------------------------------------------
+// token plumbing
+// ---------------------------------------------------------------------------
+
+func (p *Parser) peek() lexer.Token { return p.toks[p.pos] }
+func (p *Parser) peekAt(n int) lexer.Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+func (p *Parser) next() lexer.Token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *Parser) atEOF() bool       { return p.peek().Type == lexer.EOF }
+
+func (p *Parser) errf(format string, args ...any) error {
+	return fmt.Errorf("parse error at %s: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+}
+
+// accept consumes the next token if it is the given operator or keyword.
+func (p *Parser) accept(s string) bool {
+	t := p.peek()
+	if t.IsOp(s) || t.IsKeyword(strings.ToUpper(s)) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// acceptKw consumes a keyword.
+func (p *Parser) acceptKw(kw string) bool {
+	if p.peek().IsKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(s string) error {
+	if !p.accept(s) {
+		return p.errf("expected %q, got %q", s, p.peek().Text)
+	}
+	return nil
+}
+
+// ident consumes an identifier (quoted or not) and returns its text.
+func (p *Parser) ident() (string, error) {
+	t := p.peek()
+	switch t.Type {
+	case lexer.Ident:
+		if lexer.IsReservedKeyword(t.Keyword) {
+			return "", p.errf("unexpected keyword %q where identifier expected", t.Text)
+		}
+		p.pos++
+		return strings.ToLower(t.Text), nil
+	case lexer.QuotedIdent:
+		p.pos++
+		return t.Text, nil
+	}
+	return "", p.errf("expected identifier, got %q", t.Text)
+}
+
+// peekIdent reports whether the next token can start an identifier.
+func (p *Parser) peekIdent() bool {
+	t := p.peek()
+	return t.Type == lexer.QuotedIdent || (t.Type == lexer.Ident && !lexer.IsReservedKeyword(t.Keyword))
+}
+
+// ---------------------------------------------------------------------------
+// statements
+// ---------------------------------------------------------------------------
+
+func (p *Parser) parseStatement() (sqlast.Statement, error) {
+	t := p.peek()
+	switch {
+	case t.IsKeyword("SELECT") || t.IsKeyword("WITH") || t.IsKeyword("VALUES") || t.IsOp("("):
+		q, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.SelectStatement{Query: q}, nil
+	case t.IsKeyword("CREATE"):
+		return p.parseCreate()
+	case t.IsKeyword("DROP"):
+		return p.parseDrop()
+	case t.IsKeyword("INSERT"):
+		return p.parseInsert()
+	case t.IsKeyword("UPDATE"):
+		return p.parseUpdate()
+	case t.IsKeyword("DELETE"):
+		return p.parseDelete()
+	}
+	return nil, p.errf("unexpected %q at start of statement", t.Text)
+}
+
+func (p *Parser) parseCreate() (sqlast.Statement, error) {
+	p.next() // CREATE
+	orReplace := false
+	if p.acceptKw("OR") {
+		if err := p.expect("REPLACE"); err != nil {
+			return nil, err
+		}
+		orReplace = true
+	}
+	switch {
+	case p.acceptKw("INDEX"):
+		ci := &sqlast.CreateIndex{}
+		if !p.peek().IsKeyword("ON") {
+			n, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ci.Name = n
+		}
+		if err := p.expect("ON"); err != nil {
+			return nil, err
+		}
+		tbl, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ci.Table = tbl
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ci.Column = col
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return ci, nil
+	case p.acceptKw("TABLE"):
+		ct := &sqlast.CreateTable{}
+		if p.acceptKw("IF") {
+			if err := p.expect("NOT"); err != nil {
+				return nil, err
+			}
+			if err := p.expect("EXISTS"); err != nil {
+				return nil, err
+			}
+			ct.IfNotExists = true
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ct.Name = name
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			typ, err := p.parseTypeName()
+			if err != nil {
+				return nil, err
+			}
+			ct.Cols = append(ct.Cols, sqlast.ColDef{Name: col, TypeName: typ})
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return ct, nil
+	case p.acceptKw("FUNCTION"):
+		cf := &sqlast.CreateFunction{OrReplace: orReplace}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		cf.Name = name
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		if !p.peek().IsOp(")") {
+			for {
+				pn, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				pt, err := p.parseTypeName()
+				if err != nil {
+					return nil, err
+				}
+				cf.Params = append(cf.Params, sqlast.ParamDef{Name: pn, TypeName: pt})
+				if !p.accept(",") {
+					break
+				}
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("RETURNS"); err != nil {
+			return nil, err
+		}
+		rt, err := p.parseTypeName()
+		if err != nil {
+			return nil, err
+		}
+		cf.ReturnType = rt
+		if err := p.expect("AS"); err != nil {
+			return nil, err
+		}
+		body := p.peek()
+		if body.Type != lexer.DollarBody && body.Type != lexer.String {
+			return nil, p.errf("expected dollar-quoted function body, got %q", body.Text)
+		}
+		p.pos++
+		cf.Body = body.Text
+		if err := p.expect("LANGUAGE"); err != nil {
+			return nil, err
+		}
+		lang := p.peek()
+		if lang.Type != lexer.Ident && lang.Type != lexer.String {
+			return nil, p.errf("expected language name, got %q", lang.Text)
+		}
+		p.pos++
+		cf.Language = strings.ToLower(lang.Text)
+		return cf, nil
+	}
+	return nil, p.errf("expected TABLE, INDEX, or FUNCTION after CREATE, got %q", p.peek().Text)
+}
+
+func (p *Parser) parseDrop() (sqlast.Statement, error) {
+	p.next() // DROP
+	isTable := p.acceptKw("TABLE")
+	if !isTable {
+		if !p.acceptKw("FUNCTION") {
+			return nil, p.errf("expected TABLE or FUNCTION after DROP")
+		}
+	}
+	ifExists := false
+	if p.acceptKw("IF") {
+		if err := p.expect("EXISTS"); err != nil {
+			return nil, err
+		}
+		ifExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if isTable {
+		return &sqlast.DropTable{Name: name, IfExists: ifExists}, nil
+	}
+	return &sqlast.DropFunction{Name: name, IfExists: ifExists}, nil
+}
+
+func (p *Parser) parseInsert() (sqlast.Statement, error) {
+	p.next() // INSERT
+	if err := p.expect("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ins := &sqlast.Insert{Table: table}
+	if p.accept("(") {
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ins.Cols = append(ins.Cols, c)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	ins.Query = q
+	return ins, nil
+}
+
+func (p *Parser) parseUpdate() (sqlast.Statement, error) {
+	p.next() // UPDATE
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	up := &sqlast.Update{Table: table}
+	if p.acceptKw("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		up.Alias = a
+	}
+	if err := p.expect("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		up.Sets = append(up.Sets, sqlast.SetClause{Col: col, Expr: e})
+		if !p.accept(",") {
+			break
+		}
+	}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		up.Where = w
+	}
+	return up, nil
+}
+
+func (p *Parser) parseDelete() (sqlast.Statement, error) {
+	p.next() // DELETE
+	if err := p.expect("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	del := &sqlast.Delete{Table: table}
+	if p.acceptKw("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		del.Alias = a
+	}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = w
+	}
+	return del, nil
+}
+
+// parseTypeName parses a type name, including two-word forms like
+// "double precision".
+func (p *Parser) parseTypeName() (string, error) {
+	t := p.peek()
+	if t.Type != lexer.Ident {
+		return "", p.errf("expected type name, got %q", t.Text)
+	}
+	p.pos++
+	name := strings.ToLower(t.Text)
+	switch name {
+	case "double":
+		if p.peek().IsKeyword("PRECISION") {
+			p.pos++
+			return "double precision", nil
+		}
+	case "character":
+		if p.peek().IsKeyword("VARYING") {
+			p.pos++
+			return "character varying", nil
+		}
+	}
+	return name, nil
+}

@@ -1,0 +1,483 @@
+package sqlparser
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"plsqlaway/internal/sqlast"
+)
+
+func mustQuery(t *testing.T, src string) *sqlast.Query {
+	t.Helper()
+	q, err := ParseQuery(src)
+	if err != nil {
+		t.Fatalf("ParseQuery(%q): %v", src, err)
+	}
+	return q
+}
+
+func mustExpr(t *testing.T, src string) sqlast.Expr {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", src, err)
+	}
+	return e
+}
+
+func TestSelectBasic(t *testing.T) {
+	q := mustQuery(t, "SELECT a, b AS bee, 42 FROM t AS x WHERE a < 10")
+	sel := q.Body.(*sqlast.Select)
+	if len(sel.Items) != 3 {
+		t.Fatalf("items: %d", len(sel.Items))
+	}
+	if sel.Items[1].Alias != "bee" {
+		t.Errorf("alias: %q", sel.Items[1].Alias)
+	}
+	tr := sel.From[0].(*sqlast.TableRef)
+	if tr.Name != "t" || tr.Alias != "x" {
+		t.Errorf("from: %+v", tr)
+	}
+	if sel.Where == nil {
+		t.Error("where missing")
+	}
+}
+
+func TestBareAliasAndStar(t *testing.T) {
+	q := mustQuery(t, "SELECT t.*, a cnt, * FROM t")
+	sel := q.Body.(*sqlast.Select)
+	if sel.Items[0].TableStar != "t" {
+		t.Errorf("t.* parsed as %+v", sel.Items[0])
+	}
+	if sel.Items[1].Alias != "cnt" {
+		t.Errorf("bare alias: %+v", sel.Items[1])
+	}
+	if !sel.Items[2].Star {
+		t.Errorf("*: %+v", sel.Items[2])
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	e := mustExpr(t, "1 + 2 * 3")
+	bin := e.(*sqlast.Binary)
+	if bin.Op != "+" {
+		t.Fatalf("top op %q, want +", bin.Op)
+	}
+	if r := bin.R.(*sqlast.Binary); r.Op != "*" {
+		t.Errorf("right op %q, want *", r.Op)
+	}
+
+	e = mustExpr(t, "a OR b AND c = 1 + 2")
+	or := e.(*sqlast.Binary)
+	if or.Op != "OR" {
+		t.Fatalf("top %q, want OR", or.Op)
+	}
+	and := or.R.(*sqlast.Binary)
+	if and.Op != "AND" {
+		t.Fatalf("next %q, want AND", and.Op)
+	}
+	cmp := and.R.(*sqlast.Binary)
+	if cmp.Op != "=" {
+		t.Fatalf("next %q, want =", cmp.Op)
+	}
+}
+
+func TestUnaryMinusFolding(t *testing.T) {
+	e := mustExpr(t, "-5")
+	lit, ok := e.(*sqlast.Literal)
+	if !ok || lit.Val.Int() != -5 {
+		t.Errorf("-5 should fold to literal, got %#v", e)
+	}
+	e = mustExpr(t, "-x")
+	if _, ok := e.(*sqlast.Unary); !ok {
+		t.Errorf("-x should stay unary, got %#v", e)
+	}
+}
+
+func TestComparisonPostfixes(t *testing.T) {
+	e := mustExpr(t, "x IS NOT NULL")
+	if n := e.(*sqlast.IsNull); !n.Negate {
+		t.Error("IS NOT NULL negate flag")
+	}
+	e = mustExpr(t, "roll BETWEEN move.lo AND move.hi")
+	if b := e.(*sqlast.Between); b.Negate {
+		t.Error("BETWEEN negate flag")
+	}
+	e = mustExpr(t, "x NOT IN (1, 2, 3)")
+	if i := e.(*sqlast.InList); !i.Negate || len(i.List) != 3 {
+		t.Errorf("NOT IN: %+v", i)
+	}
+	e = mustExpr(t, "x IN (SELECT y FROM t)")
+	if _, ok := e.(*sqlast.InSubquery); !ok {
+		t.Errorf("IN subquery: %#v", e)
+	}
+}
+
+func TestCaseForms(t *testing.T) {
+	e := mustExpr(t, "CASE WHEN a THEN 1 WHEN b THEN 2 ELSE 3 END")
+	c := e.(*sqlast.Case)
+	if c.Operand != nil || len(c.Whens) != 2 || c.Else == nil {
+		t.Errorf("searched case: %+v", c)
+	}
+	e = mustExpr(t, "CASE x WHEN 1 THEN 'a' END")
+	c = e.(*sqlast.Case)
+	if c.Operand == nil || c.Else != nil {
+		t.Errorf("simple case: %+v", c)
+	}
+}
+
+func TestCastForms(t *testing.T) {
+	e := mustExpr(t, "CAST(NULL AS int)")
+	if c := e.(*sqlast.Cast); c.TypeName != "int" {
+		t.Errorf("cast: %+v", c)
+	}
+	e = mustExpr(t, "x::text")
+	if c := e.(*sqlast.Cast); c.TypeName != "text" {
+		t.Errorf(":: cast: %+v", c)
+	}
+	e = mustExpr(t, "x::double precision")
+	if c := e.(*sqlast.Cast); c.TypeName != "double precision" {
+		t.Errorf("two-word type: %+v", c)
+	}
+}
+
+func TestRowAndFieldAccess(t *testing.T) {
+	e := mustExpr(t, "ROW(true, ROW(1, 2), NULL)")
+	r := e.(*sqlast.RowExpr)
+	if len(r.Fields) != 3 {
+		t.Fatalf("row fields: %d", len(r.Fields))
+	}
+	if _, ok := r.Fields[1].(*sqlast.RowExpr); !ok {
+		t.Error("nested row")
+	}
+	e = mustExpr(t, "(iter.step).f2")
+	fa := e.(*sqlast.FieldAccess)
+	if fa.Field != "f2" {
+		t.Errorf("field: %q", fa.Field)
+	}
+	if cr := fa.X.(*sqlast.ColumnRef); cr.Table != "iter" || cr.Column != "step" {
+		t.Errorf("base: %+v", cr)
+	}
+}
+
+func TestFuncCallsAndWindows(t *testing.T) {
+	e := mustExpr(t, "count(*)")
+	if fc := e.(*sqlast.FuncCall); !fc.Star {
+		t.Error("count(*) star")
+	}
+	e = mustExpr(t, "count(DISTINCT x)")
+	if fc := e.(*sqlast.FuncCall); !fc.Distinct {
+		t.Error("distinct")
+	}
+	e = mustExpr(t, "SUM(a.prob) OVER leq")
+	if fc := e.(*sqlast.FuncCall); fc.OverName != "leq" {
+		t.Errorf("over name: %+v", fc)
+	}
+	e = mustExpr(t, "SUM(x) OVER (PARTITION BY g ORDER BY y ROWS UNBOUNDED PRECEDING EXCLUDE CURRENT ROW)")
+	fc := e.(*sqlast.FuncCall)
+	if fc.Over == nil || len(fc.Over.PartitionBy) != 1 || len(fc.Over.OrderBy) != 1 {
+		t.Fatalf("over spec: %+v", fc.Over)
+	}
+	if fc.Over.Frame == nil || fc.Over.Frame.Mode != sqlast.FrameRows || !fc.Over.Frame.ExcludeCurrent {
+		t.Errorf("frame: %+v", fc.Over.Frame)
+	}
+}
+
+func TestNamedWindowClause(t *testing.T) {
+	q := mustQuery(t, `SELECT SUM(a.prob) OVER lt FROM actions AS a
+		WINDOW leq AS (ORDER BY a.there),
+		       lt AS (leq ROWS UNBOUNDED PRECEDING EXCLUDE CURRENT ROW)`)
+	sel := q.Body.(*sqlast.Select)
+	if len(sel.Windows) != 2 {
+		t.Fatalf("windows: %d", len(sel.Windows))
+	}
+	if sel.Windows[1].Spec.Name != "leq" {
+		t.Errorf("window inheritance: %+v", sel.Windows[1].Spec)
+	}
+}
+
+func TestLateralJoinChain(t *testing.T) {
+	q := mustQuery(t, `SELECT * FROM (SELECT 1) AS _0(v1)
+		LEFT JOIN LATERAL (SELECT v1 + 1) AS _1(v2) ON true
+		LEFT JOIN LATERAL (SELECT v2 * 2) AS _2(v3) ON true`)
+	sel := q.Body.(*sqlast.Select)
+	join := sel.From[0].(*sqlast.Join)
+	if join.Type != sqlast.JoinLeft {
+		t.Errorf("join type: %v", join.Type)
+	}
+	right := join.R.(*sqlast.SubqueryRef)
+	if !right.Lateral || right.Alias != "_2" || right.ColAliases[0] != "v3" {
+		t.Errorf("lateral right: %+v", right)
+	}
+	inner := join.L.(*sqlast.Join)
+	if _, ok := inner.L.(*sqlast.SubqueryRef); !ok {
+		t.Errorf("left chain: %+v", inner.L)
+	}
+}
+
+func TestWithRecursiveAndIterate(t *testing.T) {
+	q := mustQuery(t, `WITH RECURSIVE run("call?", args, result) AS (
+		SELECT true, 0, NULL UNION ALL SELECT false, 1, 2)
+		SELECT r.result FROM run AS r WHERE NOT r."call?"`)
+	if !q.With.Recursive || q.With.Iterate {
+		t.Errorf("with flags: %+v", q.With)
+	}
+	cte := q.With.CTEs[0]
+	if cte.Name != "run" || cte.ColNames[0] != "call?" {
+		t.Errorf("cte: %+v", cte)
+	}
+	if _, ok := cte.Query.Body.(*sqlast.SetOp); !ok {
+		t.Error("cte body should be a set op")
+	}
+
+	q = mustQuery(t, `WITH ITERATE r(n) AS (SELECT 1 UNION ALL SELECT n+1 FROM r WHERE n < 5) SELECT n FROM r`)
+	if !q.With.Iterate || !q.With.Recursive {
+		t.Errorf("iterate flags: %+v", q.With)
+	}
+}
+
+func TestSetOpPrecedence(t *testing.T) {
+	q := mustQuery(t, "SELECT 1 UNION SELECT 2 INTERSECT SELECT 3")
+	top := q.Body.(*sqlast.SetOp)
+	if top.Op != "UNION" {
+		t.Fatalf("top: %s", top.Op)
+	}
+	if r := top.R.(*sqlast.SetOp); r.Op != "INTERSECT" {
+		t.Errorf("INTERSECT should bind tighter: %+v", top.R)
+	}
+}
+
+func TestValuesAndOrderLimit(t *testing.T) {
+	q := mustQuery(t, "VALUES (1, 'a'), (2, 'b') ORDER BY 1 DESC LIMIT 1 OFFSET 1")
+	v := q.Body.(*sqlast.Values)
+	if len(v.Rows) != 2 || len(v.Rows[0]) != 2 {
+		t.Fatalf("values: %+v", v)
+	}
+	if !q.OrderBy[0].Desc || q.Limit == nil || q.Offset == nil {
+		t.Errorf("order/limit: %+v", q)
+	}
+}
+
+func TestScalarSubqueryAndExists(t *testing.T) {
+	e := mustExpr(t, "(SELECT p.action FROM policy AS p WHERE location = p.loc)")
+	if _, ok := e.(*sqlast.ScalarSubquery); !ok {
+		t.Fatalf("scalar subquery: %#v", e)
+	}
+	e = mustExpr(t, "NOT EXISTS (SELECT 1)")
+	if ex := e.(*sqlast.Exists); !ex.Negate {
+		t.Error("NOT EXISTS negate")
+	}
+}
+
+func TestCreateTable(t *testing.T) {
+	s, err := ParseStatement("CREATE TABLE cells (loc coord, reward int)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := s.(*sqlast.CreateTable)
+	if ct.Name != "cells" || len(ct.Cols) != 2 || ct.Cols[0].TypeName != "coord" {
+		t.Errorf("create table: %+v", ct)
+	}
+}
+
+func TestCreateFunction(t *testing.T) {
+	src := `CREATE FUNCTION walk(origin coord, win int, loose int, steps int)
+RETURNS int AS $$
+DECLARE r int = 0;
+BEGIN
+  RETURN r;
+END;
+$$ LANGUAGE PLPGSQL`
+	s, err := ParseStatement(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := s.(*sqlast.CreateFunction)
+	if cf.Name != "walk" || len(cf.Params) != 4 || cf.ReturnType != "int" || cf.Language != "plpgsql" {
+		t.Errorf("create function: %+v", cf)
+	}
+	if !strings.Contains(cf.Body, "DECLARE") {
+		t.Errorf("body: %q", cf.Body)
+	}
+}
+
+func TestInsertUpdateDelete(t *testing.T) {
+	s, err := ParseStatement("INSERT INTO t (a, b) VALUES (1, 2), (3, 4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := s.(*sqlast.Insert)
+	if ins.Table != "t" || len(ins.Cols) != 2 {
+		t.Errorf("insert: %+v", ins)
+	}
+	s, err = ParseStatement("INSERT INTO t SELECT * FROM u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err = ParseStatement("UPDATE t SET a = a + 1 WHERE b > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := s.(*sqlast.Update)
+	if len(up.Sets) != 1 || up.Where == nil {
+		t.Errorf("update: %+v", up)
+	}
+	s, err = ParseStatement("DELETE FROM t WHERE a = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := s.(*sqlast.Delete)
+	if del.Table != "t" || del.Where == nil {
+		t.Errorf("delete: %+v", del)
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	stmts, err := ParseScript("CREATE TABLE a (x int); INSERT INTO a VALUES (1); SELECT * FROM a;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Errorf("script: %d stmts", len(stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM (SELECT 1)", // missing alias
+		"SELECT a FROM t WHERE",
+		"CASE END",
+		"SELECT 1 +",
+		"CREATE TABLE t",
+		"INSERT t VALUES (1)",
+		"SELECT * FROM t JOIN u", // missing ON
+		"WITH x AS SELECT 1 SELECT 2",
+		"SELECT 1 extra garbage ~",
+	}
+	for _, src := range bad {
+		if _, err := ParseQuery(src); err == nil {
+			if _, err2 := ParseStatement(src); err2 == nil {
+				t.Errorf("ParseQuery(%q) should error", src)
+			}
+		}
+	}
+}
+
+// TestDeparseFixpoint: parse → print → parse must reproduce the same AST.
+func TestDeparseFixpoint(t *testing.T) {
+	queries := []string{
+		"SELECT 1",
+		"SELECT a, b AS bee FROM t AS x WHERE a < 10 ORDER BY b DESC LIMIT 3 OFFSET 1",
+		"SELECT DISTINCT a FROM t GROUP BY a HAVING count(*) > 1",
+		"SELECT * FROM t, u AS v WHERE t.a = v.b",
+		"SELECT x FROM (SELECT 1 AS x) AS s",
+		"SELECT * FROM (SELECT 1) AS a(v1) LEFT JOIN LATERAL (SELECT v1 + 1) AS b(v2) ON true",
+		"SELECT * FROM t LEFT JOIN u ON t.a = u.a JOIN w ON w.b = u.b",
+		"SELECT CASE WHEN a THEN 1 ELSE 2 END FROM t",
+		"SELECT CASE x WHEN 1 THEN 'a' WHEN 2 THEN 'b' END FROM t",
+		"SELECT CAST(NULL AS int), x::text FROM t",
+		"SELECT ROW(true, ROW(1, 2), NULL)",
+		"SELECT (r.step).f1 FROM run AS r",
+		"SELECT count(*), sum(DISTINCT x) FROM t",
+		"SELECT SUM(p) OVER (PARTITION BY g ORDER BY o ROWS UNBOUNDED PRECEDING EXCLUDE CURRENT ROW) FROM t",
+		"SELECT SUM(p) OVER w FROM t WINDOW w AS (ORDER BY o)",
+		"SELECT SUM(p) OVER lt FROM a WINDOW leq AS (ORDER BY x), lt AS (leq ROWS UNBOUNDED PRECEDING EXCLUDE CURRENT ROW)",
+		"SELECT 1 UNION ALL SELECT 2 UNION SELECT 3",
+		"SELECT 1 UNION SELECT 2 INTERSECT SELECT 3",
+		"SELECT 1 EXCEPT SELECT 2",
+		"VALUES (1, 'a'), (2, 'b')",
+		`WITH RECURSIVE run("call?", n) AS (SELECT true, 0 UNION ALL SELECT n < 5, n + 1 FROM run AS r WHERE r."call?") SELECT n FROM run AS r WHERE NOT r."call?"`,
+		"WITH ITERATE r(n) AS (SELECT 1 UNION ALL SELECT n + 1 FROM r WHERE n < 5) SELECT n FROM r",
+		"SELECT a FROM t WHERE x IS NOT NULL AND y BETWEEN 1 AND 2 OR z NOT IN (1, 2)",
+		"SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.a = t.a)",
+		"SELECT a FROM t WHERE a IN (SELECT b FROM u)",
+		"SELECT -x, NOT y, 1 - 2 - 3, (1 - 2) * 3, 1 - (2 - 3) FROM t",
+		"SELECT 'a' || 'b' || c FROM t",
+		"SELECT coalesce(x, 0.0), greatest(a, b, c) FROM t",
+		"SELECT random()",
+		"SELECT $1 + $2",
+		"SELECT coord(1, 2) = location FROM t",
+	}
+	for _, src := range queries {
+		q1, err := ParseQuery(src)
+		if err != nil {
+			t.Errorf("parse %q: %v", src, err)
+			continue
+		}
+		printed := sqlast.DeparseQuery(q1)
+		q2, err := ParseQuery(printed)
+		if err != nil {
+			t.Errorf("reparse %q (printed from %q): %v", printed, src, err)
+			continue
+		}
+		if !reflect.DeepEqual(q1, q2) {
+			t.Errorf("fixpoint failed:\n src: %s\n out: %s\n out2: %s", src, printed, sqlast.DeparseQuery(q2))
+		}
+	}
+}
+
+func TestDeparseStatementsFixpoint(t *testing.T) {
+	stmts := []string{
+		"CREATE TABLE cells (loc coord, reward int)",
+		"DROP TABLE IF EXISTS cells",
+		"INSERT INTO t (a, b) VALUES (1, 2)",
+		"UPDATE t SET a = 1, b = b + 1 WHERE c",
+		"DELETE FROM t WHERE a = 1",
+	}
+	for _, src := range stmts {
+		s1, err := ParseStatement(src)
+		if err != nil {
+			t.Errorf("parse %q: %v", src, err)
+			continue
+		}
+		printed := sqlast.Deparse(s1)
+		s2, err := ParseStatement(printed)
+		if err != nil {
+			t.Errorf("reparse %q: %v", printed, err)
+			continue
+		}
+		if !reflect.DeepEqual(s1, s2) {
+			t.Errorf("fixpoint failed:\n src: %s\n out: %s", src, printed)
+		}
+	}
+}
+
+// TestWalkQueryFindsRows exercises the walker: count RowExpr nodes in a
+// nested query.
+func TestWalkQueryFindsRows(t *testing.T) {
+	q := mustQuery(t, `SELECT CASE WHEN a THEN ROW(1, 2) ELSE ROW(3, 4) END
+		FROM (SELECT ROW(5, 6) AS a) AS s WHERE EXISTS (SELECT ROW(7, 8))`)
+	n := 0
+	sqlast.WalkQuery(q, func(e sqlast.Expr) bool {
+		if _, ok := e.(*sqlast.RowExpr); ok {
+			n++
+		}
+		return true
+	})
+	if n != 4 {
+		t.Errorf("found %d RowExprs, want 4", n)
+	}
+}
+
+// TestRewriteExpr replaces column refs with literals everywhere.
+func TestRewriteExpr(t *testing.T) {
+	q := mustQuery(t, "SELECT a + b FROM t WHERE (SELECT c FROM u) > 0")
+	q2 := sqlast.RewriteQuery(q, func(e sqlast.Expr) sqlast.Expr {
+		if cr, ok := e.(*sqlast.ColumnRef); ok && cr.Column == "c" {
+			return sqlast.IntLit(99)
+		}
+		return e
+	})
+	printed := sqlast.DeparseQuery(q2)
+	if !strings.Contains(printed, "99") || strings.Contains(printed, " c ") {
+		t.Errorf("rewrite failed: %s", printed)
+	}
+	// original must be untouched
+	if !strings.Contains(sqlast.DeparseQuery(q), "c") {
+		t.Error("rewrite mutated the original")
+	}
+}

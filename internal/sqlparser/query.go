@@ -1,0 +1,594 @@
+package sqlparser
+
+import (
+	"strconv"
+
+	"plsqlaway/internal/lexer"
+	"plsqlaway/internal/sqlast"
+	"plsqlaway/internal/sqltypes"
+)
+
+// parseQuery parses [WITH …] body [ORDER BY …] [LIMIT …] [OFFSET …].
+func (p *Parser) parseQuery() (*sqlast.Query, error) {
+	q := &sqlast.Query{}
+	if p.peek().IsKeyword("WITH") {
+		w, err := p.parseWith()
+		if err != nil {
+			return nil, err
+		}
+		q.With = w
+	}
+	body, err := p.parseQueryExpr()
+	if err != nil {
+		return nil, err
+	}
+	q.Body = body
+	if p.acceptKw("ORDER") {
+		if err := p.expect("BY"); err != nil {
+			return nil, err
+		}
+		items, err := p.parseOrderItems()
+		if err != nil {
+			return nil, err
+		}
+		q.OrderBy = items
+	}
+	if p.acceptKw("LIMIT") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Limit = e
+	}
+	if p.acceptKw("OFFSET") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Offset = e
+	}
+	return q, nil
+}
+
+func (p *Parser) parseWith() (*sqlast.WithClause, error) {
+	p.next() // WITH
+	w := &sqlast.WithClause{}
+	if p.acceptKw("RECURSIVE") {
+		w.Recursive = true
+	} else if p.acceptKw("ITERATE") {
+		w.Recursive = true
+		w.Iterate = true
+	}
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		cte := sqlast.CTE{Name: name}
+		if p.accept("(") {
+			for {
+				c, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				cte.ColNames = append(cte.ColNames, c)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect("AS"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		cte.Query = sub
+		w.CTEs = append(w.CTEs, cte)
+		if !p.accept(",") {
+			break
+		}
+	}
+	return w, nil
+}
+
+// parseQueryExpr handles UNION/EXCEPT (left-assoc) over INTERSECT terms.
+func (p *Parser) parseQueryExpr() (sqlast.QueryExpr, error) {
+	left, err := p.parseIntersectTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.peek().IsKeyword("UNION"):
+			op = "UNION"
+		case p.peek().IsKeyword("EXCEPT"):
+			op = "EXCEPT"
+		default:
+			return left, nil
+		}
+		p.next()
+		all := p.acceptKw("ALL")
+		right, err := p.parseIntersectTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &sqlast.SetOp{Op: op, All: all, L: left, R: right}
+	}
+}
+
+func (p *Parser) parseIntersectTerm() (sqlast.QueryExpr, error) {
+	left, err := p.parseQueryPrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().IsKeyword("INTERSECT") {
+		p.next()
+		all := p.acceptKw("ALL")
+		right, err := p.parseQueryPrimary()
+		if err != nil {
+			return nil, err
+		}
+		left = &sqlast.SetOp{Op: "INTERSECT", All: all, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseQueryPrimary() (sqlast.QueryExpr, error) {
+	t := p.peek()
+	switch {
+	case t.IsKeyword("SELECT"):
+		return p.parseSelect()
+	case t.IsKeyword("VALUES"):
+		p.next()
+		v := &sqlast.Values{}
+		for {
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			var row []sqlast.Expr
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, e)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			v.Rows = append(v.Rows, row)
+			if !p.accept(",") {
+				break
+			}
+		}
+		return v, nil
+	case t.IsOp("("):
+		p.next()
+		inner, err := p.parseQueryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return nil, p.errf("expected SELECT, VALUES, or '(', got %q", t.Text)
+}
+
+func (p *Parser) parseSelect() (*sqlast.Select, error) {
+	p.next() // SELECT
+	s := &sqlast.Select{}
+	if p.acceptKw("DISTINCT") {
+		s.Distinct = true
+	} else {
+		p.acceptKw("ALL")
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Items = append(s.Items, item)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if p.acceptKw("FROM") {
+		for {
+			f, err := p.parseFromItem()
+			if err != nil {
+				return nil, err
+			}
+			s.From = append(s.From, f)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	if p.acceptKw("GROUP") {
+		if err := p.expect("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = e
+	}
+	if p.acceptKw("WINDOW") {
+		for {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("AS"); err != nil {
+				return nil, err
+			}
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			spec, err := p.parseWindowSpec()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			s.Windows = append(s.Windows, sqlast.NamedWindow{Name: name, Spec: spec})
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	return s, nil
+}
+
+func (p *Parser) parseSelectItem() (sqlast.SelectItem, error) {
+	if p.peek().IsOp("*") {
+		p.next()
+		return sqlast.SelectItem{Star: true}, nil
+	}
+	// t.* — identifier '.' '*'
+	if p.peekIdent() && p.peekAt(1).IsOp(".") && p.peekAt(2).IsOp("*") {
+		name, _ := p.ident()
+		p.next() // .
+		p.next() // *
+		return sqlast.SelectItem{TableStar: name}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return sqlast.SelectItem{}, err
+	}
+	item := sqlast.SelectItem{Expr: e}
+	if p.acceptKw("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return sqlast.SelectItem{}, err
+		}
+		item.Alias = a
+	} else if p.peekIdent() {
+		// bare alias (not a reserved keyword)
+		a, _ := p.ident()
+		item.Alias = a
+	}
+	return item, nil
+}
+
+func (p *Parser) parseOrderItems() ([]sqlast.OrderItem, error) {
+	var items []sqlast.OrderItem
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		o := sqlast.OrderItem{Expr: e}
+		if p.acceptKw("DESC") {
+			o.Desc = true
+		} else {
+			p.acceptKw("ASC")
+		}
+		items = append(items, o)
+		if !p.accept(",") {
+			break
+		}
+	}
+	return items, nil
+}
+
+// ---------------------------------------------------------------------------
+// FROM items
+// ---------------------------------------------------------------------------
+
+// parseFromItem parses one element of the comma list, including chained
+// explicit joins.
+func (p *Parser) parseFromItem() (sqlast.FromItem, error) {
+	left, err := p.parseTablePrimary(false)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var jt sqlast.JoinType
+		switch {
+		case p.peek().IsKeyword("JOIN"):
+			p.next()
+			jt = sqlast.JoinInner
+		case p.peek().IsKeyword("INNER") && p.peekAt(1).IsKeyword("JOIN"):
+			p.next()
+			p.next()
+			jt = sqlast.JoinInner
+		case p.peek().IsKeyword("LEFT"):
+			p.next()
+			p.acceptKw("OUTER")
+			if err := p.expect("JOIN"); err != nil {
+				return nil, err
+			}
+			jt = sqlast.JoinLeft
+		case p.peek().IsKeyword("CROSS") && p.peekAt(1).IsKeyword("JOIN"):
+			p.next()
+			p.next()
+			jt = sqlast.JoinCross
+		default:
+			return left, nil
+		}
+		right, err := p.parseTablePrimary(true)
+		if err != nil {
+			return nil, err
+		}
+		join := &sqlast.Join{Type: jt, L: left, R: right}
+		if jt != sqlast.JoinCross {
+			if err := p.expect("ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			join.On = on
+		}
+		left = join
+	}
+}
+
+// parseTablePrimary parses a table name, derived table, or parenthesized
+// join. allowLateral permits the LATERAL keyword (right side of a join or
+// later position in a comma list — we accept it everywhere except we just
+// thread the flag through for clarity).
+func (p *Parser) parseTablePrimary(allowLateral bool) (sqlast.FromItem, error) {
+	lateral := false
+	if p.peek().IsKeyword("LATERAL") {
+		p.next()
+		lateral = true
+	}
+	if p.accept("(") {
+		// Either a derived table (subquery) or a parenthesized join.
+		t := p.peek()
+		if t.IsKeyword("SELECT") || t.IsKeyword("WITH") || t.IsKeyword("VALUES") {
+			sub, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			ref := &sqlast.SubqueryRef{Query: sub, Lateral: lateral}
+			if err := p.parseTableAlias(ref); err != nil {
+				return nil, err
+			}
+			return ref, nil
+		}
+		inner, err := p.parseFromItem()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ref := &sqlast.TableRef{Name: name}
+	if p.acceptKw("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ref.Alias = a
+	} else if p.peekIdent() {
+		a, _ := p.ident()
+		ref.Alias = a
+	}
+	return ref, nil
+}
+
+func (p *Parser) parseTableAlias(ref *sqlast.SubqueryRef) error {
+	hasAs := p.acceptKw("AS")
+	if p.peekIdent() {
+		a, err := p.ident()
+		if err != nil {
+			return err
+		}
+		ref.Alias = a
+	} else if hasAs {
+		return p.errf("expected alias after AS")
+	} else {
+		return p.errf("derived table requires an alias")
+	}
+	if p.accept("(") {
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return err
+			}
+			ref.ColAliases = append(ref.ColAliases, c)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// window specs
+// ---------------------------------------------------------------------------
+
+func (p *Parser) parseWindowSpec() (*sqlast.WindowSpec, error) {
+	w := &sqlast.WindowSpec{}
+	// Optional base window name (inheritance).
+	if p.peekIdent() {
+		name, _ := p.ident()
+		w.Name = name
+	}
+	if p.acceptKw("PARTITION") {
+		if err := p.expect("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			w.PartitionBy = append(w.PartitionBy, e)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("ORDER") {
+		if err := p.expect("BY"); err != nil {
+			return nil, err
+		}
+		items, err := p.parseOrderItems()
+		if err != nil {
+			return nil, err
+		}
+		w.OrderBy = items
+	}
+	if p.peek().IsKeyword("ROWS") || p.peek().IsKeyword("RANGE") {
+		fr := &sqlast.Frame{}
+		if p.acceptKw("ROWS") {
+			fr.Mode = sqlast.FrameRows
+		} else {
+			p.next()
+			fr.Mode = sqlast.FrameRange
+		}
+		if p.acceptKw("BETWEEN") {
+			start, err := p.parseFrameBound()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("AND"); err != nil {
+				return nil, err
+			}
+			end, err := p.parseFrameBound()
+			if err != nil {
+				return nil, err
+			}
+			fr.Start, fr.End = start, end
+		} else {
+			start, err := p.parseFrameBound()
+			if err != nil {
+				return nil, err
+			}
+			fr.Start = start
+			fr.End = sqlast.FrameBound{Type: sqlast.BoundCurrentRow}
+		}
+		if p.acceptKw("EXCLUDE") {
+			if err := p.expect("CURRENT"); err != nil {
+				return nil, err
+			}
+			if err := p.expect("ROW"); err != nil {
+				return nil, err
+			}
+			fr.ExcludeCurrent = true
+		}
+		w.Frame = fr
+	}
+	return w, nil
+}
+
+func (p *Parser) parseFrameBound() (sqlast.FrameBound, error) {
+	switch {
+	case p.acceptKw("UNBOUNDED"):
+		if p.acceptKw("PRECEDING") {
+			return sqlast.FrameBound{Type: sqlast.BoundUnboundedPreceding}, nil
+		}
+		if p.acceptKw("FOLLOWING") {
+			return sqlast.FrameBound{Type: sqlast.BoundUnboundedFollowing}, nil
+		}
+		return sqlast.FrameBound{}, p.errf("expected PRECEDING or FOLLOWING after UNBOUNDED")
+	case p.acceptKw("CURRENT"):
+		if err := p.expect("ROW"); err != nil {
+			return sqlast.FrameBound{}, err
+		}
+		return sqlast.FrameBound{Type: sqlast.BoundCurrentRow}, nil
+	default:
+		if p.peek().Type != lexer.Number {
+			return sqlast.FrameBound{}, p.errf("expected frame bound, got %q", p.peek().Text)
+		}
+		e, err := p.parsePrimary()
+		if err != nil {
+			return sqlast.FrameBound{}, err
+		}
+		if p.acceptKw("PRECEDING") {
+			return sqlast.FrameBound{Type: sqlast.BoundPreceding, Offset: e}, nil
+		}
+		if p.acceptKw("FOLLOWING") {
+			return sqlast.FrameBound{Type: sqlast.BoundFollowing, Offset: e}, nil
+		}
+		return sqlast.FrameBound{}, p.errf("expected PRECEDING or FOLLOWING")
+	}
+}
+
+// numberLiteral converts a Number token into a literal value.
+func numberLiteral(text string) (sqlast.Expr, error) {
+	if i, err := strconv.ParseInt(text, 10, 64); err == nil {
+		return sqlast.IntLit(i), nil
+	}
+	f, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return nil, err
+	}
+	return sqlast.Lit(sqltypes.NewFloat(f)), nil
+}

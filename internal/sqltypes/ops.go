@@ -1,0 +1,363 @@
+package sqltypes
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Arithmetic and logical operators with SQL NULL propagation. These are the
+// primitives both the interpreter's fast path and the executor's compiled
+// expressions bottom out in, so interpreted and compiled evaluation cannot
+// drift apart.
+
+// Add returns a + b (numeric) with NULL propagation.
+func Add(a, b Value) (Value, error) { return numericBinop("+", a, b) }
+
+// Sub returns a - b.
+func Sub(a, b Value) (Value, error) { return numericBinop("-", a, b) }
+
+// Mul returns a * b.
+func Mul(a, b Value) (Value, error) { return numericBinop("*", a, b) }
+
+// Div returns a / b. Integer division truncates toward zero, like
+// PostgreSQL's int4div.
+func Div(a, b Value) (Value, error) { return numericBinop("/", a, b) }
+
+// Mod returns a % b for integers.
+func Mod(a, b Value) (Value, error) { return numericBinop("%", a, b) }
+
+func numericBinop(op string, a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	if !a.IsNumeric() || !b.IsNumeric() {
+		return Null, fmt.Errorf("sqltypes: operator %s expects numeric operands, got %s and %s", op, a.kind, b.kind)
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		x, y := a.i, b.i
+		switch op {
+		case "+":
+			return NewInt(x + y), nil
+		case "-":
+			return NewInt(x - y), nil
+		case "*":
+			return NewInt(x * y), nil
+		case "/":
+			if y == 0 {
+				return Null, fmt.Errorf("sqltypes: division by zero")
+			}
+			return NewInt(x / y), nil
+		case "%":
+			if y == 0 {
+				return Null, fmt.Errorf("sqltypes: division by zero")
+			}
+			return NewInt(x % y), nil
+		}
+	}
+	x, y := a.AsFloat(), b.AsFloat()
+	switch op {
+	case "+":
+		return NewFloat(x + y), nil
+	case "-":
+		return NewFloat(x - y), nil
+	case "*":
+		return NewFloat(x * y), nil
+	case "/":
+		if y == 0 {
+			return Null, fmt.Errorf("sqltypes: division by zero")
+		}
+		return NewFloat(x / y), nil
+	case "%":
+		if y == 0 {
+			return Null, fmt.Errorf("sqltypes: division by zero")
+		}
+		return NewFloat(math.Mod(x, y)), nil
+	}
+	return Null, fmt.Errorf("sqltypes: unknown operator %s", op)
+}
+
+// Neg returns -a.
+func Neg(a Value) (Value, error) {
+	switch a.kind {
+	case KindNull:
+		return Null, nil
+	case KindInt:
+		return NewInt(-a.i), nil
+	case KindFloat:
+		return NewFloat(-a.f), nil
+	}
+	return Null, fmt.Errorf("sqltypes: unary - expects numeric operand, got %s", a.kind)
+}
+
+// Concat returns a || b. Non-text operands are rendered with String, as
+// PostgreSQL's text || anynonarray does.
+func Concat(a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	return NewText(a.String() + b.String()), nil
+}
+
+// CompareOp evaluates a comparison operator (=, <>, <, <=, >, >=) under
+// three-valued logic: NULL operands yield NULL.
+func CompareOp(op string, a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	c, err := Compare(a, b)
+	if err != nil {
+		return Null, err
+	}
+	switch op {
+	case "=":
+		return NewBool(c == 0), nil
+	case "<>", "!=":
+		return NewBool(c != 0), nil
+	case "<":
+		return NewBool(c < 0), nil
+	case "<=":
+		return NewBool(c <= 0), nil
+	case ">":
+		return NewBool(c > 0), nil
+	case ">=":
+		return NewBool(c >= 0), nil
+	}
+	return Null, fmt.Errorf("sqltypes: unknown comparison %s", op)
+}
+
+// And implements SQL three-valued AND.
+func And(a, b Value) (Value, error) {
+	if err := wantBoolOrNull("AND", a, b); err != nil {
+		return Null, err
+	}
+	// false AND x = false, even for NULL x.
+	if (a.kind == KindBool && !a.b) || (b.kind == KindBool && !b.b) {
+		return NewBool(false), nil
+	}
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	return NewBool(a.b && b.b), nil
+}
+
+// Or implements SQL three-valued OR.
+func Or(a, b Value) (Value, error) {
+	if err := wantBoolOrNull("OR", a, b); err != nil {
+		return Null, err
+	}
+	if (a.kind == KindBool && a.b) || (b.kind == KindBool && b.b) {
+		return NewBool(true), nil
+	}
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	return NewBool(a.b || b.b), nil
+}
+
+// Not implements SQL three-valued NOT.
+func Not(a Value) (Value, error) {
+	if a.IsNull() {
+		return Null, nil
+	}
+	if a.kind != KindBool {
+		return Null, fmt.Errorf("sqltypes: NOT expects boolean, got %s", a.kind)
+	}
+	return NewBool(!a.b), nil
+}
+
+func wantBoolOrNull(op string, vs ...Value) error {
+	for _, v := range vs {
+		if !v.IsNull() && v.kind != KindBool {
+			return fmt.Errorf("sqltypes: %s expects boolean operands, got %s", op, v.kind)
+		}
+	}
+	return nil
+}
+
+// Type is a static type descriptor used by catalogs, function signatures,
+// and the compiler (which needs declared types for CAST(NULL AS τ) and the
+// run-table schema).
+type Type struct {
+	Kind Kind
+}
+
+// Predeclared types.
+var (
+	TypeBool  = Type{Kind: KindBool}
+	TypeInt   = Type{Kind: KindInt}
+	TypeFloat = Type{Kind: KindFloat}
+	TypeText  = Type{Kind: KindText}
+	TypeCoord = Type{Kind: KindCoord}
+	TypeRow   = Type{Kind: KindRow}
+)
+
+// String returns the canonical SQL name of the type.
+func (t Type) String() string {
+	switch t.Kind {
+	case KindBool:
+		return "boolean"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindText:
+		return "text"
+	case KindCoord:
+		return "coord"
+	case KindRow:
+		return "record"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseType resolves a SQL type name (with the usual PostgreSQL aliases) to
+// a Type.
+func ParseType(name string) (Type, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "bool", "boolean":
+		return TypeBool, nil
+	case "int", "integer", "int4", "int8", "bigint", "smallint":
+		return TypeInt, nil
+	case "float", "float4", "float8", "real", "double precision", "numeric", "decimal":
+		return TypeFloat, nil
+	case "text", "varchar", "char", "character varying", "string":
+		return TypeText, nil
+	case "coord":
+		return TypeCoord, nil
+	case "record", "row":
+		return TypeRow, nil
+	default:
+		return Type{}, fmt.Errorf("sqltypes: unknown type %q", name)
+	}
+}
+
+// Cast converts v to type t following PostgreSQL's cast rules for the kinds
+// we support. NULL casts to NULL of any type.
+func Cast(v Value, t Type) (Value, error) {
+	if v.IsNull() {
+		return Null, nil
+	}
+	if v.kind == t.Kind {
+		return v, nil
+	}
+	switch t.Kind {
+	case KindBool:
+		switch v.kind {
+		case KindText:
+			switch strings.ToLower(strings.TrimSpace(v.s)) {
+			case "t", "true", "yes", "on", "1":
+				return NewBool(true), nil
+			case "f", "false", "no", "off", "0":
+				return NewBool(false), nil
+			}
+			return Null, fmt.Errorf("sqltypes: invalid input for boolean: %q", v.s)
+		case KindInt:
+			return NewBool(v.i != 0), nil
+		}
+	case KindInt:
+		switch v.kind {
+		case KindFloat:
+			if math.IsNaN(v.f) || math.IsInf(v.f, 0) {
+				return Null, fmt.Errorf("sqltypes: cannot cast %s to int", formatFloat(v.f))
+			}
+			return NewInt(int64(math.RoundToEven(v.f))), nil
+		case KindBool:
+			if v.b {
+				return NewInt(1), nil
+			}
+			return NewInt(0), nil
+		case KindText:
+			i, err := strconv.ParseInt(strings.TrimSpace(v.s), 10, 64)
+			if err != nil {
+				return Null, fmt.Errorf("sqltypes: invalid input for int: %q", v.s)
+			}
+			return NewInt(i), nil
+		}
+	case KindFloat:
+		switch v.kind {
+		case KindInt:
+			return NewFloat(float64(v.i)), nil
+		case KindText:
+			f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+			if err != nil {
+				return Null, fmt.Errorf("sqltypes: invalid input for float: %q", v.s)
+			}
+			return NewFloat(f), nil
+		}
+	case KindText:
+		return NewText(v.String()), nil
+	case KindCoord:
+		if v.kind == KindRow && len(v.row) == 2 {
+			x, err := Cast(v.row[0], TypeInt)
+			if err != nil {
+				return Null, err
+			}
+			y, err := Cast(v.row[1], TypeInt)
+			if err != nil {
+				return Null, err
+			}
+			if x.IsNull() || y.IsNull() {
+				return Null, fmt.Errorf("sqltypes: coord fields must be non-null")
+			}
+			return NewCoord(x.i, y.i), nil
+		}
+		if v.kind == KindText {
+			return parseCoordText(v.s)
+		}
+	case KindRow:
+		if v.kind == KindCoord {
+			return NewRow([]Value{v.row[0], v.row[1]}), nil
+		}
+	}
+	return Null, fmt.Errorf("sqltypes: cannot cast %s to %s", v.kind, t)
+}
+
+func parseCoordText(s string) (Value, error) {
+	t := strings.TrimSpace(s)
+	if !strings.HasPrefix(t, "(") || !strings.HasSuffix(t, ")") {
+		return Null, fmt.Errorf("sqltypes: invalid coord literal %q", s)
+	}
+	parts := strings.Split(t[1:len(t)-1], ",")
+	if len(parts) != 2 {
+		return Null, fmt.Errorf("sqltypes: invalid coord literal %q", s)
+	}
+	x, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+	if err != nil {
+		return Null, fmt.Errorf("sqltypes: invalid coord literal %q", s)
+	}
+	y, err := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+	if err != nil {
+		return Null, fmt.Errorf("sqltypes: invalid coord literal %q", s)
+	}
+	return NewCoord(x, y), nil
+}
+
+// SizeBytes returns the on-page payload size of the value, used by the
+// storage layer's buffer accounting (Table 2). It mirrors PostgreSQL's
+// datum widths: 1 byte for bool, 8 for int/float, length for text (short
+// varlena header folded into the tuple header constant), 16 for coord.
+func SizeBytes(v Value) int {
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindBool:
+		return 1
+	case KindInt, KindFloat:
+		return 8
+	case KindText:
+		return len(v.s)
+	case KindCoord:
+		return 16
+	case KindRow:
+		n := 4 // field count word
+		for _, f := range v.row {
+			n += 1 + SizeBytes(f) // per-field kind tag
+		}
+		return n
+	default:
+		return 0
+	}
+}

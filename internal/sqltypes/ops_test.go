@@ -1,0 +1,277 @@
+package sqltypes
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestArithmeticInts(t *testing.T) {
+	cases := []struct {
+		op   func(a, b Value) (Value, error)
+		a, b int64
+		want int64
+	}{
+		{Add, 2, 3, 5},
+		{Sub, 2, 3, -1},
+		{Mul, 4, -3, -12},
+		{Div, 7, 2, 3},
+		{Div, -7, 2, -3}, // truncation toward zero, like int4div
+		{Mod, 7, 3, 1},
+		{Mod, -7, 3, -1},
+	}
+	for _, c := range cases {
+		got, err := c.op(NewInt(c.a), NewInt(c.b))
+		if err != nil {
+			t.Fatalf("op(%d,%d): %v", c.a, c.b, err)
+		}
+		if got.Kind() != KindInt || got.Int() != c.want {
+			t.Errorf("op(%d,%d) = %v, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestArithmeticMixedWidensToFloat(t *testing.T) {
+	got, err := Add(NewInt(1), NewFloat(0.5))
+	if err != nil || got.Kind() != KindFloat || got.Float() != 1.5 {
+		t.Errorf("1 + 0.5 = %v (%v), want 1.5 float", got, err)
+	}
+	got, err = Div(NewFloat(1), NewInt(4))
+	if err != nil || got.Float() != 0.25 {
+		t.Errorf("1.0/4 = %v (%v), want 0.25", got, err)
+	}
+}
+
+func TestArithmeticNullPropagation(t *testing.T) {
+	for _, op := range []func(a, b Value) (Value, error){Add, Sub, Mul, Div, Mod, Concat} {
+		got, err := op(Null, NewInt(1))
+		if err != nil || !got.IsNull() {
+			t.Errorf("op(NULL, 1) = %v (%v), want NULL", got, err)
+		}
+		got, err = op(NewInt(1), Null)
+		if err != nil || !got.IsNull() {
+			t.Errorf("op(1, NULL) = %v (%v), want NULL", got, err)
+		}
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	if _, err := Div(NewInt(1), NewInt(0)); err == nil {
+		t.Error("1/0 should error")
+	}
+	if _, err := Mod(NewInt(1), NewInt(0)); err == nil {
+		t.Error("1%0 should error")
+	}
+	if _, err := Div(NewFloat(1), NewFloat(0)); err == nil {
+		t.Error("1.0/0.0 should error")
+	}
+}
+
+func TestArithmeticTypeErrors(t *testing.T) {
+	if _, err := Add(NewText("a"), NewInt(1)); err == nil {
+		t.Error("'a' + 1 should error")
+	}
+	if _, err := Neg(NewText("a")); err == nil {
+		t.Error("-'a' should error")
+	}
+}
+
+func TestNeg(t *testing.T) {
+	if v, _ := Neg(NewInt(3)); v.Int() != -3 {
+		t.Errorf("-3 = %v", v)
+	}
+	if v, _ := Neg(NewFloat(2.5)); v.Float() != -2.5 {
+		t.Errorf("-2.5 = %v", v)
+	}
+	if v, _ := Neg(Null); !v.IsNull() {
+		t.Error("-NULL must be NULL")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	got, _ := Concat(NewText("ab"), NewText("cd"))
+	if got.Text() != "abcd" {
+		t.Errorf("'ab'||'cd' = %v", got)
+	}
+	got, _ = Concat(NewText("n="), NewInt(4))
+	if got.Text() != "n=4" {
+		t.Errorf("'n='||4 = %v", got)
+	}
+}
+
+func TestCompareOpThreeValued(t *testing.T) {
+	v, err := CompareOp("<", NewInt(1), NewInt(2))
+	if err != nil || !v.IsTrue() {
+		t.Errorf("1<2 = %v (%v)", v, err)
+	}
+	v, _ = CompareOp("=", Null, NewInt(2))
+	if !v.IsNull() {
+		t.Error("NULL = 2 must be NULL")
+	}
+	v, _ = CompareOp("<>", NewText("a"), NewText("b"))
+	if !v.IsTrue() {
+		t.Error("'a' <> 'b' must be true")
+	}
+	if _, err := CompareOp("~", NewInt(1), NewInt(1)); err == nil {
+		t.Error("unknown operator should error")
+	}
+}
+
+func TestThreeValuedAndOr(t *testing.T) {
+	T, F, N := NewBool(true), NewBool(false), Null
+	and := [][3]Value{
+		{T, T, T}, {T, F, F}, {F, F, F}, {T, N, N}, {N, T, N}, {F, N, F}, {N, F, F}, {N, N, N},
+	}
+	for _, c := range and {
+		got, err := And(c[0], c[1])
+		if err != nil || !Identical(got, c[2]) {
+			t.Errorf("AND(%v,%v) = %v (%v), want %v", c[0], c[1], got, err, c[2])
+		}
+	}
+	or := [][3]Value{
+		{T, T, T}, {T, F, T}, {F, F, F}, {T, N, T}, {N, T, T}, {F, N, N}, {N, F, N}, {N, N, N},
+	}
+	for _, c := range or {
+		got, err := Or(c[0], c[1])
+		if err != nil || !Identical(got, c[2]) {
+			t.Errorf("OR(%v,%v) = %v (%v), want %v", c[0], c[1], got, err, c[2])
+		}
+	}
+	if v, _ := Not(T); v.IsTrue() {
+		t.Error("NOT true must be false")
+	}
+	if v, _ := Not(N); !v.IsNull() {
+		t.Error("NOT NULL must be NULL")
+	}
+	if _, err := And(NewInt(1), T); err == nil {
+		t.Error("AND on int should error")
+	}
+}
+
+func TestParseType(t *testing.T) {
+	cases := map[string]Type{
+		"int": TypeInt, "INTEGER": TypeInt, "bigint": TypeInt,
+		"float8": TypeFloat, "double precision": TypeFloat, "numeric": TypeFloat,
+		"text": TypeText, "varchar": TypeText,
+		"boolean": TypeBool, "coord": TypeCoord, "record": TypeRow,
+	}
+	for name, want := range cases {
+		got, err := ParseType(name)
+		if err != nil || got != want {
+			t.Errorf("ParseType(%q) = %v (%v), want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseType("blob"); err == nil {
+		t.Error("unknown type should error")
+	}
+}
+
+func TestCasts(t *testing.T) {
+	cases := []struct {
+		v    Value
+		t    Type
+		want Value
+	}{
+		{Null, TypeInt, Null},
+		{NewInt(1), TypeBool, NewBool(true)},
+		{NewInt(0), TypeBool, NewBool(false)},
+		{NewText(" true "), TypeBool, NewBool(true)},
+		{NewText("f"), TypeBool, NewBool(false)},
+		{NewFloat(2.5), TypeInt, NewInt(2)}, // banker's rounding
+		{NewFloat(3.5), TypeInt, NewInt(4)},
+		{NewBool(true), TypeInt, NewInt(1)},
+		{NewText("42"), TypeInt, NewInt(42)},
+		{NewInt(2), TypeFloat, NewFloat(2)},
+		{NewText("0.5"), TypeFloat, NewFloat(0.5)},
+		{NewInt(9), TypeText, NewText("9")},
+		{NewCoord(1, 2), TypeText, NewText("(1,2)")},
+		{NewRow([]Value{NewInt(1), NewInt(2)}), TypeCoord, NewCoord(1, 2)},
+		{NewText("(3, 4)"), TypeCoord, NewCoord(3, 4)},
+		{NewCoord(5, 6), TypeRow, NewRow([]Value{NewInt(5), NewInt(6)})},
+	}
+	for _, c := range cases {
+		got, err := Cast(c.v, c.t)
+		if err != nil {
+			t.Errorf("Cast(%v, %v): %v", c.v, c.t, err)
+			continue
+		}
+		if !Identical(got, c.want) {
+			t.Errorf("Cast(%v, %v) = %v, want %v", c.v, c.t, got, c.want)
+		}
+	}
+}
+
+func TestCastErrors(t *testing.T) {
+	bad := []struct {
+		v Value
+		t Type
+	}{
+		{NewText("abc"), TypeInt},
+		{NewText("abc"), TypeFloat},
+		{NewText("maybe"), TypeBool},
+		{NewFloat(math.NaN()), TypeInt},
+		{NewText("1,2"), TypeCoord},
+		{NewText("(1;2)"), TypeCoord},
+		{NewRow([]Value{NewInt(1)}), TypeCoord},
+		{NewBool(true), TypeCoord},
+	}
+	for _, c := range bad {
+		if _, err := Cast(c.v, c.t); err == nil {
+			t.Errorf("Cast(%v, %v) should error", c.v, c.t)
+		}
+	}
+}
+
+func TestCastTextRoundTripProperty(t *testing.T) {
+	f := func(i int64) bool {
+		txt, err := Cast(NewInt(i), TypeText)
+		if err != nil {
+			return false
+		}
+		back, err := Cast(txt, TypeInt)
+		return err == nil && back.Int() == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddCommutesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := NewInt(int64(r.Intn(1000))), NewFloat(r.Float64()*100)
+		x, err1 := Add(a, b)
+		y, err2 := Add(b, a)
+		return err1 == nil && err2 == nil && Identical(x, y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want int
+	}{
+		{Null, 0},
+		{NewBool(true), 1},
+		{NewInt(1), 8},
+		{NewFloat(1), 8},
+		{NewText("abcd"), 4},
+		{NewCoord(1, 2), 16},
+	}
+	for _, c := range cases {
+		if got := SizeBytes(c.v); got != c.want {
+			t.Errorf("SizeBytes(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Row size grows with contents — that is what makes Table 2 quadratic.
+	small := SizeBytes(NewRow([]Value{NewText(strings.Repeat("x", 10))}))
+	big := SizeBytes(NewRow([]Value{NewText(strings.Repeat("x", 100))}))
+	if big-small != 90 {
+		t.Errorf("row size should grow by payload: small=%d big=%d", small, big)
+	}
+}

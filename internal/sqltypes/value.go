@@ -1,0 +1,377 @@
+// Package sqltypes implements the dynamic value system shared by the SQL
+// engine, the PL/SQL interpreter, and the compiler.
+//
+// Values are dynamically typed, mirroring the way PostgreSQL Datums flow
+// through the executor. The supported kinds cover everything the paper's
+// workloads need: NULL, booleans, 64-bit integers, 64-bit floats, text,
+// the composite type coord (the robot's grid position), and anonymous row
+// values (used by the WITH RECURSIVE template to carry encoded calls).
+package sqltypes
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime type of a Value.
+type Kind uint8
+
+// The value kinds, ordered so that NULL sorts first (PostgreSQL's NULLS
+// LAST/FIRST handling is done by the sort node, but cross-kind comparisons
+// need a deterministic total order for hashing and testing).
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindText
+	KindCoord
+	KindRow
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "boolean"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindText:
+		return "text"
+	case KindCoord:
+		return "coord"
+	case KindRow:
+		return "row"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed SQL value. The zero Value is SQL NULL.
+type Value struct {
+	kind Kind
+	b    bool
+	i    int64
+	f    float64
+	s    string
+	row  []Value // fields for KindRow; [x, y] ints for KindCoord
+}
+
+// Null is the SQL NULL value.
+var Null = Value{kind: KindNull}
+
+// NewBool returns a boolean value.
+func NewBool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// NewInt returns an integer value.
+func NewInt(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// NewFloat returns a float value.
+func NewFloat(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// NewText returns a text value.
+func NewText(s string) Value { return Value{kind: KindText, s: s} }
+
+// NewCoord returns a coord value (the paper's composite grid-cell type).
+func NewCoord(x, y int64) Value {
+	return Value{kind: KindCoord, row: []Value{NewInt(x), NewInt(y)}}
+}
+
+// NewRow returns an anonymous row value with the given fields. The slice is
+// not copied; callers must not alias it afterwards.
+func NewRow(fields []Value) Value { return Value{kind: KindRow, row: fields} }
+
+// Kind reports the runtime kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Bool returns the boolean payload; valid only for KindBool.
+func (v Value) Bool() bool { return v.b }
+
+// Int returns the integer payload; valid only for KindInt.
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the float payload; valid only for KindFloat.
+func (v Value) Float() float64 { return v.f }
+
+// Text returns the text payload; valid only for KindText.
+func (v Value) Text() string { return v.s }
+
+// Coord returns the (x, y) payload; valid only for KindCoord.
+func (v Value) Coord() (x, y int64) { return v.row[0].i, v.row[1].i }
+
+// Row returns the field slice of a row value; valid only for KindRow.
+// Callers must not mutate the result.
+func (v Value) Row() []Value { return v.row }
+
+// NumFields returns the number of fields of a row or coord value and 0
+// otherwise.
+func (v Value) NumFields() int {
+	if v.kind == KindRow || v.kind == KindCoord {
+		return len(v.row)
+	}
+	return 0
+}
+
+// Field returns field i (0-based) of a row or coord value.
+func (v Value) Field(i int) Value { return v.row[i] }
+
+// AsFloat widens ints to floats; valid for KindInt and KindFloat.
+func (v Value) AsFloat() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// IsNumeric reports whether v is an int or float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// IsTrue reports whether v is the boolean TRUE (NULL counts as not true,
+// following SQL's three-valued WHERE semantics).
+func (v Value) IsTrue() bool { return v.kind == KindBool && v.b }
+
+// String renders the value the way our shell and test goldens print it.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return formatFloat(v.f)
+	case KindText:
+		return v.s
+	case KindCoord:
+		return fmt.Sprintf("(%d,%d)", v.row[0].i, v.row[1].i)
+	case KindRow:
+		var sb strings.Builder
+		sb.WriteByte('(')
+		for i, f := range v.row {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(f.String())
+		}
+		sb.WriteByte(')')
+		return sb.String()
+	default:
+		return fmt.Sprintf("<bad value kind %d>", v.kind)
+	}
+}
+
+// SQLLiteral renders the value as a SQL literal that parses back to an
+// equal value (used by the compiler when folding constants into emitted
+// queries and by golden tests).
+func (v Value) SQLLiteral() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		s := formatFloat(v.f)
+		if !strings.ContainsAny(s, ".eE") && !strings.Contains(s, "Inf") && !strings.Contains(s, "NaN") {
+			s += ".0"
+		}
+		return s
+	case KindText:
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	case KindCoord:
+		return fmt.Sprintf("coord(%d,%d)", v.row[0].i, v.row[1].i)
+	case KindRow:
+		var sb strings.Builder
+		sb.WriteString("ROW(")
+		for i, f := range v.row {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(f.SQLLiteral())
+		}
+		sb.WriteByte(')')
+		return sb.String()
+	default:
+		return "NULL"
+	}
+}
+
+func formatFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "Infinity"
+	}
+	if math.IsInf(f, -1) {
+		return "-Infinity"
+	}
+	if math.IsNaN(f) {
+		return "NaN"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// Equal reports SQL equality treating NULL = NULL as false. Use Identical
+// for NULL-aware grouping semantics.
+func Equal(a, b Value) (eq bool, null bool) {
+	if a.IsNull() || b.IsNull() {
+		return false, true
+	}
+	c, err := Compare(a, b)
+	if err != nil {
+		return false, false
+	}
+	return c == 0, false
+}
+
+// Identical reports whether two values are indistinguishable, with
+// NULL identical to NULL (the semantics GROUP BY, DISTINCT and set
+// operations use).
+func Identical(a, b Value) bool {
+	if a.IsNull() && b.IsNull() {
+		return true
+	}
+	if a.IsNull() != b.IsNull() {
+		return false
+	}
+	if (a.kind == KindRow || a.kind == KindCoord) && (b.kind == KindRow || b.kind == KindCoord) {
+		if len(a.row) != len(b.row) {
+			return false
+		}
+		for i := range a.row {
+			if !Identical(a.row[i], b.row[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	c, err := Compare(a, b)
+	return err == nil && c == 0
+}
+
+// Compare imposes a total order on non-NULL values of comparable kinds:
+// -1, 0, +1. Numeric kinds compare numerically across int/float. Mixed
+// incomparable kinds yield an error. NULL input is an error; callers decide
+// NULL placement.
+func Compare(a, b Value) (int, error) {
+	if a.IsNull() || b.IsNull() {
+		return 0, fmt.Errorf("sqltypes: cannot compare NULL")
+	}
+	if a.IsNumeric() && b.IsNumeric() {
+		if a.kind == KindInt && b.kind == KindInt {
+			switch {
+			case a.i < b.i:
+				return -1, nil
+			case a.i > b.i:
+				return 1, nil
+			}
+			return 0, nil
+		}
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		case math.IsNaN(af) && !math.IsNaN(bf):
+			return 1, nil // NaN sorts last, like PostgreSQL
+		case !math.IsNaN(af) && math.IsNaN(bf):
+			return -1, nil
+		}
+		return 0, nil
+	}
+	if a.kind != b.kind {
+		return 0, fmt.Errorf("sqltypes: cannot compare %s with %s", a.kind, b.kind)
+	}
+	switch a.kind {
+	case KindBool:
+		switch {
+		case !a.b && b.b:
+			return -1, nil
+		case a.b && !b.b:
+			return 1, nil
+		}
+		return 0, nil
+	case KindText:
+		return strings.Compare(a.s, b.s), nil
+	case KindCoord, KindRow:
+		if len(a.row) != len(b.row) {
+			return 0, fmt.Errorf("sqltypes: cannot compare rows of %d and %d fields", len(a.row), len(b.row))
+		}
+		for i := range a.row {
+			c, err := Compare(a.row[i], b.row[i])
+			if err != nil {
+				return 0, err
+			}
+			if c != 0 {
+				return c, nil
+			}
+		}
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("sqltypes: kind %s is not comparable", a.kind)
+	}
+}
+
+// Hash returns a hash consistent with Identical: Identical values hash
+// equally. Ints that equal a float hash like the float so that numeric
+// join keys of mixed kinds meet in the same bucket.
+func Hash(v Value) uint64 {
+	h := fnv.New64a()
+	hashInto(h, v)
+	return h.Sum64()
+}
+
+type hasher interface {
+	Write(p []byte) (int, error)
+}
+
+func hashInto(h hasher, v Value) {
+	var tag [1]byte
+	switch v.kind {
+	case KindNull:
+		tag[0] = 0
+		h.Write(tag[:])
+	case KindBool:
+		tag[0] = 1
+		if v.b {
+			tag[0] = 2
+		}
+		h.Write(tag[:])
+	case KindInt, KindFloat:
+		tag[0] = 3
+		h.Write(tag[:])
+		bits := math.Float64bits(v.AsFloat() + 0) // +0 normalizes -0.0
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	case KindText:
+		tag[0] = 4
+		h.Write(tag[:])
+		h.Write([]byte(v.s))
+	case KindCoord, KindRow:
+		tag[0] = 5
+		h.Write(tag[:])
+		for _, f := range v.row {
+			hashInto(h, f)
+		}
+	}
+}

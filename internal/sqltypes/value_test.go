@@ -1,0 +1,260 @@
+package sqltypes
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "null", KindBool: "boolean", KindInt: "int",
+		KindFloat: "float", KindText: "text", KindCoord: "coord", KindRow: "row",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if !Null.IsNull() {
+		t.Fatal("Null must be NULL")
+	}
+	var zero Value
+	if !zero.IsNull() {
+		t.Fatal("zero Value must be NULL")
+	}
+	if v := NewBool(true); !v.Bool() || v.Kind() != KindBool {
+		t.Errorf("NewBool broken: %v", v)
+	}
+	if v := NewInt(-7); v.Int() != -7 {
+		t.Errorf("NewInt broken: %v", v)
+	}
+	if v := NewFloat(2.5); v.Float() != 2.5 {
+		t.Errorf("NewFloat broken: %v", v)
+	}
+	if v := NewText("abc"); v.Text() != "abc" {
+		t.Errorf("NewText broken: %v", v)
+	}
+	v := NewCoord(3, 2)
+	if x, y := v.Coord(); x != 3 || y != 2 {
+		t.Errorf("NewCoord broken: %v", v)
+	}
+	r := NewRow([]Value{NewInt(1), NewText("x")})
+	if r.NumFields() != 2 || r.Field(1).Text() != "x" {
+		t.Errorf("NewRow broken: %v", r)
+	}
+	if NewInt(1).NumFields() != 0 {
+		t.Error("scalar NumFields should be 0")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+		{NewInt(42), "42"},
+		{NewFloat(1.5), "1.5"},
+		{NewFloat(math.Inf(1)), "Infinity"},
+		{NewFloat(math.Inf(-1)), "-Infinity"},
+		{NewText("hi"), "hi"},
+		{NewCoord(3, 2), "(3,2)"},
+		{NewRow([]Value{NewInt(1), Null}), "(1,NULL)"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSQLLiteral(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{NewBool(true), "true"},
+		{NewInt(-3), "-3"},
+		{NewFloat(2), "2.0"},
+		{NewFloat(0.25), "0.25"},
+		{NewText("o'clock"), "'o''clock'"},
+		{NewCoord(1, 2), "coord(1,2)"},
+		{NewRow([]Value{NewInt(1), NewText("a")}), "ROW(1, 'a')"},
+	}
+	for _, c := range cases {
+		if got := c.v.SQLLiteral(); got != c.want {
+			t.Errorf("SQLLiteral(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCompareNumericCrossKind(t *testing.T) {
+	c, err := Compare(NewInt(2), NewFloat(2.5))
+	if err != nil || c != -1 {
+		t.Errorf("Compare(2, 2.5) = %d, %v; want -1", c, err)
+	}
+	c, err = Compare(NewFloat(3), NewInt(3))
+	if err != nil || c != 0 {
+		t.Errorf("Compare(3.0, 3) = %d, %v; want 0", c, err)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	if _, err := Compare(Null, NewInt(1)); err == nil {
+		t.Error("Compare with NULL should error")
+	}
+	if _, err := Compare(NewInt(1), NewText("a")); err == nil {
+		t.Error("Compare int vs text should error")
+	}
+	if _, err := Compare(NewRow([]Value{NewInt(1)}), NewRow([]Value{NewInt(1), NewInt(2)})); err == nil {
+		t.Error("Compare rows of different arity should error")
+	}
+}
+
+func TestCompareRowsAndCoords(t *testing.T) {
+	a, b := NewCoord(1, 2), NewCoord(1, 3)
+	if c, _ := Compare(a, b); c != -1 {
+		t.Errorf("coord compare broken: got %d", c)
+	}
+	if c, _ := Compare(b, a); c != 1 {
+		t.Errorf("coord compare broken: got %d", c)
+	}
+	if c, _ := Compare(a, a); c != 0 {
+		t.Errorf("coord compare broken: got %d", c)
+	}
+}
+
+func TestEqualNullSemantics(t *testing.T) {
+	eq, null := Equal(Null, NewInt(1))
+	if eq || !null {
+		t.Error("NULL = 1 must be NULL")
+	}
+	eq, null = Equal(NewInt(1), NewInt(1))
+	if !eq || null {
+		t.Error("1 = 1 must be true")
+	}
+}
+
+func TestIdentical(t *testing.T) {
+	if !Identical(Null, Null) {
+		t.Error("NULL must be identical to NULL")
+	}
+	if Identical(Null, NewInt(0)) {
+		t.Error("NULL must not be identical to 0")
+	}
+	if !Identical(NewCoord(1, 2), NewRow([]Value{NewInt(1), NewInt(2)})) {
+		t.Error("coord should be identical to an equal 2-field row")
+	}
+	if Identical(NewRow([]Value{Null}), NewRow([]Value{NewInt(0)})) {
+		t.Error("row(NULL) must differ from row(0)")
+	}
+	if !Identical(NewRow([]Value{Null, NewInt(2)}), NewRow([]Value{Null, NewInt(2)})) {
+		t.Error("rows with equal NULL pattern must be identical")
+	}
+}
+
+func TestHashConsistentWithIdentical(t *testing.T) {
+	pairs := [][2]Value{
+		{NewInt(3), NewFloat(3)},
+		{NewCoord(4, 5), NewRow([]Value{NewInt(4), NewInt(5)})},
+		{Null, Null},
+		{NewText("x"), NewText("x")},
+		{NewFloat(0), NewFloat(math.Copysign(0, -1))},
+	}
+	for _, p := range pairs {
+		if !Identical(p[0], p[1]) {
+			t.Errorf("expected Identical(%v, %v)", p[0], p[1])
+			continue
+		}
+		if Hash(p[0]) != Hash(p[1]) {
+			t.Errorf("Hash(%v) != Hash(%v) although identical", p[0], p[1])
+		}
+	}
+	if Hash(NewText("a")) == Hash(NewText("b")) {
+		t.Error("suspicious hash collision for 'a' vs 'b'")
+	}
+}
+
+// randValue generates a random scalar value for property tests.
+func randValue(r *rand.Rand) Value {
+	switch r.Intn(5) {
+	case 0:
+		return NewInt(int64(r.Intn(200) - 100))
+	case 1:
+		return NewFloat(float64(r.Intn(400)-200) / 4)
+	case 2:
+		return NewText(string(rune('a' + r.Intn(26))))
+	case 3:
+		return NewBool(r.Intn(2) == 0)
+	default:
+		return NewCoord(int64(r.Intn(10)), int64(r.Intn(10)))
+	}
+}
+
+func TestCompareIsTotalOrderProperty(t *testing.T) {
+	// Antisymmetry and transitivity on same-kind triples.
+	cfg := &quick.Config{MaxCount: 500}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		kind := r.Intn(5)
+		gen := func() Value {
+			rr := rand.New(rand.NewSource(r.Int63()))
+			for {
+				v := randValue(rr)
+				if int(v.Kind())-1 == kind || (kind <= 1 && v.IsNumeric()) {
+					return v
+				}
+			}
+		}
+		a, b, c := gen(), gen(), gen()
+		ab, err1 := Compare(a, b)
+		ba, err2 := Compare(b, a)
+		if err1 != nil || err2 != nil {
+			return true // mixed numeric kinds etc. — skip
+		}
+		if ab != -ba {
+			return false
+		}
+		bc, err3 := Compare(b, c)
+		ac, err4 := Compare(a, c)
+		if err3 != nil || err4 != nil {
+			return true
+		}
+		if ab <= 0 && bc <= 0 && ac > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdenticalImpliesEqualHashProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randValue(r)
+		w := v
+		return Identical(v, w) && Hash(v) == Hash(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowAccessorsReflect(t *testing.T) {
+	fields := []Value{NewInt(1), NewText("a"), Null}
+	r := NewRow(fields)
+	if !reflect.DeepEqual(r.Row(), fields) {
+		t.Error("Row() should expose the field slice")
+	}
+}

@@ -1,0 +1,524 @@
+// Package ssa converts a goto-form CFG into static single assignment form —
+// the paper's SSA step (Figure 5): every variable is assigned exactly once,
+// assignments reached via several control-flow paths merge through φ
+// functions, and the result is ready for "a wide range of code
+// simplifications" (opt.go) and the translation to ANF.
+package ssa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"plsqlaway/internal/cfg"
+	"plsqlaway/internal/plast"
+	"plsqlaway/internal/sqlast"
+	"plsqlaway/internal/sqltypes"
+)
+
+// PhiArg is one φ operand: the version flowing in from Pred.
+type PhiArg struct {
+	Pred cfg.BlockID
+	Val  string
+}
+
+// Phi merges versions of one variable at a join point.
+type Phi struct {
+	Var  string // defined version
+	Args []PhiArg
+}
+
+// Block is a basic block in SSA form.
+type Block struct {
+	ID     cfg.BlockID
+	Phis   []Phi
+	Instrs []cfg.Instr
+	Term   cfg.Terminator
+}
+
+// Func is a function in SSA form. Blocks are indexed by ID; pruned entries
+// are nil.
+type Func struct {
+	Name       string
+	Params     []plast.Param
+	ReturnType sqltypes.Type
+	Entry      cfg.BlockID
+	Blocks     []*Block
+	// VarBase maps a version to its base variable; BaseTypes maps base
+	// variables to declared types (the compiler needs types for the
+	// run-table schema and CAST(NULL AS τ)).
+	VarBase   map[string]string
+	BaseTypes map[string]sqltypes.Type
+	Warnings  []string
+}
+
+// TypeOf returns the declared type of a version.
+func (f *Func) TypeOf(version string) (sqltypes.Type, bool) {
+	base, ok := f.VarBase[version]
+	if !ok {
+		return sqltypes.Type{}, false
+	}
+	t, ok := f.BaseTypes[base]
+	return t, ok
+}
+
+// IsVersion reports whether name is an SSA version of this function.
+func (f *Func) IsVersion(name string) bool {
+	_, ok := f.VarBase[name]
+	return ok
+}
+
+// ReachableBlocks returns non-nil blocks in ID order.
+func (f *Func) ReachableBlocks() []*Block {
+	var out []*Block
+	for _, b := range f.Blocks {
+		if b != nil {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Preds computes predecessor lists over live blocks.
+func (f *Func) Preds() map[cfg.BlockID][]cfg.BlockID {
+	preds := make(map[cfg.BlockID][]cfg.BlockID)
+	for _, b := range f.ReachableBlocks() {
+		for _, s := range f.Succs(b.ID) {
+			preds[s] = append(preds[s], b.ID)
+		}
+	}
+	return preds
+}
+
+// Succs returns the successors of a live block.
+func (f *Func) Succs(id cfg.BlockID) []cfg.BlockID {
+	t := f.Blocks[id].Term
+	switch t.Kind {
+	case cfg.TermJump:
+		return []cfg.BlockID{t.Then}
+	case cfg.TermCondJump:
+		if t.Then == t.Else {
+			return []cfg.BlockID{t.Then}
+		}
+		return []cfg.BlockID{t.Then, t.Else}
+	default:
+		return nil
+	}
+}
+
+// Dump renders the function in the paper's Figure 5 style.
+func (f *Func) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "function %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p.Name)
+	}
+	sb.WriteString(")\n{\n")
+	for _, b := range f.ReachableBlocks() {
+		fmt.Fprintf(&sb, "L%d:\n", b.ID)
+		for _, phi := range b.Phis {
+			fmt.Fprintf(&sb, "  %s <- phi(", phi.Var)
+			for i, a := range phi.Args {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				fmt.Fprintf(&sb, "L%d:%s", a.Pred, a.Val)
+			}
+			sb.WriteString(")\n")
+		}
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s <- %s\n", in.Var, sqlast.DeparseExpr(in.Expr))
+		}
+		switch b.Term.Kind {
+		case cfg.TermJump:
+			fmt.Fprintf(&sb, "  goto L%d\n", b.Term.Then)
+		case cfg.TermCondJump:
+			fmt.Fprintf(&sb, "  if %s then goto L%d else goto L%d\n",
+				sqlast.DeparseExpr(b.Term.Cond), b.Term.Then, b.Term.Else)
+		case cfg.TermReturn:
+			fmt.Fprintf(&sb, "  return %s\n", sqlast.DeparseExpr(b.Term.Ret))
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// construction
+// ---------------------------------------------------------------------------
+
+// Build converts a CFG into pruned SSA.
+func Build(g *cfg.Graph) (*Func, error) {
+	f := &Func{
+		Name:       g.Name,
+		Params:     g.Params,
+		ReturnType: g.ReturnType,
+		Entry:      g.Entry,
+		VarBase:    make(map[string]string),
+		BaseTypes:  g.VarTypes,
+		Warnings:   g.Warnings,
+	}
+
+	reachable := reachableFrom(g)
+	f.Blocks = make([]*Block, len(g.Blocks))
+	for _, b := range g.Blocks {
+		if !reachable[b.ID] {
+			continue
+		}
+		f.Blocks[b.ID] = &Block{ID: b.ID, Instrs: append([]cfg.Instr(nil), b.Instrs...), Term: b.Term}
+	}
+
+	preds := f.Preds()
+	rpo := reversePostorder(f)
+	idom := dominators(f, rpo, preds)
+	df := dominanceFrontiers(f, idom, preds)
+	liveIn := liveness(f, g, preds)
+
+	insertPhis(f, g, df, liveIn)
+	if err := rename(f, g, idom, rpo); err != nil {
+		return nil, err
+	}
+	if err := Validate(f); err != nil {
+		return nil, fmt.Errorf("ssa: post-construction validation: %w", err)
+	}
+	return f, nil
+}
+
+func reachableFrom(g *cfg.Graph) map[cfg.BlockID]bool {
+	seen := map[cfg.BlockID]bool{}
+	var visit func(id cfg.BlockID)
+	visit = func(id cfg.BlockID) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		for _, s := range g.Succs(id) {
+			visit(s)
+		}
+	}
+	visit(g.Entry)
+	return seen
+}
+
+// reversePostorder over live blocks starting at entry.
+func reversePostorder(f *Func) []cfg.BlockID {
+	var order []cfg.BlockID
+	seen := map[cfg.BlockID]bool{}
+	var visit func(id cfg.BlockID)
+	visit = func(id cfg.BlockID) {
+		if seen[id] || f.Blocks[id] == nil {
+			return
+		}
+		seen[id] = true
+		for _, s := range f.Succs(id) {
+			visit(s)
+		}
+		order = append(order, id)
+	}
+	visit(f.Entry)
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// dominators computes immediate dominators (Cooper–Harvey–Kennedy).
+func dominators(f *Func, rpo []cfg.BlockID, preds map[cfg.BlockID][]cfg.BlockID) map[cfg.BlockID]cfg.BlockID {
+	rpoIdx := map[cfg.BlockID]int{}
+	for i, id := range rpo {
+		rpoIdx[id] = i
+	}
+	idom := map[cfg.BlockID]cfg.BlockID{f.Entry: f.Entry}
+	intersect := func(a, b cfg.BlockID) cfg.BlockID {
+		for a != b {
+			for rpoIdx[a] > rpoIdx[b] {
+				a = idom[a]
+			}
+			for rpoIdx[b] > rpoIdx[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, id := range rpo {
+			if id == f.Entry {
+				continue
+			}
+			var newIdom cfg.BlockID = -1
+			for _, p := range preds[id] {
+				if _, ok := idom[p]; !ok {
+					continue
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom < 0 {
+				continue
+			}
+			if cur, ok := idom[id]; !ok || cur != newIdom {
+				idom[id] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// dominanceFrontiers computes DF per Cytron et al.
+func dominanceFrontiers(f *Func, idom map[cfg.BlockID]cfg.BlockID, preds map[cfg.BlockID][]cfg.BlockID) map[cfg.BlockID]map[cfg.BlockID]bool {
+	df := map[cfg.BlockID]map[cfg.BlockID]bool{}
+	for _, b := range f.ReachableBlocks() {
+		if len(preds[b.ID]) < 2 {
+			continue
+		}
+		for _, p := range preds[b.ID] {
+			runner := p
+			for runner != idom[b.ID] {
+				if df[runner] == nil {
+					df[runner] = map[cfg.BlockID]bool{}
+				}
+				df[runner][b.ID] = true
+				next, ok := idom[runner]
+				if !ok || next == runner {
+					break
+				}
+				runner = next
+			}
+		}
+	}
+	return df
+}
+
+// varsUsed collects function variables read by an expression (descending
+// into subqueries; only unqualified references can be variables).
+func varsUsed(g *cfg.Graph, e sqlast.Expr, out map[string]bool) {
+	if e == nil {
+		return
+	}
+	sqlast.WalkExpr(e, func(x sqlast.Expr) bool {
+		if cr, ok := x.(*sqlast.ColumnRef); ok && cr.Table == "" && g.IsVar(cr.Column) {
+			out[cr.Column] = true
+		}
+		return true
+	})
+}
+
+// liveness computes live-in variable sets per block (for pruned SSA).
+func liveness(f *Func, g *cfg.Graph, preds map[cfg.BlockID][]cfg.BlockID) map[cfg.BlockID]map[string]bool {
+	type uses struct {
+		upward map[string]bool // used before any def in block
+		defs   map[string]bool
+	}
+	info := map[cfg.BlockID]*uses{}
+	for _, b := range f.ReachableBlocks() {
+		u := &uses{upward: map[string]bool{}, defs: map[string]bool{}}
+		add := func(e sqlast.Expr) {
+			tmp := map[string]bool{}
+			varsUsed(g, e, tmp)
+			for v := range tmp {
+				if !u.defs[v] {
+					u.upward[v] = true
+				}
+			}
+		}
+		for _, in := range b.Instrs {
+			add(in.Expr)
+			u.defs[in.Var] = true
+		}
+		add(b.Term.Cond)
+		add(b.Term.Ret)
+		info[b.ID] = u
+	}
+	liveIn := map[cfg.BlockID]map[string]bool{}
+	liveOut := map[cfg.BlockID]map[string]bool{}
+	for _, b := range f.ReachableBlocks() {
+		liveIn[b.ID] = map[string]bool{}
+		liveOut[b.ID] = map[string]bool{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range f.ReachableBlocks() {
+			out := liveOut[b.ID]
+			for _, s := range f.Succs(b.ID) {
+				for v := range liveIn[s] {
+					if !out[v] {
+						out[v] = true
+						changed = true
+					}
+				}
+			}
+			in := liveIn[b.ID]
+			u := info[b.ID]
+			for v := range u.upward {
+				if !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+			for v := range out {
+				if !u.defs[v] && !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return liveIn
+}
+
+// insertPhis places pruned φ functions: at each dominance-frontier block of
+// a definition, if the variable is live-in there.
+func insertPhis(f *Func, g *cfg.Graph, df map[cfg.BlockID]map[cfg.BlockID]bool, liveIn map[cfg.BlockID]map[string]bool) {
+	defSites := map[string][]cfg.BlockID{}
+	for _, b := range f.ReachableBlocks() {
+		seen := map[string]bool{}
+		for _, in := range b.Instrs {
+			if !seen[in.Var] {
+				seen[in.Var] = true
+				defSites[in.Var] = append(defSites[in.Var], b.ID)
+			}
+		}
+	}
+	// Parameters are defined at entry.
+	for _, p := range g.Params {
+		defSites[p.Name] = append(defSites[p.Name], f.Entry)
+	}
+
+	vars := make([]string, 0, len(defSites))
+	for v := range defSites {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars) // deterministic φ order
+
+	for _, v := range vars {
+		hasPhi := map[cfg.BlockID]bool{}
+		work := append([]cfg.BlockID(nil), defSites[v]...)
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for dfb := range df[b] {
+				if hasPhi[dfb] || !liveIn[dfb][v] {
+					continue
+				}
+				hasPhi[dfb] = true
+				blk := f.Blocks[dfb]
+				blk.Phis = append(blk.Phis, Phi{Var: v}) // renamed later
+				work = append(work, dfb)
+			}
+		}
+		// Keep φ order deterministic within a block.
+		for _, b := range f.ReachableBlocks() {
+			sort.SliceStable(b.Phis, func(i, j int) bool { return b.Phis[i].Var < b.Phis[j].Var })
+		}
+	}
+}
+
+// rename walks the dominator tree giving every assignment a fresh version
+// and rewriting uses to the reaching version.
+func rename(f *Func, g *cfg.Graph, idom map[cfg.BlockID]cfg.BlockID, rpo []cfg.BlockID) error {
+	children := map[cfg.BlockID][]cfg.BlockID{}
+	for _, id := range rpo {
+		if id == f.Entry {
+			continue
+		}
+		children[idom[id]] = append(children[idom[id]], id)
+	}
+	for _, kids := range children {
+		sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
+	}
+	preds := f.Preds()
+
+	counter := map[string]int{}
+	stacks := map[string][]string{}
+	var renameErr error
+
+	newVersion := func(base string) string {
+		counter[base]++
+		v := fmt.Sprintf("%s_%d", base, counter[base])
+		f.VarBase[v] = base
+		stacks[base] = append(stacks[base], v)
+		return v
+	}
+	current := func(base string) string {
+		s := stacks[base]
+		if len(s) == 0 {
+			if renameErr == nil {
+				renameErr = fmt.Errorf("ssa: variable %q used before any definition", base)
+			}
+			return base
+		}
+		return s[len(s)-1]
+	}
+
+	// Parameters: the raw name is version 0.
+	for _, p := range g.Params {
+		f.VarBase[p.Name] = p.Name
+		stacks[p.Name] = append(stacks[p.Name], p.Name)
+	}
+
+	rewrite := func(e sqlast.Expr) sqlast.Expr {
+		if e == nil {
+			return nil
+		}
+		return sqlast.RewriteExpr(e, func(x sqlast.Expr) sqlast.Expr {
+			if cr, ok := x.(*sqlast.ColumnRef); ok && cr.Table == "" && g.IsVar(cr.Column) {
+				return sqlast.Col(current(cr.Column))
+			}
+			return x
+		})
+	}
+
+	var walk func(id cfg.BlockID)
+	walk = func(id cfg.BlockID) {
+		b := f.Blocks[id]
+		var pushed []string
+
+		for i := range b.Phis {
+			base := b.Phis[i].Var
+			b.Phis[i].Var = newVersion(base)
+			pushed = append(pushed, base)
+		}
+		for i := range b.Instrs {
+			b.Instrs[i].Expr = rewrite(b.Instrs[i].Expr)
+			base := b.Instrs[i].Var
+			b.Instrs[i].Var = newVersion(base)
+			pushed = append(pushed, base)
+		}
+		b.Term.Cond = rewrite(b.Term.Cond)
+		b.Term.Ret = rewrite(b.Term.Ret)
+
+		// Fill φ arguments of successors for the edge from this block. A
+		// successor later in dominator-tree order still carries the base
+		// name; an already-renamed one resolves through VarBase.
+		for _, s := range f.Succs(id) {
+			sb := f.Blocks[s]
+			for i := range sb.Phis {
+				base := sb.Phis[i].Var
+				if mapped, ok := f.VarBase[base]; ok {
+					base = mapped
+				}
+				sb.Phis[i].Args = append(sb.Phis[i].Args, PhiArg{Pred: id, Val: current(base)})
+			}
+		}
+		_ = preds
+
+		for _, kid := range children[id] {
+			walk(kid)
+		}
+		for _, base := range pushed {
+			stacks[base] = stacks[base][:len(stacks[base])-1]
+		}
+	}
+	walk(f.Entry)
+	return renameErr
+}

@@ -1,0 +1,252 @@
+package ssa
+
+import (
+	"strings"
+	"testing"
+
+	"plsqlaway/internal/cfg"
+	"plsqlaway/internal/plparser"
+	"plsqlaway/internal/sqlast"
+	"plsqlaway/internal/sqlparser"
+)
+
+func buildSSA(t *testing.T, src string, optimize bool) *Func {
+	t.Helper()
+	stmt, err := sqlparser.ParseStatement(src)
+	if err != nil {
+		t.Fatalf("sql parse: %v", err)
+	}
+	f, err := plparser.ParseFunction(stmt.(*sqlast.CreateFunction))
+	if err != nil {
+		t.Fatalf("pl parse: %v", err)
+	}
+	g, err := cfg.Build(f)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	s, err := Build(g)
+	if err != nil {
+		t.Fatalf("ssa: %v", err)
+	}
+	if optimize {
+		if err := Optimize(s); err != nil {
+			t.Fatalf("optimize: %v", err)
+		}
+	}
+	return s
+}
+
+const loopFn = `CREATE FUNCTION f(n int) RETURNS int AS $$
+DECLARE
+  acc int = 1;
+  i int = 1;
+BEGIN
+  WHILE i <= n LOOP
+    acc = acc * i;
+    i = i + 1;
+  END LOOP;
+  RETURN acc;
+END;
+$$ LANGUAGE plpgsql`
+
+func TestLoopGetsPhis(t *testing.T) {
+	s := buildSSA(t, loopFn, false)
+	// The while header joins entry and the back edge: both acc and i need φs.
+	phis := 0
+	for _, b := range s.ReachableBlocks() {
+		phis += len(b.Phis)
+		for _, p := range b.Phis {
+			if len(p.Args) != 2 {
+				t.Errorf("φ %s has %d args, want 2 (entry + back edge)", p.Var, len(p.Args))
+			}
+		}
+	}
+	if phis != 2 {
+		t.Errorf("expected 2 φs (acc, i), got %d\n%s", phis, s.Dump())
+	}
+}
+
+func TestSingleAssignmentInvariant(t *testing.T) {
+	s := buildSSA(t, loopFn, false)
+	seen := map[string]bool{}
+	for _, b := range s.ReachableBlocks() {
+		for _, p := range b.Phis {
+			if seen[p.Var] {
+				t.Fatalf("version %s assigned twice", p.Var)
+			}
+			seen[p.Var] = true
+		}
+		for _, in := range b.Instrs {
+			if seen[in.Var] {
+				t.Fatalf("version %s assigned twice", in.Var)
+			}
+			seen[in.Var] = true
+		}
+	}
+}
+
+func TestIfJoinPhi(t *testing.T) {
+	s := buildSSA(t, `CREATE FUNCTION g(x int) RETURNS int AS $$
+DECLARE r int = 0;
+BEGIN
+  IF x > 0 THEN r = 1; ELSE r = 2; END IF;
+  RETURN r;
+END;
+$$ LANGUAGE plpgsql`, false)
+	found := false
+	for _, b := range s.ReachableBlocks() {
+		for _, p := range b.Phis {
+			if strings.HasPrefix(p.Var, "r_") && len(p.Args) == 2 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("expected a 2-way φ for r:\n%s", s.Dump())
+	}
+}
+
+func TestOptimizeFoldsConstants(t *testing.T) {
+	s := buildSSA(t, `CREATE FUNCTION h() RETURNS int AS $$
+DECLARE a int = 2 + 3;
+         b int = 0;
+BEGIN
+  IF 1 < 2 THEN b = a * 10; ELSE b = -1; END IF;
+  RETURN b + 0 * 100;
+END;
+$$ LANGUAGE plpgsql`, true)
+	d := s.Dump()
+	// The branch folds, -1 arm disappears, and constants propagate: the
+	// whole function should reduce to return 50.
+	if strings.Contains(d, "-1") {
+		t.Errorf("dead branch survived:\n%s", d)
+	}
+	if !strings.Contains(d, "return 50") {
+		t.Errorf("constants not fully folded:\n%s", d)
+	}
+	if n := len(s.ReachableBlocks()); n != 1 {
+		t.Errorf("expected a single block after optimization, got %d:\n%s", n, d)
+	}
+}
+
+func TestDeadCodeKeepsVolatile(t *testing.T) {
+	s := buildSSA(t, `CREATE FUNCTION v() RETURNS int AS $$
+DECLARE unused float;
+         dead int = 7;
+BEGIN
+  unused = random();
+  RETURN 1;
+END;
+$$ LANGUAGE plpgsql`, true)
+	d := s.Dump()
+	if !strings.Contains(d, "random()") {
+		t.Errorf("volatile assignment must survive DCE:\n%s", d)
+	}
+	if strings.Contains(d, "<- 7") {
+		t.Errorf("dead pure assignment must be eliminated:\n%s", d)
+	}
+}
+
+func TestLoopOptimizedShapeMatchesPaper(t *testing.T) {
+	// After optimization walk-like loops should keep exactly the loop
+	// header (with φs) + body + exit structure of Figure 5.
+	s := buildSSA(t, loopFn, true)
+	if err := Validate(s); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	var header *Block
+	for _, b := range s.ReachableBlocks() {
+		if len(b.Phis) > 0 {
+			if header != nil {
+				t.Fatalf("more than one φ block:\n%s", s.Dump())
+			}
+			header = b
+		}
+	}
+	if header == nil {
+		t.Fatalf("no loop header:\n%s", s.Dump())
+	}
+	if header.Term.Kind != cfg.TermCondJump {
+		t.Errorf("loop header should end in a conditional jump:\n%s", s.Dump())
+	}
+}
+
+func TestEmbeddedQueryVariableRenaming(t *testing.T) {
+	s := buildSSA(t, `CREATE FUNCTION q(loc coord) RETURNS int AS $$
+DECLARE r int = 0;
+BEGIN
+  r = (SELECT c.reward FROM cells AS c WHERE loc = c.loc);
+  RETURN r;
+END;
+$$ LANGUAGE plpgsql`, false)
+	d := s.Dump()
+	// The PL/SQL variable `loc` is renamed inside the embedded query, but
+	// the qualified table column c.loc is untouched.
+	if !strings.Contains(d, "c.loc") {
+		t.Errorf("qualified column renamed:\n%s", d)
+	}
+	if !strings.Contains(d, "WHERE loc = c.loc") {
+		// param version 0 keeps its name
+		t.Errorf("parameter reference lost:\n%s", d)
+	}
+}
+
+func TestValidateCatchesBrokenSSA(t *testing.T) {
+	s := buildSSA(t, loopFn, false)
+	// Corrupt: duplicate definition.
+	b := s.ReachableBlocks()[0]
+	b.Instrs = append(b.Instrs, b.Instrs[0])
+	if err := Validate(s); err == nil {
+		t.Error("duplicate assignment must fail validation")
+	}
+}
+
+func TestWalkBuildsAndValidates(t *testing.T) {
+	s := buildSSA(t, walkSrc, true)
+	if err := Validate(s); err != nil {
+		t.Fatalf("walk SSA invalid: %v\n%s", err, s.Dump())
+	}
+	d := s.Dump()
+	// Both loop-carried variables of Figure 5 merge through φs.
+	if !strings.Contains(d, "phi(") {
+		t.Errorf("walk must contain φs:\n%s", d)
+	}
+	for _, needle := range []string{"random()", "policy", "actions", "cells", "sign("} {
+		if !strings.Contains(d, needle) {
+			t.Errorf("walk SSA lost %q:\n%s", needle, d)
+		}
+	}
+}
+
+// walkSrc is the paper's Figure 3 function.
+const walkSrc = `
+CREATE FUNCTION walk(origin coord, win int, loose int, steps int)
+RETURNS int AS $$
+DECLARE
+  reward int = 0;
+  location coord = origin;
+  movement text = '';
+  roll float;
+BEGIN
+  FOR step IN 1..steps LOOP
+    movement = (SELECT p.action FROM policy AS p WHERE location = p.loc);
+    roll = random();
+    location =
+      (SELECT move.loc
+       FROM (SELECT a.there AS loc,
+                    COALESCE(SUM(a.prob) OVER lt, 0.0) AS lo,
+                    SUM(a.prob) OVER leq AS hi
+             FROM actions AS a
+             WHERE location = a.here AND movement = a.action
+             WINDOW leq AS (ORDER BY a.there),
+                    lt  AS (leq ROWS UNBOUNDED PRECEDING EXCLUDE CURRENT ROW)
+            ) AS move(loc, lo, hi)
+       WHERE roll BETWEEN move.lo AND move.hi);
+    reward = reward + (SELECT c.reward FROM cells AS c WHERE location = c.loc);
+    IF reward >= win OR reward <= loose THEN
+      RETURN step * sign(reward);
+    END IF;
+  END LOOP;
+  RETURN 0;
+END;
+$$ LANGUAGE PLPGSQL`

@@ -1,0 +1,132 @@
+package ssa
+
+import (
+	"fmt"
+
+	"plsqlaway/internal/cfg"
+	"plsqlaway/internal/sqlast"
+)
+
+// Validate checks the SSA invariants: single assignment per version, φ
+// arity matching predecessor counts, and every use reached by its (unique)
+// definition — defined in the same block earlier, in a dominating block, or
+// (for φ arguments) at the end of the corresponding predecessor.
+func Validate(f *Func) error {
+	preds := f.Preds()
+	defs := map[string]cfg.BlockID{}
+	defIdx := map[string]int{} // position within block; φs are -1
+
+	for _, b := range f.ReachableBlocks() {
+		for _, phi := range b.Phis {
+			if _, dup := defs[phi.Var]; dup {
+				return fmt.Errorf("version %s assigned more than once", phi.Var)
+			}
+			defs[phi.Var] = b.ID
+			defIdx[phi.Var] = -1
+		}
+		for i, in := range b.Instrs {
+			if _, dup := defs[in.Var]; dup {
+				return fmt.Errorf("version %s assigned more than once", in.Var)
+			}
+			defs[in.Var] = b.ID
+			defIdx[in.Var] = i
+		}
+	}
+	// Parameters count as defined at entry before everything.
+	for _, p := range f.Params {
+		if _, dup := defs[p.Name]; !dup {
+			defs[p.Name] = f.Entry
+			defIdx[p.Name] = -2
+		}
+	}
+
+	// Dominator relation for the use-check.
+	rpo := reversePostorder(f)
+	idom := dominators(f, rpo, preds)
+	dominates := func(a, b cfg.BlockID) bool {
+		for {
+			if a == b {
+				return true
+			}
+			next, ok := idom[b]
+			if !ok || next == b {
+				return false
+			}
+			b = next
+		}
+	}
+
+	checkUse := func(name string, useBlock cfg.BlockID, useIdx int) error {
+		if !f.IsVersion(name) {
+			return nil // table column or parameter of an embedded query
+		}
+		db, ok := defs[name]
+		if !ok {
+			return fmt.Errorf("version %s used but never defined", name)
+		}
+		if db == useBlock {
+			if defIdx[name] < useIdx {
+				return nil
+			}
+			return fmt.Errorf("version %s used at instruction %d of L%d before its definition", name, useIdx, useBlock)
+		}
+		if !dominates(db, useBlock) {
+			return fmt.Errorf("version %s (defined in L%d) used in L%d which it does not dominate", name, db, useBlock)
+		}
+		return nil
+	}
+
+	usesIn := func(e sqlast.Expr) []string {
+		var out []string
+		if e == nil {
+			return nil
+		}
+		sqlast.WalkExpr(e, func(x sqlast.Expr) bool {
+			if cr, ok := x.(*sqlast.ColumnRef); ok && cr.Table == "" {
+				out = append(out, cr.Column)
+			}
+			return true
+		})
+		return out
+	}
+
+	for _, b := range f.ReachableBlocks() {
+		if len(preds[b.ID]) > 0 || b.ID == f.Entry {
+			for _, phi := range b.Phis {
+				if len(phi.Args) != len(preds[b.ID]) {
+					return fmt.Errorf("φ %s in L%d has %d args for %d predecessors", phi.Var, b.ID, len(phi.Args), len(preds[b.ID]))
+				}
+				for _, a := range phi.Args {
+					if err := checkUse(a.Val, a.Pred, len(f.Blocks[a.Pred].Instrs)); err != nil {
+						return fmt.Errorf("φ %s: %w", phi.Var, err)
+					}
+				}
+			}
+		}
+		for i, in := range b.Instrs {
+			for _, u := range usesIn(in.Expr) {
+				if err := checkUse(u, b.ID, i); err != nil {
+					return err
+				}
+			}
+		}
+		n := len(b.Instrs)
+		for _, u := range usesIn(b.Term.Cond) {
+			if err := checkUse(u, b.ID, n); err != nil {
+				return err
+			}
+		}
+		for _, u := range usesIn(b.Term.Ret) {
+			if err := checkUse(u, b.ID, n); err != nil {
+				return err
+			}
+		}
+		// Terminator targets must be live blocks.
+		for _, s := range f.Succs(b.ID) {
+			if int(s) >= len(f.Blocks) || f.Blocks[s] == nil {
+				return fmt.Errorf("L%d jumps to pruned block L%d", b.ID, s)
+			}
+		}
+	}
+	return nil
+}

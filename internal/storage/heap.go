@@ -1,0 +1,79 @@
+package storage
+
+// Heap is a page-backed base table. Rows are kept encoded on pages (the
+// durable representation) with a decoded cache for scans; the cache is
+// invalidated by mutation.
+type Heap struct {
+	stats *Stats
+	pages []*Page
+	cache []Tuple
+	dirty bool
+	n     int
+	gen   int64
+}
+
+// NewHeap builds an empty heap charging page allocations to stats.
+func NewHeap(stats *Stats) *Heap {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	return &Heap{stats: stats}
+}
+
+// Insert appends a row.
+func (h *Heap) Insert(t Tuple) {
+	enc := EncodeTuple(t)
+	if len(h.pages) == 0 || !h.pages[len(h.pages)-1].TryAdd(enc) {
+		p := NewPage()
+		h.stats.PagesAlloc++
+		p.TryAdd(enc)
+		h.pages = append(h.pages, p)
+	}
+	h.n++
+	h.dirty = true
+	h.gen++
+}
+
+// Gen reports a generation counter that advances on every mutation —
+// secondary structures (hash indexes) use it to detect staleness.
+func (h *Heap) Gen() int64 { return h.gen }
+
+// Len reports the number of rows.
+func (h *Heap) Len() int { return h.n }
+
+// NumPages reports the number of heap pages.
+func (h *Heap) NumPages() int { return len(h.pages) }
+
+// Rows returns all rows (decoded, cached until the next mutation). Callers
+// must not mutate the result.
+func (h *Heap) Rows() ([]Tuple, error) {
+	if !h.dirty && h.cache != nil {
+		return h.cache, nil
+	}
+	out := make([]Tuple, 0, h.n)
+	for _, p := range h.pages {
+		for i := 0; i < p.NumTuples(); i++ {
+			t, err := p.Tuple(i)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, t)
+		}
+	}
+	h.cache = out
+	h.dirty = false
+	return out, nil
+}
+
+// Replace substitutes the heap's entire contents (used by UPDATE/DELETE,
+// which rewrite the table — adequate for workload-sized tables).
+func (h *Heap) Replace(rows []Tuple) {
+	h.pages = nil
+	h.cache = nil
+	h.n = 0
+	h.dirty = true
+	h.gen++
+	for _, r := range rows {
+		h.Insert(r)
+	}
+}

@@ -1,0 +1,275 @@
+package storage
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"plsqlaway/internal/sqltypes"
+)
+
+func sampleTuple() Tuple {
+	return Tuple{
+		sqltypes.Null,
+		sqltypes.NewBool(true),
+		sqltypes.NewInt(-42),
+		sqltypes.NewFloat(2.5),
+		sqltypes.NewText("héllo"),
+		sqltypes.NewCoord(3, 2),
+		sqltypes.NewRow([]sqltypes.Value{sqltypes.NewInt(1), sqltypes.NewText("x"), sqltypes.Null}),
+	}
+}
+
+func TestTupleRoundTrip(t *testing.T) {
+	in := sampleTuple()
+	enc := EncodeTuple(in)
+	out, err := DecodeTuple(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len %d != %d", len(out), len(in))
+	}
+	for i := range in {
+		if !sqltypes.Identical(in[i], out[i]) {
+			t.Errorf("field %d: %v != %v", i, in[i], out[i])
+		}
+	}
+}
+
+func randTupleFor(r *rand.Rand) Tuple {
+	n := r.Intn(6)
+	t := make(Tuple, n)
+	for i := range t {
+		switch r.Intn(7) {
+		case 0:
+			t[i] = sqltypes.Null
+		case 1:
+			t[i] = sqltypes.NewBool(r.Intn(2) == 0)
+		case 2:
+			t[i] = sqltypes.NewInt(r.Int63() - math.MaxInt64/2)
+		case 3:
+			t[i] = sqltypes.NewFloat(r.NormFloat64())
+		case 4:
+			t[i] = sqltypes.NewText(strings.Repeat("ab", r.Intn(20)))
+		case 5:
+			t[i] = sqltypes.NewCoord(int64(r.Intn(100)), int64(r.Intn(100)))
+		default:
+			t[i] = sqltypes.NewRow([]sqltypes.Value{sqltypes.NewInt(int64(r.Intn(10))), sqltypes.NewText("q")})
+		}
+	}
+	return t
+}
+
+func TestTupleRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randTupleFor(r)
+		out, err := DecodeTuple(EncodeTuple(in))
+		if err != nil || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if !sqltypes.Identical(in[i], out[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	good := EncodeTuple(sampleTuple())
+	for cut := 0; cut < len(good)-1; cut += 3 {
+		if _, err := DecodeTuple(good[:cut+1]); err == nil && cut+1 < len(good) {
+			// Some prefixes may decode fewer fields validly only if the
+			// count survived; a truncated count must error.
+			if cut == 0 {
+				t.Errorf("truncated tuple at %d should error", cut)
+			}
+		}
+	}
+	if _, err := DecodeTuple([]byte{1, 0, 99}); err == nil {
+		t.Error("bad kind tag should error")
+	}
+}
+
+func TestPageFillAndOverflow(t *testing.T) {
+	p := NewPage()
+	row := Tuple{sqltypes.NewInt(1), sqltypes.NewText(strings.Repeat("x", 100))}
+	enc := EncodeTuple(row)
+	n := 0
+	for p.TryAdd(enc) {
+		n++
+		if n > 1000 {
+			t.Fatal("page never fills")
+		}
+	}
+	// Each tuple occupies line pointer + aligned header+payload.
+	per := LinePointerSize + ((TupleHeaderSize+len(enc))+MaxAlign-1)&^(MaxAlign-1)
+	want := (PageSize - PageHeaderSize) / per
+	if n != want {
+		t.Errorf("page holds %d tuples, want %d", n, want)
+	}
+	if got, err := p.Tuple(0); err != nil || !sqltypes.Identical(got[1], row[1]) {
+		t.Errorf("page tuple decode: %v %v", got, err)
+	}
+}
+
+func TestOversizedTupleStillStored(t *testing.T) {
+	p := NewPage()
+	huge := Tuple{sqltypes.NewText(strings.Repeat("x", PageSize*2))}
+	if !p.TryAdd(EncodeTuple(huge)) {
+		t.Fatal("oversized tuple on empty page must be accepted")
+	}
+}
+
+func TestTupleStoreInMemory(t *testing.T) {
+	var st Stats
+	ts := NewTupleStore(&st, 1<<20)
+	for i := 0; i < 100; i++ {
+		ts.Append(Tuple{sqltypes.NewInt(int64(i))})
+	}
+	ts.Finish()
+	if ts.Spilled() {
+		t.Fatal("small store should not spill")
+	}
+	if st.PageWrites != 0 {
+		t.Errorf("page writes: %d, want 0", st.PageWrites)
+	}
+	rows, err := ts.Rows()
+	if err != nil || len(rows) != 100 {
+		t.Fatalf("rows: %d %v", len(rows), err)
+	}
+	if rows[42][0].Int() != 42 {
+		t.Error("row order broken")
+	}
+}
+
+func TestTupleStoreSpill(t *testing.T) {
+	var st Stats
+	ts := NewTupleStore(&st, 4096) // tiny budget forces spill
+	const rows = 500
+	for i := 0; i < rows; i++ {
+		ts.Append(Tuple{sqltypes.NewInt(int64(i)), sqltypes.NewText(strings.Repeat("p", 64))})
+	}
+	ts.Finish()
+	if !ts.Spilled() {
+		t.Fatal("store should spill")
+	}
+	if st.PageWrites == 0 {
+		t.Error("spilled store must count page writes")
+	}
+	got, err := ts.Rows()
+	if err != nil || len(got) != rows {
+		t.Fatalf("rows after spill: %d %v", len(got), err)
+	}
+	for i, r := range got {
+		if r[0].Int() != int64(i) {
+			t.Fatalf("row %d out of order: %v", i, r[0])
+		}
+	}
+	// ForEach must agree with Rows.
+	n := 0
+	if err := ts.ForEach(func(Tuple) error { n++; return nil }); err != nil || n != rows {
+		t.Errorf("ForEach: %d %v", n, err)
+	}
+}
+
+func TestTupleStorePageWriteAccounting(t *testing.T) {
+	// Total bytes ≈ rows × TupleDiskSize ⇒ page writes ≈ bytes / PageSize.
+	var st Stats
+	ts := NewTupleStore(&st, 1) // spill immediately
+	row := Tuple{sqltypes.NewInt(7), sqltypes.NewText(strings.Repeat("z", 57))}
+	const rows = 2000
+	for i := 0; i < rows; i++ {
+		ts.Append(row)
+	}
+	ts.Finish()
+	per := TupleDiskSize(row)
+	perPage := (PageSize - PageHeaderSize) / per
+	wantPages := (rows + perPage - 1) / perPage
+	if int(st.PageWrites) != wantPages {
+		t.Errorf("page writes %d, want %d (per=%d perPage=%d)", st.PageWrites, wantPages, per, perPage)
+	}
+}
+
+func TestFinishIdempotent(t *testing.T) {
+	var st Stats
+	ts := NewTupleStore(&st, 1)
+	ts.Append(Tuple{sqltypes.NewInt(1)})
+	ts.Finish()
+	w := st.PageWrites
+	ts.Finish()
+	if st.PageWrites != w {
+		t.Error("Finish must be idempotent")
+	}
+}
+
+func TestHeapInsertAndScan(t *testing.T) {
+	var st Stats
+	h := NewHeap(&st)
+	for i := 0; i < 1000; i++ {
+		h.Insert(Tuple{sqltypes.NewInt(int64(i)), sqltypes.NewText("row")})
+	}
+	if h.Len() != 1000 {
+		t.Fatalf("len: %d", h.Len())
+	}
+	if h.NumPages() < 2 {
+		t.Errorf("expected multiple pages, got %d", h.NumPages())
+	}
+	rows, err := h.Rows()
+	if err != nil || len(rows) != 1000 {
+		t.Fatalf("rows: %d %v", len(rows), err)
+	}
+	if rows[999][0].Int() != 999 {
+		t.Error("scan order broken")
+	}
+	// Cache must serve second scan and invalidate on insert.
+	again, _ := h.Rows()
+	if &again[0] != &rows[0] {
+		t.Error("expected cached scan")
+	}
+	h.Insert(Tuple{sqltypes.NewInt(1000), sqltypes.NewText("row")})
+	rows2, _ := h.Rows()
+	if len(rows2) != 1001 {
+		t.Errorf("after insert: %d", len(rows2))
+	}
+}
+
+func TestHeapReplace(t *testing.T) {
+	h := NewHeap(nil)
+	h.Insert(Tuple{sqltypes.NewInt(1)})
+	h.Insert(Tuple{sqltypes.NewInt(2)})
+	h.Replace([]Tuple{{sqltypes.NewInt(9)}})
+	rows, _ := h.Rows()
+	if len(rows) != 1 || rows[0][0].Int() != 9 {
+		t.Errorf("replace: %v", rows)
+	}
+}
+
+func TestQuadraticGrowthShape(t *testing.T) {
+	// The Table 2 mechanism in miniature: rows whose text payload shrinks
+	// linearly produce total bytes Θ(n²), so doubling n must roughly
+	// quadruple page writes.
+	writesFor := func(n int) int64 {
+		var st Stats
+		ts := NewTupleStore(&st, 1)
+		input := strings.Repeat("c", n)
+		for i := 0; i < n; i++ {
+			ts.Append(Tuple{sqltypes.NewInt(int64(i)), sqltypes.NewText(input[i:])})
+		}
+		ts.Finish()
+		return st.PageWrites
+	}
+	w1, w2 := writesFor(1000), writesFor(2000)
+	ratio := float64(w2) / float64(w1)
+	if ratio < 3.2 || ratio > 4.8 {
+		t.Errorf("expected ~4x growth, got %d -> %d (%.2fx)", w1, w2, ratio)
+	}
+}

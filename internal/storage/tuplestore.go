@@ -1,0 +1,316 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+)
+
+// Stats accumulates storage-level counters. The benchmark harness reads
+// PageWrites to regenerate Table 2: a vanilla WITH RECURSIVE accumulates the
+// whole tail-recursion trace through a TupleStore and pays quadratic page
+// writes, while WITH ITERATE keeps one row and pays none.
+type Stats struct {
+	PageWrites    int64 // pages flushed once a store exceeds its memory budget
+	PagesAlloc    int64
+	TuplesWritten int64
+	BytesWritten  int64
+}
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// DefaultWorkMem mirrors PostgreSQL's default work_mem (4 MiB): tuple
+// stores stay in memory below it and spill to pages above it.
+const DefaultWorkMem = 4 * 1024 * 1024
+
+// TupleStore is an append-only row container with PostgreSQL-tuplestore
+// spill semantics: rows accumulate in memory until the budget is exceeded,
+// at which point the store converts to page-backed form in a temp file —
+// each full 8 KiB page written counts as one buffer page write. If no temp
+// file can be created the pages are kept in memory (accounting unchanged).
+type TupleStore struct {
+	stats    *Stats
+	workMem  int
+	memRows  []Tuple
+	memBytes int
+	spilled  bool
+
+	file     *os.File
+	memPages [][]byte // fallback when no temp file is available
+	curPage  []byte   // byte buffer of the page being filled
+	curUsed  int      // simulated used bytes (header + line ptrs + aligned tuples)
+	curCount int      // tuples on current page
+	rowCount int
+	finished bool
+}
+
+// NewTupleStore builds a store charging page writes to stats (which may be
+// nil). workMem <= 0 selects DefaultWorkMem.
+func NewTupleStore(stats *Stats, workMem int) *TupleStore {
+	if workMem <= 0 {
+		workMem = DefaultWorkMem
+	}
+	if stats == nil {
+		stats = &Stats{}
+	}
+	return &TupleStore{stats: stats, workMem: workMem}
+}
+
+// Append adds a row to the store.
+func (ts *TupleStore) Append(t Tuple) {
+	ts.rowCount++
+	if !ts.spilled {
+		ts.memRows = append(ts.memRows, t)
+		ts.memBytes += TupleDiskSize(t)
+		if ts.memBytes > ts.workMem {
+			ts.spill()
+		}
+		return
+	}
+	ts.appendEncoded(EncodeTuple(t))
+}
+
+func (ts *TupleStore) spill() {
+	ts.spilled = true
+	if f, err := os.CreateTemp("", "plsqlaway-tuplestore-*.tmp"); err == nil {
+		ts.file = f
+		// The file is unlinked immediately so it cannot leak even if Close
+		// is missed; the open descriptor keeps it readable.
+		os.Remove(f.Name())
+	}
+	rows := ts.memRows
+	ts.memRows = nil
+	for _, r := range rows {
+		ts.appendEncoded(EncodeTuple(r))
+	}
+}
+
+func (ts *TupleStore) appendEncoded(enc []byte) {
+	ts.stats.TuplesWritten++
+	ts.stats.BytesWritten += int64(len(enc))
+	need := LinePointerSize + align(TupleHeaderSize+len(enc))
+	if ts.curPage == nil {
+		ts.newPage()
+	}
+	if ts.curUsed+need > PageSize && ts.curCount > 0 {
+		ts.flushCurrent()
+		ts.newPage()
+	}
+	// Record the tuple on the page buffer: 4-byte length prefix + payload.
+	var hdr [4]byte
+	putU32(hdr[:], uint32(len(enc)))
+	ts.curPage = append(ts.curPage, hdr[:]...)
+	ts.curPage = append(ts.curPage, enc...)
+	ts.curUsed += need
+	ts.curCount++
+}
+
+func (ts *TupleStore) newPage() {
+	ts.curPage = make([]byte, 0, PageSize)
+	ts.curUsed = PageHeaderSize
+	ts.curCount = 0
+	ts.stats.PagesAlloc++
+}
+
+func (ts *TupleStore) flushCurrent() {
+	if ts.curPage == nil || ts.curCount == 0 {
+		return
+	}
+	// An oversized tuple (longer residual strings than a page holds — our
+	// stand-in for TOAST) produces a multi-page image: count every 8 KiB
+	// block actually written.
+	pages := int64((len(ts.curPage) + PageSize - 1) / PageSize)
+	if pages < 1 {
+		pages = 1
+	}
+	ts.stats.PageWrites += pages
+	if ts.file != nil {
+		// Length-prefixed page image: real disk I/O for spilled stores.
+		var hdr [4]byte
+		putU32(hdr[:], uint32(len(ts.curPage)))
+		ts.file.Write(hdr[:])
+		ts.file.Write(ts.curPage)
+	} else {
+		ts.memPages = append(ts.memPages, ts.curPage)
+	}
+	ts.curPage = nil
+	ts.curUsed = 0
+	ts.curCount = 0
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// Finish flushes the trailing partial page (if the store spilled). Call it
+// once appending is complete and before scanning; it is idempotent.
+func (ts *TupleStore) Finish() {
+	if ts.finished {
+		return
+	}
+	ts.finished = true
+	if ts.spilled {
+		ts.flushCurrent()
+	}
+}
+
+// Close releases the spill file (if any).
+func (ts *TupleStore) Close() {
+	if ts.file != nil {
+		ts.file.Close()
+		ts.file = nil
+	}
+	ts.memPages = nil
+	ts.memRows = nil
+}
+
+// Len reports the number of rows appended.
+func (ts *TupleStore) Len() int { return ts.rowCount }
+
+// Spilled reports whether the store exceeded its memory budget.
+func (ts *TupleStore) Spilled() bool { return ts.spilled }
+
+// Iterator streams the store's rows in insertion order. Finish is called
+// implicitly. Multiple iterators may be open sequentially; interleaving
+// iteration with appends is not supported.
+func (ts *TupleStore) Iterator() *TupleIterator {
+	ts.Finish()
+	return &TupleIterator{ts: ts, fileOff: 0}
+}
+
+// TupleIterator walks a TupleStore.
+type TupleIterator struct {
+	ts          *TupleIterSource
+	memIdx      int
+	pageIdx     int
+	page        []byte
+	pageOff     int
+	fileOff     int64
+	done        bool
+	doneCurrent bool
+}
+
+// TupleIterSource is the store being iterated (alias keeps the exported
+// surface small).
+type TupleIterSource = TupleStore
+
+// Next returns the next row, or nil at the end.
+func (it *TupleIterator) Next() (Tuple, error) {
+	ts := it.ts
+	if it.done {
+		return nil, nil
+	}
+	if !ts.spilled {
+		if it.memIdx >= len(ts.memRows) {
+			it.done = true
+			return nil, nil
+		}
+		t := ts.memRows[it.memIdx]
+		it.memIdx++
+		return t, nil
+	}
+	for {
+		if it.page == nil {
+			page, err := it.nextPage()
+			if err != nil {
+				return nil, err
+			}
+			if page == nil {
+				it.done = true
+				return nil, nil
+			}
+			it.page = page
+			it.pageOff = 0
+		}
+		if it.pageOff+4 > len(it.page) {
+			it.page = nil
+			continue
+		}
+		n := int(getU32(it.page[it.pageOff:]))
+		it.pageOff += 4
+		if it.pageOff+n > len(it.page) {
+			return nil, fmt.Errorf("storage: corrupt spill page")
+		}
+		enc := it.page[it.pageOff : it.pageOff+n]
+		it.pageOff += n
+		return DecodeTuple(enc)
+	}
+}
+
+func (it *TupleIterator) nextPage() ([]byte, error) {
+	ts := it.ts
+	if ts.file != nil {
+		var hdr [4]byte
+		n, err := ts.file.ReadAt(hdr[:], it.fileOff)
+		if n == 0 {
+			// end of flushed pages: serve the unflushed current page
+			return it.takeCurrent(), nil
+		}
+		if err != nil && n < 4 {
+			return it.takeCurrent(), nil
+		}
+		size := int(getU32(hdr[:]))
+		page := make([]byte, size)
+		if _, err := ts.file.ReadAt(page, it.fileOff+4); err != nil {
+			return nil, fmt.Errorf("storage: reading spill page: %w", err)
+		}
+		it.fileOff += int64(4 + size)
+		return page, nil
+	}
+	if it.pageIdx < len(ts.memPages) {
+		p := ts.memPages[it.pageIdx]
+		it.pageIdx++
+		return p, nil
+	}
+	return it.takeCurrent(), nil
+}
+
+// takeCurrent serves the in-progress page exactly once (when Finish was a
+// no-op because nothing spilled after the last flush).
+func (it *TupleIterator) takeCurrent() []byte {
+	if it.ts.curPage != nil && it.ts.curCount > 0 && !it.doneCurrent {
+		it.doneCurrent = true
+		return it.ts.curPage
+	}
+	return nil
+}
+
+// Rows materializes all rows (small stores and tests).
+func (ts *TupleStore) Rows() ([]Tuple, error) {
+	out := make([]Tuple, 0, ts.rowCount)
+	it := ts.Iterator()
+	for {
+		t, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t == nil {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}
+
+// ForEach streams rows without materializing the whole store.
+func (ts *TupleStore) ForEach(fn func(Tuple) error) error {
+	it := ts.Iterator()
+	for {
+		t, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			return nil
+		}
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+}

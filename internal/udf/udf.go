@@ -1,0 +1,361 @@
+// Package udf flattens an ANF program into a single tail-recursive SQL UDF
+// — the paper's UDF step (Figure 7). Mutual recursion between the label
+// functions is defunctionalized through an extra dispatch parameter fn
+// (Reynolds-style), let·in chains become SELECTs chained with LEFT JOIN
+// LATERAL (or nested derived tables in the SQLite dialect), and if·then·else
+// becomes CASE WHEN.
+package udf
+
+import (
+	"fmt"
+	"strings"
+
+	"plsqlaway/internal/anf"
+	"plsqlaway/internal/plast"
+	"plsqlaway/internal/sqlast"
+	"plsqlaway/internal/sqltypes"
+)
+
+// Dialect selects the SQL surface of emitted queries.
+type Dialect uint8
+
+// Dialects.
+const (
+	// DialectPostgres chains let bindings with LEFT JOIN LATERAL
+	// (SQL:1999), as in the paper's Figure 7.
+	DialectPostgres Dialect = iota
+	// DialectSQLite avoids LATERAL entirely — the "simple syntactic
+	// rewrite" of §3 that made the compiled functions run on a system with
+	// no PL/SQL support at all: each binding becomes a nested derived
+	// table projecting its predecessor.
+	DialectSQLite
+)
+
+func (d Dialect) String() string {
+	if d == DialectSQLite {
+		return "sqlite"
+	}
+	return "postgres"
+}
+
+// Param is one UDF parameter.
+type Param struct {
+	Name string
+	Type sqltypes.Type
+}
+
+// Definition is the defunctionalized UDF. The ANF program stays attached:
+// both the printable UDF (Figure 7) and the WITH RECURSIVE body adaptation
+// (Figure 9) are derived from it by re-encoding tail positions.
+type Definition struct {
+	Prog       *anf.Program
+	FnName     string // original function name
+	StarName   string // the recursive UDF's name (f_star)
+	OrigParams []plast.Param
+	ReturnType sqltypes.Type
+	// UnionParams is the union of all label-function parameters (the
+	// versions carried through recursion), in first-appearance order.
+	UnionParams []Param
+	// LabelIndex numbers the label functions for the fn dispatch.
+	LabelIndex map[string]int
+	Labels     []string
+	Dialect    Dialect
+	Warnings   []string
+
+	aliasSeq int
+}
+
+// Build computes the defunctionalized layout for an ANF program.
+func Build(p *anf.Program, dialect Dialect) (*Definition, error) {
+	d := &Definition{
+		Prog:       p,
+		FnName:     p.FnName,
+		StarName:   p.FnName + "_star",
+		OrigParams: p.OrigParams,
+		ReturnType: p.ReturnType,
+		LabelIndex: make(map[string]int),
+		Dialect:    dialect,
+		Warnings:   p.Warnings,
+	}
+	seen := map[string]bool{}
+	for i := range p.Funs {
+		f := &p.Funs[i]
+		d.LabelIndex[f.Name] = len(d.Labels)
+		d.Labels = append(d.Labels, f.Name)
+		for _, prm := range f.Params {
+			if seen[prm] {
+				continue
+			}
+			seen[prm] = true
+			t, ok := p.Types[prm]
+			if !ok {
+				return nil, fmt.Errorf("udf: no type for carried variable %q", prm)
+			}
+			d.UnionParams = append(d.UnionParams, Param{Name: prm, Type: t})
+		}
+	}
+	return d, nil
+}
+
+// IsRecursive reports whether any label function performs a (tail) call —
+// loop-less functions compile to a plain Froid-style expression instead of
+// a recursive CTE.
+func (d *Definition) IsRecursive() bool {
+	for i := range d.Prog.Funs {
+		calls := false
+		walk(d.Prog.Funs[i].Body, func(t anf.Term) {
+			if _, ok := t.(*anf.Call); ok {
+				calls = true
+			}
+		})
+		if calls {
+			return true
+		}
+	}
+	return false
+}
+
+func walk(t anf.Term, fn func(anf.Term)) {
+	fn(t)
+	switch x := t.(type) {
+	case *anf.Let:
+		walk(x.Body, fn)
+	case *anf.If:
+		walk(x.Then, fn)
+		walk(x.Else, fn)
+	}
+}
+
+// TailEncoder decides how tail positions are rendered: the plain UDF uses
+// recursive calls and bare values; the WITH RECURSIVE adaptation encodes
+// them as rows in the run table.
+type TailEncoder interface {
+	Call(label int, unionArgs []sqlast.Expr) sqlast.Expr
+	Value(v sqlast.Expr) sqlast.Expr
+}
+
+// udfEncoder renders Figure 7: calls stay calls.
+type udfEncoder struct{ d *Definition }
+
+func (e udfEncoder) Call(label int, unionArgs []sqlast.Expr) sqlast.Expr {
+	args := append([]sqlast.Expr{sqlast.IntLit(int64(label))}, unionArgs...)
+	return &sqlast.FuncCall{Name: e.d.StarName, Args: args}
+}
+
+func (e udfEncoder) Value(v sqlast.Expr) sqlast.Expr { return v }
+
+// UnionArgs maps a call's positional arguments onto the union layout,
+// padding missing slots with NULL.
+func (d *Definition) UnionArgs(c *anf.Call) ([]sqlast.Expr, error) {
+	fn := d.Prog.Fun(c.Fn)
+	if fn == nil {
+		return nil, fmt.Errorf("udf: call to unknown label %s", c.Fn)
+	}
+	byName := map[string]sqlast.Expr{}
+	for i, prm := range fn.Params {
+		byName[prm] = c.Args[i]
+	}
+	out := make([]sqlast.Expr, len(d.UnionParams))
+	for i, up := range d.UnionParams {
+		if a, ok := byName[up.Name]; ok {
+			out[i] = a
+		} else {
+			out[i] = sqlast.NullLit()
+		}
+	}
+	return out, nil
+}
+
+// EmitTerm renders an ANF term as a SQL expression using enc for tail
+// positions. Let chains become derived-table chains wrapped in a scalar
+// subquery (LATERAL or nested, by dialect).
+func (d *Definition) EmitTerm(t anf.Term, enc TailEncoder) (sqlast.Expr, error) {
+	switch x := t.(type) {
+	case *anf.Ret:
+		return enc.Value(x.Val), nil
+	case *anf.Call:
+		args, err := d.UnionArgs(x)
+		if err != nil {
+			return nil, err
+		}
+		return enc.Call(d.LabelIndex[x.Fn], args), nil
+	case *anf.If:
+		thenE, err := d.EmitTerm(x.Then, enc)
+		if err != nil {
+			return nil, err
+		}
+		elseE, err := d.EmitTerm(x.Else, enc)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.Case{
+			Whens: []sqlast.WhenClause{{Cond: x.Cond, Result: thenE}},
+			Else:  elseE,
+		}, nil
+	case *anf.Let:
+		// Collect the whole chain.
+		var binds []*anf.Let
+		cur := t
+		for {
+			l, ok := cur.(*anf.Let)
+			if !ok {
+				break
+			}
+			binds = append(binds, l)
+			cur = l.Body
+		}
+		inner, err := d.EmitTerm(cur, enc)
+		if err != nil {
+			return nil, err
+		}
+		return d.emitLetChain(binds, inner)
+	default:
+		return nil, fmt.Errorf("udf: unknown ANF term %T", t)
+	}
+}
+
+// emitLetChain wraps an inner expression with its bindings:
+//
+//	Jlet v = e1 in e2K = SELECT Je2K FROM (SELECT Je1K) AS _(v)
+//	                     LEFT JOIN LATERAL … ON true          (Postgres)
+//	or nested derived tables projecting prev.* plus the new binding (SQLite).
+func (d *Definition) emitLetChain(binds []*anf.Let, inner sqlast.Expr) (sqlast.Expr, error) {
+	switch d.Dialect {
+	case DialectPostgres:
+		var from sqlast.FromItem
+		for _, l := range binds {
+			ref := &sqlast.SubqueryRef{
+				Query:      sqlast.WrapQuery(sqlast.SimpleSelect([]sqlast.Expr{l.Rhs}, nil)),
+				Alias:      d.freshAlias(),
+				ColAliases: []string{l.Var},
+			}
+			if from == nil {
+				from = ref
+			} else {
+				ref.Lateral = true
+				from = &sqlast.Join{Type: sqlast.JoinLeft, L: from, R: ref, On: sqlast.BoolLit(true)}
+			}
+		}
+		sel := &sqlast.Select{
+			Items: []sqlast.SelectItem{{Expr: inner}},
+			From:  []sqlast.FromItem{from},
+		}
+		return &sqlast.ScalarSubquery{Sub: sqlast.WrapQuery(sel)}, nil
+
+	case DialectSQLite:
+		// innermost level: SELECT e1 AS v1
+		var q *sqlast.Query
+		for i, l := range binds {
+			if i == 0 {
+				q = sqlast.WrapQuery(&sqlast.Select{
+					Items: []sqlast.SelectItem{{Expr: l.Rhs, Alias: l.Var}},
+				})
+				continue
+			}
+			alias := d.freshAlias()
+			q = sqlast.WrapQuery(&sqlast.Select{
+				Items: []sqlast.SelectItem{
+					{TableStar: alias},
+					{Expr: l.Rhs, Alias: l.Var},
+				},
+				From: []sqlast.FromItem{&sqlast.SubqueryRef{Query: q, Alias: alias}},
+			})
+		}
+		outer := &sqlast.Select{
+			Items: []sqlast.SelectItem{{Expr: inner}},
+			From:  []sqlast.FromItem{&sqlast.SubqueryRef{Query: q, Alias: d.freshAlias()}},
+		}
+		return &sqlast.ScalarSubquery{Sub: sqlast.WrapQuery(outer)}, nil
+	}
+	return nil, fmt.Errorf("udf: unknown dialect %d", d.Dialect)
+}
+
+func (d *Definition) freshAlias() string {
+	d.aliasSeq++
+	return fmt.Sprintf("_%d", d.aliasSeq)
+}
+
+// BodyExpr renders the full dispatch body of f_star (Figure 7): one CASE
+// over the fn parameter.
+func (d *Definition) BodyExpr() (sqlast.Expr, error) {
+	d.aliasSeq = 0
+	enc := udfEncoder{d: d}
+	if len(d.Prog.Funs) == 1 {
+		return d.EmitTerm(d.Prog.Funs[0].Body, enc)
+	}
+	c := &sqlast.Case{}
+	for i := range d.Prog.Funs {
+		f := &d.Prog.Funs[i]
+		body, err := d.EmitTerm(f.Body, enc)
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, sqlast.WhenClause{
+			Cond:   sqlast.Eq(sqlast.Col("fn"), sqlast.IntLit(int64(d.LabelIndex[f.Name]))),
+			Result: body,
+		})
+	}
+	return c, nil
+}
+
+// EntryCall renders the wrapper's call to f_star.
+func (d *Definition) EntryCall() (sqlast.Expr, error) {
+	args, err := d.UnionArgs(d.Prog.Entry)
+	if err != nil {
+		return nil, err
+	}
+	return udfEncoder{d: d}.Call(d.LabelIndex[d.Prog.Entry.Fn], args), nil
+}
+
+// CreateStatements renders the two CREATE FUNCTION statements of Figure 7:
+// the wrapper f and the tail-recursive f_star.
+func (d *Definition) CreateStatements() ([]sqlast.Statement, error) {
+	body, err := d.BodyExpr()
+	if err != nil {
+		return nil, err
+	}
+	entry, err := d.EntryCall()
+	if err != nil {
+		return nil, err
+	}
+
+	starParams := []sqlast.ParamDef{{Name: "fn", TypeName: "int"}}
+	for _, up := range d.UnionParams {
+		starParams = append(starParams, sqlast.ParamDef{Name: up.Name, TypeName: up.Type.String()})
+	}
+	star := &sqlast.CreateFunction{
+		OrReplace:  true,
+		Name:       d.StarName,
+		Params:     starParams,
+		ReturnType: d.ReturnType.String(),
+		Language:   "sql",
+		Body:       " " + sqlast.DeparseQuery(sqlast.WrapQuery(sqlast.SimpleSelect([]sqlast.Expr{body}, nil))) + " ",
+	}
+
+	var wrapParams []sqlast.ParamDef
+	for _, p := range d.OrigParams {
+		wrapParams = append(wrapParams, sqlast.ParamDef{Name: p.Name, TypeName: p.Type.String()})
+	}
+	wrapper := &sqlast.CreateFunction{
+		OrReplace:  true,
+		Name:       d.FnName,
+		Params:     wrapParams,
+		ReturnType: d.ReturnType.String(),
+		Language:   "sql",
+		Body:       " " + sqlast.DeparseQuery(sqlast.WrapQuery(sqlast.SimpleSelect([]sqlast.Expr{entry}, nil))) + " ",
+	}
+	return []sqlast.Statement{star, wrapper}, nil
+}
+
+// SQL renders both statements as text (plsqlc --emit=udf).
+func (d *Definition) SQL() (string, error) {
+	stmts, err := d.CreateStatements()
+	if err != nil {
+		return "", err
+	}
+	var parts []string
+	for _, s := range stmts {
+		parts = append(parts, sqlast.Deparse(s)+";")
+	}
+	return strings.Join(parts, "\n\n"), nil
+}

@@ -1,0 +1,168 @@
+package udf
+
+import (
+	"strings"
+	"testing"
+
+	"plsqlaway/internal/anf"
+	"plsqlaway/internal/cfg"
+	"plsqlaway/internal/plparser"
+	"plsqlaway/internal/sqlast"
+	"plsqlaway/internal/sqlparser"
+	"plsqlaway/internal/sqltypes"
+	"plsqlaway/internal/ssa"
+)
+
+const loopSrc = `CREATE FUNCTION f(n int, bias float) RETURNS int AS $$
+DECLARE acc int = 0;
+BEGIN
+  WHILE n > 0 LOOP
+    acc = acc + n;
+    n = n - 1;
+  END LOOP;
+  RETURN acc;
+END;
+$$ LANGUAGE plpgsql`
+
+func defFor(t *testing.T, src string, d Dialect) *Definition {
+	t.Helper()
+	stmt, err := sqlparser.ParseStatement(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := plparser.ParseFunction(stmt.(*sqlast.CreateFunction))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ssa.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ssa.Optimize(s); err != nil {
+		t.Fatal(err)
+	}
+	p, err := anf.Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := Build(p, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return def
+}
+
+func TestUnionParamsHaveTypes(t *testing.T) {
+	d := defFor(t, loopSrc, DialectPostgres)
+	if len(d.UnionParams) == 0 {
+		t.Fatal("no union params")
+	}
+	for _, p := range d.UnionParams {
+		if p.Type.Kind == sqltypes.KindNull {
+			t.Errorf("param %s has no type", p.Name)
+		}
+	}
+	if d.StarName != "f_star" {
+		t.Errorf("star name: %s", d.StarName)
+	}
+}
+
+func TestLabelIndexCoversAllFuns(t *testing.T) {
+	d := defFor(t, loopSrc, DialectPostgres)
+	if len(d.Labels) != len(d.Prog.Funs) {
+		t.Errorf("labels %d vs funs %d", len(d.Labels), len(d.Prog.Funs))
+	}
+	for i, l := range d.Labels {
+		if d.LabelIndex[l] != i {
+			t.Errorf("label %s index %d != %d", l, d.LabelIndex[l], i)
+		}
+	}
+}
+
+func TestIsRecursive(t *testing.T) {
+	if !defFor(t, loopSrc, DialectPostgres).IsRecursive() {
+		t.Error("loop function must be recursive")
+	}
+	straight := `CREATE FUNCTION g(x int) RETURNS int AS $$
+BEGIN RETURN x * 2; END;
+$$ LANGUAGE plpgsql`
+	if defFor(t, straight, DialectPostgres).IsRecursive() {
+		t.Error("straight-line function must not be recursive")
+	}
+}
+
+func TestCreateStatementsParseAndShape(t *testing.T) {
+	d := defFor(t, loopSrc, DialectPostgres)
+	sql, err := d.SQL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts, err := sqlparser.ParseScript(sql)
+	if err != nil {
+		t.Fatalf("UDF SQL does not reparse: %v\n%s", err, sql)
+	}
+	if len(stmts) != 2 {
+		t.Fatalf("want star + wrapper, got %d statements", len(stmts))
+	}
+	star := stmts[0].(*sqlast.CreateFunction)
+	if star.Name != "f_star" || star.Params[0].Name != "fn" {
+		t.Errorf("star: %+v", star)
+	}
+	wrapper := stmts[1].(*sqlast.CreateFunction)
+	if wrapper.Name != "f" || len(wrapper.Params) != 2 {
+		t.Errorf("wrapper: %+v", wrapper)
+	}
+	if !strings.Contains(star.Body, "f_star(") {
+		t.Errorf("star body should contain recursive call:\n%s", star.Body)
+	}
+	if !strings.Contains(sql, "LEFT JOIN LATERAL") {
+		t.Errorf("postgres dialect should chain lets with LATERAL:\n%s", sql)
+	}
+}
+
+func TestSQLiteDialectLetChains(t *testing.T) {
+	d := defFor(t, loopSrc, DialectSQLite)
+	sql, err := d.SQL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sql, "LATERAL") {
+		t.Errorf("sqlite dialect must not use LATERAL:\n%s", sql)
+	}
+	if _, err := sqlparser.ParseScript(sql); err != nil {
+		t.Fatalf("sqlite UDF SQL does not reparse: %v", err)
+	}
+}
+
+func TestUnionArgsPadWithNull(t *testing.T) {
+	d := defFor(t, loopSrc, DialectPostgres)
+	// Find a call whose target has fewer params than the union.
+	for i := range d.Prog.Funs {
+		var call *anf.Call
+		walk(d.Prog.Funs[i].Body, func(tm anf.Term) {
+			if c, ok := tm.(*anf.Call); ok && call == nil {
+				call = c
+			}
+		})
+		if call == nil {
+			continue
+		}
+		args, err := d.UnionArgs(call)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(args) != len(d.UnionParams) {
+			t.Errorf("args %d != union %d", len(args), len(d.UnionParams))
+		}
+	}
+}
+
+func TestDialectString(t *testing.T) {
+	if DialectPostgres.String() != "postgres" || DialectSQLite.String() != "sqlite" {
+		t.Error("dialect names")
+	}
+}

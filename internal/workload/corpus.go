@@ -1,0 +1,260 @@
+// Package workload builds the paper's evaluation scenarios: the robot-grid
+// Markov world of Figures 1–3 (with the policy actually computed by value
+// iteration, as the paper describes), the finite-state-machine input for
+// parse(), the successor graph for traverse(), and the PL/pgSQL source
+// corpus of Table 1.
+package workload
+
+// WalkSrc is the paper's Figure 3 function, verbatim modulo whitespace: a
+// robot walks a reward grid following a precomputed Markov policy, straying
+// randomly, and stops early on winning or losing.
+const WalkSrc = `
+CREATE FUNCTION walk(origin coord, win int, loose int, steps int)
+RETURNS int AS $$
+DECLARE
+  reward int = 0;
+  location coord = origin;
+  movement text = '';
+  roll float;
+BEGIN
+  -- move robot repeatedly
+  FOR step IN 1..steps LOOP
+    -- where does the Markov policy send the robot from here?
+    movement = (SELECT p.action
+                FROM policy AS p
+                WHERE location = p.loc);
+    -- compute new location of robot,
+    -- robot may randomly stray from policy's direction
+    roll = random();
+    location =
+      (SELECT move.loc
+       FROM (SELECT a.there AS loc,
+                    COALESCE(SUM(a.prob) OVER lt, 0.0) AS lo,
+                    SUM(a.prob) OVER leq AS hi
+             FROM actions AS a
+             WHERE location = a.here AND movement = a.action
+             WINDOW leq AS (ORDER BY a.there),
+                    lt  AS (leq ROWS UNBOUNDED PRECEDING
+                            EXCLUDE CURRENT ROW)
+            ) AS move(loc, lo, hi)
+       WHERE roll BETWEEN move.lo AND move.hi);
+    -- robot collects reward (or penalty) at new location
+    reward = reward + (SELECT c.reward
+                       FROM cells AS c
+                       WHERE location = c.loc);
+    -- bail out if we win or loose early
+    IF reward >= win OR reward <= loose THEN
+      RETURN step * sign(reward);
+    END IF;
+  END LOOP;
+  -- draw: robot performed all steps without winning or losing
+  RETURN 0;
+END;
+$$ LANGUAGE PLPGSQL`
+
+// ParseSrc tokenizes its input via a table-driven finite state automaton
+// (Table 1's parse). The residual input text is loop state — exactly the
+// sizable argument that makes vanilla WITH RECURSIVE buffer quadratically
+// in Table 2.
+const ParseSrc = `
+CREATE FUNCTION parse(input text) RETURNS int AS $$
+DECLARE
+  st int = 0;
+  rest text;
+  c text;
+  next_state int;
+  tokens int = 0;
+BEGIN
+  rest = input;
+  WHILE length(rest) > 0 LOOP
+    c = substr(rest, 1, 1);
+    next_state = (SELECT t.next FROM fsm AS t
+                  WHERE t.state = st
+                    AND t.class = CASE WHEN c BETWEEN '0' AND '9' THEN 1
+                                       WHEN c BETWEEN 'a' AND 'z' THEN 2
+                                       ELSE 3 END);
+    IF next_state IS NULL THEN
+      RETURN -1;  -- reject
+    END IF;
+    IF next_state <> st AND next_state <> 0 THEN
+      tokens = tokens + 1;
+    END IF;
+    st = next_state;
+    rest = substr(rest, 2);
+  END LOOP;
+  RETURN tokens;
+END;
+$$ LANGUAGE plpgsql`
+
+// TraverseSrc follows least-successor edges through a directed graph until
+// a sink or the step budget is reached (Table 1's traverse).
+const TraverseSrc = `
+CREATE FUNCTION traverse(start int, maxsteps int) RETURNS int AS $$
+DECLARE
+  node int;
+  nxt int;
+  hops int = 0;
+BEGIN
+  node = start;
+  WHILE hops < maxsteps LOOP
+    nxt = (SELECT min(e.dst) FROM edges AS e WHERE e.src = node);
+    IF nxt IS NULL THEN
+      RETURN node;  -- reached a sink
+    END IF;
+    node = nxt;
+    hops = hops + 1;
+  END LOOP;
+  RETURN node;
+END;
+$$ LANGUAGE plpgsql`
+
+// FibSrc computes Fibonacci numbers iteratively: arithmetic only, no
+// embedded queries — PostgreSQL's simple-expression fast path makes its
+// Exec·Start/End shares vanish in Table 1.
+const FibSrc = `
+CREATE FUNCTION fibonacci(n int) RETURNS int AS $$
+DECLARE
+  a int = 0;
+  b int = 1;
+  tmp int;
+BEGIN
+  FOR i IN 1..n LOOP
+    tmp = a + b;
+    a = b;
+    b = tmp;
+  END LOOP;
+  RETURN a;
+END;
+$$ LANGUAGE plpgsql`
+
+// GcdSrc: Euclid with a WHILE loop (extra differential-test corpus).
+const GcdSrc = `
+CREATE FUNCTION gcd(x int, y int) RETURNS int AS $$
+DECLARE t int;
+BEGIN
+  WHILE y <> 0 LOOP
+    t = y;
+    y = x % y;
+    x = t;
+  END LOOP;
+  RETURN x;
+END;
+$$ LANGUAGE plpgsql`
+
+// CollatzSrc: unbounded LOOP with EXIT WHEN.
+const CollatzSrc = `
+CREATE FUNCTION collatz(n int) RETURNS int AS $$
+DECLARE steps int = 0;
+BEGIN
+  LOOP
+    EXIT WHEN n <= 1;
+    IF n % 2 = 0 THEN
+      n = n / 2;
+    ELSE
+      n = 3 * n + 1;
+    END IF;
+    steps = steps + 1;
+  END LOOP;
+  RETURN steps;
+END;
+$$ LANGUAGE plpgsql`
+
+// SumSkipSrc: FOR with CONTINUE (control-flow corpus).
+const SumSkipSrc = `
+CREATE FUNCTION sumskip(n int) RETURNS int AS $$
+DECLARE s int = 0;
+BEGIN
+  FOR i IN 1..n LOOP
+    CONTINUE WHEN i % 3 = 0;
+    s = s + i;
+  END LOOP;
+  RETURN s;
+END;
+$$ LANGUAGE plpgsql`
+
+// NestedLoopSrc: nested loops with a labeled EXIT.
+const NestedLoopSrc = `
+CREATE FUNCTION nestedloop(n int) RETURNS int AS $$
+DECLARE
+  total int = 0;
+  i int = 1;
+  j int;
+BEGIN
+  <<outer>>
+  WHILE i <= n LOOP
+    j = 1;
+    WHILE j <= n LOOP
+      total = total + 1;
+      EXIT outer WHEN total >= 1000;
+      j = j + 1;
+    END LOOP;
+    i = i + 1;
+  END LOOP;
+  RETURN total;
+END;
+$$ LANGUAGE plpgsql`
+
+// ClampSrc is loop-less: it compiles Froid-style to a single expression
+// (no WITH RECURSIVE needed).
+const ClampSrc = `
+CREATE FUNCTION clamp(x int, lo int, hi int) RETURNS int AS $$
+BEGIN
+  IF x < lo THEN
+    RETURN lo;
+  ELSIF x > hi THEN
+    RETURN hi;
+  ELSE
+    RETURN x;
+  END IF;
+END;
+$$ LANGUAGE plpgsql`
+
+// AccountSrc mixes embedded aggregation queries with iteration: monthly
+// compounding with a fee schedule (extra query-bearing corpus entry).
+const AccountSrc = `
+CREATE FUNCTION balance(principal float, months int) RETURNS float AS $$
+DECLARE
+  bal float;
+  fee float;
+  m int = 1;
+BEGIN
+  bal = principal;
+  WHILE m <= months LOOP
+    fee = (SELECT f.amount FROM fees AS f
+           WHERE f.lo <= bal AND bal < f.hi);
+    bal = bal * 1.01 - coalesce(fee, 0.0);
+    IF bal <= 0.0 THEN
+      RETURN 0.0 - m;
+    END IF;
+    m = m + 1;
+  END LOOP;
+  RETURN bal;
+END;
+$$ LANGUAGE plpgsql`
+
+// PowSrc: REVERSE loop corpus entry.
+const PowSrc = `
+CREATE FUNCTION ipow(base int, exp int) RETURNS int AS $$
+DECLARE r int = 1;
+BEGIN
+  FOR i IN REVERSE exp..1 LOOP
+    r = r * base;
+  END LOOP;
+  RETURN r;
+END;
+$$ LANGUAGE plpgsql`
+
+// Corpus lists every compilable source with a short name.
+var Corpus = map[string]string{
+	"walk":       WalkSrc,
+	"parse":      ParseSrc,
+	"traverse":   TraverseSrc,
+	"fibonacci":  FibSrc,
+	"gcd":        GcdSrc,
+	"collatz":    CollatzSrc,
+	"sumskip":    SumSkipSrc,
+	"nestedloop": NestedLoopSrc,
+	"clamp":      ClampSrc,
+	"balance":    AccountSrc,
+	"ipow":       PowSrc,
+}

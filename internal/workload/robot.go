@@ -1,0 +1,249 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"plsqlaway/internal/engine"
+	"plsqlaway/internal/exec"
+)
+
+// Direction vectors for the four robot moves.
+var directions = []struct {
+	Arrow  string
+	DX, DY int
+}{
+	{"↑", 0, 1},
+	{"↓", 0, -1},
+	{"←", -1, 0},
+	{"→", 1, 0},
+}
+
+// RobotWorld is the in-memory form of Figures 1–2: a W×H reward grid, the
+// straying model (intended direction with probability 0.8, each
+// perpendicular neighbour 0.1; off-grid moves bounce back), and the Markov
+// policy computed from them.
+type RobotWorld struct {
+	W, H    int
+	Rewards [][]int     // [y][x]
+	Policy  [][]string  // [y][x] arrow
+	Values  [][]float64 // value-iteration fixpoint (for inspection/tests)
+}
+
+// outcome is one probabilistic result of attempting a move.
+type outcome struct {
+	x, y int
+	p    float64
+}
+
+// NewRobotWorld builds a world with seeded random rewards in [-2, 1] (the
+// range of Figure 1a) and a policy computed by value iteration with
+// discount 0.9 — "precomputed by a Markov decision process", as the paper
+// puts it.
+func NewRobotWorld(w, h int, seed uint64) *RobotWorld {
+	rng := exec.NewRand(seed)
+	world := &RobotWorld{W: w, H: h}
+	world.Rewards = make([][]int, h)
+	for y := 0; y < h; y++ {
+		world.Rewards[y] = make([]int, w)
+		for x := 0; x < w; x++ {
+			world.Rewards[y][x] = rng.Intn(4) - 2 // -2..1
+		}
+	}
+	world.solve()
+	return world
+}
+
+// outcomes enumerates the straying distribution for attempting dir from
+// (x, y), merging duplicate target cells (walls bounce back).
+func (wd *RobotWorld) outcomes(x, y, dir int) []outcome {
+	perp := [2]int{}
+	switch dir {
+	case 0, 1: // vertical intent strays horizontally
+		perp = [2]int{2, 3}
+	default: // horizontal intent strays vertically
+		perp = [2]int{0, 1}
+	}
+	moves := []struct {
+		d int
+		p float64
+	}{{dir, 0.8}, {perp[0], 0.1}, {perp[1], 0.1}}
+	merged := map[[2]int]float64{}
+	for _, m := range moves {
+		nx, ny := x+directions[m.d].DX, y+directions[m.d].DY
+		if nx < 0 || nx >= wd.W || ny < 0 || ny >= wd.H {
+			nx, ny = x, y // wall: stay
+		}
+		merged[[2]int{nx, ny}] += m.p
+	}
+	out := make([]outcome, 0, len(merged))
+	// Deterministic order: scan grid positions.
+	for yy := 0; yy < wd.H; yy++ {
+		for xx := 0; xx < wd.W; xx++ {
+			if p, ok := merged[[2]int{xx, yy}]; ok {
+				out = append(out, outcome{x: xx, y: yy, p: p})
+			}
+		}
+	}
+	return out
+}
+
+// solve runs value iteration (γ = 0.9) and derives the greedy policy.
+func (wd *RobotWorld) solve() {
+	const gamma = 0.9
+	const iters = 200
+	v := make([][]float64, wd.H)
+	for y := range v {
+		v[y] = make([]float64, wd.W)
+	}
+	for it := 0; it < iters; it++ {
+		nv := make([][]float64, wd.H)
+		for y := 0; y < wd.H; y++ {
+			nv[y] = make([]float64, wd.W)
+			for x := 0; x < wd.W; x++ {
+				best := -1e18
+				for d := range directions {
+					q := 0.0
+					for _, o := range wd.outcomes(x, y, d) {
+						q += o.p * (float64(wd.Rewards[o.y][o.x]) + gamma*v[o.y][o.x])
+					}
+					if q > best {
+						best = q
+					}
+				}
+				nv[y][x] = best
+			}
+		}
+		v = nv
+	}
+	wd.Values = v
+	wd.Policy = make([][]string, wd.H)
+	for y := 0; y < wd.H; y++ {
+		wd.Policy[y] = make([]string, wd.W)
+		for x := 0; x < wd.W; x++ {
+			best, bestD := -1e18, 0
+			for d := range directions {
+				q := 0.0
+				for _, o := range wd.outcomes(x, y, d) {
+					q += o.p * (float64(wd.Rewards[o.y][o.x]) + gamma*v[o.y][o.x])
+				}
+				if q > best {
+					best, bestD = q, d
+				}
+			}
+			wd.Policy[y][x] = directions[bestD].Arrow
+		}
+	}
+}
+
+// Install creates and fills the cells/policy/actions tables of Figure 2.
+func (wd *RobotWorld) Install(e *engine.Engine) error {
+	if err := e.Exec(`
+		CREATE TABLE cells (loc coord, reward int);
+		CREATE TABLE policy (loc coord, action text);
+		CREATE TABLE actions (here coord, action text, there coord, prob float);
+		CREATE INDEX cells_loc ON cells (loc);
+		CREATE INDEX policy_loc ON policy (loc);
+		CREATE INDEX actions_here ON actions (here);
+	`); err != nil {
+		return err
+	}
+	var cells, policy, actions []string
+	for y := 0; y < wd.H; y++ {
+		for x := 0; x < wd.W; x++ {
+			cells = append(cells, fmt.Sprintf("(coord(%d,%d), %d)", x, y, wd.Rewards[y][x]))
+			policy = append(policy, fmt.Sprintf("(coord(%d,%d), '%s')", x, y, wd.Policy[y][x]))
+			for d, dir := range directions {
+				for _, o := range wd.outcomes(x, y, d) {
+					actions = append(actions, fmt.Sprintf("(coord(%d,%d), '%s', coord(%d,%d), %g)",
+						x, y, dir.Arrow, o.x, o.y, o.p))
+				}
+			}
+		}
+	}
+	if err := e.Exec("INSERT INTO cells VALUES " + strings.Join(cells, ", ")); err != nil {
+		return err
+	}
+	if err := e.Exec("INSERT INTO policy VALUES " + strings.Join(policy, ", ")); err != nil {
+		return err
+	}
+	return e.Exec("INSERT INTO actions VALUES " + strings.Join(actions, ", "))
+}
+
+// InstallFSM creates the fsm transition table for parse(): states
+// 0 = separator, 1 = number, 2 = word; classes 1 = digit, 2 = letter,
+// 3 = other.
+func InstallFSM(e *engine.Engine) error {
+	if err := e.Exec("CREATE TABLE fsm (state int, class int, next int); CREATE INDEX fsm_state ON fsm (state)"); err != nil {
+		return err
+	}
+	return e.Exec(`INSERT INTO fsm VALUES
+		(0, 1, 1), (0, 2, 2), (0, 3, 0),
+		(1, 1, 1), (1, 2, 2), (1, 3, 0),
+		(2, 1, 1), (2, 2, 2), (2, 3, 0)`)
+}
+
+// MakeParseInput generates a deterministic mixed token string of length n.
+func MakeParseInput(n int, seed uint64) string {
+	rng := exec.NewRand(seed)
+	var sb strings.Builder
+	sb.Grow(n)
+	for sb.Len() < n {
+		switch rng.Intn(3) {
+		case 0:
+			for k := rng.Intn(4) + 1; k > 0 && sb.Len() < n; k-- {
+				sb.WriteByte(byte('0' + rng.Intn(10)))
+			}
+		case 1:
+			for k := rng.Intn(5) + 1; k > 0 && sb.Len() < n; k-- {
+				sb.WriteByte(byte('a' + rng.Intn(26)))
+			}
+		default:
+			sb.WriteByte(' ')
+		}
+	}
+	return sb.String()
+}
+
+// InstallGraph creates a deterministic sparse successor graph for
+// traverse(): each node gets 1–3 outgoing edges to higher-numbered nodes,
+// except multiples of 97, which are sinks.
+func InstallGraph(e *engine.Engine, nodes int, seed uint64) error {
+	if err := e.Exec("CREATE TABLE edges (src int, dst int); CREATE INDEX edges_src ON edges (src)"); err != nil {
+		return err
+	}
+	rng := exec.NewRand(seed)
+	var rows []string
+	for src := 0; src < nodes; src++ {
+		if src%97 == 0 && src > 0 {
+			continue // sink
+		}
+		deg := rng.Intn(3) + 1
+		for k := 0; k < deg; k++ {
+			dst := src + 1 + rng.Intn(5)
+			if dst >= nodes {
+				dst = nodes - 1
+			}
+			rows = append(rows, fmt.Sprintf("(%d, %d)", src, dst))
+		}
+	}
+	for start := 0; start < len(rows); start += 500 {
+		end := start + 500
+		if end > len(rows) {
+			end = len(rows)
+		}
+		if err := e.Exec("INSERT INTO edges VALUES " + strings.Join(rows[start:end], ", ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InstallFees creates the fee schedule for the balance() corpus entry.
+func InstallFees(e *engine.Engine) error {
+	if err := e.Exec("CREATE TABLE fees (lo float, hi float, amount float)"); err != nil {
+		return err
+	}
+	return e.Exec(`INSERT INTO fees VALUES
+		(0.0, 1000.0, 12.5), (1000.0, 10000.0, 5.0), (10000.0, 1000000000.0, 0.0)`)
+}

@@ -1,0 +1,101 @@
+// Package plsqlaway is a from-scratch Go reproduction of "Compiling PL/SQL
+// Away" (Duta, Hirn, Grust — CIDR 2020): a compiler that turns PL/pgSQL
+// functions with arbitrary control flow into plain SQL queries built on
+// WITH RECURSIVE, plus the relational engine substrate needed to run and
+// measure both evaluation regimes.
+//
+// The package exposes three things:
+//
+//   - an embedded SQL engine (NewEngine) with PL/pgSQL interpretation,
+//     LATERAL joins, window functions, recursive CTEs, and the paper's
+//     proposed WITH ITERATE extension;
+//   - the compiler (Compile) implementing the paper's pipeline
+//     PL/SQL → SSA → ANF → tail-recursive SQL UDF → WITH RECURSIVE;
+//   - glue (Install, InstallInterpreted) to register either form with an
+//     engine and compare them.
+//
+// Quick start:
+//
+//	e := plsqlaway.NewEngine()
+//	e.Exec(`CREATE TABLE t (…)`)                 // schema
+//	e.Exec(fibSrc)                               // interpreted original
+//	res, _ := plsqlaway.Compile(fibSrc, plsqlaway.Options{})
+//	plsqlaway.Install(e, "fib_compiled", res)    // compiled twin
+//	v, _ := e.QueryValue("SELECT fib_compiled($1)", plsqlaway.Int(30))
+package plsqlaway
+
+import (
+	"plsqlaway/internal/core"
+	"plsqlaway/internal/engine"
+	"plsqlaway/internal/profile"
+	"plsqlaway/internal/sqltypes"
+	"plsqlaway/internal/udf"
+)
+
+// Engine is an embedded single-session database instance.
+type Engine = engine.Engine
+
+// Result is the outcome of one compilation, carrying every intermediate
+// form (CFG, SSA, ANF, UDF) and the final pure-SQL query.
+type Result = core.Result
+
+// Options configures a compilation.
+type Options = core.Options
+
+// Value is a dynamically typed SQL value.
+type Value = sqltypes.Value
+
+// Engine profile re-exports: PostgreSQL is the neutral measured profile;
+// Oracle and SQLite are the paper's §3 cross-system scenarios.
+var (
+	ProfilePostgreSQL = profile.PostgreSQL
+	ProfileOracle     = profile.Oracle
+	ProfileSQLite     = profile.SQLite
+)
+
+// Dialect re-exports.
+const (
+	DialectPostgres = udf.DialectPostgres
+	DialectSQLite   = udf.DialectSQLite
+)
+
+// NewEngine creates an embedded engine. Options: WithProfile, WithSeed,
+// WithWorkMem, WithMaxRecursion (see internal/engine).
+func NewEngine(opts ...engine.Option) *Engine { return engine.New(opts...) }
+
+// WithProfile selects an engine profile.
+func WithProfile(p profile.Profile) engine.Option { return engine.WithProfile(p) }
+
+// WithSeed seeds the deterministic random() source.
+func WithSeed(seed uint64) engine.Option { return engine.WithSeed(seed) }
+
+// WithWorkMem bounds tuplestore memory before spilling (bytes).
+func WithWorkMem(bytes int) engine.Option { return engine.WithWorkMem(bytes) }
+
+// Compile runs the paper's full pipeline on the text of a
+// CREATE FUNCTION … LANGUAGE plpgsql statement.
+func Compile(src string, opt Options) (*Result, error) { return core.Compile(src, opt) }
+
+// Install registers a compilation result with an engine under the given
+// name: calls evaluate the pure-SQL form, no interpreter involved.
+func Install(e *Engine, name string, res *Result) error {
+	return e.InstallCompiled(name, res.Params, res.ReturnType, res.Query)
+}
+
+// Int builds an integer value.
+func Int(i int64) Value { return sqltypes.NewInt(i) }
+
+// Float builds a float value.
+func Float(f float64) Value { return sqltypes.NewFloat(f) }
+
+// Text builds a text value.
+func Text(s string) Value { return sqltypes.NewText(s) }
+
+// Bool builds a boolean value.
+func Bool(b bool) Value { return sqltypes.NewBool(b) }
+
+// Coord builds a coord value (the paper's grid-cell composite type).
+func Coord(x, y int64) Value { return sqltypes.NewCoord(x, y) }
+
+// Null is the SQL NULL value.
+var Null = sqltypes.Null
