@@ -4,12 +4,18 @@
 //
 // Usage:
 //
-//	benchrunner [-experiment table1|fig10|fig11a|fig11b|table2|ablations|all]
-//	            [-quick]
+//	benchrunner [-experiment table1|fig10|fig11a|fig11b|table2|ablations|parallel|all]
+//	            [-quick] [-parallel N]
 //
 // -quick shrinks workload sizes so a full run finishes in well under a
 // minute (the default sizes mirror the paper's and take several minutes,
 // dominated by the Figure 11 grids and Table 2's gigabyte-scale spill).
+//
+// -parallel N runs the concurrent-session scaling experiment: one shared
+// engine, the robot-walk / fsmparse / graphtraverse workloads spread over
+// 1, 2, …, N sessions, reporting aggregate throughput and the speedup over
+// the single-session baseline. Given on its own it runs just that
+// experiment; combine with -experiment to add the paper's figures.
 package main
 
 import (
@@ -24,13 +30,33 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1, fig10, fig11a, fig11b, table2, ablations, or all")
+	experiment := flag.String("experiment", "all", "table1, fig10, fig11a, fig11b, table2, ablations, parallel, or all")
 	quick := flag.Bool("quick", false, "reduced workload sizes")
+	parallel := flag.Int("parallel", 0, "max concurrent sessions for the scaling experiment (0 = off)")
 	flag.Parse()
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*experiment, ",") {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "benchrunner: -parallel wants a session count ≥ 1, got %d\n", *parallel)
+		os.Exit(1)
+	}
+	if *parallel > 0 {
+		// -parallel alone means "run the scaling experiment"; it joins any
+		// explicitly requested experiments but does not drag in the rest.
+		// An explicit `-experiment all` still means everything.
+		experimentSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "experiment" {
+				experimentSet = true
+			}
+		})
+		if !experimentSet {
+			delete(want, "all")
+		}
+		want["parallel"] = true
 	}
 	all := want["all"]
 	ran := 0
@@ -138,6 +164,25 @@ func main() {
 			}
 			fmt.Println(bench.FormatAblation(a.title, rows))
 		}
+		return nil
+	})
+
+	section("parallel", func() error {
+		cfg := bench.ParallelConfig{MaxWorkers: *parallel}
+		if cfg.MaxWorkers == 0 {
+			cfg.MaxWorkers = 4
+		}
+		if *quick {
+			cfg.Calls = 32
+			cfg.WalkSteps = 300
+			cfg.ParseLen = 300
+			cfg.TraverseHops = 200
+		}
+		rows, err := bench.ParallelScaling(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatParallel(rows))
 		return nil
 	})
 

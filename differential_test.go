@@ -1,0 +1,200 @@
+// Differential test suite: for EVERY function in the workload corpus,
+// install the interpreted original and its compiled twins (WITH RECURSIVE
+// and WITH ITERATE) on the same engine and assert identical results across
+// a grid of arguments, re-seeding the shared deterministic random() source
+// before each evaluation so even the stochastic robot walk must agree
+// step for step. The grid below must cover the whole corpus — the test
+// fails if a corpus entry has no cases, so new corpus functions cannot
+// silently dodge the differential check.
+package plsqlaway_test
+
+import (
+	"fmt"
+	"testing"
+
+	"plsqlaway"
+	"plsqlaway/internal/sqltypes"
+	"plsqlaway/internal/workload"
+)
+
+// diffCase is one corpus function's call template and argument grid.
+type diffCase struct {
+	tmpl string // e.g. "SELECT %s($1, $2)" — %s is the function name
+	args [][]plsqlaway.Value
+}
+
+func ints(vals ...int64) []plsqlaway.Value {
+	out := make([]plsqlaway.Value, len(vals))
+	for i, v := range vals {
+		out[i] = plsqlaway.Int(v)
+	}
+	return out
+}
+
+// differentialGrid covers every entry of workload.Corpus.
+var differentialGrid = map[string]diffCase{
+	"walk": {"SELECT %s($1, $2, $3, $4)", [][]plsqlaway.Value{
+		{plsqlaway.Coord(0, 0), plsqlaway.Int(5), plsqlaway.Int(-5), plsqlaway.Int(10)},
+		{plsqlaway.Coord(2, 2), plsqlaway.Int(3), plsqlaway.Int(-3), plsqlaway.Int(50)},
+		{plsqlaway.Coord(4, 4), plsqlaway.Int(1000000), plsqlaway.Int(-1000000), plsqlaway.Int(200)},
+		{plsqlaway.Coord(1, 3), plsqlaway.Int(2), plsqlaway.Int(-8), plsqlaway.Int(0)},
+	}},
+	"parse": {"SELECT %s($1)", [][]plsqlaway.Value{
+		{plsqlaway.Text("")},
+		{plsqlaway.Text("abc")},
+		{plsqlaway.Text("a1 22 bcd !")},
+		{plsqlaway.Text(workload.MakeParseInput(300, 5))},
+		{plsqlaway.Text(workload.MakeParseInput(64, 123))},
+	}},
+	"traverse": {"SELECT %s($1, $2)", [][]plsqlaway.Value{
+		ints(0, 0), ints(0, 100), ints(3, 300), ints(42, 7), ints(4000, 50),
+	}},
+	"fibonacci": {"SELECT %s($1)", [][]plsqlaway.Value{
+		ints(0), ints(1), ints(2), ints(10), ints(40), ints(90),
+	}},
+	"gcd": {"SELECT %s($1, $2)", [][]plsqlaway.Value{
+		ints(48, 36), ints(36, 48), ints(7, 13), ints(0, 5), ints(5, 0), ints(270, 192),
+	}},
+	"collatz": {"SELECT %s($1)", [][]plsqlaway.Value{
+		ints(1), ints(2), ints(6), ints(7), ints(27), ints(97),
+	}},
+	"sumskip": {"SELECT %s($1)", [][]plsqlaway.Value{
+		ints(0), ints(1), ints(3), ints(10), ints(100),
+	}},
+	"nestedloop": {"SELECT %s($1)", [][]plsqlaway.Value{
+		ints(0), ints(1), ints(3), ints(40),
+	}},
+	"clamp": {"SELECT %s($1, $2, $3)", [][]plsqlaway.Value{
+		ints(5, 1, 10), ints(-5, 1, 10), ints(50, 1, 10), ints(1, 1, 10), ints(10, 1, 10),
+	}},
+	"balance": {"SELECT %s($1, $2)", [][]plsqlaway.Value{
+		{plsqlaway.Float(500), plsqlaway.Int(24)},
+		{plsqlaway.Float(5000), plsqlaway.Int(60)},
+		{plsqlaway.Float(0), plsqlaway.Int(5)},
+		{plsqlaway.Float(100000), plsqlaway.Int(12)},
+	}},
+	"ipow": {"SELECT %s($1, $2)", [][]plsqlaway.Value{
+		ints(2, 10), ints(3, 0), ints(-2, 5), ints(7, 3),
+	}},
+}
+
+// newWorkloadEngine builds an engine with every workload schema installed.
+func newWorkloadEngine(t *testing.T) *plsqlaway.Engine {
+	t.Helper()
+	e := plsqlaway.NewEngine(plsqlaway.WithSeed(42))
+	world := workload.NewRobotWorld(5, 5, 7)
+	if err := world.Install(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.InstallFSM(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.InstallGraph(e, 4096, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.InstallFees(e); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestDifferentialCorpus is the API-level differential suite.
+func TestDifferentialCorpus(t *testing.T) {
+	for name := range workload.Corpus {
+		if _, ok := differentialGrid[name]; !ok {
+			t.Errorf("corpus function %q has no differential grid — add cases", name)
+		}
+	}
+
+	for name, src := range workload.Corpus {
+		c, ok := differentialGrid[name]
+		if !ok {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			e := newWorkloadEngine(t)
+			if err := e.Exec(src); err != nil {
+				t.Fatalf("install interpreted: %v", err)
+			}
+			res, err := plsqlaway.Compile(src, plsqlaway.Options{})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if err := plsqlaway.Install(e, name+"_c", res); err != nil {
+				t.Fatalf("install compiled: %v", err)
+			}
+			resIter, err := plsqlaway.Compile(src, plsqlaway.Options{Iterate: true})
+			if err != nil {
+				t.Fatalf("compile (iterate): %v", err)
+			}
+			if err := plsqlaway.Install(e, name+"_ci", resIter); err != nil {
+				t.Fatalf("install compiled (iterate): %v", err)
+			}
+
+			for i, args := range c.args {
+				eval := func(fn string) plsqlaway.Value {
+					t.Helper()
+					e.Seed(99)
+					v, err := e.QueryValue(fmt.Sprintf(c.tmpl, fn), args...)
+					if err != nil {
+						t.Fatalf("case %d: %s: %v", i, fn, err)
+					}
+					return v
+				}
+				want := eval(name)
+				got := eval(name + "_c")
+				gotIter := eval(name + "_ci")
+				if !sqltypes.Identical(want, got) {
+					t.Errorf("case %d: interpreted=%v compiled=%v (args %v)", i, want, got, args)
+				}
+				if !sqltypes.Identical(want, gotIter) {
+					t.Errorf("case %d: interpreted=%v iterate=%v (args %v)", i, want, gotIter, args)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialOnSessions re-runs a sample of the grid through a
+// dedicated Session (not the engine facade), confirming the session layer
+// is behaviour-preserving: same seed, same stream, same answers.
+func TestDifferentialOnSessions(t *testing.T) {
+	e := newWorkloadEngine(t)
+	src := workload.Corpus["walk"]
+	if err := e.Exec(src); err != nil {
+		t.Fatal(err)
+	}
+	res, err := plsqlaway.Compile(src, plsqlaway.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.NewSession()
+	// Install through the session: registration lands in the shared
+	// catalog, so the facade sees it too.
+	if err := plsqlaway.Install(s, "walk_c", res); err != nil {
+		t.Fatal(err)
+	}
+	for _, steps := range []int64{10, 50, 200} {
+		s.Seed(99)
+		want, err := s.QueryValue("SELECT walk($1, 1000000, -1000000, $2)", plsqlaway.Coord(2, 2), plsqlaway.Int(steps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Seed(99)
+		got, err := s.QueryValue("SELECT walk_c($1, 1000000, -1000000, $2)", plsqlaway.Coord(2, 2), plsqlaway.Int(steps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sqltypes.Identical(want, got) {
+			t.Errorf("steps=%d: session interpreted=%v compiled=%v", steps, want, got)
+		}
+		e.Seed(99)
+		facade, err := e.QueryValue("SELECT walk_c($1, 1000000, -1000000, $2)", plsqlaway.Coord(2, 2), plsqlaway.Int(steps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sqltypes.Identical(want, facade) {
+			t.Errorf("steps=%d: session=%v facade=%v", steps, want, facade)
+		}
+	}
+}

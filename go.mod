@@ -1,0 +1,3 @@
+module plsqlaway
+
+go 1.24

@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"plsqlaway/internal/engine"
+	"plsqlaway/internal/profile"
+	"plsqlaway/internal/sqltypes"
+	"plsqlaway/internal/workload"
+)
+
+// ParallelConfig sizes the session-scaling experiment: one shared engine,
+// N concurrent sessions, fixed total work per measurement so wall-clock
+// shrinks as sessions absorb the calls in parallel.
+type ParallelConfig struct {
+	Workers      []int    // session counts to sweep; default {1, 2, 4, …, max}
+	MaxWorkers   int      // upper end of the default sweep; default 4
+	Calls        int      // total calls per measurement; default 64
+	Workloads    []string // default {"walk", "parse", "traverse"}
+	WalkSteps    int64    // per-call intra-function iterations; default 1_000
+	ParseLen     int      // default 1_000
+	TraverseHops int64    // default 500
+	Interpreted  bool     // also measure the interpreted originals
+}
+
+func (c *ParallelConfig) defaults() {
+	if c.MaxWorkers < 1 {
+		c.MaxWorkers = 4
+	}
+	if len(c.Workers) == 0 {
+		for n := 1; n < c.MaxWorkers; n *= 2 {
+			c.Workers = append(c.Workers, n)
+		}
+		c.Workers = append(c.Workers, c.MaxWorkers)
+	}
+	kept := make([]int, 0, len(c.Workers))
+	for _, n := range c.Workers {
+		if n >= 1 {
+			kept = append(kept, n)
+		}
+	}
+	c.Workers = kept
+	if c.Calls == 0 {
+		c.Calls = 64
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = []string{"walk", "parse", "traverse"}
+	}
+	if c.WalkSteps == 0 {
+		c.WalkSteps = 1_000
+	}
+	if c.ParseLen == 0 {
+		c.ParseLen = 1_000
+	}
+	if c.TraverseHops == 0 {
+		c.TraverseHops = 500
+	}
+}
+
+// ParallelRow is one (workload, mode, session-count) throughput point.
+type ParallelRow struct {
+	Workload    string
+	Mode        string // "compiled" or "interpreted"
+	Workers     int
+	Calls       int
+	WallMs      float64
+	CallsPerSec float64
+	Speedup     float64 // vs the same workload+mode at the sweep's first point
+}
+
+// parallelCall returns a per-session call closure for one workload+mode.
+// Each session prepares its statement once (the per-session prepared
+// statement cache) and reseeds deterministically per call so every session
+// sees the same random stream the single-session benchmarks do.
+func parallelCall(s *engine.Session, fn string, cfg *ParallelConfig, parseInput string) (func() error, error) {
+	switch fn {
+	case "walk", "walk_c":
+		p, err := s.Prepare(fmt.Sprintf("SELECT %s(coord(2, 2), $1, $2, $3)", fn))
+		if err != nil {
+			return nil, err
+		}
+		return func() error {
+			s.Seed(42)
+			return p.Exec(sqltypes.NewInt(winHuge), sqltypes.NewInt(looseHuge), sqltypes.NewInt(cfg.WalkSteps))
+		}, nil
+	case "parse", "parse_c":
+		p, err := s.Prepare(fmt.Sprintf("SELECT %s($1)", fn))
+		if err != nil {
+			return nil, err
+		}
+		input := sqltypes.NewText(parseInput)
+		return func() error { return p.Exec(input) }, nil
+	case "traverse", "traverse_c":
+		p, err := s.Prepare(fmt.Sprintf("SELECT %s($1, $2)", fn))
+		if err != nil {
+			return nil, err
+		}
+		return func() error {
+			return p.Exec(sqltypes.NewInt(0), sqltypes.NewInt(cfg.TraverseHops))
+		}, nil
+	default:
+		return nil, fmt.Errorf("bench: parallel driver does not know workload %q", fn)
+	}
+}
+
+// ParallelScaling measures aggregate throughput of the corpus workloads
+// across growing numbers of concurrent sessions on ONE shared engine —
+// the scaling claim of the session layer, measured rather than asserted.
+// The total number of calls is fixed per measurement and divided among the
+// sessions, so perfect scaling halves wall-clock per doubling.
+func ParallelScaling(cfg ParallelConfig) ([]ParallelRow, error) {
+	cfg.defaults()
+	env, err := NewEnv(profile.PostgreSQL, cfg.Workloads...)
+	if err != nil {
+		return nil, err
+	}
+	e := env.E
+	parseInput := workload.MakeParseInput(cfg.ParseLen, 11)
+
+	var rows []ParallelRow
+	for _, wl := range cfg.Workloads {
+		modes := []struct{ mode, fn string }{{"compiled", wl + "_c"}}
+		if cfg.Interpreted {
+			modes = append(modes, struct{ mode, fn string }{"interpreted", wl})
+		}
+		for _, m := range modes {
+			var baseline float64
+			for _, n := range cfg.Workers {
+				wall, err := runParallel(e, m.fn, n, &cfg, parseInput)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s ×%d sessions: %w", m.fn, n, err)
+				}
+				row := ParallelRow{
+					Workload:    wl,
+					Mode:        m.mode,
+					Workers:     n,
+					Calls:       cfg.Calls,
+					WallMs:      float64(wall.Nanoseconds()) / 1e6,
+					CallsPerSec: float64(cfg.Calls) / wall.Seconds(),
+				}
+				if baseline == 0 {
+					baseline = row.CallsPerSec
+				}
+				row.Speedup = row.CallsPerSec / baseline
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// runParallel executes cfg.Calls invocations of fn spread over n sessions
+// and returns the wall-clock time for the whole batch. Each measurement
+// warms the shared plan cache first so it captures steady-state serving,
+// not cold-start planning.
+func runParallel(e *engine.Engine, fn string, n int, cfg *ParallelConfig, parseInput string) (time.Duration, error) {
+	sessions := make([]*engine.Session, n)
+	calls := make([]func() error, n)
+	for i := range sessions {
+		sessions[i] = e.NewSession()
+		call, err := parallelCall(sessions[i], fn, cfg, parseInput)
+		if err != nil {
+			return 0, err
+		}
+		calls[i] = call
+	}
+	// Warm-up: one call on session 0 populates the shared plan cache.
+	if err := calls[0](); err != nil {
+		return 0, err
+	}
+
+	// Distribute the fixed total across sessions.
+	per := make([]int, n)
+	for i := 0; i < cfg.Calls; i++ {
+		per[i%n]++
+	}
+
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < per[i]; k++ {
+				if err := calls[i](); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return wall, nil
+}
+
+// FormatParallel renders the scaling sweep, flagging the hardware's
+// parallelism so single-core results read correctly.
+func FormatParallel(rows []ParallelRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Concurrent sessions: aggregate throughput on one shared engine (GOMAXPROCS=%d).\n", runtime.GOMAXPROCS(0))
+	sb.WriteString("Fixed total calls per measurement, divided among N sessions.\n\n")
+	fmt.Fprintf(&sb, "%-10s %-12s %9s %8s %10s %12s %9s\n",
+		"workload", "mode", "sessions", "calls", "wall[ms]", "calls/sec", "speedup")
+	sb.WriteString(strings.Repeat("-", 76) + "\n")
+	last := ""
+	for _, r := range rows {
+		key := r.Workload + "/" + r.Mode
+		if last != "" && key != last {
+			sb.WriteString("\n")
+		}
+		last = key
+		fmt.Fprintf(&sb, "%-10s %-12s %9d %8d %10.1f %12.1f %8.2fx\n",
+			r.Workload, r.Mode, r.Workers, r.Calls, r.WallMs, r.CallsPerSec, r.Speedup)
+	}
+	return sb.String()
+}

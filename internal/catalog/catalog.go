@@ -78,8 +78,10 @@ type Function struct {
 	SQLBody *sqlast.Query   // FuncSQL and FuncCompiled: body query; params are $1..$n
 }
 
-// Catalog is the schema registry. It is not safe for concurrent mutation;
-// the engine serializes access.
+// Catalog is the schema registry. Mutation is not internally synchronized:
+// the engine's DDL/DML lock gives writers exclusive access, while any
+// number of sessions read (Table/Function lookups, planning) under the
+// lock's read side.
 type Catalog struct {
 	tables map[string]*Table
 	funcs  map[string]*Function

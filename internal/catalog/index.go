@@ -11,12 +11,14 @@ import (
 
 // Index is a hash index over one column, rebuilt lazily when the heap's
 // generation moves (adequate for workload-scale tables; a production system
-// would maintain it incrementally).
+// would maintain it incrementally). Probes from concurrent sessions share
+// the read lock; the lazy rebuild after a heap mutation takes the write
+// lock with a double-check, so only one prober rebuilds.
 type Index struct {
 	Col     int
 	gen     int64
 	buckets map[uint64][]int // value hash → row positions
-	mu      sync.Mutex
+	mu      sync.RWMutex
 }
 
 // ensureIndexes is the per-table registry of *declared* indexes: the
@@ -67,17 +69,27 @@ func (idx *Index) Probe(t *Table, key sqltypes.Value) ([]int, []storage.Tuple, e
 	if err != nil {
 		return nil, nil, err
 	}
-	idx.mu.Lock()
-	if idx.gen != t.Heap.Gen() {
-		idx.buckets = make(map[uint64][]int, len(rows))
-		for i, r := range rows {
-			h := sqltypes.Hash(r[idx.Col])
-			idx.buckets[h] = append(idx.buckets[h], i)
-		}
-		idx.gen = t.Heap.Gen()
+	gen := t.Heap.Gen()
+	idx.mu.RLock()
+	fresh := idx.gen == gen
+	var candidates []int
+	if fresh {
+		candidates = idx.buckets[sqltypes.Hash(key)]
 	}
-	candidates := idx.buckets[sqltypes.Hash(key)]
-	idx.mu.Unlock()
+	idx.mu.RUnlock()
+	if !fresh {
+		idx.mu.Lock()
+		if idx.gen != gen { // double-check: lost the rebuild race?
+			idx.buckets = make(map[uint64][]int, len(rows))
+			for i, r := range rows {
+				h := sqltypes.Hash(r[idx.Col])
+				idx.buckets[h] = append(idx.buckets[h], i)
+			}
+			idx.gen = gen
+		}
+		candidates = idx.buckets[sqltypes.Hash(key)]
+		idx.mu.Unlock()
+	}
 
 	var hits []int
 	for _, i := range candidates {

@@ -11,8 +11,9 @@ import (
 	"plsqlaway/internal/sqltypes"
 )
 
-// callFunction is the executor's function-call hook. Its three arms are the
-// paper's three evaluation regimes:
+// callFunction is the executor's function-call hook. It runs inside a
+// query, so the session already holds the shared core's read lock. Its
+// three arms are the paper's three evaluation regimes:
 //
 //   - PL/pgSQL: a Q→f context switch into the statement-by-statement
 //     interpreter, whose embedded queries then pay f→Qi switches;
@@ -22,12 +23,12 @@ import (
 //     pure-SQL WITH RECURSIVE form the compiler emitted — the interpreter
 //     is gone. (Inlining via sqlgen.InlineCall removes even the per-call
 //     instantiation.)
-func (e *Engine) callFunction(f *catalog.Function, args []sqltypes.Value) (sqltypes.Value, error) {
-	if e.callDepth >= e.maxCallDepth {
-		return sqltypes.Null, fmt.Errorf("engine: call stack depth limit (%d) exceeded in %s — recursive UDFs hit stack limits, as the paper warns; use the WITH RECURSIVE form", e.maxCallDepth, f.Name)
+func (s *Session) callFunction(f *catalog.Function, args []sqltypes.Value) (sqltypes.Value, error) {
+	if s.callDepth >= s.sh.maxCallDepth {
+		return sqltypes.Null, fmt.Errorf("engine: call stack depth limit (%d) exceeded in %s — recursive UDFs hit stack limits, as the paper warns; use the WITH RECURSIVE form", s.sh.maxCallDepth, f.Name)
 	}
-	e.callDepth++
-	defer func() { e.callDepth-- }()
+	s.callDepth++
+	defer func() { s.callDepth-- }()
 
 	// Cast arguments to declared parameter types.
 	cast := make([]sqltypes.Value, len(args))
@@ -41,20 +42,20 @@ func (e *Engine) callFunction(f *catalog.Function, args []sqltypes.Value) (sqlty
 
 	switch f.Kind {
 	case catalog.FuncPLpgSQL:
-		e.counters.CtxSwitchQF++
-		return e.interp.Call(f.PL, cast)
+		s.counters.CtxSwitchQF++
+		return s.interp.Call(f.PL, cast)
 
 	case catalog.FuncSQL, catalog.FuncCompiled:
-		return e.callSQLBody(f, cast)
+		return s.callSQLBody(f, cast)
 
 	default:
 		return sqltypes.Null, fmt.Errorf("engine: function %s has unknown kind", f.Name)
 	}
 }
 
-// callSQLBody evaluates a SQL-bodied function: plan cached per function,
-// instantiated per call.
-func (e *Engine) callSQLBody(f *catalog.Function, args []sqltypes.Value) (sqltypes.Value, error) {
+// callSQLBody evaluates a SQL-bodied function: plan cached per function
+// (shared across sessions), instantiated per call.
+func (s *Session) callSQLBody(f *catalog.Function, args []sqltypes.Value) (sqltypes.Value, error) {
 	hook := func(name string) (int, bool) {
 		for i, p := range f.Params {
 			if p.Name == name {
@@ -65,33 +66,33 @@ func (e *Engine) callSQLBody(f *catalog.Function, args []sqltypes.Value) (sqltyp
 	}
 	tPlan := time.Now()
 	key := "sqlfn:" + f.Name
-	p, err := e.cache.GetByText(key, f.SQLBody, plan.Options{Hook: hook, DisableLateral: e.prof.DisableLateral})
-	e.counters.PlanNS += time.Since(tPlan).Nanoseconds()
+	p, err := s.sh.cache.GetByText(key, f.SQLBody, plan.Options{Hook: hook, DisableLateral: s.sh.prof.DisableLateral})
+	s.counters.PlanNS += time.Since(tPlan).Nanoseconds()
 	if err != nil {
 		return sqltypes.Null, err
 	}
 
 	tStart := time.Now()
-	ctx := e.newCtx()
+	ctx := s.newCtx()
 	ctx.Params = args
 	ex, err := exec.Instantiate(p, ctx)
-	if e.prof.StartPenalty > 0 {
-		profile.Spin(e.prof.StartPenalty * p.NodeCount)
+	if s.sh.prof.StartPenalty > 0 {
+		profile.Spin(s.sh.prof.StartPenalty * p.NodeCount)
 	}
-	e.counters.ExecStartNS += time.Since(tStart).Nanoseconds()
-	e.counters.ExecutorStarts++
+	s.counters.ExecStartNS += time.Since(tStart).Nanoseconds()
+	s.counters.ExecutorStarts++
 	if err != nil {
 		return sqltypes.Null, err
 	}
 
 	tRun := time.Now()
 	rows, runErr := ex.Run()
-	e.counters.ExecRunNS += time.Since(tRun).Nanoseconds()
-	e.counters.QueriesRun++
+	s.counters.ExecRunNS += time.Since(tRun).Nanoseconds()
+	s.counters.QueriesRun++
 
 	tEnd := time.Now()
 	ex.Shutdown()
-	e.counters.ExecEndNS += time.Since(tEnd).Nanoseconds()
+	s.counters.ExecEndNS += time.Since(tEnd).Nanoseconds()
 
 	if runErr != nil {
 		return sqltypes.Null, runErr

@@ -1,120 +1,208 @@
-// Package engine is the database façade: one Engine is one single-session
-// DBMS instance with a catalog, heap storage, a plan cache, a PL/pgSQL
-// interpreter, and profile-dependent behaviour (PostgreSQL, Oracle, SQLite).
-// It is the substrate the paper's compiler targets and the harness the
-// experiments measure.
+// Package engine is the database façade: one Engine is one DBMS instance
+// with a catalog, heap storage, a plan cache, a PL/pgSQL interpreter, and
+// profile-dependent behaviour (PostgreSQL, Oracle, SQLite). It is the
+// substrate the paper's compiler targets and the harness the experiments
+// measure.
+//
+// Concurrency model. The engine splits into a shared core and per-session
+// execution state, like a multi-threaded SQL server where planning
+// artifacts are shared and execution is per-request:
+//
+//   - the shared core (catalog, heap storage, plan cache, profile) is owned
+//     by all sessions jointly and guarded by a readers-writer lock: DQL
+//     takes snapshot reads, DDL/DML take exclusive ownership;
+//   - a Session carries everything one caller scribbles on during
+//     execution — random source, phase counters, interpreter state,
+//     UDF call depth, prepared statements — and must be used from one
+//     goroutine at a time.
+//
+// Engine.NewSession hands out sessions; the Engine's own query methods
+// remain as a compatibility facade that serializes callers onto a default
+// session, so existing single-session code keeps its old contract.
 package engine
 
 import (
 	"fmt"
 	"strings"
 	"sync"
-	"time"
 
 	"plsqlaway/internal/catalog"
-	"plsqlaway/internal/exec"
 	"plsqlaway/internal/plan"
 	"plsqlaway/internal/plast"
 	"plsqlaway/internal/plinterp"
-	"plsqlaway/internal/plparser"
 	"plsqlaway/internal/profile"
 	"plsqlaway/internal/sqlast"
-	"plsqlaway/internal/sqlparser"
 	"plsqlaway/internal/sqltypes"
 	"plsqlaway/internal/storage"
 )
 
-// Engine is one database instance. Safe for use from one goroutine at a
-// time (a mutex serializes concurrent callers).
-type Engine struct {
-	mu sync.Mutex
+// shared is the session-independent core of one engine instance. Its mu
+// realizes the locking discipline: queries (including UDF calls they make)
+// hold the read side for their whole execution, DDL and DML hold the write
+// side, so readers always see a consistent catalog + heap snapshot.
+type shared struct {
+	mu sync.RWMutex
 
 	cat          *catalog.Catalog
 	storageStats *storage.Stats
 	cache        *plan.Cache
-	counters     *profile.Counters
-	rng          *exec.Rand
-	interp       *plinterp.Interpreter
 	prof         profile.Profile
 	workMem      int
 	maxRecursion int
-
-	// callDepth guards runaway UDF recursion across nested callFunction
-	// invocations (PostgreSQL's max_stack_depth, in spirit).
-	callDepth    int
 	maxCallDepth int
+	seed         uint64
+}
+
+// Engine is one database instance. Its query/DDL methods are safe for
+// concurrent use: a mutex serializes them onto a built-in default session.
+// For actual parallelism, give each goroutine its own Session via
+// NewSession — sessions share the catalog, storage, and plan cache but
+// execute independently.
+type Engine struct {
+	sh *shared
+
+	// mu serializes the compatibility facade onto def.
+	mu  sync.Mutex
+	def *Session
+}
+
+// config collects option values before the engine core is built.
+type config struct {
+	prof         profile.Profile
+	workMem      int
+	maxRecursion int
+	maxCallDepth int
+	seed         uint64
 }
 
 // Option configures a new Engine.
-type Option func(*Engine)
+type Option func(*config)
 
 // WithProfile selects an engine profile (default PostgreSQL).
-func WithProfile(p profile.Profile) Option { return func(e *Engine) { e.prof = p } }
+func WithProfile(p profile.Profile) Option { return func(c *config) { c.prof = p } }
 
 // WithWorkMem bounds per-tuplestore memory before spilling.
-func WithWorkMem(bytes int) Option { return func(e *Engine) { e.workMem = bytes } }
+func WithWorkMem(bytes int) Option { return func(c *config) { c.workMem = bytes } }
 
-// WithSeed seeds the deterministic random() source.
-func WithSeed(seed uint64) Option { return func(e *Engine) { e.rng = exec.NewRand(seed) } }
+// WithSeed seeds the deterministic random() source. Every session starts
+// from this seed; Seed/Session.Seed reseed an individual stream.
+func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
 
 // WithMaxRecursion caps WITH RECURSIVE iterations (a safety net against
 // runaway recursion; the default admits the paper's largest workloads).
-func WithMaxRecursion(n int) Option { return func(e *Engine) { e.maxRecursion = n } }
+func WithMaxRecursion(n int) Option { return func(c *config) { c.maxRecursion = n } }
 
 // New creates an engine.
 func New(opts ...Option) *Engine {
-	e := &Engine{
-		storageStats: &storage.Stats{},
-		counters:     &profile.Counters{},
-		rng:          exec.NewRand(42),
+	cfg := config{
 		prof:         profile.PostgreSQL,
 		workMem:      storage.DefaultWorkMem,
 		maxRecursion: 20_000_000,
 		maxCallDepth: 256,
+		seed:         42,
 	}
-	e.cat = catalog.New(e.storageStats)
-	e.cache = plan.NewCache(e.cat)
-	e.interp = plinterp.New(e.cat, e.cache, e.counters, e.newCtx)
 	for _, o := range opts {
-		o(e)
+		o(&cfg)
 	}
-	e.interp.Profile = e.prof
+	sh := &shared{
+		storageStats: &storage.Stats{},
+		prof:         cfg.prof,
+		workMem:      cfg.workMem,
+		maxRecursion: cfg.maxRecursion,
+		maxCallDepth: cfg.maxCallDepth,
+		seed:         cfg.seed,
+	}
+	sh.cat = catalog.New(sh.storageStats)
+	sh.cache = plan.NewCache(sh.cat)
+	e := &Engine{sh: sh}
+	e.def = e.NewSession()
 	return e
 }
 
-// newCtx wires a fresh execution context to the engine's shared state.
-func (e *Engine) newCtx() *exec.Ctx {
-	ctx := exec.NewCtx()
-	ctx.Rand = e.rng
-	ctx.StorageStats = e.storageStats
-	ctx.WorkMem = e.workMem
-	ctx.MaxRecursion = e.maxRecursion
-	ctx.CallFn = e.callFunction
-	return ctx
+// NewSession creates an independent session sharing this engine's catalog,
+// storage, and plan cache. Sessions are cheap; create one per goroutine.
+// A single session must not be used concurrently.
+func (e *Engine) NewSession() *Session {
+	return newSession(e.sh)
 }
 
-// Counters exposes the profile counters (Table 1 buckets).
-func (e *Engine) Counters() *profile.Counters { return e.counters }
+// Counters exposes the default session's profile counters (Table 1
+// buckets). Counters are per-session: a session created with NewSession
+// reports its own via Session.Counters.
+func (e *Engine) Counters() *profile.Counters { return e.def.Counters() }
 
-// StorageStats exposes storage counters (Table 2 page writes).
-func (e *Engine) StorageStats() *storage.Stats { return e.storageStats }
+// StorageStats exposes storage counters (Table 2 page writes), shared by
+// all sessions.
+func (e *Engine) StorageStats() *storage.Stats { return e.sh.storageStats }
 
-// Catalog exposes the schema registry.
-func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+// Catalog exposes the schema registry shared by all sessions.
+func (e *Engine) Catalog() *catalog.Catalog { return e.sh.cat }
 
-// PlanCache exposes the plan cache (ablation A4 toggles it).
-func (e *Engine) PlanCache() *plan.Cache { return e.cache }
+// PlanCache exposes the shared plan cache (ablation A4 toggles it).
+func (e *Engine) PlanCache() *plan.Cache { return e.sh.cache }
 
-// Interp exposes the PL/pgSQL interpreter (ablation A3 toggles its fast
-// path).
-func (e *Engine) Interp() *plinterp.Interpreter { return e.interp }
+// Interp exposes the default session's PL/pgSQL interpreter (ablation A3
+// toggles its fast path).
+func (e *Engine) Interp() *plinterp.Interpreter { return e.def.Interp() }
 
 // Profile reports the active engine profile.
-func (e *Engine) Profile() profile.Profile { return e.prof }
+func (e *Engine) Profile() profile.Profile { return e.sh.prof }
 
-// Seed reseeds random(); interpreted and compiled runs of the same seed see
-// the same stream.
-func (e *Engine) Seed(seed uint64) { e.rng.Seed(seed) }
+// Seed reseeds the default session's random(); interpreted and compiled
+// runs of the same seed see the same stream.
+func (e *Engine) Seed(seed uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.def.Seed(seed)
+}
+
+// Exec runs a semicolon-separated SQL script (DDL, DML, and queries whose
+// results are discarded) on the default session.
+func (e *Engine) Exec(sql string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.def.Exec(sql)
+}
+
+// Query runs a single SQL query on the default session.
+func (e *Engine) Query(sql string, params ...sqltypes.Value) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.def.Query(sql, params...)
+}
+
+// QueryValue runs a query expected to return one row with one column.
+func (e *Engine) QueryValue(sql string, params ...sqltypes.Value) (sqltypes.Value, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.def.QueryValue(sql, params...)
+}
+
+// QueryPlanned executes an already-parsed query (used by the compiler
+// pipeline and benchmarks to skip re-parsing).
+func (e *Engine) QueryPlanned(q *sqlast.Query, params ...sqltypes.Value) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.def.QueryPlanned(q, params...)
+}
+
+// QueryFresh plans and executes q bypassing the plan cache — the benchmark
+// harness uses it so every measurement includes the one-time cost to
+// optimize the (possibly large, inlined) query, as the paper's Figure 11
+// measurements do.
+func (e *Engine) QueryFresh(q *sqlast.Query, params ...sqltypes.Value) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.def.QueryFresh(q, params...)
+}
+
+// InstallCompiled registers a compiled function: calls evaluate the given
+// pure-SQL body (parameters $1..$n) with no interpreter involvement.
+func (e *Engine) InstallCompiled(name string, params []plast.Param, ret sqltypes.Type, body *sqlast.Query) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.def.InstallCompiled(name, params, ret, body)
+}
 
 // Result is a query result with column names.
 type Result struct {
@@ -165,420 +253,4 @@ func (r *Result) Format() string {
 	}
 	fmt.Fprintf(&sb, "(%d rows)\n", len(r.Rows))
 	return sb.String()
-}
-
-// Exec runs a semicolon-separated SQL script (DDL, DML, and queries whose
-// results are discarded).
-func (e *Engine) Exec(sql string) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	stmts, err := sqlparser.ParseScript(sql)
-	if err != nil {
-		return err
-	}
-	for _, s := range stmts {
-		if _, err := e.execStmt(s, nil); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// Query runs a single SQL query and returns its rows.
-func (e *Engine) Query(sql string, params ...sqltypes.Value) (*Result, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	stmt, err := sqlparser.ParseStatement(sql)
-	if err != nil {
-		return nil, err
-	}
-	return e.execStmt(stmt, params)
-}
-
-// QueryValue runs a query expected to return one row with one column.
-func (e *Engine) QueryValue(sql string, params ...sqltypes.Value) (sqltypes.Value, error) {
-	res, err := e.Query(sql, params...)
-	if err != nil {
-		return sqltypes.Null, err
-	}
-	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
-		return sqltypes.Null, fmt.Errorf("engine: expected a single value, got %d rows × %d cols", len(res.Rows), len(res.Cols))
-	}
-	return res.Rows[0][0], nil
-}
-
-// QueryPlanned executes an already-parsed query (used by the compiler
-// pipeline and benchmarks to skip re-parsing).
-func (e *Engine) QueryPlanned(q *sqlast.Query, params ...sqltypes.Value) (*Result, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.runQuery(q, params)
-}
-
-// QueryFresh plans and executes q bypassing the plan cache — the benchmark
-// harness uses it so every measurement includes the one-time cost to
-// optimize the (possibly large, inlined) query, as the paper's Figure 11
-// measurements do.
-func (e *Engine) QueryFresh(q *sqlast.Query, params ...sqltypes.Value) (*Result, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-
-	tPlan := time.Now()
-	p, err := plan.Build(e.cat, q, plan.Options{DisableLateral: e.prof.DisableLateral})
-	e.counters.PlanNS += time.Since(tPlan).Nanoseconds()
-	if err != nil {
-		return nil, err
-	}
-
-	tStart := time.Now()
-	ctx := e.newCtx()
-	ctx.Params = params
-	ex, err := exec.Instantiate(p, ctx)
-	if e.prof.StartPenalty > 0 {
-		profile.Spin(e.prof.StartPenalty * p.NodeCount)
-	}
-	e.counters.ExecStartNS += time.Since(tStart).Nanoseconds()
-	e.counters.ExecutorStarts++
-	if err != nil {
-		return nil, err
-	}
-	tRun := time.Now()
-	rows, runErr := ex.Run()
-	e.counters.ExecRunNS += time.Since(tRun).Nanoseconds()
-	e.counters.QueriesRun++
-	tEnd := time.Now()
-	ex.Shutdown()
-	e.counters.ExecEndNS += time.Since(tEnd).Nanoseconds()
-	if runErr != nil {
-		return nil, runErr
-	}
-	return &Result{Cols: p.Cols, Rows: rows}, nil
-}
-
-func (e *Engine) execStmt(s sqlast.Statement, params []sqltypes.Value) (*Result, error) {
-	switch s := s.(type) {
-	case *sqlast.SelectStatement:
-		return e.runQuery(s.Query, params)
-	case *sqlast.CreateTable:
-		return nil, e.createTable(s)
-	case *sqlast.CreateIndex:
-		return nil, e.cat.DeclareIndex(s.Table, s.Column)
-	case *sqlast.DropTable:
-		return nil, e.cat.DropTable(s.Name, s.IfExists)
-	case *sqlast.CreateFunction:
-		return nil, e.createFunction(s)
-	case *sqlast.DropFunction:
-		return nil, e.cat.DropFunction(s.Name, s.IfExists)
-	case *sqlast.Insert:
-		return nil, e.insert(s, params)
-	case *sqlast.Update:
-		return nil, e.update(s, params)
-	case *sqlast.Delete:
-		return nil, e.delete(s, params)
-	default:
-		return nil, fmt.Errorf("engine: unsupported statement %T", s)
-	}
-}
-
-// runQuery plans (via the cache), instantiates, and runs a query, charging
-// the usual phase buckets.
-func (e *Engine) runQuery(q *sqlast.Query, params []sqltypes.Value) (*Result, error) {
-	tPlan := time.Now()
-	p, err := e.cache.Get(q, plan.Options{DisableLateral: e.prof.DisableLateral})
-	e.counters.PlanNS += time.Since(tPlan).Nanoseconds()
-	if err != nil {
-		return nil, err
-	}
-	if p.NumParams > len(params) {
-		return nil, fmt.Errorf("engine: query needs %d parameters, got %d", p.NumParams, len(params))
-	}
-
-	tStart := time.Now()
-	ctx := e.newCtx()
-	ctx.Params = params
-	ex, err := exec.Instantiate(p, ctx)
-	if e.prof.StartPenalty > 0 {
-		profile.Spin(e.prof.StartPenalty * p.NodeCount)
-	}
-	e.counters.ExecStartNS += time.Since(tStart).Nanoseconds()
-	e.counters.ExecutorStarts++
-	if err != nil {
-		return nil, err
-	}
-
-	tRun := time.Now()
-	rows, runErr := ex.Run()
-	e.counters.ExecRunNS += time.Since(tRun).Nanoseconds()
-	e.counters.QueriesRun++
-
-	tEnd := time.Now()
-	ex.Shutdown()
-	e.counters.ExecEndNS += time.Since(tEnd).Nanoseconds()
-
-	if runErr != nil {
-		return nil, runErr
-	}
-	return &Result{Cols: p.Cols, Rows: rows}, nil
-}
-
-func (e *Engine) createTable(s *sqlast.CreateTable) error {
-	cols := make([]catalog.Column, len(s.Cols))
-	for i, c := range s.Cols {
-		t, err := sqltypes.ParseType(c.TypeName)
-		if err != nil {
-			return fmt.Errorf("engine: column %s: %w", c.Name, err)
-		}
-		cols[i] = catalog.Column{Name: c.Name, Type: t}
-	}
-	_, err := e.cat.CreateTable(s.Name, cols, s.IfNotExists)
-	return err
-}
-
-func (e *Engine) createFunction(s *sqlast.CreateFunction) error {
-	switch strings.ToLower(s.Language) {
-	case "plpgsql":
-		if !e.prof.AllowPLpgSQL {
-			return fmt.Errorf("engine: %s has no PL/SQL support — compile the function away instead (paper §3)", e.prof.Name)
-		}
-		f, err := plparser.ParseFunction(s)
-		if err != nil {
-			return err
-		}
-		return e.cat.CreateFunction(&catalog.Function{
-			Name:       s.Name,
-			Params:     f.Params,
-			ReturnType: f.ReturnType,
-			Kind:       catalog.FuncPLpgSQL,
-			PL:         f,
-		}, s.OrReplace)
-	case "sql":
-		q, err := sqlparser.ParseQuery(strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(s.Body), ";")))
-		if err != nil {
-			return fmt.Errorf("engine: SQL function %s body: %w", s.Name, err)
-		}
-		params := make([]plast.Param, len(s.Params))
-		for i, p := range s.Params {
-			t, err := sqltypes.ParseType(p.TypeName)
-			if err != nil {
-				return fmt.Errorf("engine: parameter %s: %w", p.Name, err)
-			}
-			params[i] = plast.Param{Name: strings.ToLower(p.Name), Type: t}
-		}
-		rt, err := sqltypes.ParseType(s.ReturnType)
-		if err != nil {
-			return err
-		}
-		return e.cat.CreateFunction(&catalog.Function{
-			Name:       s.Name,
-			Params:     params,
-			ReturnType: rt,
-			Kind:       catalog.FuncSQL,
-			SQLBody:    q,
-		}, s.OrReplace)
-	default:
-		return fmt.Errorf("engine: unsupported language %q", s.Language)
-	}
-}
-
-// InstallCompiled registers a compiled function: calls evaluate the given
-// pure-SQL body (parameters $1..$n) with no interpreter involvement.
-func (e *Engine) InstallCompiled(name string, params []plast.Param, ret sqltypes.Type, body *sqlast.Query) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.cat.CreateFunction(&catalog.Function{
-		Name:       name,
-		Params:     params,
-		ReturnType: ret,
-		Kind:       catalog.FuncCompiled,
-		SQLBody:    body,
-	}, true)
-}
-
-func (e *Engine) insert(s *sqlast.Insert, params []sqltypes.Value) error {
-	tbl, ok := e.cat.Table(s.Table)
-	if !ok {
-		return fmt.Errorf("engine: relation %q does not exist", s.Table)
-	}
-	res, err := e.runQuery(s.Query, params)
-	if err != nil {
-		return err
-	}
-	colIdx := make([]int, 0, len(tbl.Cols))
-	if len(s.Cols) == 0 {
-		for i := range tbl.Cols {
-			colIdx = append(colIdx, i)
-		}
-	} else {
-		for _, c := range s.Cols {
-			i := tbl.ColIndex(c)
-			if i < 0 {
-				return fmt.Errorf("engine: column %q of relation %q does not exist", c, s.Table)
-			}
-			colIdx = append(colIdx, i)
-		}
-	}
-	for _, row := range res.Rows {
-		if len(row) != len(colIdx) {
-			return fmt.Errorf("engine: INSERT has %d expressions but %d target columns", len(row), len(colIdx))
-		}
-		out := make(storage.Tuple, len(tbl.Cols))
-		for i := range out {
-			out[i] = sqltypes.Null
-		}
-		for i, v := range row {
-			cast, err := sqltypes.Cast(v, tbl.Cols[colIdx[i]].Type)
-			if err != nil {
-				return fmt.Errorf("engine: column %s: %w", tbl.Cols[colIdx[i]].Name, err)
-			}
-			out[colIdx[i]] = cast
-		}
-		tbl.Heap.Insert(out)
-	}
-	e.cat.Version++ // table contents changed; cached scans re-read heap anyway
-	return nil
-}
-
-func (e *Engine) update(s *sqlast.Update, params []sqltypes.Value) error {
-	tbl, ok := e.cat.Table(s.Table)
-	if !ok {
-		return fmt.Errorf("engine: relation %q does not exist", s.Table)
-	}
-	alias := s.Alias
-	if alias == "" {
-		alias = s.Table
-	}
-	pred, setters, err := e.compileRowClauses(tbl, alias, s.Where, s.Sets)
-	if err != nil {
-		return err
-	}
-	rows, err := tbl.Heap.Rows()
-	if err != nil {
-		return err
-	}
-	ctx := e.newCtx()
-	ctx.Params = params
-	newRows := make([]storage.Tuple, 0, len(rows))
-	for _, row := range rows {
-		match := true
-		if pred != nil {
-			v, err := pred.Eval(ctx, row)
-			if err != nil {
-				return err
-			}
-			match = v.IsTrue()
-		}
-		if !match {
-			newRows = append(newRows, row)
-			continue
-		}
-		out := append(storage.Tuple(nil), row...)
-		for _, set := range setters {
-			v, err := set.expr.Eval(ctx, row)
-			if err != nil {
-				return err
-			}
-			cast, err := sqltypes.Cast(v, tbl.Cols[set.col].Type)
-			if err != nil {
-				return err
-			}
-			out[set.col] = cast
-		}
-		newRows = append(newRows, out)
-	}
-	tbl.Heap.Replace(newRows)
-	e.cat.Version++
-	return nil
-}
-
-func (e *Engine) delete(s *sqlast.Delete, params []sqltypes.Value) error {
-	tbl, ok := e.cat.Table(s.Table)
-	if !ok {
-		return fmt.Errorf("engine: relation %q does not exist", s.Table)
-	}
-	alias := s.Alias
-	if alias == "" {
-		alias = s.Table
-	}
-	pred, _, err := e.compileRowClauses(tbl, alias, s.Where, nil)
-	if err != nil {
-		return err
-	}
-	rows, err := tbl.Heap.Rows()
-	if err != nil {
-		return err
-	}
-	ctx := e.newCtx()
-	ctx.Params = params
-	kept := make([]storage.Tuple, 0, len(rows))
-	for _, row := range rows {
-		match := true
-		if pred != nil {
-			v, err := pred.Eval(ctx, row)
-			if err != nil {
-				return err
-			}
-			match = v.IsTrue()
-		}
-		if !match {
-			kept = append(kept, row)
-		}
-	}
-	tbl.Heap.Replace(kept)
-	e.cat.Version++
-	return nil
-}
-
-type setter struct {
-	col  int
-	expr *exec.ExprState
-}
-
-// compileRowClauses binds a WHERE predicate and SET expressions against the
-// table's row (UPDATE/DELETE run outside the planner: a direct row loop).
-func (e *Engine) compileRowClauses(tbl *catalog.Table, alias string, where sqlast.Expr, sets []sqlast.SetClause) (*exec.ExprState, []setter, error) {
-	sel := &sqlast.Select{From: []sqlast.FromItem{&sqlast.TableRef{Name: tbl.Name, Alias: alias}}}
-	items := []sqlast.Expr{}
-	if where != nil {
-		items = append(items, where)
-	}
-	for _, sc := range sets {
-		items = append(items, sc.Expr)
-	}
-	for _, it := range items {
-		sel.Items = append(sel.Items, sqlast.SelectItem{Expr: it})
-	}
-	if len(sel.Items) == 0 {
-		return nil, nil, nil
-	}
-	p, err := plan.Build(e.cat, sqlast.WrapQuery(sel), plan.Options{DisableLateral: e.prof.DisableLateral})
-	if err != nil {
-		return nil, nil, err
-	}
-	proj, ok := p.Root.(*plan.Project)
-	if !ok {
-		return nil, nil, fmt.Errorf("engine: unexpected UPDATE plan shape %T", p.Root)
-	}
-	var pred *exec.ExprState
-	idx := 0
-	if where != nil {
-		pred, err = exec.InstantiateExpr(proj.Exprs[idx])
-		if err != nil {
-			return nil, nil, err
-		}
-		idx++
-	}
-	var setters []setter
-	for _, sc := range sets {
-		ci := tbl.ColIndex(sc.Col)
-		if ci < 0 {
-			return nil, nil, fmt.Errorf("engine: column %q of relation %q does not exist", sc.Col, tbl.Name)
-		}
-		es, err := exec.InstantiateExpr(proj.Exprs[idx])
-		if err != nil {
-			return nil, nil, err
-		}
-		setters = append(setters, setter{col: ci, expr: es})
-		idx++
-	}
-	return pred, setters, nil
 }

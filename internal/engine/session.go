@@ -1,0 +1,563 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"plsqlaway/internal/catalog"
+	"plsqlaway/internal/exec"
+	"plsqlaway/internal/plan"
+	"plsqlaway/internal/plast"
+	"plsqlaway/internal/plinterp"
+	"plsqlaway/internal/plparser"
+	"plsqlaway/internal/profile"
+	"plsqlaway/internal/sqlast"
+	"plsqlaway/internal/sqlparser"
+	"plsqlaway/internal/sqltypes"
+	"plsqlaway/internal/storage"
+)
+
+// Session is one caller's execution context on a shared engine core. Many
+// sessions run concurrently against the same catalog, storage, and plan
+// cache; each session owns its deterministic random stream, its phase
+// counters, its PL/pgSQL interpreter state, and its prepared statements.
+// A Session must be used from one goroutine at a time.
+type Session struct {
+	sh *shared
+
+	rng      *exec.Rand
+	counters *profile.Counters
+	interp   *plinterp.Interpreter
+
+	// callDepth guards runaway UDF recursion across nested callFunction
+	// invocations (PostgreSQL's max_stack_depth, in spirit).
+	callDepth int
+}
+
+// newSession wires a session to the shared core.
+func newSession(sh *shared) *Session {
+	s := &Session{
+		sh:       sh,
+		rng:      exec.NewRand(sh.seed),
+		counters: &profile.Counters{},
+	}
+	s.interp = plinterp.New(sh.cat, sh.cache, s.counters, s.newCtx)
+	s.interp.Profile = sh.prof
+	return s
+}
+
+// newCtx wires a fresh execution context to this session and the shared
+// core.
+func (s *Session) newCtx() *exec.Ctx {
+	ctx := exec.NewCtx()
+	ctx.Rand = s.rng
+	ctx.StorageStats = s.sh.storageStats
+	ctx.WorkMem = s.sh.workMem
+	ctx.MaxRecursion = s.sh.maxRecursion
+	ctx.CallFn = s.callFunction
+	return ctx
+}
+
+// Counters exposes this session's profile counters (Table 1 buckets).
+func (s *Session) Counters() *profile.Counters { return s.counters }
+
+// Interp exposes this session's PL/pgSQL interpreter.
+func (s *Session) Interp() *plinterp.Interpreter { return s.interp }
+
+// Catalog exposes the shared schema registry.
+func (s *Session) Catalog() *catalog.Catalog { return s.sh.cat }
+
+// Profile reports the engine profile this session runs under.
+func (s *Session) Profile() profile.Profile { return s.sh.prof }
+
+// Seed reseeds this session's random(); interpreted and compiled runs of
+// the same seed see the same stream.
+func (s *Session) Seed(seed uint64) { s.rng.Seed(seed) }
+
+// isReadOnly classifies a statement for the shared lock: queries take the
+// read side, everything that mutates catalog or heaps takes the write side.
+func isReadOnly(stmt sqlast.Statement) bool {
+	_, ok := stmt.(*sqlast.SelectStatement)
+	return ok
+}
+
+// execStmtLocked runs one statement under the appropriate side of the
+// shared core's lock.
+func (s *Session) execStmtLocked(stmt sqlast.Statement, params []sqltypes.Value) (*Result, error) {
+	if isReadOnly(stmt) {
+		s.sh.mu.RLock()
+		defer s.sh.mu.RUnlock()
+	} else {
+		s.sh.mu.Lock()
+		defer s.sh.mu.Unlock()
+	}
+	return s.execStmt(stmt, params)
+}
+
+// Exec runs a semicolon-separated SQL script (DDL, DML, and queries whose
+// results are discarded). Each statement acquires the shared lock on its
+// own, so a long script does not starve concurrent readers.
+func (s *Session) Exec(sql string) error {
+	stmts, err := sqlparser.ParseScript(sql)
+	if err != nil {
+		return err
+	}
+	for _, st := range stmts {
+		if _, err := s.execStmtLocked(st, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query runs a single SQL query and returns its rows.
+func (s *Session) Query(sql string, params ...sqltypes.Value) (*Result, error) {
+	stmt, err := sqlparser.ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.execStmtLocked(stmt, params)
+}
+
+// QueryValue runs a query expected to return one row with one column.
+func (s *Session) QueryValue(sql string, params ...sqltypes.Value) (sqltypes.Value, error) {
+	res, err := s.Query(sql, params...)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	return singleValue(res)
+}
+
+func singleValue(res *Result) (sqltypes.Value, error) {
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+		return sqltypes.Null, fmt.Errorf("engine: expected a single value, got %d rows × %d cols", len(res.Rows), len(res.Cols))
+	}
+	return res.Rows[0][0], nil
+}
+
+// QueryPlanned executes an already-parsed query (used by the compiler
+// pipeline and benchmarks to skip re-parsing).
+func (s *Session) QueryPlanned(q *sqlast.Query, params ...sqltypes.Value) (*Result, error) {
+	s.sh.mu.RLock()
+	defer s.sh.mu.RUnlock()
+	return s.runQuery(q, params)
+}
+
+// QueryFresh plans and executes q bypassing the plan cache — the benchmark
+// harness uses it so every measurement includes the one-time cost to
+// optimize the (possibly large, inlined) query, as the paper's Figure 11
+// measurements do.
+func (s *Session) QueryFresh(q *sqlast.Query, params ...sqltypes.Value) (*Result, error) {
+	s.sh.mu.RLock()
+	defer s.sh.mu.RUnlock()
+
+	tPlan := time.Now()
+	p, err := plan.Build(s.sh.cat, q, plan.Options{DisableLateral: s.sh.prof.DisableLateral})
+	s.counters.PlanNS += time.Since(tPlan).Nanoseconds()
+	if err != nil {
+		return nil, err
+	}
+	return s.runPlanned(p, params)
+}
+
+// InstallCompiled registers a compiled function: calls evaluate the given
+// pure-SQL body (parameters $1..$n) with no interpreter involvement.
+func (s *Session) InstallCompiled(name string, params []plast.Param, ret sqltypes.Type, body *sqlast.Query) error {
+	s.sh.mu.Lock()
+	defer s.sh.mu.Unlock()
+	return s.sh.cat.CreateFunction(&catalog.Function{
+		Name:       name,
+		Params:     params,
+		ReturnType: ret,
+		Kind:       catalog.FuncCompiled,
+		SQLBody:    body,
+	}, true)
+}
+
+// Prepared is a statement parsed once and executable many times on its
+// session: every execution skips parsing. For SELECT statements the
+// canonical plan-cache key is also precomputed here, so repeated reads
+// skip the deparse-to-cache-key step too; other statements (DML/DDL) go
+// through the regular dispatch and replan via the shared cache, paying a
+// deparse of any inner query per execution.
+type Prepared struct {
+	s        *Session
+	stmt     sqlast.Statement
+	query    *sqlast.Query // non-nil for read-only statements
+	cacheKey string
+}
+
+// Prepare parses a single statement for repeated execution on this
+// session.
+func (s *Session) Prepare(sql string) (*Prepared, error) {
+	stmt, err := sqlparser.ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{s: s, stmt: stmt}
+	if sel, ok := stmt.(*sqlast.SelectStatement); ok {
+		p.query = sel.Query
+		p.cacheKey = sqlast.DeparseQuery(sel.Query)
+	}
+	return p, nil
+}
+
+// Query executes the prepared statement.
+func (p *Prepared) Query(params ...sqltypes.Value) (*Result, error) {
+	if p.query != nil {
+		p.s.sh.mu.RLock()
+		defer p.s.sh.mu.RUnlock()
+		return p.s.runQueryKeyed(p.cacheKey, p.query, params)
+	}
+	return p.s.execStmtLocked(p.stmt, params)
+}
+
+// QueryValue executes the prepared statement, expecting a single value.
+func (p *Prepared) QueryValue(params ...sqltypes.Value) (sqltypes.Value, error) {
+	res, err := p.Query(params...)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	return singleValue(res)
+}
+
+// Exec executes the prepared statement, discarding any rows.
+func (p *Prepared) Exec(params ...sqltypes.Value) error {
+	_, err := p.Query(params...)
+	return err
+}
+
+// execStmt dispatches one statement. The caller holds the shared lock on
+// the side isReadOnly prescribes.
+func (s *Session) execStmt(stmt sqlast.Statement, params []sqltypes.Value) (*Result, error) {
+	switch stmt := stmt.(type) {
+	case *sqlast.SelectStatement:
+		return s.runQuery(stmt.Query, params)
+	case *sqlast.CreateTable:
+		return nil, s.createTable(stmt)
+	case *sqlast.CreateIndex:
+		return nil, s.sh.cat.DeclareIndex(stmt.Table, stmt.Column)
+	case *sqlast.DropTable:
+		return nil, s.sh.cat.DropTable(stmt.Name, stmt.IfExists)
+	case *sqlast.CreateFunction:
+		return nil, s.createFunction(stmt)
+	case *sqlast.DropFunction:
+		return nil, s.sh.cat.DropFunction(stmt.Name, stmt.IfExists)
+	case *sqlast.Insert:
+		return nil, s.insert(stmt, params)
+	case *sqlast.Update:
+		return nil, s.update(stmt, params)
+	case *sqlast.Delete:
+		return nil, s.delete(stmt, params)
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+// runQuery plans (via the shared cache), instantiates, and runs a query,
+// charging the usual phase buckets.
+func (s *Session) runQuery(q *sqlast.Query, params []sqltypes.Value) (*Result, error) {
+	return s.runQueryKeyed("", q, params)
+}
+
+// runQueryKeyed is runQuery with an optional precomputed plan-cache key
+// (prepared statements avoid re-deparsing per execution).
+func (s *Session) runQueryKeyed(key string, q *sqlast.Query, params []sqltypes.Value) (*Result, error) {
+	tPlan := time.Now()
+	opts := plan.Options{DisableLateral: s.sh.prof.DisableLateral}
+	var p *plan.Plan
+	var err error
+	if key != "" {
+		p, err = s.sh.cache.GetByText(key, q, opts)
+	} else {
+		p, err = s.sh.cache.Get(q, opts)
+	}
+	s.counters.PlanNS += time.Since(tPlan).Nanoseconds()
+	if err != nil {
+		return nil, err
+	}
+	if p.NumParams > len(params) {
+		return nil, fmt.Errorf("engine: query needs %d parameters, got %d", p.NumParams, len(params))
+	}
+	return s.runPlanned(p, params)
+}
+
+// runPlanned instantiates and runs an already-built plan, charging the
+// ExecutorStart / Run / End buckets.
+func (s *Session) runPlanned(p *plan.Plan, params []sqltypes.Value) (*Result, error) {
+	tStart := time.Now()
+	ctx := s.newCtx()
+	ctx.Params = params
+	ex, err := exec.Instantiate(p, ctx)
+	if s.sh.prof.StartPenalty > 0 {
+		profile.Spin(s.sh.prof.StartPenalty * p.NodeCount)
+	}
+	s.counters.ExecStartNS += time.Since(tStart).Nanoseconds()
+	s.counters.ExecutorStarts++
+	if err != nil {
+		return nil, err
+	}
+
+	tRun := time.Now()
+	rows, runErr := ex.Run()
+	s.counters.ExecRunNS += time.Since(tRun).Nanoseconds()
+	s.counters.QueriesRun++
+
+	tEnd := time.Now()
+	ex.Shutdown()
+	s.counters.ExecEndNS += time.Since(tEnd).Nanoseconds()
+
+	if runErr != nil {
+		return nil, runErr
+	}
+	return &Result{Cols: p.Cols, Rows: rows}, nil
+}
+
+func (s *Session) createTable(stmt *sqlast.CreateTable) error {
+	cols := make([]catalog.Column, len(stmt.Cols))
+	for i, c := range stmt.Cols {
+		t, err := sqltypes.ParseType(c.TypeName)
+		if err != nil {
+			return fmt.Errorf("engine: column %s: %w", c.Name, err)
+		}
+		cols[i] = catalog.Column{Name: c.Name, Type: t}
+	}
+	_, err := s.sh.cat.CreateTable(stmt.Name, cols, stmt.IfNotExists)
+	return err
+}
+
+func (s *Session) createFunction(stmt *sqlast.CreateFunction) error {
+	switch strings.ToLower(stmt.Language) {
+	case "plpgsql":
+		if !s.sh.prof.AllowPLpgSQL {
+			return fmt.Errorf("engine: %s has no PL/SQL support — compile the function away instead (paper §3)", s.sh.prof.Name)
+		}
+		f, err := plparser.ParseFunction(stmt)
+		if err != nil {
+			return err
+		}
+		return s.sh.cat.CreateFunction(&catalog.Function{
+			Name:       stmt.Name,
+			Params:     f.Params,
+			ReturnType: f.ReturnType,
+			Kind:       catalog.FuncPLpgSQL,
+			PL:         f,
+		}, stmt.OrReplace)
+	case "sql":
+		q, err := sqlparser.ParseQuery(strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(stmt.Body), ";")))
+		if err != nil {
+			return fmt.Errorf("engine: SQL function %s body: %w", stmt.Name, err)
+		}
+		params := make([]plast.Param, len(stmt.Params))
+		for i, p := range stmt.Params {
+			t, err := sqltypes.ParseType(p.TypeName)
+			if err != nil {
+				return fmt.Errorf("engine: parameter %s: %w", p.Name, err)
+			}
+			params[i] = plast.Param{Name: strings.ToLower(p.Name), Type: t}
+		}
+		rt, err := sqltypes.ParseType(stmt.ReturnType)
+		if err != nil {
+			return err
+		}
+		return s.sh.cat.CreateFunction(&catalog.Function{
+			Name:       stmt.Name,
+			Params:     params,
+			ReturnType: rt,
+			Kind:       catalog.FuncSQL,
+			SQLBody:    q,
+		}, stmt.OrReplace)
+	default:
+		return fmt.Errorf("engine: unsupported language %q", stmt.Language)
+	}
+}
+
+func (s *Session) insert(stmt *sqlast.Insert, params []sqltypes.Value) error {
+	tbl, ok := s.sh.cat.Table(stmt.Table)
+	if !ok {
+		return fmt.Errorf("engine: relation %q does not exist", stmt.Table)
+	}
+	res, err := s.runQuery(stmt.Query, params)
+	if err != nil {
+		return err
+	}
+	colIdx := make([]int, 0, len(tbl.Cols))
+	if len(stmt.Cols) == 0 {
+		for i := range tbl.Cols {
+			colIdx = append(colIdx, i)
+		}
+	} else {
+		for _, c := range stmt.Cols {
+			i := tbl.ColIndex(c)
+			if i < 0 {
+				return fmt.Errorf("engine: column %q of relation %q does not exist", c, stmt.Table)
+			}
+			colIdx = append(colIdx, i)
+		}
+	}
+	for _, row := range res.Rows {
+		if len(row) != len(colIdx) {
+			return fmt.Errorf("engine: INSERT has %d expressions but %d target columns", len(row), len(colIdx))
+		}
+		out := make(storage.Tuple, len(tbl.Cols))
+		for i := range out {
+			out[i] = sqltypes.Null
+		}
+		for i, v := range row {
+			cast, err := sqltypes.Cast(v, tbl.Cols[colIdx[i]].Type)
+			if err != nil {
+				return fmt.Errorf("engine: column %s: %w", tbl.Cols[colIdx[i]].Name, err)
+			}
+			out[colIdx[i]] = cast
+		}
+		tbl.Heap.Insert(out)
+	}
+	s.sh.cat.Version++ // table contents changed; cached scans re-read heap anyway
+	return nil
+}
+
+func (s *Session) update(stmt *sqlast.Update, params []sqltypes.Value) error {
+	tbl, ok := s.sh.cat.Table(stmt.Table)
+	if !ok {
+		return fmt.Errorf("engine: relation %q does not exist", stmt.Table)
+	}
+	alias := stmt.Alias
+	if alias == "" {
+		alias = stmt.Table
+	}
+	pred, setters, err := s.compileRowClauses(tbl, alias, stmt.Where, stmt.Sets)
+	if err != nil {
+		return err
+	}
+	rows, err := tbl.Heap.Rows()
+	if err != nil {
+		return err
+	}
+	ctx := s.newCtx()
+	ctx.Params = params
+	newRows := make([]storage.Tuple, 0, len(rows))
+	for _, row := range rows {
+		match := true
+		if pred != nil {
+			v, err := pred.Eval(ctx, row)
+			if err != nil {
+				return err
+			}
+			match = v.IsTrue()
+		}
+		if !match {
+			newRows = append(newRows, row)
+			continue
+		}
+		out := append(storage.Tuple(nil), row...)
+		for _, set := range setters {
+			v, err := set.expr.Eval(ctx, row)
+			if err != nil {
+				return err
+			}
+			cast, err := sqltypes.Cast(v, tbl.Cols[set.col].Type)
+			if err != nil {
+				return err
+			}
+			out[set.col] = cast
+		}
+		newRows = append(newRows, out)
+	}
+	tbl.Heap.Replace(newRows)
+	s.sh.cat.Version++
+	return nil
+}
+
+func (s *Session) delete(stmt *sqlast.Delete, params []sqltypes.Value) error {
+	tbl, ok := s.sh.cat.Table(stmt.Table)
+	if !ok {
+		return fmt.Errorf("engine: relation %q does not exist", stmt.Table)
+	}
+	alias := stmt.Alias
+	if alias == "" {
+		alias = stmt.Table
+	}
+	pred, _, err := s.compileRowClauses(tbl, alias, stmt.Where, nil)
+	if err != nil {
+		return err
+	}
+	rows, err := tbl.Heap.Rows()
+	if err != nil {
+		return err
+	}
+	ctx := s.newCtx()
+	ctx.Params = params
+	kept := make([]storage.Tuple, 0, len(rows))
+	for _, row := range rows {
+		match := true
+		if pred != nil {
+			v, err := pred.Eval(ctx, row)
+			if err != nil {
+				return err
+			}
+			match = v.IsTrue()
+		}
+		if !match {
+			kept = append(kept, row)
+		}
+	}
+	tbl.Heap.Replace(kept)
+	s.sh.cat.Version++
+	return nil
+}
+
+type setter struct {
+	col  int
+	expr *exec.ExprState
+}
+
+// compileRowClauses binds a WHERE predicate and SET expressions against the
+// table's row (UPDATE/DELETE run outside the planner: a direct row loop).
+func (s *Session) compileRowClauses(tbl *catalog.Table, alias string, where sqlast.Expr, sets []sqlast.SetClause) (*exec.ExprState, []setter, error) {
+	sel := &sqlast.Select{From: []sqlast.FromItem{&sqlast.TableRef{Name: tbl.Name, Alias: alias}}}
+	items := []sqlast.Expr{}
+	if where != nil {
+		items = append(items, where)
+	}
+	for _, sc := range sets {
+		items = append(items, sc.Expr)
+	}
+	for _, it := range items {
+		sel.Items = append(sel.Items, sqlast.SelectItem{Expr: it})
+	}
+	if len(sel.Items) == 0 {
+		return nil, nil, nil
+	}
+	p, err := plan.Build(s.sh.cat, sqlast.WrapQuery(sel), plan.Options{DisableLateral: s.sh.prof.DisableLateral})
+	if err != nil {
+		return nil, nil, err
+	}
+	proj, ok := p.Root.(*plan.Project)
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: unexpected UPDATE plan shape %T", p.Root)
+	}
+	var pred *exec.ExprState
+	idx := 0
+	if where != nil {
+		pred, err = exec.InstantiateExpr(proj.Exprs[idx])
+		if err != nil {
+			return nil, nil, err
+		}
+		idx++
+	}
+	var setters []setter
+	for _, sc := range sets {
+		ci := tbl.ColIndex(sc.Col)
+		if ci < 0 {
+			return nil, nil, fmt.Errorf("engine: column %q of relation %q does not exist", sc.Col, tbl.Name)
+		}
+		es, err := exec.InstantiateExpr(proj.Exprs[idx])
+		if err != nil {
+			return nil, nil, err
+		}
+		setters = append(setters, setter{col: ci, expr: es})
+		idx++
+	}
+	return pred, setters, nil
+}

@@ -1,21 +1,31 @@
 package plan
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"plsqlaway/internal/catalog"
 	"plsqlaway/internal/sqlast"
 )
 
 // Cache memoizes plans by canonical query text. It reproduces PostgreSQL's
 // SPI plan cache as used by PL/pgSQL: embedded queries are *planned* once
-// per session but *instantiated* for every execution — the paper's whole
-// point is that instantiation, not planning, dominates the f→Qi context
-// switch.
+// but *instantiated* for every execution — the paper's whole point is that
+// instantiation, not planning, dominates the f→Qi context switch.
+//
+// The cache is shared by all sessions of an engine and safe for concurrent
+// use: the entry map is guarded by a readers-writer mutex and the hit/miss
+// counters are atomic. Cached *Plan values are immutable once stored
+// (executors deep-copy before instantiating), so handing the same plan to
+// many sessions at once is sound. Two sessions missing on the same key
+// may both plan; the duplicate work is benign and the last store wins.
 type Cache struct {
 	cat     *catalog.Catalog
+	mu      sync.RWMutex
 	entries map[string]*Plan
-	hits    int64
-	misses  int64
 	enabled bool
+	hits    atomic.Int64
+	misses  atomic.Int64
 }
 
 // NewCache creates an enabled plan cache for cat.
@@ -26,6 +36,8 @@ func NewCache(cat *catalog.Catalog) *Cache {
 // SetEnabled toggles caching (ablation A4: with caching off, every embedded
 // query evaluation pays full planning too).
 func (c *Cache) SetEnabled(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.enabled = on
 	if !on {
 		c.entries = make(map[string]*Plan)
@@ -33,51 +45,72 @@ func (c *Cache) SetEnabled(on bool) {
 }
 
 // Stats reports cache hits and misses.
-func (c *Cache) Stats() (hits, misses int64) { return c.hits, c.misses }
+func (c *Cache) Stats() (hits, misses int64) { return c.hits.Load(), c.misses.Load() }
 
 // ResetStats zeroes the counters.
-func (c *Cache) ResetStats() { c.hits, c.misses = 0, 0 }
+func (c *Cache) ResetStats() { c.hits.Store(0); c.misses.Store(0) }
+
+// lookup returns the cached plan for key if it is still valid against the
+// current catalog version, recording the hit/miss.
+func (c *Cache) lookup(key string) (*Plan, bool) {
+	c.mu.RLock()
+	p, ok := c.entries[key]
+	enabled := c.enabled
+	c.mu.RUnlock()
+	if !enabled {
+		c.misses.Add(1)
+		return nil, false
+	}
+	if ok && p.CatalogVersion == c.cat.Version {
+		c.hits.Add(1)
+		return p, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// store records a freshly built plan unless caching is off.
+func (c *Cache) store(key string, p *Plan) {
+	c.mu.Lock()
+	if c.enabled {
+		c.entries[key] = p
+	}
+	c.mu.Unlock()
+}
 
 // Get returns the cached plan for the query, planning (and caching) on
 // miss. Plans invalidate automatically when the catalog version moves.
+// With caching disabled it skips straight to Build — no deparse, so the
+// A4 ablation measures planning cost, not key construction.
 func (c *Cache) Get(q *sqlast.Query, opts Options) (*Plan, error) {
-	if !c.enabled {
-		c.misses++
+	c.mu.RLock()
+	enabled := c.enabled
+	c.mu.RUnlock()
+	if !enabled {
+		c.misses.Add(1)
 		return Build(c.cat, q, opts)
 	}
 	key := sqlast.DeparseQuery(q)
-	if p, ok := c.entries[key]; ok && p.CatalogVersion == c.cat.Version {
-		c.hits++
-		return p, nil
-	}
-	c.misses++
-	p, err := Build(c.cat, q, opts)
-	if err != nil {
-		return nil, err
-	}
-	c.entries[key] = p
-	return p, nil
+	return c.GetByText(key, q, opts)
 }
 
 // GetByText memoizes by a caller-provided key, avoiding the deparse on hot
 // paths (the PL/pgSQL interpreter keys by statement identity).
 func (c *Cache) GetByText(key string, q *sqlast.Query, opts Options) (*Plan, error) {
-	if !c.enabled {
-		c.misses++
-		return Build(c.cat, q, opts)
-	}
-	if p, ok := c.entries[key]; ok && p.CatalogVersion == c.cat.Version {
-		c.hits++
+	if p, ok := c.lookup(key); ok {
 		return p, nil
 	}
-	c.misses++
 	p, err := Build(c.cat, q, opts)
 	if err != nil {
 		return nil, err
 	}
-	c.entries[key] = p
+	c.store(key, p)
 	return p, nil
 }
 
 // Len reports the number of cached plans.
-func (c *Cache) Len() int { return len(c.entries) }
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}

@@ -62,7 +62,18 @@ type fnState struct {
 	varTypes []sqltypes.Type
 	varIdx   map[string]int
 	comp     map[any]*stmtComp
-	seq      int // statement id for plan-cache keys
+}
+
+// cacheKey builds the shared-plan-cache key for one embedded query. It
+// must be identical across sessions compiling the same statement (the
+// cache is engine-wide, while this fnState is per-session and fills
+// lazily in call order), so it is content-addressed: function identity —
+// the shared catalog AST pointer, which pins the variable-binding hook —
+// plus the statement's canonical text. A per-session site counter here
+// would collide across sessions whose calls compile sites in different
+// orders, silently serving one session's plan for another's statement.
+func (st *fnState) cacheKey(q *sqlast.Query) string {
+	return fmt.Sprintf("plpgsql:%s:%p:%s", st.f.Name, st.f, sqlast.DeparseQuery(q))
 }
 
 // stmtComp is one compiled expression site.
@@ -241,8 +252,7 @@ func (ip *Interpreter) compileSite(fr *frame, site any, e sqlast.Expr) (*stmtCom
 	if sc.simple == nil {
 		// Full path: SELECT <expr> through the plan cache.
 		sc.query = sqlast.WrapQuery(sqlast.SimpleSelect([]sqlast.Expr{e}, nil))
-		fr.st.seq++
-		sc.key = fmt.Sprintf("plpgsql:%s:%p:%d", fr.st.f.Name, fr.st.f, fr.st.seq)
+		sc.key = fr.st.cacheKey(sc.query)
 	}
 	fr.st.comp[site] = sc
 	return sc, nil
@@ -335,8 +345,7 @@ func (ip *Interpreter) runPerform(fr *frame, site any, q *sqlast.Query, accounte
 	if !ok {
 		t0 := time.Now()
 		sc = &stmtComp{query: q}
-		fr.st.seq++
-		sc.key = fmt.Sprintf("plpgsql:%s:%p:perform:%d", fr.st.f.Name, fr.st.f, fr.st.seq)
+		sc.key = fr.st.cacheKey(q)
 		fr.st.comp[site] = sc
 		ip.Counters.PlanNS += time.Since(t0).Nanoseconds()
 	}

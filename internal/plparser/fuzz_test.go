@@ -1,0 +1,70 @@
+package plparser_test
+
+import (
+	"strings"
+	"testing"
+
+	"plsqlaway/internal/plparser"
+	"plsqlaway/internal/sqlast"
+	"plsqlaway/internal/sqlparser"
+	"plsqlaway/internal/workload"
+)
+
+// FuzzParseFunction feeds whole CREATE FUNCTION … LANGUAGE plpgsql
+// statements through the SQL parser and then the PL/pgSQL body parser,
+// asserting neither panics on anything the other accepts. Seeds are the
+// full workload corpus, so the fuzzer mutates from every control-flow
+// shape the paper compiles.
+func FuzzParseFunction(f *testing.F) {
+	for _, src := range workload.Corpus {
+		f.Add(src)
+	}
+	f.Add(`CREATE FUNCTION e() RETURNS int AS $$ BEGIN RETURN 1; END $$ LANGUAGE plpgsql`)
+	f.Add(`CREATE FUNCTION r(n int) RETURNS int AS $$
+		DECLARE x int = 0;
+		BEGIN
+		  <<l>>
+		  LOOP
+		    EXIT l WHEN x > n;
+		    CONTINUE WHEN x % 2 = 0;
+		    x = x + 1;
+		  END LOOP;
+		  RAISE NOTICE 'x is %', x;
+		  RETURN x;
+		END; $$ LANGUAGE plpgsql`)
+	f.Fuzz(func(t *testing.T, src string) {
+		stmts, err := sqlparser.ParseScript(src)
+		if err != nil {
+			return
+		}
+		for _, stmt := range stmts {
+			cf, ok := stmt.(*sqlast.CreateFunction)
+			if !ok || !strings.EqualFold(cf.Language, "plpgsql") {
+				continue
+			}
+			// Must not panic; errors are acceptable.
+			plparser.ParseFunction(cf)
+		}
+	})
+}
+
+// FuzzParseBody drives the PL/pgSQL declaration/statement grammar
+// directly, bypassing the CREATE FUNCTION wrapper.
+func FuzzParseBody(f *testing.F) {
+	for _, src := range workload.Corpus {
+		// Extract the dollar-quoted body as a direct seed.
+		if i := strings.Index(src, "$$"); i >= 0 {
+			if j := strings.LastIndex(src, "$$"); j > i {
+				f.Add(src[i+2 : j])
+			}
+		}
+	}
+	f.Add("BEGIN RETURN 0; END")
+	f.Add("DECLARE x int = 1; y text; BEGIN x = x + 1; RETURN x; END;")
+	f.Add("BEGIN FOR i IN REVERSE 10..1 LOOP NULL; END LOOP; RETURN 1; END")
+	f.Add("BEGIN WHILE true LOOP PERFORM (SELECT 1); END LOOP; END")
+	f.Fuzz(func(t *testing.T, src string) {
+		// Must not panic; errors are acceptable.
+		plparser.ParseBody(src)
+	})
+}

@@ -8,11 +8,13 @@ package profile
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
 // Counters accumulates phase timings and event counts. Not safe for
-// concurrent use; the engine serializes sessions.
+// concurrent use: each engine session owns a private instance, so no
+// cross-session synchronization is needed on these hot paths.
 type Counters struct {
 	ExecStartNS int64 // plan instantiation + parameter binding (f→Qi entry)
 	ExecRunNS   int64 // pulling rows / fast-path expression evaluation
@@ -109,16 +111,17 @@ func (p Profile) Quantize(d time.Duration) time.Duration {
 	return d / p.TimerResolution * p.TimerResolution
 }
 
-// spinSink defeats dead-code elimination of Spin.
-var spinSink uint64
+// spinSink defeats dead-code elimination of Spin. Accessed atomically:
+// concurrent sessions under the Oracle profile spin in parallel.
+var spinSink atomic.Uint64
 
 // Spin performs n units of deterministic busy work — the knob the Oracle
 // profile uses to scale interpreter/executor-entry cost relative to the
 // directly measured PostgreSQL profile.
 func Spin(n int) {
-	acc := spinSink
+	acc := spinSink.Load()
 	for i := 0; i < n; i++ {
 		acc = acc*6364136223846793005 + 1442695040888963407
 	}
-	spinSink = acc
+	spinSink.Store(acc)
 }

@@ -1,0 +1,92 @@
+package sqlparser_test
+
+import (
+	"testing"
+
+	"plsqlaway/internal/sqlast"
+	"plsqlaway/internal/sqlparser"
+	"plsqlaway/internal/workload"
+)
+
+// sqlSeeds are representative statements from the workloads, the engine
+// tests, and compiler-emitted shapes (WITH RECURSIVE, LATERAL chains,
+// window frames).
+var sqlSeeds = []string{
+	"SELECT 1",
+	"SELECT a, b FROM t WHERE a > 1 ORDER BY b DESC LIMIT 3 OFFSET 1",
+	"CREATE TABLE cells (loc coord, reward int)",
+	"CREATE INDEX cells_loc ON cells (loc)",
+	"DROP TABLE IF EXISTS cells",
+	"INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')",
+	"UPDATE t SET a = a + 1 WHERE b <> 'two'",
+	"DELETE FROM t WHERE a >= 10",
+	"SELECT count(*) FROM t GROUP BY a HAVING count(*) > 1",
+	"SELECT sum(a.prob) OVER lt FROM actions AS a WINDOW lt AS (ORDER BY a.there ROWS UNBOUNDED PRECEDING EXCLUDE CURRENT ROW)",
+	"SELECT * FROM t, LATERAL (SELECT t.a + 1) AS x(b)",
+	"WITH RECURSIVE f(n) AS (SELECT 1 UNION ALL SELECT n + 1 FROM f WHERE n < 10) SELECT max(n) FROM f",
+	"SELECT CASE WHEN c BETWEEN '0' AND '9' THEN 1 WHEN c BETWEEN 'a' AND 'z' THEN 2 ELSE 3 END FROM s",
+	"SELECT coalesce($1, 9) || substr($2, 1, 1)",
+	"SELECT 1 INTERSECT SELECT 2 EXCEPT SELECT 3",
+	"SELECT DISTINCT a FROM t UNION SELECT b FROM u",
+	`CREATE FUNCTION f(n int) RETURNS int AS $$ SELECT n + 1; $$ LANGUAGE sql`,
+	"SELECT walk(coord(2, 2), 1000000, -1000000, 100)",
+	"SELECT -1e10, .5, 'it''s', \"Quoted Ident\" FROM \"T\"",
+}
+
+// FuzzParseScript asserts the SQL parser never panics, and that for every
+// statement it accepts, deparsing and reparsing reaches a fixpoint
+// (parse → deparse → parse → deparse yields identical text) — the plan
+// cache keys on that canonical text, so printer instability would corrupt
+// cache identity.
+func FuzzParseScript(f *testing.F) {
+	for _, s := range sqlSeeds {
+		f.Add(s)
+	}
+	for _, src := range workload.Corpus {
+		f.Add(src)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmts, err := sqlparser.ParseScript(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		for _, stmt := range stmts {
+			text := sqlast.Deparse(stmt)
+			again, err := sqlparser.ParseStatement(text)
+			if err != nil {
+				t.Fatalf("deparse of accepted statement does not reparse:\noriginal: %q\ndeparsed: %q\nerror: %v", src, text, err)
+			}
+			text2 := sqlast.Deparse(again)
+			if text != text2 {
+				t.Fatalf("printer not stable:\nfirst:  %q\nsecond: %q", text, text2)
+			}
+		}
+	})
+}
+
+// FuzzParseExpr covers the expression sub-grammar (the interpreter's
+// fast path feeds raw expression text through it).
+func FuzzParseExpr(f *testing.F) {
+	for _, s := range []string{
+		"1 + 2 * 3", "a AND NOT b OR c", "x % y", "f(g(1), h())",
+		"CASE WHEN a THEN 1 ELSE 2 END", "$1 BETWEEN lo AND hi",
+		"(SELECT max(n) FROM t)", "coord(2, 2)", "NOT x IS NULL",
+		"'abc' || $2", "-(-5)", "a.b.c",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := sqlparser.ParseExpr(src)
+		if err != nil {
+			return
+		}
+		text := sqlast.DeparseExpr(e)
+		again, err := sqlparser.ParseExpr(text)
+		if err != nil {
+			t.Fatalf("deparse of accepted expression does not reparse:\noriginal: %q\ndeparsed: %q\nerror: %v", src, text, err)
+		}
+		if text2 := sqlast.DeparseExpr(again); text != text2 {
+			t.Fatalf("expression printer not stable:\nfirst:  %q\nsecond: %q", text, text2)
+		}
+	})
+}

@@ -1,9 +1,22 @@
 package storage
 
+import (
+	"sync"
+	"sync/atomic"
+)
+
 // Heap is a page-backed base table. Rows are kept encoded on pages (the
 // durable representation) with a decoded cache for scans; the cache is
 // invalidated by mutation.
+//
+// Mutations (Insert, Replace) are serialized by the engine's DDL/DML lock,
+// but many sessions scan concurrently under the read side of that lock, so
+// the lazily built decode cache is guarded by an internal mutex. Returned
+// row slices are snapshots: Replace installs fresh slices and Insert only
+// invalidates the cache flag, so a slice handed out earlier stays valid
+// for the reader that obtained it.
 type Heap struct {
+	mu    sync.RWMutex
 	stats *Stats
 	pages []*Page
 	cache []Tuple
@@ -22,10 +35,16 @@ func NewHeap(stats *Stats) *Heap {
 
 // Insert appends a row.
 func (h *Heap) Insert(t Tuple) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.insertLocked(t)
+}
+
+func (h *Heap) insertLocked(t Tuple) {
 	enc := EncodeTuple(t)
 	if len(h.pages) == 0 || !h.pages[len(h.pages)-1].TryAdd(enc) {
 		p := NewPage()
-		h.stats.PagesAlloc++
+		atomic.AddInt64(&h.stats.PagesAlloc, 1)
 		p.TryAdd(enc)
 		h.pages = append(h.pages, p)
 	}
@@ -36,18 +55,43 @@ func (h *Heap) Insert(t Tuple) {
 
 // Gen reports a generation counter that advances on every mutation —
 // secondary structures (hash indexes) use it to detect staleness.
-func (h *Heap) Gen() int64 { return h.gen }
+func (h *Heap) Gen() int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.gen
+}
 
 // Len reports the number of rows.
-func (h *Heap) Len() int { return h.n }
+func (h *Heap) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.n
+}
 
 // NumPages reports the number of heap pages.
-func (h *Heap) NumPages() int { return len(h.pages) }
+func (h *Heap) NumPages() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.pages)
+}
 
 // Rows returns all rows (decoded, cached until the next mutation). Callers
-// must not mutate the result.
+// must not mutate the result. Safe for concurrent readers: the common case
+// (clean cache) takes only the read lock, so parallel scans of the same
+// table do not serialize; the first scan after a mutation rebuilds the
+// cache under the write lock.
 func (h *Heap) Rows() ([]Tuple, error) {
+	h.mu.RLock()
 	if !h.dirty && h.cache != nil {
+		rows := h.cache
+		h.mu.RUnlock()
+		return rows, nil
+	}
+	h.mu.RUnlock()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.dirty && h.cache != nil { // raced with another rebuilder
 		return h.cache, nil
 	}
 	out := make([]Tuple, 0, h.n)
@@ -68,12 +112,14 @@ func (h *Heap) Rows() ([]Tuple, error) {
 // Replace substitutes the heap's entire contents (used by UPDATE/DELETE,
 // which rewrite the table — adequate for workload-sized tables).
 func (h *Heap) Replace(rows []Tuple) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	h.pages = nil
 	h.cache = nil
 	h.n = 0
 	h.dirty = true
 	h.gen++
 	for _, r := range rows {
-		h.Insert(r)
+		h.insertLocked(r)
 	}
 }

@@ -3,12 +3,17 @@ package storage
 import (
 	"fmt"
 	"os"
+	"sync/atomic"
 )
 
 // Stats accumulates storage-level counters. The benchmark harness reads
 // PageWrites to regenerate Table 2: a vanilla WITH RECURSIVE accumulates the
 // whole tail-recursion trace through a TupleStore and pays quadratic page
 // writes, while WITH ITERATE keeps one row and pays none.
+//
+// One Stats instance is shared by every session of an engine, so all
+// increments go through atomic adds. Plain field reads are fine once
+// concurrent work has quiesced (which is when the harness reads them).
 type Stats struct {
 	PageWrites    int64 // pages flushed once a store exceeds its memory budget
 	PagesAlloc    int64
@@ -17,7 +22,12 @@ type Stats struct {
 }
 
 // Reset zeroes the counters.
-func (s *Stats) Reset() { *s = Stats{} }
+func (s *Stats) Reset() {
+	atomic.StoreInt64(&s.PageWrites, 0)
+	atomic.StoreInt64(&s.PagesAlloc, 0)
+	atomic.StoreInt64(&s.TuplesWritten, 0)
+	atomic.StoreInt64(&s.BytesWritten, 0)
+}
 
 // DefaultWorkMem mirrors PostgreSQL's default work_mem (4 MiB): tuple
 // stores stay in memory below it and spill to pages above it.
@@ -86,8 +96,8 @@ func (ts *TupleStore) spill() {
 }
 
 func (ts *TupleStore) appendEncoded(enc []byte) {
-	ts.stats.TuplesWritten++
-	ts.stats.BytesWritten += int64(len(enc))
+	atomic.AddInt64(&ts.stats.TuplesWritten, 1)
+	atomic.AddInt64(&ts.stats.BytesWritten, int64(len(enc)))
 	need := LinePointerSize + align(TupleHeaderSize+len(enc))
 	if ts.curPage == nil {
 		ts.newPage()
@@ -109,7 +119,7 @@ func (ts *TupleStore) newPage() {
 	ts.curPage = make([]byte, 0, PageSize)
 	ts.curUsed = PageHeaderSize
 	ts.curCount = 0
-	ts.stats.PagesAlloc++
+	atomic.AddInt64(&ts.stats.PagesAlloc, 1)
 }
 
 func (ts *TupleStore) flushCurrent() {
@@ -123,7 +133,7 @@ func (ts *TupleStore) flushCurrent() {
 	if pages < 1 {
 		pages = 1
 	}
-	ts.stats.PageWrites += pages
+	atomic.AddInt64(&ts.stats.PageWrites, pages)
 	if ts.file != nil {
 		// Length-prefixed page image: real disk I/O for spilled stores.
 		var hdr [4]byte

@@ -22,18 +22,43 @@
 //	res, _ := plsqlaway.Compile(fibSrc, plsqlaway.Options{})
 //	plsqlaway.Install(e, "fib_compiled", res)    // compiled twin
 //	v, _ := e.QueryValue("SELECT fib_compiled($1)", plsqlaway.Int(30))
+//
+// Concurrency: one engine serves many callers. The Engine methods above
+// are serialized onto a built-in session; for real parallelism give each
+// goroutine its own Session:
+//
+//	s := e.NewSession()
+//	go func() { v, _ := s.QueryValue("SELECT fib_compiled($1)", plsqlaway.Int(30)) … }()
+//
+// Sessions share the catalog, storage, and plan cache (DDL excludes
+// queries via a readers-writer lock) but keep private random streams,
+// counters, interpreter state, and prepared statements.
 package plsqlaway
 
 import (
 	"plsqlaway/internal/core"
 	"plsqlaway/internal/engine"
+	"plsqlaway/internal/plast"
 	"plsqlaway/internal/profile"
+	"plsqlaway/internal/sqlast"
 	"plsqlaway/internal/sqltypes"
 	"plsqlaway/internal/udf"
 )
 
-// Engine is an embedded single-session database instance.
+// Engine is an embedded database instance. Its own query methods are safe
+// for concurrent use (serialized internally); NewSession hands out
+// independent sessions for parallel execution.
 type Engine = engine.Engine
+
+// Session is one caller's execution context on a shared engine: private
+// random stream, counters, interpreter state, and prepared statements over
+// the engine's shared catalog/storage/plan cache. Create one per goroutine
+// with Engine.NewSession; a single Session is not safe for concurrent use.
+type Session = engine.Session
+
+// Prepared is a statement parsed once and executable many times on its
+// session (see Session.Prepare).
+type Prepared = engine.Prepared
 
 // Result is the outcome of one compilation, carrying every intermediate
 // form (CFG, SSA, ANF, UDF) and the final pure-SQL query.
@@ -76,10 +101,17 @@ func WithWorkMem(bytes int) engine.Option { return engine.WithWorkMem(bytes) }
 // CREATE FUNCTION … LANGUAGE plpgsql statement.
 func Compile(src string, opt Options) (*Result, error) { return core.Compile(src, opt) }
 
-// Install registers a compilation result with an engine under the given
-// name: calls evaluate the pure-SQL form, no interpreter involved.
-func Install(e *Engine, name string, res *Result) error {
-	return e.InstallCompiled(name, res.Params, res.ReturnType, res.Query)
+// Installer is any target a compiled function can be registered on — an
+// *Engine or one of its *Sessions (both register into the shared catalog).
+type Installer interface {
+	InstallCompiled(name string, params []plast.Param, ret sqltypes.Type, body *sqlast.Query) error
+}
+
+// Install registers a compilation result with an engine (or session) under
+// the given name: calls evaluate the pure-SQL form, no interpreter
+// involved.
+func Install(target Installer, name string, res *Result) error {
+	return target.InstallCompiled(name, res.Params, res.ReturnType, res.Query)
 }
 
 // Int builds an integer value.
