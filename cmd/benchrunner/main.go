@@ -1,11 +1,12 @@
 // benchrunner regenerates the paper's evaluation: Table 1, Figure 10,
-// Figures 11a/11b, Table 2, and the DESIGN.md ablations, printing each in a
-// paper-style text layout.
+// Figures 11a/11b, Table 2, the DESIGN.md ablations, the concurrent-session
+// scaling sweep, and the vectorized executor's batch-size sweep, printing
+// each in a paper-style text layout or as one JSON document.
 //
 // Usage:
 //
-//	benchrunner [-experiment table1|fig10|fig11a|fig11b|table2|ablations|parallel|all]
-//	            [-quick] [-parallel N]
+//	benchrunner [-experiment table1|fig10|fig11a|fig11b|table2|ablations|parallel|batchsweep|all]
+//	            [-quick] [-parallel N] [-batchsize LIST] [-format text|json]
 //
 // -quick shrinks workload sizes so a full run finishes in well under a
 // minute (the default sizes mirror the paper's and take several minutes,
@@ -16,12 +17,25 @@
 // 1, 2, …, N sessions, reporting aggregate throughput and the speedup over
 // the single-session baseline. Given on its own it runs just that
 // experiment; combine with -experiment to add the paper's figures.
+//
+// -batchsize runs the batch executor sweep: the WITH RECURSIVE
+// graphtraverse frontier expansion at each listed executor batch size
+// (default "1,64,256,1024,4096"), reporting throughput, speedup over batch
+// size 1, and buffer page writes. Like -parallel, giving the flag on its
+// own runs just that experiment.
+//
+// -format json emits every experiment that ran as a single JSON document
+// on stdout (schema plsqlaway-bench/v1) — the per-PR BENCH_*.json perf
+// trajectory files and the CI bench-smoke artifact are recorded this way.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -30,10 +44,18 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1, fig10, fig11a, fig11b, table2, ablations, parallel, or all")
+	experiment := flag.String("experiment", "all", "table1, fig10, fig11a, fig11b, table2, ablations, parallel, batchsweep, or all")
 	quick := flag.Bool("quick", false, "reduced workload sizes")
 	parallel := flag.Int("parallel", 0, "max concurrent sessions for the scaling experiment (0 = off)")
+	batchsize := flag.String("batchsize", "", "comma-separated executor batch sizes for the batch sweep (e.g. 1,64,1024; empty = the sweep's default sizes)")
+	format := flag.String("format", "text", "output format: text or json")
 	flag.Parse()
+
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "benchrunner: unknown format %q (want text or json)\n", *format)
+		os.Exit(1)
+	}
+	jsonOut := *format == "json"
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*experiment, ",") {
@@ -43,65 +65,89 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchrunner: -parallel wants a session count ≥ 1, got %d\n", *parallel)
 		os.Exit(1)
 	}
-	if *parallel > 0 {
-		// -parallel alone means "run the scaling experiment"; it joins any
-		// explicitly requested experiments but does not drag in the rest.
-		// An explicit `-experiment all` still means everything.
-		experimentSet := false
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "experiment" {
-				experimentSet = true
+	var sweepSizes []int
+	if *batchsize != "" {
+		for _, tok := range strings.Split(*batchsize, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "benchrunner: bad -batchsize entry %q\n", tok)
+				os.Exit(1)
 			}
-		})
+			sweepSizes = append(sweepSizes, n)
+		}
+	}
+	// -parallel / -batchsize alone mean "run that experiment"; they join any
+	// explicitly requested experiments but do not drag in the rest. An
+	// explicit `-experiment all` still means everything.
+	experimentSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "experiment" {
+			experimentSet = true
+		}
+	})
+	if *parallel > 0 {
 		if !experimentSet {
 			delete(want, "all")
 		}
 		want["parallel"] = true
 	}
+	if len(sweepSizes) > 0 {
+		if !experimentSet {
+			delete(want, "all")
+		}
+		want["batchsweep"] = true
+	}
 	all := want["all"]
 	ran := 0
+	report := map[string]any{}
 
-	section := func(name string, fn func() error) {
+	// section runs one experiment; fn returns the structured result (for
+	// -format json) and its text rendering.
+	section := func(name string, fn func() (any, string, error)) {
 		if !all && !want[name] {
 			return
 		}
 		ran++
-		fmt.Printf("━━━ %s ━━━\n\n", name)
 		t0 := time.Now()
-		if err := fn(); err != nil {
+		data, text, err := fn()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		if jsonOut {
+			report[name] = data
+			return
+		}
+		fmt.Printf("━━━ %s ━━━\n\n", name)
+		fmt.Print(text)
 		fmt.Printf("\n(%s took %s)\n\n", name, time.Since(t0).Round(time.Millisecond))
 	}
 
-	section("table1", func() error {
+	section("table1", func() (any, string, error) {
 		cfg := bench.Table1Config{}
 		if *quick {
 			cfg = bench.Table1Config{WalkSteps: 1_000, ParseLen: 1_000, TraverseHops: 500, FibN: 20_000}
 		}
 		rows, err := bench.Table1(cfg)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Print(bench.FormatTable1(rows))
-		return nil
+		return rows, bench.FormatTable1(rows), nil
 	})
 
-	section("fig10", func() error {
+	section("fig10", func() (any, string, error) {
 		cfg := bench.Fig10Config{}
 		if *quick {
 			cfg = bench.Fig10Config{Steps: []int64{2_000, 5_000, 10_000}, Rounds: 3}
 		}
 		pts, err := bench.Figure10(cfg)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Print(bench.FormatFigure10(pts))
-		return nil
+		return pts, bench.FormatFigure10(pts), nil
 	})
 
-	section("fig11a", func() error {
+	section("fig11a", func() (any, string, error) {
 		cfg := bench.Fig11Config{Fn: "walk"}
 		if *quick {
 			cfg.Invocations = []int64{2, 8, 32, 128}
@@ -109,13 +155,12 @@ func main() {
 		}
 		hm, err := bench.Figure11(cfg)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Print(bench.FormatHeatMap(hm))
-		return nil
+		return hm, bench.FormatHeatMap(hm), nil
 	})
 
-	section("fig11b", func() error {
+	section("fig11b", func() (any, string, error) {
 		cfg := bench.Fig11Config{Fn: "parse", Profile: profile.Oracle}
 		if *quick {
 			cfg.Invocations = []int64{2, 8, 32, 128}
@@ -123,30 +168,30 @@ func main() {
 		}
 		hm, err := bench.Figure11(cfg)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Print(bench.FormatHeatMap(hm))
-		return nil
+		return hm, bench.FormatHeatMap(hm), nil
 	})
 
-	section("table2", func() error {
+	section("table2", func() (any, string, error) {
 		lengths := []int{10_000, 20_000, 30_000, 40_000, 50_000}
 		if *quick {
 			lengths = []int{2_000, 4_000, 8_000}
 		}
 		rows, err := bench.Table2(lengths)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Print(bench.FormatTable2(rows))
-		return nil
+		return rows, bench.FormatTable2(rows), nil
 	})
 
-	section("ablations", func() error {
+	section("ablations", func() (any, string, error) {
 		size := int64(20_000)
 		if *quick {
 			size = 2_000
 		}
+		data := map[string]any{}
+		var text strings.Builder
 		for _, a := range []struct {
 			title string
 			fn    func(int64) ([]bench.AblationRow, error)
@@ -160,14 +205,16 @@ func main() {
 		} {
 			rows, err := a.fn(a.size)
 			if err != nil {
-				return err
+				return nil, "", err
 			}
-			fmt.Println(bench.FormatAblation(a.title, rows))
+			data[a.title] = rows
+			text.WriteString(bench.FormatAblation(a.title, rows))
+			text.WriteString("\n")
 		}
-		return nil
+		return data, text.String(), nil
 	})
 
-	section("parallel", func() error {
+	section("parallel", func() (any, string, error) {
 		cfg := bench.ParallelConfig{MaxWorkers: *parallel}
 		if cfg.MaxWorkers == 0 {
 			cfg.MaxWorkers = 4
@@ -180,14 +227,41 @@ func main() {
 		}
 		rows, err := bench.ParallelScaling(cfg)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Print(bench.FormatParallel(rows))
-		return nil
+		return rows, bench.FormatParallel(rows), nil
+	})
+
+	section("batchsweep", func() (any, string, error) {
+		cfg := bench.BatchSweepConfig{Sizes: sweepSizes}
+		if *quick {
+			cfg.Nodes = 1024
+			cfg.MaxHops = 6
+			cfg.Rounds = 3
+		}
+		rows, err := bench.BatchSweep(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, bench.FormatBatchSweep(rows), nil
 	})
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q\n", *experiment)
 		os.Exit(1)
+	}
+	if jsonOut {
+		doc := map[string]any{
+			"schema":      "plsqlaway-bench/v1",
+			"gomaxprocs":  runtime.GOMAXPROCS(0),
+			"quick":       *quick,
+			"experiments": report,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: encoding JSON: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -79,9 +79,9 @@ var differentialGrid = map[string]diffCase{
 }
 
 // newWorkloadEngine builds an engine with every workload schema installed.
-func newWorkloadEngine(t *testing.T) *plsqlaway.Engine {
+func newWorkloadEngine(t *testing.T, opts ...plsqlaway.EngineOption) *plsqlaway.Engine {
 	t.Helper()
-	e := plsqlaway.NewEngine(plsqlaway.WithSeed(42))
+	e := plsqlaway.NewEngine(append([]plsqlaway.EngineOption{plsqlaway.WithSeed(42)}, opts...)...)
 	world := workload.NewRobotWorld(5, 5, 7)
 	if err := world.Install(e); err != nil {
 		t.Fatal(err)
@@ -196,5 +196,87 @@ func TestDifferentialOnSessions(t *testing.T) {
 		if !sqltypes.Identical(want, facade) {
 			t.Errorf("steps=%d: session=%v facade=%v", steps, want, facade)
 		}
+	}
+}
+
+// TestDifferentialBatchVsTuple is the batch-vs-tuple differential pass:
+// every workload in the corpus must produce identical results (same seed)
+// through the vectorized batch pipeline at the default batch size, through
+// a batch size that forces many mid-stream batch boundaries, and through
+// batch size 1 — the configuration in which every NextBatch moves exactly
+// one tuple, i.e. the legacy Volcano iteration the batch executor
+// replaced. (The Executor facade's tuple-at-a-time Next() shim is covered
+// by internal/engine's TestBatchRunVsNextShim, which pulls the same plans
+// row by row.)
+func TestDifferentialBatchVsTuple(t *testing.T) {
+	for name := range workload.Corpus {
+		if _, ok := differentialGrid[name]; !ok {
+			t.Errorf("corpus function %q has no differential grid — add cases", name)
+		}
+	}
+
+	engines := []struct {
+		label string
+		size  int
+	}{
+		{"tuple(batch=1)", 1},
+		{"batch=3", 3},
+		{"batch=default", 0},
+	}
+
+	for name, src := range workload.Corpus {
+		c, ok := differentialGrid[name]
+		if !ok {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			res, err := plsqlaway.Compile(src, plsqlaway.Options{})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			resIter, err := plsqlaway.Compile(src, plsqlaway.Options{Iterate: true})
+			if err != nil {
+				t.Fatalf("compile (iterate): %v", err)
+			}
+
+			es := make([]*plsqlaway.Engine, len(engines))
+			for i, spec := range engines {
+				var opts []plsqlaway.EngineOption
+				if spec.size > 0 {
+					opts = append(opts, plsqlaway.WithBatchSize(spec.size))
+				}
+				e := newWorkloadEngine(t, opts...)
+				if err := e.Exec(src); err != nil {
+					t.Fatalf("%s: install interpreted: %v", spec.label, err)
+				}
+				if err := plsqlaway.Install(e, name+"_c", res); err != nil {
+					t.Fatalf("%s: install compiled: %v", spec.label, err)
+				}
+				if err := plsqlaway.Install(e, name+"_ci", resIter); err != nil {
+					t.Fatalf("%s: install compiled (iterate): %v", spec.label, err)
+				}
+				es[i] = e
+			}
+
+			for i, args := range c.args {
+				for _, fn := range []string{name, name + "_c", name + "_ci"} {
+					vals := make([]plsqlaway.Value, len(engines))
+					for j, e := range es {
+						e.Seed(7)
+						v, err := e.QueryValue(fmt.Sprintf(c.tmpl, fn), args...)
+						if err != nil {
+							t.Fatalf("case %d: %s on %s: %v", i, fn, engines[j].label, err)
+						}
+						vals[j] = v
+					}
+					for j := 1; j < len(vals); j++ {
+						if !sqltypes.Identical(vals[0], vals[j]) {
+							t.Errorf("case %d: %s: %s=%v but %s=%v (args %v)",
+								i, fn, engines[0].label, vals[0], engines[j].label, vals[j], args)
+						}
+					}
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"plsqlaway/internal/engine"
+	"plsqlaway/internal/workload"
+)
+
+// BatchSweepConfig sizes the batch-size sweep over the set-oriented
+// graphtraverse workload: a WITH RECURSIVE frontier expansion over the
+// successor graph of InstallGraph. Unlike the scalar traverse() corpus
+// entry (whose working table is a single activation row), the frontier
+// query carries hundreds to thousands of rows per recursive step, which is
+// exactly the shape the batch pipeline and the static-build hash join are
+// for.
+type BatchSweepConfig struct {
+	Sizes     []int // batch sizes to sweep; default {1, 64, 256, 1024, 4096}
+	Nodes     int   // graph size; default 4096
+	SourceMod int   // every SourceMod-th node seeds the frontier; default 16
+	MaxHops   int64 // frontier depth; default 9
+	Rounds    int   // timed repetitions per size; default 9 (best-of)
+}
+
+func (c *BatchSweepConfig) defaults() {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{1, 64, 256, 1024, 4096}
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 4096
+	}
+	if c.SourceMod == 0 {
+		c.SourceMod = 16
+	}
+	if c.MaxHops == 0 {
+		c.MaxHops = 9
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 9
+	}
+}
+
+// BatchSweepRow is one batch size's measurement.
+type BatchSweepRow struct {
+	BatchSize  int     `json:"batch_size"`
+	Rows       int64   `json:"rows"`         // tuples produced by the recursion per run
+	WallMs     float64 `json:"wall_ms"`      // best-of-rounds wall clock per run
+	RowsPerSec float64 `json:"rows_per_sec"` // throughput
+	Speedup    float64 `json:"speedup"`      // vs batch size 1 (or the sweep's first size)
+	PageWrites int64   `json:"page_writes"`  // buffer pages written by the run-table trace
+}
+
+// GraphTraverseQuery is the swept workload: seed the frontier with every
+// SourceMod-th edge source, then follow successor edges MaxHops deep
+// (UNION ALL — every path counts, so per-step working tables grow into the
+// thousands). The equi-join `w.node = e.src` inside the recursive term is
+// planned as a hash join whose edges-side build table is static across all
+// iterations.
+func GraphTraverseQuery(sourceMod int, maxHops int64) string {
+	return fmt.Sprintf(`WITH RECURSIVE walks(node, hops) AS (
+  SELECT DISTINCT e.src, 0 FROM edges AS e WHERE e.src %% %d = 0
+  UNION ALL
+  SELECT e.dst, w.hops + 1 FROM walks AS w, edges AS e
+  WHERE w.node = e.src AND w.hops < %d
+) SELECT count(*) FROM walks`, sourceMod, maxHops)
+}
+
+// BatchSweep measures the vectorized executor's batch-size knob on the
+// graphtraverse WITH RECURSIVE workload (ISSUE 2's acceptance experiment:
+// default batch size vs batch size 1). Every size must produce the same
+// row count — the sweep doubles as a differential check.
+func BatchSweep(cfg BatchSweepConfig) ([]BatchSweepRow, error) {
+	cfg.defaults()
+	// The sweep isolates executor dispatch cost, so two identical-across-
+	// sizes costs are kept out of the measurement: 256 MiB work_mem keeps
+	// the recursion trace in memory (no temp-file encode/decode; page
+	// writes are still reported and stay zero until the trace spills), and
+	// a relaxed GC target stops the pacer from rescanning the retained
+	// trace several times per query — on one core that scanning otherwise
+	// dominates wall clock and its timing jitter swamps the sweep.
+	prevGC := debug.SetGCPercent(400)
+	defer debug.SetGCPercent(prevGC)
+	e := engine.New(engine.WithSeed(42), engine.WithWorkMem(256<<20))
+	if err := workload.InstallGraph(e, cfg.Nodes, 3); err != nil {
+		return nil, err
+	}
+	q := GraphTraverseQuery(cfg.SourceMod, cfg.MaxHops)
+
+	run := func() (int64, error) {
+		res, err := e.Query(q)
+		if err != nil {
+			return 0, err
+		}
+		return res.Rows[0][0].Int(), nil
+	}
+
+	var rows []BatchSweepRow
+	var refCount int64
+	var baseline float64
+	samples := make([][]time.Duration, len(cfg.Sizes))
+	for i, size := range cfg.Sizes {
+		e.SetBatchSize(size)
+		count, err := run() // warm plan cache + differential check
+		if err != nil {
+			return nil, fmt.Errorf("bench: batch sweep size %d: %w", size, err)
+		}
+		if i == 0 {
+			refCount = count
+		} else if count != refCount {
+			return nil, fmt.Errorf("bench: batch size %d produced %d rows, batch size %d produced %d — batch pipeline diverged",
+				size, count, cfg.Sizes[0], refCount)
+		}
+		e.StorageStats().Reset()
+		if _, err := run(); err != nil {
+			return nil, err
+		}
+		rows = append(rows, BatchSweepRow{
+			BatchSize:  size,
+			Rows:       count,
+			PageWrites: e.StorageStats().PageWrites,
+		})
+	}
+	// Timed passes: round-robin over the sizes (a slow phase of the host
+	// hits every size equally) and best-of-rounds per size, like fig11Cell —
+	// the sweep wants the executor's capability, not the scheduler's mood
+	// or the moment a background GC cycle happens to land. One GC per round
+	// keeps heap state comparable across sizes.
+	for round := 0; round < cfg.Rounds; round++ {
+		runtime.GC()
+		for i, size := range cfg.Sizes {
+			e.SetBatchSize(size)
+			t0 := time.Now()
+			if _, err := run(); err != nil {
+				return nil, err
+			}
+			samples[i] = append(samples[i], time.Since(t0))
+		}
+	}
+	for i := range rows {
+		best := minDuration(samples[i])
+		rows[i].WallMs = float64(best.Nanoseconds()) / 1e6
+		rows[i].RowsPerSec = float64(rows[i].Rows) / best.Seconds()
+	}
+	for _, r := range rows {
+		if r.BatchSize == 1 {
+			baseline = r.RowsPerSec
+			break
+		}
+	}
+	if baseline == 0 && len(rows) > 0 {
+		baseline = rows[0].RowsPerSec
+	}
+	for i := range rows {
+		rows[i].Speedup = rows[i].RowsPerSec / baseline
+	}
+	return rows, nil
+}
+
+// minDuration returns the smallest of ds.
+func minDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	best := ds[0]
+	for _, d := range ds[1:] {
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// FormatBatchSweep renders the sweep.
+func FormatBatchSweep(rows []BatchSweepRow) string {
+	var sb strings.Builder
+	sb.WriteString("Batch-size sweep: WITH RECURSIVE graphtraverse frontier expansion\n")
+	sb.WriteString("(vectorized executor; speedup is vs batch size 1 — tuple-at-a-time).\n\n")
+	fmt.Fprintf(&sb, "%10s %10s %10s %14s %9s %12s\n",
+		"batchsize", "rows", "wall[ms]", "rows/sec", "speedup", "page writes")
+	sb.WriteString(strings.Repeat("-", 70) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%10d %10d %10.2f %14.0f %8.2fx %12d\n",
+			r.BatchSize, r.Rows, r.WallMs, r.RowsPerSec, r.Speedup, r.PageWrites)
+	}
+	return sb.String()
+}

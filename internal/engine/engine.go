@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"plsqlaway/internal/catalog"
+	"plsqlaway/internal/exec"
 	"plsqlaway/internal/plan"
 	"plsqlaway/internal/plast"
 	"plsqlaway/internal/plinterp"
@@ -51,6 +52,7 @@ type shared struct {
 	maxRecursion int
 	maxCallDepth int
 	seed         uint64
+	batchSize    int
 }
 
 // Engine is one database instance. Its query/DDL methods are safe for
@@ -73,6 +75,7 @@ type config struct {
 	maxRecursion int
 	maxCallDepth int
 	seed         uint64
+	batchSize    int
 }
 
 // Option configures a new Engine.
@@ -92,6 +95,12 @@ func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
 // runaway recursion; the default admits the paper's largest workloads).
 func WithMaxRecursion(n int) Option { return func(c *config) { c.maxRecursion = n } }
 
+// WithBatchSize sets the executor's default tuples-per-batch (the
+// vectorization knob; default exec.DefaultBatchSize, 1 degenerates to
+// tuple-at-a-time Volcano iteration). Sessions may override it with
+// Session.SetBatchSize.
+func WithBatchSize(n int) Option { return func(c *config) { c.batchSize = n } }
+
 // New creates an engine.
 func New(opts ...Option) *Engine {
 	cfg := config{
@@ -100,6 +109,7 @@ func New(opts ...Option) *Engine {
 		maxRecursion: 20_000_000,
 		maxCallDepth: 256,
 		seed:         42,
+		batchSize:    exec.DefaultBatchSize,
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -111,6 +121,7 @@ func New(opts ...Option) *Engine {
 		maxRecursion: cfg.maxRecursion,
 		maxCallDepth: cfg.maxCallDepth,
 		seed:         cfg.seed,
+		batchSize:    cfg.batchSize,
 	}
 	sh.cat = catalog.New(sh.storageStats)
 	sh.cache = plan.NewCache(sh.cat)
@@ -147,6 +158,16 @@ func (e *Engine) Interp() *plinterp.Interpreter { return e.def.Interp() }
 
 // Profile reports the active engine profile.
 func (e *Engine) Profile() profile.Profile { return e.sh.prof }
+
+// SetBatchSize overrides the default session's executor batch size (0
+// restores the engine default, 1 degenerates to tuple-at-a-time
+// iteration). Sessions created with NewSession use their own
+// Session.SetBatchSize.
+func (e *Engine) SetBatchSize(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.def.SetBatchSize(n)
+}
 
 // Seed reseeds the default session's random(); interpreted and compiled
 // runs of the same seed see the same stream.

@@ -33,6 +33,10 @@ type Session struct {
 	// callDepth guards runaway UDF recursion across nested callFunction
 	// invocations (PostgreSQL's max_stack_depth, in spirit).
 	callDepth int
+
+	// batchSize overrides the engine's executor batch size for this
+	// session (0 = inherit the shared default).
+	batchSize int
 }
 
 // newSession wires a session to the shared core.
@@ -56,7 +60,22 @@ func (s *Session) newCtx() *exec.Ctx {
 	ctx.WorkMem = s.sh.workMem
 	ctx.MaxRecursion = s.sh.maxRecursion
 	ctx.CallFn = s.callFunction
+	if s.batchSize > 0 {
+		ctx.BatchSize = s.batchSize
+	} else if s.sh.batchSize > 0 {
+		ctx.BatchSize = s.sh.batchSize
+	}
 	return ctx
+}
+
+// SetBatchSize overrides the executor batch size for this session (0
+// restores the engine default, 1 degenerates to tuple-at-a-time
+// iteration). Used by the benchmark harness's batch-size sweep.
+func (s *Session) SetBatchSize(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.batchSize = n
 }
 
 // Counters exposes this session's profile counters (Table 1 buckets).

@@ -34,6 +34,13 @@ type aggNode struct {
 	specs  []*aggSpecState
 	out    []storage.Tuple
 	idx    int
+
+	// Shared column set of evalColumns: grouping keys followed by the
+	// non-star aggregate arguments (argPos maps spec index → column, -1 for
+	// count(*)).
+	evalList []*ExprState
+	argPos   []int
+	evalCols [][]sqltypes.Value
 }
 
 func instantiateAgg(x *plan.Agg) (Node, error) {
@@ -77,7 +84,6 @@ func newAggState(s *aggSpecState) *aggState {
 }
 
 func (st *aggState) accumulate(ctx *Ctx, row storage.Tuple) error {
-	var v sqltypes.Value
 	if st.spec.star {
 		st.count++
 		return nil
@@ -86,6 +92,13 @@ func (st *aggState) accumulate(ctx *Ctx, row storage.Tuple) error {
 	if err != nil {
 		return err
 	}
+	return st.accumulateValue(v)
+}
+
+// accumulateValue folds one already-evaluated argument into the state (the
+// batch path evaluates arguments vectorized and feeds them here).
+func (st *aggState) accumulateValue(v sqltypes.Value) error {
+	var err error
 	if v.IsNull() {
 		return nil // aggregates ignore NULL inputs
 	}
@@ -184,6 +197,40 @@ func (st *aggState) result(ctx *Ctx, sampleRow storage.Tuple) (sqltypes.Value, e
 	return sqltypes.Null, fmt.Errorf("exec: unknown aggregate %s", st.spec.fn)
 }
 
+// evalColumns evaluates the grouping keys and aggregate arguments over one
+// batch as a single expression-column set — keys first, then arguments in
+// spec order, which is exactly the per-row order the tuple-at-a-time
+// executor evaluated them in, so evalExprColumns' row-major fallback for
+// impure expressions preserves the volatile draw order. groupCols and
+// argCols come back aliasing the shared column set.
+func (n *aggNode) evalColumns(ctx *Ctx, rows []storage.Tuple, groupCols, argCols [][]sqltypes.Value) error {
+	if n.evalList == nil {
+		n.evalList = append(n.evalList, n.groups...)
+		n.argPos = make([]int, len(n.specs))
+		for i, s := range n.specs {
+			if s.star {
+				n.argPos[i] = -1
+				continue
+			}
+			n.argPos[i] = len(n.evalList)
+			n.evalList = append(n.evalList, s.arg)
+		}
+		n.evalCols = make([][]sqltypes.Value, len(n.evalList))
+	}
+	if err := evalExprColumns(ctx, n.evalList, rows, n.evalCols); err != nil {
+		return err
+	}
+	for i := range n.groups {
+		groupCols[i] = n.evalCols[i]
+	}
+	for i, pos := range n.argPos {
+		if pos >= 0 {
+			argCols[i] = n.evalCols[pos]
+		}
+	}
+	return nil
+}
+
 func (n *aggNode) Open(ctx *Ctx) error {
 	n.out = nil
 	n.idx = 0
@@ -197,36 +244,83 @@ func (n *aggNode) Open(ctx *Ctx) error {
 	}
 	var order []string
 	groupsByKey := map[string]*group{}
+	// Drain the child batch-at-a-time, evaluating the grouping keys and
+	// every aggregate argument vectorized over each batch before the
+	// per-row fold into the group states. A grand aggregate (no GROUP BY)
+	// skips group-key hashing entirely — one state set folds every row.
+	b := NewBatch(ctx.BatchSize)
+	groupCols := make([][]sqltypes.Value, len(n.groups))
+	argCols := make([][]sqltypes.Value, len(n.specs))
+	var grand *group
+	if len(n.groups) == 0 {
+		grand = &group{}
+		for _, s := range n.specs {
+			grand.states = append(grand.states, newAggState(s))
+		}
+	}
 	for {
-		t, err := n.child.Next(ctx)
-		if err != nil {
+		if err := n.child.NextBatch(ctx, b); err != nil {
 			return err
 		}
-		if t == nil {
+		m := b.Len()
+		if m == 0 {
 			break
 		}
-		keys := make(storage.Tuple, len(n.groups))
-		for i, g := range n.groups {
-			keys[i], err = g.Eval(ctx, t)
-			if err != nil {
-				return err
+		rows := b.Rows()
+		if err := n.evalColumns(ctx, rows, groupCols, argCols); err != nil {
+			return err
+		}
+		if grand != nil {
+			// Grand aggregate: fold column-major — one pass per aggregate
+			// over its evaluated argument column, no per-row group lookup.
+			if grand.sample == nil {
+				grand.sample = rows[0]
+			}
+			for i, st := range grand.states {
+				if st.spec.star {
+					st.count += int64(m)
+					continue
+				}
+				col := argCols[i]
+				for r := 0; r < m; r++ {
+					if err := st.accumulateValue(col[r]); err != nil {
+						return err
+					}
+				}
+			}
+			continue
+		}
+		for r := 0; r < m; r++ {
+			t := rows[r]
+			keys := make(storage.Tuple, len(n.groups))
+			for i := range n.groups {
+				keys[i] = groupCols[i][r]
+			}
+			k := tupleKey(keys)
+			grp, ok := groupsByKey[k]
+			if !ok {
+				grp = &group{keys: keys, sample: t}
+				for _, s := range n.specs {
+					grp.states = append(grp.states, newAggState(s))
+				}
+				groupsByKey[k] = grp
+				order = append(order, k)
+			}
+			for i, st := range grp.states {
+				if st.spec.star {
+					st.count++
+					continue
+				}
+				if err := st.accumulateValue(argCols[i][r]); err != nil {
+					return err
+				}
 			}
 		}
-		k := tupleKey(keys)
-		grp, ok := groupsByKey[k]
-		if !ok {
-			grp = &group{keys: keys, sample: t}
-			for _, s := range n.specs {
-				grp.states = append(grp.states, newAggState(s))
-			}
-			groupsByKey[k] = grp
-			order = append(order, k)
-		}
-		for _, st := range grp.states {
-			if err := st.accumulate(ctx, t); err != nil {
-				return err
-			}
-		}
+	}
+	if grand != nil && grand.sample != nil {
+		// The grand group joins the emit path below under an empty key.
+		groupsByKey[""] = grand
+		order = append(order, "")
 	}
 	if len(order) == 0 && len(n.groups) == 0 {
 		// Grand aggregate over empty input: one row of defaults.
@@ -263,11 +357,7 @@ func (n *aggNode) Rescan(ctx *Ctx) error { return n.Open(ctx) }
 
 func (n *aggNode) Close(ctx *Ctx) error { return nil }
 
-func (n *aggNode) Next(ctx *Ctx) (storage.Tuple, error) {
-	if n.idx >= len(n.out) {
-		return nil, nil
-	}
-	t := n.out[n.idx]
-	n.idx++
-	return t, nil
+func (n *aggNode) NextBatch(ctx *Ctx, out *Batch) error {
+	n.idx += copyChunk(out, n.out, n.idx)
+	return nil
 }

@@ -1,0 +1,242 @@
+package exec
+
+import (
+	"testing"
+
+	"plsqlaway/internal/sqltypes"
+	"plsqlaway/internal/storage"
+)
+
+func TestBatchLimitAndFill(t *testing.T) {
+	b := NewBatch(3)
+	if b.Cap() != 3 || b.Len() != 0 || b.Full() {
+		t.Fatalf("fresh batch: cap=%d len=%d full=%v", b.Cap(), b.Len(), b.Full())
+	}
+	for i := 0; i < 3; i++ {
+		b.Add(storage.Tuple{sqltypes.NewInt(int64(i))})
+	}
+	if !b.Full() || b.Len() != 3 {
+		t.Fatalf("filled batch: len=%d full=%v", b.Len(), b.Full())
+	}
+	if b.Row(2)[0].Int() != 2 {
+		t.Errorf("Row(2) = %v", b.Row(2))
+	}
+	b.SetLimit(1)
+	if !b.Full() {
+		t.Error("shrinking the limit below len must report full")
+	}
+	b.begin()
+	if b.Len() != 0 || b.Cap() != 1 {
+		t.Errorf("begin: len=%d cap=%d", b.Len(), b.Cap())
+	}
+	b.SetLimit(0)
+	if b.Cap() != 1 {
+		t.Errorf("SetLimit clamps to ≥ 1, got %d", b.Cap())
+	}
+}
+
+// countingNode emits total single-int rows, recording the largest batch
+// limit it was asked for.
+type countingNode struct {
+	total    int
+	pos      int
+	maxLimit int
+}
+
+func (n *countingNode) Open(ctx *Ctx) error   { n.pos = 0; return nil }
+func (n *countingNode) Rescan(ctx *Ctx) error { n.pos = 0; return nil }
+func (n *countingNode) Close(ctx *Ctx) error  { return nil }
+func (n *countingNode) NextBatch(ctx *Ctx, out *Batch) error {
+	out.begin()
+	if out.Cap() > n.maxLimit {
+		n.maxLimit = out.Cap()
+	}
+	for !out.Full() && n.pos < n.total {
+		out.Add(storage.Tuple{sqltypes.NewInt(int64(n.pos))})
+		n.pos++
+	}
+	return nil
+}
+
+func TestRowIterBoundsPulls(t *testing.T) {
+	ctx := NewCtx()
+	src := &countingNode{total: 5}
+	it := newRowIter(src, 2)
+	if err := src.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for {
+		row, err := it.next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row == nil {
+			break
+		}
+		got = append(got, row[0].Int())
+	}
+	if len(got) != 5 {
+		t.Fatalf("rowIter drained %d rows, want 5", len(got))
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("row %d = %d", i, v)
+		}
+	}
+	if src.maxLimit != 2 {
+		t.Errorf("rowIter pulled batches of %d, want its limit 2", src.maxLimit)
+	}
+	// Further pulls at EOF stay nil.
+	if row, _ := it.next(ctx); row != nil {
+		t.Error("post-EOF next must stay nil")
+	}
+}
+
+func TestDrainNodeVisitsEveryRow(t *testing.T) {
+	ctx := NewCtx()
+	src := &countingNode{total: 10}
+	if err := src.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatch(3)
+	var sum int64
+	if err := drainNode(ctx, src, b, func(tu storage.Tuple) error {
+		sum += tu[0].Int()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 45 {
+		t.Errorf("drain sum = %d, want 45", sum)
+	}
+}
+
+func TestTupleSetIntFastPathMatchesEncodedPath(t *testing.T) {
+	s := newTupleSet()
+	if !s.add(storage.Tuple{sqltypes.NewInt(3)}) {
+		t.Fatal("first insert must be new")
+	}
+	// Float 3.0 normalizes onto the same int — tupleKey semantics.
+	if s.add(storage.Tuple{sqltypes.NewFloat(3)}) {
+		t.Error("3.0 must collide with 3 (Identical semantics)")
+	}
+	if s.add(storage.Tuple{sqltypes.NewInt(3)}) {
+		t.Error("re-insert must report duplicate")
+	}
+	if !s.add(storage.Tuple{sqltypes.NewFloat(3.5)}) {
+		t.Error("3.5 is distinct from 3")
+	}
+	if !s.add(storage.Tuple{sqltypes.Null}) {
+		t.Error("NULL singleton tuple is its own key")
+	}
+	if s.add(storage.Tuple{sqltypes.Null}) {
+		t.Error("NULL must dedup against NULL (tupleKey semantics)")
+	}
+	// Wider tuples take the encoded path.
+	two := storage.Tuple{sqltypes.NewInt(1), sqltypes.NewInt(2)}
+	if !s.add(two) || s.add(two) {
+		t.Error("two-column tuples must dedup through the encoded path")
+	}
+	// Coord and its row twin are Identical and must collide.
+	if !s.add(storage.Tuple{sqltypes.NewCoord(1, 2)}) {
+		t.Fatal("coord insert")
+	}
+	if s.add(storage.Tuple{sqltypes.NewRow([]sqltypes.Value{sqltypes.NewInt(1), sqltypes.NewInt(2)})}) {
+		t.Error("coord(1,2) and row(1,2) are Identical and must collide")
+	}
+}
+
+func TestRowTableIntAndEncodedPartitionsAgree(t *testing.T) {
+	r1 := storage.Tuple{sqltypes.NewText("r1")}
+	r2 := storage.Tuple{sqltypes.NewText("r2")}
+	mustProbe := func(rt *rowTable, keys ...sqltypes.Value) []storage.Tuple {
+		t.Helper()
+		got, err := rt.probe(keys)
+		if err != nil {
+			t.Fatalf("probe(%v): %v", keys, err)
+		}
+		return got
+	}
+
+	var rt rowTable
+	rt.insert([]sqltypes.Value{sqltypes.NewInt(7)}, r1)
+	rt.insert([]sqltypes.Value{sqltypes.NewFloat(7)}, r2)
+	if got := mustProbe(&rt, sqltypes.NewFloat(7.0)); len(got) != 2 {
+		t.Errorf("numeric-normalized probe found %d rows, want 2", len(got))
+	}
+	// Large numerics: int 2^53+1 and float 2^53 share a bucket (Compare
+	// calls them equal via the float image); exactness tracking reports it.
+	rt.insert([]sqltypes.Value{sqltypes.NewInt(1<<53 + 1)}, r1)
+	if got := mustProbe(&rt, sqltypes.NewFloat(1<<53)); len(got) != 1 {
+		t.Errorf("2^53 float probe found %d rows, want the 2^53+1 int bucket-mate", len(got))
+	}
+	if rt.exact() {
+		t.Error("table with a >=2^53 int key must not report exact buckets")
+	}
+	// NULL keys neither build nor probe.
+	rt.insert([]sqltypes.Value{sqltypes.Null}, r1)
+	if got := mustProbe(&rt, sqltypes.Null); got != nil {
+		t.Errorf("NULL probe must find nothing, got %d rows", len(got))
+	}
+	// Probing with a kind the build keys cannot be compared with errors,
+	// exactly as the nest-loop plan errored on such a pair.
+	if _, err := rt.probe([]sqltypes.Value{sqltypes.NewText("seven")}); err == nil {
+		t.Error("text probe against numeric build keys must error like Compare")
+	}
+
+	// Text keys take the encoded path.
+	var rs rowTable
+	rs.insert([]sqltypes.Value{sqltypes.NewText("k")}, r2)
+	if got := mustProbe(&rs, sqltypes.NewText("k")); len(got) != 1 {
+		t.Errorf("text probe found %d rows, want 1", len(got))
+	}
+	if got := mustProbe(&rs, sqltypes.NewText("absent")); got != nil {
+		t.Errorf("absent probe must find nothing")
+	}
+	if !rs.exact() {
+		t.Error("pure text keys are exact buckets")
+	}
+
+	// Multi-column keys.
+	var rm rowTable
+	rm.insert([]sqltypes.Value{sqltypes.NewInt(1), sqltypes.NewInt(2)}, r1)
+	if got := mustProbe(&rm, sqltypes.NewInt(1), sqltypes.NewInt(2)); len(got) != 1 {
+		t.Errorf("multi-column probe found %d rows, want 1", len(got))
+	}
+	if got := mustProbe(&rm, sqltypes.NewInt(1), sqltypes.NewInt(3)); got != nil {
+		t.Errorf("multi-column mismatch must find nothing")
+	}
+}
+
+func TestEvalBatchPureMatchesEval(t *testing.T) {
+	// (n + 2) * 3 >= 12 over rows 0..9, batch vs per-row.
+	expr := &ExprState{kind: kBin, op: ">=", bin: binCodeFor(">="), pure: true, kids: []*ExprState{
+		{kind: kBin, op: "*", bin: binCodeFor("*"), pure: true, kids: []*ExprState{
+			{kind: kBin, op: "+", bin: binCodeFor("+"), pure: true, kids: []*ExprState{
+				{kind: kInput, idx: 0, pure: true},
+				{kind: kConst, val: sqltypes.NewInt(2), pure: true},
+			}},
+			{kind: kConst, val: sqltypes.NewInt(3), pure: true},
+		}},
+		{kind: kConst, val: sqltypes.NewInt(12), pure: true},
+	}}
+	ctx := NewCtx()
+	rows := make([]storage.Tuple, 10)
+	for i := range rows {
+		rows[i] = storage.Tuple{sqltypes.NewInt(int64(i))}
+	}
+	out := make([]sqltypes.Value, len(rows))
+	if err := expr.EvalBatch(ctx, rows, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		want, err := expr.Eval(ctx, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sqltypes.Identical(want, out[i]) {
+			t.Errorf("row %d: batch=%v row-at-a-time=%v", i, out[i], want)
+		}
+	}
+}

@@ -79,6 +79,11 @@ type Ctx struct {
 	MaxRecursion int
 	CallFn       CallFunc
 
+	// BatchSize is the number of tuples moved per NextBatch call. 1 makes
+	// the batch pipeline degenerate to tuple-at-a-time Volcano iteration
+	// (the baseline of the BenchmarkBatchSize sweep).
+	BatchSize int
+
 	// Depth guards runaway UDF recursion (PL/pgSQL calling itself).
 	CallDepth    int
 	MaxCallDepth int
@@ -96,6 +101,7 @@ func NewCtx() *Ctx {
 		WorkMem:      storage.DefaultWorkMem,
 		MaxRecursion: 20_000_000,
 		MaxCallDepth: 256,
+		BatchSize:    DefaultBatchSize,
 	}
 }
 

@@ -8,10 +8,19 @@ import (
 // Executor is the instantiated runtime state of one plan — PostgreSQL's
 // QueryDesc/EState. Creating it (Instantiate) plus Open is the engine's
 // ExecutorStart; pulling rows is ExecutorRun; Shutdown is ExecutorEnd.
+//
+// The node tree underneath is batch-at-a-time (NextBatch); the facade
+// offers both that interface (NextBatch/Run) and a tuple-at-a-time Next
+// shim over an internal batch, so callers written against the Volcano
+// contract — the interpreter, the engine's row loops, tests — need no
+// changes.
 type Executor struct {
 	Plan *plan.Plan
 	root Node
 	ctx  *Ctx
+
+	shim *rowIter // Next()'s pull adapter over the root
+	buf  *Batch   // Run()'s shuttle batch
 }
 
 // Instantiate builds executor state from a (cached) plan. Like
@@ -20,6 +29,15 @@ type Executor struct {
 // executor-node tree — the per-call work the paper's Figure 3 profiles as
 // f→Qi context-switch overhead.
 func Instantiate(p *plan.Plan, ctx *Ctx) (*Executor, error) {
+	// Volatile plans (random(), setseed(), UDF calls) run tuple-at-a-time:
+	// batch pipelines evaluate one stage over a whole batch before the next
+	// stage runs, which would interleave volatile draws across stages
+	// differently than Volcano iteration. Forcing batch size 1 makes the
+	// deterministic random() stream exactly match the tuple-at-a-time
+	// executor by construction; pure plans keep the configured batch size.
+	if ctx.BatchSize > 1 && p.HasVolatile() {
+		ctx.BatchSize = 1
+	}
 	pc := p.Clone()
 	root, err := instantiateNode(pc.Root)
 	if err != nil {
@@ -40,36 +58,49 @@ func Instantiate(p *plan.Plan, ctx *Ctx) (*Executor, error) {
 		ctx.cteStores = make([]*storage.TupleStore, len(p.CTEs))
 		ctx.cteWorking = make([][]storage.Tuple, len(p.CTEs))
 	}
-	return &Executor{Plan: p, root: root, ctx: ctx}, nil
+	return &Executor{
+		Plan: p, root: root, ctx: ctx,
+		shim: newRowIter(root, ctx.BatchSize),
+		buf:  NewBatch(ctx.BatchSize),
+	}, nil
 }
 
 // Ctx exposes the execution context (the engine wires hooks through it).
 func (e *Executor) Ctx() *Ctx { return e.ctx }
 
 // Open prepares the plan for scanning.
-func (e *Executor) Open() error { return e.root.Open(e.ctx) }
+func (e *Executor) Open() error {
+	e.shim.reset()
+	return e.root.Open(e.ctx)
+}
 
-// Next pulls one row (nil at EOF).
-func (e *Executor) Next() (storage.Tuple, error) { return e.root.Next(e.ctx) }
+// NextBatch fills out with the plan's next rows (empty at EOF).
+func (e *Executor) NextBatch(out *Batch) error { return e.root.NextBatch(e.ctx, out) }
+
+// Next pulls one row (nil at EOF) — the tuple-at-a-time shim over the
+// batch pipeline.
+func (e *Executor) Next() (storage.Tuple, error) { return e.shim.next(e.ctx) }
 
 // Rescan resets the plan for re-execution with the same instantiation.
-func (e *Executor) Rescan() error { return e.root.Rescan(e.ctx) }
+func (e *Executor) Rescan() error {
+	e.shim.reset()
+	return e.root.Rescan(e.ctx)
+}
 
-// Run opens the plan and pulls every row.
+// Run opens the plan and pulls every row batch-at-a-time.
 func (e *Executor) Run() ([]storage.Tuple, error) {
 	if err := e.Open(); err != nil {
 		return nil, err
 	}
 	var out []storage.Tuple
 	for {
-		t, err := e.Next()
-		if err != nil {
+		if err := e.root.NextBatch(e.ctx, e.buf); err != nil {
 			return out, err
 		}
-		if t == nil {
+		if e.buf.Len() == 0 {
 			return out, nil
 		}
-		out = append(out, t)
+		out = append(out, e.buf.Rows()...)
 	}
 }
 
@@ -87,6 +118,8 @@ func (e *Executor) Shutdown() {
 		}
 	}
 	e.root = nil
+	e.shim = nil
+	e.buf = nil
 	e.ctx.cteDefs = nil
 }
 
@@ -95,32 +128,43 @@ func teardown(n Node) {
 	switch x := n.(type) {
 	case *filterNode:
 		teardown(x.child)
-		x.child, x.pred = nil, nil
+		x.child, x.pred, x.in, x.sel = nil, nil, nil, nil
 	case *projectNode:
 		teardown(x.child)
-		x.child, x.exprs = nil, nil
+		x.child, x.exprs, x.in, x.cols = nil, nil, nil, nil
 	case *nestLoopNode:
 		teardown(x.left)
 		teardown(x.right)
-		x.left, x.right, x.on, x.leftRow = nil, nil, nil, nil
+		x.left, x.right, x.on, x.curLeft, x.in, x.rin = nil, nil, nil, nil, nil, nil
+	case *hashJoinNode:
+		teardown(x.left)
+		teardown(x.right)
+		x.table.reset()
+		x.left, x.right, x.residual, x.leftKeys, x.rightKeys = nil, nil, nil, nil, nil
+		x.in, x.keyCols, x.keyRow, x.cand, x.curLeft = nil, nil, nil, nil, nil
+		x.slab, x.arena = nil, nil
+	case *hashJoinProjectNode:
+		teardown(x.join)
+		x.join, x.exprs, x.mid, x.cols = nil, nil, nil, nil
 	case *materializeNode:
 		teardown(x.child)
 		x.child, x.rows = nil, nil
 	case *aggNode:
 		teardown(x.child)
 		x.child, x.out, x.groups, x.specs = nil, nil, nil, nil
+		x.evalList, x.argPos, x.evalCols = nil, nil, nil
 	case *windowNode:
 		teardown(x.child)
 		x.child, x.out, x.funcs = nil, nil, nil
 	case *sortNode:
 		teardown(x.child)
-		x.child, x.rows, x.keys = nil, nil, nil
+		x.child, x.rows, x.keys, x.kexp, x.kcols = nil, nil, nil, nil, nil
 	case *limitNode:
 		teardown(x.child)
-		x.child, x.limit, x.offset = nil, nil, nil
+		x.child, x.limit, x.offset, x.in = nil, nil, nil, nil
 	case *distinctNode:
 		teardown(x.child)
-		x.child, x.seen = nil, nil
+		x.child, x.seen, x.in = nil, nil, nil
 	case *appendNode:
 		for i, c := range x.children {
 			teardown(c)
@@ -135,16 +179,16 @@ func teardown(n Node) {
 	case *recursiveUnionNode:
 		teardown(x.nonRec)
 		teardown(x.rec)
-		x.nonRec, x.rec, x.batch, x.working, x.seen = nil, nil, nil, nil, nil
+		x.nonRec, x.rec, x.batch, x.working, x.seen, x.shuttle = nil, nil, nil, nil, nil, nil
 	case *withNode:
 		teardown(x.child)
 		x.child = nil
 	case *seqScanNode:
-		x.rows = nil
+		x.scan = nil
 	case *indexScanNode:
 		x.rows, x.hits, x.key = nil, nil, nil
 	case *cteScanNode:
-		x.iter, x.rows = nil, nil
+		x.iter, x.rows, x.buf = nil, nil, nil
 	case *resultNode:
 		x.exprs = nil
 	}

@@ -41,6 +41,7 @@ type ExprState struct {
 	idx     int            // kInput, kOuter, kField (positional), kParam (ordinal)
 	depth   int            // kOuter
 	op      string         // kBin, kUnary, kField (named field)
+	bin     binCode        // kBin: precomputed operator dispatch code
 	kids    []*ExprState   // operands / args / CASE [operand?, cond1, res1, cond2, res2, …]
 	elseK   *ExprState     // kCase
 	hasOp   bool           // kCase has operand
@@ -52,16 +53,65 @@ type ExprState struct {
 	sub     Node // kSubplan: instantiated subplan
 	subMode plan.SubplanMode
 	subCmp  *ExprState // kSubplan IN: left-hand value
+	subIter *rowIter   // kSubplan: reused pull adapter over sub
 
 	fn *catalog.Function // kUDF
+
+	// pure marks subtrees free of subplans, UDF calls, and volatile
+	// builtins (random, setseed): exactly the expressions EvalBatch may
+	// evaluate operator-at-a-time over a whole batch without changing
+	// evaluation counts or the deterministic random() stream.
+	pure bool
+
+	// bufs are per-operand scratch columns for batch evaluation, reused
+	// across calls (an ExprState belongs to one executor instantiation and
+	// is never evaluated reentrantly when pure).
+	bufs [][]sqltypes.Value
+	args []sqltypes.Value // kFunc: per-row argument scratch
+
+	// selRows/selIdx are the selection-vector scratch of vectorized AND/OR:
+	// the subset of rows whose right operand must actually be evaluated.
+	selRows []storage.Tuple
+	selIdx  []int
 }
 
 // InstantiateExpr builds the runtime tree for a standalone compiled
 // expression (the interpreter's fast path uses it directly).
 func InstantiateExpr(e plan.Expr) (*ExprState, error) { return instantiateExpr(e) }
 
-// instantiateExpr builds the runtime tree for e.
+// instantiateExpr builds the runtime tree for e and finalizes its purity
+// flag (children are finalized first — construction is bottom-up).
 func instantiateExpr(e plan.Expr) (*ExprState, error) {
+	es, err := buildExpr(e)
+	if err != nil {
+		return nil, err
+	}
+	es.pure = es.computePure()
+	return es, nil
+}
+
+func (es *ExprState) computePure() bool {
+	switch es.kind {
+	case kSubplan, kUDF:
+		return false
+	case kFunc:
+		if es.name == "random" || es.name == "setseed" {
+			return false
+		}
+	}
+	for _, k := range es.kids {
+		if !k.pure {
+			return false
+		}
+	}
+	if es.elseK != nil && !es.elseK.pure {
+		return false
+	}
+	return true
+}
+
+// buildExpr constructs the runtime tree for e.
+func buildExpr(e plan.Expr) (*ExprState, error) {
 	switch x := e.(type) {
 	case *plan.Const:
 		return &ExprState{kind: kConst, val: x.Val}, nil
@@ -80,7 +130,7 @@ func instantiateExpr(e plan.Expr) (*ExprState, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &ExprState{kind: kBin, op: x.Op, kids: []*ExprState{l, r}}, nil
+		return &ExprState{kind: kBin, op: x.Op, bin: binCodeFor(x.Op), kids: []*ExprState{l, r}}, nil
 	case *plan.UnaryOp:
 		k, err := instantiateExpr(x.X)
 		if err != nil {
@@ -356,26 +406,371 @@ func (es *ExprState) evalBinary(ctx *Ctx, row storage.Tuple) (sqltypes.Value, er
 	if err != nil {
 		return sqltypes.Null, err
 	}
-	switch es.op {
+	return applyBin(es.bin, es.op, l, r)
+}
+
+// binCode is a binary operator's precomputed dispatch code: the per-call
+// instantiation resolves the operator string once so the hot loop pays a
+// jump table instead of string switches (applyBin used to re-parse the
+// operator per row, and CompareOp a second time).
+type binCode uint8
+
+const (
+	bcCmp binCode = iota // comparisons: =, <>, <, <=, >, >= (sub-coded by cmpLo/cmpHi)
+	bcAdd
+	bcSub
+	bcMul
+	bcDiv
+	bcMod
+	bcConcat
+	bcAnd
+	bcOr
+	bcEq
+	bcNe
+	bcLt
+	bcLe
+	bcGt
+	bcGe
+)
+
+func binCodeFor(op string) binCode {
+	switch op {
 	case "+":
-		return sqltypes.Add(l, r)
+		return bcAdd
 	case "-":
-		return sqltypes.Sub(l, r)
+		return bcSub
 	case "*":
-		return sqltypes.Mul(l, r)
+		return bcMul
 	case "/":
-		return sqltypes.Div(l, r)
+		return bcDiv
 	case "%":
-		return sqltypes.Mod(l, r)
+		return bcMod
 	case "||":
-		return sqltypes.Concat(l, r)
+		return bcConcat
 	case "AND":
-		return sqltypes.And(l, r)
+		return bcAnd
 	case "OR":
-		return sqltypes.Or(l, r)
-	default:
-		return sqltypes.CompareOp(es.op, l, r)
+		return bcOr
+	case "=":
+		return bcEq
+	case "<>", "!=":
+		return bcNe
+	case "<":
+		return bcLt
+	case "<=":
+		return bcLe
+	case ">":
+		return bcGt
+	case ">=":
+		return bcGe
 	}
+	return bcCmp
+}
+
+// applyBin dispatches one binary operator application (shared by the
+// row-at-a-time and batch evaluators). op is only consulted for the
+// unknown-operator error path.
+func applyBin(code binCode, op string, l, r sqltypes.Value) (sqltypes.Value, error) {
+	switch code {
+	case bcAdd:
+		return sqltypes.Add(l, r)
+	case bcSub:
+		return sqltypes.Sub(l, r)
+	case bcMul:
+		return sqltypes.Mul(l, r)
+	case bcDiv:
+		return sqltypes.Div(l, r)
+	case bcMod:
+		return sqltypes.Mod(l, r)
+	case bcConcat:
+		return sqltypes.Concat(l, r)
+	case bcAnd:
+		return sqltypes.And(l, r)
+	case bcOr:
+		return sqltypes.Or(l, r)
+	}
+	if l.IsNull() || r.IsNull() {
+		return sqltypes.Null, nil
+	}
+	c, err := sqltypes.Compare(l, r)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	switch code {
+	case bcEq:
+		return sqltypes.NewBool(c == 0), nil
+	case bcNe:
+		return sqltypes.NewBool(c != 0), nil
+	case bcLt:
+		return sqltypes.NewBool(c < 0), nil
+	case bcLe:
+		return sqltypes.NewBool(c <= 0), nil
+	case bcGt:
+		return sqltypes.NewBool(c > 0), nil
+	case bcGe:
+		return sqltypes.NewBool(c >= 0), nil
+	}
+	return sqltypes.CompareOp(op, l, r)
+}
+
+// evalLogicalBatch vectorizes AND/OR with a selection vector: the left
+// operand evaluates over the whole batch, then the right operand evaluates
+// only over the rows the row-at-a-time evaluator would have reached —
+// exactly the rows evalBinary's short-circuit does not skip. Guard
+// patterns (`y <> 0 AND x/y > 2`) therefore keep their protective laziness
+// row for row while both operands still evaluate batch-at-a-time.
+func (es *ExprState) evalLogicalBatch(ctx *Ctx, rows []storage.Tuple, out []sqltypes.Value) error {
+	n := len(rows)
+	l := es.buf(0, n)
+	if err := es.kids[0].EvalBatch(ctx, rows, l); err != nil {
+		return err
+	}
+	isAnd := es.op == "AND"
+	es.selRows = es.selRows[:0]
+	es.selIdx = es.selIdx[:0]
+	for i := 0; i < n; i++ {
+		v := l[i]
+		// AND short-circuits on a false left, OR on a true left — the
+		// short-circuit result is the left value itself.
+		if v.Kind() == sqltypes.KindBool && v.Bool() != isAnd {
+			out[i] = v
+			continue
+		}
+		es.selRows = append(es.selRows, rows[i])
+		es.selIdx = append(es.selIdx, i)
+	}
+	if len(es.selRows) == 0 {
+		return nil
+	}
+	r := es.buf(1, len(es.selRows))
+	if err := es.kids[1].EvalBatch(ctx, es.selRows, r); err != nil {
+		return err
+	}
+	for j, i := range es.selIdx {
+		var v sqltypes.Value
+		var err error
+		if isAnd {
+			v, err = sqltypes.And(l[i], r[j])
+		} else {
+			v, err = sqltypes.Or(l[i], r[j])
+		}
+		if err != nil {
+			return err
+		}
+		out[i] = v
+	}
+	return nil
+}
+
+// buf returns the i-th scratch column sized to n values.
+func (es *ExprState) buf(i, n int) []sqltypes.Value {
+	for len(es.bufs) <= i {
+		es.bufs = append(es.bufs, nil)
+	}
+	es.bufs[i] = growVals(es.bufs[i], n)
+	return es.bufs[i]
+}
+
+// evalRows is the row-at-a-time fallback of EvalBatch.
+func (es *ExprState) evalRows(ctx *Ctx, rows []storage.Tuple, out []sqltypes.Value) error {
+	for i, r := range rows {
+		v, err := es.Eval(ctx, r)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+	}
+	return nil
+}
+
+// EvalBatch evaluates the expression once per row of the batch, writing
+// into out (len(out) == len(rows)). Pure expressions evaluate
+// operator-at-a-time: the tree dispatch, outer-row lookup, and parameter
+// checks hoist out of the per-row loop, leaving only the value operations
+// — the interpretation-overhead removal that makes batching pay. Impure or
+// lazily evaluated forms (AND/OR short-circuits, CASE arms, IN lists,
+// subplans, UDF calls) fall back to row-at-a-time Eval so evaluation
+// counts and error behaviour match the tuple-at-a-time executor. (The
+// deterministic random() stream is guaranteed one level up: Instantiate
+// forces batch size 1 for any plan containing volatile expressions, since
+// batching would otherwise interleave draws across pipeline stages
+// differently than Volcano iteration.)
+func (es *ExprState) EvalBatch(ctx *Ctx, rows []storage.Tuple, out []sqltypes.Value) error {
+	if !es.pure {
+		return es.evalRows(ctx, rows, out)
+	}
+	n := len(rows)
+	switch es.kind {
+	case kConst:
+		for i := range out {
+			out[i] = es.val
+		}
+	case kInput:
+		for i, r := range rows {
+			if es.idx >= len(r) {
+				return fmt.Errorf("exec: input column %d out of range (row width %d)", es.idx, len(r))
+			}
+			out[i] = r[es.idx]
+		}
+	case kOuter:
+		t, err := ctx.outerAt(es.depth)
+		if err != nil {
+			return err
+		}
+		if es.idx >= len(t) {
+			return fmt.Errorf("exec: outer column %d out of range (row width %d)", es.idx, len(t))
+		}
+		v := t[es.idx]
+		for i := range out {
+			out[i] = v
+		}
+	case kParam:
+		if es.idx < 1 || es.idx > len(ctx.Params) {
+			return fmt.Errorf("exec: no value for parameter $%d", es.idx)
+		}
+		v := ctx.Params[es.idx-1]
+		for i := range out {
+			out[i] = v
+		}
+	case kBin:
+		if es.op == "AND" || es.op == "OR" {
+			return es.evalLogicalBatch(ctx, rows, out)
+		}
+		l, r := es.buf(0, n), es.buf(1, n)
+		if err := es.kids[0].EvalBatch(ctx, rows, l); err != nil {
+			return err
+		}
+		if err := es.kids[1].EvalBatch(ctx, rows, r); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			v, err := applyBin(es.bin, es.op, l[i], r[i])
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+	case kUnary:
+		x := es.buf(0, n)
+		if err := es.kids[0].EvalBatch(ctx, rows, x); err != nil {
+			return err
+		}
+		neg := es.op != "NOT"
+		for i := 0; i < n; i++ {
+			var v sqltypes.Value
+			var err error
+			if neg {
+				v, err = sqltypes.Neg(x[i])
+			} else {
+				v, err = sqltypes.Not(x[i])
+			}
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+	case kIsNull:
+		x := es.buf(0, n)
+		if err := es.kids[0].EvalBatch(ctx, rows, x); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			out[i] = sqltypes.NewBool(x[i].IsNull() != es.negate)
+		}
+	case kBetween:
+		x, lo, hi := es.buf(0, n), es.buf(1, n), es.buf(2, n)
+		if err := es.kids[0].EvalBatch(ctx, rows, x); err != nil {
+			return err
+		}
+		if err := es.kids[1].EvalBatch(ctx, rows, lo); err != nil {
+			return err
+		}
+		if err := es.kids[2].EvalBatch(ctx, rows, hi); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			ge, err := sqltypes.CompareOp(">=", x[i], lo[i])
+			if err != nil {
+				return err
+			}
+			le, err := sqltypes.CompareOp("<=", x[i], hi[i])
+			if err != nil {
+				return err
+			}
+			res, err := sqltypes.And(ge, le)
+			if err != nil {
+				return err
+			}
+			if es.negate {
+				res, err = sqltypes.Not(res)
+				if err != nil {
+					return err
+				}
+			}
+			out[i] = res
+		}
+	case kCast:
+		x := es.buf(0, n)
+		if err := es.kids[0].EvalBatch(ctx, rows, x); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			v, err := sqltypes.Cast(x[i], es.typ)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+	case kField:
+		x := es.buf(0, n)
+		if err := es.kids[0].EvalBatch(ctx, rows, x); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			v, err := fieldOf(x[i], es.idx, es.op)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+	case kFunc:
+		// Builtins take their arguments eagerly, so batch the operands and
+		// assemble per-row argument vectors from the scratch columns.
+		for k := range es.kids {
+			if err := es.kids[k].EvalBatch(ctx, rows, es.buf(k, n)); err != nil {
+				return err
+			}
+		}
+		es.args = growVals(es.args, len(es.kids))
+		for i := 0; i < n; i++ {
+			for k := range es.kids {
+				es.args[k] = es.bufs[k][i]
+			}
+			v, err := es.builtin(ctx, es.args)
+			if err != nil {
+				return fmt.Errorf("%s: %w", es.name, err)
+			}
+			out[i] = v
+		}
+	case kRow:
+		for k := range es.kids {
+			if err := es.kids[k].EvalBatch(ctx, rows, es.buf(k, n)); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < n; i++ {
+			fields := make([]sqltypes.Value, len(es.kids))
+			for k := range es.kids {
+				fields[k] = es.bufs[k][i]
+			}
+			out[i] = sqltypes.NewRow(fields)
+		}
+	default:
+		// kCase and kInList evaluate their branches lazily; preserve that
+		// row by row. (kSubplan/kUDF are impure and never reach here.)
+		return es.evalRows(ctx, rows, out)
+	}
+	return nil
 }
 
 func (es *ExprState) evalInList(ctx *Ctx, row storage.Tuple) (sqltypes.Value, error) {
@@ -453,16 +848,30 @@ func (es *ExprState) evalSubplan(ctx *Ctx, row storage.Tuple) (sqltypes.Value, e
 	}
 	defer es.sub.Close(ctx)
 
+	// The pull adapter's batch limit preserves lazy cardinality semantics:
+	// scalar subqueries need at most two rows (value + "more than one"
+	// check), EXISTS and IN pull one row at a time so a match stops the
+	// subplan exactly where the tuple-at-a-time executor did.
+	if es.subIter == nil {
+		lim := 1
+		if es.subMode == plan.SubplanScalar {
+			lim = 2
+		}
+		es.subIter = newRowIter(es.sub, lim)
+	}
+	it := es.subIter
+	it.reset()
+
 	switch es.subMode {
 	case plan.SubplanScalar:
-		t, err := es.sub.Next(ctx)
+		t, err := it.next(ctx)
 		if err != nil {
 			return sqltypes.Null, err
 		}
 		if t == nil {
 			return sqltypes.Null, nil
 		}
-		extra, err := es.sub.Next(ctx)
+		extra, err := it.next(ctx)
 		if err != nil {
 			return sqltypes.Null, err
 		}
@@ -471,7 +880,7 @@ func (es *ExprState) evalSubplan(ctx *Ctx, row storage.Tuple) (sqltypes.Value, e
 		}
 		return t[0], nil
 	case plan.SubplanExists:
-		t, err := es.sub.Next(ctx)
+		t, err := it.next(ctx)
 		if err != nil {
 			return sqltypes.Null, err
 		}
@@ -479,7 +888,7 @@ func (es *ExprState) evalSubplan(ctx *Ctx, row storage.Tuple) (sqltypes.Value, e
 	case plan.SubplanIn:
 		anyNull := false
 		for {
-			t, err := es.sub.Next(ctx)
+			t, err := it.next(ctx)
 			if err != nil {
 				return sqltypes.Null, err
 			}

@@ -10,12 +10,15 @@ import (
 	"plsqlaway/internal/storage"
 )
 
-// Node is an instantiated plan operator. Open prepares scanning from the
-// start (re-callable), Next streams tuples (nil at EOF), Rescan resets
-// cheaply for lateral re-execution, Close releases per-open resources.
+// Node is an instantiated plan operator in the vectorized executor. Open
+// prepares scanning from the start (re-callable), NextBatch truncates out
+// and appends up to out.Cap() rows — an empty batch after NextBatch means
+// end of stream, so implementations loop internally rather than returning
+// empty batches mid-stream. Rescan resets cheaply for lateral re-execution,
+// Close releases per-open resources.
 type Node interface {
 	Open(ctx *Ctx) error
-	Next(ctx *Ctx) (storage.Tuple, error)
+	NextBatch(ctx *Ctx, out *Batch) error
 	Rescan(ctx *Ctx) error
 	Close(ctx *Ctx) error
 }
@@ -51,6 +54,11 @@ func instantiateNode(p plan.Node) (Node, error) {
 		}
 		return &filterNode{child: child, pred: pred}, nil
 	case *plan.Project:
+		if hj, ok := x.Child.(*plan.HashJoin); ok {
+			// Fuse the projection into the join: combined rows stay
+			// pipeline-internal and recycle one arena.
+			return instantiateHashJoinProject(x, hj)
+		}
 		child, err := instantiateNode(x.Child)
 		if err != nil {
 			return nil, err
@@ -77,6 +85,8 @@ func instantiateNode(p plan.Node) (Node, error) {
 			}
 		}
 		return n, nil
+	case *plan.HashJoin:
+		return instantiateHashJoin(x)
 	case *plan.Materialize:
 		child, err := instantiateNode(x.Child)
 		if err != nil {
@@ -232,47 +242,57 @@ type resultNode struct {
 func (n *resultNode) Open(ctx *Ctx) error   { n.done = false; return nil }
 func (n *resultNode) Rescan(ctx *Ctx) error { n.done = false; return nil }
 func (n *resultNode) Close(ctx *Ctx) error  { return nil }
-func (n *resultNode) Next(ctx *Ctx) (storage.Tuple, error) {
+func (n *resultNode) NextBatch(ctx *Ctx, out *Batch) error {
+	out.begin()
 	if n.done {
-		return nil, nil
+		return nil
 	}
 	n.done = true
 	row := make(storage.Tuple, len(n.exprs))
 	for i, e := range n.exprs {
 		v, err := e.Eval(ctx, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row[i] = v
 	}
-	return row, nil
-}
-
-type seqScanNode struct {
-	table *catalog.Table
-	rows  []storage.Tuple
-	idx   int
-}
-
-func (n *seqScanNode) Open(ctx *Ctx) error {
-	rows, err := n.table.Heap.Rows()
-	if err != nil {
-		return err
-	}
-	n.rows = rows
-	n.idx = 0
+	out.Add(row)
 	return nil
 }
 
-func (n *seqScanNode) Rescan(ctx *Ctx) error { n.idx = 0; return nil }
-func (n *seqScanNode) Close(ctx *Ctx) error  { return nil }
-func (n *seqScanNode) Next(ctx *Ctx) (storage.Tuple, error) {
-	if n.idx >= len(n.rows) {
-		return nil, nil
+// seqScanNode reads a base table through the heap's chunked snapshot
+// scanner: each NextBatch is one bulk header copy rather than one virtual
+// call per row.
+type seqScanNode struct {
+	table *catalog.Table
+	scan  *storage.HeapScanner
+}
+
+func (n *seqScanNode) Open(ctx *Ctx) error {
+	scan, err := n.table.Heap.Scanner()
+	if err != nil {
+		return err
 	}
-	t := n.rows[n.idx]
-	n.idx++
-	return t, nil
+	n.scan = scan
+	return nil
+}
+
+func (n *seqScanNode) Rescan(ctx *Ctx) error {
+	if n.scan == nil {
+		return n.Open(ctx)
+	}
+	n.scan.Reset()
+	return nil
+}
+
+func (n *seqScanNode) Close(ctx *Ctx) error { return nil }
+func (n *seqScanNode) NextBatch(ctx *Ctx, out *Batch) error {
+	out.begin()
+	if n.scan == nil {
+		return nil
+	}
+	out.Append(n.scan.NextChunk(out.Cap()))
+	return nil
 }
 
 // indexScanNode probes a declared hash index: the key expression is
@@ -303,35 +323,56 @@ func (n *indexScanNode) Rescan(ctx *Ctx) error {
 }
 
 func (n *indexScanNode) Close(ctx *Ctx) error { return nil }
-func (n *indexScanNode) Next(ctx *Ctx) (storage.Tuple, error) {
-	if n.idx >= len(n.hits) {
-		return nil, nil
+func (n *indexScanNode) NextBatch(ctx *Ctx, out *Batch) error {
+	out.begin()
+	for !out.Full() && n.idx < len(n.hits) {
+		out.Add(n.rows[n.hits[n.idx]])
+		n.idx++
 	}
-	t := n.rows[n.hits[n.idx]]
-	n.idx++
-	return t, nil
+	return nil
 }
 
 type filterNode struct {
 	child Node
 	pred  *ExprState
+	in    *Batch
+	sel   []sqltypes.Value
 }
 
-func (n *filterNode) Open(ctx *Ctx) error   { return n.child.Open(ctx) }
+func (n *filterNode) Open(ctx *Ctx) error {
+	if n.in == nil {
+		n.in = NewBatch(ctx.BatchSize)
+	}
+	return n.child.Open(ctx)
+}
 func (n *filterNode) Rescan(ctx *Ctx) error { return n.child.Rescan(ctx) }
 func (n *filterNode) Close(ctx *Ctx) error  { return n.child.Close(ctx) }
-func (n *filterNode) Next(ctx *Ctx) (storage.Tuple, error) {
+
+// NextBatch pulls input batches sized to the consumer's limit (so bounded
+// consumers like LIMIT or subplan pulls never over-read) and evaluates the
+// predicate over each whole batch before compacting survivors into out.
+func (n *filterNode) NextBatch(ctx *Ctx, out *Batch) error {
+	out.begin()
 	for {
-		t, err := n.child.Next(ctx)
-		if err != nil || t == nil {
-			return nil, err
+		n.in.SetLimit(out.Cap())
+		if err := n.child.NextBatch(ctx, n.in); err != nil {
+			return err
 		}
-		v, err := n.pred.Eval(ctx, t)
-		if err != nil {
-			return nil, err
+		if n.in.Len() == 0 {
+			return nil
 		}
-		if v.IsTrue() {
-			return t, nil
+		rows := n.in.Rows()
+		n.sel = growVals(n.sel, len(rows))
+		if err := n.pred.EvalBatch(ctx, rows, n.sel); err != nil {
+			return err
+		}
+		for i, v := range n.sel[:len(rows)] {
+			if v.IsTrue() {
+				out.Add(rows[i])
+			}
+		}
+		if out.Len() > 0 {
+			return nil
 		}
 	}
 }
@@ -339,25 +380,54 @@ func (n *filterNode) Next(ctx *Ctx) (storage.Tuple, error) {
 type projectNode struct {
 	child Node
 	exprs []*ExprState
+	in    *Batch
+	cols  [][]sqltypes.Value
 }
 
-func (n *projectNode) Open(ctx *Ctx) error   { return n.child.Open(ctx) }
+func (n *projectNode) Open(ctx *Ctx) error {
+	if n.in == nil {
+		n.in = NewBatch(ctx.BatchSize)
+		n.cols = make([][]sqltypes.Value, len(n.exprs))
+	}
+	return n.child.Open(ctx)
+}
 func (n *projectNode) Rescan(ctx *Ctx) error { return n.child.Rescan(ctx) }
 func (n *projectNode) Close(ctx *Ctx) error  { return n.child.Close(ctx) }
-func (n *projectNode) Next(ctx *Ctx) (storage.Tuple, error) {
-	t, err := n.child.Next(ctx)
-	if err != nil || t == nil {
-		return nil, err
+
+// NextBatch evaluates every projection expression over the whole input
+// batch (one tree walk per expression per batch instead of per row), then
+// assembles the output rows from the resulting columns. One backing array
+// serves all rows of a batch, so the per-row cost is one slice header.
+func (n *projectNode) NextBatch(ctx *Ctx, out *Batch) error {
+	out.begin()
+	n.in.SetLimit(out.Cap())
+	if err := n.child.NextBatch(ctx, n.in); err != nil {
+		return err
 	}
-	out := make(storage.Tuple, len(n.exprs))
-	for i, e := range n.exprs {
-		v, err := e.Eval(ctx, t)
-		if err != nil {
-			return nil, err
+	if n.in.Len() == 0 {
+		return nil
+	}
+	return projectColumns(ctx, n.exprs, n.in.Rows(), n.cols, out)
+}
+
+// projectColumns evaluates a projection over one input batch
+// (row-major when any expression is impure — see evalExprColumns) and
+// emits the assembled rows into out, slicing them off one backing array
+// per batch. Shared by projectNode and the fused hashJoinProjectNode.
+func projectColumns(ctx *Ctx, exprs []*ExprState, rows []storage.Tuple, cols [][]sqltypes.Value, out *Batch) error {
+	if err := evalExprColumns(ctx, exprs, rows, cols); err != nil {
+		return err
+	}
+	m, w := len(rows), len(exprs)
+	backing := make([]sqltypes.Value, m*w)
+	for r := 0; r < m; r++ {
+		t := backing[r*w : (r+1)*w : (r+1)*w]
+		for c := 0; c < w; c++ {
+			t[c] = cols[c][r]
 		}
-		out[i] = v
+		out.Add(storage.Tuple(t))
 	}
-	return out, nil
+	return nil
 }
 
 // ---------------------------------------------------------------------------
@@ -370,23 +440,39 @@ type nestLoopNode struct {
 	on          *ExprState
 	rightWidth  int
 
-	leftRow     storage.Tuple
-	needLeft    bool
+	in          *Batch // left rows
+	inIdx       int
+	leftEOF     bool
+	rin         *Batch // right rows for the current left row
+	rinIdx      int
+	rightEOF    bool
+	curLeft     storage.Tuple
+	haveCur     bool
 	matched     bool
 	pushed      bool
 	rightOpened bool
 }
 
 func (n *nestLoopNode) Open(ctx *Ctx) error {
+	if n.in == nil {
+		n.in = NewBatch(ctx.BatchSize)
+		n.rin = NewBatch(ctx.BatchSize)
+	}
 	if err := n.left.Open(ctx); err != nil {
 		return err
 	}
 	// The right side may be correlated (LATERAL): its Open must only run
-	// once a left row is on the outer stack, so it is deferred to Next.
+	// once a left row is on the outer stack, so it is deferred to NextBatch.
 	n.rightOpened = false
-	n.needLeft = true
-	n.pushed = false
+	n.reset()
 	return nil
+}
+
+func (n *nestLoopNode) reset() {
+	n.in.begin()
+	n.inIdx = 0
+	n.leftEOF = false
+	n.haveCur = false
 }
 
 func (n *nestLoopNode) Rescan(ctx *Ctx) error {
@@ -397,7 +483,7 @@ func (n *nestLoopNode) Rescan(ctx *Ctx) error {
 	if err := n.left.Rescan(ctx); err != nil {
 		return err
 	}
-	n.needLeft = true
+	n.reset()
 	return nil
 }
 
@@ -414,69 +500,103 @@ func (n *nestLoopNode) Close(ctx *Ctx) error {
 	return err2
 }
 
-// Next maintains the invariant that the left row is on the outer stack
+// NextBatch maintains the invariant that the left row is on the outer stack
 // exactly while the right subtree (and the ON predicate) runs — it is
-// popped before a joined row is handed upward, so expressions evaluated by
+// popped before a batch is handed upward, so expressions evaluated by
 // parent nodes see the stack depth the binder assumed.
-func (n *nestLoopNode) Next(ctx *Ctx) (storage.Tuple, error) {
+func (n *nestLoopNode) NextBatch(ctx *Ctx, out *Batch) error {
+	out.begin()
 	for {
-		if n.needLeft {
-			if n.pushed {
-				ctx.popOuter()
-				n.pushed = false
+		if !n.haveCur {
+			if n.inIdx >= n.in.Len() {
+				if n.leftEOF {
+					return nil
+				}
+				// Bound the pull by the consumer's cap so a LIMIT above
+				// never makes the left pipeline compute past the cut; a
+				// consumer bounded below the configured batch size (LIMIT,
+				// subplan pulls) degrades to one left row at a time, since
+				// one left row's fan-out alone may satisfy the cut.
+				lim := out.Cap()
+				if lim > 1 && lim < ctx.BatchSize {
+					lim = 1
+				}
+				n.in.SetLimit(lim)
+				if err := n.left.NextBatch(ctx, n.in); err != nil {
+					return err
+				}
+				n.inIdx = 0
+				if n.in.Len() == 0 {
+					n.leftEOF = true
+					return nil
+				}
 			}
-			lt, err := n.left.Next(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if lt == nil {
-				return nil, nil
-			}
-			n.leftRow = lt
-			ctx.pushOuter(lt)
+			n.curLeft = n.in.Row(n.inIdx)
+			n.inIdx++
+			n.haveCur = true
+			n.matched = false
+			ctx.pushOuter(n.curLeft)
 			n.pushed = true
 			if !n.rightOpened {
 				if err := n.right.Open(ctx); err != nil {
-					return nil, err
+					return err
 				}
 				n.rightOpened = true
 			} else if err := n.right.Rescan(ctx); err != nil {
-				return nil, err
+				return err
 			}
-			n.needLeft = false
-			n.matched = false
+			n.rightEOF = false
+			n.rin.begin()
+			n.rinIdx = 0
 		}
-		if !n.pushed { // resuming after having emitted a row
-			ctx.pushOuter(n.leftRow)
+		if !n.pushed { // resuming after having handed a full batch upward
+			ctx.pushOuter(n.curLeft)
 			n.pushed = true
 		}
-		rt, err := n.right.Next(ctx)
-		if err != nil {
-			return nil, err
-		}
-		if rt == nil {
-			ctx.popOuter()
-			n.pushed = false
-			n.needLeft = true
-			if n.kind == plan.JoinLeft && !n.matched {
-				return concatTuples(n.leftRow, nullTuple(n.rightWidth)), nil
+		if n.rinIdx >= n.rin.Len() {
+			if !n.rightEOF {
+				n.rin.SetLimit(out.Cap())
+				if err := n.right.NextBatch(ctx, n.rin); err != nil {
+					return err
+				}
+				n.rinIdx = 0
+				if n.rin.Len() == 0 {
+					n.rightEOF = true
+				}
 			}
-			continue
+			if n.rightEOF {
+				ctx.popOuter()
+				n.pushed = false
+				emitNull := n.kind == plan.JoinLeft && !n.matched
+				n.haveCur = false
+				if emitNull {
+					out.Add(concatTuples(n.curLeft, nullTuple(n.rightWidth)))
+					if out.Full() {
+						return nil
+					}
+				}
+				continue
+			}
 		}
-		combined := concatTuples(n.leftRow, rt)
+		rt := n.rin.Row(n.rinIdx)
+		n.rinIdx++
+		combined := concatTuples(n.curLeft, rt)
 		if n.on != nil {
 			ok, err := n.on.Eval(ctx, combined)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if !ok.IsTrue() {
 				continue
 			}
 		}
 		n.matched = true
-		ctx.popOuter()
-		n.pushed = false
-		return combined, nil
+		out.Add(combined)
+		if out.Full() {
+			ctx.popOuter()
+			n.pushed = false
+			return nil
+		}
 	}
 }
 
@@ -495,15 +615,13 @@ func (n *materializeNode) Open(ctx *Ctx) error {
 	if err := n.child.Open(ctx); err != nil {
 		return err
 	}
-	for {
-		t, err := n.child.Next(ctx)
-		if err != nil {
-			return err
-		}
-		if t == nil {
-			break
-		}
+	b := NewBatch(ctx.BatchSize)
+	err := drainNode(ctx, n.child, b, func(t storage.Tuple) error {
 		n.rows = append(n.rows, t)
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	n.built = true
 	return n.child.Close(ctx)
@@ -511,13 +629,25 @@ func (n *materializeNode) Open(ctx *Ctx) error {
 
 func (n *materializeNode) Rescan(ctx *Ctx) error { n.idx = 0; return nil }
 func (n *materializeNode) Close(ctx *Ctx) error  { return nil }
-func (n *materializeNode) Next(ctx *Ctx) (storage.Tuple, error) {
-	if n.idx >= len(n.rows) {
-		return nil, nil
+func (n *materializeNode) NextBatch(ctx *Ctx, out *Batch) error {
+	n.idx += copyChunk(out, n.rows, n.idx)
+	return nil
+}
+
+// copyChunk fills out with the next chunk of rows starting at idx and
+// returns how many were copied — the shared emit loop of every
+// materializing operator.
+func copyChunk(out *Batch, rows []storage.Tuple, idx int) int {
+	out.begin()
+	if idx >= len(rows) {
+		return 0
 	}
-	t := n.rows[n.idx]
-	n.idx++
-	return t, nil
+	end := idx + out.Cap()
+	if end > len(rows) {
+		end = len(rows)
+	}
+	out.Append(rows[idx:end])
+	return end - idx
 }
 
 // ---------------------------------------------------------------------------
@@ -529,11 +659,20 @@ type sortNode struct {
 	keys  []sortKeyState
 	rows  []storage.Tuple
 	idx   int
+	kexp  []*ExprState
+	kcols [][]sqltypes.Value
 }
 
 func (n *sortNode) Open(ctx *Ctx) error {
 	n.rows = n.rows[:0]
 	n.idx = 0
+	if n.kexp == nil {
+		n.kexp = make([]*ExprState, len(n.keys))
+		for k := range n.keys {
+			n.kexp[k] = n.keys[k].expr
+		}
+		n.kcols = make([][]sqltypes.Value, len(n.keys))
+	}
 	if err := n.child.Open(ctx); err != nil {
 		return err
 	}
@@ -542,23 +681,30 @@ func (n *sortNode) Open(ctx *Ctx) error {
 		keys []sqltypes.Value
 	}
 	var rows []keyed
+	b := NewBatch(ctx.BatchSize)
 	for {
-		t, err := n.child.Next(ctx)
-		if err != nil {
+		if err := n.child.NextBatch(ctx, b); err != nil {
 			return err
 		}
-		if t == nil {
+		m := b.Len()
+		if m == 0 {
 			break
 		}
-		ks := make([]sqltypes.Value, len(n.keys))
-		for i, k := range n.keys {
-			v, err := k.expr.Eval(ctx, t)
-			if err != nil {
-				return err
-			}
-			ks[i] = v
+		// Evaluate the sort keys over the whole batch (row-major when any
+		// key is volatile), then slice the per-row key vectors out of one
+		// backing array.
+		if err := evalExprColumns(ctx, n.kexp, b.Rows(), n.kcols); err != nil {
+			return err
 		}
-		rows = append(rows, keyed{row: t, keys: ks})
+		backing := make([]sqltypes.Value, m*len(n.keys))
+		for k := range n.keys {
+			for i := 0; i < m; i++ {
+				backing[i*len(n.keys)+k] = n.kcols[k][i]
+			}
+		}
+		for i, t := range b.Rows() {
+			rows = append(rows, keyed{row: t, keys: backing[i*len(n.keys) : (i+1)*len(n.keys)]})
+		}
 	}
 	sort.SliceStable(rows, func(i, j int) bool {
 		for k := range n.keys {
@@ -577,13 +723,9 @@ func (n *sortNode) Open(ctx *Ctx) error {
 
 func (n *sortNode) Rescan(ctx *Ctx) error { return n.Open(ctx) }
 func (n *sortNode) Close(ctx *Ctx) error  { return nil }
-func (n *sortNode) Next(ctx *Ctx) (storage.Tuple, error) {
-	if n.idx >= len(n.rows) {
-		return nil, nil
-	}
-	t := n.rows[n.idx]
-	n.idx++
-	return t, nil
+func (n *sortNode) NextBatch(ctx *Ctx, out *Batch) error {
+	n.idx += copyChunk(out, n.rows, n.idx)
+	return nil
 }
 
 type limitNode struct {
@@ -592,9 +734,13 @@ type limitNode struct {
 	remaining     int64
 	toSkip        int64
 	unlimited     bool
+	in            *Batch
 }
 
 func (n *limitNode) Open(ctx *Ctx) error {
+	if n.in == nil {
+		n.in = NewBatch(ctx.BatchSize)
+	}
 	if err := n.child.Open(ctx); err != nil {
 		return err
 	}
@@ -644,50 +790,83 @@ func (n *limitNode) Rescan(ctx *Ctx) error {
 
 func (n *limitNode) Close(ctx *Ctx) error { return n.child.Close(ctx) }
 
-func (n *limitNode) Next(ctx *Ctx) (storage.Tuple, error) {
+// NextBatch bounds every child pull by the rows it still needs — skip
+// counts while discarding the OFFSET prefix, then the LIMIT remainder — so
+// the pipeline below never computes past the cut regardless of batch size.
+func (n *limitNode) NextBatch(ctx *Ctx, out *Batch) error {
+	out.begin()
 	for n.toSkip > 0 {
-		t, err := n.child.Next(ctx)
-		if err != nil || t == nil {
-			return nil, err
+		k := out.Cap()
+		if int64(k) > n.toSkip {
+			k = int(n.toSkip)
 		}
-		n.toSkip--
+		n.in.SetLimit(k)
+		if err := n.child.NextBatch(ctx, n.in); err != nil {
+			return err
+		}
+		if n.in.Len() == 0 {
+			return nil
+		}
+		n.toSkip -= int64(n.in.Len())
 	}
+	k := out.Cap()
 	if !n.unlimited {
 		if n.remaining <= 0 {
-			return nil, nil
+			return nil
 		}
-		n.remaining--
+		if int64(k) > n.remaining {
+			k = int(n.remaining)
+		}
 	}
-	return n.child.Next(ctx)
+	n.in.SetLimit(k)
+	if err := n.child.NextBatch(ctx, n.in); err != nil {
+		return err
+	}
+	if !n.unlimited {
+		n.remaining -= int64(n.in.Len())
+	}
+	out.Append(n.in.Rows())
+	return nil
 }
 
 type distinctNode struct {
 	child Node
-	seen  map[string]bool
+	seen  *tupleSet
+	in    *Batch
 }
 
 func (n *distinctNode) Open(ctx *Ctx) error {
-	n.seen = make(map[string]bool)
+	n.seen = newTupleSet()
+	if n.in == nil {
+		n.in = NewBatch(ctx.BatchSize)
+	}
 	return n.child.Open(ctx)
 }
 
 func (n *distinctNode) Rescan(ctx *Ctx) error {
-	n.seen = make(map[string]bool)
+	n.seen = newTupleSet()
 	return n.child.Rescan(ctx)
 }
 
 func (n *distinctNode) Close(ctx *Ctx) error { return n.child.Close(ctx) }
 
-func (n *distinctNode) Next(ctx *Ctx) (storage.Tuple, error) {
+func (n *distinctNode) NextBatch(ctx *Ctx, out *Batch) error {
+	out.begin()
 	for {
-		t, err := n.child.Next(ctx)
-		if err != nil || t == nil {
-			return nil, err
+		n.in.SetLimit(out.Cap())
+		if err := n.child.NextBatch(ctx, n.in); err != nil {
+			return err
 		}
-		k := tupleKey(t)
-		if !n.seen[k] {
-			n.seen[k] = true
-			return t, nil
+		if n.in.Len() == 0 {
+			return nil
+		}
+		for _, t := range n.in.Rows() {
+			if n.seen.add(t) {
+				out.Add(t)
+			}
+		}
+		if out.Len() > 0 {
+			return nil
 		}
 	}
 }
@@ -727,18 +906,18 @@ func (n *appendNode) Close(ctx *Ctx) error {
 	return first
 }
 
-func (n *appendNode) Next(ctx *Ctx) (storage.Tuple, error) {
+func (n *appendNode) NextBatch(ctx *Ctx, out *Batch) error {
+	out.begin()
 	for n.cur < len(n.children) {
-		t, err := n.children[n.cur].Next(ctx)
-		if err != nil {
-			return nil, err
+		if err := n.children[n.cur].NextBatch(ctx, out); err != nil {
+			return err
 		}
-		if t != nil {
-			return t, nil
+		if out.Len() > 0 {
+			return nil
 		}
 		n.cur++
 	}
-	return nil, nil
+	return nil
 }
 
 type setOpNode struct {
@@ -751,34 +930,29 @@ type setOpNode struct {
 }
 
 func (n *setOpNode) Open(ctx *Ctx) error {
-	n.out = nil
-	n.idx = 0
 	if err := n.left.Open(ctx); err != nil {
 		return err
 	}
 	if err := n.right.Open(ctx); err != nil {
 		return err
 	}
+	return n.build(ctx)
+}
+
+func (n *setOpNode) build(ctx *Ctx) error {
+	n.out = nil
+	n.idx = 0
+	b := NewBatch(ctx.BatchSize)
 	rightCount := map[string]int{}
-	for {
-		t, err := n.right.Next(ctx)
-		if err != nil {
-			return err
-		}
-		if t == nil {
-			break
-		}
+	err := drainNode(ctx, n.right, b, func(t storage.Tuple) error {
 		rightCount[tupleKey(t)]++
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	emitted := map[string]bool{}
-	for {
-		t, err := n.left.Next(ctx)
-		if err != nil {
-			return err
-		}
-		if t == nil {
-			break
-		}
+	err = drainNode(ctx, n.left, b, func(t storage.Tuple) error {
 		k := tupleKey(t)
 		switch n.op {
 		case "INTERSECT":
@@ -803,6 +977,10 @@ func (n *setOpNode) Open(ctx *Ctx) error {
 				n.out = append(n.out, t)
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	n.left.Close(ctx)
 	n.right.Close(ctx)
@@ -816,18 +994,14 @@ func (n *setOpNode) Rescan(ctx *Ctx) error {
 	if err := n.right.Rescan(ctx); err != nil {
 		return err
 	}
-	return n.Open(ctx)
+	return n.build(ctx)
 }
 
 func (n *setOpNode) Close(ctx *Ctx) error { return nil }
 
-func (n *setOpNode) Next(ctx *Ctx) (storage.Tuple, error) {
-	if n.idx >= len(n.out) {
-		return nil, nil
-	}
-	t := n.out[n.idx]
-	n.idx++
-	return t, nil
+func (n *setOpNode) NextBatch(ctx *Ctx, out *Batch) error {
+	n.idx += copyChunk(out, n.out, n.idx)
+	return nil
 }
 
 type valuesNode struct {
@@ -838,19 +1012,20 @@ type valuesNode struct {
 func (n *valuesNode) Open(ctx *Ctx) error   { n.idx = 0; return nil }
 func (n *valuesNode) Rescan(ctx *Ctx) error { n.idx = 0; return nil }
 func (n *valuesNode) Close(ctx *Ctx) error  { return nil }
-func (n *valuesNode) Next(ctx *Ctx) (storage.Tuple, error) {
-	if n.idx >= len(n.rows) {
-		return nil, nil
-	}
-	es := n.rows[n.idx]
-	n.idx++
-	row := make(storage.Tuple, len(es))
-	for i, e := range es {
-		v, err := e.Eval(ctx, nil)
-		if err != nil {
-			return nil, err
+func (n *valuesNode) NextBatch(ctx *Ctx, out *Batch) error {
+	out.begin()
+	for !out.Full() && n.idx < len(n.rows) {
+		es := n.rows[n.idx]
+		n.idx++
+		row := make(storage.Tuple, len(es))
+		for i, e := range es {
+			v, err := e.Eval(ctx, nil)
+			if err != nil {
+				return err
+			}
+			row[i] = v
 		}
-		row[i] = v
+		out.Add(row)
 	}
-	return row, nil
+	return nil
 }

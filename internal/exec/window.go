@@ -87,15 +87,12 @@ func (n *windowNode) Open(ctx *Ctx) error {
 		return err
 	}
 	var rows []storage.Tuple
-	for {
-		t, err := n.child.Next(ctx)
-		if err != nil {
-			return err
-		}
-		if t == nil {
-			break
-		}
+	b := NewBatch(ctx.BatchSize)
+	if err := drainNode(ctx, n.child, b, func(t storage.Tuple) error {
 		rows = append(rows, t)
+		return nil
+	}); err != nil {
+		return err
 	}
 	if err := n.child.Close(ctx); err != nil {
 		return err
@@ -123,43 +120,47 @@ func (n *windowNode) Open(ctx *Ctx) error {
 
 func (n *windowNode) Rescan(ctx *Ctx) error { return n.Open(ctx) }
 func (n *windowNode) Close(ctx *Ctx) error  { return nil }
-func (n *windowNode) Next(ctx *Ctx) (storage.Tuple, error) {
-	if n.idx >= len(n.out) {
-		return nil, nil
-	}
-	t := n.out[n.idx]
-	n.idx++
-	return t, nil
+func (n *windowNode) NextBatch(ctx *Ctx, out *Batch) error {
+	n.idx += copyChunk(out, n.out, n.idx)
+	return nil
 }
 
 // compute evaluates the window function over all rows, returning one value
-// per original row index.
+// per original row index. Partition and order keys are evaluated vectorized
+// over the whole input before the per-partition passes.
 func (wf *windowFnState) compute(ctx *Ctx, rows []storage.Tuple) ([]sqltypes.Value, error) {
 	out := make([]sqltypes.Value, len(rows))
+
+	// Evaluate partition and order keys as one column set so the impure
+	// fallback of evalExprColumns preserves the row-major draw order
+	// (partition keys before order keys, per row).
+	keyExprs := make([]*ExprState, 0, len(wf.partitionBy)+len(wf.orderBy))
+	keyExprs = append(keyExprs, wf.partitionBy...)
+	for k := range wf.orderBy {
+		keyExprs = append(keyExprs, wf.orderBy[k].expr)
+	}
+	keyCols := make([][]sqltypes.Value, len(keyExprs))
+	if err := evalExprColumns(ctx, keyExprs, rows, keyCols); err != nil {
+		return nil, err
+	}
+	pCols := keyCols[:len(wf.partitionBy)]
+	oCols := keyCols[len(wf.partitionBy):]
 
 	// Partition rows (keeping original indices).
 	partitions := map[string][]partRow{}
 	var order []string
-	for i, r := range rows {
-		pkeys := make(storage.Tuple, len(wf.partitionBy))
-		for k, pe := range wf.partitionBy {
-			v, err := pe.Eval(ctx, r)
-			if err != nil {
-				return nil, err
-			}
-			pkeys[k] = v
+	pkeys := make(storage.Tuple, len(wf.partitionBy))
+	for i := range rows {
+		for k := range wf.partitionBy {
+			pkeys[k] = pCols[k][i]
 		}
 		key := tupleKey(pkeys)
 		if _, ok := partitions[key]; !ok {
 			order = append(order, key)
 		}
 		okeys := make([]sqltypes.Value, len(wf.orderBy))
-		for k, oe := range wf.orderBy {
-			v, err := oe.expr.Eval(ctx, rows[i])
-			if err != nil {
-				return nil, err
-			}
-			okeys[k] = v
+		for k := range wf.orderBy {
+			okeys[k] = oCols[k][i]
 		}
 		partitions[key] = append(partitions[key], partRow{idx: i, keys: okeys})
 	}

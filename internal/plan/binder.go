@@ -25,6 +25,9 @@ type Options struct {
 	// WorkMem bounds CTE materialization memory before spilling (bytes);
 	// 0 selects storage.DefaultWorkMem.
 	WorkMem int
+	// NoHashJoin disables the nest-loop → hash-join rewrite (ablations and
+	// differential tests that pin the Volcano join shape).
+	NoHashJoin bool
 }
 
 // scopeCol is one visible column of a scope.

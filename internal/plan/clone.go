@@ -40,6 +40,10 @@ func cloneNode(n Node) Node {
 		return &Project{Child: cloneNode(x.Child), Exprs: cloneExprs(x.Exprs)}
 	case *NestLoop:
 		return &NestLoop{Left: cloneNode(x.Left), Right: cloneNode(x.Right), Kind: x.Kind, On: cloneExpr(x.On)}
+	case *HashJoin:
+		return &HashJoin{Left: cloneNode(x.Left), Right: cloneNode(x.Right), Kind: x.Kind,
+			LeftKeys: cloneExprs(x.LeftKeys), RightKeys: cloneExprs(x.RightKeys),
+			Residual: cloneExpr(x.Residual), ResidualAllKeys: x.ResidualAllKeys, RightStatic: x.RightStatic}
 	case *Materialize:
 		return &Materialize{Child: cloneNode(x.Child)}
 	case *Agg:

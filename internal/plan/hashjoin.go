@@ -1,0 +1,622 @@
+package plan
+
+// useHashJoins rewrites nest-loop joins whose predicates carry equality
+// conjuncts between the two sides into HashJoin nodes. Two shapes convert:
+//
+//	NestLoop{Kind: Inner|Left, On: …a.x = b.y…}   — explicit JOIN … ON
+//	Filter{…a.x = b.y…, NestLoop{Kind: Cross}}    — comma-list FROM + WHERE
+//
+// In the second shape the Filter stays exactly where it was (it re-checks
+// the key equality, so NULL and cross-type semantics cannot drift); the
+// hash table only prunes the pair space the filter would have rejected. In
+// the first shape the full ON predicate becomes the join's residual,
+// evaluated per hash match.
+//
+// Conversion is deliberately conservative about evaluation-count changes:
+// the build side runs once instead of once per left row, so it must be free
+// of outer references (correlation), volatile builtins (the deterministic
+// random() stream is load-bearing for differential tests), and UDF calls.
+// ON conjuncts additionally must not read the outer-row stack or evaluate
+// subplans, because the hash join evaluates its residual without the left
+// row pushed (the depth the binder assumed for nest-loop ON no longer
+// holds).
+func useHashJoins(n Node) Node {
+	switch x := n.(type) {
+	case *Filter:
+		if nl, ok := x.Child.(*NestLoop); ok {
+			nl.Left = useHashJoins(nl.Left)
+			nl.Right = useHashJoins(nl.Right)
+			nl.On = hashJoinSubplans(nl.On)
+			if hj, moved := tryHashJoin(nl, x.Pred); hj != nil {
+				x.Child = hj
+				// Bare-column key conjuncts moved into the join's residual
+				// (where they run only on hash-matched candidates, not on
+				// every joined row); strip them from the filter. Then push
+				// single-side conjuncts below the join: the hot recursive
+				// probe filters its frontier before probing instead of
+				// filtering the (larger) joined output.
+				rest, _ := stripConjuncts(x.Pred, moved)
+				rest = pushdownJoinConjuncts(hj, rest)
+				if rest == nil {
+					return x.Child
+				}
+				x.Pred = rest
+			}
+		} else {
+			x.Child = useHashJoins(x.Child)
+		}
+		x.Pred = hashJoinSubplans(x.Pred)
+	case *NestLoop:
+		x.Left = useHashJoins(x.Left)
+		x.Right = useHashJoins(x.Right)
+		x.On = hashJoinSubplans(x.On)
+		if hj, _ := tryHashJoin(x, nil); hj != nil {
+			return hj
+		}
+	case *HashJoin:
+		x.Left = useHashJoins(x.Left)
+		x.Right = useHashJoins(x.Right)
+		x.Residual = hashJoinSubplans(x.Residual)
+	case *Project:
+		x.Child = useHashJoins(x.Child)
+		for i := range x.Exprs {
+			x.Exprs[i] = hashJoinSubplans(x.Exprs[i])
+		}
+	case *Result:
+		for i := range x.Exprs {
+			x.Exprs[i] = hashJoinSubplans(x.Exprs[i])
+		}
+	case *Materialize:
+		x.Child = useHashJoins(x.Child)
+	case *Agg:
+		x.Child = useHashJoins(x.Child)
+		for i := range x.GroupBy {
+			x.GroupBy[i] = hashJoinSubplans(x.GroupBy[i])
+		}
+		for i := range x.Aggs {
+			x.Aggs[i].Arg = hashJoinSubplans(x.Aggs[i].Arg)
+		}
+	case *Window:
+		x.Child = useHashJoins(x.Child)
+		for i := range x.Funcs {
+			x.Funcs[i].Arg = hashJoinSubplans(x.Funcs[i].Arg)
+		}
+	case *Sort:
+		x.Child = useHashJoins(x.Child)
+		for i := range x.Keys {
+			x.Keys[i].Expr = hashJoinSubplans(x.Keys[i].Expr)
+		}
+	case *Limit:
+		x.Child = useHashJoins(x.Child)
+	case *Distinct:
+		x.Child = useHashJoins(x.Child)
+	case *Append:
+		for i := range x.Children {
+			x.Children[i] = useHashJoins(x.Children[i])
+		}
+	case *SetOp:
+		x.L = useHashJoins(x.L)
+		x.R = useHashJoins(x.R)
+	case *ValuesNode:
+		for _, row := range x.Rows {
+			for i := range row {
+				row[i] = hashJoinSubplans(row[i])
+			}
+		}
+	case *RecursiveUnion:
+		x.NonRec = useHashJoins(x.NonRec)
+		x.Rec = useHashJoins(x.Rec)
+	case *WithNode:
+		x.Child = useHashJoins(x.Child)
+	}
+	return n
+}
+
+// hashJoinSubplans applies useHashJoins to plans nested inside expressions.
+func hashJoinSubplans(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *SubplanExpr:
+		x.Plan = useHashJoins(x.Plan)
+		x.CompareX = hashJoinSubplans(x.CompareX)
+	case *BinOp:
+		x.L = hashJoinSubplans(x.L)
+		x.R = hashJoinSubplans(x.R)
+	case *UnaryOp:
+		x.X = hashJoinSubplans(x.X)
+	case *IsNullExpr:
+		x.X = hashJoinSubplans(x.X)
+	case *BetweenExpr:
+		x.X = hashJoinSubplans(x.X)
+		x.Lo = hashJoinSubplans(x.Lo)
+		x.Hi = hashJoinSubplans(x.Hi)
+	case *InListExpr:
+		x.X = hashJoinSubplans(x.X)
+		for i := range x.List {
+			x.List[i] = hashJoinSubplans(x.List[i])
+		}
+	case *CaseExpr:
+		x.Operand = hashJoinSubplans(x.Operand)
+		for i := range x.Whens {
+			x.Whens[i].Cond = hashJoinSubplans(x.Whens[i].Cond)
+			x.Whens[i].Result = hashJoinSubplans(x.Whens[i].Result)
+		}
+		x.Else = hashJoinSubplans(x.Else)
+	case *FuncExpr:
+		for i := range x.Args {
+			x.Args[i] = hashJoinSubplans(x.Args[i])
+		}
+	case *CastExpr:
+		x.X = hashJoinSubplans(x.X)
+	case *RowCtor:
+		for i := range x.Fields {
+			x.Fields[i] = hashJoinSubplans(x.Fields[i])
+		}
+	case *FieldSel:
+		x.X = hashJoinSubplans(x.X)
+	case *UDFCallExpr:
+		for i := range x.Args {
+			x.Args[i] = hashJoinSubplans(x.Args[i])
+		}
+	}
+	return e
+}
+
+// tryHashJoin attempts the NestLoop → HashJoin conversion. filterPred, when
+// non-nil, is the predicate of a Filter directly above an inner/cross join
+// whose equality conjuncts may also serve as hash keys. Filter conjuncts
+// of the shape `InputRef = InputRef` move into the join's Residual — there
+// they run only on hash-matched candidates, not on every joined row, while
+// keeping the equality semantics exact (the hash bucket is a superset of
+// SQL equality, never a substitute) — and are returned so the caller can
+// strip them from the filter. Returns a nil join when it must stay a nest
+// loop.
+func tryHashJoin(nl *NestLoop, filterPred Expr) (*HashJoin, []Expr) {
+	if nl.Kind != JoinInner && nl.Kind != JoinCross && nl.Kind != JoinLeft {
+		return nil, nil
+	}
+	lw := nl.Left.Width()
+
+	var onConj []Expr
+	if nl.On != nil {
+		onConj = splitConjuncts(nl.On)
+		for _, c := range onConj {
+			f := scanExprFlags(c)
+			if f.hasOuter || f.hasSubplan || f.hasVolatile || f.hasUDF {
+				return nil, nil
+			}
+		}
+	}
+
+	var lks, rks []Expr
+	var moved []Expr
+	residualConj := onConj
+	addKeys := func(conjs []Expr, collectBare bool) {
+		for _, c := range conjs {
+			if lk, rk, ok := equiKey(c, lw); ok {
+				lks = append(lks, lk)
+				rks = append(rks, rk)
+				if collectBare && bareRefEquality(c) {
+					moved = append(moved, c)
+					residualConj = append(residualConj, c)
+				}
+			}
+		}
+	}
+	addKeys(onConj, false)
+	// Filter conjuncts above a LEFT join filter null-extended output and
+	// must not inform the join itself.
+	if filterPred != nil && nl.Kind != JoinLeft {
+		addKeys(splitConjuncts(filterPred), true)
+	}
+	if len(lks) == 0 {
+		return nil, nil
+	}
+
+	ok, static := hashableBuildSide(nl.Right)
+	if !ok {
+		return nil, nil
+	}
+	kind := nl.Kind
+	if kind == JoinCross {
+		kind = JoinInner
+	}
+	var residual Expr
+	if len(residualConj) > 0 {
+		residual = andAll(residualConj)
+	}
+	return &HashJoin{
+		Left: nl.Left, Right: nl.Right, Kind: kind,
+		LeftKeys: lks, RightKeys: rks,
+		Residual: residual, RightStatic: static,
+		ResidualAllKeys: len(onConj) == 0 && len(moved) > 0 && len(moved) == len(residualConj),
+	}, moved
+}
+
+// pushdownJoinConjuncts moves the conjuncts of pred that read only one
+// side of an inner hash join below the join (classic predicate pushdown),
+// returning what must remain above. Only pure conjuncts move — no outer
+// references (the build side must stay uncorrelated), no subplans, no
+// volatile builtins, no UDFs — so evaluation counts can only shrink and
+// results cannot change. Left joins are left alone: conjuncts above them
+// filter null-extended rows.
+func pushdownJoinConjuncts(hj *HashJoin, pred Expr) Expr {
+	if pred == nil || hj.Kind != JoinInner {
+		return pred
+	}
+	lw := hj.Left.Width()
+	var above, lpush, rpush []Expr
+	for _, c := range splitConjuncts(pred) {
+		f := scanExprSplit(c, lw)
+		switch {
+		case f.hasOuter || f.hasSubplan || f.hasVolatile || f.hasUDF:
+			above = append(above, c)
+		case f.hasLeft && !f.hasRight:
+			lpush = append(lpush, c)
+		case f.hasRight && !f.hasLeft:
+			rpush = append(rpush, c)
+		default:
+			above = append(above, c)
+		}
+	}
+	if len(lpush) > 0 {
+		hj.Left = &Filter{Child: hj.Left, Pred: andAll(lpush)}
+	}
+	if len(rpush) > 0 {
+		for i := range rpush {
+			rpush[i] = shiftInputRefs(cloneExpr(rpush[i]), -lw)
+		}
+		hj.Right = &Filter{Child: hj.Right, Pred: andAll(rpush)}
+	}
+	if len(above) == 0 {
+		return nil
+	}
+	return andAll(above)
+}
+
+// bareRefEquality reports whether c is `InputRef = InputRef` — the shape
+// safe to relocate from a filter above the join into the join's residual
+// (no outer references, no side effects, trivially cheap per candidate).
+func bareRefEquality(c Expr) bool {
+	b, ok := c.(*BinOp)
+	if !ok || b.Op != "=" {
+		return false
+	}
+	_, lOK := b.L.(*InputRef)
+	_, rOK := b.R.(*InputRef)
+	return lOK && rOK
+}
+
+// stripConjuncts removes the given conjuncts (by identity) from pred,
+// returning the remaining predicate (nil when nothing is left) and whether
+// anything was removed.
+func stripConjuncts(pred Expr, drop []Expr) (Expr, bool) {
+	if len(drop) == 0 {
+		return pred, false
+	}
+	isDropped := func(c Expr) bool {
+		for _, d := range drop {
+			if c == d {
+				return true
+			}
+		}
+		return false
+	}
+	var rest []Expr
+	for _, c := range splitConjuncts(pred) {
+		if !isDropped(c) {
+			rest = append(rest, c)
+		}
+	}
+	if len(rest) == 0 {
+		return nil, true
+	}
+	return andAll(rest), true
+}
+
+// exprFlags summarizes what an expression subtree (including plans nested
+// in subplan expressions) touches.
+type exprFlags struct {
+	hasLeft, hasRight bool // InputRef below / at-or-above the split
+	hasOuter          bool
+	hasSubplan        bool
+	hasVolatile       bool
+	hasUDF            bool
+	hasCTE            bool // CTEScan inside nested subplan plans
+}
+
+func (f *exprFlags) merge(g exprFlags) {
+	f.hasLeft = f.hasLeft || g.hasLeft
+	f.hasRight = f.hasRight || g.hasRight
+	f.hasOuter = f.hasOuter || g.hasOuter
+	f.hasSubplan = f.hasSubplan || g.hasSubplan
+	f.hasVolatile = f.hasVolatile || g.hasVolatile
+	f.hasUDF = f.hasUDF || g.hasUDF
+	f.hasCTE = f.hasCTE || g.hasCTE
+}
+
+// scanExprFlags walks e with the input-ref split at lw = 0 disabled (every
+// InputRef counts as "right"); use scanExprSplit for side classification.
+func scanExprFlags(e Expr) exprFlags { return scanExprSplit(e, 0) }
+
+func scanExprSplit(e Expr, lw int) exprFlags {
+	var f exprFlags
+	if e == nil {
+		return f
+	}
+	switch x := e.(type) {
+	case *Const:
+	case *InputRef:
+		if x.Idx < lw {
+			f.hasLeft = true
+		} else {
+			f.hasRight = true
+		}
+	case *OuterRef:
+		f.hasOuter = true
+	case *ParamRef:
+	case *BinOp:
+		f.merge(scanExprSplit(x.L, lw))
+		f.merge(scanExprSplit(x.R, lw))
+	case *UnaryOp:
+		f.merge(scanExprSplit(x.X, lw))
+	case *IsNullExpr:
+		f.merge(scanExprSplit(x.X, lw))
+	case *BetweenExpr:
+		f.merge(scanExprSplit(x.X, lw))
+		f.merge(scanExprSplit(x.Lo, lw))
+		f.merge(scanExprSplit(x.Hi, lw))
+	case *InListExpr:
+		f.merge(scanExprSplit(x.X, lw))
+		for _, i := range x.List {
+			f.merge(scanExprSplit(i, lw))
+		}
+	case *CaseExpr:
+		f.merge(scanExprSplit(x.Operand, lw))
+		for _, w := range x.Whens {
+			f.merge(scanExprSplit(w.Cond, lw))
+			f.merge(scanExprSplit(w.Result, lw))
+		}
+		f.merge(scanExprSplit(x.Else, lw))
+	case *FuncExpr:
+		if x.Name == "random" || x.Name == "setseed" {
+			f.hasVolatile = true
+		}
+		for _, a := range x.Args {
+			f.merge(scanExprSplit(a, lw))
+		}
+	case *CastExpr:
+		f.merge(scanExprSplit(x.X, lw))
+	case *RowCtor:
+		for _, fd := range x.Fields {
+			f.merge(scanExprSplit(fd, lw))
+		}
+	case *FieldSel:
+		f.merge(scanExprSplit(x.X, lw))
+	case *SubplanExpr:
+		f.hasSubplan = true
+		f.merge(scanExprSplit(x.CompareX, lw))
+		// InputRefs inside the nested plan address that plan's own rows,
+		// not the join's — only the correlation/volatility flags propagate.
+		g := scanNodeFlags(x.Plan)
+		g.hasLeft, g.hasRight = false, false
+		f.merge(g)
+	case *UDFCallExpr:
+		f.hasUDF = true
+		for _, a := range x.Args {
+			f.merge(scanExprSplit(a, lw))
+		}
+	}
+	return f
+}
+
+// scanNodeFlags aggregates exprFlags over a whole plan subtree.
+func scanNodeFlags(n Node) exprFlags {
+	var f exprFlags
+	if n == nil {
+		return f
+	}
+	ex := func(e Expr) { f.merge(scanExprFlags(e)) }
+	switch x := n.(type) {
+	case *Result:
+		for _, e := range x.Exprs {
+			ex(e)
+		}
+	case *SeqScan:
+	case *IndexScan:
+		ex(x.Key)
+	case *CTEScan:
+		f.hasCTE = true
+	case *Filter:
+		f.merge(scanNodeFlags(x.Child))
+		ex(x.Pred)
+	case *Project:
+		f.merge(scanNodeFlags(x.Child))
+		for _, e := range x.Exprs {
+			ex(e)
+		}
+	case *NestLoop:
+		f.merge(scanNodeFlags(x.Left))
+		f.merge(scanNodeFlags(x.Right))
+		ex(x.On)
+	case *HashJoin:
+		f.merge(scanNodeFlags(x.Left))
+		f.merge(scanNodeFlags(x.Right))
+		for _, e := range x.LeftKeys {
+			ex(e)
+		}
+		for _, e := range x.RightKeys {
+			ex(e)
+		}
+		ex(x.Residual)
+	case *Materialize:
+		f.merge(scanNodeFlags(x.Child))
+	case *Agg:
+		f.merge(scanNodeFlags(x.Child))
+		for _, e := range x.GroupBy {
+			ex(e)
+		}
+		for _, a := range x.Aggs {
+			ex(a.Arg)
+			ex(a.Sep)
+		}
+	case *Window:
+		f.merge(scanNodeFlags(x.Child))
+		for _, w := range x.Funcs {
+			ex(w.Arg)
+			ex(w.Offset)
+			for _, p := range w.PartitionBy {
+				ex(p)
+			}
+			for _, o := range w.OrderBy {
+				ex(o.Expr)
+			}
+			if w.Frame != nil {
+				ex(w.Frame.StartOff)
+				ex(w.Frame.EndOff)
+			}
+		}
+	case *Sort:
+		f.merge(scanNodeFlags(x.Child))
+		for _, k := range x.Keys {
+			ex(k.Expr)
+		}
+	case *Limit:
+		f.merge(scanNodeFlags(x.Child))
+		ex(x.Limit)
+		ex(x.Offset)
+	case *Distinct:
+		f.merge(scanNodeFlags(x.Child))
+	case *Append:
+		for _, c := range x.Children {
+			f.merge(scanNodeFlags(c))
+		}
+	case *SetOp:
+		f.merge(scanNodeFlags(x.L))
+		f.merge(scanNodeFlags(x.R))
+	case *ValuesNode:
+		for _, row := range x.Rows {
+			for _, e := range row {
+				ex(e)
+			}
+		}
+	case *RecursiveUnion:
+		f.merge(scanNodeFlags(x.NonRec))
+		f.merge(scanNodeFlags(x.Rec))
+	case *WithNode:
+		f.merge(scanNodeFlags(x.Child))
+	}
+	// InputRefs inside a subtree address its own rows; they are not join
+	// correlation.
+	f.hasLeft, f.hasRight = false, false
+	return f
+}
+
+// HasVolatile reports whether any part of the plan — root, CTE bodies,
+// nested subplans — contains a volatile builtin (random, setseed) or a UDF
+// call (whose interpreted body may consume the session's random stream).
+// The executor runs such plans tuple-at-a-time: batching evaluates one
+// pipeline stage over a whole batch before the next stage runs, which
+// would transpose volatile draws across stages relative to Volcano
+// iteration even though each operator preserves its own row-major order.
+func (p *Plan) HasVolatile() bool {
+	f := scanNodeFlags(p.Root)
+	for _, cte := range p.CTEs {
+		f.merge(scanNodeFlags(cte.Plan))
+	}
+	return f.hasVolatile || f.hasUDF
+}
+
+// hashableBuildSide reports whether a join's right subtree may be drained
+// once into a hash table (ok), and whether that table survives rescans
+// (static: no CTE state read anywhere underneath).
+func hashableBuildSide(n Node) (ok, static bool) {
+	f := scanNodeFlags(n)
+	if f.hasOuter || f.hasVolatile || f.hasUDF {
+		return false, false
+	}
+	return true, !f.hasCTE
+}
+
+// equiKey recognizes an equality conjunct whose two sides evaluate purely
+// from one join side each: `<left expr> = <right expr>` (either order).
+// The returned right key is rebased to the right row (InputRef indices
+// shifted below lw).
+func equiKey(c Expr, lw int) (lk, rk Expr, ok bool) {
+	b, isBin := c.(*BinOp)
+	if !isBin || b.Op != "=" {
+		return nil, nil, false
+	}
+	side := func(e Expr) int {
+		f := scanExprSplit(e, lw)
+		if f.hasOuter || f.hasSubplan || f.hasVolatile || f.hasUDF {
+			return -1
+		}
+		switch {
+		case f.hasLeft && !f.hasRight:
+			return 0
+		case f.hasRight && !f.hasLeft:
+			return 1
+		default:
+			return -1 // mixed or constant: not a join key
+		}
+	}
+	sl, sr := side(b.L), side(b.R)
+	switch {
+	case sl == 0 && sr == 1:
+		return b.L, shiftInputRefs(cloneExpr(b.R), -lw), true
+	case sl == 1 && sr == 0:
+		return b.R, shiftInputRefs(cloneExpr(b.L), -lw), true
+	}
+	return nil, nil, false
+}
+
+// shiftInputRefs adds delta to every InputRef index of a (cloned, mutable)
+// expression tree.
+func shiftInputRefs(e Expr, delta int) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *InputRef:
+		x.Idx += delta
+	case *BinOp:
+		shiftInputRefs(x.L, delta)
+		shiftInputRefs(x.R, delta)
+	case *UnaryOp:
+		shiftInputRefs(x.X, delta)
+	case *IsNullExpr:
+		shiftInputRefs(x.X, delta)
+	case *BetweenExpr:
+		shiftInputRefs(x.X, delta)
+		shiftInputRefs(x.Lo, delta)
+		shiftInputRefs(x.Hi, delta)
+	case *InListExpr:
+		shiftInputRefs(x.X, delta)
+		for _, i := range x.List {
+			shiftInputRefs(i, delta)
+		}
+	case *CaseExpr:
+		shiftInputRefs(x.Operand, delta)
+		for _, w := range x.Whens {
+			shiftInputRefs(w.Cond, delta)
+			shiftInputRefs(w.Result, delta)
+		}
+		shiftInputRefs(x.Else, delta)
+	case *FuncExpr:
+		for _, a := range x.Args {
+			shiftInputRefs(a, delta)
+		}
+	case *CastExpr:
+		shiftInputRefs(x.X, delta)
+	case *RowCtor:
+		for _, f := range x.Fields {
+			shiftInputRefs(f, delta)
+		}
+	case *FieldSel:
+		shiftInputRefs(x.X, delta)
+	}
+	return e
+}

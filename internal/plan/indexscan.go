@@ -54,6 +54,10 @@ func useIndexes(n Node) Node {
 		x.Left = useIndexes(x.Left)
 		x.Right = useIndexes(x.Right)
 		x.On = rewriteSubplans(x.On)
+	case *HashJoin:
+		x.Left = useIndexes(x.Left)
+		x.Right = useIndexes(x.Right)
+		x.Residual = rewriteSubplans(x.Residual)
 	case *Materialize:
 		x.Child = useIndexes(x.Child)
 	case *Agg:

@@ -56,6 +56,33 @@ type NestLoop struct {
 	On          Expr
 }
 
+// HashJoin is an equi-join executed by hashing the right (build) side on
+// RightKeys once and probing it with LeftKeys — the batch executor's
+// replacement for NestLoop wherever the join predicate carries equality
+// conjuncts between the two sides and the right side is uncorrelated (no
+// outer references, no volatile expressions). Residual carries the
+// original ON conjuncts, re-evaluated over the concatenated row per hash
+// match, so hashing is purely an accelerator: NULL keys and cross-type
+// equality behave exactly as in the nest-loop plan. The planner's
+// useHashJoins pass creates these (see hashjoin.go).
+type HashJoin struct {
+	Left, Right Node
+	Kind        JoinKind // JoinInner or JoinLeft
+	LeftKeys    []Expr   // over the left row
+	RightKeys   []Expr   // over the right row (InputRef indices rebased)
+	Residual    Expr     // original ON conjuncts, or nil
+	// ResidualAllKeys marks a residual consisting solely of the bare key
+	// equalities (comma-join + WHERE shape): when the hash buckets are
+	// provably exact the executor skips re-evaluating it (see
+	// exec.rowTable).
+	ResidualAllKeys bool
+	// RightStatic marks a build side that reads no CTE state (working
+	// tables or materialized stores): its hash table survives rescans, so
+	// the probe loop inside RecursiveUnion pays O(build) once instead of
+	// per iteration.
+	RightStatic bool
+}
+
 // Materialize caches its child's rows on first execution so cheap rescans
 // replay them (wrapped around uncorrelated join inners).
 type Materialize struct{ Child Node }
@@ -181,6 +208,7 @@ func (*CTEScan) isNode()        {}
 func (*Filter) isNode()         {}
 func (*Project) isNode()        {}
 func (*NestLoop) isNode()       {}
+func (*HashJoin) isNode()       {}
 func (*Materialize) isNode()    {}
 func (*Agg) isNode()            {}
 func (*Window) isNode()         {}
@@ -200,6 +228,7 @@ func (n *CTEScan) Width() int     { return n.Wid }
 func (n *Filter) Width() int      { return n.Child.Width() }
 func (n *Project) Width() int     { return len(n.Exprs) }
 func (n *NestLoop) Width() int    { return n.Left.Width() + n.Right.Width() }
+func (n *HashJoin) Width() int    { return n.Left.Width() + n.Right.Width() }
 func (n *Materialize) Width() int { return n.Child.Width() }
 func (n *Agg) Width() int         { return len(n.GroupBy) + len(n.Aggs) }
 func (n *Window) Width() int      { return n.Child.Width() + len(n.Funcs) }
@@ -253,6 +282,9 @@ func (p *Plan) CountNodes() {
 		case *Project:
 			walk(x.Child)
 		case *NestLoop:
+			walk(x.Left)
+			walk(x.Right)
+		case *HashJoin:
 			walk(x.Left)
 			walk(x.Right)
 		case *Materialize:

@@ -21,6 +21,14 @@ func Build(cat *catalog.Catalog, q *sqlast.Query, opts Options) (*Plan, error) {
 			b.allCTEs[i].Plan = useIndexes(b.allCTEs[i].Plan)
 		}
 	}
+	if !opts.NoHashJoin {
+		root = useHashJoins(root)
+		for i := range b.allCTEs {
+			if b.allCTEs[i].Plan != nil {
+				b.allCTEs[i].Plan = useHashJoins(b.allCTEs[i].Plan)
+			}
+		}
+	}
 	p := &Plan{
 		Root:           root,
 		Cols:           names,

@@ -109,6 +109,48 @@ func (h *Heap) Rows() ([]Tuple, error) {
 	return out, nil
 }
 
+// HeapScanner streams a stable snapshot of the heap in caller-sized chunks
+// — the batch scan API of the vectorized executor. The snapshot is pinned
+// when the scanner is created (Rows hands out immutable slices), so
+// concurrent mutations never disturb an open scan and chunking is
+// zero-copy: each chunk is a subslice of the pinned snapshot.
+type HeapScanner struct {
+	rows []Tuple
+	off  int
+}
+
+// Scanner pins the heap's current contents and returns a chunked scanner
+// over them.
+func (h *Heap) Scanner() (*HeapScanner, error) {
+	rows, err := h.Rows()
+	if err != nil {
+		return nil, err
+	}
+	return &HeapScanner{rows: rows}, nil
+}
+
+// Reset rewinds the scanner to the start of its pinned snapshot.
+func (s *HeapScanner) Reset() { s.off = 0 }
+
+// Len reports the number of rows in the pinned snapshot.
+func (s *HeapScanner) Len() int { return len(s.rows) }
+
+// NextChunk returns the next up-to-max rows of the snapshot, or nil at the
+// end of the scan. The returned slice aliases the snapshot and must not be
+// mutated.
+func (s *HeapScanner) NextChunk(max int) []Tuple {
+	if max < 1 || s.off >= len(s.rows) {
+		return nil
+	}
+	end := s.off + max
+	if end > len(s.rows) {
+		end = len(s.rows)
+	}
+	chunk := s.rows[s.off:end]
+	s.off = end
+	return chunk
+}
+
 // Replace substitutes the heap's entire contents (used by UPDATE/DELETE,
 // which rewrite the table — adequate for workload-sized tables).
 func (h *Heap) Replace(rows []Tuple) {

@@ -80,6 +80,13 @@ func (ts *TupleStore) Append(t Tuple) {
 	ts.appendEncoded(EncodeTuple(t))
 }
 
+// AppendBatch adds a batch of rows to the store.
+func (ts *TupleStore) AppendBatch(rows []Tuple) {
+	for _, t := range rows {
+		ts.Append(t)
+	}
+}
+
 func (ts *TupleStore) spill() {
 	ts.spilled = true
 	if f, err := os.CreateTemp("", "plsqlaway-tuplestore-*.tmp"); err == nil {
@@ -252,6 +259,37 @@ func (it *TupleIterator) Next() (Tuple, error) {
 		it.pageOff += n
 		return DecodeTuple(enc)
 	}
+}
+
+// NextChunk fills dst with the next rows of the store, returning how many
+// were written (0 at the end). In-memory stores are served by a single bulk
+// copy of the row headers; spilled stores decode tuple by tuple.
+func (it *TupleIterator) NextChunk(dst []Tuple) (int, error) {
+	ts := it.ts
+	if it.done || len(dst) == 0 {
+		return 0, nil
+	}
+	if !ts.spilled {
+		n := copy(dst, ts.memRows[it.memIdx:])
+		it.memIdx += n
+		if n == 0 {
+			it.done = true
+		}
+		return n, nil
+	}
+	n := 0
+	for n < len(dst) {
+		t, err := it.Next()
+		if err != nil {
+			return n, err
+		}
+		if t == nil {
+			break
+		}
+		dst[n] = t
+		n++
+	}
+	return n, nil
 }
 
 func (it *TupleIterator) nextPage() ([]byte, error) {

@@ -60,6 +60,9 @@ type Session = engine.Session
 // session (see Session.Prepare).
 type Prepared = engine.Prepared
 
+// EngineOption configures NewEngine.
+type EngineOption = engine.Option
+
 // Result is the outcome of one compilation, carrying every intermediate
 // form (CFG, SSA, ANF, UDF) and the final pure-SQL query.
 type Result = core.Result
@@ -96,6 +99,10 @@ func WithSeed(seed uint64) engine.Option { return engine.WithSeed(seed) }
 
 // WithWorkMem bounds tuplestore memory before spilling (bytes).
 func WithWorkMem(bytes int) engine.Option { return engine.WithWorkMem(bytes) }
+
+// WithBatchSize sets the executor's tuples-per-batch (1 degenerates to
+// tuple-at-a-time Volcano iteration).
+func WithBatchSize(n int) engine.Option { return engine.WithBatchSize(n) }
 
 // Compile runs the paper's full pipeline on the text of a
 // CREATE FUNCTION … LANGUAGE plpgsql statement.
