@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	benchrunner [-experiment table1|fig10|fig11a|fig11b|table2|ablations|parallel|batchsweep|all]
-//	            [-quick] [-parallel N] [-batchsize LIST] [-format text|json]
+//	benchrunner [-experiment table1|fig10|fig11a|fig11b|table2|ablations|parallel|batchsweep|mixed|all]
+//	            [-quick] [-parallel N] [-writeratio F] [-batchsize LIST] [-format text|json]
 //
 // -quick shrinks workload sizes so a full run finishes in well under a
 // minute (the default sizes mirror the paper's and take several minutes,
@@ -17,6 +17,14 @@
 // 1, 2, …, N sessions, reporting aggregate throughput and the speedup over
 // the single-session baseline. Given on its own it runs just that
 // experiment; combine with -experiment to add the paper's figures.
+//
+// -writeratio F turns the session sweep into the mixed read/write
+// experiment: one shared table, N sessions issuing a fixed deterministic
+// schedule of point UPDATEs (fraction F) and range-aggregate SELECTs,
+// reporting reader throughput as sessions grow — the snapshot-isolation
+// claim that readers never wait for writers. Combine with -parallel N to
+// set the sweep's upper end; given on its own it runs just the mixed
+// experiment (it replaces the read-only -parallel sweep).
 //
 // -batchsize runs the batch executor sweep: the WITH RECURSIVE
 // graphtraverse frontier expansion at each listed executor batch size
@@ -44,9 +52,11 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1, fig10, fig11a, fig11b, table2, ablations, parallel, batchsweep, or all")
+	experiment := flag.String("experiment", "all", "table1, fig10, fig11a, fig11b, table2, ablations, parallel, batchsweep, mixed, or all")
 	quick := flag.Bool("quick", false, "reduced workload sizes")
 	parallel := flag.Int("parallel", 0, "max concurrent sessions for the scaling experiment (0 = off)")
+	writeratio := flag.Float64("writeratio", -1, "fraction of ops that are writes in the mixed read/write sweep (-1 = off)")
+	mixrows := flag.Int("mixrows", 0, "table size for the mixed read/write sweep (0 = the sweep's default)")
 	batchsize := flag.String("batchsize", "", "comma-separated executor batch sizes for the batch sweep (e.g. 1,64,1024; empty = the sweep's default sizes)")
 	format := flag.String("format", "text", "output format: text or json")
 	flag.Parse()
@@ -85,11 +95,24 @@ func main() {
 			experimentSet = true
 		}
 	})
+	if *writeratio > 1 {
+		fmt.Fprintf(os.Stderr, "benchrunner: -writeratio wants a fraction in [0, 1], got %g\n", *writeratio)
+		os.Exit(1)
+	}
 	if *parallel > 0 {
 		if !experimentSet {
 			delete(want, "all")
 		}
 		want["parallel"] = true
+	}
+	if *writeratio >= 0 {
+		if !experimentSet {
+			delete(want, "all")
+		}
+		// -writeratio repurposes the -parallel session sweep as the mixed
+		// read/write experiment; don't also run the read-only sweep.
+		delete(want, "parallel")
+		want["mixed"] = true
 	}
 	if len(sweepSizes) > 0 {
 		if !experimentSet {
@@ -230,6 +253,30 @@ func main() {
 			return nil, "", err
 		}
 		return rows, bench.FormatParallel(rows), nil
+	})
+
+	section("mixed", func() (any, string, error) {
+		ratio := *writeratio
+		if ratio < 0 {
+			ratio = 0.1 // -experiment mixed without -writeratio: a sensible default
+		}
+		cfg := bench.MixedConfig{MaxWorkers: *parallel, WriteRatio: ratio}
+		if cfg.MaxWorkers == 0 {
+			cfg.MaxWorkers = 4
+		}
+		if *quick {
+			cfg.Ops = 512
+			cfg.TableRows = 2048
+			cfg.Span = 128
+		}
+		if *mixrows > 0 {
+			cfg.TableRows = *mixrows
+		}
+		rows, err := bench.MixedSweep(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, bench.FormatMixed(rows), nil
 	})
 
 	section("batchsweep", func() (any, string, error) {

@@ -1,0 +1,295 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"plsqlaway/internal/engine"
+	"plsqlaway/internal/sqltypes"
+)
+
+// MixedConfig sizes the mixed read/write scaling experiment: one shared
+// engine, one table, N concurrent sessions each issuing a deterministic
+// stream of point UPDATEs and range-aggregate SELECTs. The write ratio is
+// the knob that exposed the old global DML lock: with any writers in the
+// mix, reader throughput collapsed to the writer's pace. Under snapshot
+// isolation readers keep scaling because they never wait for the commit
+// lock.
+type MixedConfig struct {
+	Workers    []int   // session counts to sweep; default {1, 2, 4, …, max}
+	MaxWorkers int     // upper end of the default sweep; default 4
+	Ops        int     // total operations per measurement; default 4096
+	TableRows  int     // rows in the shared table; default 8192
+	Span       int     // keys per range-aggregate read; default 256
+	WriteRatio float64 // fraction of ops that are single-row UPDATEs
+}
+
+func (c *MixedConfig) defaults() {
+	if c.MaxWorkers < 1 {
+		c.MaxWorkers = 4
+	}
+	if len(c.Workers) == 0 {
+		for n := 1; n < c.MaxWorkers; n *= 2 {
+			c.Workers = append(c.Workers, n)
+		}
+		c.Workers = append(c.Workers, c.MaxWorkers)
+	}
+	if c.Ops == 0 {
+		c.Ops = 4096
+	}
+	if c.TableRows == 0 {
+		c.TableRows = 8192
+	}
+	if c.Span == 0 {
+		c.Span = 256
+	}
+	if c.WriteRatio < 0 {
+		c.WriteRatio = 0
+	}
+	if c.WriteRatio > 1 {
+		c.WriteRatio = 1
+	}
+}
+
+// MixedRow is one (session-count) throughput point of the mixed sweep.
+type MixedRow struct {
+	Workers      int
+	WriteRatio   float64
+	Ops          int
+	Reads        int
+	Writes       int
+	WallMs       float64
+	OpsPerSec    float64
+	ReadsPerSec  float64
+	WritesPerSec float64
+	// ReadSpeedup compares reader throughput against the sweep's first
+	// point — the "readers no longer serialized behind writers" claim.
+	ReadSpeedup float64
+	// Read latency percentiles (milliseconds). Under a global DML lock a
+	// reader stalls for a writer's whole statement, so the read tail
+	// tracks write duration; under snapshot isolation it does not.
+	ReadP50Ms float64
+	ReadP99Ms float64
+	ReadMaxMs float64
+	// Write latency (milliseconds): the old full-table-rewrite UPDATE vs
+	// the MVCC single-version commit.
+	WriteP50Ms float64
+	WriteMaxMs float64
+}
+
+// percentile returns the p-quantile (0..1) of sorted durations in ms.
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i].Nanoseconds()) / 1e6
+}
+
+// mixRand is a tiny deterministic xorshift64* stream, local so the op
+// schedule is identical on every engine the sweep compares.
+type mixRand struct{ state uint64 }
+
+func (r *mixRand) next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+func (r *mixRand) float64() float64 { return float64(r.next()>>11) / float64(1<<53) }
+func (r *mixRand) intn(n int) int   { return int(r.next() % uint64(n)) }
+
+// mixedOp is one pre-scheduled operation: a point UPDATE (write=true) or a
+// range-aggregate SELECT. The schedule is fixed up front so every sweep
+// point executes the same multiset of operations regardless of how they
+// are divided among sessions.
+type mixedOp struct {
+	write bool
+	key   int64
+}
+
+// MixedSweep measures aggregate throughput of a mixed read/write workload
+// across growing numbers of concurrent sessions on ONE shared engine. The
+// total operation count is fixed per measurement and divided among the
+// sessions; after each measurement the table's checksum is verified
+// against the number of writes applied, so a scheduling bug cannot
+// masquerade as a speedup.
+func MixedSweep(cfg MixedConfig) ([]MixedRow, error) {
+	cfg.defaults()
+	e := engine.New(engine.WithSeed(42))
+	if err := e.Exec("CREATE TABLE mix_kv (k int, v int)"); err != nil {
+		return nil, err
+	}
+	var sum0 int64
+	var sb strings.Builder
+	for base := 0; base < cfg.TableRows; {
+		sb.Reset()
+		sb.WriteString("INSERT INTO mix_kv VALUES ")
+		for i := 0; i < 512 && base < cfg.TableRows; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d)", base, base)
+			sum0 += int64(base)
+			base++
+		}
+		if err := e.Exec(sb.String()); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pre-schedule the op stream once: identical work at every sweep point.
+	rng := &mixRand{state: 0x9E3779B97F4A7C15}
+	ops := make([]mixedOp, cfg.Ops)
+	writes := 0
+	for i := range ops {
+		w := rng.float64() < cfg.WriteRatio
+		if w {
+			writes++
+		}
+		ops[i] = mixedOp{write: w, key: int64(rng.intn(cfg.TableRows))}
+	}
+	reads := cfg.Ops - writes
+
+	var rows []MixedRow
+	applied := int64(0) // cumulative writes across sweep points
+	var baseline float64
+	for _, n := range cfg.Workers {
+		wall, readLat, writeLat, err := runMixed(e, ops, n, cfg.Span)
+		if err != nil {
+			return nil, fmt.Errorf("bench: mixed ×%d sessions: %w", n, err)
+		}
+		applied += int64(writes)
+		// Each UPDATE adds exactly 1 to one row's v: the checksum pins the
+		// sweep to "every write committed exactly once".
+		got, err := e.QueryValue("SELECT sum(v) FROM mix_kv")
+		if err != nil {
+			return nil, err
+		}
+		if got.Int() != sum0+applied {
+			return nil, fmt.Errorf("bench: mixed ×%d sessions: checksum %d, want %d (lost or duplicated writes)", n, got.Int(), sum0+applied)
+		}
+		row := MixedRow{
+			Workers:      n,
+			WriteRatio:   cfg.WriteRatio,
+			Ops:          cfg.Ops,
+			Reads:        reads,
+			Writes:       writes,
+			WallMs:       float64(wall.Nanoseconds()) / 1e6,
+			OpsPerSec:    float64(cfg.Ops) / wall.Seconds(),
+			ReadsPerSec:  float64(reads) / wall.Seconds(),
+			WritesPerSec: float64(writes) / wall.Seconds(),
+		}
+		sort.Slice(readLat, func(i, j int) bool { return readLat[i] < readLat[j] })
+		sort.Slice(writeLat, func(i, j int) bool { return writeLat[i] < writeLat[j] })
+		row.ReadP50Ms = percentile(readLat, 0.50)
+		row.ReadP99Ms = percentile(readLat, 0.99)
+		row.ReadMaxMs = percentile(readLat, 1)
+		row.WriteP50Ms = percentile(writeLat, 0.50)
+		row.WriteMaxMs = percentile(writeLat, 1)
+		if baseline == 0 {
+			baseline = row.ReadsPerSec
+		}
+		if baseline > 0 {
+			row.ReadSpeedup = row.ReadsPerSec / baseline
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runMixed executes the fixed op schedule spread round-robin over n
+// sessions and returns the wall-clock time for the whole batch plus the
+// per-op read and write latencies.
+func runMixed(e *engine.Engine, ops []mixedOp, n, span int) (time.Duration, []time.Duration, []time.Duration, error) {
+	type sessionState struct {
+		read     *engine.Prepared
+		write    *engine.Prepared
+		ops      []mixedOp
+		readLat  []time.Duration
+		writeLat []time.Duration
+	}
+	states := make([]*sessionState, n)
+	for i := range states {
+		s := e.NewSession()
+		read, err := s.Prepare("SELECT sum(v) FROM mix_kv WHERE k >= $1 AND k < $2")
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		write, err := s.Prepare("UPDATE mix_kv SET v = v + 1 WHERE k = $1")
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		states[i] = &sessionState{read: read, write: write}
+	}
+	for i, op := range ops {
+		st := states[i%n]
+		st.ops = append(st.ops, op)
+	}
+	// Warm the shared plan cache outside the measurement.
+	if err := states[0].read.Exec(sqltypes.NewInt(0), sqltypes.NewInt(int64(span))); err != nil {
+		return 0, nil, nil, err
+	}
+
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i, st := range states {
+		wg.Add(1)
+		go func(i int, st *sessionState) {
+			defer wg.Done()
+			for _, op := range st.ops {
+				var err error
+				opT0 := time.Now()
+				if op.write {
+					err = st.write.Exec(sqltypes.NewInt(op.key))
+					st.writeLat = append(st.writeLat, time.Since(opT0))
+				} else {
+					err = st.read.Exec(sqltypes.NewInt(op.key), sqltypes.NewInt(op.key+int64(span)))
+					st.readLat = append(st.readLat, time.Since(opT0))
+				}
+				if err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i, st)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			return 0, nil, nil, err
+		}
+	}
+	var readLat, writeLat []time.Duration
+	for _, st := range states {
+		readLat = append(readLat, st.readLat...)
+		writeLat = append(writeLat, st.writeLat...)
+	}
+	return wall, readLat, writeLat, nil
+}
+
+// FormatMixed renders the mixed read/write sweep.
+func FormatMixed(rows []MixedRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Mixed read/write workload: aggregate throughput on one shared engine (GOMAXPROCS=%d).\n", runtime.GOMAXPROCS(0))
+	sb.WriteString("Fixed op schedule per measurement, divided among N sessions.\n\n")
+	fmt.Fprintf(&sb, "%9s %11s %7s %7s %10s %12s %12s %13s %9s %9s %9s\n",
+		"sessions", "writeratio", "reads", "writes", "wall[ms]", "ops/sec", "reads/sec", "read-speedup",
+		"rd-p99", "rd-max", "wr-max")
+	sb.WriteString(strings.Repeat("-", 120) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%9d %11.2f %7d %7d %10.1f %12.1f %12.1f %12.2fx %7.2fms %7.2fms %7.2fms\n",
+			r.Workers, r.WriteRatio, r.Reads, r.Writes, r.WallMs, r.OpsPerSec, r.ReadsPerSec, r.ReadSpeedup,
+			r.ReadP99Ms, r.ReadMaxMs, r.WriteMaxMs)
+	}
+	return sb.String()
+}

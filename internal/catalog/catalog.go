@@ -6,6 +6,7 @@ package catalog
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 	"strings"
 
@@ -78,17 +79,36 @@ type Function struct {
 	SQLBody *sqlast.Query   // FuncSQL and FuncCompiled: body query; params are $1..$n
 }
 
-// Catalog is the schema registry. Mutation is not internally synchronized:
-// the engine's DDL/DML lock gives writers exclusive access, while any
-// number of sessions read (Table/Function lookups, planning) under the
-// lock's read side.
+// Catalog is the schema registry. It is copy-on-write: the engine
+// publishes immutable catalog snapshots behind an atomic pointer, and DDL
+// mutates a Clone (under the writers-only commit lock) before swapping it
+// in. Any number of sessions read a published snapshot (Table/Function
+// lookups, planning) with no synchronization at all — there is nothing to
+// synchronize against, because a published snapshot never changes.
+// Mutation methods are therefore not internally synchronized; they are
+// only ever called on an unpublished clone (or a single-owner catalog in
+// tests and tools).
 type Catalog struct {
 	tables map[string]*Table
 	funcs  map[string]*Function
 	stats  *storage.Stats
 	// Version increments on every DDL change; the plan cache uses it to
-	// invalidate stale plans.
+	// invalidate stale plans. DML does not bump it: row changes are
+	// versioned by the storage layer's commit timestamps, not the schema.
 	Version int64
+}
+
+// Clone returns a shallow copy for copy-on-write DDL: the table and
+// function maps are copied, the objects themselves are shared. DDL on the
+// clone must therefore replace objects, never mutate them in place —
+// DeclareIndex, for example, installs a fresh *Table.
+func (c *Catalog) Clone() *Catalog {
+	return &Catalog{
+		tables:  maps.Clone(c.tables),
+		funcs:   maps.Clone(c.funcs),
+		stats:   c.stats,
+		Version: c.Version,
+	}
 }
 
 // New creates an empty catalog charging storage to stats.

@@ -101,11 +101,13 @@ func TestIndexProbe(t *testing.T) {
 	if err := c.DeclareIndex("t", "k"); err != nil {
 		t.Fatal(err)
 	}
+	// DeclareIndex is copy-on-write: it installs a fresh *Table.
+	tbl, _ = c.Table("t")
 	idx, ok := tbl.IndexOn(0)
 	if !ok {
 		t.Fatal("index not found")
 	}
-	hits, rows, err := idx.Probe(tbl, sqltypes.NewInt(3))
+	hits, rows, err := idx.Probe(tbl, sqltypes.NewInt(3), storage.AllVisible)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,18 +120,18 @@ func TestIndexProbe(t *testing.T) {
 		}
 	}
 	// NULL key matches nothing.
-	hits, _, _ = idx.Probe(tbl, sqltypes.Null)
+	hits, _, _ = idx.Probe(tbl, sqltypes.Null, storage.AllVisible)
 	if len(hits) != 0 {
 		t.Error("NULL probe must be empty")
 	}
 	// Index refreshes after mutation.
 	tbl.Heap.Insert(storage.Tuple{sqltypes.NewInt(3), sqltypes.NewText("new")})
-	hits, _, _ = idx.Probe(tbl, sqltypes.NewInt(3))
+	hits, _, _ = idx.Probe(tbl, sqltypes.NewInt(3), storage.AllVisible)
 	if len(hits) != 11 {
 		t.Errorf("stale index after insert: %d hits", len(hits))
 	}
 	// Numeric cross-kind probe (float key hits int column).
-	hits, _, _ = idx.Probe(tbl, sqltypes.NewFloat(3))
+	hits, _, _ = idx.Probe(tbl, sqltypes.NewFloat(3), storage.AllVisible)
 	if len(hits) != 11 {
 		t.Errorf("float probe of int column: %d hits, want 11", len(hits))
 	}

@@ -9,26 +9,40 @@ import (
 	"plsqlaway/internal/storage"
 )
 
-// Index is a hash index over one column, rebuilt lazily when the heap's
-// generation moves (adequate for workload-scale tables; a production system
-// would maintain it incrementally). Probes from concurrent sessions share
-// the read lock; the lazy rebuild after a heap mutation takes the write
-// lock with a double-check, so only one prober rebuilds.
+// Index is a hash index over one column, rebuilt lazily per heap snapshot
+// (adequate for workload-scale tables; a production system would maintain
+// it incrementally). The bucket table is keyed by the heap's snapshot
+// cache key, so all sessions reading the same snapshot share one build,
+// and a commit only invalidates builds for snapshots that can see it.
+// Probes from concurrent sessions share the read lock; a rebuild takes
+// the write lock with a double-check, so only one prober rebuilds.
 type Index struct {
-	Col     int
-	gen     int64
-	buckets map[uint64][]int // value hash → row positions
-	mu      sync.RWMutex
+	Col int
+
+	mu     sync.RWMutex
+	builds []indexBuild
 }
 
-// ensureIndexes is the per-table registry of *declared* indexes: the
-// planner only considers columns the user indexed with CREATE INDEX, like a
-// real optimizer.
+// indexBuild is the bucket table for one heap snapshot window.
+type indexBuild struct {
+	key     int64
+	buckets map[uint64][]int // value hash → row positions
+}
+
+// maxIndexBuilds bounds how many snapshot windows keep their buckets.
+const maxIndexBuilds = 2
+
+// tableIndexes is the per-table registry of *declared* indexes: the
+// planner only considers columns the user indexed with CREATE INDEX, like
+// a real optimizer.
 type tableIndexes struct {
 	byCol map[int]*Index
 }
 
-// DeclareIndex registers an index on the named column.
+// DeclareIndex registers an index on the named column. The catalog is
+// copy-on-write, so the table is replaced by a copy carrying the new
+// index registry rather than mutated in place — older published catalog
+// snapshots keep the index-free table.
 func (c *Catalog) DeclareIndex(table, col string) error {
 	t, ok := c.Table(table)
 	if !ok {
@@ -38,13 +52,20 @@ func (c *Catalog) DeclareIndex(table, col string) error {
 	if ci < 0 {
 		return fmt.Errorf("catalog: column %q of relation %q does not exist", col, table)
 	}
-	if t.indexes == nil {
-		t.indexes = &tableIndexes{byCol: map[int]*Index{}}
+	if t.indexes != nil {
+		if _, dup := t.indexes.byCol[ci]; dup {
+			return nil // idempotent
+		}
 	}
-	if _, dup := t.indexes.byCol[ci]; dup {
-		return nil // idempotent
+	nt := &Table{Name: t.Name, Cols: t.Cols, Heap: t.Heap}
+	nt.indexes = &tableIndexes{byCol: map[int]*Index{}}
+	if t.indexes != nil {
+		for k, v := range t.indexes.byCol {
+			nt.indexes.byCol[k] = v
+		}
 	}
-	t.indexes.byCol[ci] = &Index{Col: ci, gen: -1}
+	nt.indexes.byCol[ci] = &Index{Col: ci}
+	c.tables[t.Name] = nt
 	c.Version++
 	return nil
 }
@@ -58,36 +79,53 @@ func (t *Table) IndexOn(col int) (*Index, bool) {
 	return idx, ok
 }
 
-// Probe returns the row positions whose indexed column is Identical to key,
-// rebuilding the hash table first if the heap changed. NULL keys match
-// nothing (SQL equality).
-func (idx *Index) Probe(t *Table, key sqltypes.Value) ([]int, []storage.Tuple, error) {
+// Probe returns the row positions whose indexed column is Identical to
+// key among the rows visible at snapshot ts, rebuilding the hash table
+// first if no build covers that snapshot. NULL keys match nothing (SQL
+// equality). The returned positions index into the returned rows slice.
+func (idx *Index) Probe(t *Table, key sqltypes.Value, ts int64) ([]int, []storage.Tuple, error) {
 	if key.IsNull() {
 		return nil, nil, nil
 	}
-	rows, err := t.Heap.Rows()
+	rows, snapKey, err := t.Heap.RowsKeyed(ts)
 	if err != nil {
 		return nil, nil, err
 	}
-	gen := t.Heap.Gen()
+	h := sqltypes.Hash(key)
+
 	idx.mu.RLock()
-	fresh := idx.gen == gen
 	var candidates []int
-	if fresh {
-		candidates = idx.buckets[sqltypes.Hash(key)]
+	fresh := false
+	for i := range idx.builds {
+		if idx.builds[i].key == snapKey {
+			candidates = idx.builds[i].buckets[h]
+			fresh = true
+			break
+		}
 	}
 	idx.mu.RUnlock()
+
 	if !fresh {
 		idx.mu.Lock()
-		if idx.gen != gen { // double-check: lost the rebuild race?
-			idx.buckets = make(map[uint64][]int, len(rows))
-			for i, r := range rows {
-				h := sqltypes.Hash(r[idx.Col])
-				idx.buckets[h] = append(idx.buckets[h], i)
+		var buckets map[uint64][]int
+		for i := range idx.builds {
+			if idx.builds[i].key == snapKey { // lost the rebuild race
+				buckets = idx.builds[i].buckets
+				break
 			}
-			idx.gen = gen
 		}
-		candidates = idx.buckets[sqltypes.Hash(key)]
+		if buckets == nil {
+			buckets = make(map[uint64][]int, len(rows))
+			for i, r := range rows {
+				bh := sqltypes.Hash(r[idx.Col])
+				buckets[bh] = append(buckets[bh], i)
+			}
+			if len(idx.builds) >= maxIndexBuilds {
+				idx.builds = idx.builds[1:]
+			}
+			idx.builds = append(idx.builds, indexBuild{key: snapKey, buckets: buckets})
+		}
+		candidates = buckets[h]
 		idx.mu.Unlock()
 	}
 

@@ -122,7 +122,7 @@ func TestBatchRunVsNextShim(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: parse: %v", q.name, err)
 		}
-		p, err := plan.Build(s.sh.cat, parsed, plan.Options{})
+		p, err := plan.Build(s.sh.state.Load().cat, parsed, plan.Options{})
 		if err != nil {
 			t.Fatalf("%s: plan: %v", q.name, err)
 		}
@@ -191,7 +191,7 @@ func TestHashJoinVsNestLoopDifferential(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: parse: %v", q.name, err)
 			}
-			p, err := plan.Build(s.sh.cat, parsed, opts)
+			p, err := plan.Build(s.sh.state.Load().cat, parsed, opts)
 			if err != nil {
 				t.Fatalf("%s: plan: %v", q.name, err)
 			}
@@ -236,7 +236,7 @@ func TestHashJoinPlanShapes(t *testing.T) {
 		if err != nil {
 			t.Fatalf("parse %q: %v", sql, err)
 		}
-		p, err := plan.Build(s.sh.cat, parsed, opts)
+		p, err := plan.Build(s.sh.state.Load().cat, parsed, opts)
 		if err != nil {
 			t.Fatalf("plan %q: %v", sql, err)
 		}
@@ -383,7 +383,7 @@ func TestHashJoinLargeNumericKeys(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			p, err := plan.Build(s.sh.cat, parsed, opts)
+			p, err := plan.Build(s.sh.state.Load().cat, parsed, opts)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -4,17 +4,25 @@
 // substrate the paper's compiler targets and the harness the experiments
 // measure.
 //
-// Concurrency model. The engine splits into a shared core and per-session
-// execution state, like a multi-threaded SQL server where planning
-// artifacts are shared and execution is per-request:
+// Concurrency model. The engine runs under snapshot isolation: readers
+// never block, writers serialize only against each other.
 //
-//   - the shared core (catalog, heap storage, plan cache, profile) is owned
-//     by all sessions jointly and guarded by a readers-writer lock: DQL
-//     takes snapshot reads, DDL/DML take exclusive ownership;
+//   - the database state (catalog snapshot + storage commit timestamp) is
+//     published behind one atomic pointer. Every statement pins that pair
+//     at start and executes against it: heap scans see exactly the row
+//     versions committed at or before the pinned timestamp (per-row
+//     xmin/xmax, stamped from the engine's commit counter), and catalog
+//     lookups read an immutable copy-on-write catalog snapshot;
+//   - DDL/DML take a writers-only commit lock, stamp new row versions /
+//     clone the catalog, and publish a new state pointer on success —
+//     readers running concurrently keep their pinned snapshot and are
+//     never excluded;
 //   - a Session carries everything one caller scribbles on during
 //     execution — random source, phase counters, interpreter state,
 //     UDF call depth, prepared statements — and must be used from one
-//     goroutine at a time.
+//     goroutine at a time;
+//   - superseded row versions older than the oldest pinned snapshot are
+//     reclaimed by an opportunistic per-heap vacuum after commits.
 //
 // Engine.NewSession hands out sessions; the Engine's own query methods
 // remain as a compatibility facade that serializes callers onto a default
@@ -25,6 +33,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"plsqlaway/internal/catalog"
 	"plsqlaway/internal/exec"
@@ -37,14 +46,61 @@ import (
 	"plsqlaway/internal/storage"
 )
 
-// shared is the session-independent core of one engine instance. Its mu
-// realizes the locking discipline: queries (including UDF calls they make)
-// hold the read side for their whole execution, DDL and DML hold the write
-// side, so readers always see a consistent catalog + heap snapshot.
-type shared struct {
-	mu sync.RWMutex
+// dbState is one published database snapshot: an immutable catalog plus
+// the storage commit timestamp it was published at. Swapping the pointer
+// is the engine's commit point — a reader that loads it gets a fully
+// consistent (schema, rows) pair with one atomic load.
+type dbState struct {
+	cat *catalog.Catalog
+	ts  int64
+}
 
-	cat          *catalog.Catalog
+// pinSet tracks the snapshot timestamps of in-flight statements so vacuum
+// knows the oldest version any live reader can still reach.
+type pinSet struct {
+	mu   sync.Mutex
+	pins map[int64]int
+}
+
+func (p *pinSet) pin(ts int64) {
+	p.mu.Lock()
+	if p.pins == nil {
+		p.pins = make(map[int64]int)
+	}
+	p.pins[ts]++
+	p.mu.Unlock()
+}
+
+func (p *pinSet) unpin(ts int64) {
+	p.mu.Lock()
+	if p.pins[ts]--; p.pins[ts] == 0 {
+		delete(p.pins, ts)
+	}
+	p.mu.Unlock()
+}
+
+// oldest returns the smallest pinned timestamp, or def when nothing is
+// pinned. The map stays tiny (one entry per distinct in-flight snapshot).
+func (p *pinSet) oldest(def int64) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	min := def
+	for ts := range p.pins {
+		if ts < min {
+			min = ts
+		}
+	}
+	return min
+}
+
+// shared is the session-independent core of one engine instance. state
+// holds the published database snapshot; commitMu serializes writers
+// (DDL/DML) — readers take no lock at all, they pin the state pointer.
+type shared struct {
+	commitMu sync.Mutex
+	state    atomic.Pointer[dbState]
+	pins     pinSet
+
 	storageStats *storage.Stats
 	cache        *plan.Cache
 	prof         profile.Profile
@@ -53,6 +109,22 @@ type shared struct {
 	maxCallDepth int
 	seed         uint64
 	batchSize    int
+}
+
+// pinState loads the published state and registers its timestamp with the
+// pin set, retrying if a concurrent commit published a newer state in
+// between — the re-check guarantees vacuum computed its horizon after
+// this pin was visible, so the snapshot's versions cannot be reclaimed
+// from under the reader.
+func (sh *shared) pinState() *dbState {
+	for {
+		st := sh.state.Load()
+		sh.pins.pin(st.ts)
+		if sh.state.Load() == st {
+			return st
+		}
+		sh.pins.unpin(st.ts)
+	}
 }
 
 // Engine is one database instance. Its query/DDL methods are safe for
@@ -123,8 +195,8 @@ func New(opts ...Option) *Engine {
 		seed:         cfg.seed,
 		batchSize:    cfg.batchSize,
 	}
-	sh.cat = catalog.New(sh.storageStats)
-	sh.cache = plan.NewCache(sh.cat)
+	sh.state.Store(&dbState{cat: catalog.New(sh.storageStats), ts: 0})
+	sh.cache = plan.NewCache()
 	e := &Engine{sh: sh}
 	e.def = e.NewSession()
 	return e
@@ -146,8 +218,9 @@ func (e *Engine) Counters() *profile.Counters { return e.def.Counters() }
 // all sessions.
 func (e *Engine) StorageStats() *storage.Stats { return e.sh.storageStats }
 
-// Catalog exposes the schema registry shared by all sessions.
-func (e *Engine) Catalog() *catalog.Catalog { return e.sh.cat }
+// Catalog exposes the currently published catalog snapshot. The snapshot
+// is immutable; DDL publishes a new one.
+func (e *Engine) Catalog() *catalog.Catalog { return e.sh.state.Load().cat }
 
 // PlanCache exposes the shared plan cache (ablation A4 toggles it).
 func (e *Engine) PlanCache() *plan.Cache { return e.sh.cache }

@@ -37,6 +37,21 @@ type Session struct {
 	// batchSize overrides the engine's executor batch size for this
 	// session (0 = inherit the shared default).
 	batchSize int
+
+	// Statement snapshot state. A session runs on one goroutine, so these
+	// need no locking: they describe the statement currently in flight.
+	cur        snapshot         // pinned (catalog, commit-ts) pair
+	pinDepth   int              // nesting depth of pinned execution scopes
+	writeTS    int64            // commit timestamp being stamped; 0 outside writer statements
+	pendingCat *catalog.Catalog // COW catalog clone, created on first DDL mutation
+	touched    *storage.Heap    // heap the in-flight writer statement committed to
+}
+
+// snapshot is the consistent (catalog, storage) view one statement
+// executes against.
+type snapshot struct {
+	cat *catalog.Catalog
+	ts  int64
 }
 
 // newSession wires a session to the shared core.
@@ -46,7 +61,7 @@ func newSession(sh *shared) *Session {
 		rng:      exec.NewRand(sh.seed),
 		counters: &profile.Counters{},
 	}
-	s.interp = plinterp.New(sh.cat, sh.cache, s.counters, s.newCtx)
+	s.interp = plinterp.New(sh.state.Load().cat, sh.cache, s.counters, s.newCtx)
 	s.interp.Profile = sh.prof
 	return s
 }
@@ -60,6 +75,9 @@ func (s *Session) newCtx() *exec.Ctx {
 	ctx.WorkMem = s.sh.workMem
 	ctx.MaxRecursion = s.sh.maxRecursion
 	ctx.CallFn = s.callFunction
+	if s.pinDepth > 0 {
+		ctx.TS = s.cur.ts // read at the statement's pinned storage snapshot
+	}
 	if s.batchSize > 0 {
 		ctx.BatchSize = s.batchSize
 	} else if s.sh.batchSize > 0 {
@@ -84,8 +102,8 @@ func (s *Session) Counters() *profile.Counters { return s.counters }
 // Interp exposes this session's PL/pgSQL interpreter.
 func (s *Session) Interp() *plinterp.Interpreter { return s.interp }
 
-// Catalog exposes the shared schema registry.
-func (s *Session) Catalog() *catalog.Catalog { return s.sh.cat }
+// Catalog exposes the currently published catalog snapshot.
+func (s *Session) Catalog() *catalog.Catalog { return s.sh.state.Load().cat }
 
 // Profile reports the engine profile this session runs under.
 func (s *Session) Profile() profile.Profile { return s.sh.prof }
@@ -94,24 +112,107 @@ func (s *Session) Profile() profile.Profile { return s.sh.prof }
 // the same seed see the same stream.
 func (s *Session) Seed(seed uint64) { s.rng.Seed(seed) }
 
-// isReadOnly classifies a statement for the shared lock: queries take the
-// read side, everything that mutates catalog or heaps takes the write side.
+// isReadOnly classifies a statement: queries pin a snapshot and never
+// block, everything that mutates catalog or heaps goes through the
+// writers-only commit lock.
 func isReadOnly(stmt sqlast.Statement) bool {
 	_, ok := stmt.(*sqlast.SelectStatement)
 	return ok
 }
 
-// execStmtLocked runs one statement under the appropriate side of the
-// shared core's lock.
-func (s *Session) execStmtLocked(stmt sqlast.Statement, params []sqltypes.Value) (*Result, error) {
-	if isReadOnly(stmt) {
-		s.sh.mu.RLock()
-		defer s.sh.mu.RUnlock()
-	} else {
-		s.sh.mu.Lock()
-		defer s.sh.mu.Unlock()
+// beginRead pins the published database snapshot for one execution scope
+// and returns the matching release. Nested scopes (a DML statement's
+// embedded query, a UDF call inside a query) share the outer pin, so a
+// whole statement — including everything it evaluates — sees one
+// consistent (catalog, rows) pair.
+func (s *Session) beginRead() func() {
+	s.pinDepth++
+	if s.pinDepth > 1 {
+		return func() { s.pinDepth-- }
 	}
-	return s.execStmt(stmt, params)
+	st := s.sh.pinState()
+	s.cur = snapshot{cat: st.cat, ts: st.ts}
+	s.interp.Cat = st.cat
+	return func() {
+		s.pinDepth--
+		s.sh.pins.unpin(st.ts)
+	}
+}
+
+// vacuumMinDead is the dead-version floor below which commits skip the
+// vacuum check entirely.
+const vacuumMinDead = 64
+
+// commitWrap runs fn as one writer transaction: it takes the commit lock,
+// pins the tip snapshot for fn's reads, hands out commit timestamp
+// tip+1 for the versions fn stamps, and — if fn changed anything —
+// publishes the new database state and opportunistically vacuums the
+// touched heap. On error nothing is published: DML helpers buffer their
+// rows and commit to the heap as their final act, and DDL mutates a
+// private catalog clone, so an aborted statement leaves no trace.
+func (s *Session) commitWrap(fn func() (*Result, error)) (*Result, error) {
+	if s.pinDepth > 0 {
+		return nil, fmt.Errorf("engine: DML/DDL inside a query is not supported")
+	}
+	s.sh.commitMu.Lock()
+	defer s.sh.commitMu.Unlock()
+	st := s.sh.pinState() // the tip; stable while the commit lock is held
+	s.cur = snapshot{cat: st.cat, ts: st.ts}
+	s.interp.Cat = st.cat
+	s.pinDepth++
+	s.writeTS = st.ts + 1
+	s.pendingCat = nil
+	s.touched = nil
+	defer func() {
+		s.pinDepth--
+		s.writeTS = 0
+		s.pendingCat = nil
+		s.touched = nil
+		s.sh.pins.unpin(st.ts)
+	}()
+
+	res, err := fn()
+	if err != nil {
+		return nil, err
+	}
+	if s.pendingCat == nil && s.touched == nil {
+		return res, nil // no-op statement: don't burn a commit timestamp
+	}
+	cat := st.cat
+	if s.pendingCat != nil {
+		cat = s.pendingCat
+	}
+	s.sh.state.Store(&dbState{cat: cat, ts: s.writeTS})
+	if h := s.touched; h != nil {
+		if dead := h.DeadCount(); dead >= vacuumMinDead && dead*4 >= h.Len() {
+			// The horizon includes our own still-held pin, so versions this
+			// very commit superseded are reclaimed by a later one — a lag
+			// of one commit, in exchange for never racing our own reads.
+			h.Vacuum(s.sh.pins.oldest(s.writeTS))
+		}
+	}
+	return res, nil
+}
+
+// mutableCat returns the writer statement's private catalog clone,
+// creating it on first use. DDL mutates the clone; the commit publishes
+// it.
+func (s *Session) mutableCat() *catalog.Catalog {
+	if s.pendingCat == nil {
+		s.pendingCat = s.cur.cat.Clone()
+	}
+	return s.pendingCat
+}
+
+// execStmtPinned runs one statement under the discipline its class
+// prescribes: queries on a pinned snapshot, mutations as a commit.
+func (s *Session) execStmtPinned(stmt sqlast.Statement, params []sqltypes.Value) (*Result, error) {
+	if isReadOnly(stmt) {
+		end := s.beginRead()
+		defer end()
+		return s.execStmt(stmt, params)
+	}
+	return s.commitWrap(func() (*Result, error) { return s.execStmt(stmt, params) })
 }
 
 // Exec runs a semicolon-separated SQL script (DDL, DML, and queries whose
@@ -123,7 +224,7 @@ func (s *Session) Exec(sql string) error {
 		return err
 	}
 	for _, st := range stmts {
-		if _, err := s.execStmtLocked(st, nil); err != nil {
+		if _, err := s.execStmtPinned(st, nil); err != nil {
 			return err
 		}
 	}
@@ -136,7 +237,7 @@ func (s *Session) Query(sql string, params ...sqltypes.Value) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.execStmtLocked(stmt, params)
+	return s.execStmtPinned(stmt, params)
 }
 
 // QueryValue runs a query expected to return one row with one column.
@@ -158,8 +259,8 @@ func singleValue(res *Result) (sqltypes.Value, error) {
 // QueryPlanned executes an already-parsed query (used by the compiler
 // pipeline and benchmarks to skip re-parsing).
 func (s *Session) QueryPlanned(q *sqlast.Query, params ...sqltypes.Value) (*Result, error) {
-	s.sh.mu.RLock()
-	defer s.sh.mu.RUnlock()
+	end := s.beginRead()
+	defer end()
 	return s.runQuery(q, params)
 }
 
@@ -168,11 +269,11 @@ func (s *Session) QueryPlanned(q *sqlast.Query, params ...sqltypes.Value) (*Resu
 // optimize the (possibly large, inlined) query, as the paper's Figure 11
 // measurements do.
 func (s *Session) QueryFresh(q *sqlast.Query, params ...sqltypes.Value) (*Result, error) {
-	s.sh.mu.RLock()
-	defer s.sh.mu.RUnlock()
+	end := s.beginRead()
+	defer end()
 
 	tPlan := time.Now()
-	p, err := plan.Build(s.sh.cat, q, plan.Options{DisableLateral: s.sh.prof.DisableLateral})
+	p, err := plan.Build(s.cur.cat, q, plan.Options{DisableLateral: s.sh.prof.DisableLateral})
 	s.counters.PlanNS += time.Since(tPlan).Nanoseconds()
 	if err != nil {
 		return nil, err
@@ -183,15 +284,16 @@ func (s *Session) QueryFresh(q *sqlast.Query, params ...sqltypes.Value) (*Result
 // InstallCompiled registers a compiled function: calls evaluate the given
 // pure-SQL body (parameters $1..$n) with no interpreter involvement.
 func (s *Session) InstallCompiled(name string, params []plast.Param, ret sqltypes.Type, body *sqlast.Query) error {
-	s.sh.mu.Lock()
-	defer s.sh.mu.Unlock()
-	return s.sh.cat.CreateFunction(&catalog.Function{
-		Name:       name,
-		Params:     params,
-		ReturnType: ret,
-		Kind:       catalog.FuncCompiled,
-		SQLBody:    body,
-	}, true)
+	_, err := s.commitWrap(func() (*Result, error) {
+		return nil, s.mutableCat().CreateFunction(&catalog.Function{
+			Name:       name,
+			Params:     params,
+			ReturnType: ret,
+			Kind:       catalog.FuncCompiled,
+			SQLBody:    body,
+		}, true)
+	})
+	return err
 }
 
 // Prepared is a statement parsed once and executable many times on its
@@ -225,11 +327,11 @@ func (s *Session) Prepare(sql string) (*Prepared, error) {
 // Query executes the prepared statement.
 func (p *Prepared) Query(params ...sqltypes.Value) (*Result, error) {
 	if p.query != nil {
-		p.s.sh.mu.RLock()
-		defer p.s.sh.mu.RUnlock()
+		end := p.s.beginRead()
+		defer end()
 		return p.s.runQueryKeyed(p.cacheKey, p.query, params)
 	}
-	return p.s.execStmtLocked(p.stmt, params)
+	return p.s.execStmtPinned(p.stmt, params)
 }
 
 // QueryValue executes the prepared statement, expecting a single value.
@@ -256,13 +358,13 @@ func (s *Session) execStmt(stmt sqlast.Statement, params []sqltypes.Value) (*Res
 	case *sqlast.CreateTable:
 		return nil, s.createTable(stmt)
 	case *sqlast.CreateIndex:
-		return nil, s.sh.cat.DeclareIndex(stmt.Table, stmt.Column)
+		return nil, s.mutableCat().DeclareIndex(stmt.Table, stmt.Column)
 	case *sqlast.DropTable:
-		return nil, s.sh.cat.DropTable(stmt.Name, stmt.IfExists)
+		return nil, s.mutableCat().DropTable(stmt.Name, stmt.IfExists)
 	case *sqlast.CreateFunction:
 		return nil, s.createFunction(stmt)
 	case *sqlast.DropFunction:
-		return nil, s.sh.cat.DropFunction(stmt.Name, stmt.IfExists)
+		return nil, s.mutableCat().DropFunction(stmt.Name, stmt.IfExists)
 	case *sqlast.Insert:
 		return nil, s.insert(stmt, params)
 	case *sqlast.Update:
@@ -288,9 +390,9 @@ func (s *Session) runQueryKeyed(key string, q *sqlast.Query, params []sqltypes.V
 	var p *plan.Plan
 	var err error
 	if key != "" {
-		p, err = s.sh.cache.GetByText(key, q, opts)
+		p, err = s.sh.cache.GetByText(s.cur.cat, key, q, opts)
 	} else {
-		p, err = s.sh.cache.Get(q, opts)
+		p, err = s.sh.cache.Get(s.cur.cat, q, opts)
 	}
 	s.counters.PlanNS += time.Since(tPlan).Nanoseconds()
 	if err != nil {
@@ -342,7 +444,7 @@ func (s *Session) createTable(stmt *sqlast.CreateTable) error {
 		}
 		cols[i] = catalog.Column{Name: c.Name, Type: t}
 	}
-	_, err := s.sh.cat.CreateTable(stmt.Name, cols, stmt.IfNotExists)
+	_, err := s.mutableCat().CreateTable(stmt.Name, cols, stmt.IfNotExists)
 	return err
 }
 
@@ -356,7 +458,7 @@ func (s *Session) createFunction(stmt *sqlast.CreateFunction) error {
 		if err != nil {
 			return err
 		}
-		return s.sh.cat.CreateFunction(&catalog.Function{
+		return s.mutableCat().CreateFunction(&catalog.Function{
 			Name:       stmt.Name,
 			Params:     f.Params,
 			ReturnType: f.ReturnType,
@@ -380,7 +482,7 @@ func (s *Session) createFunction(stmt *sqlast.CreateFunction) error {
 		if err != nil {
 			return err
 		}
-		return s.sh.cat.CreateFunction(&catalog.Function{
+		return s.mutableCat().CreateFunction(&catalog.Function{
 			Name:       stmt.Name,
 			Params:     params,
 			ReturnType: rt,
@@ -393,7 +495,7 @@ func (s *Session) createFunction(stmt *sqlast.CreateFunction) error {
 }
 
 func (s *Session) insert(stmt *sqlast.Insert, params []sqltypes.Value) error {
-	tbl, ok := s.sh.cat.Table(stmt.Table)
+	tbl, ok := s.cur.cat.Table(stmt.Table)
 	if !ok {
 		return fmt.Errorf("engine: relation %q does not exist", stmt.Table)
 	}
@@ -415,6 +517,11 @@ func (s *Session) insert(stmt *sqlast.Insert, params []sqltypes.Value) error {
 			colIdx = append(colIdx, i)
 		}
 	}
+	// Buffer every row before touching the heap: a cast error aborts the
+	// whole statement with nothing inserted, and the single Commit stamps
+	// all rows with this statement's commit timestamp — concurrent readers
+	// see all of them or none.
+	added := make([]storage.Tuple, 0, len(res.Rows))
 	for _, row := range res.Rows {
 		if len(row) != len(colIdx) {
 			return fmt.Errorf("engine: INSERT has %d expressions but %d target columns", len(row), len(colIdx))
@@ -430,14 +537,22 @@ func (s *Session) insert(stmt *sqlast.Insert, params []sqltypes.Value) error {
 			}
 			out[colIdx[i]] = cast
 		}
-		tbl.Heap.Insert(out)
+		added = append(added, out)
 	}
-	s.sh.cat.Version++ // table contents changed; cached scans re-read heap anyway
+	if len(added) == 0 {
+		return nil
+	}
+	tbl.Heap.Commit(nil, added, s.writeTS)
+	s.touched = tbl.Heap
 	return nil
 }
 
+// update is MVCC UPDATE: rows matching the predicate get their current
+// version marked dead and a fresh version appended, both stamped with
+// this statement's commit timestamp; rows the predicate misses are not
+// touched at all — no copy, no re-encode, no commit when nothing matched.
 func (s *Session) update(stmt *sqlast.Update, params []sqltypes.Value) error {
-	tbl, ok := s.sh.cat.Table(stmt.Table)
+	tbl, ok := s.cur.cat.Table(stmt.Table)
 	if !ok {
 		return fmt.Errorf("engine: relation %q does not exist", stmt.Table)
 	}
@@ -449,14 +564,15 @@ func (s *Session) update(stmt *sqlast.Update, params []sqltypes.Value) error {
 	if err != nil {
 		return err
 	}
-	rows, err := tbl.Heap.Rows()
+	vidx, rows, err := tbl.Heap.VersionsAt(s.cur.ts)
 	if err != nil {
 		return err
 	}
 	ctx := s.newCtx()
 	ctx.Params = params
-	newRows := make([]storage.Tuple, 0, len(rows))
-	for _, row := range rows {
+	var dead []int
+	var added []storage.Tuple
+	for i, row := range rows {
 		match := true
 		if pred != nil {
 			v, err := pred.Eval(ctx, row)
@@ -466,7 +582,6 @@ func (s *Session) update(stmt *sqlast.Update, params []sqltypes.Value) error {
 			match = v.IsTrue()
 		}
 		if !match {
-			newRows = append(newRows, row)
 			continue
 		}
 		out := append(storage.Tuple(nil), row...)
@@ -481,15 +596,21 @@ func (s *Session) update(stmt *sqlast.Update, params []sqltypes.Value) error {
 			}
 			out[set.col] = cast
 		}
-		newRows = append(newRows, out)
+		dead = append(dead, vidx[i])
+		added = append(added, out)
 	}
-	tbl.Heap.Replace(newRows)
-	s.sh.cat.Version++
+	if len(dead) == 0 {
+		return nil // no-match fast path: nothing rewritten, nothing committed
+	}
+	tbl.Heap.Commit(dead, added, s.writeTS)
+	s.touched = tbl.Heap
 	return nil
 }
 
+// delete is MVCC DELETE: matched versions are marked dead at this
+// statement's commit timestamp; surviving rows are untouched.
 func (s *Session) delete(stmt *sqlast.Delete, params []sqltypes.Value) error {
-	tbl, ok := s.sh.cat.Table(stmt.Table)
+	tbl, ok := s.cur.cat.Table(stmt.Table)
 	if !ok {
 		return fmt.Errorf("engine: relation %q does not exist", stmt.Table)
 	}
@@ -501,14 +622,14 @@ func (s *Session) delete(stmt *sqlast.Delete, params []sqltypes.Value) error {
 	if err != nil {
 		return err
 	}
-	rows, err := tbl.Heap.Rows()
+	vidx, rows, err := tbl.Heap.VersionsAt(s.cur.ts)
 	if err != nil {
 		return err
 	}
 	ctx := s.newCtx()
 	ctx.Params = params
-	kept := make([]storage.Tuple, 0, len(rows))
-	for _, row := range rows {
+	var dead []int
+	for i, row := range rows {
 		match := true
 		if pred != nil {
 			v, err := pred.Eval(ctx, row)
@@ -517,12 +638,15 @@ func (s *Session) delete(stmt *sqlast.Delete, params []sqltypes.Value) error {
 			}
 			match = v.IsTrue()
 		}
-		if !match {
-			kept = append(kept, row)
+		if match {
+			dead = append(dead, vidx[i])
 		}
 	}
-	tbl.Heap.Replace(kept)
-	s.sh.cat.Version++
+	if len(dead) == 0 {
+		return nil // no-match fast path: nothing committed
+	}
+	tbl.Heap.Commit(dead, nil, s.writeTS)
+	s.touched = tbl.Heap
 	return nil
 }
 
@@ -548,7 +672,7 @@ func (s *Session) compileRowClauses(tbl *catalog.Table, alias string, where sqla
 	if len(sel.Items) == 0 {
 		return nil, nil, nil
 	}
-	p, err := plan.Build(s.sh.cat, sqlast.WrapQuery(sel), plan.Options{DisableLateral: s.sh.prof.DisableLateral})
+	p, err := plan.Build(s.cur.cat, sqlast.WrapQuery(sel), plan.Options{DisableLateral: s.sh.prof.DisableLateral})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -79,6 +79,13 @@ type Ctx struct {
 	MaxRecursion int
 	CallFn       CallFunc
 
+	// TS is the storage snapshot timestamp this execution reads at: heap
+	// scans and index probes see exactly the row versions committed at or
+	// before it. The engine pins it per statement; the default AllVisible
+	// (every committed version) serves direct executor users — tests,
+	// tools — that bypass the engine's commit protocol.
+	TS int64
+
 	// BatchSize is the number of tuples moved per NextBatch call. 1 makes
 	// the batch pipeline degenerate to tuple-at-a-time Volcano iteration
 	// (the baseline of the BenchmarkBatchSize sweep).
@@ -102,6 +109,7 @@ func NewCtx() *Ctx {
 		MaxRecursion: 20_000_000,
 		MaxCallDepth: 256,
 		BatchSize:    DefaultBatchSize,
+		TS:           storage.AllVisible,
 	}
 }
 

@@ -269,7 +269,7 @@ type seqScanNode struct {
 }
 
 func (n *seqScanNode) Open(ctx *Ctx) error {
-	scan, err := n.table.Heap.Scanner()
+	scan, err := n.table.Heap.ScannerAt(ctx.TS)
 	if err != nil {
 		return err
 	}
@@ -318,7 +318,7 @@ func (n *indexScanNode) Rescan(ctx *Ctx) error {
 	if !ok {
 		return fmt.Errorf("exec: no index on %s column %d", n.table.Name, n.col)
 	}
-	n.hits, n.rows, err = index.Probe(n.table, k)
+	n.hits, n.rows, err = index.Probe(n.table, k, ctx.TS)
 	return err
 }
 

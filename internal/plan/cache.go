@@ -17,10 +17,14 @@ import (
 // use: the entry map is guarded by a readers-writer mutex and the hit/miss
 // counters are atomic. Cached *Plan values are immutable once stored
 // (executors deep-copy before instantiating), so handing the same plan to
-// many sessions at once is sound. Two sessions missing on the same key
-// may both plan; the duplicate work is benign and the last store wins.
+// many sessions at once is sound. The catalog is copy-on-write, so every
+// lookup takes the caller's pinned catalog snapshot: a plan hits only if
+// it was built against the same catalog version the caller sees, which
+// both invalidates plans after DDL and keeps sessions pinned to an older
+// snapshot from executing plans built against a newer schema. Two
+// sessions missing on the same key may both plan; the duplicate work is
+// benign and the last store wins.
 type Cache struct {
-	cat     *catalog.Catalog
 	mu      sync.RWMutex
 	entries map[string]*Plan
 	enabled bool
@@ -28,9 +32,9 @@ type Cache struct {
 	misses  atomic.Int64
 }
 
-// NewCache creates an enabled plan cache for cat.
-func NewCache(cat *catalog.Catalog) *Cache {
-	return &Cache{cat: cat, entries: make(map[string]*Plan), enabled: true}
+// NewCache creates an enabled plan cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]*Plan), enabled: true}
 }
 
 // SetEnabled toggles caching (ablation A4: with caching off, every embedded
@@ -50,9 +54,9 @@ func (c *Cache) Stats() (hits, misses int64) { return c.hits.Load(), c.misses.Lo
 // ResetStats zeroes the counters.
 func (c *Cache) ResetStats() { c.hits.Store(0); c.misses.Store(0) }
 
-// lookup returns the cached plan for key if it is still valid against the
-// current catalog version, recording the hit/miss.
-func (c *Cache) lookup(key string) (*Plan, bool) {
+// lookup returns the cached plan for key if it is valid against the
+// caller's catalog snapshot, recording the hit/miss.
+func (c *Cache) lookup(cat *catalog.Catalog, key string) (*Plan, bool) {
 	c.mu.RLock()
 	p, ok := c.entries[key]
 	enabled := c.enabled
@@ -61,7 +65,7 @@ func (c *Cache) lookup(key string) (*Plan, bool) {
 		c.misses.Add(1)
 		return nil, false
 	}
-	if ok && p.CatalogVersion == c.cat.Version {
+	if ok && p.CatalogVersion == cat.Version {
 		c.hits.Add(1)
 		return p, true
 	}
@@ -78,29 +82,30 @@ func (c *Cache) store(key string, p *Plan) {
 	c.mu.Unlock()
 }
 
-// Get returns the cached plan for the query, planning (and caching) on
-// miss. Plans invalidate automatically when the catalog version moves.
-// With caching disabled it skips straight to Build — no deparse, so the
-// A4 ablation measures planning cost, not key construction.
-func (c *Cache) Get(q *sqlast.Query, opts Options) (*Plan, error) {
+// Get returns the cached plan for the query against the caller's catalog
+// snapshot, planning (and caching) on miss. Plans invalidate automatically
+// when the catalog version moves. With caching disabled it skips straight
+// to Build — no deparse, so the A4 ablation measures planning cost, not
+// key construction.
+func (c *Cache) Get(cat *catalog.Catalog, q *sqlast.Query, opts Options) (*Plan, error) {
 	c.mu.RLock()
 	enabled := c.enabled
 	c.mu.RUnlock()
 	if !enabled {
 		c.misses.Add(1)
-		return Build(c.cat, q, opts)
+		return Build(cat, q, opts)
 	}
 	key := sqlast.DeparseQuery(q)
-	return c.GetByText(key, q, opts)
+	return c.GetByText(cat, key, q, opts)
 }
 
 // GetByText memoizes by a caller-provided key, avoiding the deparse on hot
 // paths (the PL/pgSQL interpreter keys by statement identity).
-func (c *Cache) GetByText(key string, q *sqlast.Query, opts Options) (*Plan, error) {
-	if p, ok := c.lookup(key); ok {
+func (c *Cache) GetByText(cat *catalog.Catalog, key string, q *sqlast.Query, opts Options) (*Plan, error) {
+	if p, ok := c.lookup(cat, key); ok {
 		return p, nil
 	}
-	p, err := Build(c.cat, q, opts)
+	p, err := Build(cat, q, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -116,12 +116,12 @@ func TestCloneIsDeepForExprs(t *testing.T) {
 
 func TestCacheHitMissAndInvalidation(t *testing.T) {
 	cat := testCatalog(t)
-	cache := NewCache(cat)
+	cache := NewCache()
 	q, _ := sqlparser.ParseQuery("SELECT a FROM t")
-	if _, err := cache.Get(q, Options{}); err != nil {
+	if _, err := cache.Get(cat, q, Options{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cache.Get(q, Options{}); err != nil {
+	if _, err := cache.Get(cat, q, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	h, m := cache.Stats()
@@ -132,7 +132,7 @@ func TestCacheHitMissAndInvalidation(t *testing.T) {
 	if _, err := cat.CreateTable("u", []catalog.Column{{Name: "x", Type: sqltypes.TypeInt}}, false); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cache.Get(q, Options{}); err != nil {
+	if _, err := cache.Get(cat, q, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	_, m = cache.Stats()
@@ -141,8 +141,8 @@ func TestCacheHitMissAndInvalidation(t *testing.T) {
 	}
 	// Disabled cache always replans.
 	cache.SetEnabled(false)
-	cache.Get(q, Options{})
-	cache.Get(q, Options{})
+	cache.Get(cat, q, Options{})
+	cache.Get(cat, q, Options{})
 	h2, m2 := cache.Stats()
 	if h2 != 1 || m2 != 4 {
 		t.Errorf("disabled cache: hits=%d misses=%d", h2, m2)

@@ -26,6 +26,9 @@ import (
 // Interpreter executes PL/pgSQL functions. One interpreter serves one
 // engine session.
 type Interpreter struct {
+	// Cat is the catalog snapshot embedded queries bind against. The
+	// catalog is copy-on-write, so the engine re-points this at the
+	// statement's pinned snapshot when a statement begins.
 	Cat      *catalog.Catalog
 	Cache    *plan.Cache
 	Counters *profile.Counters
@@ -296,7 +299,7 @@ func (ip *Interpreter) runEmbedded(fr *frame, sc *stmtComp, accounted *int64) ([
 	ip.Counters.CtxSwitchFQ++
 
 	tPlan := time.Now()
-	p, err := ip.Cache.GetByText(sc.key, sc.query, plan.Options{Hook: fr.st.hook, DisableLateral: ip.Profile.DisableLateral})
+	p, err := ip.Cache.GetByText(ip.Cat, sc.key, sc.query, plan.Options{Hook: fr.st.hook, DisableLateral: ip.Profile.DisableLateral})
 	dPlan := time.Since(tPlan).Nanoseconds()
 	ip.Counters.PlanNS += dPlan
 	*accounted += dPlan

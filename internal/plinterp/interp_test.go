@@ -21,7 +21,7 @@ func harness(t *testing.T) (*Interpreter, *catalog.Catalog) {
 	stats := &storage.Stats{}
 	cat := catalog.New(stats)
 	counters := &profile.Counters{}
-	cache := plan.NewCache(cat)
+	cache := plan.NewCache()
 	var ip *Interpreter
 	mkCtx := func() *exec.Ctx {
 		ctx := exec.NewCtx()

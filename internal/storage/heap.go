@@ -1,28 +1,71 @@
 package storage
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 )
 
-// Heap is a page-backed base table. Rows are kept encoded on pages (the
-// durable representation) with a decoded cache for scans; the cache is
-// invalidated by mutation.
+// AllVisible is the snapshot timestamp that sees every committed row
+// version: the compatibility default for callers (tests, tools) that do
+// not run under the engine's commit protocol.
+const AllVisible int64 = math.MaxInt64
+
+// rowVersion is the MVCC header of one stored tuple: where its encoded
+// payload lives and the commit-timestamp window in which it is visible.
+// A version is visible to snapshot ts iff xmin <= ts and (xmax == 0 or
+// xmax > ts); xmax == 0 marks the live (not yet superseded) version.
+type rowVersion struct {
+	page, slot int
+	xmin, xmax int64
+}
+
+// visible reports whether the version belongs to snapshot ts.
+func (v *rowVersion) visible(ts int64) bool {
+	return v.xmin <= ts && (v.xmax == 0 || v.xmax > ts)
+}
+
+// snapEntry caches the decoded visible-row set of one snapshot window.
+// The entry serves every snapshot timestamp in [lo, hi]: commits seal the
+// tip entry (hi becomes commitTS-1) and derive the next tip from it
+// without re-decoding pages. rows and vidx are immutable once published;
+// vacuum may remap vidx in place, but only under the heap lock while no
+// writer is in flight (the engine's commit lock serializes writers).
+type snapEntry struct {
+	lo, hi int64
+	id     int64   // unique per entry: the cache key secondary structures rebuild by
+	rows   []Tuple // immutable once published
+	vidx   []int   // version index of each row, parallel to rows
+}
+
+// maxSnapEntries bounds the per-heap snapshot cache: the tip plus a few
+// recently pinned older snapshots.
+const maxSnapEntries = 4
+
+// Heap is a page-backed, multi-versioned base table. Encoded payloads
+// live on pages (the durable representation, append-only between
+// vacuums); each payload has a rowVersion header stamped with the commit
+// timestamps that created (xmin) and superseded (xmax) it. Readers pin a
+// snapshot timestamp and see exactly the versions visible at it, so
+// scans never block behind writers; writers append new versions and mark
+// old ones dead in one Commit call, and Vacuum reclaims versions no live
+// snapshot can reach.
 //
-// Mutations (Insert, Replace) are serialized by the engine's DDL/DML lock,
-// but many sessions scan concurrently under the read side of that lock, so
-// the lazily built decode cache is guarded by an internal mutex. Returned
-// row slices are snapshots: Replace installs fresh slices and Insert only
-// invalidates the cache flag, so a slice handed out earlier stays valid
-// for the reader that obtained it.
+// Concurrency: the engine's commit lock serializes writers (Commit,
+// Vacuum); any number of readers call RowsAt/ScannerAt/VersionsAt
+// concurrently. The internal mutex guards the version headers and the
+// snapshot cache. Returned row slices are immutable snapshots and stay
+// valid for the reader that obtained them across any later mutation.
 type Heap struct {
-	mu    sync.RWMutex
-	stats *Stats
-	pages []*Page
-	cache []Tuple
-	dirty bool
-	n     int
-	gen   int64
+	mu       sync.RWMutex
+	stats    *Stats
+	pages    []*Page
+	versions []rowVersion
+	live     int   // versions with xmax == 0
+	lastTS   int64 // commit timestamp of the most recent mutation
+	gen      int64 // mutation counter (advances on every mutation incl. vacuum)
+	seq      int64 // snapshot-entry id source
+	cache    []snapEntry
 }
 
 // NewHeap builds an empty heap charging page allocations to stats.
@@ -33,14 +76,20 @@ func NewHeap(stats *Stats) *Heap {
 	return &Heap{stats: stats}
 }
 
-// Insert appends a row.
+// Insert appends a row visible to every snapshot (xmin 0) — the bootstrap
+// and direct-test path. Engine transactions go through Commit instead, so
+// their rows stay invisible until the commit timestamp is published.
 func (h *Heap) Insert(t Tuple) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.insertLocked(t)
+	h.insertVersionLocked(t, 0)
+	h.cache = nil // retroactively visible: every cached window is stale
+	h.gen++
 }
 
-func (h *Heap) insertLocked(t Tuple) {
+// insertVersionLocked appends one version with the given xmin, charging
+// page allocations to stats.
+func (h *Heap) insertVersionLocked(t Tuple, xmin int64) int {
 	enc := EncodeTuple(t)
 	if len(h.pages) == 0 || !h.pages[len(h.pages)-1].TryAdd(enc) {
 		p := NewPage()
@@ -48,24 +97,211 @@ func (h *Heap) insertLocked(t Tuple) {
 		p.TryAdd(enc)
 		h.pages = append(h.pages, p)
 	}
-	h.n++
-	h.dirty = true
-	h.gen++
+	pi := len(h.pages) - 1
+	h.versions = append(h.versions, rowVersion{
+		page: pi,
+		slot: h.pages[pi].NumTuples() - 1,
+		xmin: xmin,
+	})
+	h.live++
+	return len(h.versions) - 1
 }
 
-// Gen reports a generation counter that advances on every mutation —
-// secondary structures (hash indexes) use it to detect staleness.
+// Commit atomically applies one transaction's changes to this heap: the
+// versions listed in dead (indices previously obtained from VersionsAt)
+// get xmax = ts, and each tuple in added becomes a new version with
+// xmin = ts. Callers hold the engine's commit lock; readers at snapshots
+// < ts keep seeing the dead versions and never see the added ones, so
+// the heap change may safely precede the global publication of ts.
+//
+// The tip cache entry, if present, is sealed at ts-1 and the next tip is
+// derived from it incrementally — no page re-decode — so readers landing
+// on the new snapshot stay on the fast path.
+func (h *Heap) Commit(dead []int, added []Tuple, ts int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	var tip *snapEntry
+	for i := range h.cache {
+		if h.cache[i].hi == AllVisible {
+			tip = &h.cache[i]
+			break
+		}
+	}
+
+	deadSet := make(map[int]bool, len(dead))
+	for _, vi := range dead {
+		h.versions[vi].xmax = ts
+		h.live--
+		deadSet[vi] = true
+	}
+	addedIdx := make([]int, 0, len(added))
+	for _, t := range added {
+		addedIdx = append(addedIdx, h.insertVersionLocked(t, ts))
+	}
+	if ts > h.lastTS {
+		h.lastTS = ts
+	}
+	h.gen++
+
+	if tip == nil {
+		return // no cached window to maintain; readers rebuild lazily
+	}
+	next := snapEntry{
+		lo:   ts,
+		hi:   AllVisible,
+		rows: make([]Tuple, 0, len(tip.rows)-len(dead)+len(added)),
+		vidx: make([]int, 0, len(tip.rows)-len(dead)+len(added)),
+	}
+	for i, vi := range tip.vidx {
+		if !deadSet[vi] {
+			next.rows = append(next.rows, tip.rows[i])
+			next.vidx = append(next.vidx, vi)
+		}
+	}
+	for i, vi := range addedIdx {
+		next.rows = append(next.rows, added[i])
+		next.vidx = append(next.vidx, vi)
+	}
+	tip.hi = ts - 1
+	h.storeEntryLocked(next)
+}
+
+// storeEntryLocked adds a cache entry, evicting the oldest window when
+// the cache is full (the tip is never evicted).
+func (h *Heap) storeEntryLocked(e snapEntry) {
+	if len(h.cache) >= maxSnapEntries {
+		victim := -1
+		for i := range h.cache {
+			if h.cache[i].hi == AllVisible {
+				continue
+			}
+			if victim < 0 || h.cache[i].lo < h.cache[victim].lo {
+				victim = i
+			}
+		}
+		if victim >= 0 {
+			h.cache = append(h.cache[:victim], h.cache[victim+1:]...)
+		}
+	}
+	h.seq++
+	e.id = h.seq
+	h.cache = append(h.cache, e)
+}
+
+// lookupLocked finds a cache entry covering ts.
+func (h *Heap) lookupLocked(ts int64) *snapEntry {
+	for i := range h.cache {
+		if h.cache[i].lo <= ts && ts <= h.cache[i].hi {
+			return &h.cache[i]
+		}
+	}
+	return nil
+}
+
+// snapshotLocked returns (building if needed) the cache entry for ts.
+// Callers must hold the write lock on a miss; buildEntry reports whether
+// the caller holds only the read lock and a rebuild is needed.
+func (h *Heap) buildEntryLocked(ts int64) (*snapEntry, error) {
+	e := snapEntry{lo: ts, hi: ts}
+	if ts >= h.lastTS {
+		// Nothing committed after ts: the visible set is the same for
+		// every timestamp from the last commit onward, so the window is
+		// [lastTS, ∞) and becomes the tip. Anchoring lo at lastTS (not at
+		// the requested ts) keeps the tip unique: any other ts ≥ lastTS
+		// hits this entry instead of building a second open-ended one,
+		// which Commit would fail to seal.
+		e.lo, e.hi = h.lastTS, AllVisible
+	}
+	for vi := range h.versions {
+		v := &h.versions[vi]
+		if !v.visible(ts) {
+			continue
+		}
+		t, err := h.pages[v.page].Tuple(v.slot)
+		if err != nil {
+			return nil, err
+		}
+		e.rows = append(e.rows, t)
+		e.vidx = append(e.vidx, vi)
+	}
+	h.storeEntryLocked(e)
+	return &h.cache[len(h.cache)-1], nil
+}
+
+// snapshot returns the visible rows, version indices, and entry id at ts,
+// serving from the snapshot cache when possible.
+func (h *Heap) snapshot(ts int64) ([]Tuple, []int, int64, error) {
+	h.mu.RLock()
+	if e := h.lookupLocked(ts); e != nil {
+		rows, vidx, id := e.rows, e.vidx, e.id
+		h.mu.RUnlock()
+		return rows, vidx, id, nil
+	}
+	h.mu.RUnlock()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if e := h.lookupLocked(ts); e != nil { // raced with another rebuilder
+		return e.rows, e.vidx, e.id, nil
+	}
+	e, err := h.buildEntryLocked(ts)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return e.rows, e.vidx, e.id, nil
+}
+
+// RowsAt returns the rows visible at snapshot ts. Callers must not mutate
+// the result; the slice stays valid across later commits and vacuums.
+func (h *Heap) RowsAt(ts int64) ([]Tuple, error) {
+	rows, _, _, err := h.snapshot(ts)
+	return rows, err
+}
+
+// Rows returns all committed rows (compatibility: the AllVisible
+// snapshot).
+func (h *Heap) Rows() ([]Tuple, error) { return h.RowsAt(AllVisible) }
+
+// RowsKeyed returns the visible rows at ts together with a cache key:
+// two calls returning the same key return the identical rows slice, so
+// secondary structures (hash indexes) that key their rebuilds by it can
+// cache row positions safely.
+func (h *Heap) RowsKeyed(ts int64) ([]Tuple, int64, error) {
+	rows, _, id, err := h.snapshot(ts)
+	return rows, id, err
+}
+
+// VersionsAt returns the version indices and rows visible at ts — the
+// writer-side scan: UPDATE/DELETE evaluate predicates over the rows and
+// pass the matching version indices to Commit as the dead set.
+func (h *Heap) VersionsAt(ts int64) ([]int, []Tuple, error) {
+	rows, vidx, _, err := h.snapshot(ts)
+	return vidx, rows, err
+}
+
+// Gen reports a generation counter that advances on every mutation
+// (commit, bootstrap insert, vacuum). Tests use it to assert that a
+// code path did — or, for the no-match DML fast path, did not — touch
+// the heap.
 func (h *Heap) Gen() int64 {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	return h.gen
 }
 
-// Len reports the number of rows.
+// Len reports the number of live rows (visible to new snapshots).
 func (h *Heap) Len() int {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	return h.n
+	return h.live
+}
+
+// DeadCount reports how many superseded versions are awaiting vacuum.
+func (h *Heap) DeadCount() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.versions) - h.live
 }
 
 // NumPages reports the number of heap pages.
@@ -75,59 +311,90 @@ func (h *Heap) NumPages() int {
 	return len(h.pages)
 }
 
-// Rows returns all rows (decoded, cached until the next mutation). Callers
-// must not mutate the result. Safe for concurrent readers: the common case
-// (clean cache) takes only the read lock, so parallel scans of the same
-// table do not serialize; the first scan after a mutation rebuilds the
-// cache under the write lock.
-func (h *Heap) Rows() ([]Tuple, error) {
-	h.mu.RLock()
-	if !h.dirty && h.cache != nil {
-		rows := h.cache
-		h.mu.RUnlock()
-		return rows, nil
-	}
-	h.mu.RUnlock()
-
+// Vacuum reclaims versions no snapshot at or after oldest can see (dead
+// with xmax <= oldest), rebuilding the pages from the surviving encoded
+// payloads — no re-encode, and no page-write charge to stats: vacuum
+// recycles storage rather than writing new tuples. Returns the number of
+// versions reclaimed. Callers hold the engine's commit lock; cached
+// snapshot windows older than oldest are dropped and surviving windows
+// are remapped in place.
+func (h *Heap) Vacuum(oldest int64) int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if !h.dirty && h.cache != nil { // raced with another rebuilder
-		return h.cache, nil
-	}
-	out := make([]Tuple, 0, h.n)
-	for _, p := range h.pages {
-		for i := 0; i < p.NumTuples(); i++ {
-			t, err := p.Tuple(i)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, t)
+
+	reclaim := 0
+	for vi := range h.versions {
+		v := &h.versions[vi]
+		if v.xmax != 0 && v.xmax <= oldest {
+			reclaim++
 		}
 	}
-	h.cache = out
-	h.dirty = false
-	return out, nil
+	if reclaim == 0 {
+		return 0
+	}
+
+	remap := make([]int, len(h.versions))
+	kept := make([]rowVersion, 0, len(h.versions)-reclaim)
+	pages := make([]*Page, 0, len(h.pages))
+	for vi := range h.versions {
+		v := h.versions[vi]
+		if v.xmax != 0 && v.xmax <= oldest {
+			remap[vi] = -1
+			continue
+		}
+		enc := h.pages[v.page].tuples[v.slot]
+		if len(pages) == 0 || !pages[len(pages)-1].TryAdd(enc) {
+			p := NewPage()
+			p.TryAdd(enc)
+			pages = append(pages, p)
+		}
+		v.page = len(pages) - 1
+		v.slot = pages[v.page].NumTuples() - 1
+		remap[vi] = len(kept)
+		kept = append(kept, v)
+	}
+	h.pages = pages
+	h.versions = kept
+	h.gen++
+
+	cache := h.cache[:0]
+	for i := range h.cache {
+		e := h.cache[i]
+		if e.hi < oldest {
+			continue // window unreachable by any live snapshot
+		}
+		for j, vi := range e.vidx {
+			e.vidx[j] = remap[vi] // visible versions survive by construction
+		}
+		cache = append(cache, e)
+	}
+	h.cache = cache
+	return reclaim
 }
 
 // HeapScanner streams a stable snapshot of the heap in caller-sized chunks
 // — the batch scan API of the vectorized executor. The snapshot is pinned
-// when the scanner is created (Rows hands out immutable slices), so
-// concurrent mutations never disturb an open scan and chunking is
-// zero-copy: each chunk is a subslice of the pinned snapshot.
+// when the scanner is created, so concurrent commits never disturb an open
+// scan and chunking is zero-copy: each chunk is a subslice of the pinned
+// snapshot.
 type HeapScanner struct {
 	rows []Tuple
 	off  int
 }
 
-// Scanner pins the heap's current contents and returns a chunked scanner
-// over them.
-func (h *Heap) Scanner() (*HeapScanner, error) {
-	rows, err := h.Rows()
+// ScannerAt pins the rows visible at snapshot ts and returns a chunked
+// scanner over them.
+func (h *Heap) ScannerAt(ts int64) (*HeapScanner, error) {
+	rows, err := h.RowsAt(ts)
 	if err != nil {
 		return nil, err
 	}
 	return &HeapScanner{rows: rows}, nil
 }
+
+// Scanner pins the heap's full committed contents (compatibility: the
+// AllVisible snapshot).
+func (h *Heap) Scanner() (*HeapScanner, error) { return h.ScannerAt(AllVisible) }
 
 // Reset rewinds the scanner to the start of its pinned snapshot.
 func (s *HeapScanner) Reset() { s.off = 0 }
@@ -149,19 +416,4 @@ func (s *HeapScanner) NextChunk(max int) []Tuple {
 	chunk := s.rows[s.off:end]
 	s.off = end
 	return chunk
-}
-
-// Replace substitutes the heap's entire contents (used by UPDATE/DELETE,
-// which rewrite the table — adequate for workload-sized tables).
-func (h *Heap) Replace(rows []Tuple) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.pages = nil
-	h.cache = nil
-	h.n = 0
-	h.dirty = true
-	h.gen++
-	for _, r := range rows {
-		h.insertLocked(r)
-	}
 }

@@ -242,14 +242,132 @@ func TestHeapInsertAndScan(t *testing.T) {
 	}
 }
 
-func TestHeapReplace(t *testing.T) {
+func TestHeapMVCCVisibility(t *testing.T) {
 	h := NewHeap(nil)
 	h.Insert(Tuple{sqltypes.NewInt(1)})
 	h.Insert(Tuple{sqltypes.NewInt(2)})
-	h.Replace([]Tuple{{sqltypes.NewInt(9)}})
-	rows, _ := h.Rows()
-	if len(rows) != 1 || rows[0][0].Int() != 9 {
-		t.Errorf("replace: %v", rows)
+
+	// Commit at ts=1: replace row 1 with 9 (mark dead + append), like an
+	// UPDATE would.
+	vidx, rows, err := h.VersionsAt(AllVisible)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	h.Commit([]int{vidx[0]}, []Tuple{{sqltypes.NewInt(9)}}, 1)
+
+	// A snapshot at ts=0 (before the commit) still sees the old contents.
+	old, err := h.RowsAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(old) != 2 || old[0][0].Int() != 1 || old[1][0].Int() != 2 {
+		t.Errorf("snapshot 0: %v", old)
+	}
+	// A snapshot at ts=1 sees the new version and not the dead one.
+	now, err := h.RowsAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(now) != 2 || now[0][0].Int() != 2 || now[1][0].Int() != 9 {
+		t.Errorf("snapshot 1: %v", now)
+	}
+	if h.Len() != 2 || h.DeadCount() != 1 {
+		t.Errorf("live=%d dead=%d, want 2/1", h.Len(), h.DeadCount())
+	}
+}
+
+// TestHeapSingleTipWindow is the regression test for a dual-tip cache
+// bug: two readers at different timestamps, both at or past the heap's
+// last commit, must share ONE open-ended cache window — otherwise a
+// later commit seals only one of them and the stale tip serves
+// pre-commit rows to every subsequent snapshot.
+func TestHeapSingleTipWindow(t *testing.T) {
+	h := NewHeap(nil)
+	h.Insert(Tuple{sqltypes.NewInt(1)})
+	h.Commit(nil, []Tuple{{sqltypes.NewInt(2)}}, 1)
+
+	// Out-of-order snapshot builds, both ≥ lastTS=1: a late reader first,
+	// then an older still-pinned one.
+	if rows, _ := h.RowsAt(10); len(rows) != 2 {
+		t.Fatalf("rows@10: %d", len(rows))
+	}
+	if rows, _ := h.RowsAt(5); len(rows) != 2 {
+		t.Fatalf("rows@5: %d", len(rows))
+	}
+
+	// Commit at ts=11; every snapshot at or past it must see the new row.
+	h.Commit(nil, []Tuple{{sqltypes.NewInt(3)}}, 11)
+	for _, ts := range []int64{11, 12, AllVisible} {
+		rows, err := h.RowsAt(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 3 {
+			t.Fatalf("rows@%d after commit: %d, want 3 (stale tip window survived)", ts, len(rows))
+		}
+	}
+	// Pre-commit snapshots still see the old set.
+	if rows, _ := h.RowsAt(5); len(rows) != 2 {
+		t.Errorf("rows@5 after commit: want 2")
+	}
+}
+
+func TestHeapVacuum(t *testing.T) {
+	h := NewHeap(nil)
+	for i := int64(0); i < 100; i++ {
+		h.Insert(Tuple{sqltypes.NewInt(i)})
+	}
+	// Delete the even rows at ts=1, then update the first ten odd rows at
+	// ts=2.
+	vidx, rows, _ := h.VersionsAt(AllVisible)
+	var dead []int
+	for i, r := range rows {
+		if r[0].Int()%2 == 0 {
+			dead = append(dead, vidx[i])
+		}
+	}
+	h.Commit(dead, nil, 1)
+	vidx, rows, _ = h.VersionsAt(2)
+	dead = dead[:0]
+	var added []Tuple
+	for i, r := range rows[:10] {
+		dead = append(dead, vidx[i])
+		added = append(added, Tuple{sqltypes.NewInt(r[0].Int() + 1000)})
+	}
+	h.Commit(dead, added, 2)
+
+	before, _ := h.RowsAt(2)
+	if got := h.DeadCount(); got != 60 {
+		t.Fatalf("dead=%d, want 60", got)
+	}
+	// Vacuum with the oldest live snapshot at 1: the ts=1 deletions are
+	// reclaimable (xmax <= 1), the ts=2 updates are not.
+	if got := h.Vacuum(1); got != 50 {
+		t.Fatalf("reclaimed %d, want 50", got)
+	}
+	after, _ := h.RowsAt(2)
+	if len(after) != len(before) {
+		t.Fatalf("visible rows changed across vacuum: %d vs %d", len(after), len(before))
+	}
+	for i := range after {
+		if !sqltypes.Identical(after[i][0], before[i][0]) {
+			t.Fatalf("row %d changed across vacuum: %v vs %v", i, after[i], before[i])
+		}
+	}
+	// A snapshot at ts=1 must still be intact (it was the vacuum horizon).
+	at1, _ := h.RowsAt(1)
+	if len(at1) != 50 {
+		t.Errorf("snapshot 1 after vacuum: %d rows, want 50", len(at1))
+	}
+	// Vacuum with no old snapshots reclaims the rest.
+	if got := h.Vacuum(AllVisible); got != 10 {
+		t.Errorf("second vacuum reclaimed %d, want 10", got)
+	}
+	if h.DeadCount() != 0 {
+		t.Errorf("dead=%d after full vacuum", h.DeadCount())
 	}
 }
 
