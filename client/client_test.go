@@ -1,0 +1,387 @@
+package client_test
+
+import (
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"plsqlaway/client"
+	"plsqlaway/internal/engine"
+	"plsqlaway/internal/server"
+	"plsqlaway/internal/sqltypes"
+)
+
+// startServer serves a fresh engine on a loopback listener and returns
+// its address plus the engine (for server-side assertions).
+func startServer(t *testing.T) (string, *engine.Engine) {
+	t.Helper()
+	e := engine.New(engine.WithSeed(42))
+	srv := server.New(e, server.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		<-done
+	})
+	return ln.Addr().String(), e
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Exec("CREATE TABLE t (a int, b text); INSERT INTO t VALUES (1, 'one'), (2, 'two')"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query("SELECT a, b FROM t ORDER BY a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cols) != 2 || res.Cols[0] != "a" {
+		t.Fatalf("cols = %v", res.Cols)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].Int() != 1 || res.Rows[1][1].Text() != "two" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if !strings.Contains(res.Format(), "(2 rows)") {
+		t.Fatalf("format: %q", res.Format())
+	}
+}
+
+func TestQueryWithParams(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	v, err := c.QueryValue("SELECT $1 + $2", client.Int(20), client.Int(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int() != 42 {
+		t.Fatalf("got %v", v)
+	}
+	// Coord and row values survive the wire.
+	v, err = c.QueryValue("SELECT $1", client.Coord(3, -4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := v.Coord()
+	if x != 3 || y != -4 {
+		t.Fatalf("coord = (%d,%d)", x, y)
+	}
+}
+
+func TestStatementErrorKeepsConnUsable(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Query("SELECT * FROM missing"); err == nil || !strings.Contains(err.Error(), "does not exist") {
+		t.Fatalf("want relation error, got %v", err)
+	}
+	v, err := c.QueryValue("SELECT 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int() != 7 {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestPreparedStatements(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Exec("CREATE TABLE kv (k int, v int)"); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := c.Prepare("INSERT INTO kv VALUES ($1, $2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.NumParams() != 2 || ins.IsQuery() {
+		t.Fatalf("metadata: params=%d isQuery=%v", ins.NumParams(), ins.IsQuery())
+	}
+	for i := int64(0); i < 10; i++ {
+		if err := ins.Exec(client.Int(i), client.Int(i*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sel, err := c.Prepare("SELECT v FROM kv WHERE k = $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.IsQuery() {
+		t.Fatal("SELECT not flagged as query")
+	}
+	v, err := sel.QueryValue(client.Int(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int() != 49 {
+		t.Fatalf("got %v", v)
+	}
+	if err := sel.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sel.Query(client.Int(1)); err == nil || !strings.Contains(err.Error(), "unknown prepared statement") {
+		t.Fatalf("closed statement executed: %v", err)
+	}
+}
+
+func TestPipelinedSends(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := client.Dial(addr, client.WithWindow(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	st, err := c.Prepare("SELECT $1 * 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	pending := make([]*client.Pending, n)
+	for i := 0; i < n; i++ {
+		p, err := st.Send(client.Int(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pending[i] = p
+	}
+	for i, p := range pending {
+		res, err := p.Wait()
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if got := res.Rows[0][0].Int(); got != int64(2*i) {
+			t.Fatalf("call %d: got %d (responses out of order?)", i, got)
+		}
+	}
+}
+
+func TestConcurrentCallersOneConn(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := client.Dial(addr, client.WithWindow(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				want := int64(g*1000 + i)
+				v, err := c.QueryValue("SELECT $1", client.Int(want))
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if v.Int() != want {
+					errs[g] = &mismatchError{want, v.Int()}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+}
+
+type mismatchError struct{ want, got int64 }
+
+func (e *mismatchError) Error() string {
+	return "cross-talk: want " + sqltypes.NewInt(e.want).String() + " got " + sqltypes.NewInt(e.got).String()
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	addr, e := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	draw := func() float64 {
+		if err := c.Seed(99); err != nil {
+			t.Fatal(err)
+		}
+		v, err := c.QueryValue("SELECT random()")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v.Float()
+	}
+	a, b := draw(), draw()
+	if a != b {
+		t.Fatalf("reseeded draws differ: %v vs %v", a, b)
+	}
+	// And they match a local session of the same engine, same seed.
+	s := e.NewSession()
+	s.Seed(99)
+	lv, err := s.QueryValue("SELECT random()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv.Float() != a {
+		t.Fatalf("remote %v vs local %v", a, lv.Float())
+	}
+}
+
+func TestStatsFrame(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Exec("CREATE TABLE s (x int)"); err != nil {
+		t.Fatal(err)
+	}
+	before, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := c.Exec("INSERT INTO s VALUES (1)"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Commits-before.Commits != 5 {
+		t.Fatalf("commit counter: before %d after %d, want +5", before.Commits, after.Commits)
+	}
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	addr, _ := startServer(t)
+	p, err := client.NewPool(addr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	if err := p.Exec("CREATE TABLE pt (x int)"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := p.Exec("INSERT INTO pt VALUES (1)"); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	v, err := p.QueryValue("SELECT count(*) FROM pt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int() != 16*25 {
+		t.Fatalf("count = %v, want %d", v, 16*25)
+	}
+}
+
+// TestShutdownDrainsInFlight pins the graceful-drain contract: statements
+// already submitted when Shutdown begins still complete with answers.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	e := engine.New(engine.WithSeed(42))
+	srv := server.New(e, server.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+
+	c, err := client.Dial(ln.Addr().String(), client.WithWindow(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Prepare("SELECT $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	pending := make([]*client.Pending, n)
+	for i := 0; i < n; i++ {
+		p, err := st.Send(client.Int(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pending[i] = p
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	<-done
+	// Every request was flushed to the socket before Shutdown began, so
+	// the drain must answer all of them — correctly and in order.
+	for i, p := range pending {
+		res, err := p.Wait()
+		if err != nil {
+			t.Fatalf("call %d dropped by drain: %v", i, err)
+		}
+		if res.Rows[0][0].Int() != int64(i) {
+			t.Fatalf("call %d: wrong answer %v", i, res.Rows[0][0])
+		}
+	}
+	c.Close()
+}

@@ -1,0 +1,71 @@
+package client
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Pool is a fixed-size, concurrent-safe pool of connections to one
+// server. Requests are spread round-robin; each connection additionally
+// pipelines concurrent callers, so a Pool of N connections sustains far
+// more than N statements in flight.
+type Pool struct {
+	conns []*Conn
+	next  atomic.Uint64
+}
+
+// NewPool dials size connections to addr. Every connection gets the same
+// options (seed, window).
+func NewPool(addr string, size int, opts ...Option) (*Pool, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("client: pool size %d, want ≥ 1", size)
+	}
+	p := &Pool{conns: make([]*Conn, size)}
+	for i := range p.conns {
+		c, err := Dial(addr, opts...)
+		if err != nil {
+			for _, prev := range p.conns[:i] {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("client: pool dial %d/%d: %w", i+1, size, err)
+		}
+		p.conns[i] = c
+	}
+	return p, nil
+}
+
+// Size reports the number of pooled connections.
+func (p *Pool) Size() int { return len(p.conns) }
+
+// Conn returns the next connection round-robin. Callers may hold onto it
+// (e.g. to Prepare once per connection); the pool still owns it.
+func (p *Pool) Conn() *Conn {
+	return p.conns[p.next.Add(1)%uint64(len(p.conns))]
+}
+
+// At returns pooled connection i (for per-connection setup loops).
+func (p *Pool) At(i int) *Conn { return p.conns[i] }
+
+// Exec runs a statement on the next connection.
+func (p *Pool) Exec(sql string) error { return p.Conn().Exec(sql) }
+
+// Query runs a query on the next connection.
+func (p *Pool) Query(sql string, params ...Value) (*Result, error) {
+	return p.Conn().Query(sql, params...)
+}
+
+// QueryValue runs a single-value query on the next connection.
+func (p *Pool) QueryValue(sql string, params ...Value) (Value, error) {
+	return p.Conn().QueryValue(sql, params...)
+}
+
+// Close closes every pooled connection.
+func (p *Pool) Close() error {
+	var first error
+	for _, c := range p.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

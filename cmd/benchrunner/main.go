@@ -58,6 +58,8 @@ func main() {
 	writeratio := flag.Float64("writeratio", -1, "fraction of ops that are writes in the mixed read/write sweep (-1 = off)")
 	mixrows := flag.Int("mixrows", 0, "table size for the mixed read/write sweep (0 = the sweep's default)")
 	batchsize := flag.String("batchsize", "", "comma-separated executor batch sizes for the batch sweep (e.g. 1,64,1024; empty = the sweep's default sizes)")
+	addr := flag.String("addr", "", "host:port of a running plsqld: run the sweeps through the wire protocol against it")
+	window := flag.Int("window", 32, "pipelined requests in flight per connection in the remote sweep")
 	format := flag.String("format", "text", "output format: text or json")
 	flag.Parse()
 
@@ -105,7 +107,7 @@ func main() {
 		}
 		want["parallel"] = true
 	}
-	if *writeratio >= 0 {
+	if *writeratio >= 0 && *addr == "" {
 		if !experimentSet {
 			delete(want, "all")
 		}
@@ -120,14 +122,33 @@ func main() {
 		}
 		want["batchsweep"] = true
 	}
+	// -addr redirects the session sweeps through the wire protocol: the
+	// scaling sweep becomes the remote connection sweep, and -writeratio
+	// selects the remote mixed experiment. An explicit -experiment list
+	// is authoritative — then -addr only supplies the server address and
+	// adds nothing.
+	if *addr != "" && !experimentSet {
+		delete(want, "all")
+		delete(want, "parallel")
+		if *writeratio >= 0 {
+			want["remotemixed"] = true
+		} else {
+			want["remote"] = true
+		}
+	}
 	all := want["all"]
 	ran := 0
 	report := map[string]any{}
 
 	// section runs one experiment; fn returns the structured result (for
-	// -format json) and its text rendering.
+	// -format json) and its text rendering. The remote experiments need a
+	// server address, so `all` includes them only when -addr is given —
+	// a plain `benchrunner` or `-experiment all` run must keep working
+	// offline.
 	section := func(name string, fn func() (any, string, error)) {
-		if !all && !want[name] {
+		remoteOnly := name == "remote" || name == "remotemixed"
+		inAll := all && (!remoteOnly || *addr != "")
+		if !inAll && !want[name] {
 			return
 		}
 		ran++
@@ -273,6 +294,40 @@ func main() {
 			cfg.TableRows = *mixrows
 		}
 		rows, err := bench.MixedSweep(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, bench.FormatMixed(rows), nil
+	})
+
+	section("remote", func() (any, string, error) {
+		cfg := bench.RemoteConfig{Addr: *addr, MaxConns: *parallel, Window: *window}
+		if *quick {
+			cfg.Calls = 128
+			cfg.TraverseHops = 20
+		}
+		rows, err := bench.RemoteScaling(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, bench.FormatRemote(rows), nil
+	})
+
+	section("remotemixed", func() (any, string, error) {
+		ratio := *writeratio
+		if ratio < 0 {
+			ratio = 0.1
+		}
+		cfg := bench.RemoteMixedConfig{Addr: *addr, MaxConns: *parallel, WriteRatio: ratio}
+		if *quick {
+			cfg.Ops = 512
+			cfg.TableRows = 2048
+			cfg.Span = 128
+		}
+		if *mixrows > 0 {
+			cfg.TableRows = *mixrows
+		}
+		rows, err := bench.RemoteMixed(cfg)
 		if err != nil {
 			return nil, "", err
 		}

@@ -1,0 +1,91 @@
+// plsqld serves an embedded plsqlaway engine over TCP using the wire
+// protocol: one session per connection, pipelined request execution, and
+// graceful drain on SIGINT/SIGTERM. The client package (and
+// sqlshell -connect, benchrunner -addr) speak to it.
+//
+// Usage:
+//
+//	plsqld [-addr host:port] [-profile postgres|oracle|sqlite] [-seed N]
+//	       [-batchsize N] [-verbose]
+//
+// The daemon starts with an empty catalog; remote clients install
+// schemas and functions over the wire (CREATE TABLE / CREATE FUNCTION …
+// LANGUAGE plpgsql or sql), exactly as an embedded engine would.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"plsqlaway/internal/engine"
+	"plsqlaway/internal/profile"
+	"plsqlaway/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5455", "TCP listen address")
+	profName := flag.String("profile", "postgres", "engine profile: postgres, oracle, or sqlite")
+	seed := flag.Uint64("seed", 42, "default random() seed for new sessions")
+	batchSize := flag.Int("batchsize", 0, "executor batch size (0 = engine default)")
+	drain := flag.Duration("drain", 10*time.Second, "max time to drain connections on shutdown")
+	verbose := flag.Bool("verbose", false, "log per-connection diagnostics")
+	flag.Parse()
+
+	prof, err := profile.ByName(*profName)
+	if err != nil {
+		fatal(err)
+	}
+	opts := []engine.Option{engine.WithProfile(prof), engine.WithSeed(*seed)}
+	if *batchSize > 0 {
+		opts = append(opts, engine.WithBatchSize(*batchSize))
+	}
+	e := engine.New(opts...)
+
+	srvOpts := server.Options{Banner: fmt.Sprintf("plsqlaway (%s)", prof.Name)}
+	if *verbose {
+		srvOpts.Logf = log.Printf
+	}
+	srv := server.New(e, srvOpts)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("plsqld: serving profile %s on %s", prof.Name, ln.Addr())
+
+	// Serve returns as soon as Shutdown closes the listener; drained is
+	// how main waits for the in-flight statements to finish before the
+	// process exits.
+	drained := make(chan struct{})
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		defer close(drained)
+		s := <-sigs
+		log.Printf("plsqld: %v — draining connections (max %s)", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("plsqld: %v", err)
+		}
+	}()
+
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, server.ErrServerClosed) {
+		fatal(err)
+	}
+	<-drained
+	log.Printf("plsqld: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "plsqld:", err)
+	os.Exit(1)
+}

@@ -1,12 +1,17 @@
-// sqlshell is a minimal shell for the embedded engine: it executes SQL
-// script files and/or reads statements from stdin, printing result tables.
-// PL/pgSQL functions work (CREATE FUNCTION … LANGUAGE plpgsql), and the
-// meta-command \compile <fn> compiles a registered function away and
-// installs it as <fn>_c.
+// sqlshell is a minimal shell for the plsqlaway engine: it executes SQL
+// script files and/or reads statements from stdin, printing result
+// tables. PL/pgSQL functions work (CREATE FUNCTION … LANGUAGE plpgsql),
+// and the meta-command \compile <fn> compiles a registered function away
+// and installs it as <fn>_c.
+//
+// By default the shell embeds an engine in-process. With -connect it
+// becomes a remote client of a running plsqld, speaking the wire
+// protocol through the client package — same statements, same output.
 //
 // Usage:
 //
-//	sqlshell [-profile postgres|oracle|sqlite] [-seed N] [script.sql…]
+//	sqlshell [-profile postgres|oracle|sqlite] [-seed N]
+//	         [-connect host:port] [script.sql…]
 package main
 
 import (
@@ -16,54 +21,88 @@ import (
 	"os"
 	"strings"
 
+	"plsqlaway/client"
 	"plsqlaway/internal/catalog"
 	"plsqlaway/internal/core"
 	"plsqlaway/internal/engine"
-	"plsqlaway/internal/plast"
 	"plsqlaway/internal/profile"
 	"plsqlaway/internal/sqlast"
 )
 
+// backend abstracts the local engine and the remote connection so the
+// REPL is identical either way.
+type backend interface {
+	// Run executes a statement or script, dispatching query-vs-script
+	// itself (so a failing statement is never re-executed by a fallback),
+	// and returns the formatted result table ("" when no rows came back).
+	Run(sql string) (string, error)
+	// Meta handles a backslash command. quit=true exits the shell.
+	Meta(cmd string) (quit bool)
+	// Notices drains pending RAISE NOTICE output.
+	Notices() []string
+}
+
 func main() {
 	profName := flag.String("profile", "postgres", "engine profile: postgres, oracle, or sqlite")
 	seed := flag.Uint64("seed", 42, "random() seed")
+	connect := flag.String("connect", "", "connect to a plsqld at host:port instead of embedding an engine")
 	flag.Parse()
 
-	prof, err := profile.ByName(*profName)
-	if err != nil {
-		fatal(err)
+	var b backend
+	if *connect != "" {
+		// The engine profile lives server-side; a -profile here would be
+		// silently ignored, so reject the combination outright.
+		profileSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "profile" {
+				profileSet = true
+			}
+		})
+		if profileSet {
+			fatal(fmt.Errorf("-profile has no effect with -connect: the profile is chosen by the plsqld server"))
+		}
+		c, err := client.Dial(*connect, client.WithSeed(*seed))
+		if err != nil {
+			fatal(err)
+		}
+		defer c.Close()
+		fmt.Printf("connected to %s (%s)\n", *connect, c.Server)
+		b = &remoteBackend{c: c}
+	} else {
+		prof, err := profile.ByName(*profName)
+		if err != nil {
+			fatal(err)
+		}
+		e := engine.New(engine.WithProfile(prof), engine.WithSeed(*seed))
+		b = &localBackend{e: e, s: e.NewSession()}
 	}
-	e := engine.New(engine.WithProfile(prof), engine.WithSeed(*seed))
 
 	for _, path := range flag.Args() {
 		src, err := os.ReadFile(path)
 		if err != nil {
 			fatal(err)
 		}
-		if err := runScript(e, string(src)); err != nil {
+		if err := runScript(b, string(src)); err != nil {
 			fatal(fmt.Errorf("%s: %w", path, err))
 		}
 	}
 
 	if fi, _ := os.Stdin.Stat(); flag.NArg() == 0 || fi.Mode()&os.ModeCharDevice != 0 {
-		repl(e)
+		repl(b)
 	}
 }
 
-// runScript executes each statement, printing query results.
-func runScript(e *engine.Engine, src string) error {
-	res, err := e.Query(src)
-	if err == nil {
-		if res != nil {
-			fmt.Print(res.Format())
-		}
-		return nil
+// runScript executes a file, printing rows if it was a single query.
+func runScript(b backend, src string) error {
+	out, err := b.Run(src)
+	if err != nil {
+		return err
 	}
-	// Not a single query — run as a script.
-	return e.Exec(src)
+	fmt.Print(out)
+	return nil
 }
 
-func repl(e *engine.Engine) {
+func repl(b backend) {
 	fmt.Println("plsqlaway shell — end statements with ';', meta: \\compile <fn>, \\tables, \\functions, \\q")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
@@ -80,7 +119,7 @@ func repl(e *engine.Engine) {
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			if !meta(e, trimmed) {
+			if b.Meta(trimmed) {
 				return
 			}
 			prompt()
@@ -91,53 +130,74 @@ func repl(e *engine.Engine) {
 		if strings.HasSuffix(trimmed, ";") {
 			stmt := buf.String()
 			buf.Reset()
-			res, err := e.Query(stmt)
+			out, err := b.Run(stmt)
 			if err != nil {
-				// DDL/DML path
-				if err2 := e.Exec(stmt); err2 != nil {
-					fmt.Println("error:", err)
-				} else {
-					fmt.Println("ok")
-				}
-			} else if res != nil {
-				fmt.Print(res.Format())
+				fmt.Println("error:", err)
+			} else if out != "" {
+				fmt.Print(out)
+			} else {
+				fmt.Println("ok")
 			}
-			for _, n := range e.Counters().Notices {
+			for _, n := range b.Notices() {
 				fmt.Println("NOTICE:", n)
 			}
-			e.Counters().Notices = nil
 		}
 		prompt()
 	}
 }
 
-// meta handles backslash commands; returns false to quit.
-func meta(e *engine.Engine, cmd string) bool {
+// ---------------------------------------------------------------------------
+// local backend: the embedded engine
+// ---------------------------------------------------------------------------
+
+type localBackend struct {
+	e *engine.Engine
+	s *engine.Session // the shell's one session: seed, notices, counters
+}
+
+func (b *localBackend) Run(sql string) (string, error) {
+	res, err := b.s.Run(sql)
+	if err != nil {
+		return "", err
+	}
+	if res == nil {
+		return "", nil
+	}
+	return res.Format(), nil
+}
+
+func (b *localBackend) Notices() []string {
+	n := b.s.Counters().Notices
+	b.s.Counters().Notices = nil
+	return n
+}
+
+func (b *localBackend) Meta(cmd string) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case "\\q", "\\quit":
-		return false
+		return true
 	case "\\tables":
-		for _, t := range e.Catalog().TableNames() {
+		for _, t := range b.e.Catalog().TableNames() {
 			fmt.Println(t)
 		}
 	case "\\functions":
-		for _, f := range e.Catalog().FunctionNames() {
-			fn, _ := e.Catalog().Function(f)
+		for _, f := range b.e.Catalog().FunctionNames() {
+			fn, _ := b.e.Catalog().Function(f)
 			fmt.Printf("%s (%s)\n", f, fn.Kind)
 		}
 	case "\\compile":
 		if len(fields) < 2 {
 			fmt.Println("usage: \\compile <function>")
-			return true
+			return false
 		}
-		if err := compileAway(e, fields[1]); err != nil {
+		if err := compileAway(b.e, fields[1]); err != nil {
 			fmt.Println("error:", err)
 		}
 	default:
 		fmt.Println("unknown meta command", fields[0])
 	}
-	return true
+	return false
 }
 
 // compileAway compiles a registered PL/pgSQL function and installs the
@@ -158,8 +218,63 @@ func compileAway(e *engine.Engine, name string) error {
 		return err
 	}
 	fmt.Printf("installed %s_c; emitted SQL:\n%s\n", name, sqlast.DeparseQuery(res.Query))
-	var _ []plast.Param = res.Params
 	return nil
+}
+
+// ---------------------------------------------------------------------------
+// remote backend: a plsqld connection
+// ---------------------------------------------------------------------------
+
+type remoteBackend struct {
+	c *client.Conn
+}
+
+// Run sends the text as one simple-query frame; the server dispatches
+// query vs script, so no client-side fallback re-executes anything.
+func (b *remoteBackend) Run(sql string) (string, error) {
+	res, err := b.c.Query(sql)
+	if err != nil {
+		return "", err
+	}
+	if res == nil {
+		return "", nil
+	}
+	return res.Format(), nil
+}
+
+// Notices do not travel the wire (yet); the remote shell has none.
+func (b *remoteBackend) Notices() []string { return nil }
+
+func (b *remoteBackend) Meta(cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\q", "\\quit":
+		return true
+	case "\\seed":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\seed <n>")
+			return false
+		}
+		var n uint64
+		if _, err := fmt.Sscanf(fields[1], "%d", &n); err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		if err := b.c.Seed(n); err != nil {
+			fmt.Println("error:", err)
+		}
+	case "\\stats":
+		st, err := b.c.Stats()
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Printf("page writes %d · pages alloc %d · tuples written %d · commits %d · vacuums %d (reclaimed %d)\n",
+			st.PageWrites, st.PagesAlloc, st.TuplesWritten, st.Commits, st.Vacuums, st.VersionsReclaimed)
+	default:
+		fmt.Printf("meta command %s is not available over -connect (try \\seed, \\stats, \\q)\n", fields[0])
+	}
+	return false
 }
 
 func fatal(err error) {

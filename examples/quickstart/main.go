@@ -1,14 +1,19 @@
 // Quickstart: compile a PL/pgSQL function away and watch the context
-// switches disappear.
+// switches disappear — then serve the same engine over TCP and call the
+// compiled function from a remote client.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"net"
+	"time"
 
 	"plsqlaway"
+	"plsqlaway/client"
 )
 
 const gcdSrc = `
@@ -60,4 +65,27 @@ func main() {
 	// 4. The intermediate forms are all inspectable.
 	fmt.Println("\n── ANF (the paper's Figure 6 shape) ──")
 	fmt.Print(res.ANF.Dump())
+
+	// 5. Serve the engine over TCP and call the compiled function
+	//    remotely (in production this is `plsqld`, and the client dials
+	//    across machines).
+	srv := plsqlaway.NewServer(e, plsqlaway.ServerOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln)
+	conn, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := conn.QueryValue("SELECT gcd_c($1, $2)", client.Int(270), client.Int(192))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n── over the wire ──\nremote gcd_c(270, 192) = %v\n", r)
+	conn.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
 }

@@ -1,0 +1,678 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"plsqlaway/client"
+	"plsqlaway/internal/core"
+	"plsqlaway/internal/engine"
+	"plsqlaway/internal/profile"
+	"plsqlaway/internal/sqlast"
+	"plsqlaway/internal/sqltypes"
+	"plsqlaway/internal/workload"
+)
+
+// RemoteConfig sizes the multi-process scaling experiment: an external
+// plsqld at Addr, the workload installed over the wire, and the corpus
+// calls issued through the client package — synchronously (one request
+// in flight per connection) and pipelined (Window requests in flight).
+// An in-process baseline of the same calls quantifies the wire tax.
+type RemoteConfig struct {
+	Addr      string // host:port of a running plsqld (required)
+	Conns     []int  // connection counts to sweep; default {1, 2, 4, …, max}
+	MaxConns  int    // upper end of the default sweep; default 8
+	Window    int    // pipelined requests in flight per connection; default 32
+	Calls     int    // total calls per measurement; default 512
+	Workloads []string
+	Seed      uint64
+
+	// Per-call sizes. The defaults keep individual calls cheap, which is
+	// the regime where process-boundary round trips dominate — exactly
+	// the tax the paper ascribes to PL/SQL↔SQL context switches, ported
+	// to the application↔database boundary.
+	TraverseHops int64 // default 50
+	WalkSteps    int64 // default 100
+	ParseLen     int   // default 100
+	ClampArg     int64 // default 5
+}
+
+func (c *RemoteConfig) defaults() error {
+	if c.Addr == "" {
+		return fmt.Errorf("bench: remote sweep needs -addr host:port of a running plsqld")
+	}
+	if c.MaxConns < 1 {
+		c.MaxConns = 8
+	}
+	if len(c.Conns) == 0 {
+		for n := 1; n < c.MaxConns; n *= 2 {
+			c.Conns = append(c.Conns, n)
+		}
+		c.Conns = append(c.Conns, c.MaxConns)
+	}
+	if c.Window < 1 {
+		c.Window = 32
+	}
+	if c.Calls == 0 {
+		c.Calls = 512
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = []string{"clamp", "traverse"}
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.TraverseHops == 0 {
+		c.TraverseHops = 50
+	}
+	if c.WalkSteps == 0 {
+		c.WalkSteps = 100
+	}
+	if c.ParseLen == 0 {
+		c.ParseLen = 100
+	}
+	if c.ClampArg == 0 {
+		c.ClampArg = 5
+	}
+	return nil
+}
+
+// RemoteRow is one (workload, mode, connection-count) throughput point.
+type RemoteRow struct {
+	Workload    string
+	Mode        string // "inproc", "remote-sync", or "remote-pipelined"
+	Conns       int
+	Window      int // requests in flight per connection (1 for sync)
+	Calls       int
+	WallMs      float64
+	CallsPerSec float64
+	// Speedup is against the same workload's remote-sync 1-connection
+	// point — the protocol's own baseline.
+	Speedup float64
+}
+
+// remoteCall describes how one corpus workload is invoked remotely: the
+// prepared-statement text, its arguments, and whether each call must be
+// preceded by a deterministic reseed (the stochastic robot walk).
+type remoteCall struct {
+	sql    string
+	args   []sqltypes.Value
+	reseed bool
+}
+
+func (cfg *RemoteConfig) call(name string) (remoteCall, error) {
+	switch name {
+	case "clamp":
+		return remoteCall{
+			sql:  "SELECT clamp_c($1, $2, $3)",
+			args: []sqltypes.Value{sqltypes.NewInt(cfg.ClampArg), sqltypes.NewInt(1), sqltypes.NewInt(10)},
+		}, nil
+	case "traverse":
+		return remoteCall{
+			sql:  "SELECT traverse_c($1, $2)",
+			args: []sqltypes.Value{sqltypes.NewInt(0), sqltypes.NewInt(cfg.TraverseHops)},
+		}, nil
+	case "parse":
+		return remoteCall{
+			sql:  "SELECT parse_c($1)",
+			args: []sqltypes.Value{sqltypes.NewText(workload.MakeParseInput(cfg.ParseLen, 11))},
+		}, nil
+	case "walk":
+		return remoteCall{
+			sql: "SELECT walk_c(coord(2, 2), $1, $2, $3)",
+			args: []sqltypes.Value{
+				sqltypes.NewInt(winHuge), sqltypes.NewInt(looseHuge), sqltypes.NewInt(cfg.WalkSteps),
+			},
+			reseed: true,
+		}, nil
+	default:
+		return remoteCall{}, fmt.Errorf("bench: remote driver does not know workload %q", name)
+	}
+}
+
+// CreateFunctionSQL renders a compiled function as the CREATE FUNCTION …
+// LANGUAGE sql statement that installs it over the wire — the textual
+// twin of plsqlaway.Install.
+func CreateFunctionSQL(name string, res *core.Result) string {
+	var params []string
+	for _, p := range res.Params {
+		params = append(params, fmt.Sprintf("%s %s", p.Name, p.Type))
+	}
+	return fmt.Sprintf("CREATE FUNCTION %s(%s) RETURNS %s AS $$ %s $$ LANGUAGE sql",
+		name, strings.Join(params, ", "), res.ReturnType, sqlast.DeparseQuery(res.Query))
+}
+
+// InstallRemoteWorkloads resets and installs the workload schemas plus
+// the interpreted and compiled corpus functions on x — entirely through
+// SQL, so the same call works on an engine, a session, or a remote
+// connection.
+func InstallRemoteWorkloads(x workload.Execer, names ...string) error {
+	drops := []string{
+		"DROP TABLE IF EXISTS cells", "DROP TABLE IF EXISTS policy", "DROP TABLE IF EXISTS actions",
+		"DROP TABLE IF EXISTS fsm", "DROP TABLE IF EXISTS edges", "DROP TABLE IF EXISTS fees",
+	}
+	for _, name := range names {
+		drops = append(drops,
+			"DROP FUNCTION IF EXISTS "+name,
+			"DROP FUNCTION IF EXISTS "+name+"_c")
+	}
+	for _, d := range drops {
+		if err := x.Exec(d); err != nil {
+			return fmt.Errorf("bench: reset: %w", err)
+		}
+	}
+	world := workload.NewRobotWorld(5, 5, 7)
+	if err := world.Install(x); err != nil {
+		return err
+	}
+	if err := workload.InstallFSM(x); err != nil {
+		return err
+	}
+	if err := workload.InstallGraph(x, 4096, 3); err != nil {
+		return err
+	}
+	if err := workload.InstallFees(x); err != nil {
+		return err
+	}
+	for _, name := range names {
+		src, ok := workload.Corpus[name]
+		if !ok {
+			return fmt.Errorf("bench: unknown corpus function %q", name)
+		}
+		if err := x.Exec(src); err != nil {
+			return fmt.Errorf("bench: install interpreted %s: %w", name, err)
+		}
+		res, err := core.Compile(src, core.Options{})
+		if err != nil {
+			return err
+		}
+		if err := x.Exec(CreateFunctionSQL(name+"_c", res)); err != nil {
+			return fmt.Errorf("bench: install compiled %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// RemoteScaling measures corpus-call throughput through the wire
+// protocol against an external plsqld: synchronous and pipelined modes
+// across growing connection counts, next to an in-process single-session
+// baseline of the identical calls. The total call count is fixed per
+// measurement.
+func RemoteScaling(cfg RemoteConfig) ([]RemoteRow, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+
+	// Install everything over the wire through an admin connection.
+	admin, err := client.Dial(cfg.Addr, client.WithSeed(cfg.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("bench: dial %s: %w", cfg.Addr, err)
+	}
+	defer admin.Close()
+	if err := InstallRemoteWorkloads(admin, cfg.Workloads...); err != nil {
+		return nil, err
+	}
+
+	// In-process twin: same schemas, same functions, for the baseline
+	// rows and for validating remote answers.
+	local := engine.New(engine.WithProfile(profile.PostgreSQL), engine.WithSeed(cfg.Seed))
+	if err := InstallRemoteWorkloads(local, cfg.Workloads...); err != nil {
+		return nil, err
+	}
+
+	var rows []RemoteRow
+	for _, wl := range cfg.Workloads {
+		call, err := cfg.call(wl)
+		if err != nil {
+			return nil, err
+		}
+
+		// Expected answer, computed in process (reseeded, so the
+		// stochastic walk agrees too).
+		ls := local.NewSession()
+		ls.Seed(cfg.Seed)
+		want, err := ls.QueryValue(call.sql, call.args...)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s in-process: %w", wl, err)
+		}
+
+		// In-process baseline: one session, sequential calls.
+		inWall, err := runInproc(local, call, cfg.Calls, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, RemoteRow{
+			Workload: wl, Mode: "inproc", Conns: 1, Window: 1, Calls: cfg.Calls,
+			WallMs:      float64(inWall.Nanoseconds()) / 1e6,
+			CallsPerSec: float64(cfg.Calls) / inWall.Seconds(),
+		})
+
+		var baseline float64
+		for _, mode := range []string{"remote-sync", "remote-pipelined"} {
+			window := 1
+			if mode == "remote-pipelined" {
+				window = cfg.Window
+			}
+			for _, n := range cfg.Conns {
+				wall, err := runRemote(cfg.Addr, call, cfg.Calls, n, window, cfg.Seed, want)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s %s ×%d conns: %w", wl, mode, n, err)
+				}
+				row := RemoteRow{
+					Workload: wl, Mode: mode, Conns: n, Window: window, Calls: cfg.Calls,
+					WallMs:      float64(wall.Nanoseconds()) / 1e6,
+					CallsPerSec: float64(cfg.Calls) / wall.Seconds(),
+				}
+				if baseline == 0 {
+					baseline = row.CallsPerSec
+				}
+				row.Speedup = row.CallsPerSec / baseline
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// runInproc executes calls sequentially on one embedded session.
+func runInproc(e *engine.Engine, call remoteCall, calls int, seed uint64) (time.Duration, error) {
+	s := e.NewSession()
+	p, err := s.Prepare(call.sql)
+	if err != nil {
+		return 0, err
+	}
+	// Warm-up (plan cache).
+	s.Seed(seed)
+	if err := p.Exec(call.args...); err != nil {
+		return 0, err
+	}
+	t0 := time.Now()
+	for i := 0; i < calls; i++ {
+		if call.reseed {
+			s.Seed(seed)
+		}
+		if err := p.Exec(call.args...); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(t0), nil
+}
+
+// runRemote executes the fixed call total spread over n connections with
+// the given per-connection pipeline window, checking every answer
+// against want.
+func runRemote(addr string, call remoteCall, calls, n, window int, seed uint64, want sqltypes.Value) (time.Duration, error) {
+	pool, err := client.NewPool(addr, n, client.WithSeed(seed), client.WithWindow(window+2))
+	if err != nil {
+		return 0, err
+	}
+	defer pool.Close()
+
+	stmts := make([]*client.Stmt, n)
+	for i := 0; i < n; i++ {
+		st, err := pool.At(i).Prepare(call.sql)
+		if err != nil {
+			return 0, err
+		}
+		stmts[i] = st
+	}
+	// Warm-up: one call on connection 0 populates the shared plan cache.
+	if call.reseed {
+		if err := pool.At(0).Seed(seed); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := stmts[0].Query(call.args...); err != nil {
+		return 0, err
+	}
+
+	per := make([]int, n)
+	for i := 0; i < calls; i++ {
+		per[i%n]++
+	}
+
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = runConn(pool.At(i), stmts[i], call, per[i], window, seed, want)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return wall, nil
+}
+
+// runConn drives one connection: window=1 is call-and-wait; larger
+// windows keep that many calls in flight, waiting for the oldest before
+// sending the next.
+func runConn(c *client.Conn, st *client.Stmt, call remoteCall, calls, window int, seed uint64, want sqltypes.Value) error {
+	check := func(res *client.Result) error {
+		if len(res.Rows) != 1 || len(res.Rows[0]) != 1 || !sqltypes.Identical(res.Rows[0][0], want) {
+			return fmt.Errorf("bench: remote answer %v, in-process answer %v", res.Rows, want)
+		}
+		return nil
+	}
+	if window <= 1 {
+		for k := 0; k < calls; k++ {
+			if call.reseed {
+				if err := c.Seed(seed); err != nil {
+					return err
+				}
+			}
+			res, err := st.Query(call.args...)
+			if err != nil {
+				return err
+			}
+			if err := check(res); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	inflight := make([]*client.Pending, 0, window)
+	wait := func(p *client.Pending) error {
+		res, err := p.Wait()
+		if err != nil {
+			return err
+		}
+		return check(res)
+	}
+	for k := 0; k < calls; k++ {
+		if call.reseed {
+			if _, err := c.SeedAsync(seed); err != nil {
+				return err
+			}
+		}
+		p, err := st.Send(call.args...)
+		if err != nil {
+			return err
+		}
+		inflight = append(inflight, p)
+		if len(inflight) >= window {
+			if err := wait(inflight[0]); err != nil {
+				return err
+			}
+			inflight = inflight[1:]
+		}
+	}
+	for _, p := range inflight {
+		if err := wait(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatRemote renders the multi-process sweep.
+func FormatRemote(rows []RemoteRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Wire protocol: corpus calls through plsqld (GOMAXPROCS=%d client-side).\n", runtime.GOMAXPROCS(0))
+	sb.WriteString("Fixed total calls per measurement; speedup is vs remote-sync ×1 conn.\n\n")
+	fmt.Fprintf(&sb, "%-10s %-17s %6s %7s %7s %10s %12s %9s\n",
+		"workload", "mode", "conns", "window", "calls", "wall[ms]", "calls/sec", "speedup")
+	sb.WriteString(strings.Repeat("-", 84) + "\n")
+	last := ""
+	for _, r := range rows {
+		if last != "" && r.Workload != last {
+			sb.WriteString("\n")
+		}
+		last = r.Workload
+		speed := "     -"
+		if r.Speedup > 0 {
+			speed = fmt.Sprintf("%8.2fx", r.Speedup)
+		}
+		fmt.Fprintf(&sb, "%-10s %-17s %6d %7d %7d %10.1f %12.1f %s\n",
+			r.Workload, r.Mode, r.Conns, r.Window, r.Calls, r.WallMs, r.CallsPerSec, speed)
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Remote mixed read/write sweep
+// ---------------------------------------------------------------------------
+
+// RemoteMixedConfig sizes the remote mixed read/write experiment — the
+// MixedSweep schedule issued through wire connections against an
+// external plsqld, with the write checksum verified remotely and the
+// commit counters asserted through the stats frame.
+type RemoteMixedConfig struct {
+	Addr       string
+	Conns      []int
+	MaxConns   int
+	Ops        int     // default 2048
+	TableRows  int     // default 4096
+	Span       int     // default 256
+	WriteRatio float64 // default 0.1
+	Seed       uint64
+}
+
+func (c *RemoteMixedConfig) defaults() error {
+	if c.Addr == "" {
+		return fmt.Errorf("bench: remote mixed sweep needs -addr host:port of a running plsqld")
+	}
+	if c.MaxConns < 1 {
+		c.MaxConns = 8
+	}
+	if len(c.Conns) == 0 {
+		for n := 1; n < c.MaxConns; n *= 2 {
+			c.Conns = append(c.Conns, n)
+		}
+		c.Conns = append(c.Conns, c.MaxConns)
+	}
+	if c.Ops == 0 {
+		c.Ops = 2048
+	}
+	if c.TableRows == 0 {
+		c.TableRows = 4096
+	}
+	if c.Span == 0 {
+		c.Span = 256
+	}
+	if c.WriteRatio < 0 {
+		c.WriteRatio = 0
+	}
+	if c.WriteRatio > 1 {
+		c.WriteRatio = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return nil
+}
+
+// RemoteMixed runs the mixed read/write schedule through wire
+// connections. Rows reuse MixedRow, so the text/JSON shapes match the
+// in-process sweep.
+func RemoteMixed(cfg RemoteMixedConfig) ([]MixedRow, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	admin, err := client.Dial(cfg.Addr, client.WithSeed(cfg.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("bench: dial %s: %w", cfg.Addr, err)
+	}
+	defer admin.Close()
+
+	if err := admin.Exec("DROP TABLE IF EXISTS mix_kv"); err != nil {
+		return nil, err
+	}
+	if err := admin.Exec("CREATE TABLE mix_kv (k int, v int)"); err != nil {
+		return nil, err
+	}
+	var sum0 int64
+	var sb strings.Builder
+	for base := 0; base < cfg.TableRows; {
+		sb.Reset()
+		sb.WriteString("INSERT INTO mix_kv VALUES ")
+		for i := 0; i < 512 && base < cfg.TableRows; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d)", base, base)
+			sum0 += int64(base)
+			base++
+		}
+		if err := admin.Exec(sb.String()); err != nil {
+			return nil, err
+		}
+	}
+
+	// The same deterministic schedule the in-process sweep uses.
+	rng := &mixRand{state: 0x9E3779B97F4A7C15}
+	ops := make([]mixedOp, cfg.Ops)
+	writes := 0
+	for i := range ops {
+		w := rng.float64() < cfg.WriteRatio
+		if w {
+			writes++
+		}
+		ops[i] = mixedOp{write: w, key: int64(rng.intn(cfg.TableRows))}
+	}
+	reads := cfg.Ops - writes
+
+	var rows []MixedRow
+	applied := int64(0)
+	var baseline float64
+	for _, n := range cfg.Conns {
+		before, err := admin.Stats()
+		if err != nil {
+			return nil, err
+		}
+		wall, readLat, writeLat, err := runRemoteMixed(cfg.Addr, ops, n, cfg.Span, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("bench: remote mixed ×%d conns: %w", n, err)
+		}
+		applied += int64(writes)
+		got, err := admin.QueryValue("SELECT sum(v) FROM mix_kv")
+		if err != nil {
+			return nil, err
+		}
+		if got.Int() != sum0+applied {
+			return nil, fmt.Errorf("bench: remote mixed ×%d conns: checksum %d, want %d (lost or duplicated writes)", n, got.Int(), sum0+applied)
+		}
+		// The stats frame must account for every write as exactly one
+		// heap commit — storage behaviour asserted with no process access.
+		after, err := admin.Stats()
+		if err != nil {
+			return nil, err
+		}
+		if delta := after.Commits - before.Commits; delta != int64(writes) {
+			return nil, fmt.Errorf("bench: remote mixed ×%d conns: %d commits for %d writes", n, delta, writes)
+		}
+		row := MixedRow{
+			Workers:      n,
+			WriteRatio:   cfg.WriteRatio,
+			Ops:          cfg.Ops,
+			Reads:        reads,
+			Writes:       writes,
+			WallMs:       float64(wall.Nanoseconds()) / 1e6,
+			OpsPerSec:    float64(cfg.Ops) / wall.Seconds(),
+			ReadsPerSec:  float64(reads) / wall.Seconds(),
+			WritesPerSec: float64(writes) / wall.Seconds(),
+		}
+		sort.Slice(readLat, func(i, j int) bool { return readLat[i] < readLat[j] })
+		sort.Slice(writeLat, func(i, j int) bool { return writeLat[i] < writeLat[j] })
+		row.ReadP50Ms = percentile(readLat, 0.50)
+		row.ReadP99Ms = percentile(readLat, 0.99)
+		row.ReadMaxMs = percentile(readLat, 1)
+		row.WriteP50Ms = percentile(writeLat, 0.50)
+		row.WriteMaxMs = percentile(writeLat, 1)
+		if baseline == 0 {
+			baseline = row.ReadsPerSec
+		}
+		if baseline > 0 {
+			row.ReadSpeedup = row.ReadsPerSec / baseline
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runRemoteMixed spreads the op schedule round-robin over n connections
+// (synchronous per connection: latency percentiles stay meaningful).
+func runRemoteMixed(addr string, ops []mixedOp, n, span int, seed uint64) (time.Duration, []time.Duration, []time.Duration, error) {
+	pool, err := client.NewPool(addr, n, client.WithSeed(seed))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer pool.Close()
+
+	type connState struct {
+		read     *client.Stmt
+		write    *client.Stmt
+		ops      []mixedOp
+		readLat  []time.Duration
+		writeLat []time.Duration
+	}
+	states := make([]*connState, n)
+	for i := range states {
+		c := pool.At(i)
+		read, err := c.Prepare("SELECT sum(v) FROM mix_kv WHERE k >= $1 AND k < $2")
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		write, err := c.Prepare("UPDATE mix_kv SET v = v + 1 WHERE k = $1")
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		states[i] = &connState{read: read, write: write}
+	}
+	for i, op := range ops {
+		states[i%n].ops = append(states[i%n].ops, op)
+	}
+	// Warm the shared plan cache outside the measurement.
+	if err := states[0].read.Exec(sqltypes.NewInt(0), sqltypes.NewInt(int64(span))); err != nil {
+		return 0, nil, nil, err
+	}
+
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i, st := range states {
+		wg.Add(1)
+		go func(i int, st *connState) {
+			defer wg.Done()
+			for _, op := range st.ops {
+				var err error
+				opT0 := time.Now()
+				if op.write {
+					err = st.write.Exec(sqltypes.NewInt(op.key))
+					st.writeLat = append(st.writeLat, time.Since(opT0))
+				} else {
+					err = st.read.Exec(sqltypes.NewInt(op.key), sqltypes.NewInt(op.key+int64(span)))
+					st.readLat = append(st.readLat, time.Since(opT0))
+				}
+				if err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i, st)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			return 0, nil, nil, err
+		}
+	}
+	var readLat, writeLat []time.Duration
+	for _, st := range states {
+		readLat = append(readLat, st.readLat...)
+		writeLat = append(writeLat, st.writeLat...)
+	}
+	return wall, readLat, writeLat, nil
+}

@@ -30,8 +30,6 @@
 package engine
 
 import (
-	"fmt"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -304,47 +302,8 @@ type Result struct {
 	Rows []storage.Tuple
 }
 
-// Format renders the result as an aligned text table.
+// Format renders the result as an aligned text table. (storage.Tuple
+// aliases []sqltypes.Value, so the rows pass through unconverted.)
 func (r *Result) Format() string {
-	widths := make([]int, len(r.Cols))
-	for i, c := range r.Cols {
-		widths[i] = len([]rune(c))
-	}
-	cells := make([][]string, len(r.Rows))
-	for ri, row := range r.Rows {
-		cells[ri] = make([]string, len(row))
-		for ci, v := range row {
-			s := v.String()
-			cells[ri][ci] = s
-			if ci < len(widths) && len([]rune(s)) > widths[ci] {
-				widths[ci] = len([]rune(s))
-			}
-		}
-	}
-	var sb strings.Builder
-	writeRow := func(vals []string) {
-		for i, v := range vals {
-			if i > 0 {
-				sb.WriteString(" | ")
-			}
-			sb.WriteString(v)
-			for p := len([]rune(v)); p < widths[i] && i < len(vals)-1; p++ {
-				sb.WriteByte(' ')
-			}
-		}
-		sb.WriteByte('\n')
-	}
-	writeRow(r.Cols)
-	for i, w := range widths {
-		if i > 0 {
-			sb.WriteString("-+-")
-		}
-		sb.WriteString(strings.Repeat("-", w))
-	}
-	sb.WriteByte('\n')
-	for _, row := range cells {
-		writeRow(row)
-	}
-	fmt.Fprintf(&sb, "(%d rows)\n", len(r.Rows))
-	return sb.String()
+	return sqltypes.FormatTable(r.Cols, r.Rows)
 }

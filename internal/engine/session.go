@@ -108,6 +108,11 @@ func (s *Session) Catalog() *catalog.Catalog { return s.sh.state.Load().cat }
 // Profile reports the engine profile this session runs under.
 func (s *Session) Profile() profile.Profile { return s.sh.prof }
 
+// StorageStats exposes the engine-wide storage counters (shared by all
+// sessions). The wire protocol's stats frame reads them through this
+// accessor so a remote benchmark can assert storage behaviour.
+func (s *Session) StorageStats() *storage.Stats { return s.sh.storageStats }
+
 // Seed reseeds this session's random(); interpreted and compiled runs of
 // the same seed see the same stream.
 func (s *Session) Seed(seed uint64) { s.rng.Seed(seed) }
@@ -219,16 +224,28 @@ func (s *Session) execStmtPinned(stmt sqlast.Statement, params []sqltypes.Value)
 // results are discarded). Each statement acquires the shared lock on its
 // own, so a long script does not starve concurrent readers.
 func (s *Session) Exec(sql string) error {
+	_, err := s.Run(sql)
+	return err
+}
+
+// Run executes sql with one parse: a single statement returns its rows
+// (nil for DDL/DML), a semicolon-separated script runs statement by
+// statement with rows discarded. The wire server's simple-query
+// dispatch — no fallback path, so a failing statement never re-executes.
+func (s *Session) Run(sql string) (*Result, error) {
 	stmts, err := sqlparser.ParseScript(sql)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	if len(stmts) == 1 {
+		return s.execStmtPinned(stmts[0], nil)
 	}
 	for _, st := range stmts {
 		if _, err := s.execStmtPinned(st, nil); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 // Query runs a single SQL query and returns its rows.
@@ -303,10 +320,11 @@ func (s *Session) InstallCompiled(name string, params []plast.Param, ret sqltype
 // through the regular dispatch and replan via the shared cache, paying a
 // deparse of any inner query per execution.
 type Prepared struct {
-	s        *Session
-	stmt     sqlast.Statement
-	query    *sqlast.Query // non-nil for read-only statements
-	cacheKey string
+	s         *Session
+	stmt      sqlast.Statement
+	query     *sqlast.Query // non-nil for read-only statements
+	cacheKey  string
+	numParams int
 }
 
 // Prepare parses a single statement for repeated execution on this
@@ -316,13 +334,23 @@ func (s *Session) Prepare(sql string) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Prepared{s: s, stmt: stmt}
+	p := &Prepared{s: s, stmt: stmt, numParams: sqlast.StatementMaxParam(stmt)}
 	if sel, ok := stmt.(*sqlast.SelectStatement); ok {
 		p.query = sel.Query
 		p.cacheKey = sqlast.DeparseQuery(sel.Query)
 	}
 	return p, nil
 }
+
+// NumParams reports the highest $n parameter ordinal the statement
+// references — the execution-time argument count a remote caller must
+// supply. Available immediately after Prepare, before any planning.
+func (p *Prepared) NumParams() int { return p.numParams }
+
+// IsQuery reports whether the prepared statement is a row-returning query
+// (as opposed to DDL/DML) — result-shape metadata the wire layer sends in
+// its parse-complete frame.
+func (p *Prepared) IsQuery() bool { return p.query != nil }
 
 // Query executes the prepared statement.
 func (p *Prepared) Query(params ...sqltypes.Value) (*Result, error) {

@@ -1,0 +1,250 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"plsqlaway/internal/engine"
+	"plsqlaway/internal/wire"
+)
+
+// start returns a served listener plus a cleanup-registered shutdown.
+func start(t *testing.T) string {
+	t.Helper()
+	e := engine.New(engine.WithSeed(42))
+	srv := New(e, Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-done
+	})
+	return ln.Addr().String()
+}
+
+// rawConn dials and completes the handshake, returning buffered ends.
+func rawConn(t *testing.T, addr string) (net.Conn, *bufio.Reader, *bufio.Writer) {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	br, bw := bufio.NewReader(nc), bufio.NewWriter(nc)
+	if err := wire.WriteMessage(bw, &wire.Startup{Version: wire.ProtocolVersion, Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+	msg, err := wire.ReadMessage(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := msg.(*wire.Ready); !ok {
+		t.Fatalf("handshake answered %T", msg)
+	}
+	return nc, br, bw
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	addr := start(t)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	bw := bufio.NewWriter(nc)
+	wire.WriteMessage(bw, &wire.Startup{Version: wire.ProtocolVersion + 7, Seed: 1})
+	bw.Flush()
+	msg, err := wire.ReadMessage(bufio.NewReader(nc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := msg.(*wire.Error)
+	if !ok || !strings.Contains(e.Message, "version") {
+		t.Fatalf("got %#v", msg)
+	}
+}
+
+func TestMalformedPayloadAnsweredInOrder(t *testing.T) {
+	addr := start(t)
+	_, br, bw := rawConn(t, addr)
+
+	// Pipeline: good query, malformed execute payload, good query. The
+	// malformed frame must get an Error response in position 2 and the
+	// connection must keep serving.
+	wire.WriteMessage(bw, &wire.Query{SQL: "SELECT 1"})
+	wire.WriteFrame(bw, wire.TypeExecute, []byte{0xFF, 0xFF}) // lying length
+	wire.WriteMessage(bw, &wire.Query{SQL: "SELECT 2"})
+	bw.Flush()
+
+	read := func() wire.Message {
+		t.Helper()
+		m, err := wire.ReadMessage(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	// Response 1: RowDesc, RowBatch, Done.
+	if _, ok := read().(*wire.RowDesc); !ok {
+		t.Fatal("want row desc")
+	}
+	rb, ok := read().(*wire.RowBatch)
+	if !ok || rb.Rows[0][0].Int() != 1 {
+		t.Fatalf("want SELECT 1 rows, got %#v", rb)
+	}
+	if _, ok := read().(*wire.Done); !ok {
+		t.Fatal("want done")
+	}
+	// Response 2: the malformed frame's error.
+	em, ok := read().(*wire.Error)
+	if !ok || !strings.Contains(em.Message, "malformed") {
+		t.Fatalf("want malformed-frame error, got %#v", em)
+	}
+	// Response 3: still served.
+	if _, ok := read().(*wire.RowDesc); !ok {
+		t.Fatal("connection died after malformed frame")
+	}
+	rb, ok = read().(*wire.RowBatch)
+	if !ok || rb.Rows[0][0].Int() != 2 {
+		t.Fatalf("want SELECT 2 rows, got %#v", rb)
+	}
+	if _, ok := read().(*wire.Done); !ok {
+		t.Fatal("want done")
+	}
+}
+
+func TestServerRejectsServerFrames(t *testing.T) {
+	addr := start(t)
+	_, br, bw := rawConn(t, addr)
+	wire.WriteMessage(bw, &wire.Done{Tag: "OK"}) // a server→client frame
+	bw.Flush()
+	msg, err := wire.ReadMessage(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := msg.(*wire.Error); !ok || !strings.Contains(e.Message, "unexpected frame") {
+		t.Fatalf("got %#v", msg)
+	}
+}
+
+func TestUnknownStatementName(t *testing.T) {
+	addr := start(t)
+	_, br, bw := rawConn(t, addr)
+	wire.WriteMessage(bw, &wire.Execute{Name: "nope"})
+	bw.Flush()
+	msg, err := wire.ReadMessage(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := msg.(*wire.Error); !ok || !strings.Contains(e.Message, "unknown prepared statement") {
+		t.Fatalf("got %#v", msg)
+	}
+}
+
+func TestScriptVsQueryDispatch(t *testing.T) {
+	addr := start(t)
+	_, br, bw := rawConn(t, addr)
+
+	// A multi-statement script answers plain Done.
+	wire.WriteMessage(bw, &wire.Query{SQL: "CREATE TABLE t (x int); INSERT INTO t VALUES (1); INSERT INTO t VALUES (2)"})
+	bw.Flush()
+	msg, err := wire.ReadMessage(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := msg.(*wire.Done); !ok {
+		t.Fatalf("script answered %#v", msg)
+	}
+	// A failing script reports its error once.
+	wire.WriteMessage(bw, &wire.Query{SQL: "INSERT INTO t VALUES (3); INSERT INTO missing VALUES (4)"})
+	bw.Flush()
+	msg, err = wire.ReadMessage(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := msg.(*wire.Error); !ok || !strings.Contains(e.Message, "does not exist") {
+		t.Fatalf("got %#v", msg)
+	}
+	// The first statement of the failing script committed (scripts are
+	// per-statement, like the embedded Session.Exec).
+	wire.WriteMessage(bw, &wire.Query{SQL: "SELECT count(*) FROM t"})
+	bw.Flush()
+	desc, err := wire.ReadMessage(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := desc.(*wire.RowDesc); !ok {
+		t.Fatalf("want row desc, got %#v", desc)
+	}
+	rb, err := wire.ReadMessage(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rb.(*wire.RowBatch).Rows[0][0].Int(); got != 3 {
+		t.Fatalf("count = %d, want 3", got)
+	}
+}
+
+func TestLargeResultChunking(t *testing.T) {
+	e := engine.New(engine.WithSeed(42))
+	srv := New(e, Options{RowBatch: 16})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-done
+	}()
+
+	_, br, bw := rawConn(t, ln.Addr().String())
+	wire.WriteMessage(bw, &wire.Query{SQL: "WITH RECURSIVE g(i) AS (SELECT 1 UNION ALL SELECT i + 1 FROM g WHERE i < 100) SELECT i FROM g"})
+	bw.Flush()
+	desc, err := wire.ReadMessage(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := desc.(*wire.RowDesc); !ok {
+		t.Fatalf("want row desc, got %#v", desc)
+	}
+	batches, rows := 0, 0
+	for {
+		msg, err := wire.ReadMessage(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, okDone := msg.(*wire.Done); okDone {
+			break
+		}
+		rb, ok := msg.(*wire.RowBatch)
+		if !ok {
+			t.Fatalf("got %#v", msg)
+		}
+		if len(rb.Rows) > 16 {
+			t.Fatalf("batch of %d rows exceeds configured chunk 16", len(rb.Rows))
+		}
+		batches++
+		rows += len(rb.Rows)
+	}
+	if rows != 100 || batches < 7 {
+		t.Fatalf("rows=%d batches=%d, want 100 rows in ≥7 chunks", rows, batches)
+	}
+}

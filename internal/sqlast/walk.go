@@ -325,3 +325,37 @@ func walkFromItem(f FromItem, fn func(Expr) bool) {
 		walkExpr(x.On, fn)
 	}
 }
+
+// WalkStatement calls fn for every expression reachable from any statement
+// kind — queries descend as WalkQuery does; DML statements additionally
+// cover their WHERE predicates and SET expressions. DDL statements carry
+// no expressions.
+func WalkStatement(stmt Statement, fn func(Expr) bool) {
+	switch x := stmt.(type) {
+	case *SelectStatement:
+		WalkQuery(x.Query, fn)
+	case *Insert:
+		WalkQuery(x.Query, fn)
+	case *Update:
+		for _, sc := range x.Sets {
+			walkExpr(sc.Expr, fn)
+		}
+		walkExpr(x.Where, fn)
+	case *Delete:
+		walkExpr(x.Where, fn)
+	}
+}
+
+// StatementMaxParam returns the highest $n parameter ordinal referenced
+// anywhere in stmt (0 when the statement takes no parameters) — the
+// prepared-statement metadata the wire protocol reports to remote clients.
+func StatementMaxParam(stmt Statement) int {
+	max := 0
+	WalkStatement(stmt, func(e Expr) bool {
+		if p, ok := e.(*Param); ok && p.Ordinal > max {
+			max = p.Ordinal
+		}
+		return true
+	})
+	return max
+}

@@ -1,0 +1,54 @@
+package sqltypes
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatTable renders column names and value rows as the aligned text
+// table the shell and test goldens print. It is shared by the embedded
+// engine's Result and the remote client's Result so local and remote
+// sessions render identically.
+func FormatTable(cols []string, rows [][]Value) string {
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len([]rune(c))
+	}
+	cells := make([][]string, len(rows))
+	for ri, row := range rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			cells[ri][ci] = s
+			if ci < len(widths) && len([]rune(s)) > widths[ci] {
+				widths[ci] = len([]rune(s))
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(vals []string) {
+		for i, v := range vals {
+			if i > 0 {
+				sb.WriteString(" | ")
+			}
+			sb.WriteString(v)
+			for p := len([]rune(v)); p < widths[i] && i < len(vals)-1; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(cols)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("-+-")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range cells {
+		writeRow(row)
+	}
+	fmt.Fprintf(&sb, "(%d rows)\n", len(rows))
+	return sb.String()
+}

@@ -120,6 +120,7 @@ func (h *Heap) insertVersionLocked(t Tuple, xmin int64) int {
 func (h *Heap) Commit(dead []int, added []Tuple, ts int64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	atomic.AddInt64(&h.stats.Commits, 1)
 
 	var tip *snapEntry
 	for i := range h.cache {
@@ -332,6 +333,8 @@ func (h *Heap) Vacuum(oldest int64) int {
 	if reclaim == 0 {
 		return 0
 	}
+	atomic.AddInt64(&h.stats.Vacuums, 1)
+	atomic.AddInt64(&h.stats.VersionsReclaimed, int64(reclaim))
 
 	remap := make([]int, len(h.versions))
 	kept := make([]rowVersion, 0, len(h.versions)-reclaim)

@@ -19,6 +19,13 @@ type Stats struct {
 	PagesAlloc    int64
 	TuplesWritten int64
 	BytesWritten  int64
+
+	// MVCC commit/vacuum counters (Heap.Commit / Heap.Vacuum). Remote
+	// benchmarks read these over the wire to assert storage behaviour
+	// without process access.
+	Commits           int64 // heap transactions applied via Commit
+	Vacuums           int64 // vacuum passes that reclaimed at least one version
+	VersionsReclaimed int64 // dead row versions reclaimed by vacuum
 }
 
 // Reset zeroes the counters.
@@ -27,6 +34,35 @@ func (s *Stats) Reset() {
 	atomic.StoreInt64(&s.PagesAlloc, 0)
 	atomic.StoreInt64(&s.TuplesWritten, 0)
 	atomic.StoreInt64(&s.BytesWritten, 0)
+	atomic.StoreInt64(&s.Commits, 0)
+	atomic.StoreInt64(&s.Vacuums, 0)
+	atomic.StoreInt64(&s.VersionsReclaimed, 0)
+}
+
+// StatsSnapshot is a plain copy of the counters, read atomically — the
+// form the wire protocol's stats frame carries.
+type StatsSnapshot struct {
+	PageWrites        int64
+	PagesAlloc        int64
+	TuplesWritten     int64
+	BytesWritten      int64
+	Commits           int64
+	Vacuums           int64
+	VersionsReclaimed int64
+}
+
+// Snapshot reads every counter atomically (individually consistent; the
+// set is as consistent as a concurrent workload allows).
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		PageWrites:        atomic.LoadInt64(&s.PageWrites),
+		PagesAlloc:        atomic.LoadInt64(&s.PagesAlloc),
+		TuplesWritten:     atomic.LoadInt64(&s.TuplesWritten),
+		BytesWritten:      atomic.LoadInt64(&s.BytesWritten),
+		Commits:           atomic.LoadInt64(&s.Commits),
+		Vacuums:           atomic.LoadInt64(&s.Vacuums),
+		VersionsReclaimed: atomic.LoadInt64(&s.VersionsReclaimed),
+	}
 }
 
 // DefaultWorkMem mirrors PostgreSQL's default work_mem (4 MiB): tuple

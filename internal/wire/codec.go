@@ -1,0 +1,259 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"plsqlaway/internal/sqltypes"
+)
+
+// Encoder builds a frame payload. The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the accumulated payload.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Reset clears the payload, keeping capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+func (e *Encoder) Byte(b byte)     { e.buf = append(e.buf, b) }
+func (e *Encoder) Bool(b bool)     { e.buf = append(e.buf, boolByte(b)) }
+func (e *Encoder) Uint32(u uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, u) }
+func (e *Encoder) Uint64(u uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, u) }
+func (e *Encoder) Int64(i int64)   { e.Uint64(uint64(i)) }
+func (e *Encoder) Uvarint(u uint64) {
+	e.buf = binary.AppendUvarint(e.buf, u)
+}
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Value appends one kind-tagged value.
+func (e *Encoder) Value(v sqltypes.Value) {
+	e.Byte(byte(v.Kind()))
+	switch v.Kind() {
+	case sqltypes.KindNull:
+	case sqltypes.KindBool:
+		e.Bool(v.Bool())
+	case sqltypes.KindInt:
+		e.Int64(v.Int())
+	case sqltypes.KindFloat:
+		e.Uint64(math.Float64bits(v.Float()))
+	case sqltypes.KindText:
+		e.String(v.Text())
+	case sqltypes.KindCoord:
+		x, y := v.Coord()
+		e.Int64(x)
+		e.Int64(y)
+	case sqltypes.KindRow:
+		fields := v.Row()
+		e.Uvarint(uint64(len(fields)))
+		for _, f := range fields {
+			e.Value(f)
+		}
+	}
+}
+
+// Row appends one value row (column count + values).
+func (e *Encoder) Row(row []sqltypes.Value) {
+	e.Uvarint(uint64(len(row)))
+	for _, v := range row {
+		e.Value(v)
+	}
+}
+
+// Decoder consumes a frame payload with a sticky error: after the first
+// malformed read every subsequent read returns zero values, and Err()
+// reports what went wrong. Nothing here panics or allocates based on
+// unchecked attacker-controlled sizes.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder decodes the given payload.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err reports the first decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining reports undecoded payload bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Finish errors unless the payload was consumed exactly.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("wire: %d trailing bytes after message", len(d.buf)-d.off)
+	}
+	return nil
+}
+
+func (d *Decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.Remaining() < n {
+		d.fail("truncated payload: need %d bytes, have %d", n, d.Remaining())
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *Decoder) Byte() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *Decoder) Bool() bool { return d.Byte() != 0 }
+
+func (d *Decoder) Uint32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *Decoder) Uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *Decoder) Int64() int64 { return int64(d.Uint64()) }
+
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	u, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.off += n
+	return u
+}
+
+// Len decodes a uvarint length and validates it against the remaining
+// payload, so subsequent allocations are bounded by real bytes.
+func (d *Decoder) Len() int {
+	u := d.Uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if u > uint64(d.Remaining()) {
+		d.fail("length %d exceeds remaining payload %d", u, d.Remaining())
+		return 0
+	}
+	return int(u)
+}
+
+// capHint bounds the initial capacity of count-prefixed element slices.
+// The count itself is validated against remaining payload bytes, but
+// decoded elements are much larger than their one-byte wire minimum, so
+// trusting a huge claimed count as a capacity would let a short lying
+// frame allocate far more memory than it ships. Growth beyond the hint
+// is paid only as elements actually decode.
+func capHint(n int) int {
+	const max = 1024
+	if n > max {
+		return max
+	}
+	return n
+}
+
+func (d *Decoder) String() string {
+	n := d.Len()
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Value decodes one kind-tagged value.
+func (d *Decoder) Value() sqltypes.Value { return d.value(0) }
+
+func (d *Decoder) value(depth int) sqltypes.Value {
+	if depth > maxValueDepth {
+		d.fail("value nesting exceeds depth %d", maxValueDepth)
+		return sqltypes.Null
+	}
+	kind := sqltypes.Kind(d.Byte())
+	if d.err != nil {
+		return sqltypes.Null
+	}
+	switch kind {
+	case sqltypes.KindNull:
+		return sqltypes.Null
+	case sqltypes.KindBool:
+		return sqltypes.NewBool(d.Bool())
+	case sqltypes.KindInt:
+		return sqltypes.NewInt(d.Int64())
+	case sqltypes.KindFloat:
+		return sqltypes.NewFloat(math.Float64frombits(d.Uint64()))
+	case sqltypes.KindText:
+		return sqltypes.NewText(d.String())
+	case sqltypes.KindCoord:
+		x := d.Int64()
+		y := d.Int64()
+		return sqltypes.NewCoord(x, y)
+	case sqltypes.KindRow:
+		// Each field needs at least its kind byte, so the field count is
+		// bounded by the remaining payload.
+		n := d.Len()
+		fields := make([]sqltypes.Value, 0, capHint(n))
+		for i := 0; i < n; i++ {
+			fields = append(fields, d.value(depth+1))
+			if d.err != nil {
+				return sqltypes.Null
+			}
+		}
+		return sqltypes.NewRow(fields)
+	default:
+		d.fail("unknown value kind %d", kind)
+		return sqltypes.Null
+	}
+}
+
+// RowSlice decodes one value row.
+func (d *Decoder) RowSlice() []sqltypes.Value {
+	n := d.Len() // ≥1 byte per value, so bounded by remaining payload
+	row := make([]sqltypes.Value, 0, capHint(n))
+	for i := 0; i < n; i++ {
+		row = append(row, d.Value())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return row
+}

@@ -1,0 +1,58 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary byte streams to the frame reader and message
+// decoders. The invariants: no panic, no runaway allocation (lengths are
+// validated against real bytes before allocating), and any frame that
+// decodes successfully re-encodes to a frame that decodes to the same
+// message type (decode/encode/decode stability).
+func FuzzDecode(f *testing.F) {
+	for _, m := range sampleMessages() {
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// Hand-made malformed seeds: bad type, lying lengths, truncations.
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x00})
+	f.Add([]byte{'Q', 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{'E', 0x00, 0x00, 0x00, 0x02, 0x01, 's'})
+	f.Add([]byte{'d', 0x00, 0x00, 0x00, 0x03, 0xFF, 0xFF, 0x7F})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			typ, payload, err := ReadFrame(r)
+			if err != nil {
+				// Includes io.EOF at a clean frame boundary and
+				// io.ErrUnexpectedEOF mid-frame — both fine; the invariant
+				// is no panic. (Allocation bounds are structural: ReadFrame
+				// rejects over-limit lengths before allocating and the
+				// decoders clamp capacity hints via capHint.)
+				return
+			}
+			m, err := Decode(typ, payload)
+			if err != nil {
+				continue
+			}
+			// Re-encode and decode again: must succeed and keep the type.
+			var buf bytes.Buffer
+			if err := WriteMessage(&buf, m); err != nil {
+				t.Fatalf("re-encode of decoded %T failed: %v", m, err)
+			}
+			m2, err := ReadMessage(&buf)
+			if err != nil {
+				t.Fatalf("re-decode of %T failed: %v", m, err)
+			}
+			if m2.Type() != m.Type() {
+				t.Fatalf("re-decode changed type %c → %c", m.Type(), m2.Type())
+			}
+		}
+	})
+}

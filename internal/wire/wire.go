@@ -1,0 +1,124 @@
+// Package wire defines the length-prefixed binary protocol plsqld serves
+// and the client package speaks: a small PostgreSQL-inspired frame set
+// covering startup, simple queries, parse/bind/execute for prepared
+// statements, chunked row-batch responses (reusing the executor's
+// batch-at-a-time framing), storage-stats polling, and error reporting.
+//
+// Framing. Every message is one frame:
+//
+//	+------+----------------+-----------------+
+//	| type | length (u32BE) | payload (length)|
+//	+------+----------------+-----------------+
+//
+// The length counts payload bytes only. Frames above MaxFrameLen are
+// rejected before any allocation, and decoded element counts are
+// validated against the bytes actually present with clamped capacity
+// hints, so a hostile peer's allocations stay proportional to what it
+// ships. Payload decoding is bounds-checked throughout: malformed,
+// truncated, or trailing-garbage payloads yield errors, never panics
+// (FuzzDecode pins this).
+//
+// Conversation. The client opens with Startup and the server answers
+// Ready. After that, every client request produces an ordered response
+// sequence finished by exactly one terminator frame (Done, Error,
+// ParseOK, StatsReply). Requests are independent, so a client may
+// pipeline: send N requests before reading the first response; the
+// server reads ahead and answers strictly in request order.
+//
+//	Query        → [RowDesc RowBatch*] Done | Error
+//	Parse        → ParseOK | Error
+//	Execute      → [RowDesc RowBatch*] Done | Error
+//	CloseStmt    → Done | Error
+//	Seed         → Done
+//	StatsRequest → StatsReply
+//	Terminate    → (connection closes)
+//
+// Row values use a compact kind-tagged encoding mirroring
+// sqltypes.Value: NULL, bool, int64, float64 bits, length-prefixed text,
+// coord, and recursively encoded row values (depth-limited).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrFrameTooLarge marks a frame rejected by the MaxFrameLen size check
+// — before any bytes hit the stream, so the connection's framing stays
+// intact and callers can degrade (smaller batches) or report a
+// per-request error instead of tearing the connection down.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrameLen")
+
+// ProtocolVersion is bumped on incompatible frame-set changes; the server
+// rejects startups from a different major version.
+const ProtocolVersion uint32 = 1
+
+// MaxFrameLen bounds one frame's payload: larger announcements are a
+// protocol error and are rejected before allocation.
+const MaxFrameLen = 16 << 20
+
+// DefaultRowBatch is how many rows a server packs into one RowBatch frame
+// — the wire-level analogue of the executor's tuples-per-batch default.
+const DefaultRowBatch = 256
+
+// maxValueDepth bounds row-value nesting during decode.
+const maxValueDepth = 32
+
+// Frame type bytes. Client→server frames are uppercase, server→client
+// lowercase (except Ready/RowDesc, kept mnemonic).
+const (
+	// client → server
+	TypeStartup   byte = 'S'
+	TypeQuery     byte = 'Q'
+	TypeParse     byte = 'P'
+	TypeExecute   byte = 'E'
+	TypeCloseStmt byte = 'C'
+	TypeSeed      byte = 'V'
+	TypeStatsReq  byte = 'T'
+	TypeTerminate byte = 'X'
+
+	// server → client
+	TypeReady      byte = 'r'
+	TypeRowDesc    byte = 'c'
+	TypeRowBatch   byte = 'd'
+	TypeDone       byte = 'z'
+	TypeError      byte = 'e'
+	TypeParseOK    byte = 'p'
+	TypeStatsReply byte = 's'
+)
+
+// WriteFrame writes one frame (header + payload) to w. Oversized
+// payloads fail with ErrFrameTooLarge before any bytes are written.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > MaxFrameLen {
+		return fmt.Errorf("frame %c payload %d bytes exceeds limit %d: %w", typ, len(payload), MaxFrameLen, ErrFrameTooLarge)
+	}
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame from r, enforcing MaxFrameLen before
+// allocating the payload.
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFrameLen {
+		return 0, nil, fmt.Errorf("wire: frame %c announces %d bytes, limit is %d", hdr[0], n, MaxFrameLen)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: short frame %c: %w", hdr[0], err)
+	}
+	return hdr[0], payload, nil
+}

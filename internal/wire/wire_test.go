@@ -1,0 +1,191 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"plsqlaway/internal/sqltypes"
+	"plsqlaway/internal/storage"
+)
+
+// sampleMessages covers every frame type with representative payloads.
+func sampleMessages() []Message {
+	return []Message{
+		&Startup{Version: ProtocolVersion, Seed: 42},
+		&Query{SQL: "SELECT 1"},
+		&Query{SQL: ""},
+		&Parse{Name: "s1", SQL: "SELECT $1 + $2"},
+		&Execute{Name: "s1", Params: []sqltypes.Value{
+			sqltypes.NewInt(7),
+			sqltypes.NewFloat(math.Inf(-1)),
+			sqltypes.NewText("hello 'world'"),
+			sqltypes.NewBool(true),
+			sqltypes.Null,
+			sqltypes.NewCoord(-3, 9),
+			sqltypes.NewRow([]sqltypes.Value{
+				sqltypes.NewInt(1),
+				sqltypes.NewRow([]sqltypes.Value{sqltypes.NewText("nested")}),
+			}),
+		}},
+		&Execute{Name: "s2", Params: nil},
+		&CloseStmt{Name: "s1"},
+		&Seed{Seed: 99},
+		&StatsRequest{},
+		&Terminate{},
+		&Ready{Server: "plsqlaway test"},
+		&RowDesc{Cols: []string{"a", "b", "?column?"}},
+		&RowBatch{Rows: [][]sqltypes.Value{
+			{sqltypes.NewInt(1), sqltypes.NewText("x")},
+			{sqltypes.Null, sqltypes.NewFloat(math.NaN())},
+			{},
+		}},
+		&Done{Tag: "OK"},
+		&Error{Message: "engine: relation \"nope\" does not exist"},
+		&ParseOK{Name: "s1", NumParams: 2, IsQuery: true},
+		&StatsReply{Stats: storage.StatsSnapshot{
+			PageWrites: 1, PagesAlloc: 2, TuplesWritten: 3, BytesWritten: 4,
+			Commits: 5, Vacuums: 6, VersionsReclaimed: 7,
+		}},
+	}
+}
+
+// valuesIdentical compares decoded values NaN-safely.
+func valuesIdentical(a, b sqltypes.Value) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	if a.Kind() == sqltypes.KindFloat && math.IsNaN(a.Float()) && math.IsNaN(b.Float()) {
+		return true
+	}
+	return sqltypes.Identical(a, b) || (a.IsNull() && b.IsNull())
+}
+
+func messagesEqual(t *testing.T, want, got Message) bool {
+	t.Helper()
+	switch w := want.(type) {
+	case *Execute:
+		g := got.(*Execute)
+		if w.Name != g.Name || len(w.Params) != len(g.Params) {
+			return false
+		}
+		for i := range w.Params {
+			if !valuesIdentical(w.Params[i], g.Params[i]) {
+				return false
+			}
+		}
+		return true
+	case *RowBatch:
+		g := got.(*RowBatch)
+		if len(w.Rows) != len(g.Rows) {
+			return false
+		}
+		for i := range w.Rows {
+			if len(w.Rows[i]) != len(g.Rows[i]) {
+				return false
+			}
+			for j := range w.Rows[i] {
+				if !valuesIdentical(w.Rows[i][j], g.Rows[i][j]) {
+					return false
+				}
+			}
+		}
+		return true
+	default:
+		return reflect.DeepEqual(want, got)
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	for _, m := range sampleMessages() {
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatalf("%T: write: %v", m, err)
+		}
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("%T: read: %v", m, err)
+		}
+		if got.Type() != m.Type() {
+			t.Fatalf("%T: type %c → %c", m, m.Type(), got.Type())
+		}
+		if !messagesEqual(t, m, got) {
+			t.Errorf("%T: round trip mismatch:\nwant %#v\ngot  %#v", m, m, got)
+		}
+		if buf.Len() != 0 {
+			t.Errorf("%T: %d undrained bytes after read", m, buf.Len())
+		}
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	var hdr [5]byte
+	hdr[0] = TypeQuery
+	binary.BigEndian.PutUint32(hdr[1:], MaxFrameLen+1)
+	_, _, err := ReadFrame(bytes.NewReader(hdr[:]))
+	if err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("oversized frame not rejected: %v", err)
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Query{SQL: "SELECT 1"}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := ReadMessage(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d/%d bytes decoded without error", cut, len(full))
+		}
+	}
+}
+
+func TestTrailingGarbageRejected(t *testing.T) {
+	var e Encoder
+	(&Seed{Seed: 1}).encode(&e)
+	payload := append(e.Bytes(), 0xFF)
+	if _, err := Decode(TypeSeed, payload); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestLengthLieRejected(t *testing.T) {
+	// A string that claims more bytes than the payload holds must error,
+	// not allocate or panic.
+	var e Encoder
+	e.Uvarint(1 << 40)
+	if _, err := Decode(TypeQuery, e.Bytes()); err == nil {
+		t.Fatal("huge claimed string length accepted")
+	}
+}
+
+func TestDeepRowRejected(t *testing.T) {
+	// Nest rows past maxValueDepth: each level is kind-byte + count 1.
+	var e Encoder
+	e.String("s")
+	// Execute params: count 1, then nested rows.
+	e.Uvarint(1)
+	for i := 0; i < maxValueDepth+4; i++ {
+		e.Byte(byte(sqltypes.KindRow))
+		e.Uvarint(1)
+	}
+	e.Byte(byte(sqltypes.KindNull))
+	if _, err := Decode(TypeExecute, e.Bytes()); err == nil {
+		t.Fatal("over-deep row nesting accepted")
+	}
+}
+
+func TestWriteOversizedFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteFrame(&buf, TypeRowBatch, make([]byte, MaxFrameLen+1))
+	if err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("oversized write not rejected: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d bytes written despite size rejection — stream corrupted", buf.Len())
+	}
+}

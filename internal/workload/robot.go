@@ -4,9 +4,16 @@ import (
 	"fmt"
 	"strings"
 
-	"plsqlaway/internal/engine"
 	"plsqlaway/internal/exec"
 )
+
+// Execer is the SQL execution target the installers fill: an embedded
+// *engine.Engine, one of its Sessions, or a remote client connection —
+// anything that runs a SQL script. Schemas install identically
+// in-process and over the wire.
+type Execer interface {
+	Exec(sql string) error
+}
 
 // Direction vectors for the four robot moves.
 var directions = []struct {
@@ -137,7 +144,7 @@ func (wd *RobotWorld) solve() {
 }
 
 // Install creates and fills the cells/policy/actions tables of Figure 2.
-func (wd *RobotWorld) Install(e *engine.Engine) error {
+func (wd *RobotWorld) Install(e Execer) error {
 	if err := e.Exec(`
 		CREATE TABLE cells (loc coord, reward int);
 		CREATE TABLE policy (loc coord, action text);
@@ -173,7 +180,7 @@ func (wd *RobotWorld) Install(e *engine.Engine) error {
 // InstallFSM creates the fsm transition table for parse(): states
 // 0 = separator, 1 = number, 2 = word; classes 1 = digit, 2 = letter,
 // 3 = other.
-func InstallFSM(e *engine.Engine) error {
+func InstallFSM(e Execer) error {
 	if err := e.Exec("CREATE TABLE fsm (state int, class int, next int); CREATE INDEX fsm_state ON fsm (state)"); err != nil {
 		return err
 	}
@@ -208,7 +215,7 @@ func MakeParseInput(n int, seed uint64) string {
 // InstallGraph creates a deterministic sparse successor graph for
 // traverse(): each node gets 1–3 outgoing edges to higher-numbered nodes,
 // except multiples of 97, which are sinks.
-func InstallGraph(e *engine.Engine, nodes int, seed uint64) error {
+func InstallGraph(e Execer, nodes int, seed uint64) error {
 	if err := e.Exec("CREATE TABLE edges (src int, dst int); CREATE INDEX edges_src ON edges (src)"); err != nil {
 		return err
 	}
@@ -240,7 +247,7 @@ func InstallGraph(e *engine.Engine, nodes int, seed uint64) error {
 }
 
 // InstallFees creates the fee schedule for the balance() corpus entry.
-func InstallFees(e *engine.Engine) error {
+func InstallFees(e Execer) error {
 	if err := e.Exec("CREATE TABLE fees (lo float, hi float, amount float)"); err != nil {
 		return err
 	}

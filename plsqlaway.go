@@ -40,6 +40,7 @@ import (
 	"plsqlaway/internal/engine"
 	"plsqlaway/internal/plast"
 	"plsqlaway/internal/profile"
+	"plsqlaway/internal/server"
 	"plsqlaway/internal/sqlast"
 	"plsqlaway/internal/sqltypes"
 	"plsqlaway/internal/udf"
@@ -120,6 +121,20 @@ type Installer interface {
 func Install(target Installer, name string, res *Result) error {
 	return target.InstallCompiled(name, res.Params, res.ReturnType, res.Query)
 }
+
+// Server serves an engine over TCP with the wire protocol: one session
+// per connection, pipelined execution, graceful shutdown. The client
+// package (plsqlaway/client) is its counterpart; cmd/plsqld is the
+// stand-alone daemon.
+type Server = server.Server
+
+// ServerOptions tunes a Server (banner, pipelining queue depth, row
+// batch size, drain grace). The zero value is production-ready.
+type ServerOptions = server.Options
+
+// NewServer wraps e in a wire-protocol server. Call Serve/ListenAndServe
+// to accept connections and Shutdown to drain.
+func NewServer(e *Engine, opts ServerOptions) *Server { return server.New(e, opts) }
 
 // Int builds an integer value.
 func Int(i int64) Value { return sqltypes.NewInt(i) }
