@@ -84,6 +84,7 @@ type outcome struct {
 	res     *Result
 	parse   *wire.ParseOK
 	stats   *storage.StatsSnapshot
+	notices []string
 	doneTag string
 	err     error
 }
@@ -128,6 +129,12 @@ type Conn struct {
 	quitOnce sync.Once
 	errMu    sync.Mutex
 	err      error // first fatal connection error
+
+	// noticeMu guards the connection's pending NOTICE messages (RAISE
+	// NOTICE output and transaction-control warnings the server streamed
+	// ahead of response terminators).
+	noticeMu sync.Mutex
+	notices  []string
 
 	stmtMu  sync.Mutex
 	stmtSeq uint64
@@ -209,8 +216,14 @@ func (c *Conn) fatalErr() error {
 var ErrClosed = fmt.Errorf("client: connection closed")
 
 // Close terminates the connection. In-flight requests fail with
-// ErrClosed (wait for them first for a graceful end).
+// ErrClosed (wait for them first for a graceful end). Closing an
+// already-closed connection returns ErrClosed.
 func (c *Conn) Close() error {
+	select {
+	case <-c.quit:
+		return ErrClosed
+	default:
+	}
 	c.writeMu.Lock()
 	wire.WriteMessage(c.bw, &wire.Terminate{})
 	c.bw.Flush()
@@ -218,6 +231,37 @@ func (c *Conn) Close() error {
 	c.fail(ErrClosed)
 	return nil
 }
+
+// maxBufferedNotices bounds the per-connection notice buffer: a caller
+// that never drains loses the oldest messages, not memory.
+const maxBufferedNotices = 1024
+
+// Notices drains the NOTICE messages received so far (RAISE NOTICE
+// output and transaction-control warnings). Notices arrive attached to
+// responses, so after a synchronous Query/Exec the statement's notices
+// are already here; with concurrent callers pipelining on one
+// connection, their notices interleave in response order. At most the
+// newest maxBufferedNotices are retained between drains.
+func (c *Conn) Notices() []string {
+	c.noticeMu.Lock()
+	n := c.notices
+	c.notices = nil
+	c.noticeMu.Unlock()
+	return n
+}
+
+// Begin opens a transaction block on this connection's server session.
+// The block spans statements until Commit or Rollback; concurrent
+// callers sharing this connection would land inside it, so either
+// dedicate the connection to the transaction or use Pool.Begin, which
+// pins one for you.
+func (c *Conn) Begin() error { return c.Exec("BEGIN") }
+
+// Commit commits the open transaction block.
+func (c *Conn) Commit() error { return c.Exec("COMMIT") }
+
+// Rollback rolls back the open transaction block.
+func (c *Conn) Rollback() error { return c.Exec("ROLLBACK") }
 
 // readLoop matches response sequences to pending requests in FIFO order.
 func (c *Conn) readLoop(br *bufio.Reader) {
@@ -230,6 +274,16 @@ func (c *Conn) readLoop(br *bufio.Reader) {
 			return
 		}
 		o := c.readResponse(br)
+		if len(o.notices) > 0 {
+			c.noticeMu.Lock()
+			c.notices = append(c.notices, o.notices...)
+			// Notices are advisory: callers that never drain must not
+			// leak memory, so the buffer keeps only the newest.
+			if n := len(c.notices); n > maxBufferedNotices {
+				c.notices = append(c.notices[:0], c.notices[n-maxBufferedNotices:]...)
+			}
+			c.noticeMu.Unlock()
+		}
 		release := p.release
 		p.ch <- o
 		if release {
@@ -252,9 +306,10 @@ func (e *connError) Error() string { return e.err.Error() }
 func (e *connError) Unwrap() error { return e.err }
 
 // readResponse consumes one response sequence: zero or more data frames
-// ended by a terminator.
+// (rows, notices) ended by a terminator.
 func (c *Conn) readResponse(br *bufio.Reader) outcome {
 	var res *Result
+	var notices []string
 	for {
 		msg, err := wire.ReadMessage(br)
 		if err != nil {
@@ -268,10 +323,12 @@ func (c *Conn) readResponse(br *bufio.Reader) outcome {
 				return outcome{err: &connError{fmt.Errorf("client: row batch before row description")}}
 			}
 			res.Rows = append(res.Rows, m.Rows...)
+		case *wire.Notice:
+			notices = append(notices, m.Message)
 		case *wire.Done:
-			return outcome{res: res, doneTag: m.Tag}
+			return outcome{res: res, notices: notices, doneTag: m.Tag}
 		case *wire.Error:
-			return outcome{err: fmt.Errorf("server: %s", m.Message)}
+			return outcome{notices: notices, err: fmt.Errorf("server: %s", m.Message)}
 		case *wire.ParseOK:
 			return outcome{parse: m}
 		case *wire.StatsReply:

@@ -385,3 +385,323 @@ func TestShutdownDrainsInFlight(t *testing.T) {
 	}
 	c.Close()
 }
+
+// TestTxnOverWire drives a transaction block through the wire protocol:
+// read-your-own-writes inside the block, invisibility to a second
+// connection, atomic publication at COMMIT, and a clean ROLLBACK.
+func TestTxnOverWire(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	other, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+
+	if err := c.Exec("CREATE TABLE kv (k int, v int); INSERT INTO kv VALUES (1, 10)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Exec("UPDATE kv SET v = 99 WHERE k = 1; INSERT INTO kv VALUES (2, 20)"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.QueryValue("SELECT sum(v) FROM kv")
+	if err != nil || v.Int() != 119 {
+		t.Fatalf("inside txn sum = %v (%v), want 119", v, err)
+	}
+	v, err = other.QueryValue("SELECT sum(v) FROM kv")
+	if err != nil || v.Int() != 10 {
+		t.Fatalf("uncommitted txn leaked: other conn sum = %v (%v), want 10", v, err)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	v, err = other.QueryValue("SELECT sum(v) FROM kv")
+	if err != nil || v.Int() != 119 {
+		t.Fatalf("after commit sum = %v (%v), want 119", v, err)
+	}
+
+	// ROLLBACK leaves no trace.
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Exec("DELETE FROM kv"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	v, err = other.QueryValue("SELECT sum(v) FROM kv")
+	if err != nil || v.Int() != 119 {
+		t.Fatalf("after rollback sum = %v (%v), want 119", v, err)
+	}
+}
+
+// TestTxnErrorAbortsUntilRollback: a failed statement mid-block leaves
+// the server session aborted; further statements fail Postgres-style
+// until ROLLBACK, and the connection stays usable throughout.
+func TestTxnErrorAbortsUntilRollback(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Exec("CREATE TABLE kv (k int, v int)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Exec("INSERT INTO kv VALUES (1, 10)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Exec("SELECT * FROM missing"); err == nil {
+		t.Fatal("statement on missing table succeeded")
+	}
+	if err := c.Exec("SELECT 1"); err == nil || !strings.Contains(err.Error(), "aborted") {
+		t.Fatalf("aborted block accepted a statement: %v", err)
+	}
+	if err := c.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.QueryValue("SELECT count(*) FROM kv")
+	if err != nil || v.Int() != 0 {
+		t.Fatalf("aborted block leaked rows: count = %v (%v)", v, err)
+	}
+}
+
+// TestNoticesTravelTheWire: RAISE NOTICE output and transaction-control
+// warnings stream back attached to responses.
+func TestNoticesTravelTheWire(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Exec(`CREATE FUNCTION noisy(n int) RETURNS int AS $$
+		BEGIN
+		  RAISE NOTICE 'n is %', n;
+		  RETURN n;
+		END;
+		$$ LANGUAGE plpgsql`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query("SELECT noisy(7)"); err != nil {
+		t.Fatal(err)
+	}
+	n := c.Notices()
+	if len(n) != 1 || !strings.Contains(n[0], "n is 7") {
+		t.Fatalf("notices = %v, want [... n is 7]", n)
+	}
+	if n := c.Notices(); len(n) != 0 {
+		t.Fatalf("notices not drained: %v", n)
+	}
+	// Transaction-control warnings use the same channel.
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	n = c.Notices()
+	if len(n) != 1 || !strings.Contains(n[0], "no transaction") {
+		t.Fatalf("COMMIT warning = %v", n)
+	}
+}
+
+// TestDisconnectRollsBackTxn: a client that vanishes mid-block must not
+// wedge the engine — the server rolls the block back (releasing the
+// commit lock) when the connection dies.
+func TestDisconnectRollsBackTxn(t *testing.T) {
+	addr, _ := startServer(t)
+	setup, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer setup.Close()
+	if err := setup.Exec("CREATE TABLE kv (k int, v int)"); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Exec("INSERT INTO kv VALUES (1, 10)"); err != nil {
+		t.Fatal(err)
+	}
+	c.Close() // abandon the block — takes the commit lock with it
+
+	// If the server leaked the block, this write would deadlock (the test
+	// binary's timeout catches it) and the count would be 2.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := setup.Exec("INSERT INTO kv VALUES (2, 20)"); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("write after abandoned txn: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	v, err := setup.QueryValue("SELECT count(*) FROM kv")
+	if err != nil || v.Int() != 1 {
+		t.Fatalf("count = %v (%v), want 1 (abandoned insert rolled back)", v, err)
+	}
+}
+
+// TestPoolBeginPinsConn: pool transactions run isolated from the shared
+// round-robin connections — concurrent autocommit traffic never lands
+// inside an open block.
+func TestPoolBeginPinsConn(t *testing.T) {
+	addr, _ := startServer(t)
+	p, err := client.NewPool(addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Exec("CREATE TABLE kv (k int, v int)"); err != nil {
+		t.Fatal(err)
+	}
+
+	tx, err := p.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Exec("INSERT INTO kv VALUES (1, 10)"); err != nil {
+		t.Fatal(err)
+	}
+	// Autocommit traffic through the pool proceeds while the block is
+	// open and must not see (or join) it.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := p.QueryValue("SELECT count(*) FROM kv")
+			if err != nil || v.Int() != 0 {
+				t.Errorf("pool caller %d inside foreign txn: count = %v (%v)", i, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	v, err := tx.QueryValue("SELECT count(*) FROM kv")
+	if err != nil || v.Int() != 1 {
+		t.Fatalf("tx lost its own write: %v (%v)", v, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := p.QueryValue("SELECT count(*) FROM kv"); err != nil || v.Int() != 1 {
+		t.Fatalf("after commit count = %v (%v)", v, err)
+	}
+	// Finished transactions refuse further use.
+	if err := tx.Exec("SELECT 1"); err != client.ErrTxDone {
+		t.Fatalf("tx after commit: %v, want ErrTxDone", err)
+	}
+	if err := tx.Commit(); err != client.ErrTxDone {
+		t.Fatalf("double commit: %v, want ErrTxDone", err)
+	}
+	// A second Begin reuses the released pinned connection.
+	tx2, err := p.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClosedPoolAndConn: operations on a closed pool (and double-close
+// of pool or connection) report ErrClosed instead of hanging or
+// panicking.
+func TestClosedPoolAndConn(t *testing.T) {
+	addr, _ := startServer(t)
+	p, err := client.NewPool(addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != client.ErrClosed {
+		t.Errorf("double pool close: %v, want ErrClosed", err)
+	}
+	if err := p.Exec("SELECT 1"); err != client.ErrClosed {
+		t.Errorf("Exec on closed pool: %v, want ErrClosed", err)
+	}
+	if _, err := p.Query("SELECT 1"); err != client.ErrClosed {
+		t.Errorf("Query on closed pool: %v, want ErrClosed", err)
+	}
+	if _, err := p.QueryValue("SELECT 1"); err != client.ErrClosed {
+		t.Errorf("QueryValue on closed pool: %v, want ErrClosed", err)
+	}
+	if _, err := p.Begin(); err != client.ErrClosed {
+		t.Errorf("Begin on closed pool: %v, want ErrClosed", err)
+	}
+	// Conn() on a closed pool stays panic-free; the connection it returns
+	// is closed and reports ErrClosed on use.
+	if err := p.Conn().Exec("SELECT 1"); err != client.ErrClosed {
+		t.Errorf("conn from closed pool: %v, want ErrClosed", err)
+	}
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != client.ErrClosed {
+		t.Errorf("double conn close: %v, want ErrClosed", err)
+	}
+	if err := c.Exec("SELECT 1"); err != client.ErrClosed {
+		t.Errorf("Exec on closed conn: %v, want ErrClosed", err)
+	}
+}
+
+// TestTxNoticesDoNotLeakAcrossTx: a recycled pinned connection must not
+// deliver the previous transaction's undrained notices to the next one.
+func TestTxNoticesDoNotLeakAcrossTx(t *testing.T) {
+	addr, _ := startServer(t)
+	p, err := client.NewPool(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Exec(`CREATE FUNCTION noisy(n int) RETURNS int AS $$
+		BEGIN
+		  RAISE NOTICE 'n is %', n;
+		  RETURN n;
+		END;
+		$$ LANGUAGE plpgsql`); err != nil {
+		t.Fatal(err)
+	}
+	tx1, err := p.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx1.Query("SELECT noisy(1)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Commit(); err != nil { // notices never drained
+		t.Fatal(err)
+	}
+	tx2, err := p.Begin() // reuses the pinned connection
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx2.Rollback()
+	if n := tx2.Notices(); len(n) != 0 {
+		t.Errorf("stale notices leaked into new tx: %v", n)
+	}
+}

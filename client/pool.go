@@ -2,16 +2,35 @@ package client
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
+
+// ErrTxDone is returned by Tx methods after Commit or Rollback finished
+// the transaction.
+var ErrTxDone = fmt.Errorf("client: transaction already finished")
 
 // Pool is a fixed-size, concurrent-safe pool of connections to one
 // server. Requests are spread round-robin; each connection additionally
 // pipelines concurrent callers, so a Pool of N connections sustains far
 // more than N statements in flight.
+//
+// Transactions need statement affinity — every statement of a block must
+// run on the one server session holding the block — and exclusivity, so
+// Begin hands out a *pinned* connection (outside the shared round-robin
+// set) wrapped in a Tx; it returns to a free list when the transaction
+// ends. Sending BEGIN through Exec/Query instead would open a block on a
+// shared connection where other callers' statements land inside it.
 type Pool struct {
+	addr string
+	opts []Option
+
 	conns []*Conn
 	next  atomic.Uint64
+
+	mu     sync.Mutex
+	txIdle []*Conn // pinned-connection free list for Begin
+	closed bool
 }
 
 // NewPool dials size connections to addr. Every connection gets the same
@@ -20,7 +39,7 @@ func NewPool(addr string, size int, opts ...Option) (*Pool, error) {
 	if size < 1 {
 		return nil, fmt.Errorf("client: pool size %d, want ≥ 1", size)
 	}
-	p := &Pool{conns: make([]*Conn, size)}
+	p := &Pool{addr: addr, opts: opts, conns: make([]*Conn, size)}
 	for i := range p.conns {
 		c, err := Dial(addr, opts...)
 		if err != nil {
@@ -37,8 +56,17 @@ func NewPool(addr string, size int, opts ...Option) (*Pool, error) {
 // Size reports the number of pooled connections.
 func (p *Pool) Size() int { return len(p.conns) }
 
+// isClosed reports whether Close ran.
+func (p *Pool) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
 // Conn returns the next connection round-robin. Callers may hold onto it
-// (e.g. to Prepare once per connection); the pool still owns it.
+// (e.g. to Prepare once per connection); the pool still owns it. After
+// Close the returned connection is already closed — every operation on
+// it reports ErrClosed.
 func (p *Pool) Conn() *Conn {
 	return p.conns[p.next.Add(1)%uint64(len(p.conns))]
 }
@@ -47,25 +75,172 @@ func (p *Pool) Conn() *Conn {
 func (p *Pool) At(i int) *Conn { return p.conns[i] }
 
 // Exec runs a statement on the next connection.
-func (p *Pool) Exec(sql string) error { return p.Conn().Exec(sql) }
+func (p *Pool) Exec(sql string) error {
+	if p.isClosed() {
+		return ErrClosed
+	}
+	return p.Conn().Exec(sql)
+}
 
 // Query runs a query on the next connection.
 func (p *Pool) Query(sql string, params ...Value) (*Result, error) {
+	if p.isClosed() {
+		return nil, ErrClosed
+	}
 	return p.Conn().Query(sql, params...)
 }
 
 // QueryValue runs a single-value query on the next connection.
 func (p *Pool) QueryValue(sql string, params ...Value) (Value, error) {
+	if p.isClosed() {
+		return Null, ErrClosed
+	}
 	return p.Conn().QueryValue(sql, params...)
 }
 
-// Close closes every pooled connection.
+// Begin starts a transaction on a connection pinned for its duration:
+// popped from the free list or freshly dialed, never shared with other
+// callers, and returned when the Tx ends. The BEGIN itself travels
+// before Begin returns, so the block's snapshot is pinned server-side.
+func (p *Pool) Begin() (*Tx, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	var c *Conn
+	if n := len(p.txIdle); n > 0 {
+		c = p.txIdle[n-1]
+		p.txIdle = p.txIdle[:n-1]
+	}
+	p.mu.Unlock()
+	if c == nil {
+		var err error
+		if c, err = Dial(p.addr, p.opts...); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Begin(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return &Tx{p: p, c: c}, nil
+}
+
+// Close closes every pooled connection (including idle pinned ones).
+// Later pool operations report ErrClosed; closing twice does too.
 func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.closed = true
+	idle := p.txIdle
+	p.txIdle = nil
+	p.mu.Unlock()
+
 	var first error
-	for _, c := range p.conns {
+	for _, c := range append(p.conns, idle...) {
 		if err := c.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
 	return first
+}
+
+// Tx is one transaction block on a connection pinned from a Pool. It is
+// not safe for concurrent use (the server session runs its statements in
+// order against one block). Finish with Commit or Rollback; afterwards
+// every method reports ErrTxDone.
+type Tx struct {
+	p    *Pool
+	c    *Conn
+	mu   sync.Mutex
+	done bool
+}
+
+// conn returns the pinned connection, or nil after the Tx finished.
+func (tx *Tx) conn() *Conn {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return nil
+	}
+	return tx.c
+}
+
+// Exec runs a statement inside the transaction.
+func (tx *Tx) Exec(sql string) error {
+	c := tx.conn()
+	if c == nil {
+		return ErrTxDone
+	}
+	return c.Exec(sql)
+}
+
+// Query runs a query inside the transaction.
+func (tx *Tx) Query(sql string, params ...Value) (*Result, error) {
+	c := tx.conn()
+	if c == nil {
+		return nil, ErrTxDone
+	}
+	return c.Query(sql, params...)
+}
+
+// QueryValue runs a single-value query inside the transaction.
+func (tx *Tx) QueryValue(sql string, params ...Value) (Value, error) {
+	c := tx.conn()
+	if c == nil {
+		return Null, ErrTxDone
+	}
+	return c.QueryValue(sql, params...)
+}
+
+// Notices drains NOTICE messages received on the pinned connection.
+func (tx *Tx) Notices() []string {
+	c := tx.conn()
+	if c == nil {
+		return nil
+	}
+	return c.Notices()
+}
+
+// Commit commits the block and releases the pinned connection.
+func (tx *Tx) Commit() error { return tx.finish("COMMIT") }
+
+// Rollback rolls the block back and releases the pinned connection.
+func (tx *Tx) Rollback() error { return tx.finish("ROLLBACK") }
+
+func (tx *Tx) finish(stmt string) error {
+	tx.mu.Lock()
+	if tx.done {
+		tx.mu.Unlock()
+		return ErrTxDone
+	}
+	tx.done = true
+	c := tx.c
+	tx.c = nil
+	tx.mu.Unlock()
+
+	err := c.Exec(stmt)
+	if err != nil {
+		// The connection's server session may still hold the block (and
+		// with it the engine's commit lock) — don't recycle it, drop it:
+		// the server rolls the block back on disconnect.
+		c.Close()
+		return err
+	}
+	c.Notices() // drop undrained notices: they must not leak into the next Tx
+	tx.p.mu.Lock()
+	// Keep at most Size idle pinned connections; beyond that (or after
+	// Close) the connection is dropped.
+	if !tx.p.closed && len(tx.p.txIdle) < len(tx.p.conns) {
+		tx.p.txIdle = append(tx.p.txIdle, c)
+		tx.p.mu.Unlock()
+		return nil
+	}
+	tx.p.mu.Unlock()
+	c.Close()
+	return nil
 }

@@ -167,9 +167,7 @@ func (b *localBackend) Run(sql string) (string, error) {
 }
 
 func (b *localBackend) Notices() []string {
-	n := b.s.Counters().Notices
-	b.s.Counters().Notices = nil
-	return n
+	return b.s.DrainNotices()
 }
 
 func (b *localBackend) Meta(cmd string) bool {
@@ -242,8 +240,9 @@ func (b *remoteBackend) Run(sql string) (string, error) {
 	return res.Format(), nil
 }
 
-// Notices do not travel the wire (yet); the remote shell has none.
-func (b *remoteBackend) Notices() []string { return nil }
+// Notices drains the NOTICE messages the server streamed with the last
+// responses (RAISE NOTICE output, transaction-control warnings).
+func (b *remoteBackend) Notices() []string { return b.c.Notices() }
 
 func (b *remoteBackend) Meta(cmd string) bool {
 	fields := strings.Fields(cmd)

@@ -9,6 +9,7 @@ import (
 	"maps"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"plsqlaway/internal/plast"
 	"plsqlaway/internal/sqlast"
@@ -92,11 +93,20 @@ type Catalog struct {
 	tables map[string]*Table
 	funcs  map[string]*Function
 	stats  *storage.Stats
-	// Version increments on every DDL change; the plan cache uses it to
-	// invalidate stale plans. DML does not bump it: row changes are
+	// Version changes on every DDL change; the plan cache uses it to
+	// invalidate stale plans. DML does not change it: row changes are
 	// versioned by the storage layer's commit timestamps, not the schema.
+	// Versions are globally unique (one atomic counter hands them out),
+	// never reused: a plan built against a transaction's private clone
+	// that later rolls back can never masquerade as valid for a published
+	// catalog that happens to have mutated the same number of times.
 	Version int64
 }
+
+// versionCounter hands out globally unique catalog versions.
+var versionCounter atomic.Int64
+
+func nextVersion() int64 { return versionCounter.Add(1) }
 
 // Clone returns a shallow copy for copy-on-write DDL: the table and
 // function maps are copied, the objects themselves are shared. DDL on the
@@ -138,7 +148,7 @@ func (c *Catalog) CreateTable(name string, cols []Column, ifNotExists bool) (*Ta
 	}
 	t := &Table{Name: key, Cols: cols, Heap: storage.NewHeap(c.stats)}
 	c.tables[key] = t
-	c.Version++
+	c.Version = nextVersion()
 	return t, nil
 }
 
@@ -152,7 +162,7 @@ func (c *Catalog) DropTable(name string, ifExists bool) error {
 		return fmt.Errorf("catalog: table %q does not exist", name)
 	}
 	delete(c.tables, key)
-	c.Version++
+	c.Version = nextVersion()
 	return nil
 }
 
@@ -179,7 +189,7 @@ func (c *Catalog) CreateFunction(f *Function, orReplace bool) error {
 		return fmt.Errorf("catalog: function %q already exists", f.Name)
 	}
 	c.funcs[key] = f
-	c.Version++
+	c.Version = nextVersion()
 	return nil
 }
 
@@ -193,7 +203,7 @@ func (c *Catalog) DropFunction(name string, ifExists bool) error {
 		return fmt.Errorf("catalog: function %q does not exist", name)
 	}
 	delete(c.funcs, key)
-	c.Version++
+	c.Version = nextVersion()
 	return nil
 }
 

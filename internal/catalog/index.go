@@ -66,7 +66,7 @@ func (c *Catalog) DeclareIndex(table, col string) error {
 	}
 	nt.indexes.byCol[ci] = &Index{Col: ci}
 	c.tables[t.Name] = nt
-	c.Version++
+	c.Version = nextVersion()
 	return nil
 }
 

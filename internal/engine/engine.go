@@ -22,7 +22,12 @@
 //     UDF call depth, prepared statements — and must be used from one
 //     goroutine at a time;
 //   - superseded row versions older than the oldest pinned snapshot are
-//     reclaimed by an opportunistic per-heap vacuum after commits.
+//     reclaimed by an opportunistic per-heap vacuum after commits;
+//   - BEGIN/COMMIT/ROLLBACK generalize the per-statement protocol to
+//     multi-statement transaction blocks: one snapshot pinned at BEGIN,
+//     per-heap overlay buffers that the block's own reads see, the
+//     commit lock held from the first write to the block's end, and one
+//     atomic publication at COMMIT (see txn.go).
 //
 // Engine.NewSession hands out sessions; the Engine's own query methods
 // remain as a compatibility facade that serializes callers onto a default

@@ -45,6 +45,10 @@ type Session struct {
 	writeTS    int64            // commit timestamp being stamped; 0 outside writer statements
 	pendingCat *catalog.Catalog // COW catalog clone, created on first DDL mutation
 	touched    *storage.Heap    // heap the in-flight writer statement committed to
+
+	// txn is the session's open transaction block (BEGIN…COMMIT/ROLLBACK);
+	// zero outside one. See txn.go for the protocol.
+	txn txnState
 }
 
 // snapshot is the consistent (catalog, storage) view one statement
@@ -77,6 +81,13 @@ func (s *Session) newCtx() *exec.Ctx {
 	ctx.CallFn = s.callFunction
 	if s.pinDepth > 0 {
 		ctx.TS = s.cur.ts // read at the statement's pinned storage snapshot
+	}
+	if s.txn.active && len(s.txn.writes) > 0 {
+		// Inside a transaction with buffered writes: scans overlay them on
+		// the pinned snapshot so the transaction reads its own
+		// uncommitted rows.
+		writes := s.txn.writes
+		ctx.TxnOverlay = func(h *storage.Heap) *storage.HeapOverlay { return writes[h] }
 	}
 	if s.batchSize > 0 {
 		ctx.BatchSize = s.batchSize
@@ -129,10 +140,18 @@ func isReadOnly(stmt sqlast.Statement) bool {
 // and returns the matching release. Nested scopes (a DML statement's
 // embedded query, a UDF call inside a query) share the outer pin, so a
 // whole statement — including everything it evaluates — sees one
-// consistent (catalog, rows) pair.
+// consistent (catalog, rows) pair. Inside a transaction block the scope
+// reuses the snapshot pinned at BEGIN (and the transaction's private
+// catalog), so every statement in the block reads the same database
+// state plus the block's own buffered writes.
 func (s *Session) beginRead() func() {
 	s.pinDepth++
 	if s.pinDepth > 1 {
+		return func() { s.pinDepth-- }
+	}
+	if s.txn.active {
+		s.cur = snapshot{cat: s.txn.cat, ts: s.txn.st.ts}
+		s.interp.Cat = s.txn.cat
 		return func() { s.pinDepth-- }
 	}
 	st := s.sh.pinState()
@@ -141,6 +160,9 @@ func (s *Session) beginRead() func() {
 	return func() {
 		s.pinDepth--
 		s.sh.pins.unpin(st.ts)
+		// Symmetric restore: between statements the interpreter binds
+		// against the published catalog, not a stale statement pin.
+		s.interp.Cat = s.sh.state.Load().cat
 	}
 }
 
@@ -159,6 +181,11 @@ func (s *Session) commitWrap(fn func() (*Result, error)) (*Result, error) {
 	if s.pinDepth > 0 {
 		return nil, fmt.Errorf("engine: DML/DDL inside a query is not supported")
 	}
+	if s.txn.active {
+		// Inside a transaction block the statement buffers under the
+		// block's snapshot and lock instead of committing on its own.
+		return s.txnWrite(fn)
+	}
 	s.sh.commitMu.Lock()
 	defer s.sh.commitMu.Unlock()
 	st := s.sh.pinState() // the tip; stable while the commit lock is held
@@ -174,6 +201,11 @@ func (s *Session) commitWrap(fn func() (*Result, error)) (*Result, error) {
 		s.pendingCat = nil
 		s.touched = nil
 		s.sh.pins.unpin(st.ts)
+		// Symmetric restore (mirrors beginRead's release): after the
+		// commit the interpreter must bind against the published catalog
+		// — which now includes this statement's DDL — not the stale
+		// commit-time pin.
+		s.interp.Cat = s.sh.state.Load().cat
 	}()
 
 	res, err := fn()
@@ -189,20 +221,26 @@ func (s *Session) commitWrap(fn func() (*Result, error)) (*Result, error) {
 	}
 	s.sh.state.Store(&dbState{cat: cat, ts: s.writeTS})
 	if h := s.touched; h != nil {
-		if dead := h.DeadCount(); dead >= vacuumMinDead && dead*4 >= h.Len() {
-			// The horizon includes our own still-held pin, so versions this
-			// very commit superseded are reclaimed by a later one — a lag
-			// of one commit, in exchange for never racing our own reads.
-			h.Vacuum(s.sh.pins.oldest(s.writeTS))
-		}
+		s.maybeVacuum(h, s.writeTS)
 	}
 	return res, nil
 }
 
-// mutableCat returns the writer statement's private catalog clone,
-// creating it on first use. DDL mutates the clone; the commit publishes
-// it.
+// mutableCat returns the writer's private catalog clone, creating it on
+// first use. DDL mutates the clone; the commit publishes it. Inside a
+// transaction block the clone belongs to the block (created at its first
+// DDL, published at COMMIT, discarded at ROLLBACK) and is immediately
+// visible to the block's own later statements.
 func (s *Session) mutableCat() *catalog.Catalog {
+	if s.txn.active {
+		if !s.txn.ddl {
+			s.txn.cat = s.txn.cat.Clone()
+			s.txn.ddl = true
+		}
+		s.cur.cat = s.txn.cat
+		s.interp.Cat = s.txn.cat
+		return s.txn.cat
+	}
 	if s.pendingCat == nil {
 		s.pendingCat = s.cur.cat.Clone()
 	}
@@ -210,12 +248,23 @@ func (s *Session) mutableCat() *catalog.Catalog {
 }
 
 // execStmtPinned runs one statement under the discipline its class
-// prescribes: queries on a pinned snapshot, mutations as a commit.
+// prescribes: queries on a pinned snapshot, mutations as a commit (or,
+// inside a transaction block, buffered under the block's snapshot).
+// BEGIN/COMMIT/ROLLBACK switch the session's transaction mode and are
+// legal even on an aborted block.
 func (s *Session) execStmtPinned(stmt sqlast.Statement, params []sqltypes.Value) (*Result, error) {
+	if tx, ok := stmt.(*sqlast.Transaction); ok {
+		return nil, s.execTxnControl(tx)
+	}
+	if err := s.txnGate(); err != nil {
+		return nil, err
+	}
 	if isReadOnly(stmt) {
 		end := s.beginRead()
 		defer end()
-		return s.execStmt(stmt, params)
+		res, err := s.execStmt(stmt, params)
+		s.noteStmtErr(err)
+		return res, err
 	}
 	return s.commitWrap(func() (*Result, error) { return s.execStmt(stmt, params) })
 }
@@ -276,9 +325,14 @@ func singleValue(res *Result) (sqltypes.Value, error) {
 // QueryPlanned executes an already-parsed query (used by the compiler
 // pipeline and benchmarks to skip re-parsing).
 func (s *Session) QueryPlanned(q *sqlast.Query, params ...sqltypes.Value) (*Result, error) {
+	if err := s.txnGate(); err != nil {
+		return nil, err
+	}
 	end := s.beginRead()
 	defer end()
-	return s.runQuery(q, params)
+	res, err := s.runQuery(q, params)
+	s.noteStmtErr(err)
+	return res, err
 }
 
 // QueryFresh plans and executes q bypassing the plan cache — the benchmark
@@ -286,6 +340,9 @@ func (s *Session) QueryPlanned(q *sqlast.Query, params ...sqltypes.Value) (*Resu
 // optimize the (possibly large, inlined) query, as the paper's Figure 11
 // measurements do.
 func (s *Session) QueryFresh(q *sqlast.Query, params ...sqltypes.Value) (*Result, error) {
+	if err := s.txnGate(); err != nil {
+		return nil, err
+	}
 	end := s.beginRead()
 	defer end()
 
@@ -293,9 +350,12 @@ func (s *Session) QueryFresh(q *sqlast.Query, params ...sqltypes.Value) (*Result
 	p, err := plan.Build(s.cur.cat, q, plan.Options{DisableLateral: s.sh.prof.DisableLateral})
 	s.counters.PlanNS += time.Since(tPlan).Nanoseconds()
 	if err != nil {
+		s.noteStmtErr(err)
 		return nil, err
 	}
-	return s.runPlanned(p, params)
+	res, err := s.runPlanned(p, params)
+	s.noteStmtErr(err)
+	return res, err
 }
 
 // InstallCompiled registers a compiled function: calls evaluate the given
@@ -355,9 +415,14 @@ func (p *Prepared) IsQuery() bool { return p.query != nil }
 // Query executes the prepared statement.
 func (p *Prepared) Query(params ...sqltypes.Value) (*Result, error) {
 	if p.query != nil {
+		if err := p.s.txnGate(); err != nil {
+			return nil, err
+		}
 		end := p.s.beginRead()
 		defer end()
-		return p.s.runQueryKeyed(p.cacheKey, p.query, params)
+		res, err := p.s.runQueryKeyed(p.cacheKey, p.query, params)
+		p.s.noteStmtErr(err)
+		return res, err
 	}
 	return p.s.execStmtPinned(p.stmt, params)
 }
@@ -570,9 +635,78 @@ func (s *Session) insert(stmt *sqlast.Insert, params []sqltypes.Value) error {
 	if len(added) == 0 {
 		return nil
 	}
-	tbl.Heap.Commit(nil, added, s.writeTS)
-	s.touched = tbl.Heap
+	s.applyWrite(tbl.Heap, nil, nil, added)
 	return nil
+}
+
+// writeView is the row set a writer statement (UPDATE/DELETE) evaluates
+// its predicate over: the base versions visible at the pinned snapshot
+// plus, inside a transaction block, the block's own buffered inserts
+// (minus the rows it already deleted).
+type writeView struct {
+	vidx      []int           // base version indices
+	rows      []storage.Tuple // base rows, parallel to vidx
+	addedIdx  []int           // overlay Added indices (txn-buffered rows)
+	addedRows []storage.Tuple // buffered rows, parallel to addedIdx
+}
+
+func (s *Session) writeView(h *storage.Heap) (writeView, error) {
+	vidx, rows, err := h.VersionsAt(s.cur.ts)
+	if err != nil {
+		return writeView{}, err
+	}
+	v := writeView{vidx: vidx, rows: rows}
+	if !s.txn.active {
+		return v, nil
+	}
+	w := s.txn.writes[h]
+	if w == nil {
+		return v, nil
+	}
+	if len(w.Dead) > 0 {
+		fv := make([]int, 0, len(vidx))
+		fr := make([]storage.Tuple, 0, len(rows))
+		for i, vi := range vidx {
+			if !w.Dead[vi] {
+				fv = append(fv, vi)
+				fr = append(fr, rows[i])
+			}
+		}
+		v.vidx, v.rows = fv, fr
+	}
+	for i, t := range w.Added {
+		if t != nil {
+			v.addedIdx = append(v.addedIdx, i)
+			v.addedRows = append(v.addedRows, t)
+		}
+	}
+	return v, nil
+}
+
+// applyWrite lands one writer statement's row changes on h: committed
+// immediately in autocommit (the single Commit stamps everything with the
+// statement's timestamp), buffered in the transaction's overlay inside a
+// block (dead base versions, tombstoned buffered rows, appended inserts).
+func (s *Session) applyWrite(h *storage.Heap, dead, deadAdded []int, added []storage.Tuple) {
+	if s.txn.active {
+		if len(dead)+len(deadAdded)+len(added) == 0 {
+			return
+		}
+		w := s.txnWrites(h)
+		for _, vi := range dead {
+			w.Dead[vi] = true
+		}
+		for _, ai := range deadAdded {
+			w.Added[ai] = nil
+		}
+		w.Added = append(w.Added, added...)
+		return
+	}
+	if len(dead)+len(added) == 0 {
+		return // no-match fast path: nothing rewritten, nothing committed
+	}
+	h.Commit(dead, added, s.writeTS)
+	s.touched = h
 }
 
 // update is MVCC UPDATE: rows matching the predicate get their current
@@ -592,46 +726,61 @@ func (s *Session) update(stmt *sqlast.Update, params []sqltypes.Value) error {
 	if err != nil {
 		return err
 	}
-	vidx, rows, err := tbl.Heap.VersionsAt(s.cur.ts)
+	view, err := s.writeView(tbl.Heap)
 	if err != nil {
 		return err
 	}
 	ctx := s.newCtx()
 	ctx.Params = params
-	var dead []int
-	var added []storage.Tuple
-	for i, row := range rows {
-		match := true
+	// rewrite evaluates the predicate and SET clauses against one row,
+	// returning the replacement row when the predicate matched.
+	rewrite := func(row storage.Tuple) (storage.Tuple, bool, error) {
 		if pred != nil {
 			v, err := pred.Eval(ctx, row)
 			if err != nil {
-				return err
+				return nil, false, err
 			}
-			match = v.IsTrue()
-		}
-		if !match {
-			continue
+			if !v.IsTrue() {
+				return nil, false, nil
+			}
 		}
 		out := append(storage.Tuple(nil), row...)
 		for _, set := range setters {
 			v, err := set.expr.Eval(ctx, row)
 			if err != nil {
-				return err
+				return nil, false, err
 			}
 			cast, err := sqltypes.Cast(v, tbl.Cols[set.col].Type)
 			if err != nil {
-				return err
+				return nil, false, err
 			}
 			out[set.col] = cast
 		}
-		dead = append(dead, vidx[i])
-		added = append(added, out)
+		return out, true, nil
 	}
-	if len(dead) == 0 {
-		return nil // no-match fast path: nothing rewritten, nothing committed
+	var dead, deadAdded []int
+	var added []storage.Tuple
+	for i, row := range view.rows {
+		out, match, err := rewrite(row)
+		if err != nil {
+			return err
+		}
+		if match {
+			dead = append(dead, view.vidx[i])
+			added = append(added, out)
+		}
 	}
-	tbl.Heap.Commit(dead, added, s.writeTS)
-	s.touched = tbl.Heap
+	for i, row := range view.addedRows {
+		out, match, err := rewrite(row)
+		if err != nil {
+			return err
+		}
+		if match {
+			deadAdded = append(deadAdded, view.addedIdx[i])
+			added = append(added, out)
+		}
+	}
+	s.applyWrite(tbl.Heap, dead, deadAdded, added)
 	return nil
 }
 
@@ -650,31 +799,42 @@ func (s *Session) delete(stmt *sqlast.Delete, params []sqltypes.Value) error {
 	if err != nil {
 		return err
 	}
-	vidx, rows, err := tbl.Heap.VersionsAt(s.cur.ts)
+	view, err := s.writeView(tbl.Heap)
 	if err != nil {
 		return err
 	}
 	ctx := s.newCtx()
 	ctx.Params = params
-	var dead []int
-	for i, row := range rows {
-		match := true
-		if pred != nil {
-			v, err := pred.Eval(ctx, row)
-			if err != nil {
-				return err
-			}
-			match = v.IsTrue()
+	matches := func(row storage.Tuple) (bool, error) {
+		if pred == nil {
+			return true, nil
 		}
-		if match {
-			dead = append(dead, vidx[i])
+		v, err := pred.Eval(ctx, row)
+		if err != nil {
+			return false, err
+		}
+		return v.IsTrue(), nil
+	}
+	var dead, deadAdded []int
+	for i, row := range view.rows {
+		m, err := matches(row)
+		if err != nil {
+			return err
+		}
+		if m {
+			dead = append(dead, view.vidx[i])
 		}
 	}
-	if len(dead) == 0 {
-		return nil // no-match fast path: nothing committed
+	for i, row := range view.addedRows {
+		m, err := matches(row)
+		if err != nil {
+			return err
+		}
+		if m {
+			deadAdded = append(deadAdded, view.addedIdx[i])
+		}
 	}
-	tbl.Heap.Commit(dead, nil, s.writeTS)
-	s.touched = tbl.Heap
+	s.applyWrite(tbl.Heap, dead, deadAdded, nil)
 	return nil
 }
 

@@ -1,0 +1,257 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"plsqlaway/internal/catalog"
+	"plsqlaway/internal/sqlast"
+	"plsqlaway/internal/storage"
+)
+
+// ErrSerialization is returned when a transaction's first write finds
+// that another transaction committed after this one pinned its snapshot:
+// the buffered writes would be based on stale reads, so the engine
+// refuses them. The transaction is aborted; callers should ROLLBACK and
+// retry the whole transaction.
+var ErrSerialization = errors.New("engine: could not serialize access due to a concurrent commit (rollback and retry the transaction)")
+
+// errTxnAborted mirrors Postgres's 25P02: after any statement fails
+// inside a transaction block, everything but COMMIT/ROLLBACK is refused
+// until the block ends.
+var errTxnAborted = errors.New("engine: current transaction is aborted, commands ignored until end of transaction block")
+
+// txnState is one session's open transaction block. The protocol
+// generalizes the single-statement commitWrap: one snapshot pinned at
+// BEGIN serves every statement's reads, writes buffer per heap in
+// HeapOverlay sets (reads overlay them, so the transaction sees its own
+// uncommitted writes), DDL mutates a private catalog clone, and COMMIT
+// publishes everything through the ordinary commit protocol — per-heap
+// Commit calls stamped with one write timestamp, then one atomic state
+// store. ROLLBACK just discards the buffers: the heaps were never
+// touched.
+//
+// Writer serialization: the commit lock is taken at the transaction's
+// first writer statement and held until COMMIT/ROLLBACK, so concurrent
+// write transactions serialize whole-transaction against each other
+// (readers never block). A transaction whose first write finds the tip
+// advanced past its snapshot fails with ErrSerialization instead of
+// committing on stale reads.
+type txnState struct {
+	active  bool
+	aborted bool     // a statement failed; only COMMIT/ROLLBACK accepted
+	st      *dbState // snapshot pinned at BEGIN, unpinned at txn end
+	cat     *catalog.Catalog
+	ddl     bool  // cat is a private clone carrying this txn's DDL
+	locked  bool  // commitMu held (acquired at first writer statement)
+	writeTS int64 // st.ts+1 once locked; the commit timestamp
+	writes  map[*storage.Heap]*storage.HeapOverlay
+	order   []*storage.Heap // heaps in first-write order, for deterministic commit
+}
+
+// InTxn reports whether the session is inside an explicit transaction
+// block (including the aborted-until-ROLLBACK state).
+func (s *Session) InTxn() bool { return s.txn.active }
+
+// notice records a client-visible NOTICE message (the same channel RAISE
+// NOTICE uses, so it travels the wire and prints in shells).
+func (s *Session) notice(format string, args ...any) {
+	s.counters.Notices = append(s.counters.Notices, fmt.Sprintf(format, args...))
+}
+
+// DrainNotices returns and clears the session's pending NOTICE messages
+// (RAISE NOTICE output plus transaction-control warnings). The wire
+// server drains them into each response.
+func (s *Session) DrainNotices() []string {
+	n := s.counters.Notices
+	s.counters.Notices = nil
+	return n
+}
+
+// Begin opens a transaction block: it pins the published snapshot that
+// will serve every statement in the block. Inside an open block it is a
+// warning no-op, as in Postgres.
+func (s *Session) Begin() error {
+	if s.pinDepth > 0 {
+		return fmt.Errorf("engine: BEGIN inside a query is not supported")
+	}
+	if s.txn.active {
+		s.notice("there is already a transaction in progress")
+		return nil
+	}
+	st := s.sh.pinState()
+	s.txn = txnState{active: true, st: st, cat: st.cat}
+	s.interp.Cat = st.cat
+	return nil
+}
+
+// Commit publishes the open transaction: every buffered heap write is
+// committed with the transaction's single write timestamp, the catalog
+// clone (if DDL ran) is installed, and one atomic state store makes it
+// all visible — concurrent readers see the whole transaction or none of
+// it. Outside a block it is a warning no-op; on an aborted block it
+// rolls back instead (Postgres semantics).
+func (s *Session) Commit() error {
+	if !s.txn.active {
+		s.notice("there is no transaction in progress")
+		return nil
+	}
+	if s.txn.aborted {
+		s.notice("transaction is aborted — COMMIT performed ROLLBACK")
+		s.endTxn()
+		return nil
+	}
+	defer s.endTxn()
+	if !s.txn.locked {
+		return nil // read-only transaction: nothing to publish
+	}
+	var touched []*storage.Heap
+	for _, h := range s.txn.order {
+		dead, added := s.txn.writes[h].Flatten()
+		if len(dead) == 0 && len(added) == 0 {
+			continue // net no-op on this heap (e.g. insert then delete)
+		}
+		h.Commit(dead, added, s.txn.writeTS)
+		touched = append(touched, h)
+	}
+	if !s.txn.ddl && len(touched) == 0 {
+		return nil // no-op transaction: don't burn a commit timestamp
+	}
+	s.sh.state.Store(&dbState{cat: s.txn.cat, ts: s.txn.writeTS})
+	for _, h := range touched {
+		s.maybeVacuum(h, s.txn.writeTS)
+	}
+	return nil
+}
+
+// Rollback discards the open transaction: buffered writes and the
+// catalog clone are dropped, the snapshot pin and commit lock released.
+// The heaps were never written, so storage is byte-identical to the
+// pre-BEGIN state. Outside a block it is a warning no-op.
+func (s *Session) Rollback() error {
+	if !s.txn.active {
+		s.notice("there is no transaction in progress")
+		return nil
+	}
+	s.endTxn()
+	return nil
+}
+
+// Reset aborts any open transaction without the outside-a-block warning —
+// the cleanup hook connection owners (the wire server) call when a client
+// goes away, so an abandoned session never keeps holding the commit lock
+// or its snapshot pin.
+func (s *Session) Reset() {
+	if s.txn.active {
+		s.endTxn()
+	}
+}
+
+// endTxn releases everything the transaction holds (commit lock, snapshot
+// pin) and re-points the interpreter at the published catalog.
+func (s *Session) endTxn() {
+	if s.txn.locked {
+		s.sh.commitMu.Unlock()
+	}
+	s.sh.pins.unpin(s.txn.st.ts)
+	s.txn = txnState{}
+	s.interp.Cat = s.sh.state.Load().cat
+}
+
+// txnGate refuses work on an aborted transaction block.
+func (s *Session) txnGate() error {
+	if s.txn.active && s.txn.aborted {
+		return errTxnAborted
+	}
+	return nil
+}
+
+// noteStmtErr poisons the open transaction block after a failed
+// statement — every statement entry point (Run, Prepared, QueryPlanned,
+// QueryFresh) reports through here so the aborted-until-ROLLBACK
+// invariant holds on all of them.
+func (s *Session) noteStmtErr(err error) {
+	if err != nil && s.txn.active {
+		s.txn.aborted = true
+	}
+}
+
+// ensureTxnWrite prepares the transaction for its first write: it takes
+// the commit lock (held until COMMIT/ROLLBACK — writers serialize whole
+// transactions against each other) and verifies the snapshot is still the
+// tip. If another transaction committed since BEGIN, the buffered writes
+// would be based on stale reads, so the statement fails with
+// ErrSerialization and the block aborts.
+func (s *Session) ensureTxnWrite() error {
+	if s.txn.locked {
+		return nil
+	}
+	s.sh.commitMu.Lock()
+	tip := s.sh.state.Load()
+	if tip.ts != s.txn.st.ts {
+		s.sh.commitMu.Unlock()
+		return ErrSerialization
+	}
+	s.txn.locked = true
+	s.txn.writeTS = tip.ts + 1
+	return nil
+}
+
+// txnWrites returns (creating on first use) the transaction's buffered
+// write set for h, registering the heap in commit order.
+func (s *Session) txnWrites(h *storage.Heap) *storage.HeapOverlay {
+	w, ok := s.txn.writes[h]
+	if !ok {
+		if s.txn.writes == nil {
+			s.txn.writes = make(map[*storage.Heap]*storage.HeapOverlay)
+		}
+		w = &storage.HeapOverlay{Dead: make(map[int]bool)}
+		s.txn.writes[h] = w
+		s.txn.order = append(s.txn.order, h)
+	}
+	return w
+}
+
+// execTxnControl runs a BEGIN/COMMIT/ROLLBACK statement.
+func (s *Session) execTxnControl(stmt *sqlast.Transaction) error {
+	switch stmt.Kind {
+	case sqlast.TxnBegin:
+		return s.Begin()
+	case sqlast.TxnCommit:
+		return s.Commit()
+	case sqlast.TxnRollback:
+		return s.Rollback()
+	}
+	return fmt.Errorf("engine: unknown transaction statement %v", stmt.Kind)
+}
+
+// txnWrite runs fn as one writer statement inside the open transaction
+// block: the commit lock is ensured (first write locks it for the
+// block's remainder), reads happen at the BEGIN snapshot with buffered
+// writes overlaid, DML helpers buffer instead of committing, and any
+// error poisons the block until ROLLBACK.
+func (s *Session) txnWrite(fn func() (*Result, error)) (*Result, error) {
+	if err := s.ensureTxnWrite(); err != nil {
+		s.txn.aborted = true
+		return nil, err
+	}
+	end := s.beginRead() // txn-aware: shares the BEGIN pin and catalog
+	res, err := fn()
+	end()
+	if err != nil {
+		s.txn.aborted = true
+		return nil, err
+	}
+	return res, nil
+}
+
+// maybeVacuum opportunistically vacuums a heap this commit touched,
+// identically for single-statement commits and transaction commits.
+func (s *Session) maybeVacuum(h *storage.Heap, writeTS int64) {
+	if dead := h.DeadCount(); dead >= vacuumMinDead && dead*4 >= h.Len() {
+		// The horizon includes our own still-held pin, so versions this
+		// very commit superseded are reclaimed by a later one — a lag
+		// of one commit, in exchange for never racing our own reads.
+		h.Vacuum(s.sh.pins.oldest(writeTS))
+	}
+}

@@ -86,6 +86,13 @@ type Ctx struct {
 	// tools — that bypass the engine's commit protocol.
 	TS int64
 
+	// TxnOverlay, when set, maps a heap to the enclosing transaction's
+	// buffered uncommitted writes so scans read the transaction's own
+	// inserts/updates/deletes on top of the pinned snapshot (nil result =
+	// no buffered writes for that heap). Nil outside explicit
+	// transactions.
+	TxnOverlay func(h *storage.Heap) *storage.HeapOverlay
+
 	// BatchSize is the number of tuples moved per NextBatch call. 1 makes
 	// the batch pipeline degenerate to tuple-at-a-time Volcano iteration
 	// (the baseline of the BenchmarkBatchSize sweep).
@@ -111,6 +118,15 @@ func NewCtx() *Ctx {
 		BatchSize:    DefaultBatchSize,
 		TS:           storage.AllVisible,
 	}
+}
+
+// overlayFor returns the enclosing transaction's buffered writes for h,
+// or nil when reads should go straight to the heap snapshot.
+func (c *Ctx) overlayFor(h *storage.Heap) *storage.HeapOverlay {
+	if c.TxnOverlay == nil {
+		return nil
+	}
+	return c.TxnOverlay(h)
 }
 
 func (c *Ctx) pushOuter(t storage.Tuple) { c.Outer = append(c.Outer, t) }

@@ -269,6 +269,17 @@ type seqScanNode struct {
 }
 
 func (n *seqScanNode) Open(ctx *Ctx) error {
+	if ov := ctx.overlayFor(n.table.Heap); !ov.Empty() {
+		// Inside a transaction that wrote this heap: merge the pinned
+		// snapshot with the buffered writes so the scan reads its own
+		// uncommitted rows.
+		rows, err := n.table.Heap.RowsAtOverlay(ctx.TS, ov)
+		if err != nil {
+			return err
+		}
+		n.scan = storage.NewScanner(rows)
+		return nil
+	}
 	scan, err := n.table.Heap.ScannerAt(ctx.TS)
 	if err != nil {
 		return err
@@ -313,6 +324,25 @@ func (n *indexScanNode) Rescan(ctx *Ctx) error {
 	k, err := n.key.Eval(ctx, nil)
 	if err != nil {
 		return err
+	}
+	if ov := ctx.overlayFor(n.table.Heap); !ov.Empty() {
+		// The hash index is built over committed snapshots only; inside a
+		// transaction that wrote this heap, fall back to a linear filter
+		// over the merged rows so probes see the buffered writes.
+		rows, err := n.table.Heap.RowsAtOverlay(ctx.TS, ov)
+		if err != nil {
+			return err
+		}
+		n.rows = rows
+		n.hits = n.hits[:0]
+		if !k.IsNull() {
+			for i, r := range rows {
+				if sqltypes.Identical(r[n.col], k) {
+					n.hits = append(n.hits, i)
+				}
+			}
+		}
+		return nil
 	}
 	index, ok := n.table.IndexOn(n.col)
 	if !ok {

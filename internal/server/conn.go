@@ -68,6 +68,11 @@ func (c *conn) beginDrain() {
 // goroutine feeding the executor loop.
 func (c *conn) serve() {
 	defer c.nc.Close()
+	// Whatever ends the connection — client disconnect, Terminate, or a
+	// server drain — an open transaction block must not outlive it: the
+	// rollback releases the commit lock and the snapshot pin the session
+	// may be holding.
+	defer c.sess.Reset()
 	if err := c.handshake(); err != nil {
 		c.srv.opts.Logf("server: %s handshake: %v", c.nc.RemoteAddr(), err)
 		return
@@ -194,11 +199,21 @@ func (c *conn) respond(req request) {
 // never re-executed by a fallback path.
 func (c *conn) handleQuery(sql string) {
 	res, err := c.sess.Run(sql)
+	c.writeNotices()
 	if err != nil {
 		c.writeError(err)
 		return
 	}
 	c.writeResult(res)
+}
+
+// writeNotices streams the session's pending NOTICE messages (RAISE
+// NOTICE output, transaction-control warnings) ahead of the response
+// terminator, Postgres NoticeResponse style.
+func (c *conn) writeNotices() {
+	for _, n := range c.sess.DrainNotices() {
+		c.write(&wire.Notice{Message: n})
+	}
 }
 
 func (c *conn) handleParse(m *wire.Parse) {
@@ -218,6 +233,7 @@ func (c *conn) handleExecute(m *wire.Execute) {
 		return
 	}
 	res, err := p.Query(m.Params...)
+	c.writeNotices()
 	if err != nil {
 		c.writeError(err)
 		return

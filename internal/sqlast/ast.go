@@ -453,6 +453,33 @@ type Delete struct {
 	Where Expr
 }
 
+// TxnKind distinguishes the transaction-control statements.
+type TxnKind int
+
+const (
+	TxnBegin    TxnKind = iota // BEGIN [WORK|TRANSACTION]
+	TxnCommit                  // COMMIT [WORK|TRANSACTION]
+	TxnRollback                // ROLLBACK [WORK|TRANSACTION]
+)
+
+func (k TxnKind) String() string {
+	switch k {
+	case TxnBegin:
+		return "BEGIN"
+	case TxnCommit:
+		return "COMMIT"
+	case TxnRollback:
+		return "ROLLBACK"
+	}
+	return "TXN?"
+}
+
+// Transaction is one of BEGIN / COMMIT / ROLLBACK — the transaction
+// block delimiters the engine's session-level transaction mode consumes.
+type Transaction struct {
+	Kind TxnKind
+}
+
 func (*SelectStatement) isNode() {}
 func (*CreateIndex) isNode()     {}
 func (*CreateTable) isNode()     {}
@@ -462,6 +489,7 @@ func (*DropFunction) isNode()    {}
 func (*Insert) isNode()          {}
 func (*Update) isNode()          {}
 func (*Delete) isNode()          {}
+func (*Transaction) isNode()     {}
 func (*Query) isNode()           {}
 
 func (*SelectStatement) isStatement() {}
@@ -473,6 +501,7 @@ func (*DropFunction) isStatement()    {}
 func (*Insert) isStatement()          {}
 func (*Update) isStatement()          {}
 func (*Delete) isStatement()          {}
+func (*Transaction) isStatement()     {}
 
 // ---------------------------------------------------------------------------
 // Construction helpers (heavily used by the compiler back end)

@@ -150,6 +150,8 @@ func (p *printer) statement(s Statement) {
 			p.ws(" WHERE ")
 			p.expr(s.Where, 0)
 		}
+	case *Transaction:
+		p.ws(s.Kind.String())
 	default:
 		p.wf("/* unknown statement %T */", s)
 	}

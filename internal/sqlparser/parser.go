@@ -193,8 +193,24 @@ func (p *Parser) parseStatement() (sqlast.Statement, error) {
 		return p.parseUpdate()
 	case t.IsKeyword("DELETE"):
 		return p.parseDelete()
+	case t.IsKeyword("BEGIN"):
+		return p.parseTxn(sqlast.TxnBegin)
+	case t.IsKeyword("COMMIT"):
+		return p.parseTxn(sqlast.TxnCommit)
+	case t.IsKeyword("ROLLBACK") || t.IsKeyword("ABORT"):
+		return p.parseTxn(sqlast.TxnRollback)
 	}
 	return nil, p.errf("unexpected %q at start of statement", t.Text)
+}
+
+// parseTxn parses a transaction-control statement: the keyword already
+// peeked, plus Postgres's optional WORK/TRANSACTION noise word.
+func (p *Parser) parseTxn(kind sqlast.TxnKind) (sqlast.Statement, error) {
+	p.next() // BEGIN / COMMIT / ROLLBACK / ABORT
+	if !p.acceptKw("WORK") {
+		p.acceptKw("TRANSACTION")
+	}
+	return &sqlast.Transaction{Kind: kind}, nil
 }
 
 func (p *Parser) parseCreate() (sqlast.Statement, error) {

@@ -481,3 +481,46 @@ func TestRewriteExpr(t *testing.T) {
 		t.Error("rewrite mutated the original")
 	}
 }
+
+func TestTransactionStatements(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind sqlast.TxnKind
+	}{
+		{"BEGIN", sqlast.TxnBegin},
+		{"begin work", sqlast.TxnBegin},
+		{"BEGIN TRANSACTION;", sqlast.TxnBegin},
+		{"COMMIT", sqlast.TxnCommit},
+		{"commit work", sqlast.TxnCommit},
+		{"ROLLBACK", sqlast.TxnRollback},
+		{"ROLLBACK TRANSACTION", sqlast.TxnRollback},
+		{"ABORT", sqlast.TxnRollback},
+	}
+	for _, c := range cases {
+		stmt, err := ParseStatement(c.src)
+		if err != nil {
+			t.Errorf("ParseStatement(%q): %v", c.src, err)
+			continue
+		}
+		tx, ok := stmt.(*sqlast.Transaction)
+		if !ok || tx.Kind != c.kind {
+			t.Errorf("ParseStatement(%q) = %#v, want kind %v", c.src, stmt, c.kind)
+		}
+	}
+	// Scripts interleave transaction control with ordinary statements.
+	stmts, err := ParseScript("BEGIN; INSERT INTO t VALUES (1); COMMIT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("script parsed to %d statements", len(stmts))
+	}
+	// Deparse round-trips.
+	if got := sqlast.Deparse(&sqlast.Transaction{Kind: sqlast.TxnRollback}); got != "ROLLBACK" {
+		t.Errorf("Deparse = %q", got)
+	}
+	// BEGIN is not reserved: still fine as an identifier.
+	if _, err := ParseQuery("SELECT begin FROM t"); err != nil {
+		t.Errorf("begin as column name: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -260,6 +261,72 @@ func (h *Heap) RowsAt(ts int64) ([]Tuple, error) {
 	return rows, err
 }
 
+// HeapOverlay is one transaction's buffered, not-yet-committed changes to
+// a heap: version indices the transaction deleted and tuples it added.
+// Nothing in the heap itself changes until the transaction's COMMIT calls
+// Commit with the flattened sets, so a rolled-back transaction leaves the
+// heap byte-identical. Reads inside the transaction overlay these sets on
+// the pinned snapshot (RowsAtOverlay) to see their own writes.
+type HeapOverlay struct {
+	// Dead marks base version indices (from VersionsAt at the pinned
+	// snapshot) this transaction deleted or superseded.
+	Dead map[int]bool
+	// Added holds tuples this transaction inserted. A nil entry is a
+	// tombstone: the transaction added the row and later deleted it.
+	Added []Tuple
+}
+
+// Empty reports whether the overlay carries no changes.
+func (ov *HeapOverlay) Empty() bool {
+	if ov == nil {
+		return true
+	}
+	return len(ov.Dead) == 0 && len(ov.Added) == 0
+}
+
+// Flatten renders the overlay as the (dead, added) arguments of one
+// Commit call: the dead version indices and the surviving added tuples
+// (tombstones dropped).
+func (ov *HeapOverlay) Flatten() ([]int, []Tuple) {
+	dead := make([]int, 0, len(ov.Dead))
+	for vi := range ov.Dead {
+		dead = append(dead, vi)
+	}
+	sort.Ints(dead) // deterministic commit order for tests and debugging
+	added := make([]Tuple, 0, len(ov.Added))
+	for _, t := range ov.Added {
+		if t != nil {
+			added = append(added, t)
+		}
+	}
+	return dead, added
+}
+
+// RowsAtOverlay returns the rows visible at snapshot ts with a
+// transaction's overlay applied: base rows whose versions the overlay
+// killed disappear, the overlay's added tuples append. With a nil or
+// empty overlay it is RowsAt (including its snapshot-cache fast path);
+// otherwise the merged slice is rebuilt per call — transactions pay the
+// merge only on heaps they actually wrote.
+func (h *Heap) RowsAtOverlay(ts int64, ov *HeapOverlay) ([]Tuple, error) {
+	rows, vidx, _, err := h.snapshot(ts)
+	if err != nil || ov.Empty() {
+		return rows, err
+	}
+	out := make([]Tuple, 0, len(rows)+len(ov.Added)-len(ov.Dead))
+	for i, vi := range vidx {
+		if !ov.Dead[vi] {
+			out = append(out, rows[i])
+		}
+	}
+	for _, t := range ov.Added {
+		if t != nil {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
 // Rows returns all committed rows (compatibility: the AllVisible
 // snapshot).
 func (h *Heap) Rows() ([]Tuple, error) { return h.RowsAt(AllVisible) }
@@ -394,6 +461,11 @@ func (h *Heap) ScannerAt(ts int64) (*HeapScanner, error) {
 	}
 	return &HeapScanner{rows: rows}, nil
 }
+
+// NewScanner wraps an already-materialized row slice in the chunked
+// scanner interface — the overlay read path hands merged
+// (snapshot + transaction writes) rows to the executor through this.
+func NewScanner(rows []Tuple) *HeapScanner { return &HeapScanner{rows: rows} }
 
 // Scanner pins the heap's full committed contents (compatibility: the
 // AllVisible snapshot).

@@ -87,6 +87,8 @@ func Decode(typ byte, payload []byte) (Message, error) {
 		m = &ParseOK{}
 	case TypeStatsReply:
 		m = &StatsReply{}
+	case TypeNotice:
+		m = &Notice{}
 	default:
 		return nil, fmt.Errorf("wire: unknown frame type %#x", typ)
 	}
@@ -257,6 +259,18 @@ func (m *RowBatch) decode(d *Decoder) {
 	}
 	m.Rows = rows
 }
+
+// Notice carries one asynchronous diagnostic message (RAISE NOTICE
+// output, transaction-control warnings). Zero or more Notice frames
+// stream inside a response, before its Done/Error terminator — the wire
+// analogue of Postgres's NoticeResponse.
+type Notice struct {
+	Message string
+}
+
+func (*Notice) Type() byte          { return TypeNotice }
+func (m *Notice) encode(e *Encoder) { e.String(m.Message) }
+func (m *Notice) decode(d *Decoder) { m.Message = d.String() }
 
 // Done terminates a successful response.
 type Done struct {

@@ -52,8 +52,10 @@ import (
 var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrameLen")
 
 // ProtocolVersion is bumped on incompatible frame-set changes; the server
-// rejects startups from a different major version.
-const ProtocolVersion uint32 = 1
+// rejects startups from a different major version. Version 2 added the
+// Notice frame (RAISE NOTICE and transaction-control warnings streamed
+// ahead of a response's terminator).
+const ProtocolVersion uint32 = 2
 
 // MaxFrameLen bounds one frame's payload: larger announcements are a
 // protocol error and are rejected before allocation.
@@ -87,6 +89,7 @@ const (
 	TypeError      byte = 'e'
 	TypeParseOK    byte = 'p'
 	TypeStatsReply byte = 's'
+	TypeNotice     byte = 'n'
 )
 
 // WriteFrame writes one frame (header + payload) to w. Oversized

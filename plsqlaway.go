@@ -30,9 +30,12 @@
 //	s := e.NewSession()
 //	go func() { v, _ := s.QueryValue("SELECT fib_compiled($1)", plsqlaway.Int(30)) … }()
 //
-// Sessions share the catalog, storage, and plan cache (DDL excludes
-// queries via a readers-writer lock) but keep private random streams,
-// counters, interpreter state, and prepared statements.
+// Sessions share the catalog, storage, and plan cache under snapshot
+// isolation (readers never block; writers serialize on a commit lock)
+// but keep private random streams, counters, interpreter state, and
+// prepared statements. BEGIN/COMMIT/ROLLBACK open multi-statement
+// transaction blocks on a session: one snapshot for the whole block,
+// buffered writes the block reads back, atomic publication at COMMIT.
 package plsqlaway
 
 import (

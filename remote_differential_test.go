@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -238,5 +239,103 @@ func TestRemoteConcurrentSessions(t *testing.T) {
 		if err != nil {
 			t.Fatalf("worker %d: %v", g, err)
 		}
+	}
+}
+
+// TestRemoteTxnDifferential runs the same transactional scripts
+// statement by statement on an embedded session and through a loopback
+// server, diffing every statement's rows, error, and notices, plus the
+// final table state — the serving layer must not change transaction
+// semantics (acceptance: identical results embedded vs over TCP).
+func TestRemoteTxnDifferential(t *testing.T) {
+	scripts := [][]string{
+		{ // commit publishes everything at once
+			"CREATE TABLE acct (id int, bal int)",
+			"INSERT INTO acct VALUES (1, 100), (2, 100)",
+			"BEGIN",
+			"UPDATE acct SET bal = bal - 40 WHERE id = 1",
+			"UPDATE acct SET bal = bal + 40 WHERE id = 2",
+			"SELECT id, bal FROM acct ORDER BY id",
+			"COMMIT",
+			"SELECT id, bal FROM acct ORDER BY id",
+		},
+		{ // rollback leaves no trace, including DDL
+			"CREATE TABLE kv (k int, v int)",
+			"INSERT INTO kv VALUES (1, 10)",
+			"BEGIN",
+			"DELETE FROM kv",
+			"CREATE TABLE scratch (x int)",
+			"INSERT INTO scratch VALUES (1)",
+			"SELECT count(*) FROM kv",
+			"SELECT count(*) FROM scratch",
+			"ROLLBACK",
+			"SELECT count(*) FROM kv",
+			"SELECT count(*) FROM scratch", // errors: table was never created
+		},
+		{ // error aborts the block until ROLLBACK; control warnings notice
+			"COMMIT",
+			"CREATE TABLE t3 (x int)",
+			"BEGIN",
+			"INSERT INTO t3 VALUES (1)",
+			"SELECT * FROM missing",
+			"SELECT 1",
+			"COMMIT",
+			"SELECT count(*) FROM t3",
+		},
+		{ // read-your-own-writes incl. updates of txn-inserted rows
+			"CREATE TABLE rw (k int, v int)",
+			"BEGIN",
+			"INSERT INTO rw VALUES (1, 1), (2, 2)",
+			"UPDATE rw SET v = v * 10 WHERE k = 2",
+			"DELETE FROM rw WHERE k = 1",
+			"SELECT k, v FROM rw ORDER BY k",
+			"COMMIT",
+			"SELECT k, v FROM rw ORDER BY k",
+		},
+	}
+
+	for si, script := range scripts {
+		t.Run(fmt.Sprintf("script%d", si), func(t *testing.T) {
+			// Independent engines so embedded and remote runs cannot see
+			// each other's state.
+			local := plsqlaway.NewEngine(plsqlaway.WithSeed(7)).NewSession()
+			re := plsqlaway.NewEngine(plsqlaway.WithSeed(7))
+			addr := startLoopbackServer(t, re)
+			conn, err := client.Dial(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+
+			for i, stmt := range script {
+				lres, lerr := local.Run(stmt)
+				lnotices := local.DrainNotices()
+				rres, rerr := conn.Query(stmt)
+				rnotices := conn.Notices()
+
+				if (lerr == nil) != (rerr == nil) {
+					t.Fatalf("stmt %d %q: local err %v, remote err %v", i, stmt, lerr, rerr)
+				}
+				if lerr != nil {
+					if want, got := lerr.Error(), strings.TrimPrefix(rerr.Error(), "server: "); want != got {
+						t.Errorf("stmt %d %q: error text diverged\n local: %s\nremote: %s", i, stmt, want, got)
+					}
+					continue
+				}
+				lout, rout := "", ""
+				if lres != nil {
+					lout = lres.Format()
+				}
+				if rres != nil {
+					rout = rres.Format()
+				}
+				if lout != rout {
+					t.Errorf("stmt %d %q: results diverged\n local:\n%s\nremote:\n%s", i, stmt, lout, rout)
+				}
+				if fmt.Sprint(lnotices) != fmt.Sprint(rnotices) {
+					t.Errorf("stmt %d %q: notices diverged local %v remote %v", i, stmt, lnotices, rnotices)
+				}
+			}
+		})
 	}
 }
