@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"plsqlaway/internal/engine"
 	"plsqlaway/internal/sqltypes"
 	"plsqlaway/internal/storage"
 	"plsqlaway/internal/wire"
@@ -215,6 +216,42 @@ func (c *Conn) fatalErr() error {
 // goes away underneath them.
 var ErrClosed = fmt.Errorf("client: connection closed")
 
+// Retryable-failure sentinels, re-exported from the engine so remote
+// callers match them without importing internal packages. The server
+// classifies these on the wire (wire.Error.Code) and readResponse wraps
+// the sentinel back in, so errors.Is works across the connection exactly
+// as it does embedded.
+var (
+	// ErrSerialization: a concurrent commit invalidated the transaction's
+	// snapshot — rollback and retry the whole transaction.
+	ErrSerialization = engine.ErrSerialization
+	// ErrTxnAborted: a prior statement failed inside the block — only
+	// ROLLBACK (or COMMIT, which rolls back) is accepted.
+	ErrTxnAborted = engine.ErrTxnAborted
+)
+
+// serverError is a statement failure reported by the server, carrying
+// the sentinel its wire code classified it as (nil for generic errors).
+type serverError struct {
+	msg      string
+	sentinel error
+}
+
+func (e *serverError) Error() string { return "server: " + e.msg }
+func (e *serverError) Unwrap() error { return e.sentinel }
+
+// decodeError turns a wire Error frame into the client-side error value.
+func decodeError(m *wire.Error) error {
+	var sentinel error
+	switch m.Code {
+	case wire.CodeSerialization:
+		sentinel = ErrSerialization
+	case wire.CodeTxnAborted:
+		sentinel = ErrTxnAborted
+	}
+	return &serverError{msg: m.Message, sentinel: sentinel}
+}
+
 // Close terminates the connection. In-flight requests fail with
 // ErrClosed (wait for them first for a graceful end). Closing an
 // already-closed connection returns ErrClosed.
@@ -328,7 +365,7 @@ func (c *Conn) readResponse(br *bufio.Reader) outcome {
 		case *wire.Done:
 			return outcome{res: res, notices: notices, doneTag: m.Tag}
 		case *wire.Error:
-			return outcome{notices: notices, err: fmt.Errorf("server: %s", m.Message)}
+			return outcome{notices: notices, err: decodeError(m)}
 		case *wire.ParseOK:
 			return outcome{parse: m}
 		case *wire.StatsReply:

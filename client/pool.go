@@ -121,10 +121,38 @@ func (p *Pool) Begin() (*Tx, error) {
 		}
 	}
 	if err := c.Begin(); err != nil {
-		c.Close()
+		// A failed BEGIN must neither leak the pinned connection nor
+		// leave a half-open block holding the server session. If the
+		// connection itself died, drop it. Otherwise the error was
+		// statement-level: roll back defensively (a no-op outside a
+		// block — the server answers with a notice, not an error) so no
+		// block survives, then recycle the still-healthy connection.
+		if c.fatalErr() != nil {
+			c.Close()
+			return nil, err
+		}
+		if rbErr := c.Rollback(); rbErr != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Notices() // drop the rollback's "no transaction" notice
+		p.release(c)
 		return nil, err
 	}
 	return &Tx{p: p, c: c}, nil
+}
+
+// release returns a pinned connection to the free list, or closes it
+// when the pool is closed or already holds Size idle pinned connections.
+func (p *Pool) release(c *Conn) {
+	p.mu.Lock()
+	if !p.closed && len(p.txIdle) < len(p.conns) {
+		p.txIdle = append(p.txIdle, c)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	c.Close()
 }
 
 // Close closes every pooled connection (including idle pinned ones).
@@ -232,15 +260,8 @@ func (tx *Tx) finish(stmt string) error {
 		return err
 	}
 	c.Notices() // drop undrained notices: they must not leak into the next Tx
-	tx.p.mu.Lock()
 	// Keep at most Size idle pinned connections; beyond that (or after
 	// Close) the connection is dropped.
-	if !tx.p.closed && len(tx.p.txIdle) < len(tx.p.conns) {
-		tx.p.txIdle = append(tx.p.txIdle, c)
-		tx.p.mu.Unlock()
-		return nil
-	}
-	tx.p.mu.Unlock()
-	c.Close()
+	tx.p.release(c)
 	return nil
 }

@@ -1,0 +1,233 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"plsqlaway/client"
+	"plsqlaway/internal/engine"
+	"plsqlaway/internal/server"
+)
+
+// startServerStoppable is startServer with an explicit stop function so a
+// test can kill the server mid-flight (idempotent with the cleanup).
+func startServerStoppable(t *testing.T) (string, func()) {
+	t.Helper()
+	e := engine.New(engine.WithSeed(42))
+	srv := server.New(e, server.Options{DrainGrace: 50 * time.Millisecond})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-done
+	}
+	t.Cleanup(stop)
+	return ln.Addr().String(), stop
+}
+
+// TestSentinelOverWire: the server classifies ErrSerialization and
+// ErrTxnAborted on the wire, and the client re-wraps them so errors.Is
+// matches remotely exactly as it does embedded.
+func TestSentinelOverWire(t *testing.T) {
+	addr, _ := startServer(t)
+	c1, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	if err := c1.Exec("CREATE TABLE t (a int)"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Aborted block: after a failed statement, everything else must
+	// report ErrTxnAborted until ROLLBACK.
+	if err := c1.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Exec("SELECT * FROM missing"); err == nil {
+		t.Fatal("query on missing table succeeded")
+	}
+	err = c1.Exec("INSERT INTO t VALUES (1)")
+	if !errors.Is(err, client.ErrTxnAborted) {
+		t.Fatalf("statement on aborted block: %v, want errors.Is ErrTxnAborted", err)
+	}
+	if errors.Is(err, client.ErrSerialization) {
+		t.Fatalf("aborted-block error matched ErrSerialization too: %v", err)
+	}
+	if err := c1.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Serialization failure: c2 commits between c1's BEGIN and first write.
+	if err := c1.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Exec("INSERT INTO t VALUES (2)"); err != nil {
+		t.Fatal(err)
+	}
+	err = c1.Exec("INSERT INTO t VALUES (3)")
+	if !errors.Is(err, client.ErrSerialization) {
+		t.Fatalf("stale-snapshot write: %v, want errors.Is ErrSerialization", err)
+	}
+	if err := c1.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A generic failure matches neither sentinel.
+	err = c1.Exec("SELECT * FROM missing")
+	if err == nil || errors.Is(err, client.ErrSerialization) || errors.Is(err, client.ErrTxnAborted) {
+		t.Fatalf("generic error misclassified: %v", err)
+	}
+}
+
+// TestPoolBeginRetry is the sentinel's point: a Pool.Begin transaction
+// that loses the serialization race is retried wholesale and succeeds.
+func TestPoolBeginRetry(t *testing.T) {
+	addr, _ := startServer(t)
+	p, err := client.NewPool(addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Exec("CREATE TABLE acct (id int, bal int); INSERT INTO acct VALUES (1, 0)"); err != nil {
+		t.Fatal(err)
+	}
+
+	deposit := func() error {
+		tx, err := p.Begin()
+		if err != nil {
+			return err
+		}
+		if err := tx.Exec("UPDATE acct SET bal = bal + 1 WHERE id = 1"); err != nil {
+			tx.Rollback()
+			return err
+		}
+		return tx.Commit()
+	}
+	const workers, deposits = 4, 10
+	done := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			for n := 0; n < deposits; {
+				err := deposit()
+				switch {
+				case err == nil:
+					n++
+				case errors.Is(err, client.ErrSerialization):
+					// retry the whole transaction
+				default:
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < workers; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := p.QueryValue("SELECT bal FROM acct WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int() != workers*deposits {
+		t.Fatalf("balance %d, want %d", v.Int(), workers*deposits)
+	}
+}
+
+// TestPoolBeginRecycling: a size-1 pool must recycle its single pinned
+// connection through every Begin/Commit and Begin/Rollback cycle — if
+// Begin or finish ever leaked the connection (or left a half-open block
+// on it), the next cycle would hang or fail.
+func TestPoolBeginRecycling(t *testing.T) {
+	addr, _ := startServer(t)
+	p, err := client.NewPool(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Exec("CREATE TABLE t (a int)"); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 10; i++ {
+		// Committed cycle.
+		tx, err := p.Begin()
+		if err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		if err := tx.Exec("INSERT INTO t VALUES (1)"); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		// Aborted cycle: the failed statement must not poison the
+		// recycled connection for the next iteration.
+		tx, err = p.Begin()
+		if err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		if err := tx.Exec("SELECT * FROM missing"); err == nil {
+			t.Fatalf("cycle %d: query on missing table succeeded", i)
+		}
+		if err := tx.Rollback(); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+	}
+	v, err := p.QueryValue("SELECT count(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int() != 10 {
+		t.Fatalf("count %d, want 10", v.Int())
+	}
+}
+
+// TestPoolBeginDeadServer: when the pooled connection dies underneath a
+// Begin, the pool must surface an error (not hang on a connection it
+// thinks is pinned) and must not recycle the dead connection.
+func TestPoolBeginDeadServer(t *testing.T) {
+	addr, srv := startServerStoppable(t)
+	p, err := client.NewPool(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// Prime the free list so the next Begin reuses a live connection
+	// whose server is about to disappear.
+	tx, err := p.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv()
+
+	if tx, err := p.Begin(); err == nil {
+		tx.Rollback()
+		t.Fatal("Begin succeeded against a stopped server")
+	}
+}

@@ -57,6 +57,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max concurrent sessions for the scaling experiment (0 = off)")
 	writeratio := flag.Float64("writeratio", -1, "fraction of ops that are writes in the mixed read/write sweep (-1 = off)")
 	mixrows := flag.Int("mixrows", 0, "table size for the mixed read/write sweep (0 = the sweep's default)")
+	durability := flag.String("durability", "", "comma-separated durability modes for the mixed sweep: volatile, off, batched, commit (empty = volatile only)")
 	batchsize := flag.String("batchsize", "", "comma-separated executor batch sizes for the batch sweep (e.g. 1,64,1024; empty = the sweep's default sizes)")
 	addr := flag.String("addr", "", "host:port of a running plsqld: run the sweeps through the wire protocol against it")
 	window := flag.Int("window", 32, "pipelined requests in flight per connection in the remote sweep")
@@ -282,6 +283,11 @@ func main() {
 			ratio = 0.1 // -experiment mixed without -writeratio: a sensible default
 		}
 		cfg := bench.MixedConfig{MaxWorkers: *parallel, WriteRatio: ratio}
+		if *durability != "" {
+			for _, tok := range strings.Split(*durability, ",") {
+				cfg.Durability = append(cfg.Durability, strings.TrimSpace(strings.ToLower(tok)))
+			}
+		}
 		if cfg.MaxWorkers == 0 {
 			cfg.MaxWorkers = 4
 		}

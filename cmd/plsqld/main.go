@@ -6,11 +6,17 @@
 // Usage:
 //
 //	plsqld [-addr host:port] [-profile postgres|oracle|sqlite] [-seed N]
-//	       [-batchsize N] [-verbose]
+//	       [-batchsize N] [-data-dir DIR] [-sync off|batched|commit]
+//	       [-verbose]
 //
 // The daemon starts with an empty catalog; remote clients install
 // schemas and functions over the wire (CREATE TABLE / CREATE FUNCTION …
 // LANGUAGE plpgsql or sql), exactly as an embedded engine would.
+//
+// With -data-dir the engine is durable: commits append to a write-ahead
+// log in DIR, boot replays the checkpoint + log (recovering everything
+// acknowledged before a crash), and graceful shutdown checkpoints.
+// Without it the engine is volatile, as before.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"plsqlaway/internal/engine"
 	"plsqlaway/internal/profile"
 	"plsqlaway/internal/server"
+	"plsqlaway/internal/wal"
 )
 
 func main() {
@@ -35,6 +42,8 @@ func main() {
 	profName := flag.String("profile", "postgres", "engine profile: postgres, oracle, or sqlite")
 	seed := flag.Uint64("seed", 42, "default random() seed for new sessions")
 	batchSize := flag.Int("batchsize", 0, "executor batch size (0 = engine default)")
+	dataDir := flag.String("data-dir", "", "durable data directory (empty = volatile engine)")
+	syncFlag := flag.String("sync", "batched", "WAL sync mode: off, batched (group commit), or commit")
 	drain := flag.Duration("drain", 10*time.Second, "max time to drain connections on shutdown")
 	verbose := flag.Bool("verbose", false, "log per-connection diagnostics")
 	flag.Parse()
@@ -43,11 +52,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := []engine.Option{engine.WithProfile(prof), engine.WithSeed(*seed)}
+	syncMode, err := wal.ParseSyncMode(*syncFlag)
+	if err != nil {
+		fatal(err)
+	}
+	opts := []engine.Option{
+		engine.WithProfile(prof),
+		engine.WithSeed(*seed),
+		engine.WithSyncMode(syncMode),
+	}
 	if *batchSize > 0 {
 		opts = append(opts, engine.WithBatchSize(*batchSize))
 	}
-	e := engine.New(opts...)
+	e, err := engine.Open(*dataDir, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	if *dataDir != "" {
+		log.Printf("plsqld: durable data dir %s (sync=%s)", *dataDir, syncMode)
+	}
 
 	srvOpts := server.Options{Banner: fmt.Sprintf("plsqlaway (%s)", prof.Name)}
 	if *verbose {
@@ -82,6 +105,10 @@ func main() {
 		fatal(err)
 	}
 	<-drained
+	// Connections are drained, so no commit races the final checkpoint.
+	if err := e.Close(); err != nil {
+		log.Printf("plsqld: close: %v", err)
+	}
 	log.Printf("plsqld: bye")
 }
 

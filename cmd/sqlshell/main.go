@@ -270,6 +270,10 @@ func (b *remoteBackend) Meta(cmd string) bool {
 		}
 		fmt.Printf("page writes %d · pages alloc %d · tuples written %d · commits %d · vacuums %d (reclaimed %d)\n",
 			st.PageWrites, st.PagesAlloc, st.TuplesWritten, st.Commits, st.Vacuums, st.VersionsReclaimed)
+		if st.WALRecords > 0 || st.Checkpoints > 0 {
+			fmt.Printf("wal records %d (%d bytes) · fsyncs %d · checkpoints %d\n",
+				st.WALRecords, st.WALBytes, st.WALFsyncs, st.Checkpoints)
+		}
 	default:
 		fmt.Printf("meta command %s is not available over -connect (try \\seed, \\stats, \\q)\n", fields[0])
 	}

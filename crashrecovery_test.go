@@ -1,0 +1,242 @@
+//go:build !windows
+
+package plsqlaway_test
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"plsqlaway/client"
+)
+
+// TestCrashRecoveryDifferential is the durability acceptance test: run
+// plsqld as a real process under a concurrent transactional workload,
+// kill -9 it mid-burst, restart it on the same data directory, and check
+// the recovered state against what clients observed. The invariant is
+//
+//	acked ⊆ recovered ⊆ submitted
+//
+// — every transaction a client saw COMMIT succeed for must survive the
+// crash (sync=batched fsyncs before acknowledging), nothing the clients
+// never sent may appear, and every recovered transaction must be atomic
+// (both its INSERT and its UPDATE, never a torn half).
+func TestCrashRecoveryDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-recovery differential is slow; skipped in -short")
+	}
+
+	bin := filepath.Join(t.TempDir(), "plsqld")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/plsqld")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/plsqld: %v\n%s", err, out)
+	}
+	dataDir := t.TempDir()
+
+	var (
+		mu        sync.Mutex
+		submitted = map[int]bool{} // keys a client ever attempted
+		acked     = map[int]bool{} // keys whose COMMIT was acknowledged
+		nextKey   atomic.Int64
+		ackCount  atomic.Int64
+	)
+
+	const rounds = 3
+	const workers = 4
+	const acksPerRound = 25
+
+	for round := 0; round < rounds; round++ {
+		addr, proc := startPlsqld(t, bin, dataDir)
+
+		c, err := client.Dial(addr)
+		if err != nil {
+			t.Fatalf("round %d: dial: %v", round, err)
+		}
+		if round == 0 {
+			if err := c.Exec("CREATE TABLE kv (k int, v int)"); err != nil {
+				t.Fatalf("create table: %v", err)
+			}
+		} else {
+			verifyRecovered(t, c, round, submitted, acked)
+		}
+		c.Close()
+
+		// Burst: each worker claims fresh keys and runs
+		// INSERT(k,k); UPDATE k → v=k+1 as one transaction block,
+		// retrying serialization losses, until the server dies.
+		killAt := ackCount.Load() + acksPerRound
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				wc, err := client.Dial(addr)
+				if err != nil {
+					return
+				}
+				defer wc.Close()
+				for {
+					k := int(nextKey.Add(1))
+					mu.Lock()
+					submitted[k] = true
+					mu.Unlock()
+					for {
+						err := transferTxn(wc, k)
+						if err == nil {
+							mu.Lock()
+							acked[k] = true
+							mu.Unlock()
+							ackCount.Add(1)
+							break
+						}
+						if errors.Is(err, client.ErrSerialization) || errors.Is(err, client.ErrTxnAborted) {
+							wc.Rollback()
+							continue
+						}
+						return // connection dead: the kill landed
+					}
+				}
+			}()
+		}
+
+		// Let the burst make progress, then kill -9 mid-flight.
+		deadline := time.Now().Add(30 * time.Second)
+		for ackCount.Load() < killAt {
+			if time.Now().After(deadline) {
+				proc.Kill()
+				t.Fatalf("round %d: only %d acks before deadline", round, ackCount.Load())
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if err := proc.Kill(); err != nil { // SIGKILL
+			t.Fatalf("round %d: kill: %v", round, err)
+		}
+		proc.Wait()
+		wg.Wait()
+	}
+
+	// Final restart: the recovered state must still satisfy the
+	// invariant after the last crash.
+	addr, proc := startPlsqld(t, bin, dataDir)
+	defer func() {
+		proc.Kill()
+		proc.Wait()
+	}()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatalf("final dial: %v", err)
+	}
+	defer c.Close()
+	verifyRecovered(t, c, rounds, submitted, acked)
+	t.Logf("crash differential: %d keys acked across %d kill -9 rounds, all recovered", len(acked), rounds)
+}
+
+// transferTxn runs the test's unit of work as one transaction block.
+func transferTxn(c *client.Conn, k int) error {
+	if err := c.Begin(); err != nil {
+		return err
+	}
+	if err := c.Exec(fmt.Sprintf("INSERT INTO kv VALUES (%d, %d)", k, k)); err != nil {
+		return err
+	}
+	if err := c.Exec(fmt.Sprintf("UPDATE kv SET v = v + 1 WHERE k = %d", k)); err != nil {
+		return err
+	}
+	return c.Commit()
+}
+
+// verifyRecovered asserts acked ⊆ recovered ⊆ submitted and per-row
+// transaction atomicity (v = k+1, the INSERT and UPDATE together).
+func verifyRecovered(t *testing.T, c *client.Conn, round int, submitted, acked map[int]bool) {
+	t.Helper()
+	res, err := c.Query("SELECT k, v FROM kv ORDER BY k")
+	if err != nil {
+		t.Fatalf("round %d: recovery query: %v", round, err)
+	}
+	recovered := make(map[int]bool, len(res.Rows))
+	for _, row := range res.Rows {
+		k, v := int(row[0].Int()), int(row[1].Int())
+		if !submitted[k] {
+			t.Fatalf("round %d: recovered key %d was never submitted", round, k)
+		}
+		if v != k+1 {
+			t.Fatalf("round %d: torn transaction: key %d has v=%d, want %d", round, k, v, k+1)
+		}
+		if recovered[k] {
+			t.Fatalf("round %d: key %d recovered twice", round, k)
+		}
+		recovered[k] = true
+	}
+	for k := range acked {
+		if !recovered[k] {
+			t.Fatalf("round %d: acknowledged key %d lost in crash", round, k)
+		}
+	}
+}
+
+// startPlsqld launches the built daemon on an ephemeral port over dataDir
+// and returns its address and process once it reports it is serving.
+func startPlsqld(t *testing.T, bin, dataDir string) (string, *os.Process) {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-data-dir", dataDir, "-sync", "batched")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start plsqld: %v", err)
+	}
+
+	servingRe := regexp.MustCompile(`serving profile \S+ on (\S+)`)
+	addrCh := make(chan string, 1)
+	var outMu sync.Mutex
+	var lines []string
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			outMu.Lock()
+			lines = append(lines, line)
+			outMu.Unlock()
+			if m := servingRe.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+		select {
+		case addrCh <- "":
+		default:
+		}
+	}()
+	output := func() string {
+		outMu.Lock()
+		defer outMu.Unlock()
+		return strings.Join(lines, "\n")
+	}
+
+	select {
+	case addr := <-addrCh:
+		if addr == "" {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("plsqld exited before serving:\n%s", output())
+		}
+		return addr, cmd.Process
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("plsqld did not start within 30s:\n%s", output())
+		return "", nil
+	}
+}

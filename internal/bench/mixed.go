@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -10,6 +11,7 @@ import (
 
 	"plsqlaway/internal/engine"
 	"plsqlaway/internal/sqltypes"
+	"plsqlaway/internal/wal"
 )
 
 // MixedConfig sizes the mixed read/write scaling experiment: one shared
@@ -26,6 +28,14 @@ type MixedConfig struct {
 	TableRows  int     // rows in the shared table; default 8192
 	Span       int     // keys per range-aggregate read; default 256
 	WriteRatio float64 // fraction of ops that are single-row UPDATEs
+	// Durability lists the durability modes to sweep: "volatile" (no
+	// WAL, the historical behaviour and the default) or a wal.SyncMode
+	// name ("off", "batched", "commit") — each runs the whole worker
+	// sweep on a fresh engine logging to a temporary data directory.
+	// The axis shows what the group-commit protocol buys: "commit"
+	// pays one fsync per UPDATE, "batched" coalesces concurrent
+	// committers and recovers most of "off"'s throughput.
+	Durability []string
 }
 
 func (c *MixedConfig) defaults() {
@@ -53,11 +63,15 @@ func (c *MixedConfig) defaults() {
 	if c.WriteRatio > 1 {
 		c.WriteRatio = 1
 	}
+	if len(c.Durability) == 0 {
+		c.Durability = []string{"volatile"}
+	}
 }
 
 // MixedRow is one (session-count) throughput point of the mixed sweep.
 type MixedRow struct {
 	Workers      int
+	Durability   string // "volatile", or the WAL sync mode
 	WriteRatio   float64
 	Ops          int
 	Reads        int
@@ -123,7 +137,40 @@ type mixedOp struct {
 // masquerade as a speedup.
 func MixedSweep(cfg MixedConfig) ([]MixedRow, error) {
 	cfg.defaults()
-	e := engine.New(engine.WithSeed(42))
+	var rows []MixedRow
+	for _, mode := range cfg.Durability {
+		modeRows, err := mixedSweepMode(cfg, mode)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, modeRows...)
+	}
+	return rows, nil
+}
+
+// mixedSweepMode runs the worker sweep on one fresh engine in the given
+// durability mode ("volatile" = no WAL; otherwise a WAL sync mode
+// logging to a throwaway data directory).
+func mixedSweepMode(cfg MixedConfig, mode string) (rows []MixedRow, err error) {
+	var e *engine.Engine
+	if mode == "volatile" {
+		e = engine.New(engine.WithSeed(42))
+	} else {
+		sync, perr := wal.ParseSyncMode(mode)
+		if perr != nil {
+			return nil, fmt.Errorf("bench: durability mode: %w", perr)
+		}
+		dir, derr := os.MkdirTemp("", "plsqlaway-mixed-*")
+		if derr != nil {
+			return nil, derr
+		}
+		defer os.RemoveAll(dir)
+		e, err = engine.Open(dir, engine.WithSeed(42), engine.WithSyncMode(sync))
+		if err != nil {
+			return nil, err
+		}
+		defer e.Close()
+	}
 	if err := e.Exec("CREATE TABLE mix_kv (k int, v int)"); err != nil {
 		return nil, err
 	}
@@ -158,13 +205,12 @@ func MixedSweep(cfg MixedConfig) ([]MixedRow, error) {
 	}
 	reads := cfg.Ops - writes
 
-	var rows []MixedRow
 	applied := int64(0) // cumulative writes across sweep points
 	var baseline float64
 	for _, n := range cfg.Workers {
 		wall, readLat, writeLat, err := runMixed(e, ops, n, cfg.Span)
 		if err != nil {
-			return nil, fmt.Errorf("bench: mixed ×%d sessions: %w", n, err)
+			return nil, fmt.Errorf("bench: mixed ×%d sessions (%s): %w", n, mode, err)
 		}
 		applied += int64(writes)
 		// Each UPDATE adds exactly 1 to one row's v: the checksum pins the
@@ -174,10 +220,11 @@ func MixedSweep(cfg MixedConfig) ([]MixedRow, error) {
 			return nil, err
 		}
 		if got.Int() != sum0+applied {
-			return nil, fmt.Errorf("bench: mixed ×%d sessions: checksum %d, want %d (lost or duplicated writes)", n, got.Int(), sum0+applied)
+			return nil, fmt.Errorf("bench: mixed ×%d sessions (%s): checksum %d, want %d (lost or duplicated writes)", n, mode, got.Int(), sum0+applied)
 		}
 		row := MixedRow{
 			Workers:      n,
+			Durability:   mode,
 			WriteRatio:   cfg.WriteRatio,
 			Ops:          cfg.Ops,
 			Reads:        reads,
@@ -282,13 +329,17 @@ func FormatMixed(rows []MixedRow) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Mixed read/write workload: aggregate throughput on one shared engine (GOMAXPROCS=%d).\n", runtime.GOMAXPROCS(0))
 	sb.WriteString("Fixed op schedule per measurement, divided among N sessions.\n\n")
-	fmt.Fprintf(&sb, "%9s %11s %7s %7s %10s %12s %12s %13s %9s %9s %9s\n",
-		"sessions", "writeratio", "reads", "writes", "wall[ms]", "ops/sec", "reads/sec", "read-speedup",
+	fmt.Fprintf(&sb, "%9s %10s %11s %7s %7s %10s %12s %12s %13s %9s %9s %9s\n",
+		"sessions", "durability", "writeratio", "reads", "writes", "wall[ms]", "ops/sec", "reads/sec", "read-speedup",
 		"rd-p99", "rd-max", "wr-max")
-	sb.WriteString(strings.Repeat("-", 120) + "\n")
+	sb.WriteString(strings.Repeat("-", 130) + "\n")
 	for _, r := range rows {
-		fmt.Fprintf(&sb, "%9d %11.2f %7d %7d %10.1f %12.1f %12.1f %12.2fx %7.2fms %7.2fms %7.2fms\n",
-			r.Workers, r.WriteRatio, r.Reads, r.Writes, r.WallMs, r.OpsPerSec, r.ReadsPerSec, r.ReadSpeedup,
+		durability := r.Durability
+		if durability == "" {
+			durability = "volatile"
+		}
+		fmt.Fprintf(&sb, "%9d %10s %11.2f %7d %7d %10.1f %12.1f %12.1f %12.2fx %7.2fms %7.2fms %7.2fms\n",
+			r.Workers, durability, r.WriteRatio, r.Reads, r.Writes, r.WallMs, r.OpsPerSec, r.ReadsPerSec, r.ReadSpeedup,
 			r.ReadP99Ms, r.ReadMaxMs, r.WriteMaxMs)
 	}
 	return sb.String()

@@ -2,6 +2,7 @@ package catalog
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
@@ -68,6 +69,20 @@ func (c *Catalog) DeclareIndex(table, col string) error {
 	c.tables[t.Name] = nt
 	c.Version = nextVersion()
 	return nil
+}
+
+// IndexedCols lists the column positions with declared indexes, sorted —
+// the serialization order checkpoints persist index declarations in.
+func (t *Table) IndexedCols() []int {
+	if t.indexes == nil {
+		return nil
+	}
+	cols := make([]int, 0, len(t.indexes.byCol))
+	for ci := range t.indexes.byCol {
+		cols = append(cols, ci)
+	}
+	sort.Ints(cols)
+	return cols
 }
 
 // IndexOn returns the declared index for a column, if any.

@@ -47,6 +47,7 @@ import (
 	"plsqlaway/internal/sqlast"
 	"plsqlaway/internal/sqltypes"
 	"plsqlaway/internal/storage"
+	"plsqlaway/internal/wal"
 )
 
 // dbState is one published database snapshot: an immutable catalog plus
@@ -112,6 +113,14 @@ type shared struct {
 	maxCallDepth int
 	seed         uint64
 	batchSize    int
+
+	// Durability (nil/zero for a volatile engine). wal is set once by
+	// Open before any session runs and never replaced; commits append
+	// under commitMu and wait for durability after releasing it.
+	wal      *wal.WAL
+	dataDir  string
+	walEpoch uint64
+	syncMode wal.SyncMode
 }
 
 // pinState loads the published state and registers its timestamp with the
@@ -151,6 +160,7 @@ type config struct {
 	maxCallDepth int
 	seed         uint64
 	batchSize    int
+	syncMode     wal.SyncMode
 }
 
 // Option configures a new Engine.
@@ -176,6 +186,11 @@ func WithMaxRecursion(n int) Option { return func(c *config) { c.maxRecursion = 
 // Session.SetBatchSize.
 func WithBatchSize(n int) Option { return func(c *config) { c.batchSize = n } }
 
+// WithSyncMode selects when commits are acknowledged relative to WAL
+// fsync (default wal.SyncBatched: group commit). Only meaningful for
+// engines created with Open; a volatile New engine has no log to sync.
+func WithSyncMode(m wal.SyncMode) Option { return func(c *config) { c.syncMode = m } }
+
 // New creates an engine.
 func New(opts ...Option) *Engine {
 	cfg := config{
@@ -185,6 +200,7 @@ func New(opts ...Option) *Engine {
 		maxCallDepth: 256,
 		seed:         42,
 		batchSize:    exec.DefaultBatchSize,
+		syncMode:     wal.SyncBatched,
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -197,6 +213,7 @@ func New(opts ...Option) *Engine {
 		maxCallDepth: cfg.maxCallDepth,
 		seed:         cfg.seed,
 		batchSize:    cfg.batchSize,
+		syncMode:     cfg.syncMode,
 	}
 	sh.state.Store(&dbState{cat: catalog.New(sh.storageStats), ts: 0})
 	sh.cache = plan.NewCache()

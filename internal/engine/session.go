@@ -16,6 +16,7 @@ import (
 	"plsqlaway/internal/sqlparser"
 	"plsqlaway/internal/sqltypes"
 	"plsqlaway/internal/storage"
+	"plsqlaway/internal/wal"
 )
 
 // Session is one caller's execution context on a shared engine core. Many
@@ -44,7 +45,14 @@ type Session struct {
 	pinDepth   int              // nesting depth of pinned execution scopes
 	writeTS    int64            // commit timestamp being stamped; 0 outside writer statements
 	pendingCat *catalog.Catalog // COW catalog clone, created on first DDL mutation
-	touched    *storage.Heap    // heap the in-flight writer statement committed to
+
+	// pendingWrites buffers the in-flight autocommit statement's heap
+	// changes; pendingDDL its loggable catalog deltas. Both land at the
+	// statement's end in one step — WAL record first, then the heap
+	// commits, then the atomic publish — so a failed log append aborts
+	// with the heaps untouched.
+	pendingWrites []pendingWrite
+	pendingDDL    []wal.DDLEntry
 
 	// txn is the session's open transaction block (BEGIN…COMMIT/ROLLBACK);
 	// zero outside one. See txn.go for the protocol.
@@ -170,13 +178,47 @@ func (s *Session) beginRead() func() {
 // vacuum check entirely.
 const vacuumMinDead = 64
 
+// pendingWrite is one heap's buffered changes awaiting the commit point:
+// the dead version indices and surviving added tuples (already
+// flattened), with the owning table for the WAL record's name.
+type pendingWrite struct {
+	tbl   *catalog.Table
+	dead  []int
+	added []storage.Tuple
+}
+
+// commitRecord renders a commit's catalog deltas and flattened heap
+// changes as its WAL record. Tuples are serialized with
+// storage.EncodeTuple — the heap-page format doubles as the log format.
+func commitRecord(ts int64, ddl []wal.DDLEntry, writes []pendingWrite) *wal.Record {
+	rec := &wal.Record{Kind: wal.RecordCommit, TS: ts, DDL: ddl}
+	for _, pw := range writes {
+		hc := wal.HeapChange{Table: pw.tbl.Name, Dead: pw.dead}
+		for _, t := range pw.added {
+			hc.Added = append(hc.Added, storage.EncodeTuple(t))
+		}
+		rec.Heaps = append(rec.Heaps, hc)
+	}
+	return rec
+}
+
 // commitWrap runs fn as one writer transaction: it takes the commit lock,
 // pins the tip snapshot for fn's reads, hands out commit timestamp
 // tip+1 for the versions fn stamps, and — if fn changed anything —
-// publishes the new database state and opportunistically vacuums the
-// touched heap. On error nothing is published: DML helpers buffer their
-// rows and commit to the heap as their final act, and DDL mutates a
-// private catalog clone, so an aborted statement leaves no trace.
+// appends the WAL record, applies the buffered heap writes, and
+// publishes the new database state. On error nothing is published: DML
+// helpers buffer their rows, DDL mutates a private catalog clone, and
+// the WAL append precedes the first heap mutation, so an aborted
+// statement (including one whose log append failed) leaves no trace.
+//
+// Durability ordering: the record is appended (one buffered write)
+// under the commit lock, which serializes the log identically to commit
+// order; the fsync wait happens after the lock is released, so
+// concurrent committers stack up behind one group-commit fsync instead
+// of serializing N fsyncs through the lock. Consequence: a commit
+// becomes visible to concurrent readers before it is durable — after a
+// crash, recovered state is always a prefix of what readers might have
+// seen, and a superset of what WaitDurable acknowledged.
 func (s *Session) commitWrap(fn func() (*Result, error)) (*Result, error) {
 	if s.pinDepth > 0 {
 		return nil, fmt.Errorf("engine: DML/DDL inside a query is not supported")
@@ -186,6 +228,21 @@ func (s *Session) commitWrap(fn func() (*Result, error)) (*Result, error) {
 		// block's snapshot and lock instead of committing on its own.
 		return s.txnWrite(fn)
 	}
+	res, lsn, err := s.commitOnce(fn)
+	if err != nil {
+		return nil, err
+	}
+	if lsn > 0 {
+		if err := s.sh.wal.WaitDurable(lsn); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// commitOnce is commitWrap's under-the-lock half; it returns the LSN the
+// caller must wait on (0 when nothing was logged).
+func (s *Session) commitOnce(fn func() (*Result, error)) (*Result, int64, error) {
 	s.sh.commitMu.Lock()
 	defer s.sh.commitMu.Unlock()
 	st := s.sh.pinState() // the tip; stable while the commit lock is held
@@ -194,12 +251,14 @@ func (s *Session) commitWrap(fn func() (*Result, error)) (*Result, error) {
 	s.pinDepth++
 	s.writeTS = st.ts + 1
 	s.pendingCat = nil
-	s.touched = nil
+	s.pendingWrites = nil
+	s.pendingDDL = nil
 	defer func() {
 		s.pinDepth--
 		s.writeTS = 0
 		s.pendingCat = nil
-		s.touched = nil
+		s.pendingWrites = nil
+		s.pendingDDL = nil
 		s.sh.pins.unpin(st.ts)
 		// Symmetric restore (mirrors beginRead's release): after the
 		// commit the interpreter must bind against the published catalog
@@ -210,20 +269,30 @@ func (s *Session) commitWrap(fn func() (*Result, error)) (*Result, error) {
 
 	res, err := fn()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	if s.pendingCat == nil && s.touched == nil {
-		return res, nil // no-op statement: don't burn a commit timestamp
+	if s.pendingCat == nil && len(s.pendingWrites) == 0 {
+		return res, 0, nil // no-op statement: don't burn a commit timestamp
+	}
+	var lsn int64
+	if w := s.sh.wal; w != nil {
+		lsn, err = w.Append(commitRecord(s.writeTS, s.pendingDDL, s.pendingWrites))
+		if err != nil {
+			return nil, 0, err // nothing applied, nothing published: clean abort
+		}
+	}
+	for _, pw := range s.pendingWrites {
+		pw.tbl.Heap.Commit(pw.dead, pw.added, s.writeTS)
 	}
 	cat := st.cat
 	if s.pendingCat != nil {
 		cat = s.pendingCat
 	}
 	s.sh.state.Store(&dbState{cat: cat, ts: s.writeTS})
-	if h := s.touched; h != nil {
-		s.maybeVacuum(h, s.writeTS)
+	for _, pw := range s.pendingWrites {
+		s.maybeVacuum(pw.tbl, s.writeTS)
 	}
-	return res, nil
+	return res, lsn, nil
 }
 
 // mutableCat returns the writer's private catalog clone, creating it on
@@ -362,13 +431,24 @@ func (s *Session) QueryFresh(q *sqlast.Query, params ...sqltypes.Value) (*Result
 // pure-SQL body (parameters $1..$n) with no interpreter involvement.
 func (s *Session) InstallCompiled(name string, params []plast.Param, ret sqltypes.Type, body *sqlast.Query) error {
 	_, err := s.commitWrap(func() (*Result, error) {
-		return nil, s.mutableCat().CreateFunction(&catalog.Function{
+		fn := &catalog.Function{
 			Name:       name,
 			Params:     params,
 			ReturnType: ret,
 			Kind:       catalog.FuncCompiled,
 			SQLBody:    body,
-		}, true)
+		}
+		if err := s.mutableCat().CreateFunction(fn, true); err != nil {
+			return nil, err
+		}
+		if s.sh.wal != nil {
+			fe, err := functionEntry(fn)
+			if err != nil {
+				return nil, err
+			}
+			s.logDDLEntry(wal.DDLEntry{Fn: fe})
+		}
+		return nil, nil
 	})
 	return err
 }
@@ -449,15 +529,15 @@ func (s *Session) execStmt(stmt sqlast.Statement, params []sqltypes.Value) (*Res
 	case *sqlast.SelectStatement:
 		return s.runQuery(stmt.Query, params)
 	case *sqlast.CreateTable:
-		return nil, s.createTable(stmt)
+		return nil, s.loggedDDL(stmt, func() error { return applyCreateTable(s.mutableCat(), stmt) })
 	case *sqlast.CreateIndex:
-		return nil, s.mutableCat().DeclareIndex(stmt.Table, stmt.Column)
+		return nil, s.loggedDDL(stmt, func() error { return s.mutableCat().DeclareIndex(stmt.Table, stmt.Column) })
 	case *sqlast.DropTable:
-		return nil, s.mutableCat().DropTable(stmt.Name, stmt.IfExists)
+		return nil, s.loggedDDL(stmt, func() error { return s.mutableCat().DropTable(stmt.Name, stmt.IfExists) })
 	case *sqlast.CreateFunction:
-		return nil, s.createFunction(stmt)
+		return nil, s.loggedDDL(stmt, func() error { return applyCreateFunction(s.mutableCat(), s.sh, stmt) })
 	case *sqlast.DropFunction:
-		return nil, s.mutableCat().DropFunction(stmt.Name, stmt.IfExists)
+		return nil, s.loggedDDL(stmt, func() error { return s.mutableCat().DropFunction(stmt.Name, stmt.IfExists) })
 	case *sqlast.Insert:
 		return nil, s.insert(stmt, params)
 	case *sqlast.Update:
@@ -528,7 +608,40 @@ func (s *Session) runPlanned(p *plan.Plan, params []sqltypes.Value) (*Result, er
 	return &Result{Cols: p.Cols, Rows: rows}, nil
 }
 
-func (s *Session) createTable(stmt *sqlast.CreateTable) error {
+// loggedDDL applies one DDL mutation and, on success, records its WAL
+// entry (deparsed statement text; functions travel structured) so the
+// commit record carries the catalog delta for replay.
+func (s *Session) loggedDDL(stmt sqlast.Statement, fn func() error) error {
+	if err := fn(); err != nil {
+		return err
+	}
+	if s.sh.wal != nil {
+		s.logDDLEntry(ddlEntry(stmt))
+	}
+	return nil
+}
+
+// logDDLEntry buffers one catalog delta on the in-flight commit —
+// the statement's own (autocommit) or the open transaction block's.
+func (s *Session) logDDLEntry(ent wal.DDLEntry) {
+	if s.txn.active {
+		s.txn.ddlLog = append(s.txn.ddlLog, ent)
+	} else {
+		s.pendingDDL = append(s.pendingDDL, ent)
+	}
+}
+
+// ddlEntry serializes one DDL statement for the WAL.
+func ddlEntry(stmt sqlast.Statement) wal.DDLEntry {
+	if cf, ok := stmt.(*sqlast.CreateFunction); ok {
+		return wal.DDLEntry{Fn: functionEntryFromStmt(cf)}
+	}
+	return wal.DDLEntry{SQL: sqlast.Deparse(stmt)}
+}
+
+// applyCreateTable applies a CREATE TABLE statement to cat — shared by
+// the statement dispatch and WAL replay.
+func applyCreateTable(cat *catalog.Catalog, stmt *sqlast.CreateTable) error {
 	cols := make([]catalog.Column, len(stmt.Cols))
 	for i, c := range stmt.Cols {
 		t, err := sqltypes.ParseType(c.TypeName)
@@ -537,21 +650,23 @@ func (s *Session) createTable(stmt *sqlast.CreateTable) error {
 		}
 		cols[i] = catalog.Column{Name: c.Name, Type: t}
 	}
-	_, err := s.mutableCat().CreateTable(stmt.Name, cols, stmt.IfNotExists)
+	_, err := cat.CreateTable(stmt.Name, cols, stmt.IfNotExists)
 	return err
 }
 
-func (s *Session) createFunction(stmt *sqlast.CreateFunction) error {
+// applyCreateFunction applies a CREATE FUNCTION statement to cat —
+// shared by the statement dispatch and WAL replay.
+func applyCreateFunction(cat *catalog.Catalog, sh *shared, stmt *sqlast.CreateFunction) error {
 	switch strings.ToLower(stmt.Language) {
 	case "plpgsql":
-		if !s.sh.prof.AllowPLpgSQL {
-			return fmt.Errorf("engine: %s has no PL/SQL support — compile the function away instead (paper §3)", s.sh.prof.Name)
+		if !sh.prof.AllowPLpgSQL {
+			return fmt.Errorf("engine: %s has no PL/SQL support — compile the function away instead (paper §3)", sh.prof.Name)
 		}
 		f, err := plparser.ParseFunction(stmt)
 		if err != nil {
 			return err
 		}
-		return s.mutableCat().CreateFunction(&catalog.Function{
+		return cat.CreateFunction(&catalog.Function{
 			Name:       stmt.Name,
 			Params:     f.Params,
 			ReturnType: f.ReturnType,
@@ -575,7 +690,7 @@ func (s *Session) createFunction(stmt *sqlast.CreateFunction) error {
 		if err != nil {
 			return err
 		}
-		return s.mutableCat().CreateFunction(&catalog.Function{
+		return cat.CreateFunction(&catalog.Function{
 			Name:       stmt.Name,
 			Params:     params,
 			ReturnType: rt,
@@ -635,7 +750,7 @@ func (s *Session) insert(stmt *sqlast.Insert, params []sqltypes.Value) error {
 	if len(added) == 0 {
 		return nil
 	}
-	s.applyWrite(tbl.Heap, nil, nil, added)
+	s.applyWrite(tbl, nil, nil, added)
 	return nil
 }
 
@@ -683,16 +798,17 @@ func (s *Session) writeView(h *storage.Heap) (writeView, error) {
 	return v, nil
 }
 
-// applyWrite lands one writer statement's row changes on h: committed
-// immediately in autocommit (the single Commit stamps everything with the
-// statement's timestamp), buffered in the transaction's overlay inside a
-// block (dead base versions, tombstoned buffered rows, appended inserts).
-func (s *Session) applyWrite(h *storage.Heap, dead, deadAdded []int, added []storage.Tuple) {
+// applyWrite lands one writer statement's row changes on tbl's heap:
+// buffered on the statement's pending set in autocommit (commitOnce logs
+// and applies everything with the statement's timestamp), buffered in
+// the transaction's overlay inside a block (dead base versions,
+// tombstoned buffered rows, appended inserts).
+func (s *Session) applyWrite(tbl *catalog.Table, dead, deadAdded []int, added []storage.Tuple) {
 	if s.txn.active {
 		if len(dead)+len(deadAdded)+len(added) == 0 {
 			return
 		}
-		w := s.txnWrites(h)
+		w := s.txnWrites(tbl)
 		for _, vi := range dead {
 			w.Dead[vi] = true
 		}
@@ -705,8 +821,7 @@ func (s *Session) applyWrite(h *storage.Heap, dead, deadAdded []int, added []sto
 	if len(dead)+len(added) == 0 {
 		return // no-match fast path: nothing rewritten, nothing committed
 	}
-	h.Commit(dead, added, s.writeTS)
-	s.touched = h
+	s.pendingWrites = append(s.pendingWrites, pendingWrite{tbl: tbl, dead: dead, added: added})
 }
 
 // update is MVCC UPDATE: rows matching the predicate get their current
@@ -780,7 +895,7 @@ func (s *Session) update(stmt *sqlast.Update, params []sqltypes.Value) error {
 			added = append(added, out)
 		}
 	}
-	s.applyWrite(tbl.Heap, dead, deadAdded, added)
+	s.applyWrite(tbl, dead, deadAdded, added)
 	return nil
 }
 
@@ -834,7 +949,7 @@ func (s *Session) delete(stmt *sqlast.Delete, params []sqltypes.Value) error {
 			deadAdded = append(deadAdded, view.addedIdx[i])
 		}
 	}
-	s.applyWrite(tbl.Heap, dead, deadAdded, nil)
+	s.applyWrite(tbl, dead, deadAdded, nil)
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"plsqlaway/internal/catalog"
 	"plsqlaway/internal/sqlast"
 	"plsqlaway/internal/storage"
+	"plsqlaway/internal/wal"
 )
 
 // ErrSerialization is returned when a transaction's first write finds
@@ -16,10 +17,11 @@ import (
 // retry the whole transaction.
 var ErrSerialization = errors.New("engine: could not serialize access due to a concurrent commit (rollback and retry the transaction)")
 
-// errTxnAborted mirrors Postgres's 25P02: after any statement fails
+// ErrTxnAborted mirrors Postgres's 25P02: after any statement fails
 // inside a transaction block, everything but COMMIT/ROLLBACK is refused
-// until the block ends.
-var errTxnAborted = errors.New("engine: current transaction is aborted, commands ignored until end of transaction block")
+// until the block ends. Match it with errors.Is — the client package
+// re-wraps it across the wire.
+var ErrTxnAborted = errors.New("engine: current transaction is aborted, commands ignored until end of transaction block")
 
 // txnState is one session's open transaction block. The protocol
 // generalizes the single-statement commitWrap: one snapshot pinned at
@@ -46,7 +48,8 @@ type txnState struct {
 	locked  bool  // commitMu held (acquired at first writer statement)
 	writeTS int64 // st.ts+1 once locked; the commit timestamp
 	writes  map[*storage.Heap]*storage.HeapOverlay
-	order   []*storage.Heap // heaps in first-write order, for deterministic commit
+	order   []*catalog.Table // tables in first-write order, for deterministic commit
+	ddlLog  []wal.DDLEntry   // catalog deltas for the WAL commit record
 }
 
 // InTxn reports whether the session is inside an explicit transaction
@@ -101,27 +104,57 @@ func (s *Session) Commit() error {
 		s.endTxn()
 		return nil
 	}
-	defer s.endTxn()
-	if !s.txn.locked {
-		return nil // read-only transaction: nothing to publish
+	lsn, err := s.commitTxn()
+	s.endTxn()
+	if err != nil {
+		return err
 	}
-	var touched []*storage.Heap
-	for _, h := range s.txn.order {
-		dead, added := s.txn.writes[h].Flatten()
+	// Wait for durability after releasing the commit lock, so concurrent
+	// committers coalesce their fsyncs (group commit).
+	if lsn > 0 {
+		return s.sh.wal.WaitDurable(lsn)
+	}
+	return nil
+}
+
+// commitTxn publishes the open transaction's buffered writes and DDL
+// under the already-held commit lock, logging one flattened WAL commit
+// record first — a failed append aborts before any heap is touched.
+// It returns the record's LSN (0 when nothing needed logging).
+func (s *Session) commitTxn() (int64, error) {
+	if !s.txn.locked {
+		return 0, nil // read-only transaction: nothing to publish
+	}
+	var writes []pendingWrite
+	for _, tbl := range s.txn.order {
+		if cur, ok := s.txn.cat.Table(tbl.Name); !ok || cur.Heap != tbl.Heap {
+			continue // table dropped inside the block: its writes die with it
+		}
+		dead, added := s.txn.writes[tbl.Heap].Flatten()
 		if len(dead) == 0 && len(added) == 0 {
 			continue // net no-op on this heap (e.g. insert then delete)
 		}
-		h.Commit(dead, added, s.txn.writeTS)
-		touched = append(touched, h)
+		writes = append(writes, pendingWrite{tbl: tbl, dead: dead, added: added})
 	}
-	if !s.txn.ddl && len(touched) == 0 {
-		return nil // no-op transaction: don't burn a commit timestamp
+	if !s.txn.ddl && len(writes) == 0 {
+		return 0, nil // no-op transaction: don't burn a commit timestamp
+	}
+	var lsn int64
+	if s.sh.wal != nil {
+		var err error
+		lsn, err = s.sh.wal.Append(commitRecord(s.txn.writeTS, s.txn.ddlLog, writes))
+		if err != nil {
+			return 0, err // clean abort: no heap was touched
+		}
+	}
+	for _, pw := range writes {
+		pw.tbl.Heap.Commit(pw.dead, pw.added, s.txn.writeTS)
 	}
 	s.sh.state.Store(&dbState{cat: s.txn.cat, ts: s.txn.writeTS})
-	for _, h := range touched {
-		s.maybeVacuum(h, s.txn.writeTS)
+	for _, pw := range writes {
+		s.maybeVacuum(pw.tbl, s.txn.writeTS)
 	}
-	return nil
+	return lsn, nil
 }
 
 // Rollback discards the open transaction: buffered writes and the
@@ -161,7 +194,7 @@ func (s *Session) endTxn() {
 // txnGate refuses work on an aborted transaction block.
 func (s *Session) txnGate() error {
 	if s.txn.active && s.txn.aborted {
-		return errTxnAborted
+		return ErrTxnAborted
 	}
 	return nil
 }
@@ -198,16 +231,16 @@ func (s *Session) ensureTxnWrite() error {
 }
 
 // txnWrites returns (creating on first use) the transaction's buffered
-// write set for h, registering the heap in commit order.
-func (s *Session) txnWrites(h *storage.Heap) *storage.HeapOverlay {
-	w, ok := s.txn.writes[h]
+// write set for tbl's heap, registering the table in commit order.
+func (s *Session) txnWrites(tbl *catalog.Table) *storage.HeapOverlay {
+	w, ok := s.txn.writes[tbl.Heap]
 	if !ok {
 		if s.txn.writes == nil {
 			s.txn.writes = make(map[*storage.Heap]*storage.HeapOverlay)
 		}
 		w = &storage.HeapOverlay{Dead: make(map[int]bool)}
-		s.txn.writes[h] = w
-		s.txn.order = append(s.txn.order, h)
+		s.txn.writes[tbl.Heap] = w
+		s.txn.order = append(s.txn.order, tbl)
 	}
 	return w
 }
@@ -247,11 +280,24 @@ func (s *Session) txnWrite(fn func() (*Result, error)) (*Result, error) {
 
 // maybeVacuum opportunistically vacuums a heap this commit touched,
 // identically for single-statement commits and transaction commits.
-func (s *Session) maybeVacuum(h *storage.Heap, writeTS int64) {
+// Vacuum renumbers version indices, and later commit records reference
+// rows by version index — so every vacuum that reclaims anything is
+// logged with its exact horizon, and replay applies those records
+// verbatim instead of re-running the heuristic, keeping the replayed
+// heap's numbering identical to the original's.
+func (s *Session) maybeVacuum(tbl *catalog.Table, writeTS int64) {
+	h := tbl.Heap
 	if dead := h.DeadCount(); dead >= vacuumMinDead && dead*4 >= h.Len() {
 		// The horizon includes our own still-held pin, so versions this
 		// very commit superseded are reclaimed by a later one — a lag
 		// of one commit, in exchange for never racing our own reads.
-		h.Vacuum(s.sh.pins.oldest(writeTS))
+		horizon := s.sh.pins.oldest(writeTS)
+		if h.Vacuum(horizon) > 0 && s.sh.wal != nil {
+			// Vacuum is an in-memory reorganization, not new data — it
+			// never needs to be durable before the commit that follows
+			// it, so no WaitDurable here. A lost tail vacuum record can
+			// only be lost alongside every later commit record.
+			s.sh.wal.Append(wal.VacuumRecord(tbl.Name, horizon))
+		}
 	}
 }

@@ -292,6 +292,16 @@ func (c *conn) write(m wire.Message) error {
 
 func (c *conn) writeDone() { c.write(&wire.Done{Tag: "OK"}) }
 
+// writeError terminates a response with an Error frame, classifying the
+// engine's retryable sentinels so remote callers can errors.Is them
+// (the client package re-wraps the code back onto the sentinel).
 func (c *conn) writeError(err error) {
-	c.write(&wire.Error{Message: err.Error()})
+	code := wire.CodeGeneric
+	switch {
+	case errors.Is(err, engine.ErrSerialization):
+		code = wire.CodeSerialization
+	case errors.Is(err, engine.ErrTxnAborted):
+		code = wire.CodeTxnAborted
+	}
+	c.write(&wire.Error{Code: code, Message: err.Error()})
 }

@@ -379,6 +379,58 @@ func (h *Heap) NumPages() int {
 	return len(h.pages)
 }
 
+// DumpVersions streams every stored version in heap order — dead ones
+// included — as (xmin, xmax, encoded payload) triples: the checkpoint
+// serialization. Preserving the full array in order matters because a
+// version's identity is its index; restoring the dump reproduces the
+// exact numbering that logged dead sets and vacuum replays reference.
+// The enc slice aliases page storage and must not be retained across
+// mutations; copy it if it outlives the callback.
+func (h *Heap) DumpVersions(fn func(xmin, xmax int64, enc []byte) error) error {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	for vi := range h.versions {
+		v := &h.versions[vi]
+		if err := fn(v.xmin, v.xmax, h.pages[v.page].tuples[v.slot]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestoreVersion appends one version from its checkpoint serialization:
+// the already-encoded payload with its MVCC window, bypassing re-encode.
+// Recovery calls it in dump order on a fresh heap before any reader
+// exists, rebuilding the identical version array.
+func (h *Heap) RestoreVersion(enc []byte, xmin, xmax int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.pages) == 0 || !h.pages[len(h.pages)-1].TryAdd(enc) {
+		p := NewPage()
+		atomic.AddInt64(&h.stats.PagesAlloc, 1)
+		p.TryAdd(enc)
+		h.pages = append(h.pages, p)
+	}
+	pi := len(h.pages) - 1
+	h.versions = append(h.versions, rowVersion{
+		page: pi,
+		slot: h.pages[pi].NumTuples() - 1,
+		xmin: xmin,
+		xmax: xmax,
+	})
+	if xmax == 0 {
+		h.live++
+	}
+	if xmin > h.lastTS {
+		h.lastTS = xmin
+	}
+	if xmax > h.lastTS {
+		h.lastTS = xmax
+	}
+	h.cache = nil
+	h.gen++
+}
+
 // Vacuum reclaims versions no snapshot at or after oldest can see (dead
 // with xmax <= oldest), rebuilding the pages from the surviving encoded
 // payloads — no re-encode, and no page-write charge to stats: vacuum

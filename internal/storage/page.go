@@ -46,7 +46,11 @@ func payloadSize(t Tuple) int {
 }
 
 // EncodeTuple serializes a tuple. The encoding is self-delimiting so pages
-// can be decoded without a schema; kinds are tagged per field.
+// can be decoded without a schema; kinds are tagged per field. This is
+// also the database's on-disk tuple format: WAL commit records and
+// checkpoint snapshots (internal/wal) carry tuples as EncodeTuple bytes,
+// so the in-memory page layout and the durable log/snapshot layout never
+// drift apart.
 func EncodeTuple(t Tuple) []byte {
 	buf := make([]byte, 0, payloadSize(t))
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(t)))

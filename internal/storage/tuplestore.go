@@ -26,6 +26,13 @@ type Stats struct {
 	Commits           int64 // heap transactions applied via Commit
 	Vacuums           int64 // vacuum passes that reclaimed at least one version
 	VersionsReclaimed int64 // dead row versions reclaimed by vacuum
+
+	// Durability counters (internal/wal). WALFsyncs vs WALRecords is the
+	// group-commit coalescing ratio the durability benchmarks assert.
+	WALRecords  int64 // records appended to the write-ahead log
+	WALBytes    int64 // framed bytes appended to the write-ahead log
+	WALFsyncs   int64 // fsyncs issued against the log
+	Checkpoints int64 // checkpoint snapshots written
 }
 
 // Reset zeroes the counters.
@@ -37,6 +44,10 @@ func (s *Stats) Reset() {
 	atomic.StoreInt64(&s.Commits, 0)
 	atomic.StoreInt64(&s.Vacuums, 0)
 	atomic.StoreInt64(&s.VersionsReclaimed, 0)
+	atomic.StoreInt64(&s.WALRecords, 0)
+	atomic.StoreInt64(&s.WALBytes, 0)
+	atomic.StoreInt64(&s.WALFsyncs, 0)
+	atomic.StoreInt64(&s.Checkpoints, 0)
 }
 
 // StatsSnapshot is a plain copy of the counters, read atomically — the
@@ -49,6 +60,10 @@ type StatsSnapshot struct {
 	Commits           int64
 	Vacuums           int64
 	VersionsReclaimed int64
+	WALRecords        int64
+	WALBytes          int64
+	WALFsyncs         int64
+	Checkpoints       int64
 }
 
 // Snapshot reads every counter atomically (individually consistent; the
@@ -62,6 +77,10 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		Commits:           atomic.LoadInt64(&s.Commits),
 		Vacuums:           atomic.LoadInt64(&s.Vacuums),
 		VersionsReclaimed: atomic.LoadInt64(&s.VersionsReclaimed),
+		WALRecords:        atomic.LoadInt64(&s.WALRecords),
+		WALBytes:          atomic.LoadInt64(&s.WALBytes),
+		WALFsyncs:         atomic.LoadInt64(&s.WALFsyncs),
+		Checkpoints:       atomic.LoadInt64(&s.Checkpoints),
 	}
 }
 

@@ -1,0 +1,190 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// CheckpointName is the snapshot file inside a data directory.
+const CheckpointName = "checkpoint"
+
+// checkpointMagic heads the checkpoint file; the trailing byte is the
+// format version.
+var checkpointMagic = []byte("PLSQLCK\x01")
+
+// CheckpointVersion is one stored row version: its MVCC window and the
+// storage.EncodeTuple payload. Versions are serialized in heap order —
+// dead ones included — so restoring them reproduces the heap's exact
+// version-index numbering, which later log records' dead sets and
+// vacuum replays depend on.
+type CheckpointVersion struct {
+	Xmin, Xmax int64
+	Enc        []byte
+}
+
+// CheckpointTable is one table's schema and full heap contents.
+type CheckpointTable struct {
+	Name      string
+	Cols      []ParamEntry // column (name, type-name) pairs
+	IndexCols []string     // columns with declared indexes
+	Versions  []CheckpointVersion
+}
+
+// Checkpoint is a full database snapshot: the last published commit
+// timestamp, every function, and every table with its complete version
+// array. Epoch names the log file that continues this snapshot —
+// recovery replays checkpoint + wal-<epoch>.log and nothing else.
+type Checkpoint struct {
+	Epoch  uint64
+	LastTS int64
+	Funcs  []FunctionEntry
+	Tables []CheckpointTable
+}
+
+func (ck *Checkpoint) encode() []byte {
+	var e recEncoder
+	e.uvarint(ck.Epoch)
+	e.varint(ck.LastTS)
+	e.uvarint(uint64(len(ck.Funcs)))
+	for i := range ck.Funcs {
+		e.functionEntry(&ck.Funcs[i])
+	}
+	e.uvarint(uint64(len(ck.Tables)))
+	for _, t := range ck.Tables {
+		e.str(t.Name)
+		e.uvarint(uint64(len(t.Cols)))
+		for _, c := range t.Cols {
+			e.paramEntry(c)
+		}
+		e.uvarint(uint64(len(t.IndexCols)))
+		for _, c := range t.IndexCols {
+			e.str(c)
+		}
+		e.uvarint(uint64(len(t.Versions)))
+		for _, v := range t.Versions {
+			e.varint(v.Xmin)
+			e.varint(v.Xmax)
+			e.bytes(v.Enc)
+		}
+	}
+	return e.buf
+}
+
+func decodeCheckpoint(payload []byte) (*Checkpoint, error) {
+	d := recDecoder{buf: payload}
+	ck := &Checkpoint{Epoch: d.uvarint(), LastTS: d.varint()}
+	nf := d.count("functions")
+	for i := 0; i < nf && d.err == nil; i++ {
+		ck.Funcs = append(ck.Funcs, *d.functionEntry())
+	}
+	nt := d.count("tables")
+	for i := 0; i < nt && d.err == nil; i++ {
+		t := CheckpointTable{Name: d.str()}
+		nc := d.count("columns")
+		for j := 0; j < nc && d.err == nil; j++ {
+			t.Cols = append(t.Cols, d.paramEntry())
+		}
+		ni := d.count("index columns")
+		for j := 0; j < ni && d.err == nil; j++ {
+			t.IndexCols = append(t.IndexCols, d.str())
+		}
+		nv := d.count("versions")
+		for j := 0; j < nv && d.err == nil; j++ {
+			t.Versions = append(t.Versions, CheckpointVersion{
+				Xmin: d.varint(),
+				Xmax: d.varint(),
+				Enc:  d.bytes(),
+			})
+		}
+		ck.Tables = append(ck.Tables, t)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("wal: checkpoint has %d trailing bytes", len(d.buf))
+	}
+	return ck, nil
+}
+
+// WriteCheckpoint atomically replaces dir's checkpoint file: the
+// snapshot is written to a temp file, fsynced, and renamed over the old
+// checkpoint, so a crash at any point leaves either the previous
+// complete checkpoint or the new one — never a torn mix.
+func WriteCheckpoint(dir string, ck *Checkpoint) error {
+	payload := ck.encode()
+	buf := make([]byte, 0, len(checkpointMagic)+8+len(payload))
+	buf = append(buf, checkpointMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	buf = append(buf, payload...)
+
+	tmp := filepath.Join(dir, CheckpointName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, CheckpointName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint rename: %w", err)
+	}
+	// Durable rename: fsync the directory so the new name survives a
+	// crash (best-effort on filesystems that refuse directory fsync).
+	if df, err := os.Open(dir); err == nil {
+		df.Sync()
+		df.Close()
+	}
+	return nil
+}
+
+// ReadCheckpoint loads dir's checkpoint. ok is false when no checkpoint
+// exists (a fresh data directory). Unlike the log's torn tail, a
+// malformed or checksum-failing checkpoint is a hard error: the atomic
+// rename protocol never leaves one behind, so its presence means the
+// file was damaged and recovery must not proceed on guesswork.
+func ReadCheckpoint(dir string) (*Checkpoint, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, CheckpointName))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	if len(data) < len(checkpointMagic)+8 || string(data[:len(checkpointMagic)]) != string(checkpointMagic) {
+		return nil, false, fmt.Errorf("wal: checkpoint file is not a checkpoint (bad magic)")
+	}
+	body := data[len(checkpointMagic):]
+	n := int(binary.LittleEndian.Uint32(body))
+	sum := binary.LittleEndian.Uint32(body[4:])
+	if n != len(body)-8 {
+		return nil, false, fmt.Errorf("wal: checkpoint length %d does not match file size", n)
+	}
+	payload := body[8:]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, false, fmt.Errorf("wal: checkpoint checksum mismatch")
+	}
+	ck, err := decodeCheckpoint(payload)
+	if err != nil {
+		return nil, false, err
+	}
+	return ck, true, nil
+}

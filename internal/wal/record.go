@@ -1,0 +1,370 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+)
+
+// Record kinds.
+const (
+	// RecordCommit is one committed transaction: the flattened per-heap
+	// dead/added sets, any catalog deltas, and the commit timestamp.
+	RecordCommit byte = 1
+	// RecordVacuum is one vacuum pass: the heap it compacted and the
+	// horizon it reclaimed up to. Vacuum renumbers version indices, so
+	// replay must reproduce it exactly for later commit records' dead
+	// sets to resolve.
+	RecordVacuum byte = 2
+)
+
+// DDL entry kinds (inside a commit record's catalog-delta list).
+const (
+	ddlKindSQL      byte = 1
+	ddlKindFunction byte = 2
+)
+
+// ParamEntry is one (name, type-name) pair — a function parameter or a
+// table column in the serialized catalog.
+type ParamEntry struct {
+	Name string
+	Type string
+}
+
+// FunctionEntry is one function definition in serialized form. Language
+// is the catalog's function kind ("plpgsql", "sql", "compiled"); Body is
+// the function body text (for plpgsql the original source, otherwise the
+// deparsed body query). Functions travel structured rather than as
+// CREATE FUNCTION text so replay never has to re-quote a body.
+type FunctionEntry struct {
+	Name       string
+	OrReplace  bool
+	Language   string
+	ReturnType string
+	Body       string
+	Params     []ParamEntry
+}
+
+// DDLEntry is one catalog delta of a commit: either a deparsed DDL
+// statement (SQL non-empty) or a function definition (Fn non-nil).
+type DDLEntry struct {
+	SQL string
+	Fn  *FunctionEntry
+}
+
+// HeapChange is one heap's flattened changes in a commit record: the
+// version indices the commit killed and the tuples it added, encoded
+// with storage.EncodeTuple (the heap-page tuple format doubles as the
+// log format).
+type HeapChange struct {
+	Table string
+	Dead  []int
+	Added [][]byte
+}
+
+// Record is one WAL record in decoded form.
+type Record struct {
+	Kind byte
+
+	// RecordCommit fields.
+	TS    int64
+	DDL   []DDLEntry
+	Heaps []HeapChange
+
+	// RecordVacuum fields.
+	Table   string
+	Horizon int64
+}
+
+// VacuumRecord builds a vacuum record.
+func VacuumRecord(table string, horizon int64) *Record {
+	return &Record{Kind: RecordVacuum, Table: table, Horizon: horizon}
+}
+
+// maxRecordLen bounds one record's payload — a sanity check during
+// replay so a corrupt length field cannot demand a giant allocation.
+const maxRecordLen = 1 << 30
+
+// castagnoli is the CRC32C table (the checksum modern storage engines
+// use; hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ---------------------------------------------------------------------------
+// payload encoding
+// ---------------------------------------------------------------------------
+
+type recEncoder struct{ buf []byte }
+
+func (e *recEncoder) u8(b byte)        { e.buf = append(e.buf, b) }
+func (e *recEncoder) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *recEncoder) varint(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *recEncoder) bytes(b []byte) {
+	e.uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+func (e *recEncoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+func (e *recEncoder) bool(b bool) {
+	if b {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+type recDecoder struct {
+	buf []byte
+	err error
+}
+
+func (d *recDecoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wal: truncated %s", what)
+	}
+}
+
+func (d *recDecoder) u8() byte {
+	if d.err != nil || len(d.buf) < 1 {
+		d.fail("byte")
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *recDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *recDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *recDecoder) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil || uint64(len(d.buf)) < n {
+		d.fail("bytes")
+		return nil
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b
+}
+
+func (d *recDecoder) str() string { return string(d.bytes()) }
+
+func (d *recDecoder) bool() bool { return d.u8() != 0 }
+
+// count reads an element count and sanity-checks it against the bytes
+// remaining (every element costs at least one byte), so a corrupt count
+// cannot demand a giant allocation.
+func (d *recDecoder) count(what string) int {
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(d.buf)) {
+		d.err = fmt.Errorf("wal: %s count %d exceeds remaining payload", what, n)
+	}
+	if d.err != nil {
+		return 0
+	}
+	return int(n)
+}
+
+func (e *recEncoder) paramEntry(p ParamEntry) {
+	e.str(p.Name)
+	e.str(p.Type)
+}
+
+func (d *recDecoder) paramEntry() ParamEntry {
+	return ParamEntry{Name: d.str(), Type: d.str()}
+}
+
+func (e *recEncoder) functionEntry(f *FunctionEntry) {
+	e.str(f.Name)
+	e.bool(f.OrReplace)
+	e.str(f.Language)
+	e.str(f.ReturnType)
+	e.str(f.Body)
+	e.uvarint(uint64(len(f.Params)))
+	for _, p := range f.Params {
+		e.paramEntry(p)
+	}
+}
+
+func (d *recDecoder) functionEntry() *FunctionEntry {
+	f := &FunctionEntry{
+		Name:       d.str(),
+		OrReplace:  d.bool(),
+		Language:   d.str(),
+		ReturnType: d.str(),
+		Body:       d.str(),
+	}
+	n := d.count("function params")
+	for i := 0; i < n && d.err == nil; i++ {
+		f.Params = append(f.Params, d.paramEntry())
+	}
+	return f
+}
+
+// encode renders the record's payload (framing and checksum are the
+// WAL's job).
+func (r *Record) encode() []byte {
+	var e recEncoder
+	e.u8(r.Kind)
+	switch r.Kind {
+	case RecordCommit:
+		e.varint(r.TS)
+		e.uvarint(uint64(len(r.DDL)))
+		for _, ent := range r.DDL {
+			if ent.Fn != nil {
+				e.u8(ddlKindFunction)
+				e.functionEntry(ent.Fn)
+			} else {
+				e.u8(ddlKindSQL)
+				e.str(ent.SQL)
+			}
+		}
+		e.uvarint(uint64(len(r.Heaps)))
+		for _, hc := range r.Heaps {
+			e.str(hc.Table)
+			e.uvarint(uint64(len(hc.Dead)))
+			for _, vi := range hc.Dead {
+				e.uvarint(uint64(vi))
+			}
+			e.uvarint(uint64(len(hc.Added)))
+			for _, enc := range hc.Added {
+				e.bytes(enc)
+			}
+		}
+	case RecordVacuum:
+		e.str(r.Table)
+		e.varint(r.Horizon)
+	}
+	return e.buf
+}
+
+// decodeRecord parses one checksum-verified payload. An error here means
+// the checksum passed but the bytes are not a well-formed record — a
+// format bug, not a torn write — so callers must fail loudly.
+func decodeRecord(payload []byte) (*Record, error) {
+	d := recDecoder{buf: payload}
+	r := &Record{Kind: d.u8()}
+	switch r.Kind {
+	case RecordCommit:
+		r.TS = d.varint()
+		nd := d.count("ddl")
+		for i := 0; i < nd && d.err == nil; i++ {
+			switch k := d.u8(); k {
+			case ddlKindSQL:
+				r.DDL = append(r.DDL, DDLEntry{SQL: d.str()})
+			case ddlKindFunction:
+				r.DDL = append(r.DDL, DDLEntry{Fn: d.functionEntry()})
+			default:
+				return nil, fmt.Errorf("wal: unknown ddl entry kind %d", k)
+			}
+		}
+		nh := d.count("heaps")
+		for i := 0; i < nh && d.err == nil; i++ {
+			hc := HeapChange{Table: d.str()}
+			ndead := d.count("dead set")
+			for j := 0; j < ndead && d.err == nil; j++ {
+				hc.Dead = append(hc.Dead, int(d.uvarint()))
+			}
+			nadd := d.count("added set")
+			for j := 0; j < nadd && d.err == nil; j++ {
+				hc.Added = append(hc.Added, d.bytes())
+			}
+			r.Heaps = append(r.Heaps, hc)
+		}
+	case RecordVacuum:
+		r.Table = d.str()
+		r.Horizon = d.varint()
+	default:
+		return nil, fmt.Errorf("wal: unknown record kind %d", r.Kind)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("wal: record has %d trailing bytes", len(d.buf))
+	}
+	return r, nil
+}
+
+// frameRecord renders a record as one on-disk frame:
+//
+//	+----------------+------------------+------------------+
+//	| length (u32LE) | CRC32C (u32LE)   | payload (length) |
+//	+----------------+------------------+------------------+
+func frameRecord(r *Record) []byte {
+	payload := r.encode()
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
+	copy(frame[8:], payload)
+	return frame
+}
+
+// ReadLog reads every complete, checksum-valid record from a log file.
+// The first frame that is short, over-long, zero-length, or fails its
+// CRC ends the scan cleanly — a torn tail is the expected shape of a
+// crash mid-append, not corruption. A frame whose checksum passes but
+// whose payload does not decode is reported as an error: that state
+// cannot be produced by a torn write, so recovery must fail loudly
+// rather than load a partial prefix of unknown validity. A missing file
+// is an empty log.
+func ReadLog(path string) ([]*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var recs []*Record
+	off := 0
+	for {
+		if len(data)-off < 8 {
+			break // no room for a header: end of log
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n == 0 || n > maxRecordLen || n > len(data)-off-8 {
+			break // torn or zeroed tail: clean end of log
+		}
+		payload := data[off+8 : off+8+n]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			break // bit rot or torn write inside the frame: end of log
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return nil, fmt.Errorf("wal: record at offset %d passes its checksum but is malformed: %w", off, err)
+		}
+		recs = append(recs, rec)
+		off += 8 + n
+	}
+	return recs, nil
+}

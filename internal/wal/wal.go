@@ -1,0 +1,394 @@
+// Package wal is the engine's durability layer: a length-prefixed,
+// CRC32C-checksummed write-ahead log plus checkpoint snapshots.
+//
+// The engine funnels every mutation through one commit protocol — per-heap
+// dead/added sets applied under a writers-only lock, then one atomic state
+// publish — so the log has a single append point: one record per commit,
+// written before the commit's heap changes are applied. Recovery replays
+// the checkpoint snapshot and then the log's records in order; because
+// commits, and the vacuum passes that renumber version indices, are both
+// logged at that single point, replay reproduces the exact in-memory heap
+// layout (version indices included) the process had at the last record.
+//
+// Group commit. Appends happen under the engine's commit lock (cheap:
+// one buffered write), but fsync happens after the lock is released —
+// each committer then waits only for its own record's offset to become
+// durable. In SyncBatched mode a single flusher goroutine serves those
+// waits: all committers that queued behind one fsync are released by it
+// together, so N concurrent commits cost ~1 fsync instead of N.
+// SyncPerCommit issues one fsync per commit (the classic baseline);
+// SyncOff never waits (writes still reach the OS page cache, so a killed
+// process loses nothing — only an OS crash can).
+//
+// A failed write or fsync poisons the WAL permanently: every later
+// append and wait reports the sticky error, so the engine fails loudly
+// instead of acking commits whose durability is unknown (the same
+// fsync-gate panic-or-stop stance Postgres adopted post-fsyncgate).
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"plsqlaway/internal/storage"
+)
+
+// SyncMode selects when a commit is acknowledged relative to fsync.
+type SyncMode int
+
+const (
+	// SyncOff never fsyncs on commit: durable against process death
+	// (kill -9) via the OS page cache, lossy on OS crash or power loss.
+	SyncOff SyncMode = iota
+	// SyncBatched waits for durability but coalesces concurrent commits
+	// into one fsync via the flusher goroutine — group commit.
+	SyncBatched
+	// SyncPerCommit issues one fsync per commit before acknowledging it.
+	SyncPerCommit
+)
+
+// String renders the mode as its flag spelling.
+func (m SyncMode) String() string {
+	switch m {
+	case SyncOff:
+		return "off"
+	case SyncBatched:
+		return "batched"
+	case SyncPerCommit:
+		return "commit"
+	default:
+		return fmt.Sprintf("SyncMode(%d)", int(m))
+	}
+}
+
+// ParseSyncMode parses a -sync flag value.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "off":
+		return SyncOff, nil
+	case "batched":
+		return SyncBatched, nil
+	case "commit", "per-commit":
+		return SyncPerCommit, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown sync mode %q (want off, batched, or commit)", s)
+	}
+}
+
+// File is the slice of *os.File the WAL writes through — injectable so
+// fault tests can make writes and fsyncs fail on demand.
+type File interface {
+	io.Writer
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+// Config configures Open.
+type Config struct {
+	Mode  SyncMode
+	Stats *storage.Stats // WAL counters are charged here (may be nil)
+	// OpenFile opens the log file for appending; nil uses os.OpenFile
+	// with O_CREATE|O_WRONLY|O_APPEND. Fault-injection tests substitute
+	// failing files here.
+	OpenFile func(path string) (File, error)
+}
+
+// LogPath names epoch's log file inside dir. Each checkpoint starts a
+// new epoch with a fresh empty log, so a crash between writing the
+// checkpoint and switching logs can never replay stale records: the
+// checkpoint names the only log that counts.
+func LogPath(dir string, epoch uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%06d.log", epoch))
+}
+
+// WAL is an open write-ahead log. Append is serialized by the caller
+// (the engine's commit lock); WaitDurable may be called from any number
+// of goroutines concurrently.
+type WAL struct {
+	dir   string
+	mode  SyncMode
+	stats *storage.Stats
+	open  func(path string) (File, error)
+
+	// mu guards the file handle and the written watermark.
+	mu      sync.Mutex
+	f       File
+	path    string
+	written int64 // bytes appended; an LSN is a byte offset into the log
+	closed  bool
+
+	// dmu guards the durability watermark and the sticky error; dcond
+	// wakes committers waiting in WaitDurable.
+	dmu     sync.Mutex
+	dcond   *sync.Cond
+	durable int64
+	broken  error
+
+	// Flusher plumbing (SyncBatched only). notify has capacity 1: any
+	// number of pending commits collapse into one wakeup, and the
+	// flusher's single fsync covers everything written before it ran.
+	notify chan struct{}
+	quit   chan struct{}
+	done   chan struct{}
+}
+
+func defaultOpenFile(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// Open opens (creating if absent) epoch's log file in dir for appending.
+// Existing bytes are treated as already durable: recovery has replayed
+// them before opening the log for writes.
+func Open(dir string, epoch uint64, cfg Config) (*WAL, error) {
+	open := cfg.OpenFile
+	if open == nil {
+		open = defaultOpenFile
+	}
+	path := LogPath(dir, epoch)
+	f, err := open(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open log: %w", err)
+	}
+	var size int64
+	if st, err := os.Stat(path); err == nil {
+		size = st.Size()
+	}
+	w := &WAL{
+		dir:     dir,
+		mode:    cfg.Mode,
+		stats:   cfg.Stats,
+		open:    open,
+		f:       f,
+		path:    path,
+		written: size,
+		durable: size,
+	}
+	w.dcond = sync.NewCond(&w.dmu)
+	if cfg.Mode == SyncBatched {
+		w.notify = make(chan struct{}, 1)
+		w.quit = make(chan struct{})
+		w.done = make(chan struct{})
+		go w.flusher()
+	}
+	return w, nil
+}
+
+// Mode reports the WAL's sync mode.
+func (w *WAL) Mode() SyncMode { return w.mode }
+
+// Append frames, checksums, and writes one record, returning the LSN a
+// committer passes to WaitDurable (the log offset just past the record).
+// Callers serialize Append externally — the engine holds its commit lock
+// — which is what makes the log a faithful serialization of commit
+// order. A write error poisons the WAL: the record may be torn on disk,
+// so nothing after it may be appended.
+func (w *WAL) Append(rec *Record) (int64, error) {
+	frame := frameRecord(rec)
+	if len(frame)-8 > maxRecordLen {
+		return 0, fmt.Errorf("wal: record payload %d bytes exceeds limit %d", len(frame)-8, maxRecordLen)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, fmt.Errorf("wal: closed")
+	}
+	if err := w.failedErr(); err != nil {
+		return 0, err
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		err = fmt.Errorf("wal: append: %w", err)
+		w.poison(err)
+		return 0, err
+	}
+	w.written += int64(len(frame))
+	if w.stats != nil {
+		atomic.AddInt64(&w.stats.WALRecords, 1)
+		atomic.AddInt64(&w.stats.WALBytes, int64(len(frame)))
+	}
+	return w.written, nil
+}
+
+// WaitDurable blocks until the log is durable up to lsn under the WAL's
+// sync mode: immediately in SyncOff, after this commit's own fsync in
+// SyncPerCommit, and after the flusher's next covering fsync in
+// SyncBatched. Returns the sticky error if the WAL is poisoned — the
+// caller's commit may or may not have reached disk, and the engine must
+// report that rather than ack.
+func (w *WAL) WaitDurable(lsn int64) error {
+	switch w.mode {
+	case SyncOff:
+		return w.failedErr()
+	case SyncPerCommit:
+		return w.syncTo(lsn)
+	default: // SyncBatched
+		select {
+		case w.notify <- struct{}{}:
+		default: // a wakeup is already pending; its fsync will cover us
+		}
+		w.dmu.Lock()
+		defer w.dmu.Unlock()
+		for w.broken == nil && w.durable < lsn {
+			w.dcond.Wait()
+		}
+		return w.broken
+	}
+}
+
+// syncTo fsyncs inline (SyncPerCommit). Each committer issues its own
+// fsync — the non-coalescing baseline the benchmark's durability axis
+// compares group commit against.
+func (w *WAL) syncTo(lsn int64) error {
+	w.mu.Lock()
+	f, target := w.f, w.written
+	w.mu.Unlock()
+	if err := w.failedErr(); err != nil {
+		return err
+	}
+	err := f.Sync()
+	if w.stats != nil {
+		atomic.AddInt64(&w.stats.WALFsyncs, 1)
+	}
+	w.dmu.Lock()
+	defer w.dmu.Unlock()
+	if err != nil {
+		if w.broken == nil {
+			w.broken = fmt.Errorf("wal: fsync: %w", err)
+		}
+		w.dcond.Broadcast()
+		return w.broken
+	}
+	if target > w.durable {
+		w.durable = target
+	}
+	return nil
+}
+
+// flusher is the group-commit loop: each wakeup fsyncs once and
+// publishes the covered watermark, releasing every committer whose
+// record preceded the fsync.
+func (w *WAL) flusher() {
+	defer close(w.done)
+	for {
+		select {
+		case <-w.quit:
+			return
+		case <-w.notify:
+		}
+		w.mu.Lock()
+		f, target := w.f, w.written
+		w.mu.Unlock()
+		w.dmu.Lock()
+		uptodate := w.broken != nil || w.durable >= target
+		w.dmu.Unlock()
+		if uptodate {
+			continue
+		}
+		err := f.Sync()
+		if w.stats != nil {
+			atomic.AddInt64(&w.stats.WALFsyncs, 1)
+		}
+		w.dmu.Lock()
+		if err != nil {
+			if w.broken == nil {
+				w.broken = fmt.Errorf("wal: fsync: %w", err)
+			}
+		} else if target > w.durable {
+			w.durable = target
+		}
+		w.dcond.Broadcast()
+		w.dmu.Unlock()
+	}
+}
+
+// Rotate switches the WAL to a fresh empty log for epoch, closing and
+// removing the previous log file. Callers hold the engine's commit lock
+// and have just written a checkpoint naming epoch, so the old log's
+// records are all covered by the snapshot. A poisoned WAL refuses to
+// rotate — its on-disk state is suspect and must not be discarded.
+func (w *WAL) Rotate(epoch uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("wal: closed")
+	}
+	if err := w.failedErr(); err != nil {
+		return err
+	}
+	path := LogPath(w.dir, epoch)
+	nf, err := w.open(path)
+	if err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	old, oldPath := w.f, w.path
+	w.f, w.path, w.written = nf, path, 0
+	w.dmu.Lock()
+	w.durable = 0
+	w.dmu.Unlock()
+	old.Close()
+	os.Remove(oldPath)
+	return nil
+}
+
+// Close stops the flusher, fsyncs any tail (best-effort on a healthy
+// WAL), and closes the log file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	f := w.f
+	w.mu.Unlock()
+
+	if w.quit != nil {
+		close(w.quit)
+		<-w.done
+	}
+	var err error
+	if w.failedErr() == nil {
+		if serr := f.Sync(); serr != nil {
+			err = fmt.Errorf("wal: close fsync: %w", serr)
+		} else if w.stats != nil {
+			atomic.AddInt64(&w.stats.WALFsyncs, 1)
+		}
+	}
+	// Wake any committers still parked in WaitDurable.
+	w.dmu.Lock()
+	if w.broken == nil {
+		if err != nil {
+			w.broken = err
+		} else {
+			w.durable = w.written
+		}
+	}
+	w.dcond.Broadcast()
+	w.dmu.Unlock()
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// poison records a sticky failure and wakes every waiter. Called with mu
+// held by Append; takes only dmu itself.
+func (w *WAL) poison(err error) {
+	w.dmu.Lock()
+	if w.broken == nil {
+		w.broken = err
+	}
+	w.dcond.Broadcast()
+	w.dmu.Unlock()
+}
+
+// failedErr returns the sticky error, if any.
+func (w *WAL) failedErr() error {
+	w.dmu.Lock()
+	defer w.dmu.Unlock()
+	return w.broken
+}

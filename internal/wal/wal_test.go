@@ -1,0 +1,454 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"plsqlaway/internal/storage"
+)
+
+// testCommit builds a small commit record with every field populated.
+func testCommit(ts int64) *Record {
+	return &Record{
+		Kind: RecordCommit,
+		TS:   ts,
+		DDL: []DDLEntry{
+			{SQL: "CREATE TABLE t (a int)"},
+			{Fn: &FunctionEntry{
+				Name:       "f",
+				OrReplace:  true,
+				Language:   "sql",
+				ReturnType: "int",
+				Body:       "SELECT $1 + 1",
+				Params:     []ParamEntry{{Name: "a", Type: "int"}},
+			}},
+		},
+		Heaps: []HeapChange{
+			{Table: "t", Dead: []int{3, 7}, Added: [][]byte{{1, 2, 3}, {4}}},
+			{Table: "u", Added: [][]byte{{9, 9}}},
+		},
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	for _, rec := range []*Record{
+		testCommit(17),
+		{Kind: RecordCommit, TS: 1},
+		VacuumRecord("t", 42),
+	} {
+		got, err := decodeRecord(rec.encode())
+		if err != nil {
+			t.Fatalf("decode(encode(%+v)): %v", rec, err)
+		}
+		if !reflect.DeepEqual(got, rec) {
+			t.Fatalf("round trip:\n got %+v\nwant %+v", got, rec)
+		}
+	}
+}
+
+// writeLog appends n test records to a fresh log and returns its path
+// and the frame boundaries (cumulative offsets, for truncation sweeps).
+func writeLog(t *testing.T, n int) (string, []int64) {
+	t.Helper()
+	dir := t.TempDir()
+	w, err := Open(dir, 1, Config{Mode: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ends []int64
+	for i := 0; i < n; i++ {
+		lsn, err := w.Append(testCommit(int64(i + 1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ends = append(ends, lsn)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return LogPath(dir, 1), ends
+}
+
+// TestReadLogTornTail truncates the log at every possible byte length:
+// recovery must always return exactly the records whose frames fit
+// completely, and never an error — a torn tail is a clean end of log.
+func TestReadLogTornTail(t *testing.T) {
+	path, ends := writeLog(t, 4)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := int64(len(data)); cut >= 0; cut-- {
+		want := 0
+		for _, end := range ends {
+			if end <= cut {
+				want++
+			}
+		}
+		trunc := filepath.Join(t.TempDir(), "log")
+		if err := os.WriteFile(trunc, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := ReadLog(trunc)
+		if err != nil {
+			t.Fatalf("cut=%d: ReadLog: %v", cut, err)
+		}
+		if len(recs) != want {
+			t.Fatalf("cut=%d: recovered %d records, want %d", cut, len(recs), want)
+		}
+		for i, rec := range recs {
+			if rec.TS != int64(i+1) {
+				t.Fatalf("cut=%d: record %d has TS %d, want %d", cut, i, rec.TS, i+1)
+			}
+		}
+	}
+}
+
+// TestReadLogBitFlip flips every byte of the log in turn: recovery must
+// never error (CRC catches the damage) and never yield a record from or
+// after the damaged frame.
+func TestReadLogBitFlip(t *testing.T) {
+	path, ends := writeLog(t, 3)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := range data {
+		corrupt := append([]byte(nil), data...)
+		corrupt[pos] ^= 0x40
+		// Frames at offsets before the damaged one stay intact.
+		intact := 0
+		for _, end := range ends {
+			if end <= int64(pos) {
+				intact++
+			}
+		}
+		flipped := filepath.Join(t.TempDir(), "log")
+		if err := os.WriteFile(flipped, corrupt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := ReadLog(flipped)
+		if err != nil {
+			t.Fatalf("flip@%d: ReadLog: %v", pos, err)
+		}
+		if len(recs) < intact {
+			t.Fatalf("flip@%d: recovered %d records, want at least the %d intact ones", pos, len(recs), intact)
+		}
+		// The damaged frame itself must not survive: everything recovered
+		// beyond the intact prefix would mean the CRC missed the flip.
+		if len(recs) > intact {
+			t.Fatalf("flip@%d: recovered %d records, only %d precede the flip (checksum missed it)", pos, len(recs), intact)
+		}
+	}
+}
+
+// TestReadLogMalformedButChecksummed crafts a frame whose CRC is valid
+// but whose payload is garbage: that cannot be a torn write, so ReadLog
+// must fail loudly instead of treating it as end-of-log.
+func TestReadLogMalformedButChecksummed(t *testing.T) {
+	bogus := &Record{Kind: 99}
+	frame := frameRecord(bogus)
+	path := filepath.Join(t.TempDir(), "log")
+	if err := os.WriteFile(path, frame, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLog(path); err == nil {
+		t.Fatal("ReadLog accepted a checksummed-but-malformed record")
+	} else if !strings.Contains(err.Error(), "malformed") {
+		t.Fatalf("unexpected error shape: %v", err)
+	}
+}
+
+func TestReadLogMissingFile(t *testing.T) {
+	recs, err := ReadLog(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || recs != nil {
+		t.Fatalf("missing log: (%v, %v), want (nil, nil)", recs, err)
+	}
+}
+
+// faultFile wraps a real log file with switchable write/sync failures.
+type faultFile struct {
+	f         File
+	mu        sync.Mutex
+	failWrite bool
+	failSync  bool
+	syncDelay time.Duration
+	syncs     int
+}
+
+func (ff *faultFile) set(write, sync bool) {
+	ff.mu.Lock()
+	ff.failWrite, ff.failSync = write, sync
+	ff.mu.Unlock()
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.mu.Lock()
+	fail := ff.failWrite
+	ff.mu.Unlock()
+	if fail {
+		// Tear the record: half the frame reaches the disk.
+		ff.f.Write(p[:len(p)/2])
+		return len(p) / 2, fmt.Errorf("injected write error")
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	ff.mu.Lock()
+	fail, delay := ff.failSync, ff.syncDelay
+	ff.syncs++
+	ff.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fail {
+		return fmt.Errorf("injected fsync error")
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Truncate(size int64) error { return ff.f.Truncate(size) }
+func (ff *faultFile) Close() error              { return ff.f.Close() }
+
+// openFault opens a WAL whose file injects faults on demand.
+func openFault(t *testing.T, mode SyncMode) (*WAL, *faultFile, string) {
+	t.Helper()
+	dir := t.TempDir()
+	ff := &faultFile{}
+	w, err := Open(dir, 1, Config{Mode: mode, OpenFile: func(path string) (File, error) {
+		f, err := defaultOpenFile(path)
+		if err != nil {
+			return nil, err
+		}
+		ff.mu.Lock()
+		ff.f = f
+		ff.mu.Unlock()
+		return ff, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, ff, dir
+}
+
+// TestAppendWriteErrorPoisons: a failed (torn) append poisons the WAL —
+// no later append may succeed — and recovery replays only the records
+// before the tear.
+func TestAppendWriteErrorPoisons(t *testing.T) {
+	w, ff, dir := openFault(t, SyncOff)
+	if _, err := w.Append(testCommit(1)); err != nil {
+		t.Fatal(err)
+	}
+	ff.set(true, false)
+	if _, err := w.Append(testCommit(2)); err == nil {
+		t.Fatal("append through a failing file succeeded")
+	}
+	ff.set(false, false)
+	if _, err := w.Append(testCommit(3)); err == nil {
+		t.Fatal("append after poison succeeded: a record would follow a torn frame")
+	}
+	if err := w.WaitDurable(1); err == nil {
+		t.Fatal("WaitDurable on a poisoned WAL reported durability")
+	}
+	if err := w.Rotate(2); err == nil {
+		t.Fatal("Rotate discarded a poisoned log")
+	}
+	w.Close()
+	recs, err := ReadLog(LogPath(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].TS != 1 {
+		t.Fatalf("recovered %d records, want exactly the 1 before the torn append", len(recs))
+	}
+}
+
+// TestFsyncErrorPoisons: per-commit and batched modes must surface an
+// fsync failure to the waiting committer and stay broken afterwards.
+func TestFsyncErrorPoisons(t *testing.T) {
+	for _, mode := range []SyncMode{SyncPerCommit, SyncBatched} {
+		t.Run(mode.String(), func(t *testing.T) {
+			w, ff, _ := openFault(t, mode)
+			defer w.Close()
+			ff.set(false, true)
+			lsn, err := w.Append(testCommit(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.WaitDurable(lsn); err == nil {
+				t.Fatal("WaitDurable acked through a failing fsync")
+			}
+			ff.set(false, false)
+			if _, err := w.Append(testCommit(2)); err == nil {
+				t.Fatal("append on a poisoned WAL succeeded")
+			}
+		})
+	}
+}
+
+// TestGroupCommitCoalesces: with a slow fsync, concurrent committers in
+// batched mode must share fsyncs — far fewer fsyncs than commits.
+func TestGroupCommitCoalesces(t *testing.T) {
+	stats := &storage.Stats{}
+	dir := t.TempDir()
+	ff := &faultFile{syncDelay: 2 * time.Millisecond}
+	w, err := Open(dir, 1, Config{Mode: SyncBatched, Stats: stats, OpenFile: func(path string) (File, error) {
+		f, err := defaultOpenFile(path)
+		if err != nil {
+			return nil, err
+		}
+		ff.mu.Lock()
+		ff.f = f
+		ff.mu.Unlock()
+		return ff, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	const committers, commits = 8, 25
+	var appendMu sync.Mutex // stands in for the engine's commit lock
+	var wg sync.WaitGroup
+	errs := make([]error, committers)
+	for i := 0; i < committers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < commits; j++ {
+				appendMu.Lock()
+				lsn, err := w.Append(testCommit(int64(i*commits + j)))
+				appendMu.Unlock()
+				if err == nil {
+					err = w.WaitDurable(lsn)
+				}
+				if err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := stats.Snapshot()
+	total := int64(committers * commits)
+	if snap.WALRecords != total {
+		t.Fatalf("WALRecords = %d, want %d", snap.WALRecords, total)
+	}
+	// With 8 committers queueing behind 2ms fsyncs, coalescing must do
+	// far better than one fsync per commit; half is a very loose bound.
+	if snap.WALFsyncs >= total/2 {
+		t.Errorf("group commit barely coalesced: %d fsyncs for %d commits", snap.WALFsyncs, total)
+	}
+}
+
+// TestRotate: rotation switches epochs, removes the old log, and resets
+// LSNs; records land in the new epoch's file.
+func TestRotate(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, 1, Config{Mode: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Append(testCommit(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rotate(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(LogPath(dir, 1)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("old epoch log still present: %v", err)
+	}
+	if _, err := w.Append(testCommit(2)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadLog(LogPath(dir, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].TS != 2 {
+		t.Fatalf("new epoch log has %d records (TS %v), want the 1 post-rotate commit", len(recs), recs)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ck := &Checkpoint{
+		Epoch:  7,
+		LastTS: 123,
+		Funcs: []FunctionEntry{{
+			Name: "f", OrReplace: true, Language: "plpgsql", ReturnType: "int",
+			Body: "BEGIN RETURN 1; END;", Params: []ParamEntry{{Name: "x", Type: "int"}},
+		}},
+		Tables: []CheckpointTable{{
+			Name:      "t",
+			Cols:      []ParamEntry{{Name: "a", Type: "int"}, {Name: "b", Type: "text"}},
+			IndexCols: []string{"a"},
+			Versions: []CheckpointVersion{
+				{Xmin: 1, Xmax: 0, Enc: []byte{1, 2}},
+				{Xmin: 1, Xmax: 2, Enc: []byte{3}},
+			},
+		}},
+	}
+	if err := WriteCheckpoint(dir, ck); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := ReadCheckpoint(dir)
+	if err != nil || !ok {
+		t.Fatalf("ReadCheckpoint: (%v, %v)", ok, err)
+	}
+	if !reflect.DeepEqual(got, ck) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, ck)
+	}
+}
+
+func TestCheckpointMissing(t *testing.T) {
+	ck, ok, err := ReadCheckpoint(t.TempDir())
+	if ck != nil || ok || err != nil {
+		t.Fatalf("fresh dir: (%v, %v, %v), want (nil, false, nil)", ck, ok, err)
+	}
+}
+
+// TestCheckpointCorruptionFailsLoudly damages the checkpoint in several
+// ways; every one must be a hard error, never a silent empty database.
+func TestCheckpointCorruptionFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteCheckpoint(dir, &Checkpoint{Epoch: 1, LastTS: 5}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, CheckpointName)
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damage := map[string]func([]byte) []byte{
+		"bad magic":    func(b []byte) []byte { b[0] ^= 0xFF; return b },
+		"flipped body": func(b []byte) []byte { b[len(b)-1] ^= 0xFF; return b },
+		"truncated":    func(b []byte) []byte { return b[:len(b)-1] },
+		"short header": func(b []byte) []byte { return b[:4] },
+	}
+	for name, fn := range damage {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(path, fn(append([]byte(nil), pristine...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := ReadCheckpoint(dir); err == nil {
+				t.Fatal("damaged checkpoint loaded without error")
+			}
+		})
+	}
+}

@@ -282,14 +282,23 @@ func (m *Done) encode(e *Encoder) { e.String(m.Tag) }
 func (m *Done) decode(d *Decoder) { m.Tag = d.String() }
 
 // Error terminates a failed response. The connection stays usable; later
-// pipelined requests still get their own responses.
+// pipelined requests still get their own responses. Code classifies
+// retryable failures (CodeSerialization, CodeTxnAborted) so clients can
+// dispatch without string-matching the message.
 type Error struct {
+	Code    uint32
 	Message string
 }
 
-func (*Error) Type() byte          { return TypeError }
-func (m *Error) encode(e *Encoder) { e.String(m.Message) }
-func (m *Error) decode(d *Decoder) { m.Message = d.String() }
+func (*Error) Type() byte { return TypeError }
+func (m *Error) encode(e *Encoder) {
+	e.Uint32(m.Code)
+	e.String(m.Message)
+}
+func (m *Error) decode(d *Decoder) {
+	m.Code = d.Uint32()
+	m.Message = d.String()
+}
 
 // ParseOK acknowledges a Parse with the statement's metadata.
 type ParseOK struct {
@@ -325,6 +334,10 @@ func (m *StatsReply) encode(e *Encoder) {
 	e.Int64(m.Stats.Commits)
 	e.Int64(m.Stats.Vacuums)
 	e.Int64(m.Stats.VersionsReclaimed)
+	e.Int64(m.Stats.WALRecords)
+	e.Int64(m.Stats.WALBytes)
+	e.Int64(m.Stats.WALFsyncs)
+	e.Int64(m.Stats.Checkpoints)
 }
 func (m *StatsReply) decode(d *Decoder) {
 	m.Stats.PageWrites = d.Int64()
@@ -334,4 +347,8 @@ func (m *StatsReply) decode(d *Decoder) {
 	m.Stats.Commits = d.Int64()
 	m.Stats.Vacuums = d.Int64()
 	m.Stats.VersionsReclaimed = d.Int64()
+	m.Stats.WALRecords = d.Int64()
+	m.Stats.WALBytes = d.Int64()
+	m.Stats.WALFsyncs = d.Int64()
+	m.Stats.Checkpoints = d.Int64()
 }

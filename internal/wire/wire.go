@@ -54,8 +54,20 @@ var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrameLen")
 // ProtocolVersion is bumped on incompatible frame-set changes; the server
 // rejects startups from a different major version. Version 2 added the
 // Notice frame (RAISE NOTICE and transaction-control warnings streamed
-// ahead of a response's terminator).
-const ProtocolVersion uint32 = 2
+// ahead of a response's terminator). Version 3 added the Error code field
+// (retryable-failure classification) and the durability stats fields.
+const ProtocolVersion uint32 = 3
+
+// Error codes classify server-reported failures so clients can react
+// without string-matching: a CodeSerialization error means the whole
+// transaction should be retried, a CodeTxnAborted error means the block
+// must be rolled back first. The client package maps them back onto the
+// engine's sentinel errors for errors.Is.
+const (
+	CodeGeneric       uint32 = 0 // no particular classification
+	CodeSerialization uint32 = 1 // engine.ErrSerialization: rollback and retry
+	CodeTxnAborted    uint32 = 2 // engine.ErrTxnAborted: block poisoned until ROLLBACK
+)
 
 // MaxFrameLen bounds one frame's payload: larger announcements are a
 // protocol error and are rejected before allocation.

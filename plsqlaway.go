@@ -47,6 +47,7 @@ import (
 	"plsqlaway/internal/sqlast"
 	"plsqlaway/internal/sqltypes"
 	"plsqlaway/internal/udf"
+	"plsqlaway/internal/wal"
 )
 
 // Engine is an embedded database instance. Its own query methods are safe
@@ -94,6 +95,26 @@ const (
 // NewEngine creates an embedded engine. Options: WithProfile, WithSeed,
 // WithWorkMem, WithMaxRecursion (see internal/engine).
 func NewEngine(opts ...engine.Option) *Engine { return engine.New(opts...) }
+
+// OpenEngine creates a durable embedded engine rooted at dir: commits
+// append to a write-ahead log there, boot replays the last checkpoint
+// plus the log's complete records, and Engine.Close checkpoints. An
+// empty dir yields a volatile engine, exactly like NewEngine.
+func OpenEngine(dir string, opts ...engine.Option) (*Engine, error) {
+	return engine.Open(dir, opts...)
+}
+
+// WAL sync-mode re-exports for WithSyncMode: when a commit is
+// acknowledged relative to the log fsync.
+const (
+	SyncOff       = wal.SyncOff       // never fsync: survives process crashes, not OS crashes
+	SyncBatched   = wal.SyncBatched   // group commit: concurrent committers share one fsync
+	SyncPerCommit = wal.SyncPerCommit // one fsync per commit
+)
+
+// WithSyncMode selects the durable engine's WAL sync mode (default
+// SyncBatched). Meaningless for volatile engines.
+func WithSyncMode(m wal.SyncMode) engine.Option { return engine.WithSyncMode(m) }
 
 // WithProfile selects an engine profile.
 func WithProfile(p profile.Profile) engine.Option { return engine.WithProfile(p) }
