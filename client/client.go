@@ -97,6 +97,10 @@ type Pending struct {
 	// release marks the last message of one send() call: completing it
 	// frees the send's pipelining-window slot.
 	release bool
+	// sink, when set, streams this request's rows instead of buffering
+	// them into a Result (see Conn.QueryStream). It runs on the read
+	// loop.
+	sink func(cols []string, rows [][]Value) error
 }
 
 // Wait returns the request's result (nil for statements that return no
@@ -310,7 +314,7 @@ func (c *Conn) readLoop(br *bufio.Reader) {
 		case <-c.quit:
 			return
 		}
-		o := c.readResponse(br)
+		o := c.readResponse(br, p.sink)
 		if len(o.notices) > 0 {
 			c.noticeMu.Lock()
 			c.notices = append(c.notices, o.notices...)
@@ -343,10 +347,22 @@ func (e *connError) Error() string { return e.err.Error() }
 func (e *connError) Unwrap() error { return e.err }
 
 // readResponse consumes one response sequence: zero or more data frames
-// (rows, notices) ended by a terminator.
-func (c *Conn) readResponse(br *bufio.Reader) outcome {
+// (rows, notices) ended by a terminator. With a sink, row chunks are
+// handed to it as they arrive instead of accumulating in a Result; a
+// sink error stops deliveries but keeps draining the response (the
+// stream must stay frame-synchronized) and surfaces on the terminator.
+func (c *Conn) readResponse(br *bufio.Reader, sink func(cols []string, rows [][]Value) error) outcome {
 	var res *Result
 	var notices []string
+	var cols []string
+	var sawDesc bool
+	var sinkErr error
+	deliver := func(rows [][]Value) {
+		if !sawDesc || sinkErr != nil {
+			return
+		}
+		sinkErr = sink(cols, rows)
+	}
 	for {
 		msg, err := wire.ReadMessage(br)
 		if err != nil {
@@ -354,17 +370,49 @@ func (c *Conn) readResponse(br *bufio.Reader) outcome {
 		}
 		switch m := msg.(type) {
 		case *wire.RowDesc:
-			res = &Result{Cols: m.Cols}
+			sawDesc = true
+			if sink != nil {
+				// Announce the result shape before any rows: the sink sees
+				// (cols, nil) once, then (cols, rows) per chunk.
+				cols = m.Cols
+				deliver(nil)
+			} else {
+				res = &Result{Cols: m.Cols}
+			}
 		case *wire.RowBatch:
-			if res == nil {
+			if !sawDesc && res == nil {
 				return outcome{err: &connError{fmt.Errorf("client: row batch before row description")}}
 			}
-			res.Rows = append(res.Rows, m.Rows...)
+			if sink != nil {
+				if len(m.Rows) > 0 {
+					deliver(m.Rows)
+				}
+			} else {
+				res.Rows = append(res.Rows, m.Rows...)
+			}
+		case *wire.ColBatch:
+			if !sawDesc && res == nil {
+				return outcome{err: &connError{fmt.Errorf("client: row batch before row description")}}
+			}
+			rows := m.Rows()
+			if sink != nil {
+				if len(rows) > 0 {
+					deliver(rows)
+				}
+			} else {
+				res.Rows = append(res.Rows, rows...)
+			}
 		case *wire.Notice:
 			notices = append(notices, m.Message)
 		case *wire.Done:
+			if sinkErr != nil {
+				return outcome{notices: notices, err: sinkErr}
+			}
 			return outcome{res: res, notices: notices, doneTag: m.Tag}
 		case *wire.Error:
+			if sinkErr != nil {
+				return outcome{notices: notices, err: sinkErr}
+			}
 			return outcome{notices: notices, err: decodeError(m)}
 		case *wire.ParseOK:
 			return outcome{parse: m}
@@ -404,6 +452,12 @@ func (c *Conn) drainPending() {
 // oversized request fails as a plain per-call error — the connection
 // (and everyone pipelining on it) survives.
 func (c *Conn) send(msgs ...wire.Message) ([]*Pending, error) {
+	return c.sendSink(nil, msgs...)
+}
+
+// sendSink is send with a row sink attached to the first message's
+// response (the others, if any, buffer normally).
+func (c *Conn) sendSink(sink func(cols []string, rows [][]Value) error, msgs ...wire.Message) ([]*Pending, error) {
 	type frame struct {
 		typ     byte
 		payload []byte
@@ -420,6 +474,7 @@ func (c *Conn) send(msgs ...wire.Message) ([]*Pending, error) {
 	for i := range ps {
 		ps[i] = &Pending{ch: make(chan outcome, 1)}
 	}
+	ps[0].sink = sink
 	ps[len(ps)-1].release = true
 	// Acquire the window slot first (outside writeMu, so a blocked window
 	// doesn't serialize unrelated senders' slot waits behind the lock).
@@ -498,6 +553,26 @@ func (c *Conn) Query(sql string, params ...Value) (*Result, error) {
 	res, execErr := ps[1].Wait()
 	ps[2].Wait()
 	return res, execErr
+}
+
+// QueryStream runs a single row-returning statement, delivering rows to
+// fn chunk by chunk as frames arrive instead of materializing the whole
+// result: peak client memory is one wire batch. fn is first called once
+// with (cols, nil) to announce the result shape, then with (cols, rows)
+// per chunk; it runs on the connection's read loop, so a slow fn slows
+// the read side, TCP backpressure reaches the server, and the server's
+// executor pull stalls — end-to-end flow control with roughly one batch
+// in flight. Avoid issuing requests on the same connection from inside
+// fn. If fn returns an error, remaining chunks are discarded and the
+// error is returned; fn may have observed a prefix of the rows when an
+// error (its own or the server's) terminates the stream.
+func (c *Conn) QueryStream(sql string, fn func(cols []string, rows [][]Value) error) error {
+	ps, err := c.sendSink(fn, &wire.Query{SQL: sql})
+	if err != nil {
+		return err
+	}
+	_, err = ps[0].Wait()
+	return err
 }
 
 // QueryValue runs a query expected to return a single value.

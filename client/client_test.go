@@ -2,6 +2,7 @@ package client_test
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"strings"
 	"sync"
@@ -703,5 +704,114 @@ func TestTxNoticesDoNotLeakAcrossTx(t *testing.T) {
 	defer tx2.Rollback()
 	if n := tx2.Notices(); len(n) != 0 {
 		t.Errorf("stale notices leaked into new tx: %v", n)
+	}
+}
+
+// TestQueryStream exercises the end-to-end streaming path: rows arrive
+// at the sink chunk by chunk in order, the shape announcement comes
+// first, a sink error cancels cleanly, and the connection keeps serving
+// afterwards.
+func TestQueryStream(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const gen = "WITH RECURSIVE g(i) AS (SELECT 1 UNION ALL SELECT i + 1 FROM g WHERE i < 5000) SELECT i, i * i FROM g"
+	var streamed [][]client.Value
+	var gotCols []string
+	calls := 0
+	err = c.QueryStream(gen, func(cols []string, rows [][]client.Value) error {
+		calls++
+		if calls == 1 {
+			if rows != nil {
+				t.Errorf("first sink call should announce shape only, got %d rows", len(rows))
+			}
+		}
+		gotCols = cols
+		streamed = append(streamed, rows...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls < 3 {
+		t.Fatalf("rows arrived in %d calls — not streamed in chunks", calls)
+	}
+	if len(gotCols) != 2 {
+		t.Fatalf("cols = %v", gotCols)
+	}
+	if len(streamed) != 5000 {
+		t.Fatalf("streamed %d rows, want 5000", len(streamed))
+	}
+	for i, r := range streamed {
+		if r[0].Int() != int64(i+1) || r[1].Int() != int64(i+1)*int64(i+1) {
+			t.Fatalf("row %d = %v", i, r)
+		}
+	}
+
+	// Byte-identical to the buffered path in value terms.
+	res, err := c.Query(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(streamed) {
+		t.Fatalf("buffered %d rows vs streamed %d", len(res.Rows), len(streamed))
+	}
+	for i := range res.Rows {
+		for j := range res.Rows[i] {
+			if !sqltypes.Identical(res.Rows[i][j], streamed[i][j]) {
+				t.Fatalf("row %d col %d: buffered %v streamed %v", i, j, res.Rows[i][j], streamed[i][j])
+			}
+		}
+	}
+
+	// A sink error aborts the stream but not the connection.
+	seen := 0
+	err = c.QueryStream(gen, func(cols []string, rows [][]client.Value) error {
+		seen += len(rows)
+		if seen > 100 {
+			return fmt.Errorf("sink gave up")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "sink gave up") {
+		t.Fatalf("sink error not surfaced: %v", err)
+	}
+	if v, err := c.QueryValue("SELECT 41 + 1"); err != nil || v.Int() != 42 {
+		t.Fatalf("connection unusable after sink error: %v %v", v, err)
+	}
+
+	// Server-side statement errors surface through the streaming API too.
+	err = c.QueryStream("SELECT * FROM missing_table", func([]string, [][]client.Value) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "does not exist") {
+		t.Fatalf("server error not surfaced: %v", err)
+	}
+}
+
+// TestQueryStreamNonQuery pins streaming of statements that return no
+// rows: DDL and scripts answer without ever invoking the sink.
+func TestQueryStreamNonQuery(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	called := false
+	err = c.QueryStream("CREATE TABLE s (x int); INSERT INTO s VALUES (1)", func([]string, [][]client.Value) error {
+		called = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("sink invoked for a rowless script")
+	}
+	if v, err := c.QueryValue("SELECT count(*) FROM s"); err != nil || v.Int() != 1 {
+		t.Fatalf("script did not run: %v %v", v, err)
 	}
 }

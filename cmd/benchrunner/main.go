@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchrunner [-experiment table1|fig10|fig11a|fig11b|table2|ablations|parallel|batchsweep|mixed|all]
+//	benchrunner [-experiment table1|fig10|fig11a|fig11b|table2|ablations|parallel|batchsweep|widescan|mixed|all]
 //	            [-quick] [-parallel N] [-writeratio F] [-batchsize LIST] [-format text|json]
 //
 // -quick shrinks workload sizes so a full run finishes in well under a
@@ -32,6 +32,12 @@
 // size 1, and buffer page writes. Like -parallel, giving the flag on its
 // own runs just that experiment.
 //
+// -experiment widescan runs the streaming-memory experiment: a loopback
+// plsqld serves wide SELECTs of growing result sizes while a heap sampler
+// records the peak; the buffered prepared-statement path grows with the
+// result, the streamed simple-query path must stay flat. It fails (exit 1)
+// if the streamed peak is not well under the buffered peak.
+//
 // -format json emits every experiment that ran as a single JSON document
 // on stdout (schema plsqlaway-bench/v1) — the per-PR BENCH_*.json perf
 // trajectory files and the CI bench-smoke artifact are recorded this way.
@@ -43,6 +49,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -52,7 +59,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1, fig10, fig11a, fig11b, table2, ablations, parallel, batchsweep, mixed, or all")
+	experiment := flag.String("experiment", "all", "table1, fig10, fig11a, fig11b, table2, ablations, parallel, batchsweep, widescan, mixed, or all")
 	quick := flag.Bool("quick", false, "reduced workload sizes")
 	parallel := flag.Int("parallel", 0, "max concurrent sessions for the scaling experiment (0 = off)")
 	writeratio := flag.Float64("writeratio", -1, "fraction of ops that are writes in the mixed read/write sweep (-1 = off)")
@@ -62,7 +69,40 @@ func main() {
 	addr := flag.String("addr", "", "host:port of a running plsqld: run the sweeps through the wire protocol against it")
 	window := flag.Int("window", 32, "pipelined requests in flight per connection in the remote sweep")
 	format := flag.String("format", "text", "output format: text or json")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile (after the experiments) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			runtime.GC() // flush recent frees so the profile shows live data accurately
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}()
+	}
 
 	if *format != "text" && *format != "json" {
 		fmt.Fprintf(os.Stderr, "benchrunner: unknown format %q (want text or json)\n", *format)
@@ -338,6 +378,18 @@ func main() {
 			return nil, "", err
 		}
 		return rows, bench.FormatMixed(rows), nil
+	})
+
+	section("widescan", func() (any, string, error) {
+		cfg := bench.WideScanConfig{}
+		if *quick {
+			cfg.Rows = []int{10_000, 40_000, 160_000}
+		}
+		rows, err := bench.WideScan(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, bench.FormatWideScan(rows), nil
 	})
 
 	section("batchsweep", func() (any, string, error) {

@@ -1,0 +1,140 @@
+// Columnar-vs-row-major differential suite: the same plans run through
+// the executor's unboxed column-vector kernels and through the boxed
+// row-major kernels, and every answer must match byte for byte. The
+// corpus pass reuses the UDF differential grid (interpreted + compiled
+// twins); the plain-SQL pass drives the operators the columnar layout
+// touches directly — scans, filters, projections, joins, aggregates,
+// sorts, NULL handling, mixed types. A final pass pins the volatile
+// rule: plans containing random() force batch size 1 in both layouts, so
+// the deterministic random() stream is identical regardless of layout.
+package plsqlaway_test
+
+import (
+	"fmt"
+	"testing"
+
+	"plsqlaway"
+	"plsqlaway/internal/sqltypes"
+	"plsqlaway/internal/workload"
+)
+
+// columnarDiffQueries is the plain-SQL grid, run over the workload
+// schemas (graph edges, robot world, fee schedule).
+var columnarDiffQueries = []string{
+	// Scans + filters over int columns, including empty results.
+	"SELECT count(*) FROM edges WHERE src % 7 = 0",
+	"SELECT count(*) FROM edges WHERE src < 0",
+	"SELECT min(dst), max(dst), sum(dst) FROM edges WHERE src % 3 <> 1",
+	// Projection kernels: arithmetic, comparisons, boolean logic.
+	"SELECT count(*) FROM edges WHERE src + dst > 4000 AND (src % 2 = 0 OR dst % 5 = 1)",
+	"SELECT sum(src * 2 - dst) FROM edges WHERE dst % 11 < 4",
+	// Grouped aggregation and HAVING over a columnar scan.
+	"SELECT src % 16 AS bucket, count(*), sum(dst) FROM edges GROUP BY src % 16 ORDER BY bucket",
+	"SELECT src % 8 AS bucket, avg(dst) FROM edges GROUP BY src % 8 HAVING count(*) > 10 ORDER BY bucket",
+	// Hash join through the columnar absorb path, plus join + aggregate.
+	"SELECT count(*) FROM edges a JOIN edges b ON a.dst = b.src WHERE a.src % 101 = 5",
+	"SELECT a.src % 10 AS g, count(*) FROM edges a JOIN edges b ON a.dst = b.src WHERE a.src % 37 = 2 GROUP BY a.src % 10 ORDER BY g",
+	// Sort + limit over projected expressions.
+	"SELECT src, dst FROM edges WHERE src % 211 = 3 ORDER BY dst DESC, src LIMIT 25",
+	// NULL-producing expressions and NULL-aware aggregates.
+	"SELECT count(*), count(CASE WHEN src % 2 = 0 THEN 1 ELSE NULL END) FROM edges WHERE src % 13 = 4",
+	"SELECT NULL, src FROM edges WHERE src % 509 = 1 ORDER BY src LIMIT 10",
+	// Mixed types: floats and text through scans and filters.
+	"SELECT count(*), sum(amount) FROM fees WHERE amount > 1.0",
+	"SELECT lo, hi, amount FROM fees ORDER BY lo",
+	"SELECT state, count(*), min(next) FROM fsm GROUP BY state ORDER BY state LIMIT 15",
+	"SELECT action, count(*) FROM actions GROUP BY action ORDER BY action",
+	// Recursive CTE (the graph-traversal shape the sweep benchmarks).
+	"WITH RECURSIVE r(n, i) AS (SELECT src, 0 FROM edges WHERE src = 42 UNION ALL SELECT e.dst, r.i + 1 FROM r JOIN edges e ON e.src = r.n WHERE r.i < 4) SELECT count(*), max(i) FROM r",
+	// DISTINCT and set operations.
+	"SELECT count(*) FROM (SELECT DISTINCT src % 64 FROM edges) d",
+	"SELECT src FROM edges WHERE src % 797 = 0 UNION SELECT dst FROM edges WHERE dst % 797 = 0 ORDER BY src LIMIT 20",
+}
+
+// TestDifferentialColumnarVsRowMajor runs the full corpus and the
+// plain-SQL grid through both executor layouts and demands byte-identical
+// formatted results.
+func TestDifferentialColumnarVsRowMajor(t *testing.T) {
+	type lane struct {
+		label string
+		e     *plsqlaway.Engine
+	}
+	lanes := []lane{
+		{"columnar", newWorkloadEngine(t)},
+		{"row-major", newWorkloadEngine(t, plsqlaway.WithColumnar(false))},
+	}
+
+	t.Run("plain-sql", func(t *testing.T) {
+		for i, q := range columnarDiffQueries {
+			texts := make([]string, len(lanes))
+			for j, l := range lanes {
+				res, err := l.e.Query(q)
+				if err != nil {
+					t.Fatalf("query %d on %s: %v\n%s", i, l.label, err, q)
+				}
+				texts[j] = res.Format()
+			}
+			if texts[0] != texts[1] {
+				t.Errorf("query %d diverged:\n%s\ncolumnar:\n%s\nrow-major:\n%s", i, q, texts[0], texts[1])
+			}
+		}
+	})
+
+	t.Run("corpus", func(t *testing.T) {
+		for name, src := range workload.Corpus {
+			c, ok := differentialGrid[name]
+			if !ok {
+				continue // TestDifferentialBatchVsTuple enforces coverage
+			}
+			res, err := plsqlaway.Compile(src, plsqlaway.Options{})
+			if err != nil {
+				t.Fatalf("compile %s: %v", name, err)
+			}
+			for _, l := range lanes {
+				if err := l.e.Exec(src); err != nil {
+					t.Fatalf("%s: install %s: %v", l.label, name, err)
+				}
+				if err := plsqlaway.Install(l.e, name+"_c", res); err != nil {
+					t.Fatalf("%s: install %s_c: %v", l.label, name, err)
+				}
+			}
+			for i, args := range c.args {
+				for _, fn := range []string{name, name + "_c"} {
+					vals := make([]plsqlaway.Value, len(lanes))
+					for j, l := range lanes {
+						// Re-seed before every evaluation: stochastic corpus
+						// entries (the robot walk) must agree draw for draw.
+						l.e.Seed(7)
+						v, err := l.e.QueryValue(fmt.Sprintf(c.tmpl, fn), args...)
+						if err != nil {
+							t.Fatalf("%s case %d on %s: %v", fn, i, l.label, err)
+						}
+						vals[j] = v
+					}
+					if !sqltypes.Identical(vals[0], vals[1]) {
+						t.Errorf("%s case %d: columnar=%v row-major=%v (args %v)", fn, i, vals[0], vals[1], args)
+					}
+				}
+			}
+		}
+	})
+
+	t.Run("volatile-batch-1", func(t *testing.T) {
+		// random() makes the plan volatile, which forces batch size 1 in
+		// Instantiate no matter the layout — both lanes must therefore
+		// draw the same deterministic stream in the same row order.
+		q := "WITH RECURSIVE g(i) AS (SELECT 1 UNION ALL SELECT i + 1 FROM g WHERE i < 200) SELECT i, random() FROM g"
+		texts := make([]string, len(lanes))
+		for j, l := range lanes {
+			l.e.Seed(1234)
+			res, err := l.e.Query(q)
+			if err != nil {
+				t.Fatalf("%s: %v", l.label, err)
+			}
+			texts[j] = res.Format()
+		}
+		if texts[0] != texts[1] {
+			t.Errorf("volatile stream diverged across layouts:\ncolumnar:\n%s\nrow-major:\n%s", texts[0], texts[1])
+		}
+	})
+}

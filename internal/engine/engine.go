@@ -113,6 +113,7 @@ type shared struct {
 	maxCallDepth int
 	seed         uint64
 	batchSize    int
+	columnar     bool
 
 	// Durability (nil/zero for a volatile engine). wal is set once by
 	// Open before any session runs and never replaced; commits append
@@ -160,6 +161,7 @@ type config struct {
 	maxCallDepth int
 	seed         uint64
 	batchSize    int
+	columnar     bool
 	syncMode     wal.SyncMode
 }
 
@@ -186,6 +188,12 @@ func WithMaxRecursion(n int) Option { return func(c *config) { c.maxRecursion = 
 // Session.SetBatchSize.
 func WithBatchSize(n int) Option { return func(c *config) { c.batchSize = n } }
 
+// WithColumnar toggles the executor's unboxed column-vector fast paths
+// (default on). Off forces every operator through the boxed row-major
+// kernels — the differential suite runs both and demands byte-identical
+// results, and perf triage can flip it to isolate layout effects.
+func WithColumnar(on bool) Option { return func(c *config) { c.columnar = on } }
+
 // WithSyncMode selects when commits are acknowledged relative to WAL
 // fsync (default wal.SyncBatched: group commit). Only meaningful for
 // engines created with Open; a volatile New engine has no log to sync.
@@ -200,6 +208,7 @@ func New(opts ...Option) *Engine {
 		maxCallDepth: 256,
 		seed:         42,
 		batchSize:    exec.DefaultBatchSize,
+		columnar:     true,
 		syncMode:     wal.SyncBatched,
 	}
 	for _, o := range opts {
@@ -213,6 +222,7 @@ func New(opts ...Option) *Engine {
 		maxCallDepth: cfg.maxCallDepth,
 		seed:         cfg.seed,
 		batchSize:    cfg.batchSize,
+		columnar:     cfg.columnar,
 		syncMode:     cfg.syncMode,
 	}
 	sh.state.Store(&dbState{cat: catalog.New(sh.storageStats), ts: 0})

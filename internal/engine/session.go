@@ -102,6 +102,7 @@ func (s *Session) newCtx() *exec.Ctx {
 	} else if s.sh.batchSize > 0 {
 		ctx.BatchSize = s.sh.batchSize
 	}
+	ctx.Columnar = s.sh.columnar
 	return ctx
 }
 
@@ -364,6 +365,111 @@ func (s *Session) Run(sql string) (*Result, error) {
 		}
 	}
 	return nil, nil
+}
+
+// RunStream is Run's streaming twin, built for the wire server: when sql
+// is a single row-returning query, its batches flow through the callback
+// pair instead of materializing a Result — begin receives the column
+// names once the plan is instantiated (so plan errors produce a clean
+// error with no result header), then batch receives every non-empty
+// executor batch. Each batch is valid only for the duration of the call;
+// the next pull reuses it. The callbacks run synchronously on the
+// executor's pull loop, so a slow consumer stalls the producer — peak
+// memory for a wide scan is one batch, and backpressure propagates all
+// the way down. A batch error aborts execution and is returned.
+//
+// Any other statement shape — DDL, DML, transaction control, or a
+// multi-statement script — executes exactly as Run does, returning its
+// buffered Result with streamed=false and the callbacks untouched.
+func (s *Session) RunStream(sql string, begin func(cols []string) error, batch func(b *exec.Batch) error) (res *Result, streamed bool, err error) {
+	stmts, err := sqlparser.ParseScript(sql)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(stmts) == 1 {
+		if sel, ok := stmts[0].(*sqlast.SelectStatement); ok {
+			if err := s.txnGate(); err != nil {
+				return nil, true, err
+			}
+			end := s.beginRead()
+			defer end()
+			err := s.streamQuery(sel.Query, nil, begin, batch)
+			s.noteStmtErr(err)
+			return nil, true, err
+		}
+		res, err := s.execStmtPinned(stmts[0], nil)
+		return res, false, err
+	}
+	for _, st := range stmts {
+		if _, err := s.execStmtPinned(st, nil); err != nil {
+			return nil, false, err
+		}
+	}
+	return nil, false, nil
+}
+
+// QueryStream runs a single row-returning query, delivering its rows
+// through the callback pair batch-at-a-time (see RunStream for the
+// callback contract). Non-query statements are rejected.
+func (s *Session) QueryStream(sql string, begin func(cols []string) error, batch func(b *exec.Batch) error, params ...sqltypes.Value) error {
+	stmt, err := sqlparser.ParseStatement(sql)
+	if err != nil {
+		return err
+	}
+	sel, ok := stmt.(*sqlast.SelectStatement)
+	if !ok {
+		return fmt.Errorf("engine: QueryStream needs a row-returning query, got %T", stmt)
+	}
+	if err := s.txnGate(); err != nil {
+		return err
+	}
+	end := s.beginRead()
+	defer end()
+	err = s.streamQuery(sel.Query, params, begin, batch)
+	s.noteStmtErr(err)
+	return err
+}
+
+// streamQuery plans (via the shared cache), instantiates, and streams one
+// query's batches through the sink pair, charging the usual phase
+// buckets. The caller holds the read pin and owns error bookkeeping.
+func (s *Session) streamQuery(q *sqlast.Query, params []sqltypes.Value, begin func([]string) error, batch func(*exec.Batch) error) error {
+	tPlan := time.Now()
+	p, err := s.sh.cache.Get(s.cur.cat, q, plan.Options{DisableLateral: s.sh.prof.DisableLateral})
+	s.counters.PlanNS += time.Since(tPlan).Nanoseconds()
+	if err != nil {
+		return err
+	}
+	if p.NumParams > len(params) {
+		return fmt.Errorf("engine: query needs %d parameters, got %d", p.NumParams, len(params))
+	}
+
+	tStart := time.Now()
+	ctx := s.newCtx()
+	ctx.Params = params
+	ex, err := exec.Instantiate(p, ctx)
+	if s.sh.prof.StartPenalty > 0 {
+		profile.Spin(s.sh.prof.StartPenalty * p.NodeCount)
+	}
+	s.counters.ExecStartNS += time.Since(tStart).Nanoseconds()
+	s.counters.ExecutorStarts++
+	if err != nil {
+		return err
+	}
+	if err := begin(p.Cols); err != nil {
+		ex.Shutdown()
+		return err
+	}
+
+	tRun := time.Now()
+	runErr := ex.Stream(batch)
+	s.counters.ExecRunNS += time.Since(tRun).Nanoseconds()
+	s.counters.QueriesRun++
+
+	tEnd := time.Now()
+	ex.Shutdown()
+	s.counters.ExecEndNS += time.Since(tEnd).Nanoseconds()
+	return runErr
 }
 
 // Query runs a single SQL query and returns its rows.

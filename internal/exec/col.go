@@ -1,0 +1,494 @@
+package exec
+
+import (
+	"plsqlaway/internal/sqltypes"
+	"plsqlaway/internal/storage"
+)
+
+// ColKind discriminates the physical layout of a Column. Typed lanes hold
+// unboxed primitives — no per-value GC headers, no interface dispatch —
+// which is where the columnar executor's speedup comes from: the hot
+// arithmetic/comparison kernels run over []int64/[]float64 and the garbage
+// collector never scans the recursion frontier.
+type ColKind uint8
+
+const (
+	// ColNone marks an empty column whose kind is not yet decided (the
+	// first appended value fixes it).
+	ColNone ColKind = iota
+	// ColAny is the boxed fallback lane: mixed-kind or composite values.
+	ColAny
+	ColInt
+	ColFloat
+	ColBool
+	ColStr
+	// ColNull is a column of only NULLs (a NULL constant broadcast, or an
+	// all-NULL slice). It has no payload lane.
+	ColNull
+)
+
+// Column is one typed vector of a columnar batch. Exactly one payload lane
+// is populated, selected by Kind; Nulls (nil when the column has no NULLs)
+// marks NULL rows, whose lane slots hold the zero value. ColAny columns
+// carry NULL inside the boxed values themselves and keep Nulls nil.
+type Column struct {
+	Kind   ColKind
+	Nulls  []bool
+	Ints   []int64
+	Floats []float64
+	Bools  []bool
+	Strs   []string
+	Vals   []sqltypes.Value
+}
+
+// Len reports the column's row count.
+func (c *Column) Len() int {
+	switch c.Kind {
+	case ColInt:
+		return len(c.Ints)
+	case ColFloat:
+		return len(c.Floats)
+	case ColBool:
+		return len(c.Bools)
+	case ColStr:
+		return len(c.Strs)
+	case ColAny:
+		return len(c.Vals)
+	case ColNull:
+		return len(c.Nulls)
+	}
+	return 0
+}
+
+// reset empties the column for refilling, keeping lane capacity.
+func (c *Column) reset() {
+	c.Kind = ColNone
+	c.Nulls = c.Nulls[:0]
+	c.Ints = c.Ints[:0]
+	c.Floats = c.Floats[:0]
+	c.Bools = c.Bools[:0]
+	c.Strs = c.Strs[:0]
+	c.Vals = c.Vals[:0]
+}
+
+// null reports whether row i is NULL.
+func (c *Column) null(i int) bool {
+	if c.Kind == ColNull {
+		return true
+	}
+	if c.Kind == ColAny {
+		return c.Vals[i].IsNull()
+	}
+	return c.Nulls != nil && c.Nulls[i]
+}
+
+// Value boxes row i back into a sqltypes.Value — the row-major bridge.
+func (c *Column) Value(i int) sqltypes.Value {
+	switch c.Kind {
+	case ColAny:
+		return c.Vals[i]
+	case ColNull:
+		return sqltypes.Null
+	}
+	if c.Nulls != nil && c.Nulls[i] {
+		return sqltypes.Null
+	}
+	switch c.Kind {
+	case ColInt:
+		return sqltypes.NewInt(c.Ints[i])
+	case ColFloat:
+		return sqltypes.NewFloat(c.Floats[i])
+	case ColBool:
+		return sqltypes.NewBool(c.Bools[i])
+	case ColStr:
+		return sqltypes.NewText(c.Strs[i])
+	}
+	return sqltypes.Null
+}
+
+// truth reports whether row i is boolean TRUE (SQL WHERE semantics: NULL
+// and non-boolean values count as not true).
+func (c *Column) truth(i int) bool {
+	switch c.Kind {
+	case ColBool:
+		return (c.Nulls == nil || !c.Nulls[i]) && c.Bools[i]
+	case ColAny:
+		return c.Vals[i].IsTrue()
+	}
+	return false
+}
+
+// slice returns the [lo, hi) window of the column as a zero-copy view.
+func (c *Column) slice(lo, hi int) Column {
+	out := Column{Kind: c.Kind}
+	if c.Nulls != nil {
+		out.Nulls = c.Nulls[lo:hi]
+	}
+	switch c.Kind {
+	case ColInt:
+		out.Ints = c.Ints[lo:hi]
+	case ColFloat:
+		out.Floats = c.Floats[lo:hi]
+	case ColBool:
+		out.Bools = c.Bools[lo:hi]
+	case ColStr:
+		out.Strs = c.Strs[lo:hi]
+	case ColAny:
+		out.Vals = c.Vals[lo:hi]
+	case ColNull:
+		out.Nulls = c.Nulls[lo:hi]
+	}
+	return out
+}
+
+// setNulls ensures a nulls vector of length n exists (lazily materialized
+// the first time a NULL shows up) and returns it.
+func (c *Column) setNulls(n int) []bool {
+	if c.Nulls == nil || len(c.Nulls) < n {
+		nulls := c.Nulls
+		if cap(nulls) < n {
+			nulls = make([]bool, n)
+		} else {
+			nulls = nulls[:n]
+			for i := range nulls {
+				nulls[i] = false
+			}
+		}
+		c.Nulls = nulls
+	}
+	return c.Nulls
+}
+
+// appendValue appends one boxed value, fixing the column kind on first
+// append and demoting the whole column to ColAny on a kind mismatch.
+func (c *Column) appendValue(v sqltypes.Value) {
+	n := c.Len()
+	if c.Kind == ColNone {
+		switch v.Kind() {
+		case sqltypes.KindNull:
+			c.Kind = ColNull
+		case sqltypes.KindInt:
+			c.Kind = ColInt
+		case sqltypes.KindFloat:
+			c.Kind = ColFloat
+		case sqltypes.KindBool:
+			c.Kind = ColBool
+		case sqltypes.KindText:
+			c.Kind = ColStr
+		default:
+			c.Kind = ColAny
+		}
+	}
+	switch c.Kind {
+	case ColAny:
+		c.Vals = append(c.Vals, v)
+		return
+	case ColNull:
+		if v.IsNull() {
+			c.Nulls = append(c.Nulls, true)
+			return
+		}
+		// A typed value arrived after NULLs: promote to the value's lane,
+		// keeping the accumulated NULL prefix (already marked in Nulls).
+		prefix := len(c.Nulls)
+		switch v.Kind() {
+		case sqltypes.KindInt:
+			c.Kind = ColInt
+		case sqltypes.KindFloat:
+			c.Kind = ColFloat
+		case sqltypes.KindBool:
+			c.Kind = ColBool
+		case sqltypes.KindText:
+			c.Kind = ColStr
+		default:
+			c.Kind = ColAny
+			vals := c.Vals[:0]
+			for i := 0; i < prefix; i++ {
+				vals = append(vals, sqltypes.Null)
+			}
+			c.Vals = append(vals, v)
+			c.Nulls = c.Nulls[:0]
+			return
+		}
+		for i := 0; i < prefix; i++ {
+			c.appendZero()
+		}
+		c.Nulls = append(c.Nulls, false)
+		switch c.Kind {
+		case ColInt:
+			c.Ints = append(c.Ints, v.Int())
+		case ColFloat:
+			c.Floats = append(c.Floats, v.Float())
+		case ColBool:
+			c.Bools = append(c.Bools, v.Bool())
+		case ColStr:
+			c.Strs = append(c.Strs, v.Text())
+		}
+		return
+	}
+	if v.IsNull() {
+		nulls := c.setNulls(n)
+		c.Nulls = append(nulls, true)
+		c.appendZero()
+		return
+	}
+	ok := false
+	switch c.Kind {
+	case ColInt:
+		if v.Kind() == sqltypes.KindInt {
+			c.Ints = append(c.Ints, v.Int())
+			ok = true
+		}
+	case ColFloat:
+		if v.Kind() == sqltypes.KindFloat {
+			c.Floats = append(c.Floats, v.Float())
+			ok = true
+		}
+	case ColBool:
+		if v.Kind() == sqltypes.KindBool {
+			c.Bools = append(c.Bools, v.Bool())
+			ok = true
+		}
+	case ColStr:
+		if v.Kind() == sqltypes.KindText {
+			c.Strs = append(c.Strs, v.Text())
+			ok = true
+		}
+	}
+	if ok {
+		if c.Nulls != nil {
+			c.Nulls = append(c.Nulls, false)
+		}
+		return
+	}
+	c.demoteToAny(n)
+	c.Vals = append(c.Vals, v)
+}
+
+// appendZero appends the lane zero value (the slot under a NULL).
+func (c *Column) appendZero() {
+	switch c.Kind {
+	case ColInt:
+		c.Ints = append(c.Ints, 0)
+	case ColFloat:
+		c.Floats = append(c.Floats, 0)
+	case ColBool:
+		c.Bools = append(c.Bools, false)
+	case ColStr:
+		c.Strs = append(c.Strs, "")
+	}
+}
+
+// demoteToAny reboxes the first n rows into the ColAny lane (kind-mismatch
+// escape hatch; the batch keeps flowing, downstream kernels fall back).
+func (c *Column) demoteToAny(n int) {
+	vals := c.Vals[:0]
+	for i := 0; i < n; i++ {
+		vals = append(vals, c.Value(i))
+	}
+	c.Kind = ColAny
+	c.Vals = vals
+	c.Nulls = nil
+	c.Ints = c.Ints[:0]
+	c.Floats = c.Floats[:0]
+	c.Bools = c.Bools[:0]
+	c.Strs = c.Strs[:0]
+}
+
+// appendFrom appends rows sel (or all rows when sel is nil) of src —
+// the columnar gather primitive shared by filters and set appends.
+func (c *Column) appendFrom(src *Column, sel []int32) {
+	if c.Kind == ColNone && c.Len() == 0 {
+		c.Kind = src.Kind
+	}
+	if c.Kind != src.Kind {
+		// Mixed kinds across appends: rebox everything.
+		n := c.Len()
+		if c.Kind != ColAny {
+			c.demoteToAny(n)
+		}
+		if sel == nil {
+			for i := 0; i < src.Len(); i++ {
+				c.Vals = append(c.Vals, src.Value(i))
+			}
+		} else {
+			for _, i := range sel {
+				c.Vals = append(c.Vals, src.Value(int(i)))
+			}
+		}
+		return
+	}
+	hadNulls := c.Nulls != nil
+	n := c.Len()
+	if sel == nil {
+		switch c.Kind {
+		case ColInt:
+			c.Ints = append(c.Ints, src.Ints...)
+		case ColFloat:
+			c.Floats = append(c.Floats, src.Floats...)
+		case ColBool:
+			c.Bools = append(c.Bools, src.Bools...)
+		case ColStr:
+			c.Strs = append(c.Strs, src.Strs...)
+		case ColAny:
+			c.Vals = append(c.Vals, src.Vals...)
+		case ColNull:
+			c.Nulls = append(c.Nulls, src.Nulls...)
+			return
+		}
+		m := src.Len()
+		if src.Nulls != nil {
+			nulls := c.Nulls
+			if !hadNulls {
+				nulls = c.setNulls(n)
+			}
+			c.Nulls = append(nulls, src.Nulls...)
+		} else if hadNulls {
+			for i := 0; i < m; i++ {
+				c.Nulls = append(c.Nulls, false)
+			}
+		}
+		return
+	}
+	switch c.Kind {
+	case ColInt:
+		for _, i := range sel {
+			c.Ints = append(c.Ints, src.Ints[i])
+		}
+	case ColFloat:
+		for _, i := range sel {
+			c.Floats = append(c.Floats, src.Floats[i])
+		}
+	case ColBool:
+		for _, i := range sel {
+			c.Bools = append(c.Bools, src.Bools[i])
+		}
+	case ColStr:
+		for _, i := range sel {
+			c.Strs = append(c.Strs, src.Strs[i])
+		}
+	case ColAny:
+		for _, i := range sel {
+			c.Vals = append(c.Vals, src.Vals[i])
+		}
+	case ColNull:
+		for range sel {
+			c.Nulls = append(c.Nulls, true)
+		}
+		return
+	}
+	if src.Nulls != nil {
+		nulls := c.Nulls
+		if !hadNulls {
+			nulls = c.setNulls(n)
+		}
+		for _, i := range sel {
+			nulls = append(nulls, src.Nulls[i])
+		}
+		c.Nulls = nulls
+	} else if hadNulls {
+		for range sel {
+			c.Nulls = append(c.Nulls, false)
+		}
+	}
+}
+
+// transposeColumn fills dst with column idx of rows, inferring the lane
+// kind from the values: a monomorphic column lands in a typed lane, mixed
+// or composite values fall back to ColAny. This is the row→column bridge at
+// scan boundaries.
+func transposeColumn(dst *Column, rows []storage.Tuple, idx int) {
+	dst.reset()
+	for _, r := range rows {
+		if idx >= len(r) {
+			dst.appendValue(sqltypes.Null)
+			continue
+		}
+		dst.appendValue(r[idx])
+	}
+}
+
+// fillConst broadcasts one scalar over n rows (constants and parameters in
+// the columnar evaluator).
+func (c *Column) fillConst(v sqltypes.Value, n int) {
+	c.reset()
+	switch v.Kind() {
+	case sqltypes.KindNull:
+		c.Kind = ColNull
+		nulls := c.Nulls
+		if cap(nulls) < n {
+			nulls = make([]bool, n)
+			for i := range nulls {
+				nulls[i] = true
+			}
+		} else {
+			nulls = nulls[:n]
+			for i := range nulls {
+				nulls[i] = true
+			}
+		}
+		c.Nulls = nulls
+	case sqltypes.KindInt:
+		c.Kind = ColInt
+		c.Ints = growInts(c.Ints, n)
+		x := v.Int()
+		for i := range c.Ints {
+			c.Ints[i] = x
+		}
+	case sqltypes.KindFloat:
+		c.Kind = ColFloat
+		c.Floats = growFloats(c.Floats, n)
+		x := v.Float()
+		for i := range c.Floats {
+			c.Floats[i] = x
+		}
+	case sqltypes.KindBool:
+		c.Kind = ColBool
+		c.Bools = growBools(c.Bools, n)
+		x := v.Bool()
+		for i := range c.Bools {
+			c.Bools[i] = x
+		}
+	case sqltypes.KindText:
+		c.Kind = ColStr
+		c.Strs = growStrs(c.Strs, n)
+		x := v.Text()
+		for i := range c.Strs {
+			c.Strs[i] = x
+		}
+	default:
+		c.Kind = ColAny
+		c.Vals = growVals(c.Vals, n)
+		for i := range c.Vals {
+			c.Vals[i] = v
+		}
+	}
+}
+
+func growInts(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	return buf[:n]
+}
+
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
+}
+
+func growStrs(buf []string, n int) []string {
+	if cap(buf) < n {
+		return make([]string, n)
+	}
+	return buf[:n]
+}

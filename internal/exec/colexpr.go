@@ -1,0 +1,534 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"plsqlaway/internal/sqltypes"
+)
+
+// The columnar expression evaluator: monomorphized per-type-kind kernels
+// over unboxed Column lanes. It is strictly an accelerator — every
+// expression it can evaluate is also evaluable by the boxed EvalBatch path,
+// and EvalCol's (nil, nil) "not columnar" return is the escape hatch the
+// integration points use to fall back. The contract that keeps the two
+// paths byte-identical: kernels exist only for type combinations whose
+// boxed semantics they reproduce exactly (including error text and NULL
+// propagation order); any other combination bails out so the boxed path
+// raises its own errors.
+
+// errDivZero carries the exact message of sqltypes' division errors so the
+// columnar and boxed paths are indistinguishable to callers.
+var errDivZero = errors.New("sqltypes: division by zero")
+
+// computeColable reports whether this subtree is evaluable by EvalCol:
+// pure, and built only from the forms the columnar kernels implement.
+// Type-kind mismatches are not knowable here (plans are untyped), so
+// kernels still bail at runtime on unsupported lane combinations.
+func (es *ExprState) computeColable() bool {
+	if !es.pure {
+		return false
+	}
+	switch es.kind {
+	case kConst:
+		switch es.val.Kind() {
+		case sqltypes.KindNull, sqltypes.KindInt, sqltypes.KindFloat,
+			sqltypes.KindBool, sqltypes.KindText:
+		default:
+			return false
+		}
+	case kInput, kOuter, kParam:
+	case kBin:
+		if es.bin == bcCmp {
+			return false
+		}
+	case kUnary, kIsNull:
+	default:
+		return false
+	}
+	for _, k := range es.kids {
+		if !k.colable {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalCol evaluates the expression once per row of the batch, columnar: the
+// result is a typed Column (usually aliasing scratch owned by this
+// ExprState or the batch, valid until the next evaluation). A (nil, nil)
+// return means "not evaluable columnar on this batch" — the caller falls
+// back to the boxed EvalBatch/Eval path, which is always equivalent.
+func (es *ExprState) EvalCol(ctx *Ctx, b *Batch) (*Column, error) {
+	if !es.colable {
+		return nil, nil
+	}
+	n := b.Len()
+	if n == 0 {
+		es.cres.reset()
+		return &es.cres, nil
+	}
+	switch es.kind {
+	case kConst:
+		es.cres.fillConst(es.val, n)
+		return &es.cres, nil
+	case kInput:
+		return b.Col(es.idx)
+	case kOuter:
+		t, err := ctx.outerAt(es.depth)
+		if err != nil {
+			return nil, err
+		}
+		if es.idx >= len(t) {
+			return nil, fmt.Errorf("exec: outer column %d out of range (row width %d)", es.idx, len(t))
+		}
+		es.cres.fillConst(t[es.idx], n)
+		return &es.cres, nil
+	case kParam:
+		if es.idx < 1 || es.idx > len(ctx.Params) {
+			return nil, fmt.Errorf("exec: no value for parameter $%d", es.idx)
+		}
+		es.cres.fillConst(ctx.Params[es.idx-1], n)
+		return &es.cres, nil
+	case kBin:
+		if es.bin == bcAnd || es.bin == bcOr {
+			return es.evalColLogical(ctx, b)
+		}
+		l, err := es.kids[0].EvalCol(ctx, b)
+		if err != nil || l == nil {
+			return nil, err
+		}
+		r, err := es.kids[1].EvalCol(ctx, b)
+		if err != nil || r == nil {
+			return nil, err
+		}
+		ok, err := binColKernel(es.bin, l, r, n, &es.cres)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, nil
+		}
+		return &es.cres, nil
+	case kUnary:
+		return es.evalColUnary(ctx, b, n)
+	case kIsNull:
+		x, err := es.kids[0].EvalCol(ctx, b)
+		if err != nil || x == nil {
+			return nil, err
+		}
+		dst := &es.cres
+		dst.reset()
+		dst.Kind = ColBool
+		dst.Bools = growBools(dst.Bools, n)
+		for i := 0; i < n; i++ {
+			dst.Bools[i] = x.null(i) != es.negate
+		}
+		return dst, nil
+	}
+	return nil, nil
+}
+
+// evalColLogical vectorizes AND/OR while preserving the boxed evaluator's
+// laziness: the right operand is only evaluated when no row of the batch
+// short-circuits on the left (AND: a non-NULL false; OR: a non-NULL true).
+// If any row would short-circuit, the whole batch falls back to
+// evalLogicalBatch's selection-vector path, so guard patterns
+// (`y <> 0 AND x/y > 2`) never evaluate their guarded side on the rows the
+// guard excludes.
+func (es *ExprState) evalColLogical(ctx *Ctx, b *Batch) (*Column, error) {
+	n := b.Len()
+	l, err := es.kids[0].EvalCol(ctx, b)
+	if err != nil || l == nil {
+		return nil, err
+	}
+	isAnd := es.bin == bcAnd
+	switch l.Kind {
+	case ColNull:
+	case ColBool:
+		for i := 0; i < n; i++ {
+			if (l.Nulls == nil || !l.Nulls[i]) && l.Bools[i] != isAnd {
+				return nil, nil
+			}
+		}
+	default:
+		return nil, nil // non-boolean operand: boxed path raises the error
+	}
+	r, err := es.kids[1].EvalCol(ctx, b)
+	if err != nil || r == nil {
+		return nil, err
+	}
+	if r.Kind != ColBool && r.Kind != ColNull {
+		return nil, nil
+	}
+	dst := &es.cres
+	dst.reset()
+	dst.Kind = ColBool
+	dst.Bools = growBools(dst.Bools, n)
+	var nulls []bool
+	for i := 0; i < n; i++ {
+		ln, rn := l.null(i), r.null(i)
+		lv := !ln && l.Kind == ColBool && l.Bools[i]
+		rv := !rn && r.Kind == ColBool && r.Bools[i]
+		var res, isNull bool
+		if isAnd {
+			switch {
+			case (!ln && !lv) || (!rn && !rv):
+			case ln || rn:
+				isNull = true
+			default:
+				res = true
+			}
+		} else {
+			switch {
+			case (!ln && lv) || (!rn && rv):
+				res = true
+			case ln || rn:
+				isNull = true
+			}
+		}
+		if isNull {
+			if nulls == nil {
+				nulls = dst.setNulls(n)
+			}
+			nulls[i] = true
+		}
+		dst.Bools[i] = res
+	}
+	return dst, nil
+}
+
+func (es *ExprState) evalColUnary(ctx *Ctx, b *Batch, n int) (*Column, error) {
+	x, err := es.kids[0].EvalCol(ctx, b)
+	if err != nil || x == nil {
+		return nil, err
+	}
+	dst := &es.cres
+	if es.op == "NOT" {
+		switch x.Kind {
+		case ColNull:
+			dst.fillConst(sqltypes.Null, n)
+			return dst, nil
+		case ColBool:
+			dst.reset()
+			dst.Kind = ColBool
+			dst.Bools = growBools(dst.Bools, n)
+			if x.Nulls != nil {
+				nulls := dst.setNulls(n)
+				copy(nulls, x.Nulls[:n])
+			}
+			for i := 0; i < n; i++ {
+				dst.Bools[i] = !x.Bools[i] && (x.Nulls == nil || !x.Nulls[i])
+			}
+			return dst, nil
+		}
+		return nil, nil
+	}
+	switch x.Kind {
+	case ColNull:
+		dst.fillConst(sqltypes.Null, n)
+		return dst, nil
+	case ColInt:
+		dst.reset()
+		dst.Kind = ColInt
+		dst.Ints = growInts(dst.Ints, n)
+		if x.Nulls != nil {
+			nulls := dst.setNulls(n)
+			copy(nulls, x.Nulls[:n])
+		}
+		for i := 0; i < n; i++ {
+			dst.Ints[i] = -x.Ints[i]
+		}
+		return dst, nil
+	case ColFloat:
+		dst.reset()
+		dst.Kind = ColFloat
+		dst.Floats = growFloats(dst.Floats, n)
+		if x.Nulls != nil {
+			nulls := dst.setNulls(n)
+			copy(nulls, x.Nulls[:n])
+		}
+		for i := 0; i < n; i++ {
+			dst.Floats[i] = -x.Floats[i]
+		}
+		return dst, nil
+	}
+	return nil, nil
+}
+
+// binColKernel applies one non-logical binary operator over two columns
+// into dst. The boolean result reports kernel coverage: false means the
+// lane combination has no kernel and the caller must fall back boxed.
+func binColKernel(code binCode, l, r *Column, n int, dst *Column) (bool, error) {
+	// NULL propagation first, exactly like the boxed operators: arithmetic,
+	// comparison, and concat all yield NULL when either side is NULL — even
+	// ahead of type errors and division-by-zero checks.
+	if l.Kind == ColNull || r.Kind == ColNull {
+		dst.fillConst(sqltypes.Null, n)
+		return true, nil
+	}
+	switch code {
+	case bcAdd, bcSub, bcMul, bcDiv, bcMod:
+		return arithColKernel(code, l, r, n, dst)
+	case bcConcat:
+		if l.Kind != ColStr || r.Kind != ColStr {
+			return false, nil
+		}
+		dst.reset()
+		dst.Kind = ColStr
+		dst.Strs = growStrs(dst.Strs, n)
+		nulls := mergeNullVectors(l, r, n, dst)
+		for i := 0; i < n; i++ {
+			if nulls != nil && nulls[i] {
+				dst.Strs[i] = ""
+				continue
+			}
+			dst.Strs[i] = l.Strs[i] + r.Strs[i]
+		}
+		return true, nil
+	case bcEq, bcNe, bcLt, bcLe, bcGt, bcGe:
+		return cmpColKernel(code, l, r, n, dst)
+	}
+	return false, nil
+}
+
+// mergeNullVectors prepares dst's nulls vector as the union of the operand
+// nulls (nil when neither operand has NULLs). dst must be freshly reset.
+func mergeNullVectors(l, r *Column, n int, dst *Column) []bool {
+	if l.Nulls == nil && r.Nulls == nil {
+		return nil
+	}
+	nulls := dst.setNulls(n)
+	for i := 0; i < n; i++ {
+		nulls[i] = (l.Nulls != nil && l.Nulls[i]) || (r.Nulls != nil && r.Nulls[i])
+	}
+	return nulls
+}
+
+func arithColKernel(code binCode, l, r *Column, n int, dst *Column) (bool, error) {
+	lnum := l.Kind == ColInt || l.Kind == ColFloat
+	rnum := r.Kind == ColInt || r.Kind == ColFloat
+	if !lnum || !rnum {
+		return false, nil // boxed path raises the non-numeric operand error
+	}
+	dst.reset()
+	if l.Kind == ColInt && r.Kind == ColInt {
+		dst.Kind = ColInt
+		dst.Ints = growInts(dst.Ints, n)
+		out, li, ri := dst.Ints, l.Ints, r.Ints
+		nulls := mergeNullVectors(l, r, n, dst)
+		switch code {
+		case bcAdd:
+			for i := 0; i < n; i++ {
+				out[i] = li[i] + ri[i]
+			}
+		case bcSub:
+			for i := 0; i < n; i++ {
+				out[i] = li[i] - ri[i]
+			}
+		case bcMul:
+			for i := 0; i < n; i++ {
+				out[i] = li[i] * ri[i]
+			}
+		case bcDiv:
+			for i := 0; i < n; i++ {
+				if nulls != nil && nulls[i] {
+					out[i] = 0
+					continue
+				}
+				if ri[i] == 0 {
+					return false, errDivZero
+				}
+				out[i] = li[i] / ri[i]
+			}
+		case bcMod:
+			for i := 0; i < n; i++ {
+				if nulls != nil && nulls[i] {
+					out[i] = 0
+					continue
+				}
+				if ri[i] == 0 {
+					return false, errDivZero
+				}
+				out[i] = li[i] % ri[i]
+			}
+		}
+		return true, nil
+	}
+	// Mixed or float operands widen to float64, like numericBinop.
+	dst.Kind = ColFloat
+	dst.Floats = growFloats(dst.Floats, n)
+	out := dst.Floats
+	nulls := mergeNullVectors(l, r, n, dst)
+	for i := 0; i < n; i++ {
+		if nulls != nil && nulls[i] {
+			out[i] = 0
+			continue
+		}
+		var x, y float64
+		if l.Kind == ColInt {
+			x = float64(l.Ints[i])
+		} else {
+			x = l.Floats[i]
+		}
+		if r.Kind == ColInt {
+			y = float64(r.Ints[i])
+		} else {
+			y = r.Floats[i]
+		}
+		switch code {
+		case bcAdd:
+			out[i] = x + y
+		case bcSub:
+			out[i] = x - y
+		case bcMul:
+			out[i] = x * y
+		case bcDiv:
+			if y == 0 {
+				return false, errDivZero
+			}
+			out[i] = x / y
+		case bcMod:
+			if y == 0 {
+				return false, errDivZero
+			}
+			out[i] = math.Mod(x, y)
+		}
+	}
+	return true, nil
+}
+
+// cmpFloatVals reproduces sqltypes.Compare's float ordering: NaN compares
+// equal to NaN and sorts after everything else, like PostgreSQL.
+func cmpFloatVals(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	case math.IsNaN(a) && !math.IsNaN(b):
+		return 1
+	case !math.IsNaN(a) && math.IsNaN(b):
+		return -1
+	}
+	return 0
+}
+
+func cmpTruth(code binCode, c int) bool {
+	switch code {
+	case bcEq:
+		return c == 0
+	case bcNe:
+		return c != 0
+	case bcLt:
+		return c < 0
+	case bcLe:
+		return c <= 0
+	case bcGt:
+		return c > 0
+	case bcGe:
+		return c >= 0
+	}
+	return false
+}
+
+func cmpColKernel(code binCode, l, r *Column, n int, dst *Column) (bool, error) {
+	lnum := l.Kind == ColInt || l.Kind == ColFloat
+	rnum := r.Kind == ColInt || r.Kind == ColFloat
+	sameTyped := l.Kind == r.Kind && (l.Kind == ColStr || l.Kind == ColBool)
+	if !(lnum && rnum) && !sameTyped {
+		return false, nil // mixed or boxed lanes: boxed path decides (and errors)
+	}
+	dst.reset()
+	dst.Kind = ColBool
+	dst.Bools = growBools(dst.Bools, n)
+	out := dst.Bools
+	nulls := mergeNullVectors(l, r, n, dst)
+	switch {
+	case l.Kind == ColInt && r.Kind == ColInt:
+		li, ri := l.Ints, r.Ints
+		// The int=int comparison is the hash-join/filter hot loop:
+		// monomorphized per operator so the comparison compiles to a single
+		// branchless setcc per row.
+		switch code {
+		case bcEq:
+			for i := 0; i < n; i++ {
+				out[i] = li[i] == ri[i]
+			}
+		case bcNe:
+			for i := 0; i < n; i++ {
+				out[i] = li[i] != ri[i]
+			}
+		case bcLt:
+			for i := 0; i < n; i++ {
+				out[i] = li[i] < ri[i]
+			}
+		case bcLe:
+			for i := 0; i < n; i++ {
+				out[i] = li[i] <= ri[i]
+			}
+		case bcGt:
+			for i := 0; i < n; i++ {
+				out[i] = li[i] > ri[i]
+			}
+		case bcGe:
+			for i := 0; i < n; i++ {
+				out[i] = li[i] >= ri[i]
+			}
+		}
+	case lnum && rnum:
+		for i := 0; i < n; i++ {
+			if nulls != nil && nulls[i] {
+				out[i] = false
+				continue
+			}
+			var x, y float64
+			if l.Kind == ColInt {
+				x = float64(l.Ints[i])
+			} else {
+				x = l.Floats[i]
+			}
+			if r.Kind == ColInt {
+				y = float64(r.Ints[i])
+			} else {
+				y = r.Floats[i]
+			}
+			out[i] = cmpTruth(code, cmpFloatVals(x, y))
+		}
+	case l.Kind == ColStr:
+		for i := 0; i < n; i++ {
+			if nulls != nil && nulls[i] {
+				out[i] = false
+				continue
+			}
+			out[i] = cmpTruth(code, strings.Compare(l.Strs[i], r.Strs[i]))
+		}
+	case l.Kind == ColBool:
+		for i := 0; i < n; i++ {
+			if nulls != nil && nulls[i] {
+				out[i] = false
+				continue
+			}
+			var c int
+			switch {
+			case !l.Bools[i] && r.Bools[i]:
+				c = -1
+			case l.Bools[i] && !r.Bools[i]:
+				c = 1
+			}
+			out[i] = cmpTruth(code, c)
+		}
+	}
+	if nulls != nil && l.Kind == ColInt && r.Kind == ColInt {
+		// The monomorphized int loops above ignore nulls for speed; the lane
+		// values under NULL slots are zeros, so just clear their results.
+		for i := 0; i < n; i++ {
+			if nulls[i] {
+				out[i] = false
+			}
+		}
+	}
+	return true, nil
+}

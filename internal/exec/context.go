@@ -98,12 +98,18 @@ type Ctx struct {
 	// (the baseline of the BenchmarkBatchSize sweep).
 	BatchSize int
 
+	// Columnar enables the unboxed column-vector fast paths (EvalCol
+	// kernels, columnar filter/join/recursion/aggregation). Off, every
+	// operator runs the boxed row-major paths — the differential suites
+	// compare the two end-to-end.
+	Columnar bool
+
 	// Depth guards runaway UDF recursion (PL/pgSQL calling itself).
 	CallDepth    int
 	MaxCallDepth int
 
 	cteStores  []*storage.TupleStore
-	cteWorking [][]storage.Tuple
+	cteWorking []*rowSet
 	cteDefs    []Node
 }
 
@@ -116,6 +122,7 @@ func NewCtx() *Ctx {
 		MaxRecursion: 20_000_000,
 		MaxCallDepth: 256,
 		BatchSize:    DefaultBatchSize,
+		Columnar:     true,
 		TS:           storage.AllVisible,
 	}
 }

@@ -56,7 +56,7 @@ func Instantiate(p *plan.Plan, ctx *Ctx) (*Executor, error) {
 	ctx.cteDefs = defs
 	if len(ctx.cteStores) < len(p.CTEs) {
 		ctx.cteStores = make([]*storage.TupleStore, len(p.CTEs))
-		ctx.cteWorking = make([][]storage.Tuple, len(p.CTEs))
+		ctx.cteWorking = make([]*rowSet, len(p.CTEs))
 	}
 	return &Executor{
 		Plan: p, root: root, ctx: ctx,
@@ -104,6 +104,28 @@ func (e *Executor) Run() ([]storage.Tuple, error) {
 	}
 }
 
+// Stream opens the plan and hands each non-empty batch to fn — the
+// streaming twin of Run. The batch is valid only for the duration of the
+// call (the next pull reuses it); fn copies out whatever it keeps. Rows
+// never accumulate executor-side, so a wide scan's peak memory is one
+// batch, not the result set.
+func (e *Executor) Stream(fn func(*Batch) error) error {
+	if err := e.Open(); err != nil {
+		return err
+	}
+	for {
+		if err := e.root.NextBatch(e.ctx, e.buf); err != nil {
+			return err
+		}
+		if e.buf.Len() == 0 {
+			return nil
+		}
+		if err := fn(e.buf); err != nil {
+			return err
+		}
+	}
+}
+
 // Shutdown closes the node tree, releases CTE spill files, and tears down
 // the executor state tree (ExecutorEnd: PostgreSQL frees the per-query
 // memory context here — we walk the tree releasing references so the
@@ -129,9 +151,11 @@ func teardown(n Node) {
 	case *filterNode:
 		teardown(x.child)
 		x.child, x.pred, x.in, x.sel = nil, nil, nil, nil
+		x.fsel, x.fcols, x.fptrs = nil, nil, nil
 	case *projectNode:
 		teardown(x.child)
 		x.child, x.exprs, x.in, x.cols = nil, nil, nil, nil
+		x.pcols = nil
 	case *nestLoopNode:
 		teardown(x.left)
 		teardown(x.right)
@@ -143,16 +167,18 @@ func teardown(n Node) {
 		x.left, x.right, x.residual, x.leftKeys, x.rightKeys = nil, nil, nil, nil, nil
 		x.in, x.keyCols, x.keyRow, x.cand, x.curLeft = nil, nil, nil, nil, nil
 		x.slab, x.arena = nil, nil
+		x.keyCol, x.leftSrc, x.colCand, x.outCols, x.outPtrs = nil, nil, nil, nil, nil
 	case *hashJoinProjectNode:
 		teardown(x.join)
 		x.join, x.exprs, x.mid, x.cols = nil, nil, nil, nil
+		x.pcols = nil
 	case *materializeNode:
 		teardown(x.child)
 		x.child, x.rows = nil, nil
 	case *aggNode:
 		teardown(x.child)
 		x.child, x.out, x.groups, x.specs = nil, nil, nil, nil
-		x.evalList, x.argPos, x.evalCols = nil, nil, nil
+		x.evalList, x.argPos, x.evalCols, x.argCols = nil, nil, nil, nil
 	case *windowNode:
 		teardown(x.child)
 		x.child, x.out, x.funcs = nil, nil, nil
@@ -188,7 +214,7 @@ func teardown(n Node) {
 	case *indexScanNode:
 		x.rows, x.hits, x.key = nil, nil, nil
 	case *cteScanNode:
-		x.iter, x.rows, x.buf = nil, nil, nil
+		x.iter, x.set, x.buf = nil, nil, nil
 	case *resultNode:
 		x.exprs = nil
 	}

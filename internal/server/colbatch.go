@@ -1,0 +1,96 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"plsqlaway/internal/exec"
+	"plsqlaway/internal/sqltypes"
+	"plsqlaway/internal/wire"
+)
+
+// writeBatch emits one executor batch as result frames: a single columnar
+// ColBatch for v4+ sessions (typed lanes aliased straight into the
+// encoder), a row-major RowBatch for v3 sessions. A frame whose encoding
+// exceeds the limit degrades to row-by-row RowBatch frames (v4 clients
+// decode both); a single over-limit row fails the whole response, which
+// handleQuery terminates with an Error frame.
+func (c *conn) writeBatch(b *exec.Batch) error {
+	if c.version >= wire.ColBatchVersion && b.Width() > 0 && b.Len() <= wire.MaxColBatchRows {
+		if err := colBatch(b, &c.cb); err == nil {
+			err = c.write(&c.cb)
+			if err == nil {
+				return nil
+			}
+			if !errors.Is(err, wire.ErrFrameTooLarge) {
+				return err
+			}
+		}
+	}
+	// storage.Tuple aliases []sqltypes.Value, so the materialized rows
+	// frame directly — no per-batch copy.
+	rows := b.Rows()
+	err := c.write(&wire.RowBatch{Rows: rows})
+	if err == nil {
+		return nil
+	}
+	if !errors.Is(err, wire.ErrFrameTooLarge) {
+		return err
+	}
+	for _, row := range rows {
+		if err := c.write(&wire.RowBatch{Rows: [][]sqltypes.Value{row}}); err != nil {
+			if errors.Is(err, wire.ErrFrameTooLarge) {
+				return fmt.Errorf("result row exceeds the %d-byte frame limit", wire.MaxFrameLen)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// colBatch re-frames one executor batch as a wire ColBatch, aliasing the
+// executor's typed column lanes — zero copies for int, float, bool, and
+// text columns. The message is valid only until the executor's next pull
+// (the lanes are producer-owned), which is fine: the caller encodes and
+// writes it before pulling again.
+func colBatch(b *exec.Batch, m *wire.ColBatch) error {
+	n, w := b.Len(), b.Width()
+	if cap(m.Cols) < w {
+		m.Cols = make([]wire.ColData, w)
+	}
+	m.Cols = m.Cols[:w]
+	m.NumRows = n
+	for i := 0; i < w; i++ {
+		col, err := b.Col(i)
+		if err != nil {
+			return err
+		}
+		cd := &m.Cols[i]
+		*cd = wire.ColData{}
+		switch col.Kind {
+		case exec.ColInt:
+			cd.Tag = wire.ColTagInt
+			cd.Ints = col.Ints[:n]
+		case exec.ColFloat:
+			cd.Tag = wire.ColTagFloat
+			cd.Floats = col.Floats[:n]
+		case exec.ColBool:
+			cd.Tag = wire.ColTagBool
+			cd.Bools = col.Bools[:n]
+		case exec.ColStr:
+			cd.Tag = wire.ColTagText
+			cd.Texts = col.Strs[:n]
+		case exec.ColNull:
+			cd.Tag = wire.ColTagNull
+			continue // the bitmap is implied all-true; no value lane
+		default: // ColAny and anything future: kind-tagged values
+			cd.Tag = wire.ColTagAny
+			cd.Anys = col.Vals[:n]
+			continue // NULLs travel inside the boxed values
+		}
+		if col.Nulls != nil {
+			cd.Nulls = col.Nulls[:n]
+		}
+	}
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"plsqlaway/internal/engine"
+	"plsqlaway/internal/exec"
 	"plsqlaway/internal/sqltypes"
 	"plsqlaway/internal/wire"
 )
@@ -36,6 +37,13 @@ type conn struct {
 	// enc is the executor goroutine's scratch payload buffer, reused
 	// across response frames.
 	enc wire.Encoder
+	// version is the protocol version negotiated at startup; v3 sessions
+	// get row-major RowBatch results, v4+ get columnar ColBatch frames.
+	version uint32
+	// cb is the scratch ColBatch reused across streamed result frames —
+	// its lanes alias the executor batch, so it is valid only until the
+	// next pull.
+	cb wire.ColBatch
 
 	// draining tells the reader to stop pulling new requests; the
 	// executor finishes what is queued and closes the connection.
@@ -116,12 +124,13 @@ func (c *conn) handshake() error {
 		c.bw.Flush()
 		return fmt.Errorf("first frame %c, want startup", msg.Type())
 	}
-	if st.Version != wire.ProtocolVersion {
-		msg := fmt.Sprintf("protocol version %d not supported (server speaks %d)", st.Version, wire.ProtocolVersion)
+	if st.Version < wire.MinProtocolVersion || st.Version > wire.ProtocolVersion {
+		msg := fmt.Sprintf("protocol version %d not supported (server speaks %d..%d)", st.Version, wire.MinProtocolVersion, wire.ProtocolVersion)
 		wire.WriteMessage(c.bw, &wire.Error{Message: msg})
 		c.bw.Flush()
 		return fmt.Errorf("version mismatch: client %d", st.Version)
 	}
+	c.version = st.Version
 	c.sess.Seed(st.Seed)
 	if err := wire.WriteMessage(c.bw, &wire.Ready{Server: c.srv.opts.Banner}); err != nil {
 		return err
@@ -193,15 +202,28 @@ func (c *conn) respond(req request) {
 	}
 }
 
-// handleQuery runs one statement (rows stream back) or a
-// semicolon-separated script (plain Done). Session.Run parses once and
-// dispatches by shape, so a statement that fails during execution is
-// never re-executed by a fallback path.
+// handleQuery runs one statement or a semicolon-separated script.
+// Session.RunStream parses once and dispatches by shape, so a statement
+// that fails during execution is never re-executed by a fallback path. A
+// single row-returning query streams: the server pulls executor batches
+// and writes each as a frame the moment it is produced, so a wide scan's
+// peak server memory is one batch — never the whole result — and a slow
+// client throttles the executor through TCP backpressure. Everything
+// else (DDL, DML, scripts) returns its buffered result as before. An
+// execution error mid-stream terminates the response with an Error frame
+// after whatever batches already went out; the client discards partials.
 func (c *conn) handleQuery(sql string) {
-	res, err := c.sess.Run(sql)
+	res, streamed, err := c.sess.RunStream(sql,
+		func(cols []string) error { return c.write(&wire.RowDesc{Cols: cols}) },
+		func(b *exec.Batch) error { return c.writeBatch(b) },
+	)
 	c.writeNotices()
 	if err != nil {
 		c.writeError(err)
+		return
+	}
+	if streamed {
+		c.writeDone()
 		return
 	}
 	c.writeResult(res)

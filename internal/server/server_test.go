@@ -9,8 +9,24 @@ import (
 	"time"
 
 	"plsqlaway/internal/engine"
+	"plsqlaway/internal/sqltypes"
 	"plsqlaway/internal/wire"
 )
+
+// msgRows extracts the rows of a result frame in either encoding: v4
+// sessions stream columnar ColBatch frames, v3 (and the buffered
+// prepared-statement path) row-major RowBatch frames.
+func msgRows(t *testing.T, msg wire.Message) [][]sqltypes.Value {
+	t.Helper()
+	switch m := msg.(type) {
+	case *wire.RowBatch:
+		return m.Rows
+	case *wire.ColBatch:
+		return m.Rows()
+	}
+	t.Fatalf("want a result frame, got %#v", msg)
+	return nil
+}
 
 // start returns a served listener plus a cleanup-registered shutdown.
 func start(t *testing.T) string {
@@ -58,6 +74,115 @@ func rawConn(t *testing.T, addr string) (net.Conn, *bufio.Reader, *bufio.Writer)
 	return nc, br, bw
 }
 
+// TestV3ClientGetsRowMajorResults pins the downgrade path: a session
+// negotiated at the previous protocol version must never see a ColBatch
+// frame — results arrive as row-major RowBatch chunks, still streamed
+// batch by batch.
+func TestV3ClientGetsRowMajorResults(t *testing.T) {
+	addr := start(t)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	br, bw := bufio.NewReader(nc), bufio.NewWriter(nc)
+	wire.WriteMessage(bw, &wire.Startup{Version: wire.MinProtocolVersion, Seed: 42})
+	bw.Flush()
+	if msg, err := wire.ReadMessage(br); err != nil {
+		t.Fatal(err)
+	} else if _, ok := msg.(*wire.Ready); !ok {
+		t.Fatalf("v%d handshake answered %#v", wire.MinProtocolVersion, msg)
+	}
+
+	wire.WriteMessage(bw, &wire.Query{SQL: "WITH RECURSIVE g(i) AS (SELECT 1 UNION ALL SELECT i + 1 FROM g WHERE i < 50) SELECT i, i * 2 FROM g"})
+	bw.Flush()
+	if msg, err := wire.ReadMessage(br); err != nil {
+		t.Fatal(err)
+	} else if _, ok := msg.(*wire.RowDesc); !ok {
+		t.Fatalf("want row desc, got %#v", msg)
+	}
+	rows := 0
+	for {
+		msg, err := wire.ReadMessage(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, done := msg.(*wire.Done); done {
+			break
+		}
+		rb, ok := msg.(*wire.RowBatch)
+		if !ok {
+			t.Fatalf("v3 session got %#v", msg)
+		}
+		for _, r := range rb.Rows {
+			if r[1].Int() != 2*r[0].Int() {
+				t.Fatalf("bad row %v", r)
+			}
+		}
+		rows += len(rb.Rows)
+	}
+	if rows != 50 {
+		t.Fatalf("rows = %d, want 50", rows)
+	}
+}
+
+// TestStreamedErrorTerminates pins mid-stream failure framing: when a
+// query dies after batches already went out, the response must end with
+// an Error frame (not Done), and the connection must keep serving.
+func TestStreamedErrorTerminates(t *testing.T) {
+	addr := start(t)
+	_, br, bw := rawConn(t, addr)
+	// Division by zero on the last row only: earlier batches stream out
+	// before the error surfaces.
+	wire.WriteMessage(bw, &wire.Query{SQL: "WITH RECURSIVE g(i) AS (SELECT 1 UNION ALL SELECT i + 1 FROM g WHERE i < 3000) SELECT i / (3000 - i) FROM g"})
+	bw.Flush()
+	if msg, err := wire.ReadMessage(br); err != nil {
+		t.Fatal(err)
+	} else if _, ok := msg.(*wire.RowDesc); !ok {
+		t.Fatalf("want row desc, got %#v", msg)
+	}
+	sawError := false
+	for !sawError {
+		msg, err := wire.ReadMessage(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch m := msg.(type) {
+		case *wire.ColBatch, *wire.RowBatch:
+		case *wire.Error:
+			if !strings.Contains(m.Message, "division by zero") {
+				t.Fatalf("got error %q", m.Message)
+			}
+			sawError = true
+		default:
+			t.Fatalf("got %#v", msg)
+		}
+	}
+	// The connection keeps serving after the failed stream.
+	wire.WriteMessage(bw, &wire.Query{SQL: "SELECT 7"})
+	bw.Flush()
+	if msg, err := wire.ReadMessage(br); err != nil {
+		t.Fatal(err)
+	} else if _, ok := msg.(*wire.RowDesc); !ok {
+		t.Fatalf("want row desc, got %#v", msg)
+	}
+	if rows := msgRows(t, mustRead(t, br)); rows[0][0].Int() != 7 {
+		t.Fatalf("want 7, got %v", rows)
+	}
+	if _, ok := mustRead(t, br).(*wire.Done); !ok {
+		t.Fatal("want done")
+	}
+}
+
+func mustRead(t *testing.T, br *bufio.Reader) wire.Message {
+	t.Helper()
+	m, err := wire.ReadMessage(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 func TestVersionMismatchRejected(t *testing.T) {
 	addr := start(t)
 	nc, err := net.Dial("tcp", addr)
@@ -102,9 +227,8 @@ func TestMalformedPayloadAnsweredInOrder(t *testing.T) {
 	if _, ok := read().(*wire.RowDesc); !ok {
 		t.Fatal("want row desc")
 	}
-	rb, ok := read().(*wire.RowBatch)
-	if !ok || rb.Rows[0][0].Int() != 1 {
-		t.Fatalf("want SELECT 1 rows, got %#v", rb)
+	if rows := msgRows(t, read()); rows[0][0].Int() != 1 {
+		t.Fatalf("want SELECT 1 rows, got %v", rows)
 	}
 	if _, ok := read().(*wire.Done); !ok {
 		t.Fatal("want done")
@@ -118,9 +242,8 @@ func TestMalformedPayloadAnsweredInOrder(t *testing.T) {
 	if _, ok := read().(*wire.RowDesc); !ok {
 		t.Fatal("connection died after malformed frame")
 	}
-	rb, ok = read().(*wire.RowBatch)
-	if !ok || rb.Rows[0][0].Int() != 2 {
-		t.Fatalf("want SELECT 2 rows, got %#v", rb)
+	if rows := msgRows(t, read()); rows[0][0].Int() != 2 {
+		t.Fatalf("want SELECT 2 rows, got %v", rows)
 	}
 	if _, ok := read().(*wire.Done); !ok {
 		t.Fatal("want done")
@@ -194,13 +317,16 @@ func TestScriptVsQueryDispatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := rb.(*wire.RowBatch).Rows[0][0].Int(); got != 3 {
+	if got := msgRows(t, rb)[0][0].Int(); got != 3 {
 		t.Fatalf("count = %d, want 3", got)
 	}
 }
 
 func TestLargeResultChunking(t *testing.T) {
-	e := engine.New(engine.WithSeed(42))
+	// Batch size 16 bounds the streamed path's frame granularity (simple
+	// queries ship one frame per executor batch); RowBatch 16 bounds the
+	// buffered prepared-statement path the same way.
+	e := engine.New(engine.WithSeed(42), engine.WithBatchSize(16))
 	srv := New(e, Options{RowBatch: 16})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -215,36 +341,54 @@ func TestLargeResultChunking(t *testing.T) {
 		<-done
 	}()
 
+	const gen = "WITH RECURSIVE g(i) AS (SELECT 1 UNION ALL SELECT i + 1 FROM g WHERE i < 100) SELECT i FROM g"
 	_, br, bw := rawConn(t, ln.Addr().String())
-	wire.WriteMessage(bw, &wire.Query{SQL: "WITH RECURSIVE g(i) AS (SELECT 1 UNION ALL SELECT i + 1 FROM g WHERE i < 100) SELECT i FROM g"})
-	bw.Flush()
-	desc, err := wire.ReadMessage(br)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, ok := desc.(*wire.RowDesc); !ok {
-		t.Fatalf("want row desc, got %#v", desc)
-	}
-	batches, rows := 0, 0
-	for {
-		msg, err := wire.ReadMessage(br)
+	drain := func(wantColumnar bool) (batches, rows int) {
+		t.Helper()
+		desc, err := wire.ReadMessage(br)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, okDone := msg.(*wire.Done); okDone {
-			break
+		if _, ok := desc.(*wire.RowDesc); !ok {
+			t.Fatalf("want row desc, got %#v", desc)
 		}
-		rb, ok := msg.(*wire.RowBatch)
-		if !ok {
-			t.Fatalf("got %#v", msg)
+		for {
+			msg, err := wire.ReadMessage(br)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, okDone := msg.(*wire.Done); okDone {
+				return batches, rows
+			}
+			if _, ok := msg.(*wire.ColBatch); ok != wantColumnar {
+				t.Fatalf("columnar=%v frame on a wantColumnar=%v path", ok, wantColumnar)
+			}
+			chunk := msgRows(t, msg)
+			if len(chunk) > 16 {
+				t.Fatalf("batch of %d rows exceeds configured chunk 16", len(chunk))
+			}
+			batches++
+			rows += len(chunk)
 		}
-		if len(rb.Rows) > 16 {
-			t.Fatalf("batch of %d rows exceeds configured chunk 16", len(rb.Rows))
-		}
-		batches++
-		rows += len(rb.Rows)
 	}
-	if rows != 100 || batches < 7 {
+
+	// Streamed simple query: columnar frames, one per executor batch.
+	wire.WriteMessage(bw, &wire.Query{SQL: gen})
+	bw.Flush()
+	if batches, rows := drain(true); rows != 100 || batches < 7 {
 		t.Fatalf("rows=%d batches=%d, want 100 rows in ≥7 chunks", rows, batches)
+	}
+
+	// Buffered prepared-statement path: row-major frames of Options.RowBatch.
+	wire.WriteMessage(bw, &wire.Parse{Name: "g", SQL: gen})
+	wire.WriteMessage(bw, &wire.Execute{Name: "g"})
+	bw.Flush()
+	if msg, err := wire.ReadMessage(br); err != nil {
+		t.Fatal(err)
+	} else if _, ok := msg.(*wire.ParseOK); !ok {
+		t.Fatalf("parse answered %#v", msg)
+	}
+	if batches, rows := drain(false); rows != 100 || batches < 7 {
+		t.Fatalf("prepared: rows=%d batches=%d, want 100 rows in ≥7 chunks", rows, batches)
 	}
 }

@@ -24,6 +24,12 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{'Q', 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add([]byte{'E', 0x00, 0x00, 0x00, 0x02, 0x01, 's'})
 	f.Add([]byte{'d', 0x00, 0x00, 0x00, 0x03, 0xFF, 0xFF, 0x7F})
+	// Columnar frames: lying row count, rows with no columns to bound
+	// them, truncated typed lane, null column missing its bitmap.
+	f.Add([]byte{'b', 0x00, 0x00, 0x00, 0x06, 0xFF, 0xFF, 0xFF, 0x7F, 0x01, 0x01})
+	f.Add([]byte{'b', 0x00, 0x00, 0x00, 0x03, 0xE8, 0x07, 0x00})
+	f.Add([]byte{'b', 0x00, 0x00, 0x00, 0x07, 0x10, 0x01, 0x01, 0x00, 0x00, 0x01, 0x02})
+	f.Add([]byte{'b', 0x00, 0x00, 0x00, 0x04, 0x04, 0x01, 0x05, 0x00})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
@@ -52,6 +58,22 @@ func FuzzDecode(f *testing.F) {
 			}
 			if m2.Type() != m.Type() {
 				t.Fatalf("re-decode changed type %c → %c", m.Type(), m2.Type())
+			}
+			// The canonical form must be a fixed point: encoding the
+			// re-decoded message reproduces the first re-encoding byte for
+			// byte. (The raw input may be non-canonical — padded varints,
+			// garbage bitmap padding — so generation 1 vs 2 is the
+			// comparison, not 0 vs 1.)
+			_, gen1, err := EncodeMessage(m)
+			if err != nil {
+				t.Fatalf("encode %T: %v", m, err)
+			}
+			_, gen2, err := EncodeMessage(m2)
+			if err != nil {
+				t.Fatalf("encode re-decoded %T: %v", m2, err)
+			}
+			if !bytes.Equal(gen1, gen2) {
+				t.Fatalf("%T re-encode unstable:\ngen1 %x\ngen2 %x", m, gen1, gen2)
 			}
 		}
 	})

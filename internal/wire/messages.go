@@ -79,6 +79,8 @@ func Decode(typ byte, payload []byte) (Message, error) {
 		m = &RowDesc{}
 	case TypeRowBatch:
 		m = &RowBatch{}
+	case TypeColBatch:
+		m = &ColBatch{}
 	case TypeDone:
 		m = &Done{}
 	case TypeError:

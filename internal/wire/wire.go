@@ -52,11 +52,23 @@ import (
 var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrameLen")
 
 // ProtocolVersion is bumped on incompatible frame-set changes; the server
-// rejects startups from a different major version. Version 2 added the
-// Notice frame (RAISE NOTICE and transaction-control warnings streamed
-// ahead of a response's terminator). Version 3 added the Error code field
-// (retryable-failure classification) and the durability stats fields.
-const ProtocolVersion uint32 = 3
+// rejects startups outside [MinProtocolVersion, ProtocolVersion]. Version
+// 2 added the Notice frame (RAISE NOTICE and transaction-control warnings
+// streamed ahead of a response's terminator). Version 3 added the Error
+// code field (retryable-failure classification) and the durability stats
+// fields. Version 4 added the columnar ColBatch result frame and the
+// streaming result path.
+const ProtocolVersion uint32 = 4
+
+// MinProtocolVersion is the oldest startup version the server still
+// accepts: v3 clients negotiate row-major RowBatch results and never see
+// a ColBatch frame.
+const MinProtocolVersion uint32 = 3
+
+// ColBatchVersion is the first protocol version whose clients decode
+// ColBatch frames; the server only sends them on sessions negotiated at
+// this version or later.
+const ColBatchVersion uint32 = 4
 
 // Error codes classify server-reported failures so clients can react
 // without string-matching: a CodeSerialization error means the whole
@@ -97,6 +109,7 @@ const (
 	TypeReady      byte = 'r'
 	TypeRowDesc    byte = 'c'
 	TypeRowBatch   byte = 'd'
+	TypeColBatch   byte = 'b'
 	TypeDone       byte = 'z'
 	TypeError      byte = 'e'
 	TypeParseOK    byte = 'p'

@@ -43,6 +43,23 @@ func sampleMessages() []Message {
 			{sqltypes.Null, sqltypes.NewFloat(math.NaN())},
 			{},
 		}},
+		&ColBatch{NumRows: 5, Cols: []ColData{
+			{Tag: ColTagInt, Ints: []int64{1, -2, 0, math.MaxInt64, math.MinInt64},
+				Nulls: []bool{false, false, true, false, false}},
+			{Tag: ColTagFloat, Floats: []float64{0, 1.5, math.Inf(1), -0.0, 2.25}},
+			{Tag: ColTagBool, Bools: []bool{true, false, true, true, false}},
+			{Tag: ColTagText, Texts: []string{"a", "", "héllo", "d", "e"},
+				Nulls: []bool{false, true, false, false, false}},
+			{Tag: ColTagNull, Nulls: []bool{true, true, true, true, true}},
+			{Tag: ColTagAny, Anys: []sqltypes.Value{
+				sqltypes.NewCoord(1, 2), sqltypes.Null, sqltypes.NewInt(3),
+				sqltypes.NewRow([]sqltypes.Value{sqltypes.NewText("r")}), sqltypes.NewBool(false),
+			}},
+		}},
+		&ColBatch{NumRows: 0, Cols: nil},
+		&ColBatch{NumRows: 9, Cols: []ColData{
+			{Tag: ColTagBool, Bools: []bool{true, false, true, false, true, false, true, false, true}},
+		}},
 		&Done{Tag: "OK"},
 		&Error{Message: "engine: relation \"nope\" does not exist"},
 		&ParseOK{Name: "s1", NumParams: 2, IsQuery: true},
@@ -89,6 +106,22 @@ func messagesEqual(t *testing.T, want, got Message) bool {
 			}
 			for j := range w.Rows[i] {
 				if !valuesIdentical(w.Rows[i][j], g.Rows[i][j]) {
+					return false
+				}
+			}
+		}
+		return true
+	case *ColBatch:
+		g := got.(*ColBatch)
+		if w.NumRows != g.NumRows || len(w.Cols) != len(g.Cols) {
+			return false
+		}
+		for c := range w.Cols {
+			if w.Cols[c].Tag != g.Cols[c].Tag {
+				return false
+			}
+			for r := 0; r < w.NumRows; r++ {
+				if !valuesIdentical(w.Cols[c].valueAt(r), g.Cols[c].valueAt(r)) {
 					return false
 				}
 			}
@@ -176,6 +209,104 @@ func TestDeepRowRejected(t *testing.T) {
 	e.Byte(byte(sqltypes.KindNull))
 	if _, err := Decode(TypeExecute, e.Bytes()); err == nil {
 		t.Fatal("over-deep row nesting accepted")
+	}
+}
+
+// TestColBatchMalformedRejected drives the columnar decoder with frames
+// whose claimed shapes disagree with their payloads: none may panic,
+// allocate proportionally to the lie, or decode successfully.
+func TestColBatchMalformedRejected(t *testing.T) {
+	cases := map[string]func(e *Encoder){
+		"rows beyond cap": func(e *Encoder) {
+			e.Uvarint(MaxColBatchRows + 1)
+			e.Uvarint(1)
+		},
+		"rows without columns": func(e *Encoder) {
+			e.Uvarint(1000)
+			e.Uvarint(0)
+		},
+		"columns beyond payload": func(e *Encoder) {
+			e.Uvarint(0)
+			e.Uvarint(1 << 30)
+		},
+		"truncated int lane": func(e *Encoder) {
+			e.Uvarint(100)
+			e.Uvarint(1)
+			e.Byte(ColTagInt)
+			e.Bool(false)
+			e.Uint64(7) // 1 of the 100 claimed values
+		},
+		"truncated null bitmap": func(e *Encoder) {
+			e.Uvarint(64)
+			e.Uvarint(1)
+			e.Byte(ColTagText)
+			e.Bool(true)
+			e.Byte(0xFF) // 1 of the 8 bitmap bytes
+		},
+		"null column without bitmap": func(e *Encoder) {
+			e.Uvarint(4)
+			e.Uvarint(1)
+			e.Byte(ColTagNull)
+			e.Bool(false)
+		},
+		"unknown tag": func(e *Encoder) {
+			e.Uvarint(1)
+			e.Uvarint(1)
+			e.Byte(200)
+			e.Bool(false)
+			e.Uint64(1)
+		},
+		"lying text length": func(e *Encoder) {
+			e.Uvarint(1)
+			e.Uvarint(1)
+			e.Byte(ColTagText)
+			e.Bool(false)
+			e.Uvarint(1 << 40)
+		},
+	}
+	for name, build := range cases {
+		var e Encoder
+		build(&e)
+		if _, err := Decode(TypeColBatch, e.Bytes()); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestColBatchReencodeStable pins canonical re-encoding: a decoded frame
+// re-encodes to identical bytes even when the original carried garbage
+// in its bitmap padding bits (decode ignores them, encode zeroes them).
+func TestColBatchReencodeStable(t *testing.T) {
+	var e Encoder
+	e.Uvarint(3)
+	e.Uvarint(1)
+	e.Byte(ColTagBool)
+	e.Bool(true)
+	e.Byte(0b1110_0101) // null bitmap: rows 0,2 + garbage in bits 5..7
+	e.Byte(0b1111_1010) // bool lane: rows 1 + garbage past row 2
+	m, err := Decode(TypeColBatch, e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, first, err := EncodeMessage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Decode(TypeColBatch, first)
+	if err != nil {
+		t.Fatalf("re-decode: %v", err)
+	}
+	_, second, err := EncodeMessage(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("re-encode unstable:\nfirst  %x\nsecond %x", first, second)
+	}
+	cb := m.(*ColBatch)
+	rows := cb.Rows()
+	if len(rows) != 3 || !rows[0][0].IsNull() || rows[1][0].Bool() != true || !rows[2][0].IsNull() {
+		t.Fatalf("decoded rows %v", rows)
 	}
 }
 
