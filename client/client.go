@@ -80,11 +80,19 @@ func WithWindow(n int) Option { return func(c *Config) { c.Window = n } }
 // WithDialTimeout bounds the TCP connect.
 func WithDialTimeout(d time.Duration) Option { return func(c *Config) { c.DialTimeout = d } }
 
+// Stats is the server's counter snapshot: the storage counters (embedded,
+// so st.Commits etc. read directly) plus the plan cache's UDF-inlining
+// counters.
+type Stats struct {
+	storage.StatsSnapshot
+	Plans wire.PlanStats
+}
+
 // outcome is one completed response.
 type outcome struct {
 	res     *Result
 	parse   *wire.ParseOK
-	stats   *storage.StatsSnapshot
+	stats   *Stats
 	notices []string
 	doneTag string
 	err     error
@@ -417,8 +425,7 @@ func (c *Conn) readResponse(br *bufio.Reader, sink func(cols []string, rows [][]
 		case *wire.ParseOK:
 			return outcome{parse: m}
 		case *wire.StatsReply:
-			st := m.Stats
-			return outcome{stats: &st}
+			return outcome{stats: &Stats{StatsSnapshot: m.Stats, Plans: m.Plans}}
 		default:
 			return outcome{err: &connError{fmt.Errorf("client: unexpected frame %c", msg.Type())}}
 		}
@@ -615,20 +622,20 @@ func (c *Conn) SeedAsync(seed uint64) (*Pending, error) {
 	return ps[0], nil
 }
 
-// Stats fetches the server engine's storage counters (page writes plus
-// MVCC commit/vacuum counts) — remote benchmarks assert storage
-// behaviour through this.
-func (c *Conn) Stats() (storage.StatsSnapshot, error) {
+// Stats fetches the server engine's counters: storage (page writes plus
+// MVCC commit/vacuum counts — remote benchmarks assert storage behaviour
+// through this) and the plan cache's UDF-inlining counters.
+func (c *Conn) Stats() (Stats, error) {
 	ps, err := c.send(&wire.StatsRequest{})
 	if err != nil {
-		return storage.StatsSnapshot{}, err
+		return Stats{}, err
 	}
 	o, err := ps[0].wait()
 	if err != nil {
-		return storage.StatsSnapshot{}, err
+		return Stats{}, err
 	}
 	if o.stats == nil {
-		return storage.StatsSnapshot{}, fmt.Errorf("client: stats request answered with %+v", o)
+		return Stats{}, fmt.Errorf("client: stats request answered with %+v", o)
 	}
 	return *o.stats, nil
 }

@@ -59,13 +59,14 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1, fig10, fig11a, fig11b, table2, ablations, parallel, batchsweep, widescan, mixed, or all")
+	experiment := flag.String("experiment", "all", "table1, fig10, fig11a, fig11b, table2, ablations, parallel, batchsweep, widescan, mixed, udfcall, or all")
 	quick := flag.Bool("quick", false, "reduced workload sizes")
 	parallel := flag.Int("parallel", 0, "max concurrent sessions for the scaling experiment (0 = off)")
 	writeratio := flag.Float64("writeratio", -1, "fraction of ops that are writes in the mixed read/write sweep (-1 = off)")
 	mixrows := flag.Int("mixrows", 0, "table size for the mixed read/write sweep (0 = the sweep's default)")
 	durability := flag.String("durability", "", "comma-separated durability modes for the mixed sweep: volatile, off, batched, commit (empty = volatile only)")
 	batchsize := flag.String("batchsize", "", "comma-separated executor batch sizes for the batch sweep (e.g. 1,64,1024; empty = the sweep's default sizes)")
+	inline := flag.String("inline", "on", "planner UDF inlining in the udfcall sweep: on or off (the inlining ablation axis)")
 	addr := flag.String("addr", "", "host:port of a running plsqld: run the sweeps through the wire protocol against it")
 	window := flag.Int("window", 32, "pipelined requests in flight per connection in the remote sweep")
 	format := flag.String("format", "text", "output format: text or json")
@@ -109,6 +110,10 @@ func main() {
 		os.Exit(1)
 	}
 	jsonOut := *format == "json"
+	if *inline != "on" && *inline != "off" {
+		fmt.Fprintf(os.Stderr, "benchrunner: -inline wants on or off, got %q\n", *inline)
+		os.Exit(1)
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*experiment, ",") {
@@ -390,6 +395,19 @@ func main() {
 			return nil, "", err
 		}
 		return rows, bench.FormatWideScan(rows), nil
+	})
+
+	section("udfcall", func() (any, string, error) {
+		cfg := bench.UDFCallConfig{Inline: *inline != "off"}
+		if *quick {
+			cfg.Probes = 4_000
+			cfg.Rounds = 3
+		}
+		rep, err := bench.UDFCall(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return rep, bench.FormatUDFCall(rep), nil
 	})
 
 	section("batchsweep", func() (any, string, error) {

@@ -274,6 +274,8 @@ func (b *remoteBackend) Meta(cmd string) bool {
 			fmt.Printf("wal records %d (%d bytes) · fsyncs %d · checkpoints %d\n",
 				st.WALRecords, st.WALBytes, st.WALFsyncs, st.Checkpoints)
 		}
+		fmt.Printf("plans inlined %d · specialized %d · cache evictions %d\n",
+			st.Plans.PlansInlined, st.Plans.SpecializedPlans, st.Plans.CacheEvictions)
 	default:
 		fmt.Printf("meta command %s is not available over -connect (try \\seed, \\stats, \\q)\n", fields[0])
 	}

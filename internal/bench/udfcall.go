@@ -1,0 +1,286 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"plsqlaway/internal/core"
+	"plsqlaway/internal/engine"
+	"plsqlaway/internal/sqltypes"
+	"plsqlaway/internal/workload"
+)
+
+// The udfcall sweep measures what planner inlining buys on per-row UDF
+// calls — the paper's "compiling away" completed. Two compiled (PL/SQL→
+// SQL) lookup functions over the corpus schemas are called once per row
+// of a probe table, under three regimes:
+//
+//   - inlined: the planner splices the body into the calling query; the
+//     correlated lookup decorrelates into a static-build hash join and
+//     the batch-1 UDF clamp lifts;
+//   - opaque: planner inlining disabled (-inline off) — every call is a
+//     per-row executor dispatch through the SQL-body call path;
+//   - handinlined: the join a programmer would write instead of the UDF,
+//     the throughput ceiling the inlined plan is judged against.
+//
+// A second sweep pins the batch-size interaction: the inlined plan obeys
+// the executor batch-size knob (no UDFCallExpr left, so no clamp), while
+// the opaque plan stays at batch 1 regardless of the setting.
+
+// udfActionOf is the robotwalk-flavored scalar lookup, compiled from
+// PL/pgSQL so the sweep measures the compiler's output, not hand-written
+// LANGUAGE sql.
+const udfActionOf = `
+CREATE FUNCTION action_of(l coord) RETURNS text AS $$
+BEGIN
+  RETURN (SELECT p.action FROM policy AS p WHERE p.loc = l);
+END
+$$ LANGUAGE plpgsql;`
+
+// udfFSMNext is the fsmparse-flavored transition lookup (two equi-keys).
+const udfFSMNext = `
+CREATE FUNCTION fsm_next(s int, c int) RETURNS int AS $$
+BEGIN
+  RETURN (SELECT f.next FROM fsm AS f WHERE f.state = s AND f.class = c);
+END
+$$ LANGUAGE plpgsql;`
+
+// UDFCallConfig sizes the sweep.
+type UDFCallConfig struct {
+	Probes int  // probe-table rows; default 40_000
+	Rounds int  // timed repetitions per regime (best-of); default 7
+	Inline bool // planner inlining for the "inlined" regime (the -inline ablation axis)
+}
+
+func (c *UDFCallConfig) defaults() {
+	if c.Probes == 0 {
+		c.Probes = 40_000
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 7
+	}
+}
+
+// UDFCallRow is one workload × regime measurement.
+type UDFCallRow struct {
+	Workload        string  `json:"workload"` // robotwalk-lookup | fsmparse-step
+	Regime          string  `json:"regime"`   // inlined | opaque | handinlined
+	Rows            int64   `json:"rows"`     // probe rows per run
+	WallMs          float64 `json:"wall_ms"`  // best-of-rounds
+	RowsPerSec      float64 `json:"rows_per_sec"`
+	SpeedupVsOpaque float64 `json:"speedup_vs_opaque"`
+}
+
+// UDFBatchRow is one batch-size × regime point of the clamp sweep.
+type UDFBatchRow struct {
+	BatchSize  int     `json:"batch_size"`
+	Regime     string  `json:"regime"` // inlined | opaque
+	RowsPerSec float64 `json:"rows_per_sec"`
+	Speedup    float64 `json:"speedup_vs_batch1"`
+}
+
+// UDFCallReport bundles the sweep's outputs.
+type UDFCallReport struct {
+	Inline           bool          `json:"inline"` // ablation axis state
+	Calls            []UDFCallRow  `json:"calls"`
+	BatchClamp       []UDFBatchRow `json:"batch_clamp"`
+	PlansInlined     int64         `json:"plans_inlined"`
+	SpecializedPlans int64         `json:"specialized_plans"`
+}
+
+// udfCallCase is one workload: the UDF-calling query and its hand-inlined
+// join form, which must agree on the result.
+type udfCallCase struct {
+	name string
+	udf  string // query calling the compiled function per probe row
+	hand string // the join a programmer would write instead
+}
+
+// UDFCall builds the probe workload, compiles and installs the lookup
+// functions, and measures the three regimes per workload (plus the
+// batch-clamp sweep on the robotwalk lookup). Every regime of a workload
+// must produce the identical value — the sweep doubles as a differential.
+func UDFCall(cfg UDFCallConfig) (*UDFCallReport, error) {
+	cfg.defaults()
+	e := engine.New(engine.WithSeed(42))
+	world := workload.NewRobotWorld(5, 5, 7)
+	if err := world.Install(e); err != nil {
+		return nil, err
+	}
+	if err := workload.InstallFSM(e); err != nil {
+		return nil, err
+	}
+	for _, src := range []string{udfActionOf, udfFSMNext} {
+		res, err := core.Compile(src, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if err := e.InstallCompiled(res.Function.Name, res.Params, res.ReturnType, res.Query); err != nil {
+			return nil, err
+		}
+	}
+	if err := e.Exec("CREATE TABLE probes (loc coord, st int, cls int)"); err != nil {
+		return nil, err
+	}
+	var rows []string
+	for i := 0; i < cfg.Probes; i++ {
+		rows = append(rows, fmt.Sprintf("(coord(%d, %d), %d, %d)", i%5, (i/5)%5, i%3, i%3+1))
+	}
+	for lo := 0; lo < len(rows); lo += 500 {
+		hi := lo + 500
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		if err := e.Exec("INSERT INTO probes VALUES " + strings.Join(rows[lo:hi], ", ")); err != nil {
+			return nil, err
+		}
+	}
+
+	cases := []udfCallCase{
+		{
+			name: "robotwalk-lookup",
+			udf:  "SELECT count(action_of(pr.loc)) FROM probes AS pr",
+			hand: "SELECT count(p.action) FROM probes AS pr, policy AS p WHERE pr.loc = p.loc",
+		},
+		{
+			name: "fsmparse-step",
+			udf:  "SELECT sum(fsm_next(pr.st, pr.cls)) FROM probes AS pr",
+			hand: "SELECT sum(f.next) FROM probes AS pr, fsm AS f WHERE f.state = pr.st AND f.class = pr.cls",
+		},
+	}
+
+	// regime returns the query text and the inlining setting to run it under.
+	type regime struct {
+		name   string
+		inline bool
+		sql    func(c udfCallCase) string
+	}
+	regimes := []regime{
+		{"inlined", cfg.Inline, func(c udfCallCase) string { return c.udf }},
+		{"opaque", false, func(c udfCallCase) string { return c.udf }},
+		{"handinlined", cfg.Inline, func(c udfCallCase) string { return c.hand }},
+	}
+
+	run := func(sql string, inline bool) (sqltypes.Value, time.Duration, error) {
+		e.SetInlining(inline)
+		defer e.SetInlining(true)
+		t0 := time.Now()
+		r, err := e.Query(sql)
+		if err != nil {
+			return sqltypes.Null, 0, err
+		}
+		return r.Rows[0][0], time.Since(t0), nil
+	}
+
+	rep := &UDFCallReport{Inline: cfg.Inline}
+	for _, c := range cases {
+		// Warm every regime once (plan cache, heap residency) and check the
+		// three agree before timing anything.
+		var ref sqltypes.Value
+		for i, rg := range regimes {
+			v, _, err := run(rg.sql(c), rg.inline)
+			if err != nil {
+				return nil, fmt.Errorf("bench: udfcall %s/%s: %w", c.name, rg.name, err)
+			}
+			if i == 0 {
+				ref = v
+			} else if !sqltypes.Identical(ref, v) {
+				return nil, fmt.Errorf("bench: udfcall %s: regime %s returned %v, %s returned %v",
+					c.name, rg.name, v, regimes[0].name, ref)
+			}
+		}
+		// Timed passes: round-robin over regimes, best-of-rounds each.
+		samples := make([]time.Duration, len(regimes))
+		for i := range samples {
+			samples[i] = time.Duration(1<<62 - 1)
+		}
+		for round := 0; round < cfg.Rounds; round++ {
+			runtime.GC()
+			for i, rg := range regimes {
+				_, d, err := run(rg.sql(c), rg.inline)
+				if err != nil {
+					return nil, err
+				}
+				if d < samples[i] {
+					samples[i] = d
+				}
+			}
+		}
+		var opaquePerSec float64
+		for i, rg := range regimes {
+			if rg.name == "opaque" {
+				opaquePerSec = float64(cfg.Probes) / samples[i].Seconds()
+			}
+		}
+		for i, rg := range regimes {
+			perSec := float64(cfg.Probes) / samples[i].Seconds()
+			rep.Calls = append(rep.Calls, UDFCallRow{
+				Workload: c.name, Regime: rg.name, Rows: int64(cfg.Probes),
+				WallMs:     float64(samples[i].Nanoseconds()) / 1e6,
+				RowsPerSec: perSec, SpeedupVsOpaque: perSec / opaquePerSec,
+			})
+		}
+	}
+
+	// Batch-clamp sweep: the same robotwalk lookup at executor batch sizes
+	// 1 and 1024, inlined vs opaque. The inlined plan carries no UDF call,
+	// so the batch-size knob takes effect; the opaque plan clamps to 1
+	// whatever the setting says.
+	clampQ := cases[0].udf
+	for _, rg := range []struct {
+		name   string
+		inline bool
+	}{{"inlined", cfg.Inline}, {"opaque", false}} {
+		var base float64
+		for _, size := range []int{1, 1024} {
+			e.SetBatchSize(size)
+			best := time.Duration(1<<62 - 1)
+			for round := 0; round < cfg.Rounds; round++ {
+				_, d, err := run(clampQ, rg.inline)
+				if err != nil {
+					e.SetBatchSize(0)
+					return nil, err
+				}
+				if d < best {
+					best = d
+				}
+			}
+			perSec := float64(cfg.Probes) / best.Seconds()
+			if size == 1 {
+				base = perSec
+			}
+			rep.BatchClamp = append(rep.BatchClamp, UDFBatchRow{
+				BatchSize: size, Regime: rg.name,
+				RowsPerSec: perSec, Speedup: perSec / base,
+			})
+		}
+		e.SetBatchSize(0)
+	}
+
+	rep.PlansInlined, rep.SpecializedPlans, _ = e.PlanStats()
+	return rep, nil
+}
+
+// FormatUDFCall renders the sweep.
+func FormatUDFCall(rep *UDFCallReport) string {
+	var sb strings.Builder
+	sb.WriteString("UDF-call sweep: compiled lookup functions called once per probe row\n")
+	fmt.Fprintf(&sb, "(planner inlining for the inlined regime: %v; speedup is vs the opaque per-row call path)\n\n", rep.Inline)
+	fmt.Fprintf(&sb, "%-18s %-12s %9s %10s %14s %9s\n", "workload", "regime", "rows", "wall[ms]", "rows/sec", "speedup")
+	sb.WriteString(strings.Repeat("-", 78) + "\n")
+	for _, r := range rep.Calls {
+		fmt.Fprintf(&sb, "%-18s %-12s %9d %10.2f %14.0f %8.2fx\n",
+			r.Workload, r.Regime, r.Rows, r.WallMs, r.RowsPerSec, r.SpeedupVsOpaque)
+	}
+	sb.WriteString("\nBatch-clamp: executor batch size honored only when the UDF inlines away\n\n")
+	fmt.Fprintf(&sb, "%-12s %10s %14s %10s\n", "regime", "batchsize", "rows/sec", "vs batch1")
+	sb.WriteString(strings.Repeat("-", 50) + "\n")
+	for _, r := range rep.BatchClamp {
+		fmt.Fprintf(&sb, "%-12s %10d %14.0f %9.2fx\n", r.Regime, r.BatchSize, r.RowsPerSec, r.Speedup)
+	}
+	fmt.Fprintf(&sb, "\nplan cache: %d calls inlined, %d constant-specialized\n",
+		rep.PlansInlined, rep.SpecializedPlans)
+	return sb.String()
+}

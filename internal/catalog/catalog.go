@@ -78,6 +78,41 @@ type Function struct {
 
 	PL      *plast.Function // FuncPLpgSQL
 	SQLBody *sqlast.Query   // FuncSQL and FuncCompiled: body query; params are $1..$n
+
+	// Volatile marks functions whose evaluation may draw from the session
+	// random stream or otherwise not be a pure function of its arguments.
+	// PL/pgSQL bodies are conservatively volatile (statement-by-statement
+	// control flow, exception handling); SQL-bodied functions are volatile
+	// iff their body calls random()/setseed() or another volatile function.
+	// The planner refuses to inline volatile functions: they stay opaque
+	// per-row calls so the deterministic draw order is preserved.
+	Volatile bool
+}
+
+// QueryVolatile reports whether q contains a call to a volatile builtin
+// (random, setseed) or to a catalog function classified volatile — the
+// body-walk behind Function.Volatile for SQL-bodied functions. Unknown
+// names are treated as pure: they are either pure builtins or will fail at
+// bind time anyway.
+func (c *Catalog) QueryVolatile(q *sqlast.Query) bool {
+	vol := false
+	sqlast.WalkQuery(q, func(e sqlast.Expr) bool {
+		fc, ok := e.(*sqlast.FuncCall)
+		if !ok {
+			return true
+		}
+		switch strings.ToLower(fc.Name) {
+		case "random", "setseed":
+			vol = true
+			return false
+		}
+		if f, ok := c.Function(fc.Name); ok && f.Volatile {
+			vol = true
+			return false
+		}
+		return !vol
+	})
+	return vol
 }
 
 // Catalog is the schema registry. It is copy-on-write: the engine

@@ -66,7 +66,7 @@ func (s *Session) callSQLBody(f *catalog.Function, args []sqltypes.Value) (sqlty
 	}
 	tPlan := time.Now()
 	key := "sqlfn:" + f.Name
-	p, err := s.sh.cache.GetByText(s.cur.cat, key, f.SQLBody, plan.Options{Hook: hook, DisableLateral: s.sh.prof.DisableLateral})
+	p, err := s.sh.cache.GetByText(s.cur.cat, key, f.SQLBody, plan.Options{Hook: hook, DisableLateral: s.sh.prof.DisableLateral, NoInline: s.noInline})
 	s.counters.PlanNS += time.Since(tPlan).Nanoseconds()
 	if err != nil {
 		return sqltypes.Null, err

@@ -272,6 +272,21 @@ func (e *Engine) SetBatchSize(n int) {
 	e.def.SetBatchSize(n)
 }
 
+// SetInlining toggles planner UDF inlining on the default session (on by
+// default; the benchmark ablation's -inline flag). Sessions created with
+// NewSession use their own Session.SetInlining.
+func (e *Engine) SetInlining(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.def.SetInlining(on)
+}
+
+// PlanStats reports the shared plan cache's inlining counters (UDF calls
+// inlined, constant-specialized call sites, cache evictions).
+func (e *Engine) PlanStats() (inlined, specialized, evictions int64) {
+	return e.def.PlanStats()
+}
+
 // Seed reseeds the default session's random(); interpreted and compiled
 // runs of the same seed see the same stream.
 func (e *Engine) Seed(seed uint64) {

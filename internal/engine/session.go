@@ -39,6 +39,10 @@ type Session struct {
 	// session (0 = inherit the shared default).
 	batchSize int
 
+	// noInline disables planner UDF inlining for this session's plans (the
+	// inlining ablation: calls stay opaque per-row interpreter dispatch).
+	noInline bool
+
 	// Statement snapshot state. A session runs on one goroutine, so these
 	// need no locking: they describe the statement currently in flight.
 	cur        snapshot         // pinned (catalog, commit-ts) pair
@@ -116,6 +120,29 @@ func (s *Session) SetBatchSize(n int) {
 	s.batchSize = n
 }
 
+// SetInlining toggles planner UDF inlining for this session (on by
+// default). Off keeps every compiled/SQL function call an opaque per-row
+// dispatch — the benchmark ablation's baseline. Plans built either way
+// cache under distinct keys, so flipping mid-session is safe.
+func (s *Session) SetInlining(on bool) {
+	s.noInline = !on
+	s.interp.NoInline = !on
+}
+
+// planOpts assembles the planner options every query planned on this
+// session uses — one construction site, so inlining and profile flags
+// cannot drift between the cached, fresh, and streaming paths.
+// PlanStats reports the shared plan cache's inlining counters: UDF calls
+// inlined into plans, constant-specialized call sites, and cache entries
+// evicted (capacity pressure or DDL invalidation).
+func (s *Session) PlanStats() (inlined, specialized, evictions int64) {
+	return s.sh.cache.InlineStats()
+}
+
+func (s *Session) planOpts() plan.Options {
+	return plan.Options{DisableLateral: s.sh.prof.DisableLateral, NoInline: s.noInline}
+}
+
 // Counters exposes this session's profile counters (Table 1 buckets).
 func (s *Session) Counters() *profile.Counters { return s.counters }
 
@@ -141,8 +168,11 @@ func (s *Session) Seed(seed uint64) { s.rng.Seed(seed) }
 // block, everything that mutates catalog or heaps goes through the
 // writers-only commit lock.
 func isReadOnly(stmt sqlast.Statement) bool {
-	_, ok := stmt.(*sqlast.SelectStatement)
-	return ok
+	switch stmt.(type) {
+	case *sqlast.SelectStatement, *sqlast.Explain:
+		return true
+	}
+	return false
 }
 
 // beginRead pins the published database snapshot for one execution scope
@@ -290,6 +320,13 @@ func (s *Session) commitOnce(fn func() (*Result, error)) (*Result, int64, error)
 		cat = s.pendingCat
 	}
 	s.sh.state.Store(&dbState{cat: cat, ts: s.writeTS})
+	if s.pendingCat != nil {
+		// DDL published: drop every plan built against an older catalog.
+		// Version-checked lookups already refuse them, but specialized and
+		// inlined plans embed function bodies verbatim — a redefined
+		// function's old body must be evicted, not merely unreachable.
+		s.sh.cache.InvalidateStale(cat.Version)
+	}
 	for _, pw := range s.pendingWrites {
 		s.maybeVacuum(pw.tbl, s.writeTS)
 	}
@@ -435,7 +472,7 @@ func (s *Session) QueryStream(sql string, begin func(cols []string) error, batch
 // buckets. The caller holds the read pin and owns error bookkeeping.
 func (s *Session) streamQuery(q *sqlast.Query, params []sqltypes.Value, begin func([]string) error, batch func(*exec.Batch) error) error {
 	tPlan := time.Now()
-	p, err := s.sh.cache.Get(s.cur.cat, q, plan.Options{DisableLateral: s.sh.prof.DisableLateral})
+	p, err := s.sh.cache.Get(s.cur.cat, q, s.planOpts())
 	s.counters.PlanNS += time.Since(tPlan).Nanoseconds()
 	if err != nil {
 		return err
@@ -522,7 +559,7 @@ func (s *Session) QueryFresh(q *sqlast.Query, params ...sqltypes.Value) (*Result
 	defer end()
 
 	tPlan := time.Now()
-	p, err := plan.Build(s.cur.cat, q, plan.Options{DisableLateral: s.sh.prof.DisableLateral})
+	p, err := plan.Build(s.cur.cat, q, s.planOpts())
 	s.counters.PlanNS += time.Since(tPlan).Nanoseconds()
 	if err != nil {
 		s.noteStmtErr(err)
@@ -537,14 +574,16 @@ func (s *Session) QueryFresh(q *sqlast.Query, params ...sqltypes.Value) (*Result
 // pure-SQL body (parameters $1..$n) with no interpreter involvement.
 func (s *Session) InstallCompiled(name string, params []plast.Param, ret sqltypes.Type, body *sqlast.Query) error {
 	_, err := s.commitWrap(func() (*Result, error) {
+		cat := s.mutableCat()
 		fn := &catalog.Function{
 			Name:       name,
 			Params:     params,
 			ReturnType: ret,
 			Kind:       catalog.FuncCompiled,
 			SQLBody:    body,
+			Volatile:   cat.QueryVolatile(body),
 		}
-		if err := s.mutableCat().CreateFunction(fn, true); err != nil {
+		if err := cat.CreateFunction(fn, true); err != nil {
 			return nil, err
 		}
 		if s.sh.wal != nil {
@@ -634,6 +673,8 @@ func (s *Session) execStmt(stmt sqlast.Statement, params []sqltypes.Value) (*Res
 	switch stmt := stmt.(type) {
 	case *sqlast.SelectStatement:
 		return s.runQuery(stmt.Query, params)
+	case *sqlast.Explain:
+		return s.explain(stmt.Query)
 	case *sqlast.CreateTable:
 		return nil, s.loggedDDL(stmt, func() error { return applyCreateTable(s.mutableCat(), stmt) })
 	case *sqlast.CreateIndex:
@@ -655,6 +696,22 @@ func (s *Session) execStmt(stmt sqlast.Statement, params []sqltypes.Value) (*Res
 	}
 }
 
+// explain plans a query through the same cache and options execution
+// would use — so the rendered tree is exactly the plan a subsequent run
+// hits — and returns it as one text column, one operator per row.
+func (s *Session) explain(q *sqlast.Query) (*Result, error) {
+	p, err := s.sh.cache.Get(s.cur.cat, q, s.planOpts())
+	if err != nil {
+		return nil, err
+	}
+	lines := p.Explain()
+	rows := make([]storage.Tuple, len(lines))
+	for i, l := range lines {
+		rows[i] = storage.Tuple{sqltypes.NewText(l)}
+	}
+	return &Result{Cols: []string{"QUERY PLAN"}, Rows: rows}, nil
+}
+
 // runQuery plans (via the shared cache), instantiates, and runs a query,
 // charging the usual phase buckets.
 func (s *Session) runQuery(q *sqlast.Query, params []sqltypes.Value) (*Result, error) {
@@ -665,7 +722,7 @@ func (s *Session) runQuery(q *sqlast.Query, params []sqltypes.Value) (*Result, e
 // (prepared statements avoid re-deparsing per execution).
 func (s *Session) runQueryKeyed(key string, q *sqlast.Query, params []sqltypes.Value) (*Result, error) {
 	tPlan := time.Now()
-	opts := plan.Options{DisableLateral: s.sh.prof.DisableLateral}
+	opts := s.planOpts()
 	var p *plan.Plan
 	var err error
 	if key != "" {
@@ -778,6 +835,9 @@ func applyCreateFunction(cat *catalog.Catalog, sh *shared, stmt *sqlast.CreateFu
 			ReturnType: f.ReturnType,
 			Kind:       catalog.FuncPLpgSQL,
 			PL:         f,
+			// Interpreted bodies run arbitrary statements; treat them as
+			// volatile so the planner never inlines or reorders them.
+			Volatile: true,
 		}, stmt.OrReplace)
 	case "sql":
 		q, err := sqlparser.ParseQuery(strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(stmt.Body), ";")))
@@ -802,6 +862,7 @@ func applyCreateFunction(cat *catalog.Catalog, sh *shared, stmt *sqlast.CreateFu
 			ReturnType: rt,
 			Kind:       catalog.FuncSQL,
 			SQLBody:    q,
+			Volatile:   cat.QueryVolatile(q),
 		}, stmt.OrReplace)
 	default:
 		return fmt.Errorf("engine: unsupported language %q", stmt.Language)
@@ -1081,7 +1142,7 @@ func (s *Session) compileRowClauses(tbl *catalog.Table, alias string, where sqla
 	if len(sel.Items) == 0 {
 		return nil, nil, nil
 	}
-	p, err := plan.Build(s.cur.cat, sqlast.WrapQuery(sel), plan.Options{DisableLateral: s.sh.prof.DisableLateral})
+	p, err := plan.Build(s.cur.cat, sqlast.WrapQuery(sel), s.planOpts())
 	if err != nil {
 		return nil, nil, err
 	}

@@ -151,6 +151,11 @@ func (s *Session) commitTxn() (int64, error) {
 		pw.tbl.Heap.Commit(pw.dead, pw.added, s.txn.writeTS)
 	}
 	s.sh.state.Store(&dbState{cat: s.txn.cat, ts: s.txn.writeTS})
+	if s.txn.ddl {
+		// Same eviction as commitOnce: redefined function bodies embedded in
+		// specialized/inlined plans must not linger in the cache.
+		s.sh.cache.InvalidateStale(s.txn.cat.Version)
+	}
 	for _, pw := range writes {
 		s.maybeVacuum(pw.tbl, s.txn.writeTS)
 	}

@@ -1,0 +1,114 @@
+package exec
+
+import (
+	"fmt"
+
+	"plsqlaway/internal/sqltypes"
+	"plsqlaway/internal/storage"
+)
+
+// applyNode evaluates a correlated scalar subplan once per input row and
+// appends its value as an extra column — the lowered form of a hoisted
+// inlined-UDF body (plan.Apply). Semantics match a scalar subquery: zero
+// rows yield NULL, two rows error. The subplan is opened once and Rescan
+// between rows, so repeated probes (e.g. an IndexScan re-keyed off the
+// outer row) skip per-row ExecutorStart work — the very overhead inlining
+// exists to remove.
+type applyNode struct {
+	child Node
+	sub   Node
+	in    *Batch
+	idx   int
+
+	subIter   *rowIter
+	subOpened bool
+}
+
+func (n *applyNode) Open(ctx *Ctx) error {
+	if n.in == nil {
+		n.in = NewBatch(ctx.BatchSize)
+	}
+	n.in.begin()
+	n.idx = 0
+	// Like a LATERAL right side, the sub may reference the outer row in
+	// Open-time state (index probe keys), so its Open is deferred until a
+	// row is on the outer stack.
+	n.subOpened = false
+	return n.child.Open(ctx)
+}
+
+func (n *applyNode) Rescan(ctx *Ctx) error {
+	n.in.begin()
+	n.idx = 0
+	return n.child.Rescan(ctx)
+}
+
+func (n *applyNode) Close(ctx *Ctx) error {
+	err := n.child.Close(ctx)
+	if n.subOpened {
+		if err2 := n.sub.Close(ctx); err == nil {
+			err = err2
+		}
+		n.subOpened = false
+	}
+	return err
+}
+
+func (n *applyNode) NextBatch(ctx *Ctx, out *Batch) error {
+	out.begin()
+	for {
+		if n.idx >= n.in.Len() {
+			n.in.SetLimit(out.Cap())
+			if err := n.child.NextBatch(ctx, n.in); err != nil {
+				return err
+			}
+			n.idx = 0
+			if n.in.Len() == 0 {
+				return nil
+			}
+		}
+		for n.idx < n.in.Len() {
+			row := n.in.Row(n.idx)
+			n.idx++
+			v, err := n.evalSub(ctx, row)
+			if err != nil {
+				return err
+			}
+			out.Add(append(row[:len(row):len(row)], v))
+			if out.Full() {
+				return nil
+			}
+		}
+	}
+}
+
+func (n *applyNode) evalSub(ctx *Ctx, row storage.Tuple) (sqltypes.Value, error) {
+	ctx.pushOuter(row)
+	defer ctx.popOuter()
+	if !n.subOpened {
+		if err := n.sub.Open(ctx); err != nil {
+			return sqltypes.Null, err
+		}
+		n.subOpened = true
+		n.subIter = newRowIter(n.sub, 2)
+	} else if err := n.sub.Rescan(ctx); err != nil {
+		return sqltypes.Null, err
+	}
+	it := n.subIter
+	it.reset()
+	t, err := it.next(ctx)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	if t == nil {
+		return sqltypes.Null, nil
+	}
+	extra, err := it.next(ctx)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	if extra != nil {
+		return sqltypes.Null, fmt.Errorf("exec: more than one row returned by a subquery used as an expression")
+	}
+	return t[0], nil
+}

@@ -172,6 +172,10 @@ func teardown(n Node) {
 		teardown(x.join)
 		x.join, x.exprs, x.mid, x.cols = nil, nil, nil, nil
 		x.pcols = nil
+	case *applyNode:
+		teardown(x.child)
+		teardown(x.sub)
+		x.child, x.sub, x.in, x.subIter = nil, nil, nil, nil
 	case *materializeNode:
 		teardown(x.child)
 		x.child, x.rows = nil, nil

@@ -26,11 +26,13 @@ type rowTable struct {
 	size int
 
 	// Exactness tracking: a bucket match can differ from Compare-equality
-	// only when (a) both sides are KindInt with |v| >= 2^53 sharing one
-	// float64 image, or (b) coord/row keys (whose images conflate shapes
-	// Compare errors on or distinguishes). When the build side has neither,
-	// bucket-match is key equality, and a residual that consists solely of
-	// the key equalities can be skipped outright.
+	// only when (a) an int component (bare or inside a coord) is |v| >=
+	// 2^53, where distinct ints share one float64 image, or (b) KindRow
+	// keys (whose images conflate shapes Compare errors on or
+	// distinguishes; coords are always two ints, and cross-class probes
+	// are rejected by colKinds before bucketing). When the build side has
+	// neither, bucket-match is key equality, and a residual that consists
+	// solely of the key equalities can be skipped outright.
 	bigInt bool
 	rowKey bool
 
@@ -83,7 +85,12 @@ func (t *rowTable) noteKey(k sqltypes.Value) {
 		if v := k.Int(); v >= exactIntLimit || v <= -exactIntLimit {
 			t.bigInt = true
 		}
-	case sqltypes.KindCoord, sqltypes.KindRow:
+	case sqltypes.KindCoord:
+		x, y := k.Coord()
+		if x >= exactIntLimit || x <= -exactIntLimit || y >= exactIntLimit || y <= -exactIntLimit {
+			t.bigInt = true
+		}
+	case sqltypes.KindRow:
 		t.rowKey = true
 	}
 }
@@ -227,6 +234,7 @@ type hashJoinNode struct {
 	residual    *ExprState
 	rightWidth  int
 	rightStatic bool
+	single      bool // decorrelated scalar subplan: >1 match per left row errors
 
 	table       rowTable
 	built       bool
@@ -348,6 +356,7 @@ func instantiateHashJoin(x *plan.HashJoin) (Node, error) {
 		kind:            x.Kind,
 		rightWidth:      x.Right.Width(),
 		rightStatic:     x.RightStatic,
+		single:          x.SingleRow,
 		residualAllKeys: x.ResidualAllKeys,
 	}
 	n.leftKeys, err = instantiateAll(x.LeftKeys...)
@@ -507,11 +516,13 @@ func (n *hashJoinNode) NextBatch(ctx *Ctx, out *Batch) error {
 		// key, or the boxed path is mid-row): fall through — the boxed path
 		// resumes from the shared batch cursor.
 	}
+	if n.residualAllKeys && n.table.exact() {
+		// Bucket membership already decides the key equalities — for any
+		// join kind: match, left-join null-extension, and the single-row
+		// error all follow from the bucket alone.
+		return n.gatherBatch(ctx, out, false)
+	}
 	if n.kind == plan.JoinInner && n.residual != nil && n.residual.pure {
-		if n.residualAllKeys && n.table.exact() {
-			// Bucket membership already decides the key equalities.
-			return n.gatherBatch(ctx, out, false)
-		}
 		for {
 			if err := n.gatherBatch(ctx, out, false); err != nil {
 				return err
@@ -571,6 +582,11 @@ func (n *hashJoinNode) gatherBatch(ctx *Ctx, out *Batch, applyResidual bool) err
 					if !ok.IsTrue() {
 						continue
 					}
+				}
+				if n.single && n.matched {
+					// Decorrelated scalar subplan: the subquery it replaced
+					// would have raised this on its second row.
+					return fmt.Errorf("exec: more than one row returned by a subquery used as an expression")
 				}
 				n.matched = true
 				n.slab = n.slab[len(combined):]

@@ -87,6 +87,16 @@ func instantiateNode(p plan.Node) (Node, error) {
 		return n, nil
 	case *plan.HashJoin:
 		return instantiateHashJoin(x)
+	case *plan.Apply:
+		child, err := instantiateNode(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		sub, err := instantiateNode(x.Sub)
+		if err != nil {
+			return nil, err
+		}
+		return &applyNode{child: child, sub: sub}, nil
 	case *plan.Materialize:
 		child, err := instantiateNode(x.Child)
 		if err != nil {

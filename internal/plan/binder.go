@@ -28,6 +28,11 @@ type Options struct {
 	// NoHashJoin disables the nest-loop → hash-join rewrite (ablations and
 	// differential tests that pin the Volcano join shape).
 	NoHashJoin bool
+	// NoInline disables UDF body inlining: every catalog function call
+	// stays an opaque UDFCallExpr dispatched through the engine's call
+	// hook (and keeps the batch-size-1 volatile rule). The inlined-vs-
+	// opaque ablation and differential suites flip this.
+	NoInline bool
 }
 
 // scopeCol is one visible column of a scope.
@@ -86,6 +91,26 @@ type binder struct {
 	maxParam int
 	agg      *aggCtx
 	windows  map[*sqlast.FuncCall]int // window call → InputRef index
+
+	// UDF inlining state (see inline.go). While a function body is being
+	// bound in place of a call, inline points at the active frame and
+	// barrier pins the call-site scope: resolution inside the body stops
+	// there, so body identifiers can only be body columns or parameters —
+	// exactly the standalone planning the opaque call path does. argBind
+	// is > 0 while a call-site argument is being bound (nested inlines are
+	// then restricted to trivial expression bodies, which rebase safely).
+	inline      *inlineFrame
+	barrier     *scope
+	inlineDepth int
+	argBind     int
+	// inlineExpr is set while the top-level expression of an
+	// expression-form inlined body binds: its scalar subqueries are
+	// marked FromInline so the apply/decorrelation passes can lower
+	// them, exactly like whole-body subplans.
+	inlineExpr bool
+
+	inlinedCalls     int
+	specializedCalls int
 }
 
 func (b *binder) errf(format string, args ...any) error {
@@ -93,9 +118,11 @@ func (b *binder) errf(format string, args ...any) error {
 }
 
 // resolve finds (depth, idx) for a column reference, or reports absence.
+// The walk stops at the inline barrier (exclusive): an inlined function
+// body must not capture columns of the query it was spliced into.
 func (b *binder) resolve(tbl, name string) (depth, idx int, found bool, err error) {
 	d := 0
-	for s := b.scope; s != nil; s = s.parent {
+	for s := b.scope; s != nil && s != b.barrier; s = s.parent {
 		matches := 0
 		lastIdx := -1
 		blocked := false
@@ -161,6 +188,16 @@ func (b *binder) bindExpr(e sqlast.Expr) (Expr, error) {
 		if found {
 			return b.mkColRef(depth, idx), nil
 		}
+		if b.inline != nil {
+			// Inside an inlined body, unresolved names are function
+			// parameters (the caller's Hook does not reach through).
+			if e.Table == "" {
+				if i, ok := b.inline.paramIndex(e.Column); ok {
+					return b.bindInlineArg(b.inline, i)
+				}
+			}
+			return nil, b.errf("column %q does not exist", refName(e.Table, e.Column))
+		}
 		if e.Table == "" && b.opts.Hook != nil {
 			if ord, ok := b.opts.Hook(e.Column); ok {
 				if ord > b.maxParam {
@@ -171,6 +208,13 @@ func (b *binder) bindExpr(e sqlast.Expr) (Expr, error) {
 		}
 		return nil, b.errf("column %q does not exist", refName(e.Table, e.Column))
 	case *sqlast.Param:
+		if b.inline != nil {
+			// Compiled bodies reference their parameters as $1..$n.
+			if e.Ordinal < 1 || e.Ordinal > len(b.inline.args) {
+				return nil, b.errf("no parameter $%d in inlined function %s", e.Ordinal, b.inline.fn.Name)
+			}
+			return b.bindInlineArg(b.inline, e.Ordinal-1)
+		}
 		if e.Ordinal > b.maxParam {
 			b.maxParam = e.Ordinal
 		}
@@ -245,6 +289,7 @@ func (b *binder) bindExpr(e sqlast.Expr) (Expr, error) {
 		}
 		return &SubplanExpr{Mode: SubplanExists, Plan: sub, Negate: e.Negate}, nil
 	case *sqlast.ScalarSubquery:
+		fromInline := b.inlineExpr
 		sub, _, err := b.planSubquery(e.Sub)
 		if err != nil {
 			return nil, err
@@ -252,7 +297,7 @@ func (b *binder) bindExpr(e sqlast.Expr) (Expr, error) {
 		if sub.Width() != 1 {
 			return nil, b.errf("scalar subquery must return one column, got %d", sub.Width())
 		}
-		return &SubplanExpr{Mode: SubplanScalar, Plan: sub}, nil
+		return &SubplanExpr{Mode: SubplanScalar, Plan: sub, FromInline: fromInline}, nil
 	case *sqlast.Case:
 		c := &CaseExpr{}
 		var err error
@@ -378,6 +423,11 @@ func (b *binder) bindFuncCall(e *sqlast.FuncCall) (Expr, error) {
 		if len(e.Args) != len(fn.Params) {
 			return nil, b.errf("function %s expects %d arguments, got %d", name, len(fn.Params), len(e.Args))
 		}
+		if ex, ok, err := b.tryInline(fn, e.Args); err != nil {
+			return nil, err
+		} else if ok {
+			return ex, nil
+		}
 		args := make([]Expr, len(e.Args))
 		for i, a := range e.Args {
 			var err error
@@ -392,9 +442,15 @@ func (b *binder) bindFuncCall(e *sqlast.FuncCall) (Expr, error) {
 }
 
 // planSubquery plans a nested query whose outer context is the current
-// scope chain (one push at evaluation time).
+// scope chain (one push at evaluation time). inlineExpr clears for the
+// subquery's innards: only an inlined body's top-level subqueries carry
+// the FromInline mark.
 func (b *binder) planSubquery(q *sqlast.Query) (Node, []string, error) {
-	return b.planQuery(q)
+	saved := b.inlineExpr
+	b.inlineExpr = false
+	n, cols, err := b.planQuery(q)
+	b.inlineExpr = saved
+	return n, cols, err
 }
 
 // shallowWalk visits expressions without descending into subqueries —

@@ -30,7 +30,23 @@ type Cache struct {
 	enabled bool
 	hits    atomic.Int64
 	misses  atomic.Int64
+
+	// Call-site specialization makes the key space per-constant-signature
+	// (check('alice', $1) and check('bob', $1) cache as distinct texts), so
+	// the cache is bounded: at maxEntries, storing evicts every entry whose
+	// catalog version is stale, and failing that, clears outright — cheap,
+	// and a full cache of live specialized plans is pathological enough
+	// that restart-from-empty beats tracking LRU order on the hot path.
+	evictions atomic.Int64
+
+	// plansInlined / plansSpecialized accumulate the per-plan counters of
+	// every plan built through the cache (the engine's stats surface).
+	plansInlined     atomic.Int64
+	plansSpecialized atomic.Int64
 }
+
+// maxEntries caps the cache before eviction kicks in.
+const maxEntries = 1024
 
 // NewCache creates an enabled plan cache.
 func NewCache() *Cache {
@@ -73,13 +89,53 @@ func (c *Cache) lookup(cat *catalog.Catalog, key string) (*Plan, bool) {
 	return nil, false
 }
 
-// store records a freshly built plan unless caching is off.
+// store records a freshly built plan unless caching is off, evicting when
+// the specialization cap is hit.
 func (c *Cache) store(key string, p *Plan) {
 	c.mu.Lock()
 	if c.enabled {
+		if len(c.entries) >= maxEntries {
+			evicted := 0
+			for k, e := range c.entries {
+				if e.CatalogVersion != p.CatalogVersion {
+					delete(c.entries, k)
+					evicted++
+				}
+			}
+			if len(c.entries) >= maxEntries {
+				evicted += len(c.entries)
+				c.entries = make(map[string]*Plan)
+			}
+			c.evictions.Add(int64(evicted))
+		}
 		c.entries[key] = p
 	}
 	c.mu.Unlock()
+}
+
+// InvalidateStale drops every cached plan not built against version — the
+// DDL hook for CREATE OR REPLACE FUNCTION / DROP FUNCTION: specialized and
+// inlined plans embed the old body verbatim, so version-mismatch lookups
+// failing is not enough once memory is at stake; the engine calls this
+// after publishing a new catalog so stale bodies are gone, not just
+// unreachable.
+func (c *Cache) InvalidateStale(version int64) {
+	c.mu.Lock()
+	n := 0
+	for k, e := range c.entries {
+		if e.CatalogVersion != version {
+			delete(c.entries, k)
+			n++
+		}
+	}
+	c.mu.Unlock()
+	c.evictions.Add(int64(n))
+}
+
+// InlineStats reports cumulative inlined-call, specialized-call, and
+// eviction counts across every plan built through the cache.
+func (c *Cache) InlineStats() (inlined, specialized, evictions int64) {
+	return c.plansInlined.Load(), c.plansSpecialized.Load(), c.evictions.Load()
 }
 
 // Get returns the cached plan for the query against the caller's catalog
@@ -100,14 +156,25 @@ func (c *Cache) Get(cat *catalog.Catalog, q *sqlast.Query, opts Options) (*Plan,
 }
 
 // GetByText memoizes by a caller-provided key, avoiding the deparse on hot
-// paths (the PL/pgSQL interpreter keys by statement identity).
+// paths (the PL/pgSQL interpreter keys by statement identity). Plans built
+// with inlining disabled are keyed separately — the same text plans to a
+// different tree under the two modes.
 func (c *Cache) GetByText(cat *catalog.Catalog, key string, q *sqlast.Query, opts Options) (*Plan, error) {
+	if opts.NoInline {
+		key = "noinline|" + key
+	}
 	if p, ok := c.lookup(cat, key); ok {
 		return p, nil
 	}
 	p, err := Build(cat, q, opts)
 	if err != nil {
 		return nil, err
+	}
+	if p.InlinedCalls > 0 {
+		c.plansInlined.Add(int64(p.InlinedCalls))
+	}
+	if p.SpecializedCalls > 0 {
+		c.plansSpecialized.Add(int64(p.SpecializedCalls))
 	}
 	c.store(key, p)
 	return p, nil

@@ -1,0 +1,73 @@
+package plan
+
+import (
+	"fmt"
+	"testing"
+
+	"plsqlaway/internal/sqlparser"
+)
+
+// TestConstantSpecializedPlans pins per-call-site constant-signature
+// specialization: calls whose arguments are all constants count as
+// specialized, the constants propagate through the inlined body and fold,
+// and distinct constant signatures cache as distinct plans.
+func TestConstantSpecializedPlans(t *testing.T) {
+	cat := simplifyTestCatalog(t)
+	cache := NewCache()
+	get := func(sql string) *Plan {
+		t.Helper()
+		q, err := sqlparser.ParseQuery(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := cache.Get(cat, q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p1 := get("SELECT incr(1) FROM t")
+	if p1.InlinedCalls != 1 || p1.SpecializedCalls != 1 {
+		t.Errorf("incr(1): inlined=%d specialized=%d, want 1/1", p1.InlinedCalls, p1.SpecializedCalls)
+	}
+	// The inlined body (1 + 1) folds to a constant.
+	if _, ok := p1.Root.(*Project).Exprs[0].(*Const); !ok {
+		t.Errorf("incr(1) did not fold: %T", p1.Root.(*Project).Exprs[0])
+	}
+	// A different constant signature is a different cached plan.
+	get("SELECT incr(2) FROM t")
+	if n := cache.Len(); n != 2 {
+		t.Errorf("cache entries = %d, want 2 (one per constant signature)", n)
+	}
+	// A non-constant argument inlines but is not specialized.
+	p3 := get("SELECT incr(a) FROM t")
+	if p3.InlinedCalls != 1 || p3.SpecializedCalls != 0 {
+		t.Errorf("incr(a): inlined=%d specialized=%d, want 1/0", p3.InlinedCalls, p3.SpecializedCalls)
+	}
+	inlined, specialized, _ := cache.InlineStats()
+	if inlined != 3 || specialized != 2 {
+		t.Errorf("InlineStats = %d/%d, want 3 inlined, 2 specialized", inlined, specialized)
+	}
+}
+
+// TestCacheEvictionCap fills the cache past maxEntries with distinct
+// specialized texts and checks the cap holds and evictions are counted.
+func TestCacheEvictionCap(t *testing.T) {
+	cat := simplifyTestCatalog(t)
+	cache := NewCache()
+	for i := 0; i <= maxEntries; i++ {
+		q, err := sqlparser.ParseQuery(fmt.Sprintf("SELECT incr(%d) FROM t", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cache.Get(cat, q, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := cache.Len(); n > maxEntries {
+		t.Errorf("cache grew past the cap: %d > %d", n, maxEntries)
+	}
+	if _, _, evictions := cache.InlineStats(); evictions == 0 {
+		t.Error("eviction counter did not move")
+	}
+}

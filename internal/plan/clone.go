@@ -43,7 +43,10 @@ func cloneNode(n Node) Node {
 	case *HashJoin:
 		return &HashJoin{Left: cloneNode(x.Left), Right: cloneNode(x.Right), Kind: x.Kind,
 			LeftKeys: cloneExprs(x.LeftKeys), RightKeys: cloneExprs(x.RightKeys),
-			Residual: cloneExpr(x.Residual), ResidualAllKeys: x.ResidualAllKeys, RightStatic: x.RightStatic}
+			Residual: cloneExpr(x.Residual), ResidualAllKeys: x.ResidualAllKeys, RightStatic: x.RightStatic,
+			SingleRow: x.SingleRow}
+	case *Apply:
+		return &Apply{Child: cloneNode(x.Child), Sub: cloneNode(x.Sub)}
 	case *Materialize:
 		return &Materialize{Child: cloneNode(x.Child)}
 	case *Agg:
@@ -166,7 +169,7 @@ func cloneExpr(e Expr) Expr {
 		c.X = cloneExpr(x.X)
 		return &c
 	case *SubplanExpr:
-		return &SubplanExpr{Mode: x.Mode, Plan: cloneNode(x.Plan), CompareX: cloneExpr(x.CompareX), Negate: x.Negate}
+		return &SubplanExpr{Mode: x.Mode, Plan: cloneNode(x.Plan), CompareX: cloneExpr(x.CompareX), Negate: x.Negate, FromInline: x.FromInline}
 	case *UDFCallExpr:
 		return &UDFCallExpr{Func: x.Func, Args: cloneExprs(x.Args)} // catalog fn shared
 	default:

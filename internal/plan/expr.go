@@ -114,6 +114,12 @@ type SubplanExpr struct {
 	Plan     Node
 	CompareX Expr
 	Negate   bool
+	// FromInline marks scalar subplans produced by UDF body inlining. They
+	// are known pure (volatile functions never inline), so the hoisting
+	// pass may lift them out of Project/Filter/Agg expressions into Apply
+	// nodes — and from there decorrelate into hash joins — without
+	// changing evaluation semantics.
+	FromInline bool
 }
 
 // UDFCallExpr invokes a catalog function. The executor dispatches through

@@ -57,6 +57,9 @@ func useHashJoins(n Node) Node {
 		x.Left = useHashJoins(x.Left)
 		x.Right = useHashJoins(x.Right)
 		x.Residual = hashJoinSubplans(x.Residual)
+	case *Apply:
+		x.Child = useHashJoins(x.Child)
+		x.Sub = useHashJoins(x.Sub)
 	case *Project:
 		x.Child = useHashJoins(x.Child)
 		for i := range x.Exprs {
@@ -451,6 +454,12 @@ func scanNodeFlags(n Node) exprFlags {
 			ex(e)
 		}
 		ex(x.Residual)
+	case *Apply:
+		// Sub is correlated on the apply's own rows (OuterRef depth 0);
+		// reporting hasOuter keeps enclosing subtrees conservatively
+		// treated as correlated.
+		f.merge(scanNodeFlags(x.Child))
+		f.merge(scanNodeFlags(x.Sub))
 	case *Materialize:
 		f.merge(scanNodeFlags(x.Child))
 	case *Agg:

@@ -58,6 +58,12 @@ func useIndexes(n Node) Node {
 		x.Left = useIndexes(x.Left)
 		x.Right = useIndexes(x.Right)
 		x.Residual = rewriteSubplans(x.Residual)
+	case *Apply:
+		x.Child = useIndexes(x.Child)
+		// The sub's correlation keys are OuterRefs — row-independent from
+		// the sub's own perspective, so a correlated equality becomes an
+		// index probe re-keyed per rescan.
+		x.Sub = useIndexes(x.Sub)
 	case *Materialize:
 		x.Child = useIndexes(x.Child)
 	case *Agg:

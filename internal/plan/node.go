@@ -81,6 +81,26 @@ type HashJoin struct {
 	// the probe loop inside RecursiveUnion pays O(build) once instead of
 	// per iteration.
 	RightStatic bool
+	// SingleRow marks a join produced by decorrelating an inlined scalar
+	// subplan: each probe row must match at most one build row (after the
+	// residual), because the subplan it replaced was required to yield at
+	// most one row. The executor raises the scalar-subquery cardinality
+	// error on a second match instead of emitting both.
+	SingleRow bool
+}
+
+// Apply is a LATERAL-style scalar apply: for each child row it pushes the
+// row onto the outer stack, evaluates Sub (a correlated scalar subplan —
+// typically an inlined UDF body), and appends the single resulting value
+// as one extra output column. Zero sub rows append NULL; more than one is
+// the scalar-subquery cardinality error. The hoisting pass creates these
+// from FromInline subplans so the decorrelation pass can turn them into
+// hash joins when the correlation is an equi-key; applies that stay
+// correlated still beat per-row expression evaluation because the sub
+// tree is instantiated once and rescanned, not re-opened per row.
+type Apply struct {
+	Child Node
+	Sub   Node // width 1, correlated via OuterRef depth 0
 }
 
 // Materialize caches its child's rows on first execution so cheap rescans
@@ -209,6 +229,7 @@ func (*Filter) isNode()         {}
 func (*Project) isNode()        {}
 func (*NestLoop) isNode()       {}
 func (*HashJoin) isNode()       {}
+func (*Apply) isNode()          {}
 func (*Materialize) isNode()    {}
 func (*Agg) isNode()            {}
 func (*Window) isNode()         {}
@@ -229,6 +250,7 @@ func (n *Filter) Width() int      { return n.Child.Width() }
 func (n *Project) Width() int     { return len(n.Exprs) }
 func (n *NestLoop) Width() int    { return n.Left.Width() + n.Right.Width() }
 func (n *HashJoin) Width() int    { return n.Left.Width() + n.Right.Width() }
+func (n *Apply) Width() int       { return n.Child.Width() + 1 }
 func (n *Materialize) Width() int { return n.Child.Width() }
 func (n *Agg) Width() int         { return len(n.GroupBy) + len(n.Aggs) }
 func (n *Window) Width() int      { return n.Child.Width() + len(n.Funcs) }
@@ -263,6 +285,12 @@ type Plan struct {
 	// NodeCount is the number of plan operators (instantiation cost proxy,
 	// reported by EXPLAIN-style dumps and the benchmark harness).
 	NodeCount int
+	// InlinedCalls counts UDF call sites whose bodies the binder inlined
+	// into this plan; SpecializedCalls counts the subset whose arguments
+	// were all constants (the call site is a constant-specialized plan).
+	// EXPLAIN and the engine's stats surface report both.
+	InlinedCalls     int
+	SpecializedCalls int
 }
 
 // CountNodes walks the plan and records NodeCount.
@@ -287,6 +315,9 @@ func (p *Plan) CountNodes() {
 		case *HashJoin:
 			walk(x.Left)
 			walk(x.Right)
+		case *Apply:
+			walk(x.Child)
+			walk(x.Sub)
 		case *Materialize:
 			walk(x.Child)
 		case *Agg:

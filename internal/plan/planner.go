@@ -15,6 +15,16 @@ func Build(cat *catalog.Catalog, q *sqlast.Query, opts Options) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Fold constants first (inlined constant arguments propagate through
+	// their bodies), then lower inlined subplans to Apply nodes and
+	// decorrelate; index and hash-join selection run over the result.
+	root = foldConstants(root)
+	root = hoistInlineApplies(root)
+	for i := range b.allCTEs {
+		if b.allCTEs[i].Plan != nil {
+			b.allCTEs[i].Plan = hoistInlineApplies(foldConstants(b.allCTEs[i].Plan))
+		}
+	}
 	root = useIndexes(root)
 	for i := range b.allCTEs {
 		if b.allCTEs[i].Plan != nil {
@@ -29,12 +39,22 @@ func Build(cat *catalog.Catalog, q *sqlast.Query, opts Options) (*Plan, error) {
 			}
 		}
 	}
+	// Clean up inlining byproducts (no-op casts, permutation Projects) now
+	// that decorrelation and join selection have settled the tree shape.
+	root = simplifyNode(root)
+	for i := range b.allCTEs {
+		if b.allCTEs[i].Plan != nil {
+			b.allCTEs[i].Plan = simplifyNode(b.allCTEs[i].Plan)
+		}
+	}
 	p := &Plan{
-		Root:           root,
-		Cols:           names,
-		CTEs:           b.allCTEs,
-		NumParams:      b.maxParam,
-		CatalogVersion: cat.Version,
+		Root:             root,
+		Cols:             names,
+		CTEs:             b.allCTEs,
+		NumParams:        b.maxParam,
+		CatalogVersion:   cat.Version,
+		InlinedCalls:     b.inlinedCalls,
+		SpecializedCalls: b.specializedCalls,
 	}
 	p.CountNodes()
 	return p, nil
@@ -42,14 +62,16 @@ func Build(cat *catalog.Catalog, q *sqlast.Query, opts Options) (*Plan, error) {
 
 // BuildScalarExpr compiles a standalone scalar expression (the
 // interpreter's simple-expression fast path). Unresolvable names go through
-// opts.Hook; the expression sees no input row.
+// opts.Hook; the expression sees no input row. Only trivial-body UDFs
+// inline here (argBind gate): the caller keeps no CTE state, so inlined
+// subplans with CTEs would dangle.
 func BuildScalarExpr(cat *catalog.Catalog, e sqlast.Expr, opts Options) (Expr, int, error) {
-	b := &binder{cat: cat, opts: opts}
+	b := &binder{cat: cat, opts: opts, argBind: 1}
 	ex, err := b.bindExpr(e)
 	if err != nil {
 		return nil, 0, err
 	}
-	return ex, b.maxParam, nil
+	return foldExpr(ex), b.maxParam, nil
 }
 
 // HasSubquery reports whether e contains any subquery — such expressions

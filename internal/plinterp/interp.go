@@ -39,6 +39,9 @@ type Interpreter struct {
 	// FastPath enables the simple-expression fast path (ablation A3 turns
 	// it off, forcing every expression through the full executor).
 	FastPath bool
+	// NoInline disables planner UDF inlining inside embedded queries,
+	// mirroring the owning session's setting.
+	NoInline bool
 
 	fns map[*plast.Function]*fnState
 }
@@ -241,7 +244,7 @@ func (ip *Interpreter) compileSite(fr *frame, site any, e sqlast.Expr) (*stmtCom
 	defer func() { ip.Counters.PlanNS += time.Since(t0).Nanoseconds() }()
 
 	sc := &stmtComp{}
-	opts := plan.Options{Hook: fr.st.hook, DisableLateral: ip.Profile.DisableLateral}
+	opts := plan.Options{Hook: fr.st.hook, DisableLateral: ip.Profile.DisableLateral, NoInline: ip.NoInline}
 	if ip.FastPath && !plan.HasSubquery(e) {
 		simple, _, err := plan.BuildScalarExpr(ip.Cat, e, opts)
 		if err != nil {
@@ -299,7 +302,7 @@ func (ip *Interpreter) runEmbedded(fr *frame, sc *stmtComp, accounted *int64) ([
 	ip.Counters.CtxSwitchFQ++
 
 	tPlan := time.Now()
-	p, err := ip.Cache.GetByText(ip.Cat, sc.key, sc.query, plan.Options{Hook: fr.st.hook, DisableLateral: ip.Profile.DisableLateral})
+	p, err := ip.Cache.GetByText(ip.Cat, sc.key, sc.query, plan.Options{Hook: fr.st.hook, DisableLateral: ip.Profile.DisableLateral, NoInline: ip.NoInline})
 	dPlan := time.Since(tPlan).Nanoseconds()
 	ip.Counters.PlanNS += dPlan
 	*accounted += dPlan

@@ -196,7 +196,11 @@ func (c *conn) respond(req request) {
 		c.sess.Seed(m.Seed)
 		c.writeDone()
 	case *wire.StatsRequest:
-		c.write(&wire.StatsReply{Stats: c.sess.StorageStats().Snapshot()})
+		inlined, specialized, evicted := c.sess.PlanStats()
+		c.write(&wire.StatsReply{
+			Stats: c.sess.StorageStats().Snapshot(),
+			Plans: wire.PlanStats{PlansInlined: inlined, SpecializedPlans: specialized, CacheEvictions: evicted},
+		})
 	default:
 		c.writeError(fmt.Errorf("unexpected frame %c from client", req.msg.Type()))
 	}

@@ -480,6 +480,13 @@ type Transaction struct {
 	Kind TxnKind
 }
 
+// Explain is EXPLAIN <query>: the query is planned (through the same
+// cache and options as execution, so UDF inlining and specialization
+// show) but not run; the plan tree renders as one text column.
+type Explain struct {
+	Query *Query
+}
+
 func (*SelectStatement) isNode() {}
 func (*CreateIndex) isNode()     {}
 func (*CreateTable) isNode()     {}
@@ -490,6 +497,7 @@ func (*Insert) isNode()          {}
 func (*Update) isNode()          {}
 func (*Delete) isNode()          {}
 func (*Transaction) isNode()     {}
+func (*Explain) isNode()         {}
 func (*Query) isNode()           {}
 
 func (*SelectStatement) isStatement() {}
@@ -502,6 +510,7 @@ func (*Insert) isStatement()          {}
 func (*Update) isStatement()          {}
 func (*Delete) isStatement()          {}
 func (*Transaction) isStatement()     {}
+func (*Explain) isStatement()         {}
 
 // ---------------------------------------------------------------------------
 // Construction helpers (heavily used by the compiler back end)

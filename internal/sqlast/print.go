@@ -152,6 +152,9 @@ func (p *printer) statement(s Statement) {
 		}
 	case *Transaction:
 		p.ws(s.Kind.String())
+	case *Explain:
+		p.ws("EXPLAIN ")
+		p.query(s.Query)
 	default:
 		p.wf("/* unknown statement %T */", s)
 	}

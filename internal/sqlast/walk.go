@@ -334,6 +334,8 @@ func WalkStatement(stmt Statement, fn func(Expr) bool) {
 	switch x := stmt.(type) {
 	case *SelectStatement:
 		WalkQuery(x.Query, fn)
+	case *Explain:
+		WalkQuery(x.Query, fn)
 	case *Insert:
 		WalkQuery(x.Query, fn)
 	case *Update:

@@ -199,6 +199,13 @@ func (p *Parser) parseStatement() (sqlast.Statement, error) {
 		return p.parseTxn(sqlast.TxnCommit)
 	case t.IsKeyword("ROLLBACK") || t.IsKeyword("ABORT"):
 		return p.parseTxn(sqlast.TxnRollback)
+	case t.IsKeyword("EXPLAIN"):
+		p.next()
+		q, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.Explain{Query: q}, nil
 	}
 	return nil, p.errf("unexpected %q at start of statement", t.Text)
 }

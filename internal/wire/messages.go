@@ -321,10 +321,21 @@ func (m *ParseOK) decode(d *Decoder) {
 	m.IsQuery = d.Bool()
 }
 
+// PlanStats carries the shared plan cache's inlining counters: calls
+// inlined into plans, constant-specialized call sites, and entries
+// evicted (cap pressure or DDL invalidation).
+type PlanStats struct {
+	PlansInlined     int64
+	SpecializedPlans int64
+	CacheEvictions   int64
+}
+
 // StatsReply carries the engine's storage counters (Table 2 page writes
-// plus the MVCC commit/vacuum counters).
+// plus the MVCC commit/vacuum counters) and the plan cache's inlining
+// counters.
 type StatsReply struct {
 	Stats storage.StatsSnapshot
+	Plans PlanStats
 }
 
 func (*StatsReply) Type() byte { return TypeStatsReply }
@@ -340,6 +351,9 @@ func (m *StatsReply) encode(e *Encoder) {
 	e.Int64(m.Stats.WALBytes)
 	e.Int64(m.Stats.WALFsyncs)
 	e.Int64(m.Stats.Checkpoints)
+	e.Int64(m.Plans.PlansInlined)
+	e.Int64(m.Plans.SpecializedPlans)
+	e.Int64(m.Plans.CacheEvictions)
 }
 func (m *StatsReply) decode(d *Decoder) {
 	m.Stats.PageWrites = d.Int64()
@@ -353,4 +367,7 @@ func (m *StatsReply) decode(d *Decoder) {
 	m.Stats.WALBytes = d.Int64()
 	m.Stats.WALFsyncs = d.Int64()
 	m.Stats.Checkpoints = d.Int64()
+	m.Plans.PlansInlined = d.Int64()
+	m.Plans.SpecializedPlans = d.Int64()
+	m.Plans.CacheEvictions = d.Int64()
 }
