@@ -81,11 +81,16 @@ func WithWindow(n int) Option { return func(c *Config) { c.Window = n } }
 func WithDialTimeout(d time.Duration) Option { return func(c *Config) { c.DialTimeout = d } }
 
 // Stats is the server's counter snapshot: the storage counters (embedded,
-// so st.Commits etc. read directly) plus the plan cache's UDF-inlining
-// counters.
+// so st.Commits etc. read directly) plus the plan cache's counters and,
+// against a v5 server, the live connection count.
 type Stats struct {
 	storage.StatsSnapshot
-	Plans wire.PlanStats
+	Plans       wire.PlanStats
+	ActiveConns int64 // open connections on the server (v5+; zero otherwise)
+
+	// Legacy reports that the server answered with the pre-v5 frame shape:
+	// the cache hit/miss and connection fields above are absent, not zero.
+	Legacy bool
 }
 
 // outcome is one completed response.
@@ -425,7 +430,10 @@ func (c *Conn) readResponse(br *bufio.Reader, sink func(cols []string, rows [][]
 		case *wire.ParseOK:
 			return outcome{parse: m}
 		case *wire.StatsReply:
-			return outcome{stats: &Stats{StatsSnapshot: m.Stats, Plans: m.Plans}}
+			return outcome{stats: &Stats{
+				StatsSnapshot: m.Stats, Plans: m.Plans,
+				ActiveConns: m.ActiveConns, Legacy: m.Legacy,
+			}}
 		default:
 			return outcome{err: &connError{fmt.Errorf("client: unexpected frame %c", msg.Type())}}
 		}
@@ -626,6 +634,13 @@ func (c *Conn) SeedAsync(seed uint64) (*Pending, error) {
 // MVCC commit/vacuum counts — remote benchmarks assert storage behaviour
 // through this) and the plan cache's UDF-inlining counters.
 func (c *Conn) Stats() (Stats, error) {
+	// Fast-fail on a dead connection so shutdown paths (a shell printing
+	// its exit stats, say) never block on a round-trip that cannot answer.
+	select {
+	case <-c.quit:
+		return Stats{}, c.closedErr()
+	default:
+	}
 	ps, err := c.send(&wire.StatsRequest{})
 	if err != nil {
 		return Stats{}, err

@@ -2,6 +2,7 @@ package client_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"strings"
@@ -292,6 +293,64 @@ func TestStatsFrame(t *testing.T) {
 	}
 	if after.Commits-before.Commits != 5 {
 		t.Fatalf("commit counter: before %d after %d, want +5", before.Commits, after.Commits)
+	}
+	// The client dials at the current protocol version, so the v5 tail is
+	// present: this very connection is counted.
+	if after.Legacy {
+		t.Error("current-version session should get the extended stats shape")
+	}
+	if after.ActiveConns < 1 {
+		t.Errorf("ActiveConns = %d, want ≥ 1", after.ActiveConns)
+	}
+	if after.Plans.CacheMisses < 1 {
+		t.Errorf("CacheMisses = %d, want ≥ 1 (statements were planned)", after.Plans.CacheMisses)
+	}
+}
+
+// TestExplainAnalyzeOverWire pins that EXPLAIN ANALYZE travels the wire
+// as an ordinary result: one QUERY PLAN column whose rows carry actuals.
+func TestExplainAnalyzeOverWire(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Exec("CREATE TABLE w (n int); INSERT INTO w VALUES (1), (2), (3)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query("EXPLAIN ANALYZE SELECT n FROM w WHERE n > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cols) != 1 || res.Cols[0] != "QUERY PLAN" {
+		t.Fatalf("cols = %v, want [QUERY PLAN]", res.Cols)
+	}
+	var out strings.Builder
+	for _, row := range res.Rows {
+		out.WriteString(row[0].String())
+		out.WriteByte('\n')
+	}
+	for _, want := range []string{"actual rows=2", "in=3", "Execution: rows=2"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("remote EXPLAIN ANALYZE missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestStatsAfterClose pins the fast-fail: Stats on a closed connection
+// returns ErrClosed without attempting a round-trip.
+func TestStatsAfterClose(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stats(); !errors.Is(err, client.ErrClosed) {
+		t.Errorf("Stats after Close: %v, want ErrClosed", err)
 	}
 }
 

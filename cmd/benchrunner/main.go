@@ -6,7 +6,14 @@
 // Usage:
 //
 //	benchrunner [-experiment table1|fig10|fig11a|fig11b|table2|ablations|parallel|batchsweep|widescan|mixed|all]
-//	            [-quick] [-parallel N] [-writeratio F] [-batchsize LIST] [-format text|json]
+//	            [-quick] [-parallel N] [-writeratio F] [-batchsize LIST] [-metrics] [-format text|json]
+//
+// -experiment also accepts a comma-separated list (e.g.
+// -experiment udfcall,batchsweep). -metrics runs every engine with the
+// observability registry attached: the JSON report gains a "metrics" key
+// carrying the full snapshot (fsync latency, plan-cache, phase-time
+// series), and the text output appends the Prometheus rendering — the
+// instrumentation-overhead experiments measure in exactly this mode.
 //
 // -quick shrinks workload sizes so a full run finishes in well under a
 // minute (the default sizes mirror the paper's and take several minutes,
@@ -55,6 +62,7 @@ import (
 	"time"
 
 	"plsqlaway/internal/bench"
+	"plsqlaway/internal/obs"
 	"plsqlaway/internal/profile"
 )
 
@@ -69,6 +77,7 @@ func main() {
 	inline := flag.String("inline", "on", "planner UDF inlining in the udfcall sweep: on or off (the inlining ablation axis)")
 	addr := flag.String("addr", "", "host:port of a running plsqld: run the sweeps through the wire protocol against it")
 	window := flag.Int("window", 32, "pipelined requests in flight per connection in the remote sweep")
+	metrics := flag.Bool("metrics", false, "run the engines with the observability registry on and snapshot it into the report")
 	format := flag.String("format", "text", "output format: text or json")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile (after the experiments) to this file")
@@ -110,6 +119,9 @@ func main() {
 		os.Exit(1)
 	}
 	jsonOut := *format == "json"
+	if *metrics {
+		bench.MetricsRegistry = obs.NewRegistry()
+	}
 	if *inline != "on" && *inline != "off" {
 		fmt.Fprintf(os.Stderr, "benchrunner: -inline wants on or off, got %q\n", *inline)
 		os.Exit(1)
@@ -428,12 +440,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q\n", *experiment)
 		os.Exit(1)
 	}
+	if !jsonOut && bench.MetricsRegistry != nil {
+		fmt.Printf("━━━ metrics ━━━\n\n")
+		bench.MetricsRegistry.WriteText(os.Stdout)
+		fmt.Println()
+	}
 	if jsonOut {
 		doc := map[string]any{
 			"schema":      "plsqlaway-bench/v1",
 			"gomaxprocs":  runtime.GOMAXPROCS(0),
 			"quick":       *quick,
 			"experiments": report,
+		}
+		if bench.MetricsRegistry != nil {
+			doc["metrics"] = bench.MetricsRegistry.Gather()
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

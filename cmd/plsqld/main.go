@@ -7,7 +7,8 @@
 //
 //	plsqld [-addr host:port] [-profile postgres|oracle|sqlite] [-seed N]
 //	       [-batchsize N] [-data-dir DIR] [-sync off|batched|commit]
-//	       [-verbose]
+//	       [-metrics-addr host:port] [-slow-query-ms N]
+//	       [-checkpoint-bytes N] [-verbose]
 //
 // The daemon starts with an empty catalog; remote clients install
 // schemas and functions over the wire (CREATE TABLE / CREATE FUNCTION …
@@ -16,7 +17,14 @@
 // With -data-dir the engine is durable: commits append to a write-ahead
 // log in DIR, boot replays the checkpoint + log (recovering everything
 // acknowledged before a crash), and graceful shutdown checkpoints.
-// Without it the engine is volatile, as before.
+// Without it the engine is volatile, as before. -checkpoint-bytes makes
+// the engine checkpoint automatically once the log outgrows the bound.
+//
+// With -metrics-addr the daemon serves the engine's metrics registry in
+// Prometheus text format at /metrics, plus net/http/pprof under
+// /debug/pprof/, on a separate HTTP listener. -slow-query-ms logs every
+// statement that crosses the threshold, with phase timings and the
+// plan's shape counters.
 package main
 
 import (
@@ -26,12 +34,14 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"plsqlaway/internal/engine"
+	"plsqlaway/internal/obs"
 	"plsqlaway/internal/profile"
 	"plsqlaway/internal/server"
 	"plsqlaway/internal/wal"
@@ -45,6 +55,9 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable data directory (empty = volatile engine)")
 	syncFlag := flag.String("sync", "batched", "WAL sync mode: off, batched (group commit), or commit")
 	drain := flag.Duration("drain", 10*time.Second, "max time to drain connections on shutdown")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics and /debug/pprof (empty = off)")
+	slowQueryMS := flag.Int64("slow-query-ms", 0, "log statements slower than this many milliseconds (0 = off)")
+	checkpointBytes := flag.Int64("checkpoint-bytes", 0, "auto-checkpoint once the WAL exceeds this many bytes (0 = off)")
 	verbose := flag.Bool("verbose", false, "log per-connection diagnostics")
 	flag.Parse()
 
@@ -64,12 +77,38 @@ func main() {
 	if *batchSize > 0 {
 		opts = append(opts, engine.WithBatchSize(*batchSize))
 	}
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		opts = append(opts, engine.WithMetricsRegistry(reg))
+	}
+	if *slowQueryMS > 0 {
+		opts = append(opts, engine.WithSlowQuery(time.Duration(*slowQueryMS)*time.Millisecond, log.Printf))
+	}
+	if *checkpointBytes > 0 {
+		opts = append(opts, engine.WithCheckpointBytes(*checkpointBytes))
+	}
 	e, err := engine.Open(*dataDir, opts...)
 	if err != nil {
 		fatal(err)
 	}
 	if *dataDir != "" {
 		log.Printf("plsqld: durable data dir %s (sync=%s)", *dataDir, syncMode)
+	}
+
+	if reg != nil {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		msrv := &http.Server{Handler: obs.NewMux(reg)}
+		go func() {
+			if err := msrv.Serve(mln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("plsqld: metrics listener: %v", err)
+			}
+		}()
+		defer msrv.Close()
+		log.Printf("plsqld: metrics on http://%s/metrics (pprof under /debug/pprof/)", mln.Addr())
 	}
 
 	srvOpts := server.Options{Banner: fmt.Sprintf("plsqlaway (%s)", prof.Name)}

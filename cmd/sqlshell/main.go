@@ -265,17 +265,26 @@ func (b *remoteBackend) Meta(cmd string) bool {
 	case "\\stats":
 		st, err := b.c.Stats()
 		if err != nil {
+			// A dead connection fails fast (client.ErrClosed) instead of
+			// hanging on a round-trip the server will never answer.
 			fmt.Println("error:", err)
 			return false
 		}
-		fmt.Printf("page writes %d · pages alloc %d · tuples written %d · commits %d · vacuums %d (reclaimed %d)\n",
+		fmt.Printf("storage  page writes %d · pages alloc %d · tuples written %d · commits %d · vacuums %d (reclaimed %d)\n",
 			st.PageWrites, st.PagesAlloc, st.TuplesWritten, st.Commits, st.Vacuums, st.VersionsReclaimed)
 		if st.WALRecords > 0 || st.Checkpoints > 0 {
-			fmt.Printf("wal records %d (%d bytes) · fsyncs %d · checkpoints %d\n",
+			fmt.Printf("wal      records %d (%d bytes) · fsyncs %d · checkpoints %d\n",
 				st.WALRecords, st.WALBytes, st.WALFsyncs, st.Checkpoints)
 		}
-		fmt.Printf("plans inlined %d · specialized %d · cache evictions %d\n",
-			st.Plans.PlansInlined, st.Plans.SpecializedPlans, st.Plans.CacheEvictions)
+		if st.Legacy {
+			fmt.Printf("plans    inlined %d · specialized %d · evictions %d\n",
+				st.Plans.PlansInlined, st.Plans.SpecializedPlans, st.Plans.CacheEvictions)
+		} else {
+			fmt.Printf("plans    inlined %d · specialized %d · evictions %d · cache hits %d misses %d\n",
+				st.Plans.PlansInlined, st.Plans.SpecializedPlans, st.Plans.CacheEvictions,
+				st.Plans.CacheHits, st.Plans.CacheMisses)
+			fmt.Printf("server   active connections %d\n", st.ActiveConns)
+		}
 	default:
 		fmt.Printf("meta command %s is not available over -connect (try \\seed, \\stats, \\q)\n", fields[0])
 	}

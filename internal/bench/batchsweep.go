@@ -84,7 +84,7 @@ func BatchSweep(cfg BatchSweepConfig) ([]BatchSweepRow, error) {
 	// dominates wall clock and its timing jitter swamps the sweep.
 	prevGC := debug.SetGCPercent(400)
 	defer debug.SetGCPercent(prevGC)
-	e := engine.New(engine.WithSeed(42), engine.WithWorkMem(256<<20))
+	e := engine.New(engineOpts(engine.WithSeed(42), engine.WithWorkMem(256<<20))...)
 	if err := workload.InstallGraph(e, cfg.Nodes, 3); err != nil {
 		return nil, err
 	}

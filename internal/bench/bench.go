@@ -36,7 +36,7 @@ const (
 // functions, and — for each requested function — the compiled variant
 // installed as <name>_c (and <name>_ci for the WITH ITERATE form).
 func NewEnv(prof profile.Profile, fns ...string) (*Env, error) {
-	e := engine.New(engine.WithProfile(prof), engine.WithSeed(42))
+	e := engine.New(engineOpts(engine.WithProfile(prof), engine.WithSeed(42))...)
 	world := workload.NewRobotWorld(5, 5, 7)
 	if err := world.Install(e); err != nil {
 		return nil, err

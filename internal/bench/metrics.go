@@ -1,0 +1,22 @@
+package bench
+
+import (
+	"plsqlaway/internal/engine"
+	"plsqlaway/internal/obs"
+)
+
+// MetricsRegistry, when set before the experiments run (benchrunner
+// -metrics), is handed to every engine the harness builds. Registration
+// is upsert, so engines spun up across experiments accumulate into one
+// shared set of families; pull-style collectors rebind to the most
+// recent engine. Snapshot it with Gather after the run.
+var MetricsRegistry *obs.Registry
+
+// engineOpts appends the shared-registry option when -metrics is on —
+// the one construction funnel every experiment's engine goes through.
+func engineOpts(opts ...engine.Option) []engine.Option {
+	if MetricsRegistry != nil {
+		opts = append(opts, engine.WithMetricsRegistry(MetricsRegistry))
+	}
+	return opts
+}

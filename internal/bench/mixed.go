@@ -154,7 +154,7 @@ func MixedSweep(cfg MixedConfig) ([]MixedRow, error) {
 func mixedSweepMode(cfg MixedConfig, mode string) (rows []MixedRow, err error) {
 	var e *engine.Engine
 	if mode == "volatile" {
-		e = engine.New(engine.WithSeed(42))
+		e = engine.New(engineOpts(engine.WithSeed(42))...)
 	} else {
 		sync, perr := wal.ParseSyncMode(mode)
 		if perr != nil {
@@ -165,7 +165,7 @@ func mixedSweepMode(cfg MixedConfig, mode string) (rows []MixedRow, err error) {
 			return nil, derr
 		}
 		defer os.RemoveAll(dir)
-		e, err = engine.Open(dir, engine.WithSeed(42), engine.WithSyncMode(sync))
+		e, err = engine.Open(dir, engineOpts(engine.WithSeed(42), engine.WithSyncMode(sync))...)
 		if err != nil {
 			return nil, err
 		}

@@ -219,7 +219,7 @@ func RemoteScaling(cfg RemoteConfig) ([]RemoteRow, error) {
 
 	// In-process twin: same schemas, same functions, for the baseline
 	// rows and for validating remote answers.
-	local := engine.New(engine.WithProfile(profile.PostgreSQL), engine.WithSeed(cfg.Seed))
+	local := engine.New(engineOpts(engine.WithProfile(profile.PostgreSQL), engine.WithSeed(cfg.Seed))...)
 	if err := InstallRemoteWorkloads(local, cfg.Workloads...); err != nil {
 		return nil, err
 	}

@@ -104,7 +104,7 @@ type udfCallCase struct {
 // must produce the identical value — the sweep doubles as a differential.
 func UDFCall(cfg UDFCallConfig) (*UDFCallReport, error) {
 	cfg.defaults()
-	e := engine.New(engine.WithSeed(42))
+	e := engine.New(engineOpts(engine.WithSeed(42))...)
 	world := workload.NewRobotWorld(5, 5, 7)
 	if err := world.Install(e); err != nil {
 		return nil, err

@@ -101,7 +101,7 @@ func WideScan(cfg WideScanConfig) ([]WideScanRow, error) {
 		}
 	}
 
-	eng := engine.New(engine.WithSeed(42), engine.WithWorkMem(256<<20))
+	eng := engine.New(engineOpts(engine.WithSeed(42), engine.WithWorkMem(256<<20))...)
 	sess := eng.NewSession()
 	if err := sess.Exec("CREATE TABLE wide (k int, v float, s text)"); err != nil {
 		return nil, err

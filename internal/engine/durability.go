@@ -70,7 +70,11 @@ func (e *Engine) recover(dir string) error {
 	}
 	sh.state.Store(&dbState{cat: cat, ts: last})
 
-	w, err := wal.Open(dir, epoch, wal.Config{Mode: sh.syncMode, Stats: sh.storageStats})
+	obsFsync, obsBatch := sh.walObservers()
+	w, err := wal.Open(dir, epoch, wal.Config{
+		Mode: sh.syncMode, Stats: sh.storageStats,
+		ObserveFsync: obsFsync, ObserveBatch: obsBatch,
+	})
 	if err != nil {
 		return err
 	}
@@ -80,7 +84,7 @@ func (e *Engine) recover(dir string) error {
 	// Fold the replayed tail into a fresh checkpoint so the next boot
 	// starts from a snapshot and an empty log — and so this boot's
 	// appends never share a log with records that predate it.
-	if err := e.Checkpoint(); err != nil {
+	if err := sh.checkpoint("recovery"); err != nil {
 		return fmt.Errorf("engine: recovery: %w", err)
 	}
 	removeStaleLogs(dir, sh.walEpoch)
@@ -107,8 +111,12 @@ func removeStaleLogs(dir string, epoch uint64) {
 // lock, so the snapshot is a transaction boundary; the atomic
 // write-then-rename plus epoch-named logs make every crash window safe.
 // No-op on a volatile engine.
-func (e *Engine) Checkpoint() error {
-	sh := e.sh
+func (e *Engine) Checkpoint() error { return e.sh.checkpoint("manual") }
+
+// checkpoint is the shared checkpoint body, labelled with its trigger
+// reason (manual / size / shutdown / recovery) for the registry's
+// checkpoints_triggered metric.
+func (sh *shared) checkpoint(reason string) error {
 	if sh.wal == nil {
 		return nil
 	}
@@ -128,6 +136,7 @@ func (e *Engine) Checkpoint() error {
 	}
 	sh.walEpoch = next
 	atomic.AddInt64(&sh.storageStats.Checkpoints, 1)
+	sh.noteCheckpoint(reason)
 	return nil
 }
 
@@ -138,7 +147,7 @@ func (e *Engine) Close() error {
 	if e.sh.wal == nil {
 		return nil
 	}
-	err := e.Checkpoint()
+	err := e.sh.checkpoint("shutdown")
 	if cerr := e.sh.wal.Close(); err == nil {
 		err = cerr
 	}

@@ -37,9 +37,11 @@ package engine
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"plsqlaway/internal/catalog"
 	"plsqlaway/internal/exec"
+	"plsqlaway/internal/obs"
 	"plsqlaway/internal/plan"
 	"plsqlaway/internal/plast"
 	"plsqlaway/internal/plinterp"
@@ -122,6 +124,16 @@ type shared struct {
 	dataDir  string
 	walEpoch uint64
 	syncMode wal.SyncMode
+
+	// Observability (see metrics.go). metrics is nil unless the engine
+	// was built with WithMetricsRegistry; slowQueryNS/logf gate the
+	// slow-query log; checkpointBytes > 0 arms the WAL-size
+	// auto-checkpoint, serialized by the checkpointing CAS flag.
+	metrics         *metrics
+	slowQueryNS     int64
+	logf            func(format string, args ...any)
+	checkpointBytes int64
+	checkpointing   atomic.Bool
 }
 
 // pinState loads the published state and registers its timestamp with the
@@ -155,14 +167,18 @@ type Engine struct {
 
 // config collects option values before the engine core is built.
 type config struct {
-	prof         profile.Profile
-	workMem      int
-	maxRecursion int
-	maxCallDepth int
-	seed         uint64
-	batchSize    int
-	columnar     bool
-	syncMode     wal.SyncMode
+	prof            profile.Profile
+	workMem         int
+	maxRecursion    int
+	maxCallDepth    int
+	seed            uint64
+	batchSize       int
+	columnar        bool
+	syncMode        wal.SyncMode
+	registry        *obs.Registry
+	slowQueryNS     int64
+	logf            func(format string, args ...any)
+	checkpointBytes int64
 }
 
 // Option configures a new Engine.
@@ -199,6 +215,28 @@ func WithColumnar(on bool) Option { return func(c *config) { c.columnar = on } }
 // engines created with Open; a volatile New engine has no log to sync.
 func WithSyncMode(m wal.SyncMode) Option { return func(c *config) { c.syncMode = m } }
 
+// WithMetricsRegistry publishes the engine's metrics (query phases,
+// statement latency, storage/WAL/plan-cache counters, checkpoint
+// triggers) into reg. Several engines may share one registry. Without
+// this option the engine keeps no registry and the instrumented paths
+// cost one nil check.
+func WithMetricsRegistry(reg *obs.Registry) Option { return func(c *config) { c.registry = reg } }
+
+// WithSlowQuery arms the slow-query log: statements whose wall time
+// meets or exceeds threshold emit one structured line through logf
+// (query text, phase timings, plan shape counters). A nil logf counts
+// slow queries in the registry without logging.
+func WithSlowQuery(threshold time.Duration, logf func(format string, args ...any)) Option {
+	return func(c *config) { c.slowQueryNS = threshold.Nanoseconds(); c.logf = logf }
+}
+
+// WithCheckpointBytes arms the WAL-size auto-checkpoint: after any
+// commit finds the log at or past n bytes, the engine checkpoints and
+// rotates to a fresh log (reason "size" in the checkpoint metric).
+// Zero (the default) disables the trigger; manual Checkpoint calls and
+// the shutdown/recovery checkpoints are unaffected.
+func WithCheckpointBytes(n int64) Option { return func(c *config) { c.checkpointBytes = n } }
+
 // New creates an engine.
 func New(opts ...Option) *Engine {
 	cfg := config{
@@ -215,18 +253,24 @@ func New(opts ...Option) *Engine {
 		o(&cfg)
 	}
 	sh := &shared{
-		storageStats: &storage.Stats{},
-		prof:         cfg.prof,
-		workMem:      cfg.workMem,
-		maxRecursion: cfg.maxRecursion,
-		maxCallDepth: cfg.maxCallDepth,
-		seed:         cfg.seed,
-		batchSize:    cfg.batchSize,
-		columnar:     cfg.columnar,
-		syncMode:     cfg.syncMode,
+		storageStats:    &storage.Stats{},
+		prof:            cfg.prof,
+		workMem:         cfg.workMem,
+		maxRecursion:    cfg.maxRecursion,
+		maxCallDepth:    cfg.maxCallDepth,
+		seed:            cfg.seed,
+		batchSize:       cfg.batchSize,
+		columnar:        cfg.columnar,
+		syncMode:        cfg.syncMode,
+		slowQueryNS:     cfg.slowQueryNS,
+		logf:            cfg.logf,
+		checkpointBytes: cfg.checkpointBytes,
 	}
 	sh.state.Store(&dbState{cat: catalog.New(sh.storageStats), ts: 0})
 	sh.cache = plan.NewCache()
+	if cfg.registry != nil {
+		sh.metrics = newMetrics(cfg.registry, sh)
+	}
 	e := &Engine{sh: sh}
 	e.def = e.NewSession()
 	return e
@@ -236,7 +280,19 @@ func New(opts ...Option) *Engine {
 // storage, and plan cache. Sessions are cheap; create one per goroutine.
 // A single session must not be used concurrently.
 func (e *Engine) NewSession() *Session {
+	if m := e.sh.metrics; m != nil {
+		m.sessions.Inc()
+	}
 	return newSession(e.sh)
+}
+
+// Metrics exposes the registry the engine publishes into (nil unless
+// built with WithMetricsRegistry).
+func (e *Engine) Metrics() *obs.Registry {
+	if e.sh.metrics == nil {
+		return nil
+	}
+	return e.sh.metrics.reg
 }
 
 // Counters exposes the default session's profile counters (Table 1

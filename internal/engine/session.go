@@ -61,6 +61,10 @@ type Session struct {
 	// txn is the session's open transaction block (BEGIN…COMMIT/ROLLBACK);
 	// zero outside one. See txn.go for the protocol.
 	txn txnState
+
+	// lastPlan remembers the most recent plan this session built or
+	// fetched — the slow-query log reads its shape counters.
+	lastPlan *plan.Plan
 }
 
 // snapshot is the consistent (catalog, storage) view one statement
@@ -137,6 +141,12 @@ func (s *Session) SetInlining(on bool) {
 // evicted (capacity pressure or DDL invalidation).
 func (s *Session) PlanStats() (inlined, specialized, evictions int64) {
 	return s.sh.cache.InlineStats()
+}
+
+// PlanCacheStats reports the shared plan cache's hit/miss counters — the
+// wire protocol's v5 stats frame carries them to remote shells.
+func (s *Session) PlanCacheStats() (hits, misses int64) {
+	return s.sh.cache.Stats()
 }
 
 func (s *Session) planOpts() plan.Options {
@@ -259,6 +269,7 @@ func (s *Session) commitWrap(fn func() (*Result, error)) (*Result, error) {
 		// block's snapshot and lock instead of committing on its own.
 		return s.txnWrite(fn)
 	}
+	tCommit := time.Now()
 	res, lsn, err := s.commitOnce(fn)
 	if err != nil {
 		return nil, err
@@ -267,6 +278,10 @@ func (s *Session) commitWrap(fn func() (*Result, error)) (*Result, error) {
 		if err := s.sh.wal.WaitDurable(lsn); err != nil {
 			return nil, err
 		}
+	}
+	s.sh.noteCommitPhase(time.Since(tCommit))
+	if lsn > 0 {
+		s.sh.maybeAutoCheckpoint()
 	}
 	return res, nil
 }
@@ -360,6 +375,22 @@ func (s *Session) mutableCat() *catalog.Catalog {
 // BEGIN/COMMIT/ROLLBACK switch the session's transaction mode and are
 // legal even on an aborted block.
 func (s *Session) execStmtPinned(stmt sqlast.Statement, params []sqltypes.Value) (*Result, error) {
+	if !s.instrumented() {
+		return s.execStmtPinnedRaw(stmt, params)
+	}
+	var res *Result
+	err := s.observeStmt(
+		func() string { return sqlast.Deparse(stmt) },
+		func() error {
+			var err error
+			res, err = s.execStmtPinnedRaw(stmt, params)
+			return err
+		})
+	return res, err
+}
+
+// execStmtPinnedRaw is execStmtPinned without the metrics shell.
+func (s *Session) execStmtPinnedRaw(stmt sqlast.Statement, params []sqltypes.Value) (*Result, error) {
 	if tx, ok := stmt.(*sqlast.Transaction); ok {
 		return nil, s.execTxnControl(tx)
 	}
@@ -389,7 +420,7 @@ func (s *Session) Exec(sql string) error {
 // statement with rows discarded. The wire server's simple-query
 // dispatch — no fallback path, so a failing statement never re-executes.
 func (s *Session) Run(sql string) (*Result, error) {
-	stmts, err := sqlparser.ParseScript(sql)
+	stmts, err := s.parseScript(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -419,7 +450,7 @@ func (s *Session) Run(sql string) (*Result, error) {
 // multi-statement script — executes exactly as Run does, returning its
 // buffered Result with streamed=false and the callbacks untouched.
 func (s *Session) RunStream(sql string, begin func(cols []string) error, batch func(b *exec.Batch) error) (res *Result, streamed bool, err error) {
-	stmts, err := sqlparser.ParseScript(sql)
+	stmts, err := s.parseScript(sql)
 	if err != nil {
 		return nil, false, err
 	}
@@ -430,7 +461,9 @@ func (s *Session) RunStream(sql string, begin func(cols []string) error, batch f
 			}
 			end := s.beginRead()
 			defer end()
-			err := s.streamQuery(sel.Query, nil, begin, batch)
+			err := s.observeStmt(
+				func() string { return sqlast.DeparseQuery(sel.Query) },
+				func() error { return s.streamQuery(sel.Query, nil, begin, batch) })
 			s.noteStmtErr(err)
 			return nil, true, err
 		}
@@ -449,7 +482,7 @@ func (s *Session) RunStream(sql string, begin func(cols []string) error, batch f
 // through the callback pair batch-at-a-time (see RunStream for the
 // callback contract). Non-query statements are rejected.
 func (s *Session) QueryStream(sql string, begin func(cols []string) error, batch func(b *exec.Batch) error, params ...sqltypes.Value) error {
-	stmt, err := sqlparser.ParseStatement(sql)
+	stmt, err := s.parseStatement(sql)
 	if err != nil {
 		return err
 	}
@@ -462,7 +495,9 @@ func (s *Session) QueryStream(sql string, begin func(cols []string) error, batch
 	}
 	end := s.beginRead()
 	defer end()
-	err = s.streamQuery(sel.Query, params, begin, batch)
+	err = s.observeStmt(
+		func() string { return sqlast.DeparseQuery(sel.Query) },
+		func() error { return s.streamQuery(sel.Query, params, begin, batch) })
 	s.noteStmtErr(err)
 	return err
 }
@@ -477,6 +512,7 @@ func (s *Session) streamQuery(q *sqlast.Query, params []sqltypes.Value, begin fu
 	if err != nil {
 		return err
 	}
+	s.notePlan(p)
 	if p.NumParams > len(params) {
 		return fmt.Errorf("engine: query needs %d parameters, got %d", p.NumParams, len(params))
 	}
@@ -511,7 +547,7 @@ func (s *Session) streamQuery(q *sqlast.Query, params []sqltypes.Value, begin fu
 
 // Query runs a single SQL query and returns its rows.
 func (s *Session) Query(sql string, params ...sqltypes.Value) (*Result, error) {
-	stmt, err := sqlparser.ParseStatement(sql)
+	stmt, err := s.parseStatement(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -565,6 +601,7 @@ func (s *Session) QueryFresh(q *sqlast.Query, params ...sqltypes.Value) (*Result
 		s.noteStmtErr(err)
 		return nil, err
 	}
+	s.notePlan(p)
 	res, err := s.runPlanned(p, params)
 	s.noteStmtErr(err)
 	return res, err
@@ -615,7 +652,7 @@ type Prepared struct {
 // Prepare parses a single statement for repeated execution on this
 // session.
 func (s *Session) Prepare(sql string) (*Prepared, error) {
-	stmt, err := sqlparser.ParseStatement(sql)
+	stmt, err := s.parseStatement(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -674,7 +711,7 @@ func (s *Session) execStmt(stmt sqlast.Statement, params []sqltypes.Value) (*Res
 	case *sqlast.SelectStatement:
 		return s.runQuery(stmt.Query, params)
 	case *sqlast.Explain:
-		return s.explain(stmt.Query)
+		return s.explain(stmt, params)
 	case *sqlast.CreateTable:
 		return nil, s.loggedDDL(stmt, func() error { return applyCreateTable(s.mutableCat(), stmt) })
 	case *sqlast.CreateIndex:
@@ -698,18 +735,68 @@ func (s *Session) execStmt(stmt sqlast.Statement, params []sqltypes.Value) (*Res
 
 // explain plans a query through the same cache and options execution
 // would use — so the rendered tree is exactly the plan a subsequent run
-// hits — and returns it as one text column, one operator per row.
-func (s *Session) explain(q *sqlast.Query) (*Result, error) {
-	p, err := s.sh.cache.Get(s.cur.cat, q, s.planOpts())
+// hits — and returns it as one text column, one operator per row. With
+// ANALYZE the query also executes to completion (rows discarded) under
+// per-node instrumentation, and each line carries its actuals.
+func (s *Session) explain(stmt *sqlast.Explain, params []sqltypes.Value) (*Result, error) {
+	p, err := s.sh.cache.Get(s.cur.cat, stmt.Query, s.planOpts())
 	if err != nil {
 		return nil, err
 	}
+	s.notePlan(p)
 	lines := p.Explain()
+	if stmt.Analyze {
+		lines, err = s.explainAnalyze(p, params)
+		if err != nil {
+			return nil, err
+		}
+	}
 	rows := make([]storage.Tuple, len(lines))
 	for i, l := range lines {
 		rows[i] = storage.Tuple{sqltypes.NewText(l)}
 	}
 	return &Result{Cols: []string{"QUERY PLAN"}, Rows: rows}, nil
+}
+
+// explainAnalyze runs p to completion with the per-node shims interposed
+// and renders the annotated tree plus an execution summary. It charges
+// the same phase buckets a real run would — rows stream into a discard
+// sink, so peak memory is one batch regardless of result size — and,
+// because it advances the session's random stream exactly as execution
+// does, volatile plans draw in the same order as an unanalyzed run.
+func (s *Session) explainAnalyze(p *plan.Plan, params []sqltypes.Value) ([]string, error) {
+	if p.NumParams > len(params) {
+		return nil, fmt.Errorf("engine: query needs %d parameters, got %d", p.NumParams, len(params))
+	}
+	tStart := time.Now()
+	ctx := s.newCtx()
+	ctx.Params = params
+	ex, ana, err := exec.InstantiateAnalyzed(p, ctx)
+	if s.sh.prof.StartPenalty > 0 {
+		profile.Spin(s.sh.prof.StartPenalty * p.NodeCount)
+	}
+	s.counters.ExecStartNS += time.Since(tStart).Nanoseconds()
+	s.counters.ExecutorStarts++
+	if err != nil {
+		return nil, err
+	}
+
+	tRun := time.Now()
+	var rows int64
+	runErr := ex.Stream(func(b *exec.Batch) error { rows += int64(b.Len()); return nil })
+	execDur := time.Since(tRun)
+	s.counters.ExecRunNS += execDur.Nanoseconds()
+	s.counters.QueriesRun++
+
+	tEnd := time.Now()
+	ex.Shutdown()
+	s.counters.ExecEndNS += time.Since(tEnd).Nanoseconds()
+	if runErr != nil {
+		return nil, runErr
+	}
+	lines := ana.Lines()
+	lines = append(lines, fmt.Sprintf("Execution: rows=%d time=%s", rows, execDur.Round(time.Microsecond)))
+	return lines, nil
 }
 
 // runQuery plans (via the shared cache), instantiates, and runs a query,
@@ -734,6 +821,7 @@ func (s *Session) runQueryKeyed(key string, q *sqlast.Query, params []sqltypes.V
 	if err != nil {
 		return nil, err
 	}
+	s.notePlan(p)
 	if p.NumParams > len(params) {
 		return nil, fmt.Errorf("engine: query needs %d parameters, got %d", p.NumParams, len(params))
 	}

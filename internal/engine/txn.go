@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"plsqlaway/internal/catalog"
 	"plsqlaway/internal/sqlast"
@@ -104,6 +105,7 @@ func (s *Session) Commit() error {
 		s.endTxn()
 		return nil
 	}
+	tCommit := time.Now()
 	lsn, err := s.commitTxn()
 	s.endTxn()
 	if err != nil {
@@ -112,7 +114,13 @@ func (s *Session) Commit() error {
 	// Wait for durability after releasing the commit lock, so concurrent
 	// committers coalesce their fsyncs (group commit).
 	if lsn > 0 {
-		return s.sh.wal.WaitDurable(lsn)
+		if err := s.sh.wal.WaitDurable(lsn); err != nil {
+			return err
+		}
+	}
+	s.sh.noteCommitPhase(time.Since(tCommit))
+	if lsn > 0 {
+		s.sh.maybeAutoCheckpoint()
 	}
 	return nil
 }
@@ -228,6 +236,7 @@ func (s *Session) ensureTxnWrite() error {
 	tip := s.sh.state.Load()
 	if tip.ts != s.txn.st.ts {
 		s.sh.commitMu.Unlock()
+		s.sh.noteConflict()
 		return ErrSerialization
 	}
 	s.txn.locked = true

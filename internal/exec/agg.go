@@ -46,8 +46,8 @@ type aggNode struct {
 	argCols []*Column
 }
 
-func instantiateAgg(x *plan.Agg) (Node, error) {
-	child, err := instantiateNode(x.Child)
+func instantiateAgg(x *plan.Agg, ana *Analyzer) (Node, error) {
+	child, err := instantiateNode(x.Child, ana)
 	if err != nil {
 		return nil, err
 	}

@@ -29,6 +29,21 @@ type Executor struct {
 // executor-node tree — the per-call work the paper's Figure 3 profiles as
 // f→Qi context-switch overhead.
 func Instantiate(p *plan.Plan, ctx *Ctx) (*Executor, error) {
+	e, _, err := instantiate(p, ctx, false)
+	return e, err
+}
+
+// InstantiateAnalyzed is Instantiate with per-node instrumentation: every
+// runtime node is wrapped in a timing/counting shim keyed back to the plan
+// tree, and the returned Analyzer renders EXPLAIN ANALYZE lines after the
+// run. Execution semantics are identical — same volatile clamp, same draw
+// order — except the Project-over-HashJoin fusion is skipped so the node
+// tree stays 1:1 with the rendered plan.
+func InstantiateAnalyzed(p *plan.Plan, ctx *Ctx) (*Executor, *Analyzer, error) {
+	return instantiate(p, ctx, true)
+}
+
+func instantiate(p *plan.Plan, ctx *Ctx, analyze bool) (*Executor, *Analyzer, error) {
 	// Volatile plans (random(), setseed(), UDF calls) run tuple-at-a-time:
 	// batch pipelines evaluate one stage over a whole batch before the next
 	// stage runs, which would interleave volatile draws across stages
@@ -39,18 +54,22 @@ func Instantiate(p *plan.Plan, ctx *Ctx) (*Executor, error) {
 		ctx.BatchSize = 1
 	}
 	pc := p.Clone()
-	root, err := instantiateNode(pc.Root)
+	var ana *Analyzer
+	if analyze {
+		ana = newAnalyzer(pc)
+	}
+	root, err := instantiateNode(pc.Root, ana)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defs := make([]Node, len(pc.CTEs))
 	for i, cte := range pc.CTEs {
 		if cte.Plan == nil {
 			continue
 		}
-		defs[i], err = instantiateNode(cte.Plan)
+		defs[i], err = instantiateNode(cte.Plan, ana)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	ctx.cteDefs = defs
@@ -62,7 +81,7 @@ func Instantiate(p *plan.Plan, ctx *Ctx) (*Executor, error) {
 		Plan: p, root: root, ctx: ctx,
 		shim: newRowIter(root, ctx.BatchSize),
 		buf:  NewBatch(ctx.BatchSize),
-	}, nil
+	}, ana, nil
 }
 
 // Ctx exposes the execution context (the engine wires hooks through it).
@@ -148,6 +167,9 @@ func (e *Executor) Shutdown() {
 // teardown recursively clears node state.
 func teardown(n Node) {
 	switch x := n.(type) {
+	case *analyzedNode:
+		teardown(x.inner)
+		x.inner = nil
 	case *filterNode:
 		teardown(x.child)
 		x.child, x.pred, x.in, x.sel = nil, nil, nil, nil

@@ -219,7 +219,7 @@ func buildExpr(e plan.Expr) (*ExprState, error) {
 		}
 		return &ExprState{kind: kField, idx: x.Index, op: x.Name, kids: []*ExprState{k}}, nil
 	case *plan.SubplanExpr:
-		sub, err := instantiateNode(x.Plan)
+		sub, err := instantiateNode(x.Plan, nil)
 		if err != nil {
 			return nil, err
 		}

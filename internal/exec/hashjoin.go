@@ -236,6 +236,8 @@ type hashJoinNode struct {
 	rightStatic bool
 	single      bool // decorrelated scalar subplan: >1 match per left row errors
 
+	stats *NodeStats // EXPLAIN ANALYZE build-side row count; nil otherwise
+
 	table       rowTable
 	built       bool
 	rightOpened bool
@@ -329,7 +331,7 @@ func (n *hashJoinProjectNode) NextBatch(ctx *Ctx, out *Batch) error {
 
 // instantiateHashJoinProject builds the fused Project(HashJoin) node.
 func instantiateHashJoinProject(p *plan.Project, hj *plan.HashJoin) (Node, error) {
-	jn, err := instantiateHashJoin(hj)
+	jn, err := instantiateHashJoin(hj, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -342,12 +344,12 @@ func instantiateHashJoinProject(p *plan.Project, hj *plan.HashJoin) (Node, error
 	return &hashJoinProjectNode{join: join, exprs: exprs}, nil
 }
 
-func instantiateHashJoin(x *plan.HashJoin) (Node, error) {
-	l, err := instantiateNode(x.Left)
+func instantiateHashJoin(x *plan.HashJoin, ana *Analyzer) (Node, error) {
+	l, err := instantiateNode(x.Left, ana)
 	if err != nil {
 		return nil, err
 	}
-	r, err := instantiateNode(x.Right)
+	r, err := instantiateNode(x.Right, ana)
 	if err != nil {
 		return nil, err
 	}
@@ -471,6 +473,9 @@ func (n *hashJoinNode) build(ctx *Ctx) error {
 				keyRow[k] = cols[k][i]
 			}
 			n.table.insert(keyRow, rows[i])
+		}
+		if n.stats != nil {
+			n.stats.BuildRows += int64(m)
 		}
 	}
 	n.built = true

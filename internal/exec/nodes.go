@@ -23,9 +23,10 @@ type Node interface {
 	Close(ctx *Ctx) error
 }
 
-// instantiateNode builds the runtime tree for a plan node. The allocations
-// this performs are the ExecutorStart cost the paper's Table 1 profiles.
-func instantiateNode(p plan.Node) (Node, error) {
+// instantiateNodeRaw builds the runtime node for one plan operator. The
+// allocations this performs are the ExecutorStart cost the paper's Table 1
+// profiles.
+func instantiateNodeRaw(p plan.Node, ana *Analyzer) (Node, error) {
 	switch x := p.(type) {
 	case *plan.Result:
 		exprs, err := instantiateAll(x.Exprs...)
@@ -44,7 +45,7 @@ func instantiateNode(p plan.Node) (Node, error) {
 	case *plan.CTEScan:
 		return &cteScanNode{index: x.Index, working: x.Working}, nil
 	case *plan.Filter:
-		child, err := instantiateNode(x.Child)
+		child, err := instantiateNode(x.Child, ana)
 		if err != nil {
 			return nil, err
 		}
@@ -54,12 +55,15 @@ func instantiateNode(p plan.Node) (Node, error) {
 		}
 		return &filterNode{child: child, pred: pred}, nil
 	case *plan.Project:
-		if hj, ok := x.Child.(*plan.HashJoin); ok {
+		if hj, ok := x.Child.(*plan.HashJoin); ok && ana == nil {
 			// Fuse the projection into the join: combined rows stay
-			// pipeline-internal and recycle one arena.
+			// pipeline-internal and recycle one arena. ANALYZE skips the
+			// fusion — it's a pure optimization, and keeping the node tree
+			// 1:1 with the plan tree lets every rendered line carry its own
+			// actuals.
 			return instantiateHashJoinProject(x, hj)
 		}
-		child, err := instantiateNode(x.Child)
+		child, err := instantiateNode(x.Child, ana)
 		if err != nil {
 			return nil, err
 		}
@@ -69,11 +73,11 @@ func instantiateNode(p plan.Node) (Node, error) {
 		}
 		return &projectNode{child: child, exprs: exprs}, nil
 	case *plan.NestLoop:
-		l, err := instantiateNode(x.Left)
+		l, err := instantiateNode(x.Left, ana)
 		if err != nil {
 			return nil, err
 		}
-		r, err := instantiateNode(x.Right)
+		r, err := instantiateNode(x.Right, ana)
 		if err != nil {
 			return nil, err
 		}
@@ -86,29 +90,29 @@ func instantiateNode(p plan.Node) (Node, error) {
 		}
 		return n, nil
 	case *plan.HashJoin:
-		return instantiateHashJoin(x)
+		return instantiateHashJoin(x, ana)
 	case *plan.Apply:
-		child, err := instantiateNode(x.Child)
+		child, err := instantiateNode(x.Child, ana)
 		if err != nil {
 			return nil, err
 		}
-		sub, err := instantiateNode(x.Sub)
+		sub, err := instantiateNode(x.Sub, ana)
 		if err != nil {
 			return nil, err
 		}
 		return &applyNode{child: child, sub: sub}, nil
 	case *plan.Materialize:
-		child, err := instantiateNode(x.Child)
+		child, err := instantiateNode(x.Child, ana)
 		if err != nil {
 			return nil, err
 		}
 		return &materializeNode{child: child}, nil
 	case *plan.Agg:
-		return instantiateAgg(x)
+		return instantiateAgg(x, ana)
 	case *plan.Window:
-		return instantiateWindow(x)
+		return instantiateWindow(x, ana)
 	case *plan.Sort:
-		child, err := instantiateNode(x.Child)
+		child, err := instantiateNode(x.Child, ana)
 		if err != nil {
 			return nil, err
 		}
@@ -118,7 +122,7 @@ func instantiateNode(p plan.Node) (Node, error) {
 		}
 		return &sortNode{child: child, keys: keys}, nil
 	case *plan.Limit:
-		child, err := instantiateNode(x.Child)
+		child, err := instantiateNode(x.Child, ana)
 		if err != nil {
 			return nil, err
 		}
@@ -137,7 +141,7 @@ func instantiateNode(p plan.Node) (Node, error) {
 		}
 		return n, nil
 	case *plan.Distinct:
-		child, err := instantiateNode(x.Child)
+		child, err := instantiateNode(x.Child, ana)
 		if err != nil {
 			return nil, err
 		}
@@ -145,7 +149,7 @@ func instantiateNode(p plan.Node) (Node, error) {
 	case *plan.Append:
 		n := &appendNode{}
 		for _, c := range x.Children {
-			cn, err := instantiateNode(c)
+			cn, err := instantiateNode(c, ana)
 			if err != nil {
 				return nil, err
 			}
@@ -153,11 +157,11 @@ func instantiateNode(p plan.Node) (Node, error) {
 		}
 		return n, nil
 	case *plan.SetOp:
-		l, err := instantiateNode(x.L)
+		l, err := instantiateNode(x.L, ana)
 		if err != nil {
 			return nil, err
 		}
-		r, err := instantiateNode(x.R)
+		r, err := instantiateNode(x.R, ana)
 		if err != nil {
 			return nil, err
 		}
@@ -173,17 +177,17 @@ func instantiateNode(p plan.Node) (Node, error) {
 		}
 		return n, nil
 	case *plan.RecursiveUnion:
-		nonRec, err := instantiateNode(x.NonRec)
+		nonRec, err := instantiateNode(x.NonRec, ana)
 		if err != nil {
 			return nil, err
 		}
-		rec, err := instantiateNode(x.Rec)
+		rec, err := instantiateNode(x.Rec, ana)
 		if err != nil {
 			return nil, err
 		}
 		return &recursiveUnionNode{nonRec: nonRec, rec: rec, cteIndex: x.CTEIndex, iterate: x.Iterate, dedup: x.Dedup}, nil
 	case *plan.WithNode:
-		child, err := instantiateNode(x.Child)
+		child, err := instantiateNode(x.Child, ana)
 		if err != nil {
 			return nil, err
 		}

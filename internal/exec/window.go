@@ -29,8 +29,8 @@ type windowNode struct {
 	idx   int
 }
 
-func instantiateWindow(x *plan.Window) (Node, error) {
-	child, err := instantiateNode(x.Child)
+func instantiateWindow(x *plan.Window, ana *Analyzer) (Node, error) {
+	child, err := instantiateNode(x.Child, ana)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Upsert: same name returns the same handle.
+	if c2 := r.Counter("test_total", "a counter"); c2 != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("test_active", "a gauge")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_frames_total", "frames", "type")
+	v.With("query").Add(3)
+	v.With("done").Inc()
+	if v.With("query").Value() != 3 || v.With("done").Value() != 1 {
+		t.Fatal("labeled counters diverged")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "latency", []float64{0.01, 0.1, 1})
+	h.Observe(0.005) // bucket 0
+	h.Observe(0.05)  // bucket 1
+	h.Observe(0.05)  // bucket 1
+	h.Observe(5)     // +Inf overflow
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if math.Abs(h.Sum()-5.105) > 1e-9 {
+		t.Fatalf("sum = %v, want 5.105", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		`test_seconds_bucket{le="0.01"} 1`,
+		`test_seconds_bucket{le="0.1"} 3`,
+		`test_seconds_bucket{le="1"} 3`,
+		`test_seconds_bucket{le="+Inf"} 4`,
+		`test_seconds_count 4`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestFuncMetricsReplace(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("test_commits_total", "commits", func() int64 { return 10 })
+	r.CounterFunc("test_commits_total", "commits", func() int64 { return 42 })
+	var b strings.Builder
+	r.WriteText(&b)
+	if !strings.Contains(b.String(), "test_commits_total 42") {
+		t.Fatalf("func counter did not replace: %s", b.String())
+	}
+}
+
+// sampleLine matches one Prometheus text sample: name, optional label
+// set, and a float value.
+var sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (NaN|[-+]?Inf|[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)$`)
+
+// parsePromText is a strict parser for the exposition format subset the
+// registry emits. It returns the sample values keyed by "name{labels}"
+// and fails the test on any malformed line — this is the
+// "/metrics output verified Prometheus-text-parseable" acceptance check.
+func parsePromText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	typed := map[string]string{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown metric type in %q", line)
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil && m[3] != "NaN" && !strings.HasSuffix(m[3], "Inf") {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		// Every sample must belong to a declared family (histograms emit
+		// under name_bucket/_sum/_count).
+		base := m[1]
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if fam := strings.TrimSuffix(base, suf); fam != base && typed[fam] == "histogram" {
+				base = fam
+				break
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			t.Fatalf("sample %q has no TYPE declaration", line)
+		}
+		samples[m[1]+m[2]] = v
+	}
+	return samples
+}
+
+func TestWriteTextParseable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Add(3)
+	r.Gauge("b_active", "b").Set(-1)
+	r.CounterVec("c_total", "c", "phase").With("plan").Add(2)
+	r.Histogram("d_seconds", "d", DurationBuckets).ObserveDuration(3 * time.Millisecond)
+	r.GaugeFunc("e_size", "e", func() int64 { return 9 })
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples := parsePromText(t, b.String())
+	if samples["a_total"] != 3 {
+		t.Fatalf("a_total = %v", samples["a_total"])
+	}
+	if samples[`c_total{phase="plan"}`] != 2 {
+		t.Fatalf("labeled sample missing: %v", samples)
+	}
+	if samples["d_seconds_count"] != 1 {
+		t.Fatalf("histogram count = %v", samples["d_seconds_count"])
+	}
+	if samples[`d_seconds_bucket{le="+Inf"}`] != 1 {
+		t.Fatalf("+Inf bucket = %v", samples[`d_seconds_bucket{le="+Inf"}`])
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "hits").Inc()
+	srv := httptest.NewServer(NewMux(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	parsePromText(t, strings.TrimRight(body, "\n"))
+	if !strings.Contains(body, "hits_total 1") {
+		t.Fatalf("metrics body missing counter: %s", body)
+	}
+	// pprof index answers too.
+	pp, err := srv.Client().Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != 200 {
+		t.Fatalf("pprof index status %d", pp.StatusCode)
+	}
+}
+
+func TestGather(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x").Add(2)
+	h := r.Histogram("y_seconds", "y", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(100)
+	ms := r.Gather()
+	if len(ms) != 2 {
+		t.Fatalf("gathered %d families, want 2", len(ms))
+	}
+	if ms[0].Name != "x_total" || *ms[0].Samples[0].Value != 2 {
+		t.Fatalf("counter snapshot wrong: %+v", ms[0])
+	}
+	y := ms[1]
+	if y.Type != "histogram" || *y.Samples[0].Count != 2 || len(y.Samples[0].Buckets) != 2 {
+		t.Fatalf("histogram snapshot wrong: %+v", y)
+	}
+	if y.Samples[0].Buckets[0].Count != 1 {
+		t.Fatalf("bucket cum count = %d, want 1", y.Samples[0].Buckets[0].Count)
+	}
+}
+
+// TestConcurrentRegistry hammers one registry from many goroutines —
+// increments, vec lookups, histogram observes, and renders racing — and
+// then checks the totals. Run with -race this is the registry's
+// thread-safety proof.
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := r.Counter("conc_total", "x")
+			v := r.CounterVec("conc_vec_total", "x", "who")
+			h := r.Histogram("conc_seconds", "x", DurationBuckets)
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				v.With([]string{"a", "b", "c"}[i%3]).Inc()
+				h.Observe(float64(i%100) / 1000)
+				if i%500 == 0 {
+					var b strings.Builder
+					r.WriteText(&b)
+					r.Gather()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("conc_total", "x").Value(); got != workers*perWorker {
+		t.Fatalf("lost updates: %d, want %d", got, workers*perWorker)
+	}
+	h := r.Histogram("conc_seconds", "x", DurationBuckets)
+	if h.Count() != workers*perWorker {
+		t.Fatalf("histogram lost observations: %d", h.Count())
+	}
+	var b strings.Builder
+	r.WriteText(&b)
+	parsePromText(t, b.String())
+}

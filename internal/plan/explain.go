@@ -9,7 +9,14 @@ import (
 // statement's output, and the shape golden tests pin inlining and join
 // decisions against. The format is deliberately stable: one node per
 // line, two-space indentation per level, attributes in a fixed order.
-func (p *Plan) Explain() []string {
+func (p *Plan) Explain() []string { return p.ExplainAnnotated(nil) }
+
+// ExplainAnnotated is Explain with a per-node suffix hook: annot (when
+// non-nil) receives each rendered node and returns text appended to its
+// line — EXPLAIN ANALYZE plugs runtime actuals in here without the
+// executor package needing its own renderer (exec depends on plan, not
+// the reverse, so the stats travel as an opaque callback).
+func (p *Plan) ExplainAnnotated(annot func(Node) string) []string {
 	var out []string
 	out = append(out, fmt.Sprintf("Plan (nodes=%d inlined=%d specialized=%d)",
 		p.NodeCount, p.InlinedCalls, p.SpecializedCalls))
@@ -19,18 +26,22 @@ func (p *Plan) Explain() []string {
 			rec = " recursive"
 		}
 		out = append(out, fmt.Sprintf("CTE %s [%d]%s", cte.Name, i, rec))
-		out = explainNode(out, cte.Plan, 1)
+		out = explainNode(out, cte.Plan, 1, annot)
 	}
-	return explainNode(out, p.Root, 0)
+	return explainNode(out, p.Root, 0, annot)
 }
 
-func explainNode(out []string, n Node, depth int) []string {
+func explainNode(out []string, n Node, depth int, annot func(Node) string) []string {
 	if n == nil {
 		return out
 	}
 	pad := strings.Repeat("  ", depth)
+	suffix := ""
+	if annot != nil {
+		suffix = annot(n)
+	}
 	line := func(format string, args ...any) {
-		out = append(out, pad+fmt.Sprintf(format, args...))
+		out = append(out, pad+fmt.Sprintf(format, args...)+suffix)
 	}
 	switch x := n.(type) {
 	case *Result:
@@ -47,18 +58,18 @@ func explainNode(out []string, n Node, depth int) []string {
 		}
 	case *Filter:
 		line("Filter %s", exprStr(x.Pred))
-		out = explainNode(out, x.Child, depth+1)
+		out = explainNode(out, x.Child, depth+1, annot)
 	case *Project:
 		line("Project %s", exprList(x.Exprs))
-		out = explainNode(out, x.Child, depth+1)
+		out = explainNode(out, x.Child, depth+1, annot)
 	case *NestLoop:
 		attrs := joinKindName(x.Kind)
 		if x.On != nil {
 			attrs += ", on " + exprStr(x.On)
 		}
 		line("NestLoop (%s)", attrs)
-		out = explainNode(out, x.Left, depth+1)
-		out = explainNode(out, x.Right, depth+1)
+		out = explainNode(out, x.Left, depth+1, annot)
+		out = explainNode(out, x.Right, depth+1, annot)
 	case *HashJoin:
 		attrs := joinKindName(x.Kind)
 		if x.SingleRow {
@@ -72,15 +83,15 @@ func explainNode(out []string, n Node, depth int) []string {
 			attrs += ", residual " + exprStr(x.Residual)
 		}
 		line("HashJoin (%s)", attrs)
-		out = explainNode(out, x.Left, depth+1)
-		out = explainNode(out, x.Right, depth+1)
+		out = explainNode(out, x.Left, depth+1, annot)
+		out = explainNode(out, x.Right, depth+1, annot)
 	case *Apply:
 		line("Apply")
-		out = explainNode(out, x.Child, depth+1)
-		out = explainNode(out, x.Sub, depth+1)
+		out = explainNode(out, x.Child, depth+1, annot)
+		out = explainNode(out, x.Sub, depth+1, annot)
 	case *Materialize:
 		line("Materialize")
-		out = explainNode(out, x.Child, depth+1)
+		out = explainNode(out, x.Child, depth+1, annot)
 	case *Agg:
 		var parts []string
 		for _, a := range x.Aggs {
@@ -101,14 +112,14 @@ func explainNode(out []string, n Node, depth int) []string {
 		} else {
 			line("Agg [%s]", strings.Join(parts, ", "))
 		}
-		out = explainNode(out, x.Child, depth+1)
+		out = explainNode(out, x.Child, depth+1, annot)
 	case *Window:
 		names := make([]string, len(x.Funcs))
 		for i, f := range x.Funcs {
 			names[i] = f.Func
 		}
 		line("Window [%s]", strings.Join(names, ", "))
-		out = explainNode(out, x.Child, depth+1)
+		out = explainNode(out, x.Child, depth+1, annot)
 	case *Sort:
 		keys := make([]string, len(x.Keys))
 		for i, k := range x.Keys {
@@ -118,7 +129,7 @@ func explainNode(out []string, n Node, depth int) []string {
 			}
 		}
 		line("Sort [%s]", strings.Join(keys, ", "))
-		out = explainNode(out, x.Child, depth+1)
+		out = explainNode(out, x.Child, depth+1, annot)
 	case *Limit:
 		attrs := ""
 		if x.Limit != nil {
@@ -128,14 +139,14 @@ func explainNode(out []string, n Node, depth int) []string {
 			attrs += " offset " + exprStr(x.Offset)
 		}
 		line("Limit%s", attrs)
-		out = explainNode(out, x.Child, depth+1)
+		out = explainNode(out, x.Child, depth+1, annot)
 	case *Distinct:
 		line("Distinct")
-		out = explainNode(out, x.Child, depth+1)
+		out = explainNode(out, x.Child, depth+1, annot)
 	case *Append:
 		line("Append")
 		for _, c := range x.Children {
-			out = explainNode(out, c, depth+1)
+			out = explainNode(out, c, depth+1, annot)
 		}
 	case *SetOp:
 		all := ""
@@ -143,8 +154,8 @@ func explainNode(out []string, n Node, depth int) []string {
 			all = " all"
 		}
 		line("SetOp %s%s", strings.ToLower(x.Op), all)
-		out = explainNode(out, x.L, depth+1)
-		out = explainNode(out, x.R, depth+1)
+		out = explainNode(out, x.L, depth+1, annot)
+		out = explainNode(out, x.R, depth+1, annot)
 	case *ValuesNode:
 		line("Values (%d rows, width %d)", len(x.Rows), x.Wid)
 	case *RecursiveUnion:
@@ -156,15 +167,15 @@ func explainNode(out []string, n Node, depth int) []string {
 			attrs += ", dedup"
 		}
 		line("RecursiveUnion (%s)", attrs)
-		out = explainNode(out, x.NonRec, depth+1)
-		out = explainNode(out, x.Rec, depth+1)
+		out = explainNode(out, x.NonRec, depth+1, annot)
+		out = explainNode(out, x.Rec, depth+1, annot)
 	case *WithNode:
 		idx := make([]string, len(x.Indices))
 		for i, ix := range x.Indices {
 			idx[i] = fmt.Sprintf("%d", ix)
 		}
 		line("With [%s]", strings.Join(idx, ","))
-		out = explainNode(out, x.Child, depth+1)
+		out = explainNode(out, x.Child, depth+1, annot)
 	default:
 		line("%T", n)
 	}

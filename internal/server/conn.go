@@ -151,6 +151,7 @@ func (c *conn) readLoop() {
 			}
 			return
 		}
+		c.srv.metrics.noteIn(typ, len(payload))
 		msg, err := wire.Decode(typ, payload)
 		if err != nil {
 			// The frame boundary is intact — report the malformed payload
@@ -197,9 +198,17 @@ func (c *conn) respond(req request) {
 		c.writeDone()
 	case *wire.StatsRequest:
 		inlined, specialized, evicted := c.sess.PlanStats()
+		hits, misses := c.sess.PlanCacheStats()
 		c.write(&wire.StatsReply{
 			Stats: c.sess.StorageStats().Snapshot(),
-			Plans: wire.PlanStats{PlansInlined: inlined, SpecializedPlans: specialized, CacheEvictions: evicted},
+			Plans: wire.PlanStats{
+				PlansInlined: inlined, SpecializedPlans: specialized, CacheEvictions: evicted,
+				CacheHits: hits, CacheMisses: misses,
+			},
+			ActiveConns: c.srv.ConnCount(),
+			// Pre-v5 clients expect the 14-field frame; the tail would be
+			// trailing garbage to them.
+			Legacy: c.version < wire.ExtendedStatsVersion,
 		})
 	default:
 		c.writeError(fmt.Errorf("unexpected frame %c from client", req.msg.Type()))
@@ -313,6 +322,8 @@ func (c *conn) write(m wire.Message) error {
 		c.srv.opts.Logf("server: %s write: %v", c.nc.RemoteAddr(), err)
 		return err
 	}
+	// c.enc still holds the frame's payload after the buffered write.
+	c.srv.metrics.noteOut(m.Type(), len(c.enc.Bytes()))
 	return nil
 }
 

@@ -57,8 +57,10 @@ func (o *Options) defaults() {
 
 // Server accepts wire-protocol connections onto one shared engine.
 type Server struct {
-	eng  *engine.Engine
-	opts Options
+	eng     *engine.Engine
+	opts    Options
+	metrics *srvMetrics  // nil unless the engine carries a registry
+	nconns  atomic.Int64 // live connections, for StatsReply.ActiveConns
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -67,11 +69,19 @@ type Server struct {
 	wg       sync.WaitGroup // one per live connection
 }
 
-// New builds a server over e.
+// New builds a server over e. When e was built with a metrics registry,
+// the server publishes its connection and wire-traffic series into it.
 func New(e *engine.Engine, opts Options) *Server {
 	opts.defaults()
-	return &Server{eng: e, opts: opts, conns: map[*conn]struct{}{}}
+	s := &Server{eng: e, opts: opts, conns: map[*conn]struct{}{}}
+	if reg := e.Metrics(); reg != nil {
+		s.metrics = newSrvMetrics(reg)
+	}
+	return s
 }
+
+// ConnCount reports the number of currently open connections.
+func (s *Server) ConnCount() int64 { return s.nconns.Load() }
 
 // ErrServerClosed is returned by Serve after Shutdown.
 var ErrServerClosed = errors.New("server: closed")
@@ -113,11 +123,15 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.conns[c] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
+		s.nconns.Add(1)
+		s.metrics.noteConnOpen()
 		go func() {
 			defer func() {
 				s.mu.Lock()
 				delete(s.conns, c)
 				s.mu.Unlock()
+				s.nconns.Add(-1)
+				s.metrics.noteConnClose()
 				s.wg.Done()
 			}()
 			c.serve()

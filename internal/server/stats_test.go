@@ -1,0 +1,182 @@
+package server
+
+// Wire-level observability tests: the StatsReply version negotiation
+// (v5 extended tail vs the legacy shape pre-v5 clients expect) and the
+// server's traffic metrics.
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"plsqlaway/internal/engine"
+	"plsqlaway/internal/obs"
+	"plsqlaway/internal/wire"
+)
+
+// startEngine serves the given engine, returning the server and address.
+func startEngine(t *testing.T, e *engine.Engine) (*Server, string) {
+	t.Helper()
+	srv := New(e, Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-done
+	})
+	return srv, ln.Addr().String()
+}
+
+// rawConnAt dials and completes the handshake at a chosen protocol
+// version.
+func rawConnAt(t *testing.T, addr string, version uint32) (*bufio.Reader, *bufio.Writer) {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	br, bw := bufio.NewReader(nc), bufio.NewWriter(nc)
+	if err := wire.WriteMessage(bw, &wire.Startup{Version: version, Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+	msg, err := wire.ReadMessage(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := msg.(*wire.Ready); !ok {
+		t.Fatalf("handshake answered %T", msg)
+	}
+	return br, bw
+}
+
+func statsRoundTrip(t *testing.T, br *bufio.Reader, bw *bufio.Writer) *wire.StatsReply {
+	t.Helper()
+	if err := wire.WriteMessage(bw, &wire.StatsRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+	msg, err := wire.ReadMessage(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := msg.(*wire.StatsReply)
+	if !ok {
+		t.Fatalf("stats request answered %T", msg)
+	}
+	return st
+}
+
+// TestStatsReplyVersionNegotiation pins both directions of the v5 frame
+// growth: a v4 session gets the legacy 14-field shape (and its decoder
+// reports Legacy), a v5 session gets the extended tail with the live
+// connection count.
+func TestStatsReplyVersionNegotiation(t *testing.T) {
+	_, addr := startEngine(t, engine.New(engine.WithSeed(42)))
+
+	br4, bw4 := rawConnAt(t, addr, 4)
+	st := statsRoundTrip(t, br4, bw4)
+	if !st.Legacy {
+		t.Error("v4 session should receive the legacy StatsReply shape")
+	}
+	if st.ActiveConns != 0 || st.Plans.CacheHits != 0 {
+		t.Errorf("legacy reply must not carry v5 fields: %+v", st)
+	}
+
+	br5, bw5 := rawConnAt(t, addr, 5)
+	st = statsRoundTrip(t, br5, bw5)
+	if st.Legacy {
+		t.Error("v5 session should receive the extended StatsReply shape")
+	}
+	if st.ActiveConns < 2 {
+		t.Errorf("ActiveConns = %d, want ≥ 2 (both test connections open)", st.ActiveConns)
+	}
+}
+
+// TestServerTrafficMetrics runs a query through an instrumented server
+// and asserts the connection gauge and per-frame traffic counters moved,
+// and that the registry's text render stays Prometheus-parseable with
+// the server families included.
+func TestServerTrafficMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := engine.New(engine.WithSeed(42), engine.WithMetricsRegistry(reg))
+	if err := e.Exec("CREATE TABLE t (n int); INSERT INTO t VALUES (1), (2), (3)"); err != nil {
+		t.Fatal(err)
+	}
+	srv, addr := startEngine(t, e)
+
+	br, bw := rawConnAt(t, addr, wire.ProtocolVersion)
+	if err := wire.WriteMessage(bw, &wire.Query{SQL: "SELECT n FROM t ORDER BY n"}); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+	for {
+		msg, err := wire.ReadMessage(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := msg.(*wire.Done); ok {
+			break
+		}
+		if em, ok := msg.(*wire.Error); ok {
+			t.Fatalf("query failed: %s", em.Message)
+		}
+	}
+
+	if n := srv.ConnCount(); n != 1 {
+		t.Errorf("ConnCount = %d, want 1", n)
+	}
+	series := map[string]map[string]float64{}
+	gauges := map[string]float64{}
+	for _, m := range reg.Gather() {
+		bylabel := map[string]float64{}
+		for _, s := range m.Samples {
+			if s.Value != nil {
+				bylabel[s.Label] = *s.Value
+				gauges[m.Name] = *s.Value
+			}
+		}
+		series[m.Name] = bylabel
+	}
+	if v := series["plsql_server_frames_in_total"]["query"]; v < 1 {
+		t.Errorf("frames_in{frame=query} = %v, want ≥ 1", v)
+	}
+	if v := series["plsql_server_frames_out_total"]["done"]; v < 1 {
+		t.Errorf("frames_out{frame=done} = %v, want ≥ 1", v)
+	}
+	if v := series["plsql_server_bytes_out_total"]["row_desc"]; v < 6 {
+		t.Errorf("bytes_out{frame=row_desc} = %v, want ≥ 6 (header + payload)", v)
+	}
+	if v := gauges["plsql_server_active_connections"]; v != 1 {
+		t.Errorf("active_connections = %v, want 1", v)
+	}
+	if v := gauges["plsql_server_connections_total"]; v < 1 {
+		t.Errorf("connections_total = %v, want ≥ 1", v)
+	}
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`plsql_server_frames_in_total{frame="query"}`,
+		`plsql_server_active_connections`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("text render missing %s:\n%s", want, sb.String())
+		}
+	}
+}

@@ -480,11 +480,14 @@ type Transaction struct {
 	Kind TxnKind
 }
 
-// Explain is EXPLAIN <query>: the query is planned (through the same
-// cache and options as execution, so UDF inlining and specialization
-// show) but not run; the plan tree renders as one text column.
+// Explain is EXPLAIN [ANALYZE] <query>: the query is planned (through the
+// same cache and options as execution, so UDF inlining and specialization
+// show) and the plan tree renders as one text column. With Analyze the
+// query also runs to completion under per-node instrumentation and each
+// line carries its actuals (rows, batches, wall time).
 type Explain struct {
-	Query *Query
+	Query   *Query
+	Analyze bool
 }
 
 func (*SelectStatement) isNode() {}

@@ -154,6 +154,9 @@ func (p *printer) statement(s Statement) {
 		p.ws(s.Kind.String())
 	case *Explain:
 		p.ws("EXPLAIN ")
+		if s.Analyze {
+			p.ws("ANALYZE ")
+		}
 		p.query(s.Query)
 	default:
 		p.wf("/* unknown statement %T */", s)

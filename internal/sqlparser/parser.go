@@ -201,11 +201,16 @@ func (p *Parser) parseStatement() (sqlast.Statement, error) {
 		return p.parseTxn(sqlast.TxnRollback)
 	case t.IsKeyword("EXPLAIN"):
 		p.next()
+		analyze := false
+		if p.peek().IsKeyword("ANALYZE") {
+			p.next()
+			analyze = true
+		}
 		q, err := p.parseQuery()
 		if err != nil {
 			return nil, err
 		}
-		return &sqlast.Explain{Query: q}, nil
+		return &sqlast.Explain{Query: q, Analyze: analyze}, nil
 	}
 	return nil, p.errf("unexpected %q at start of statement", t.Text)
 }

@@ -33,6 +33,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"plsqlaway/internal/storage"
 )
@@ -96,6 +97,12 @@ type Config struct {
 	// with O_CREATE|O_WRONLY|O_APPEND. Fault-injection tests substitute
 	// failing files here.
 	OpenFile func(path string) (File, error)
+	// ObserveFsync (optional) receives each fsync's wall time in seconds;
+	// ObserveBatch receives the number of records each fsync made durable
+	// (the group-commit batch size). Plain callbacks keep the WAL free of
+	// any metrics dependency — the engine wires them to its registry.
+	ObserveFsync func(seconds float64)
+	ObserveBatch func(records int64)
 }
 
 // LogPath names epoch's log file inside dir. Each checkpoint starts a
@@ -110,10 +117,13 @@ func LogPath(dir string, epoch uint64) string {
 // (the engine's commit lock); WaitDurable may be called from any number
 // of goroutines concurrently.
 type WAL struct {
-	dir   string
-	mode  SyncMode
-	stats *storage.Stats
-	open  func(path string) (File, error)
+	dir          string
+	mode         SyncMode
+	stats        *storage.Stats
+	open         func(path string) (File, error)
+	obsFsync     func(float64)
+	obsBatch     func(int64)
+	sinceSync    atomic.Int64 // records appended since the last fsync
 
 	// mu guards the file handle and the written watermark.
 	mu      sync.Mutex
@@ -159,14 +169,16 @@ func Open(dir string, epoch uint64, cfg Config) (*WAL, error) {
 		size = st.Size()
 	}
 	w := &WAL{
-		dir:     dir,
-		mode:    cfg.Mode,
-		stats:   cfg.Stats,
-		open:    open,
-		f:       f,
-		path:    path,
-		written: size,
-		durable: size,
+		dir:      dir,
+		mode:     cfg.Mode,
+		stats:    cfg.Stats,
+		open:     open,
+		obsFsync: cfg.ObserveFsync,
+		obsBatch: cfg.ObserveBatch,
+		f:        f,
+		path:     path,
+		written:  size,
+		durable:  size,
 	}
 	w.dcond = sync.NewCond(&w.dmu)
 	if cfg.Mode == SyncBatched {
@@ -180,6 +192,34 @@ func Open(dir string, epoch uint64, cfg Config) (*WAL, error) {
 
 // Mode reports the WAL's sync mode.
 func (w *WAL) Mode() SyncMode { return w.mode }
+
+// Size reports the current log's length in bytes — the auto-checkpoint
+// trigger reads it after each commit. Resets to zero on Rotate.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.written
+}
+
+// sync runs one fsync with the optional latency/batch observers charged
+// around it — the single funnel for all three fsync sites (per-commit,
+// flusher, close).
+func (w *WAL) sync(f File) error {
+	start := time.Now()
+	err := f.Sync()
+	if w.obsFsync != nil {
+		w.obsFsync(time.Since(start).Seconds())
+	}
+	if w.stats != nil {
+		atomic.AddInt64(&w.stats.WALFsyncs, 1)
+	}
+	if w.obsBatch != nil {
+		if n := w.sinceSync.Swap(0); n > 0 {
+			w.obsBatch(n)
+		}
+	}
+	return err
+}
 
 // Append frames, checksums, and writes one record, returning the LSN a
 // committer passes to WaitDurable (the log offset just past the record).
@@ -206,6 +246,7 @@ func (w *WAL) Append(rec *Record) (int64, error) {
 		return 0, err
 	}
 	w.written += int64(len(frame))
+	w.sinceSync.Add(1)
 	if w.stats != nil {
 		atomic.AddInt64(&w.stats.WALRecords, 1)
 		atomic.AddInt64(&w.stats.WALBytes, int64(len(frame)))
@@ -249,10 +290,7 @@ func (w *WAL) syncTo(lsn int64) error {
 	if err := w.failedErr(); err != nil {
 		return err
 	}
-	err := f.Sync()
-	if w.stats != nil {
-		atomic.AddInt64(&w.stats.WALFsyncs, 1)
-	}
+	err := w.sync(f)
 	w.dmu.Lock()
 	defer w.dmu.Unlock()
 	if err != nil {
@@ -288,10 +326,7 @@ func (w *WAL) flusher() {
 		if uptodate {
 			continue
 		}
-		err := f.Sync()
-		if w.stats != nil {
-			atomic.AddInt64(&w.stats.WALFsyncs, 1)
-		}
+		err := w.sync(f)
 		w.dmu.Lock()
 		if err != nil {
 			if w.broken == nil {
@@ -352,10 +387,8 @@ func (w *WAL) Close() error {
 	}
 	var err error
 	if w.failedErr() == nil {
-		if serr := f.Sync(); serr != nil {
+		if serr := w.sync(f); serr != nil {
 			err = fmt.Errorf("wal: close fsync: %w", serr)
-		} else if w.stats != nil {
-			atomic.AddInt64(&w.stats.WALFsyncs, 1)
 		}
 	}
 	// Wake any committers still parked in WaitDurable.

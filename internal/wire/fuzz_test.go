@@ -30,6 +30,21 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{'b', 0x00, 0x00, 0x00, 0x03, 0xE8, 0x07, 0x00})
 	f.Add([]byte{'b', 0x00, 0x00, 0x00, 0x07, 0x10, 0x01, 0x01, 0x00, 0x00, 0x01, 0x02})
 	f.Add([]byte{'b', 0x00, 0x00, 0x00, 0x04, 0x04, 0x01, 0x05, 0x00})
+	// v5 additions: an EXPLAIN ANALYZE query text, and StatsReply payloads
+	// around the legacy/extended boundary — exactly legacy-length (must
+	// decode with Legacy set), and legacy plus a partial tail (must error,
+	// not mis-frame).
+	{
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, &Query{SQL: "EXPLAIN ANALYZE SELECT dist(src, dst) FROM hops"}); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	legacyStats := append([]byte{'s', 0x00, 0x00, 0x00, 14 * 8}, make([]byte, 14*8)...)
+	f.Add(legacyStats)
+	partialStats := append([]byte{'s', 0x00, 0x00, 0x00, 14*8 + 8}, make([]byte, 14*8+8)...)
+	f.Add(partialStats)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)

@@ -321,21 +321,33 @@ func (m *ParseOK) decode(d *Decoder) {
 	m.IsQuery = d.Bool()
 }
 
-// PlanStats carries the shared plan cache's inlining counters: calls
-// inlined into plans, constant-specialized call sites, and entries
-// evicted (cap pressure or DDL invalidation).
+// PlanStats carries the shared plan cache's counters: calls inlined into
+// plans, constant-specialized call sites, entries evicted (cap pressure
+// or DDL invalidation), and — since protocol v5 — cache hits and misses.
 type PlanStats struct {
 	PlansInlined     int64
 	SpecializedPlans int64
 	CacheEvictions   int64
+	CacheHits        int64 // v5+; zero on legacy frames
+	CacheMisses      int64 // v5+; zero on legacy frames
 }
 
 // StatsReply carries the engine's storage counters (Table 2 page writes
-// plus the MVCC commit/vacuum counters) and the plan cache's inlining
-// counters.
+// plus the MVCC commit/vacuum counters), the plan cache's counters, and
+// — since protocol v5 — the server's live connection count.
+//
+// The v5 fields grew at the frame's tail: a server answering a v3/v4
+// client sets Legacy and omits them, and a decoder facing a short (v4)
+// payload leaves them zero and reports Legacy — both directions of a
+// mixed-version conversation keep framing intact.
 type StatsReply struct {
-	Stats storage.StatsSnapshot
-	Plans PlanStats
+	Stats       storage.StatsSnapshot
+	Plans       PlanStats
+	ActiveConns int64 // v5+; open wire connections on the serving plsqld
+
+	// Legacy marks the pre-v5 frame shape: set it before encoding for an
+	// old peer; set by decode when the payload lacks the v5 tail.
+	Legacy bool
 }
 
 func (*StatsReply) Type() byte { return TypeStatsReply }
@@ -354,6 +366,12 @@ func (m *StatsReply) encode(e *Encoder) {
 	e.Int64(m.Plans.PlansInlined)
 	e.Int64(m.Plans.SpecializedPlans)
 	e.Int64(m.Plans.CacheEvictions)
+	if m.Legacy {
+		return
+	}
+	e.Int64(m.Plans.CacheHits)
+	e.Int64(m.Plans.CacheMisses)
+	e.Int64(m.ActiveConns)
 }
 func (m *StatsReply) decode(d *Decoder) {
 	m.Stats.PageWrites = d.Int64()
@@ -370,4 +388,11 @@ func (m *StatsReply) decode(d *Decoder) {
 	m.Plans.PlansInlined = d.Int64()
 	m.Plans.SpecializedPlans = d.Int64()
 	m.Plans.CacheEvictions = d.Int64()
+	if d.Err() == nil && d.Remaining() == 0 {
+		m.Legacy = true
+		return
+	}
+	m.Plans.CacheHits = d.Int64()
+	m.Plans.CacheMisses = d.Int64()
+	m.ActiveConns = d.Int64()
 }

@@ -57,8 +57,11 @@ var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrameLen")
 // streamed ahead of a response's terminator). Version 3 added the Error
 // code field (retryable-failure classification) and the durability stats
 // fields. Version 4 added the columnar ColBatch result frame and the
-// streaming result path.
-const ProtocolVersion uint32 = 4
+// streaming result path. Version 5 appended observability fields to
+// StatsReply (plan-cache hit/miss counters, active connection count) —
+// the frame grew at its tail, so v3/v4 peers keep exchanging the old
+// shape (see StatsReply.Legacy).
+const ProtocolVersion uint32 = 5
 
 // MinProtocolVersion is the oldest startup version the server still
 // accepts: v3 clients negotiate row-major RowBatch results and never see
@@ -69,6 +72,11 @@ const MinProtocolVersion uint32 = 3
 // ColBatch frames; the server only sends them on sessions negotiated at
 // this version or later.
 const ColBatchVersion uint32 = 4
+
+// ExtendedStatsVersion is the first protocol version whose StatsReply
+// carries the observability tail (cache hits/misses, active connections);
+// servers answer older sessions with the legacy shape.
+const ExtendedStatsVersion uint32 = 5
 
 // Error codes classify server-reported failures so clients can react
 // without string-matching: a CodeSerialization error means the whole
@@ -116,6 +124,49 @@ const (
 	TypeStatsReply byte = 's'
 	TypeNotice     byte = 'n'
 )
+
+// TypeName returns a stable lowercase name for a frame type byte —
+// metric label material (per-frame traffic counters) and log text.
+// Unknown bytes map to "unknown".
+func TypeName(typ byte) string {
+	switch typ {
+	case TypeStartup:
+		return "startup"
+	case TypeQuery:
+		return "query"
+	case TypeParse:
+		return "parse"
+	case TypeExecute:
+		return "execute"
+	case TypeCloseStmt:
+		return "close_stmt"
+	case TypeSeed:
+		return "seed"
+	case TypeStatsReq:
+		return "stats_request"
+	case TypeTerminate:
+		return "terminate"
+	case TypeReady:
+		return "ready"
+	case TypeRowDesc:
+		return "row_desc"
+	case TypeRowBatch:
+		return "row_batch"
+	case TypeColBatch:
+		return "col_batch"
+	case TypeDone:
+		return "done"
+	case TypeError:
+		return "error"
+	case TypeParseOK:
+		return "parse_ok"
+	case TypeStatsReply:
+		return "stats_reply"
+	case TypeNotice:
+		return "notice"
+	}
+	return "unknown"
+}
 
 // WriteFrame writes one frame (header + payload) to w. Oversized
 // payloads fail with ErrFrameTooLarge before any bytes are written.

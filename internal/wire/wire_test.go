@@ -66,7 +66,12 @@ func sampleMessages() []Message {
 		&StatsReply{Stats: storage.StatsSnapshot{
 			PageWrites: 1, PagesAlloc: 2, TuplesWritten: 3, BytesWritten: 4,
 			Commits: 5, Vacuums: 6, VersionsReclaimed: 7,
-		}, Plans: PlanStats{PlansInlined: 8, SpecializedPlans: 9, CacheEvictions: 10}},
+		}, Plans: PlanStats{
+			PlansInlined: 8, SpecializedPlans: 9, CacheEvictions: 10,
+			CacheHits: 11, CacheMisses: 12,
+		}, ActiveConns: 3},
+		&StatsReply{Stats: storage.StatsSnapshot{PageWrites: 1},
+			Plans: PlanStats{PlansInlined: 2}, Legacy: true},
 	}
 }
 
