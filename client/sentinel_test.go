@@ -53,7 +53,7 @@ func TestSentinelOverWire(t *testing.T) {
 	}
 	defer c2.Close()
 
-	if err := c1.Exec("CREATE TABLE t (a int)"); err != nil {
+	if err := c1.Exec("CREATE TABLE t (a int); INSERT INTO t VALUES (1)"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -65,7 +65,7 @@ func TestSentinelOverWire(t *testing.T) {
 	if err := c1.Exec("SELECT * FROM missing"); err == nil {
 		t.Fatal("query on missing table succeeded")
 	}
-	err = c1.Exec("INSERT INTO t VALUES (1)")
+	err = c1.Exec("INSERT INTO t VALUES (2)")
 	if !errors.Is(err, client.ErrTxnAborted) {
 		t.Fatalf("statement on aborted block: %v, want errors.Is ErrTxnAborted", err)
 	}
@@ -76,19 +76,21 @@ func TestSentinelOverWire(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Serialization failure: c2 commits between c1's BEGIN and first write.
+	// Serialization failure: both sides update the same row; c1 buffers
+	// first but c2 commits first, so c1's COMMIT loses (first-updater-wins
+	// is validated per row at commit time, not at the write statement).
 	if err := c1.Begin(); err != nil {
 		t.Fatal(err)
 	}
-	if err := c2.Exec("INSERT INTO t VALUES (2)"); err != nil {
+	if err := c1.Exec("UPDATE t SET a = 10 WHERE a = 1"); err != nil {
 		t.Fatal(err)
 	}
-	err = c1.Exec("INSERT INTO t VALUES (3)")
+	if err := c2.Exec("UPDATE t SET a = 20 WHERE a = 1"); err != nil {
+		t.Fatal(err)
+	}
+	err = c1.Commit()
 	if !errors.Is(err, client.ErrSerialization) {
-		t.Fatalf("stale-snapshot write: %v, want errors.Is ErrSerialization", err)
-	}
-	if err := c1.Rollback(); err != nil {
-		t.Fatal(err)
+		t.Fatalf("conflicting COMMIT: %v, want errors.Is ErrSerialization", err)
 	}
 
 	// A generic failure matches neither sentinel.

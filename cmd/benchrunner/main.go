@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchrunner [-experiment table1|fig10|fig11a|fig11b|table2|ablations|parallel|batchsweep|widescan|mixed|all]
+//	benchrunner [-experiment table1|fig10|fig11a|fig11b|table2|ablations|parallel|batchsweep|widescan|mixed|contention|all]
 //	            [-quick] [-parallel N] [-writeratio F] [-batchsize LIST] [-metrics] [-format text|json]
 //
 // -experiment also accepts a comma-separated list (e.g.
@@ -32,6 +32,13 @@
 // claim that readers never wait for writers. Combine with -parallel N to
 // set the sweep's upper end; given on its own it runs just the mixed
 // experiment (it replaces the read-only -parallel sweep).
+//
+// -experiment contention runs the optimistic-write-path sweep: N sessions
+// each running explicit transaction blocks (BEGIN; point UPDATEs; COMMIT)
+// over disjoint key partitions and over a shared hot set, reporting
+// transaction throughput, serialization conflicts, and the retry rate.
+// Disjoint writers should scale; overlapping writers should conflict and
+// retry without ever losing or duplicating an update.
 //
 // -batchsize runs the batch executor sweep: the WITH RECURSIVE
 // graphtraverse frontier expansion at each listed executor batch size
@@ -67,7 +74,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1, fig10, fig11a, fig11b, table2, ablations, parallel, batchsweep, widescan, mixed, udfcall, or all")
+	experiment := flag.String("experiment", "all", "table1, fig10, fig11a, fig11b, table2, ablations, parallel, batchsweep, widescan, mixed, contention, udfcall, or all")
 	quick := flag.Bool("quick", false, "reduced workload sizes")
 	parallel := flag.Int("parallel", 0, "max concurrent sessions for the scaling experiment (0 = off)")
 	writeratio := flag.Float64("writeratio", -1, "fraction of ops that are writes in the mixed read/write sweep (-1 = off)")
@@ -361,6 +368,22 @@ func main() {
 			return nil, "", err
 		}
 		return rows, bench.FormatMixed(rows), nil
+	})
+
+	section("contention", func() (any, string, error) {
+		cfg := bench.ContentionConfig{MaxWorkers: *parallel}
+		if cfg.MaxWorkers == 0 {
+			cfg.MaxWorkers = 8
+		}
+		if *quick {
+			cfg.Txns = 128
+			cfg.TableRows = 512
+		}
+		rows, err := bench.ContentionSweep(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, bench.FormatContention(rows), nil
 	})
 
 	section("remote", func() (any, string, error) {

@@ -80,6 +80,7 @@ func main() {
 	var reg *obs.Registry
 	if *metricsAddr != "" {
 		reg = obs.NewRegistry()
+		obs.RegisterProcessMetrics(reg)
 		opts = append(opts, engine.WithMetricsRegistry(reg))
 	}
 	if *slowQueryMS > 0 {

@@ -20,11 +20,13 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"plsqlaway/client"
 	"plsqlaway/internal/catalog"
 	"plsqlaway/internal/core"
 	"plsqlaway/internal/engine"
+	"plsqlaway/internal/obs"
 	"plsqlaway/internal/profile"
 	"plsqlaway/internal/sqlast"
 )
@@ -73,8 +75,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		e := engine.New(engine.WithProfile(prof), engine.WithSeed(*seed))
-		b = &localBackend{e: e, s: e.NewSession()}
+		// The embedded engine publishes into a private metrics registry so
+		// \stats can summarize latency distributions (p50/p95/p99).
+		reg := obs.NewRegistry()
+		e := engine.New(engine.WithProfile(prof), engine.WithSeed(*seed), engine.WithMetricsRegistry(reg))
+		b = &localBackend{e: e, s: e.NewSession(), reg: reg}
 	}
 
 	for _, path := range flag.Args() {
@@ -151,8 +156,9 @@ func repl(b backend) {
 // ---------------------------------------------------------------------------
 
 type localBackend struct {
-	e *engine.Engine
-	s *engine.Session // the shell's one session: seed, notices, counters
+	e   *engine.Engine
+	s   *engine.Session // the shell's one session: seed, notices, counters
+	reg *obs.Registry   // the engine's metrics registry, for \stats
 }
 
 func (b *localBackend) Run(sql string) (string, error) {
@@ -192,10 +198,47 @@ func (b *localBackend) Meta(cmd string) bool {
 		if err := compileAway(b.e, fields[1]); err != nil {
 			fmt.Println("error:", err)
 		}
+	case "\\stats":
+		st := b.e.StorageStats()
+		fmt.Printf("storage  page writes %d · tuples written %d · commits %d · vacuums %d (reclaimed %d)\n",
+			st.PageWrites, st.TuplesWritten, st.Commits, st.Vacuums, st.VersionsReclaimed)
+		printHistogramSummaries(b.reg)
 	default:
 		fmt.Println("unknown meta command", fields[0])
 	}
 	return false
+}
+
+// printHistogramSummaries renders every histogram family in the registry
+// as one quantile-summary line per series — p50/p95/p99 instead of the
+// raw bucket dump, the shape an operator actually reads at the shell.
+func printHistogramSummaries(reg *obs.Registry) {
+	for _, m := range reg.Gather() {
+		if m.Type != "histogram" {
+			continue
+		}
+		seconds := strings.HasSuffix(m.Name, "_seconds")
+		for _, s := range m.Samples {
+			if s.Count == nil || *s.Count == 0 || s.P50 == nil {
+				continue
+			}
+			name := m.Name
+			if s.Label != "" {
+				name += "{" + m.Label + "=" + s.Label + "}"
+			}
+			if seconds {
+				fmt.Printf("%-34s count %d · p50 %s · p95 %s · p99 %s\n",
+					name, *s.Count, fmtSeconds(*s.P50), fmtSeconds(*s.P95), fmtSeconds(*s.P99))
+			} else {
+				fmt.Printf("%-34s count %d · p50 %.1f · p95 %.1f · p99 %.1f\n",
+					name, *s.Count, *s.P50, *s.P95, *s.P99)
+			}
+		}
+	}
+}
+
+func fmtSeconds(v float64) string {
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
 }
 
 // compileAway compiles a registered PL/pgSQL function and installs the

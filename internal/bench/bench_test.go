@@ -174,3 +174,25 @@ func TestUDFCallSweep(t *testing.T) {
 		t.Errorf("batch clamp rows: %d, want 4", len(rep.BatchClamp))
 	}
 }
+
+func TestContentionSweepShape(t *testing.T) {
+	rows, err := ContentionSweep(ContentionConfig{
+		Workers: []int{1, 4}, Txns: 64, TableRows: 256, RowsPerTxn: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 2 modes × 2 worker counts
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Txns != 64 || r.TxnsPerSec <= 0 {
+			t.Errorf("%s ×%d: implausible row %+v", r.Mode, r.Workers, r)
+		}
+		if r.Mode == "disjoint" && r.Conflicts != 0 {
+			t.Errorf("disjoint ×%d: %d conflicts, want 0 (partitioned writers must never collide)", r.Workers, r.Conflicts)
+		}
+	}
+	// The checksum inside ContentionSweep already failed the run if any
+	// retry lost or duplicated an update; reaching here means it held.
+}

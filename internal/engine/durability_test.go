@@ -312,7 +312,7 @@ func TestDurableCorruptCheckpointFailsLoudly(t *testing.T) {
 func TestSentinelErrors(t *testing.T) {
 	e := New()
 	s1, s2 := e.NewSession(), e.NewSession()
-	if err := s1.Exec("CREATE TABLE t (a int)"); err != nil {
+	if err := s1.Exec("CREATE TABLE t (a int); INSERT INTO t VALUES (1)"); err != nil {
 		t.Fatal(err)
 	}
 	// Aborted block: a failed statement poisons it.
@@ -322,23 +322,26 @@ func TestSentinelErrors(t *testing.T) {
 	if err := s1.Exec("SELECT * FROM missing"); err == nil {
 		t.Fatal("query on missing table succeeded")
 	}
-	err := s1.Exec("INSERT INTO t VALUES (1)")
+	err := s1.Exec("INSERT INTO t VALUES (2)")
 	if !errors.Is(err, ErrTxnAborted) {
 		t.Fatalf("statement on aborted block: %v, want errors.Is ErrTxnAborted", err)
 	}
 	if err := s1.Exec("ROLLBACK"); err != nil {
 		t.Fatal(err)
 	}
-	// Serialization failure: s2 commits between s1's BEGIN and first write.
+	// Serialization failure: both sessions update the same row; the loser's
+	// COMMIT fails (first-updater-wins is validated per row at commit).
 	if err := s1.Exec("BEGIN"); err != nil {
 		t.Fatal(err)
 	}
-	if err := s2.Exec("INSERT INTO t VALUES (2)"); err != nil {
+	if err := s1.Exec("UPDATE t SET a = 10 WHERE a = 1"); err != nil {
 		t.Fatal(err)
 	}
-	err = s1.Exec("INSERT INTO t VALUES (3)")
-	if !errors.Is(err, ErrSerialization) {
-		t.Fatalf("stale-snapshot write: %v, want errors.Is ErrSerialization", err)
+	if err := s2.Exec("UPDATE t SET a = 20 WHERE a = 1"); err != nil {
+		t.Fatal(err)
 	}
-	s1.Exec("ROLLBACK")
+	err = s1.Exec("COMMIT")
+	if !errors.Is(err, ErrSerialization) {
+		t.Fatalf("conflicting COMMIT: %v, want errors.Is ErrSerialization", err)
+	}
 }

@@ -13,10 +13,16 @@
 //     versions committed at or before the pinned timestamp (per-row
 //     xmin/xmax, stamped from the engine's commit counter), and catalog
 //     lookups read an immutable copy-on-write catalog snapshot;
-//   - DDL/DML take a writers-only commit lock, stamp new row versions /
-//     clone the catalog, and publish a new state pointer on success —
-//     readers running concurrently keep their pinned snapshot and are
-//     never excluded;
+//   - DDL/DML buffer their changes optimistically against the pinned
+//     snapshot, then take the writers-only commit lock for a short
+//     validate-and-publish critical section: first-updater-wins
+//     validation (every row version the commit deletes or updates must
+//     still be unstamped at the tip — Heap.ValidateDead) followed by the
+//     WAL append, the heap commits, and one new state pointer. A commit
+//     that loses a row race fails with ErrSerialization and applies
+//     nothing; concurrent writers touching disjoint rows never conflict,
+//     and readers running concurrently keep their pinned snapshot and
+//     are never excluded;
 //   - a Session carries everything one caller scribbles on during
 //     execution — random source, phase counters, interpreter state,
 //     UDF call depth, prepared statements — and must be used from one
@@ -25,9 +31,10 @@
 //     reclaimed by an opportunistic per-heap vacuum after commits;
 //   - BEGIN/COMMIT/ROLLBACK generalize the per-statement protocol to
 //     multi-statement transaction blocks: one snapshot pinned at BEGIN,
-//     per-heap overlay buffers that the block's own reads see, the
-//     commit lock held from the first write to the block's end, and one
-//     atomic publication at COMMIT (see txn.go).
+//     per-heap overlay buffers that the block's own reads see (with
+//     SAVEPOINT / ROLLBACK TO marks to unwind them mid-block), no lock
+//     at all until COMMIT runs the same validate-and-publish section —
+//     read-only blocks never touch the commit lock (see txn.go).
 //
 // Engine.NewSession hands out sessions; the Engine's own query methods
 // remain as a compatibility facade that serializes callers onto a default
@@ -100,12 +107,23 @@ func (p *pinSet) oldest(def int64) int64 {
 }
 
 // shared is the session-independent core of one engine instance. state
-// holds the published database snapshot; commitMu serializes writers
-// (DDL/DML) — readers take no lock at all, they pin the state pointer.
+// holds the published database snapshot; commitMu serializes the
+// validate-and-publish section every commit ends with — readers take no
+// lock at all, they pin the state pointer.
+//
+// vacuumGate orders vacuum against optimistic writer statements: a
+// writer statement buffers dead version *indices* outside commitMu, and
+// vacuum renumbers exactly those indices, so each writer holds the gate
+// shared from its first read of a version index until its commit applies
+// (or aborts), and vacuum runs only when TryLock gets the gate exclusive
+// — otherwise it skips and a later commit retries. Lock order is gate
+// before commitMu (committers) and commitMu before TryLock (vacuum); the
+// try never blocks, so the inversion cannot deadlock.
 type shared struct {
-	commitMu sync.Mutex
-	state    atomic.Pointer[dbState]
-	pins     pinSet
+	commitMu   sync.Mutex
+	vacuumGate sync.RWMutex
+	state      atomic.Pointer[dbState]
+	pins       pinSet
 
 	storageStats *storage.Stats
 	cache        *plan.Cache

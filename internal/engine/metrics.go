@@ -49,13 +49,13 @@ type metrics struct {
 // them and Func collectors rebinding to the latest engine.
 func newMetrics(reg *obs.Registry, sh *shared) *metrics {
 	m := &metrics{
-		reg:         reg,
-		statements:  reg.Counter("plsql_engine_statements_total", "Statements executed (all kinds)."),
-		stmtSeconds: reg.Histogram("plsql_engine_statement_seconds", "Per-statement wall time.", obs.DurationBuckets),
-		conflicts:   reg.Counter("plsql_engine_serialization_conflicts_total", "Transactions refused because a concurrent commit moved the tip."),
-		slowQueries: reg.Counter("plsql_engine_slow_queries_total", "Statements that crossed the slow-query threshold."),
-		sessions:    reg.Counter("plsql_engine_sessions_total", "Sessions created."),
-		checkpoints: reg.CounterVec("plsql_checkpoints_triggered_total", "Checkpoints by trigger reason.", "reason"),
+		reg:             reg,
+		statements:      reg.Counter("plsql_engine_statements_total", "Statements executed (all kinds)."),
+		stmtSeconds:     reg.Histogram("plsql_engine_statement_seconds", "Per-statement wall time.", obs.DurationBuckets),
+		conflicts:       reg.Counter("plsql_engine_serialization_conflicts_total", "Transactions refused because a concurrent commit moved the tip."),
+		slowQueries:     reg.Counter("plsql_engine_slow_queries_total", "Statements that crossed the slow-query threshold."),
+		sessions:        reg.Counter("plsql_engine_sessions_total", "Sessions created."),
+		checkpoints:     reg.CounterVec("plsql_checkpoints_triggered_total", "Checkpoints by trigger reason.", "reason"),
 		walFsyncSeconds: reg.Histogram("plsql_wal_fsync_seconds", "WAL fsync latency.", obs.DurationBuckets),
 		walBatchRecords: reg.Histogram("plsql_wal_group_commit_records", "Records made durable per fsync (group-commit batch size).", obs.CountBuckets),
 	}

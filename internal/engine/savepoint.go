@@ -1,0 +1,154 @@
+// SAVEPOINT / ROLLBACK TO / RELEASE: nested rollback points inside a
+// transaction block. Because a block's writes only ever live in overlay
+// buffers until COMMIT, a savepoint is just a mark on that buffered
+// state — establishing one copies the overlays' (dead-set, added-rows)
+// pairs plus the catalog/DDL-log/notice positions, and ROLLBACK TO
+// restores them. The heaps are never touched either way.
+package engine
+
+import (
+	"fmt"
+
+	"plsqlaway/internal/catalog"
+	"plsqlaway/internal/storage"
+)
+
+// savepointMark is one SAVEPOINT's restore point: enough buffered-write,
+// catalog, DDL-log, and notice state to unwind the block to the moment
+// the savepoint was established. Marks form a stack (txnState.saves,
+// innermost last); duplicate names shadow outer ones, as in Postgres.
+type savepointMark struct {
+	name     string
+	overlays map[*storage.Heap]overlayMark
+	order    int              // len(txn.order): heaps first written later drop entirely
+	cat      *catalog.Catalog // the block's catalog at the mark (frozen; see catFrozen)
+	ddl      bool
+	ddlLog   int
+	notices  int
+}
+
+// overlayMark is one heap overlay's state at a savepoint. The tuple
+// slice is copied shallowly — buffered tuples are immutable once
+// appended (UPDATE tombstones and re-appends, never mutates) — and the
+// dead set is copied by key.
+type overlayMark struct {
+	dead  map[int]bool
+	added []storage.Tuple
+}
+
+func copyDead(dead map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(dead))
+	for vi, d := range dead {
+		if d {
+			out[vi] = true
+		}
+	}
+	return out
+}
+
+// execSavepoint establishes a savepoint in the open block.
+func (s *Session) execSavepoint(name string) error {
+	if !s.txn.active {
+		return fmt.Errorf("engine: SAVEPOINT can only be used in transaction blocks")
+	}
+	if s.txn.aborted {
+		return ErrTxnAborted
+	}
+	m := savepointMark{
+		name:    name,
+		order:   len(s.txn.order),
+		cat:     s.txn.cat,
+		ddl:     s.txn.ddl,
+		ddlLog:  len(s.txn.ddlLog),
+		notices: len(s.counters.Notices),
+	}
+	if len(s.txn.writes) > 0 {
+		m.overlays = make(map[*storage.Heap]overlayMark, len(s.txn.writes))
+		for h, w := range s.txn.writes {
+			m.overlays[h] = overlayMark{
+				dead:  copyDead(w.Dead),
+				added: append([]storage.Tuple(nil), w.Added...),
+			}
+		}
+	}
+	// The mark holds the current catalog clone as its restore point, so
+	// later in-block DDL must clone again instead of mutating it.
+	s.txn.catFrozen = true
+	s.txn.saves = append(s.txn.saves, m)
+	return nil
+}
+
+// findSavepoint returns the index of the topmost mark with the given
+// name (-1 when absent) — duplicates resolve innermost-first.
+func (s *Session) findSavepoint(name string) int {
+	for i := len(s.txn.saves) - 1; i >= 0; i-- {
+		if s.txn.saves[i].name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// execRollbackTo unwinds the block to the named savepoint: buffered
+// writes, in-block DDL (catalog clone and its WAL entries), and notices
+// all return to their state at the mark, and an aborted block comes back
+// to life (Postgres semantics — ROLLBACK TO is the one statement an
+// aborted block accepts besides COMMIT/ROLLBACK). The savepoint itself
+// survives, so it can be rolled back to again; savepoints established
+// after it are destroyed.
+func (s *Session) execRollbackTo(name string) error {
+	if !s.txn.active {
+		return fmt.Errorf("engine: ROLLBACK TO SAVEPOINT can only be used in transaction blocks")
+	}
+	i := s.findSavepoint(name)
+	if i < 0 {
+		// Unknown savepoint is an error even on an aborted block, and
+		// poisons a live one.
+		s.txn.aborted = true
+		return fmt.Errorf("engine: savepoint %q does not exist", name)
+	}
+	m := &s.txn.saves[i]
+	s.txn.saves = s.txn.saves[:i+1]
+	for h, w := range s.txn.writes {
+		om, ok := m.overlays[h]
+		if !ok {
+			// First written after the mark: the whole overlay unwinds.
+			delete(s.txn.writes, h)
+			continue
+		}
+		// Restore fresh copies — the mark must survive a second rollback
+		// after the block scribbles on the overlay again.
+		w.Dead = copyDead(om.dead)
+		w.Added = append([]storage.Tuple(nil), om.added...)
+	}
+	s.txn.order = s.txn.order[:m.order]
+	s.txn.cat = m.cat
+	s.txn.ddl = m.ddl
+	s.txn.catFrozen = true // the mark still references this catalog
+	s.txn.ddlLog = s.txn.ddlLog[:m.ddlLog]
+	if len(s.counters.Notices) > m.notices {
+		s.counters.Notices = s.counters.Notices[:m.notices]
+	}
+	s.txn.aborted = false
+	s.interp.Cat = s.txn.cat
+	return nil
+}
+
+// execReleaseSavepoint forgets the named savepoint and every one
+// established after it. The block's buffered writes are untouched — the
+// inner work simply merges into the enclosing level.
+func (s *Session) execReleaseSavepoint(name string) error {
+	if !s.txn.active {
+		return fmt.Errorf("engine: RELEASE SAVEPOINT can only be used in transaction blocks")
+	}
+	if s.txn.aborted {
+		return ErrTxnAborted
+	}
+	i := s.findSavepoint(name)
+	if i < 0 {
+		s.txn.aborted = true
+		return fmt.Errorf("engine: savepoint %q does not exist", name)
+	}
+	s.txn.saves = s.txn.saves[:i]
+	return nil
+}

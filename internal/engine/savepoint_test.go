@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestSavepointRollbackTo: writes after the savepoint unwind, writes
+// before it survive, and the block still commits what remains.
+func TestSavepointRollbackTo(t *testing.T) {
+	e := New()
+	s := e.NewSession()
+	mustExec(t, s, "CREATE TABLE t (a int)")
+
+	mustExec(t, s, "BEGIN")
+	mustExec(t, s, "INSERT INTO t VALUES (1)")
+	mustExec(t, s, "SAVEPOINT sp")
+	mustExec(t, s, "INSERT INTO t VALUES (2)")
+	mustExec(t, s, "UPDATE t SET a = 99 WHERE a = 1")
+	if got := intOf(t, s, "SELECT count(*) FROM t"); got != 2 {
+		t.Fatalf("pre-rollback count = %d, want 2", got)
+	}
+	mustExec(t, s, "ROLLBACK TO SAVEPOINT sp")
+	if got := intOf(t, s, "SELECT count(*) FROM t"); got != 1 {
+		t.Errorf("post-rollback count = %d, want 1", got)
+	}
+	if got := intOf(t, s, "SELECT a FROM t"); got != 1 {
+		t.Errorf("post-rollback a = %d, want 1 (update must unwind)", got)
+	}
+	// The savepoint survives ROLLBACK TO: roll back to it again.
+	mustExec(t, s, "INSERT INTO t VALUES (3)")
+	mustExec(t, s, "ROLLBACK TO sp")
+	if got := intOf(t, s, "SELECT count(*) FROM t"); got != 1 {
+		t.Errorf("second rollback count = %d, want 1", got)
+	}
+	mustExec(t, s, "COMMIT")
+	if got := intOf(t, s, "SELECT count(*) FROM t"); got != 1 {
+		t.Errorf("committed count = %d, want 1", got)
+	}
+}
+
+// TestSavepointRevivesAbortedBlock: ROLLBACK TO is accepted on an
+// aborted block and brings it back to life (Postgres semantics); the
+// block then commits its surviving writes.
+func TestSavepointRevivesAbortedBlock(t *testing.T) {
+	e := New()
+	s := e.NewSession()
+	mustExec(t, s, "CREATE TABLE t (a int)")
+
+	mustExec(t, s, "BEGIN")
+	mustExec(t, s, "INSERT INTO t VALUES (1)")
+	mustExec(t, s, "SAVEPOINT sp")
+	if err := s.Exec("SELECT * FROM missing"); err == nil {
+		t.Fatal("query on missing table succeeded")
+	}
+	if err := s.Exec("INSERT INTO t VALUES (2)"); !errors.Is(err, ErrTxnAborted) {
+		t.Fatalf("aborted block accepted a statement: %v", err)
+	}
+	// SAVEPOINT itself is refused on the aborted block...
+	if err := s.Exec("SAVEPOINT sp2"); !errors.Is(err, ErrTxnAborted) {
+		t.Fatalf("SAVEPOINT on aborted block: %v, want ErrTxnAborted", err)
+	}
+	// ...but ROLLBACK TO revives it.
+	mustExec(t, s, "ROLLBACK TO SAVEPOINT sp")
+	mustExec(t, s, "INSERT INTO t VALUES (3)")
+	mustExec(t, s, "COMMIT")
+	if got := intOf(t, s, "SELECT count(*) FROM t"); got != 2 {
+		t.Errorf("count = %d, want 2 (rows 1 and 3)", got)
+	}
+}
+
+// TestSavepointRelease: RELEASE keeps the inner writes and destroys the
+// named savepoint and everything above it.
+func TestSavepointRelease(t *testing.T) {
+	e := New()
+	s := e.NewSession()
+	mustExec(t, s, "CREATE TABLE t (a int)")
+
+	mustExec(t, s, "BEGIN")
+	mustExec(t, s, "SAVEPOINT outer_sp")
+	mustExec(t, s, "INSERT INTO t VALUES (1)")
+	mustExec(t, s, "SAVEPOINT inner_sp")
+	mustExec(t, s, "INSERT INTO t VALUES (2)")
+	mustExec(t, s, "RELEASE SAVEPOINT inner_sp")
+	// inner_sp is gone...
+	if err := s.Exec("ROLLBACK TO inner_sp"); err == nil || !strings.Contains(err.Error(), "does not exist") {
+		t.Fatalf("ROLLBACK TO released savepoint: %v", err)
+	}
+	// ...and the missing-savepoint error aborted the block; outer_sp revives it.
+	mustExec(t, s, "ROLLBACK TO outer_sp")
+	if got := intOf(t, s, "SELECT count(*) FROM t"); got != 0 {
+		t.Errorf("count after outer rollback = %d, want 0", got)
+	}
+	mustExec(t, s, "COMMIT")
+}
+
+// TestSavepointNesting: duplicate names shadow innermost-first, and
+// rolling back to an outer savepoint destroys the inner ones.
+func TestSavepointNesting(t *testing.T) {
+	e := New()
+	s := e.NewSession()
+	mustExec(t, s, "CREATE TABLE t (a int)")
+
+	mustExec(t, s, "BEGIN")
+	mustExec(t, s, "SAVEPOINT a")
+	mustExec(t, s, "INSERT INTO t VALUES (1)")
+	mustExec(t, s, "SAVEPOINT b")
+	mustExec(t, s, "INSERT INTO t VALUES (2)")
+	mustExec(t, s, "SAVEPOINT a") // shadows the outer a
+	mustExec(t, s, "INSERT INTO t VALUES (3)")
+	mustExec(t, s, "ROLLBACK TO a") // innermost a: only row 3 unwinds
+	if got := intOf(t, s, "SELECT count(*) FROM t"); got != 2 {
+		t.Errorf("count after inner-a rollback = %d, want 2", got)
+	}
+	mustExec(t, s, "ROLLBACK TO b") // destroys the inner a
+	if got := intOf(t, s, "SELECT count(*) FROM t"); got != 1 {
+		t.Errorf("count after b rollback = %d, want 1", got)
+	}
+	mustExec(t, s, "ROLLBACK TO a") // now resolves to the outer a
+	if got := intOf(t, s, "SELECT count(*) FROM t"); got != 0 {
+		t.Errorf("count after outer-a rollback = %d, want 0", got)
+	}
+	mustExec(t, s, "COMMIT")
+}
+
+// TestSavepointDDL: in-block DDL (a private catalog clone) unwinds to
+// the savepoint too — a table created after the mark vanishes.
+func TestSavepointDDL(t *testing.T) {
+	e := New()
+	s := e.NewSession()
+	mustExec(t, s, "CREATE TABLE keep (a int)")
+
+	mustExec(t, s, "BEGIN")
+	mustExec(t, s, "SAVEPOINT sp")
+	mustExec(t, s, "CREATE TABLE temp_t (b int)")
+	mustExec(t, s, "INSERT INTO temp_t VALUES (1)")
+	mustExec(t, s, "ROLLBACK TO sp")
+	if err := s.Exec("SELECT * FROM temp_t"); err == nil {
+		t.Fatal("table created after savepoint survived ROLLBACK TO")
+	}
+	// The missing-table error aborted the block; revive and go on.
+	mustExec(t, s, "ROLLBACK TO sp")
+	mustExec(t, s, "INSERT INTO keep VALUES (7)")
+	mustExec(t, s, "COMMIT")
+	if got := intOf(t, s, "SELECT a FROM keep"); got != 7 {
+		t.Errorf("keep.a = %d, want 7", got)
+	}
+	// DDL after ROLLBACK TO must not have leaked into the published catalog.
+	if err := s.Exec("SELECT * FROM temp_t"); err == nil {
+		t.Error("temp_t exists after COMMIT")
+	}
+}
+
+// TestSavepointOutsideTxn: all three forms are errors outside a block.
+func TestSavepointOutsideTxn(t *testing.T) {
+	e := New()
+	s := e.NewSession()
+	for _, sql := range []string{"SAVEPOINT sp", "ROLLBACK TO sp", "RELEASE SAVEPOINT sp"} {
+		if err := s.Exec(sql); err == nil || !strings.Contains(err.Error(), "transaction block") {
+			t.Errorf("%s outside txn: %v, want transaction-block error", sql, err)
+		}
+	}
+}

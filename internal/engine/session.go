@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -65,6 +66,10 @@ type Session struct {
 	// lastPlan remembers the most recent plan this session built or
 	// fetched — the slow-query log reads its shape counters.
 	lastPlan *plan.Plan
+
+	// lastDML remembers the most recent writer statement's scan shape —
+	// EXPLAIN ANALYZE of an UPDATE/DELETE reports it as the actuals.
+	lastDML dmlStats
 }
 
 // snapshot is the consistent (catalog, storage) view one statement
@@ -176,11 +181,15 @@ func (s *Session) Seed(seed uint64) { s.rng.Seed(seed) }
 
 // isReadOnly classifies a statement: queries pin a snapshot and never
 // block, everything that mutates catalog or heaps goes through the
-// writers-only commit lock.
+// commit protocol. EXPLAIN ANALYZE of a DML statement really executes
+// the write, so it takes the write path; plain EXPLAIN of DML only
+// plans and stays read-only.
 func isReadOnly(stmt sqlast.Statement) bool {
-	switch stmt.(type) {
-	case *sqlast.SelectStatement, *sqlast.Explain:
+	switch x := stmt.(type) {
+	case *sqlast.SelectStatement:
 		return true
+	case *sqlast.Explain:
+		return x.Stmt == nil || !x.Analyze
 	}
 	return false
 }
@@ -243,14 +252,16 @@ func commitRecord(ts int64, ddl []wal.DDLEntry, writes []pendingWrite) *wal.Reco
 	return rec
 }
 
-// commitWrap runs fn as one writer transaction: it takes the commit lock,
-// pins the tip snapshot for fn's reads, hands out commit timestamp
-// tip+1 for the versions fn stamps, and — if fn changed anything —
-// appends the WAL record, applies the buffered heap writes, and
-// publishes the new database state. On error nothing is published: DML
-// helpers buffer their rows, DDL mutates a private catalog clone, and
-// the WAL append precedes the first heap mutation, so an aborted
-// statement (including one whose log append failed) leaves no trace.
+// commitWrap runs fn as one writer transaction: fn executes against a
+// pinned tip snapshot with no lock held, buffering its changes; if it
+// changed anything, a short critical section under the commit lock
+// validates the buffered writes against the then-current tip
+// (first-updater-wins), appends the WAL record, applies the heap
+// commits, and publishes the new database state. On error nothing is
+// published: DML helpers buffer their rows, DDL mutates a private
+// catalog clone, and the WAL append precedes the first heap mutation, so
+// an aborted statement (including one whose log append failed) leaves no
+// trace.
 //
 // Durability ordering: the record is appended (one buffered write)
 // under the commit lock, which serializes the log identically to commit
@@ -286,16 +297,47 @@ func (s *Session) commitWrap(fn func() (*Result, error)) (*Result, error) {
 	return res, nil
 }
 
-// commitOnce is commitWrap's under-the-lock half; it returns the LSN the
-// caller must wait on (0 when nothing was logged).
+// commitOnce is commitWrap's optimistic half: it runs the statement and
+// commits it, retrying the whole statement on a fresh snapshot when the
+// validate step loses a first-updater-wins race. Retrying internally
+// gives autocommit statements READ COMMITTED-style behaviour — a lost
+// race means some other commit published, so every retry rereads a newer
+// tip and the loop makes system-wide progress. Explicit transaction
+// blocks do NOT retry (their earlier statements' results may already be
+// visible to the caller); they surface ErrSerialization from COMMIT
+// instead (see commitTxn). Returns the LSN the caller must wait on (0
+// when nothing was logged).
 func (s *Session) commitOnce(fn func() (*Result, error)) (*Result, int64, error) {
-	s.sh.commitMu.Lock()
-	defer s.sh.commitMu.Unlock()
-	st := s.sh.pinState() // the tip; stable while the commit lock is held
+	for {
+		res, lsn, err := s.commitAttempt(fn)
+		if err != nil && errors.Is(err, ErrSerialization) {
+			continue
+		}
+		return res, lsn, err
+	}
+}
+
+// commitAttempt runs fn once against the current tip with no lock held
+// (its reads pin the snapshot, its writes buffer on the session), then —
+// if it changed anything — enters the commit critical section: validate
+// against the tip, append the WAL record, apply the heap commits,
+// publish. A validation failure returns ErrSerialization with nothing
+// applied or published.
+func (s *Session) commitAttempt(fn func() (*Result, error)) (*Result, int64, error) {
+	// Writer window: fn buffers dead version indices, and vacuum
+	// renumbers exactly those indices — hold the vacuum gate shared from
+	// before the first read until the commit applies.
+	s.sh.vacuumGate.RLock()
+	gated := true
+	defer func() {
+		if gated {
+			s.sh.vacuumGate.RUnlock()
+		}
+	}()
+	st := s.sh.pinState()
 	s.cur = snapshot{cat: st.cat, ts: st.ts}
 	s.interp.Cat = st.cat
 	s.pinDepth++
-	s.writeTS = st.ts + 1
 	s.pendingCat = nil
 	s.pendingWrites = nil
 	s.pendingDDL = nil
@@ -320,6 +362,15 @@ func (s *Session) commitOnce(fn func() (*Result, error)) (*Result, int64, error)
 	if s.pendingCat == nil && len(s.pendingWrites) == 0 {
 		return res, 0, nil // no-op statement: don't burn a commit timestamp
 	}
+
+	s.sh.commitMu.Lock()
+	defer s.sh.commitMu.Unlock()
+	tip := s.sh.state.Load()
+	cat, err := s.validateCommit(tip, st.ts, s.pendingCat, s.pendingWrites)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.writeTS = tip.ts + 1
 	var lsn int64
 	if w := s.sh.wal; w != nil {
 		lsn, err = w.Append(commitRecord(s.writeTS, s.pendingDDL, s.pendingWrites))
@@ -330,10 +381,6 @@ func (s *Session) commitOnce(fn func() (*Result, error)) (*Result, int64, error)
 	for _, pw := range s.pendingWrites {
 		pw.tbl.Heap.Commit(pw.dead, pw.added, s.writeTS)
 	}
-	cat := st.cat
-	if s.pendingCat != nil {
-		cat = s.pendingCat
-	}
 	s.sh.state.Store(&dbState{cat: cat, ts: s.writeTS})
 	if s.pendingCat != nil {
 		// DDL published: drop every plan built against an older catalog.
@@ -342,10 +389,50 @@ func (s *Session) commitOnce(fn func() (*Result, error)) (*Result, int64, error)
 		// function's old body must be evicted, not merely unreachable.
 		s.sh.cache.InvalidateStale(cat.Version)
 	}
+	// Close our own writer window before attempting vacuum: its TryLock
+	// needs the gate free of every reader, ourselves included.
+	gated = false
+	s.sh.vacuumGate.RUnlock()
 	for _, pw := range s.pendingWrites {
 		s.maybeVacuum(pw.tbl, s.writeTS)
 	}
 	return res, lsn, nil
+}
+
+// validateCommit is the first-updater-wins check every commit runs under
+// the commit lock immediately before applying. DDL commits require the
+// tip unmoved since their catalog clone was taken — publishing a clone
+// of a stale catalog would silently roll back whatever moved the tip.
+// DML-only commits tolerate tip movement: each written table must still
+// exist at the tip with the same heap (not dropped/recreated), and every
+// version the commit stamps dead must still be unstamped
+// (Heap.ValidateDead) — concurrent commits that touched disjoint rows
+// pass, a lost row race fails. Returns the catalog to publish: the DDL
+// clone, or the tip's own catalog so concurrent DDL is never clobbered.
+func (s *Session) validateCommit(tip *dbState, pinnedTS int64, pendingCat *catalog.Catalog, writes []pendingWrite) (*catalog.Catalog, error) {
+	cat := tip.cat
+	if pendingCat != nil {
+		if tip.ts != pinnedTS {
+			s.sh.noteConflict()
+			return nil, fmt.Errorf("%w: schema change raced a concurrent commit", ErrSerialization)
+		}
+		cat = pendingCat
+	} else {
+		for _, pw := range writes {
+			cur, ok := tip.cat.Table(pw.tbl.Name)
+			if !ok || cur.Heap != pw.tbl.Heap {
+				s.sh.noteConflict()
+				return nil, fmt.Errorf("%w: relation %q was dropped concurrently", ErrSerialization, pw.tbl.Name)
+			}
+		}
+	}
+	for _, pw := range writes {
+		if !pw.tbl.Heap.ValidateDead(pw.dead) {
+			s.sh.noteConflict()
+			return nil, fmt.Errorf("%w: row updated by a concurrent commit in %q", ErrSerialization, pw.tbl.Name)
+		}
+	}
+	return cat, nil
 }
 
 // mutableCat returns the writer's private catalog clone, creating it on
@@ -355,9 +442,12 @@ func (s *Session) commitOnce(fn func() (*Result, error)) (*Result, int64, error)
 // visible to the block's own later statements.
 func (s *Session) mutableCat() *catalog.Catalog {
 	if s.txn.active {
-		if !s.txn.ddl {
+		if !s.txn.ddl || s.txn.catFrozen {
+			// catFrozen: a savepoint mark holds the current clone as its
+			// restore point — mutate a fresh clone, never the mark's.
 			s.txn.cat = s.txn.cat.Clone()
 			s.txn.ddl = true
+			s.txn.catFrozen = false
 		}
 		s.cur.cat = s.txn.cat
 		s.interp.Cat = s.txn.cat
@@ -391,8 +481,18 @@ func (s *Session) execStmtPinned(stmt sqlast.Statement, params []sqltypes.Value)
 
 // execStmtPinnedRaw is execStmtPinned without the metrics shell.
 func (s *Session) execStmtPinnedRaw(stmt sqlast.Statement, params []sqltypes.Value) (*Result, error) {
-	if tx, ok := stmt.(*sqlast.Transaction); ok {
-		return nil, s.execTxnControl(tx)
+	switch x := stmt.(type) {
+	case *sqlast.Transaction:
+		return nil, s.execTxnControl(x)
+	// Savepoint statements bypass the abort gate: ROLLBACK TO is the one
+	// statement (besides COMMIT/ROLLBACK) an aborted block accepts, and
+	// the other two report their own in-block errors.
+	case *sqlast.Savepoint:
+		return nil, s.execSavepoint(x.Name)
+	case *sqlast.RollbackTo:
+		return nil, s.execRollbackTo(x.Name)
+	case *sqlast.ReleaseSavepoint:
+		return nil, s.execReleaseSavepoint(x.Name)
 	}
 	if err := s.txnGate(); err != nil {
 		return nil, err
@@ -739,6 +839,9 @@ func (s *Session) execStmt(stmt sqlast.Statement, params []sqltypes.Value) (*Res
 // ANALYZE the query also executes to completion (rows discarded) under
 // per-node instrumentation, and each line carries its actuals.
 func (s *Session) explain(stmt *sqlast.Explain, params []sqltypes.Value) (*Result, error) {
+	if stmt.Stmt != nil {
+		return s.explainDML(stmt, params)
+	}
 	p, err := s.sh.cache.Get(s.cur.cat, stmt.Query, s.planOpts())
 	if err != nil {
 		return nil, err
@@ -750,6 +853,59 @@ func (s *Session) explain(stmt *sqlast.Explain, params []sqltypes.Value) (*Resul
 		if err != nil {
 			return nil, err
 		}
+	}
+	rows := make([]storage.Tuple, len(lines))
+	for i, l := range lines {
+		rows[i] = storage.Tuple{sqltypes.NewText(l)}
+	}
+	return &Result{Cols: []string{"QUERY PLAN"}, Rows: rows}, nil
+}
+
+// explainDML renders the access path a writer statement will use — the
+// write node over an IndexScan (plus residual Filter) or the sequential
+// Filter→SeqScan — via the same binding and index selection execution
+// goes through, so the shown plan is the one a run takes. With ANALYZE
+// the statement really executes (the caller put us on the write path)
+// and the lines carry its scanned/matched actuals.
+func (s *Session) explainDML(stmt *sqlast.Explain, params []sqltypes.Value) (*Result, error) {
+	var op, table, alias string
+	var where sqlast.Expr
+	var sets []sqlast.SetClause
+	switch x := stmt.Stmt.(type) {
+	case *sqlast.Update:
+		op, table, alias, where, sets = "Update", x.Table, x.Alias, x.Where, x.Sets
+	case *sqlast.Delete:
+		op, table, alias, where = "Delete", x.Table, x.Alias, x.Where
+	default:
+		return nil, fmt.Errorf("engine: EXPLAIN does not support %T", stmt.Stmt)
+	}
+	tbl, ok := s.cur.cat.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("engine: relation %q does not exist", table)
+	}
+	if alias == "" {
+		alias = table
+	}
+	_, _, whereExpr, err := s.compileRowClauses(tbl, alias, where, sets)
+	if err != nil {
+		return nil, err
+	}
+	lines := plan.ExplainDML(op, tbl, whereExpr, plan.SelectDMLAccess(tbl, whereExpr))
+	if stmt.Analyze {
+		t0 := time.Now()
+		switch x := stmt.Stmt.(type) {
+		case *sqlast.Update:
+			err = s.update(x, params)
+		case *sqlast.Delete:
+			err = s.delete(x, params)
+		}
+		if err != nil {
+			return nil, err
+		}
+		d := time.Since(t0)
+		lines[0] += fmt.Sprintf("  (actual rows=%d)", s.lastDML.matched)
+		lines = append(lines, fmt.Sprintf("Execution: scanned=%d matched=%d time=%s",
+			s.lastDML.scanned, s.lastDML.matched, d.Round(time.Microsecond)))
 	}
 	rows := make([]storage.Tuple, len(lines))
 	for i, l := range lines {
@@ -1011,11 +1167,14 @@ func (s *Session) insert(stmt *sqlast.Insert, params []sqltypes.Value) error {
 
 // writeView is the row set a writer statement (UPDATE/DELETE) evaluates
 // its predicate over: the base versions visible at the pinned snapshot
-// plus, inside a transaction block, the block's own buffered inserts
-// (minus the rows it already deleted).
+// plus, inside a transaction block, the block's own buffered inserts.
+// Base rows the block already deleted are kept (so vidx/rows stay the
+// heap snapshot's own slices, position-aligned with Index.Probe results)
+// and skipped via dead during iteration.
 type writeView struct {
 	vidx      []int           // base version indices
-	rows      []storage.Tuple // base rows, parallel to vidx
+	rows      []storage.Tuple // base rows, parallel to vidx (the snapshot's slice)
+	dead      map[int]bool    // txn-buffered deletes to skip, keyed by vidx (nil outside a block)
 	addedIdx  []int           // overlay Added indices (txn-buffered rows)
 	addedRows []storage.Tuple // buffered rows, parallel to addedIdx
 }
@@ -1033,17 +1192,7 @@ func (s *Session) writeView(h *storage.Heap) (writeView, error) {
 	if w == nil {
 		return v, nil
 	}
-	if len(w.Dead) > 0 {
-		fv := make([]int, 0, len(vidx))
-		fr := make([]storage.Tuple, 0, len(rows))
-		for i, vi := range vidx {
-			if !w.Dead[vi] {
-				fv = append(fv, vi)
-				fr = append(fr, rows[i])
-			}
-		}
-		v.vidx, v.rows = fv, fr
-	}
+	v.dead = w.Dead
 	for i, t := range w.Added {
 		if t != nil {
 			v.addedIdx = append(v.addedIdx, i)
@@ -1051,6 +1200,59 @@ func (s *Session) writeView(h *storage.Heap) (writeView, error) {
 		}
 	}
 	return v, nil
+}
+
+// dmlStats records the last writer statement's scan shape — EXPLAIN
+// ANALYZE of an UPDATE/DELETE reports these as its actuals.
+type dmlStats struct {
+	scanned int64 // candidate rows the predicate ran over
+	matched int64 // rows rewritten or deleted
+	index   bool  // candidates came from an index probe
+}
+
+// dmlCandidates picks a writer statement's access path: when the WHERE
+// clause carries an equality on a declared-index column, the candidate
+// positions come from Index.Probe on the statement's snapshot instead of
+// the full scan, and the returned predicate shrinks to the residual
+// conjuncts (nil when the equality covers the whole clause). Falls back
+// to the sequential scan with the full predicate when no index applies
+// or the probe's rows are not the writer view's own snapshot slice
+// (position alignment is what makes probe hits usable as vidx indices).
+func (s *Session) dmlCandidates(tbl *catalog.Table, whereExpr plan.Expr, pred *exec.ExprState, ctx *exec.Ctx, view writeView) (cands []int, basePred *exec.ExprState, usedIndex bool, err error) {
+	seq := func() ([]int, *exec.ExprState, bool, error) {
+		pos := make([]int, len(view.rows))
+		for i := range pos {
+			pos[i] = i
+		}
+		return pos, pred, false, nil
+	}
+	access := plan.SelectDMLAccess(tbl, whereExpr)
+	if access == nil {
+		return seq()
+	}
+	keyState, err := exec.InstantiateExpr(access.Key)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	key, err := keyState.Eval(ctx, nil) // row-independent by construction
+	if err != nil {
+		return nil, nil, false, err
+	}
+	hits, prows, err := access.Index.Probe(tbl, key, s.cur.ts)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if len(prows) != len(view.rows) || (len(prows) > 0 && &prows[0] != &view.rows[0]) {
+		return seq() // snapshot cache churned between the view and the probe
+	}
+	var residual *exec.ExprState
+	if access.Residual != nil {
+		residual, err = exec.InstantiateExpr(access.Residual)
+		if err != nil {
+			return nil, nil, false, err
+		}
+	}
+	return hits, residual, true, nil
 }
 
 // applyWrite lands one writer statement's row changes on tbl's heap:
@@ -1083,6 +1285,8 @@ func (s *Session) applyWrite(tbl *catalog.Table, dead, deadAdded []int, added []
 // version marked dead and a fresh version appended, both stamped with
 // this statement's commit timestamp; rows the predicate misses are not
 // touched at all — no copy, no re-encode, no commit when nothing matched.
+// When the WHERE clause covers a declared index, the candidate rows come
+// from an index probe instead of the full scan (see dmlCandidates).
 func (s *Session) update(stmt *sqlast.Update, params []sqltypes.Value) error {
 	tbl, ok := s.cur.cat.Table(stmt.Table)
 	if !ok {
@@ -1092,7 +1296,7 @@ func (s *Session) update(stmt *sqlast.Update, params []sqltypes.Value) error {
 	if alias == "" {
 		alias = stmt.Table
 	}
-	pred, setters, err := s.compileRowClauses(tbl, alias, stmt.Where, stmt.Sets)
+	pred, setters, whereExpr, err := s.compileRowClauses(tbl, alias, stmt.Where, stmt.Sets)
 	if err != nil {
 		return err
 	}
@@ -1102,11 +1306,18 @@ func (s *Session) update(stmt *sqlast.Update, params []sqltypes.Value) error {
 	}
 	ctx := s.newCtx()
 	ctx.Params = params
-	// rewrite evaluates the predicate and SET clauses against one row,
-	// returning the replacement row when the predicate matched.
-	rewrite := func(row storage.Tuple) (storage.Tuple, bool, error) {
-		if pred != nil {
-			v, err := pred.Eval(ctx, row)
+	cands, basePred, usedIndex, err := s.dmlCandidates(tbl, whereExpr, pred, ctx, view)
+	if err != nil {
+		return err
+	}
+	st := dmlStats{index: usedIndex}
+	// rewrite evaluates a predicate and the SET clauses against one row,
+	// returning the replacement row when the predicate matched. Base rows
+	// from an index probe check only the residual; buffered overlay rows
+	// were never probed and check the full predicate.
+	rewrite := func(row storage.Tuple, p *exec.ExprState) (storage.Tuple, bool, error) {
+		if p != nil {
+			v, err := p.Eval(ctx, row)
 			if err != nil {
 				return nil, false, err
 			}
@@ -1130,18 +1341,24 @@ func (s *Session) update(stmt *sqlast.Update, params []sqltypes.Value) error {
 	}
 	var dead, deadAdded []int
 	var added []storage.Tuple
-	for i, row := range view.rows {
-		out, match, err := rewrite(row)
+	for _, i := range cands {
+		vi := view.vidx[i]
+		if view.dead[vi] {
+			continue // already deleted by this transaction
+		}
+		st.scanned++
+		out, match, err := rewrite(view.rows[i], basePred)
 		if err != nil {
 			return err
 		}
 		if match {
-			dead = append(dead, view.vidx[i])
+			dead = append(dead, vi)
 			added = append(added, out)
 		}
 	}
 	for i, row := range view.addedRows {
-		out, match, err := rewrite(row)
+		st.scanned++
+		out, match, err := rewrite(row, pred)
 		if err != nil {
 			return err
 		}
@@ -1150,12 +1367,15 @@ func (s *Session) update(stmt *sqlast.Update, params []sqltypes.Value) error {
 			added = append(added, out)
 		}
 	}
+	st.matched = int64(len(dead) + len(deadAdded))
+	s.lastDML = st
 	s.applyWrite(tbl, dead, deadAdded, added)
 	return nil
 }
 
 // delete is MVCC DELETE: matched versions are marked dead at this
-// statement's commit timestamp; surviving rows are untouched.
+// statement's commit timestamp; surviving rows are untouched. Shares
+// UPDATE's index-probe access path.
 func (s *Session) delete(stmt *sqlast.Delete, params []sqltypes.Value) error {
 	tbl, ok := s.cur.cat.Table(stmt.Table)
 	if !ok {
@@ -1165,7 +1385,7 @@ func (s *Session) delete(stmt *sqlast.Delete, params []sqltypes.Value) error {
 	if alias == "" {
 		alias = stmt.Table
 	}
-	pred, _, err := s.compileRowClauses(tbl, alias, stmt.Where, nil)
+	pred, _, whereExpr, err := s.compileRowClauses(tbl, alias, stmt.Where, nil)
 	if err != nil {
 		return err
 	}
@@ -1175,28 +1395,39 @@ func (s *Session) delete(stmt *sqlast.Delete, params []sqltypes.Value) error {
 	}
 	ctx := s.newCtx()
 	ctx.Params = params
-	matches := func(row storage.Tuple) (bool, error) {
-		if pred == nil {
+	cands, basePred, usedIndex, err := s.dmlCandidates(tbl, whereExpr, pred, ctx, view)
+	if err != nil {
+		return err
+	}
+	st := dmlStats{index: usedIndex}
+	matches := func(row storage.Tuple, p *exec.ExprState) (bool, error) {
+		if p == nil {
 			return true, nil
 		}
-		v, err := pred.Eval(ctx, row)
+		v, err := p.Eval(ctx, row)
 		if err != nil {
 			return false, err
 		}
 		return v.IsTrue(), nil
 	}
 	var dead, deadAdded []int
-	for i, row := range view.rows {
-		m, err := matches(row)
+	for _, i := range cands {
+		vi := view.vidx[i]
+		if view.dead[vi] {
+			continue
+		}
+		st.scanned++
+		m, err := matches(view.rows[i], basePred)
 		if err != nil {
 			return err
 		}
 		if m {
-			dead = append(dead, view.vidx[i])
+			dead = append(dead, vi)
 		}
 	}
 	for i, row := range view.addedRows {
-		m, err := matches(row)
+		st.scanned++
+		m, err := matches(row, pred)
 		if err != nil {
 			return err
 		}
@@ -1204,6 +1435,8 @@ func (s *Session) delete(stmt *sqlast.Delete, params []sqltypes.Value) error {
 			deadAdded = append(deadAdded, view.addedIdx[i])
 		}
 	}
+	st.matched = int64(len(dead) + len(deadAdded))
+	s.lastDML = st
 	s.applyWrite(tbl, dead, deadAdded, nil)
 	return nil
 }
@@ -1215,7 +1448,9 @@ type setter struct {
 
 // compileRowClauses binds a WHERE predicate and SET expressions against the
 // table's row (UPDATE/DELETE run outside the planner: a direct row loop).
-func (s *Session) compileRowClauses(tbl *catalog.Table, alias string, where sqlast.Expr, sets []sqlast.SetClause) (*exec.ExprState, []setter, error) {
+// The bound WHERE expression is also returned in plan form so the caller
+// can pick an index-probe access path off its conjuncts.
+func (s *Session) compileRowClauses(tbl *catalog.Table, alias string, where sqlast.Expr, sets []sqlast.SetClause) (*exec.ExprState, []setter, plan.Expr, error) {
 	sel := &sqlast.Select{From: []sqlast.FromItem{&sqlast.TableRef{Name: tbl.Name, Alias: alias}}}
 	items := []sqlast.Expr{}
 	if where != nil {
@@ -1228,22 +1463,24 @@ func (s *Session) compileRowClauses(tbl *catalog.Table, alias string, where sqla
 		sel.Items = append(sel.Items, sqlast.SelectItem{Expr: it})
 	}
 	if len(sel.Items) == 0 {
-		return nil, nil, nil
+		return nil, nil, nil, nil
 	}
 	p, err := plan.Build(s.cur.cat, sqlast.WrapQuery(sel), s.planOpts())
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	proj, ok := p.Root.(*plan.Project)
 	if !ok {
-		return nil, nil, fmt.Errorf("engine: unexpected UPDATE plan shape %T", p.Root)
+		return nil, nil, nil, fmt.Errorf("engine: unexpected UPDATE plan shape %T", p.Root)
 	}
 	var pred *exec.ExprState
+	var whereExpr plan.Expr
 	idx := 0
 	if where != nil {
-		pred, err = exec.InstantiateExpr(proj.Exprs[idx])
+		whereExpr = proj.Exprs[idx]
+		pred, err = exec.InstantiateExpr(whereExpr)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		idx++
 	}
@@ -1251,14 +1488,14 @@ func (s *Session) compileRowClauses(tbl *catalog.Table, alias string, where sqla
 	for _, sc := range sets {
 		ci := tbl.ColIndex(sc.Col)
 		if ci < 0 {
-			return nil, nil, fmt.Errorf("engine: column %q of relation %q does not exist", sc.Col, tbl.Name)
+			return nil, nil, nil, fmt.Errorf("engine: column %q of relation %q does not exist", sc.Col, tbl.Name)
 		}
 		es, err := exec.InstantiateExpr(proj.Exprs[idx])
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		setters = append(setters, setter{col: ci, expr: es})
 		idx++
 	}
-	return pred, setters, nil
+	return pred, setters, whereExpr, nil
 }

@@ -11,11 +11,13 @@ import (
 	"plsqlaway/internal/wal"
 )
 
-// ErrSerialization is returned when a transaction's first write finds
-// that another transaction committed after this one pinned its snapshot:
-// the buffered writes would be based on stale reads, so the engine
-// refuses them. The transaction is aborted; callers should ROLLBACK and
-// retry the whole transaction.
+// ErrSerialization is returned when a commit's validate step finds that
+// a concurrent commit already superseded a row this transaction deletes
+// or updates (first-updater-wins), or that a schema change raced the
+// tip. For explicit transaction blocks it surfaces from COMMIT — the
+// block is ended (rolled back), and callers retry the whole transaction;
+// autocommit statements retry internally on a fresh snapshot and never
+// surface it.
 var ErrSerialization = errors.New("engine: could not serialize access due to a concurrent commit (rollback and retry the transaction)")
 
 // ErrTxnAborted mirrors Postgres's 25P02: after any statement fails
@@ -34,23 +36,28 @@ var ErrTxnAborted = errors.New("engine: current transaction is aborted, commands
 // store. ROLLBACK just discards the buffers: the heaps were never
 // touched.
 //
-// Writer serialization: the commit lock is taken at the transaction's
-// first writer statement and held until COMMIT/ROLLBACK, so concurrent
-// write transactions serialize whole-transaction against each other
-// (readers never block). A transaction whose first write finds the tip
-// advanced past its snapshot fails with ErrSerialization instead of
-// committing on stale reads.
+// Writer serialization is optimistic, first-updater-wins: the block
+// takes no lock at all while it runs — writes buffer in the overlays —
+// and COMMIT enters a short validate-and-publish critical section under
+// the commit lock. Validation fails with ErrSerialization only when a
+// concurrent commit already superseded a row this block deletes or
+// updates (or raced its DDL); blocks touching disjoint rows commit
+// concurrently, and read-only blocks never touch the lock.
 type txnState struct {
 	active  bool
 	aborted bool     // a statement failed; only COMMIT/ROLLBACK accepted
 	st      *dbState // snapshot pinned at BEGIN, unpinned at txn end
 	cat     *catalog.Catalog
-	ddl     bool  // cat is a private clone carrying this txn's DDL
-	locked  bool  // commitMu held (acquired at first writer statement)
-	writeTS int64 // st.ts+1 once locked; the commit timestamp
-	writes  map[*storage.Heap]*storage.HeapOverlay
-	order   []*catalog.Table // tables in first-write order, for deterministic commit
-	ddlLog  []wal.DDLEntry   // catalog deltas for the WAL commit record
+	ddl     bool // cat is a private clone carrying this txn's DDL
+	// catFrozen forces the next DDL to re-clone cat even though ddl is
+	// already set: a savepoint mark holds the current clone as its
+	// restore point, so later DDL must not mutate it in place.
+	catFrozen bool
+	gated     bool // vacuumGate held shared (opened at first writer statement)
+	writes    map[*storage.Heap]*storage.HeapOverlay
+	order     []*catalog.Table // tables in first-write order, for deterministic commit
+	ddlLog    []wal.DDLEntry   // catalog deltas for the WAL commit record
+	saves     []savepointMark  // SAVEPOINT stack, innermost last
 }
 
 // InTxn reports whether the session is inside an explicit transaction
@@ -125,14 +132,16 @@ func (s *Session) Commit() error {
 	return nil
 }
 
-// commitTxn publishes the open transaction's buffered writes and DDL
-// under the already-held commit lock, logging one flattened WAL commit
-// record first — a failed append aborts before any heap is touched.
-// It returns the record's LSN (0 when nothing needed logging).
+// commitTxn publishes the open transaction's buffered writes and DDL:
+// it flattens the overlays outside any lock, then enters the commit
+// critical section — first-updater-wins validation against the tip, one
+// flattened WAL commit record (a failed append aborts before any heap
+// is touched), the heap commits, the atomic publish. A validation
+// failure returns ErrSerialization with nothing applied; the caller
+// (Commit) ends the block either way, so the loser's retry starts from
+// a clean BEGIN. Returns the record's LSN (0 when nothing needed
+// logging).
 func (s *Session) commitTxn() (int64, error) {
-	if !s.txn.locked {
-		return 0, nil // read-only transaction: nothing to publish
-	}
 	var writes []pendingWrite
 	for _, tbl := range s.txn.order {
 		if cur, ok := s.txn.cat.Table(tbl.Name); !ok || cur.Heap != tbl.Heap {
@@ -145,27 +154,44 @@ func (s *Session) commitTxn() (int64, error) {
 		writes = append(writes, pendingWrite{tbl: tbl, dead: dead, added: added})
 	}
 	if !s.txn.ddl && len(writes) == 0 {
-		return 0, nil // no-op transaction: don't burn a commit timestamp
+		return 0, nil // no-op or read-only transaction: no lock, no timestamp
 	}
+	s.sh.commitMu.Lock()
+	defer s.sh.commitMu.Unlock()
+	tip := s.sh.state.Load()
+	var pendingCat *catalog.Catalog
+	if s.txn.ddl {
+		pendingCat = s.txn.cat
+	}
+	cat, err := s.validateCommit(tip, s.txn.st.ts, pendingCat, writes)
+	if err != nil {
+		return 0, err
+	}
+	writeTS := tip.ts + 1
 	var lsn int64
 	if s.sh.wal != nil {
-		var err error
-		lsn, err = s.sh.wal.Append(commitRecord(s.txn.writeTS, s.txn.ddlLog, writes))
+		lsn, err = s.sh.wal.Append(commitRecord(writeTS, s.txn.ddlLog, writes))
 		if err != nil {
 			return 0, err // clean abort: no heap was touched
 		}
 	}
 	for _, pw := range writes {
-		pw.tbl.Heap.Commit(pw.dead, pw.added, s.txn.writeTS)
+		pw.tbl.Heap.Commit(pw.dead, pw.added, writeTS)
 	}
-	s.sh.state.Store(&dbState{cat: s.txn.cat, ts: s.txn.writeTS})
+	s.sh.state.Store(&dbState{cat: cat, ts: writeTS})
 	if s.txn.ddl {
-		// Same eviction as commitOnce: redefined function bodies embedded in
-		// specialized/inlined plans must not linger in the cache.
-		s.sh.cache.InvalidateStale(s.txn.cat.Version)
+		// Same eviction as commitAttempt: redefined function bodies embedded
+		// in specialized/inlined plans must not linger in the cache.
+		s.sh.cache.InvalidateStale(cat.Version)
+	}
+	// Close the block's writer window before attempting vacuum: its
+	// TryLock needs the gate free of every reader, ourselves included.
+	if s.txn.gated {
+		s.txn.gated = false
+		s.sh.vacuumGate.RUnlock()
 	}
 	for _, pw := range writes {
-		s.maybeVacuum(pw.tbl, s.txn.writeTS)
+		s.maybeVacuum(pw.tbl, writeTS)
 	}
 	return lsn, nil
 }
@@ -193,11 +219,11 @@ func (s *Session) Reset() {
 	}
 }
 
-// endTxn releases everything the transaction holds (commit lock, snapshot
-// pin) and re-points the interpreter at the published catalog.
+// endTxn releases everything the transaction holds (writer window,
+// snapshot pin) and re-points the interpreter at the published catalog.
 func (s *Session) endTxn() {
-	if s.txn.locked {
-		s.sh.commitMu.Unlock()
+	if s.txn.gated {
+		s.sh.vacuumGate.RUnlock()
 	}
 	s.sh.pins.unpin(s.txn.st.ts)
 	s.txn = txnState{}
@@ -222,26 +248,18 @@ func (s *Session) noteStmtErr(err error) {
 	}
 }
 
-// ensureTxnWrite prepares the transaction for its first write: it takes
-// the commit lock (held until COMMIT/ROLLBACK — writers serialize whole
-// transactions against each other) and verifies the snapshot is still the
-// tip. If another transaction committed since BEGIN, the buffered writes
-// would be based on stale reads, so the statement fails with
-// ErrSerialization and the block aborts.
-func (s *Session) ensureTxnWrite() error {
-	if s.txn.locked {
-		return nil
+// ensureTxnWrite opens the transaction's writer window at its first
+// write: the vacuum gate is held shared so the version indices the block
+// buffers stay stable until COMMIT validates them. No lock is taken and
+// no tip check happens here — conflicts with concurrent commits are
+// detected per row at COMMIT (first-updater-wins), so a block whose
+// snapshot is behind the tip still commits as long as no one re-stamped
+// the rows it writes.
+func (s *Session) ensureTxnWrite() {
+	if !s.txn.gated {
+		s.sh.vacuumGate.RLock()
+		s.txn.gated = true
 	}
-	s.sh.commitMu.Lock()
-	tip := s.sh.state.Load()
-	if tip.ts != s.txn.st.ts {
-		s.sh.commitMu.Unlock()
-		s.sh.noteConflict()
-		return ErrSerialization
-	}
-	s.txn.locked = true
-	s.txn.writeTS = tip.ts + 1
-	return nil
 }
 
 // txnWrites returns (creating on first use) the transaction's buffered
@@ -273,15 +291,12 @@ func (s *Session) execTxnControl(stmt *sqlast.Transaction) error {
 }
 
 // txnWrite runs fn as one writer statement inside the open transaction
-// block: the commit lock is ensured (first write locks it for the
+// block: the writer window is opened (first write gates vacuum for the
 // block's remainder), reads happen at the BEGIN snapshot with buffered
 // writes overlaid, DML helpers buffer instead of committing, and any
 // error poisons the block until ROLLBACK.
 func (s *Session) txnWrite(fn func() (*Result, error)) (*Result, error) {
-	if err := s.ensureTxnWrite(); err != nil {
-		s.txn.aborted = true
-		return nil, err
-	}
+	s.ensureTxnWrite()
 	end := s.beginRead() // txn-aware: shares the BEGIN pin and catalog
 	res, err := fn()
 	end()
@@ -302,6 +317,16 @@ func (s *Session) txnWrite(fn func() (*Result, error)) (*Result, error) {
 func (s *Session) maybeVacuum(tbl *catalog.Table, writeTS int64) {
 	h := tbl.Heap
 	if dead := h.DeadCount(); dead >= vacuumMinDead && dead*4 >= h.Len() {
+		// Vacuum renumbers version indices, and optimistic writer
+		// statements hold buffered indices outside the commit lock — so
+		// it only runs when no writer window is open (exclusive TryLock
+		// on the gate; the caller already closed its own window). A
+		// skipped vacuum is retried by whichever later commit finds the
+		// gate free.
+		if !s.sh.vacuumGate.TryLock() {
+			return
+		}
+		defer s.sh.vacuumGate.Unlock()
 		// The horizon includes our own still-held pin, so versions this
 		// very commit superseded are reclaimed by a later one — a lag
 		// of one commit, in exchange for never racing our own reads.

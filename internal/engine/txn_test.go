@@ -176,9 +176,10 @@ func TestTxnAbortedUntilRollback(t *testing.T) {
 	}
 }
 
-// TestTxnSerializationFailure: a transaction whose snapshot went stale
-// (another writer committed after its BEGIN) must refuse its first write
-// with ErrSerialization rather than commit on stale reads.
+// TestTxnSerializationFailure: first-updater-wins. Two transactions
+// update the same row; the one that commits second must fail its COMMIT
+// with ErrSerialization (the write statement itself buffers fine), and
+// the failed COMMIT ends the block. A retry on a fresh snapshot wins.
 func TestTxnSerializationFailure(t *testing.T) {
 	e := New()
 	setup := e.NewSession()
@@ -189,20 +190,69 @@ func TestTxnSerializationFailure(t *testing.T) {
 	if got := intOf(t, s2, "SELECT v FROM kv WHERE k = 1"); got != 10 {
 		t.Fatalf("s2 read v = %d, want 10", got)
 	}
-	// s1 commits a write after s2's snapshot.
+	// s1 commits a write to the same row after s2's snapshot. s2's own
+	// write still buffers — conflicts are detected at commit, per row.
 	mustExec(t, s1, "UPDATE kv SET v = 99 WHERE k = 1")
-	// s2's first write must now fail with a serialization error.
-	err := s2.Exec("UPDATE kv SET v = v + 1 WHERE k = 1")
+	mustExec(t, s2, "UPDATE kv SET v = v + 1 WHERE k = 1")
+	err := s2.Exec("COMMIT")
 	if !errors.Is(err, ErrSerialization) {
-		t.Fatalf("stale-snapshot write: got %v, want ErrSerialization", err)
+		t.Fatalf("conflicting COMMIT: got %v, want ErrSerialization", err)
 	}
-	mustExec(t, s2, "ROLLBACK")
+	if s2.InTxn() {
+		t.Fatal("still in txn after failed COMMIT")
+	}
+	// The loser's buffered write must not have leaked.
+	if got := intOf(t, setup, "SELECT v FROM kv WHERE k = 1"); got != 99 {
+		t.Fatalf("v after lost commit = %d, want 99", got)
+	}
 	// The retry (fresh snapshot) succeeds.
 	mustExec(t, s2, "BEGIN")
 	mustExec(t, s2, "UPDATE kv SET v = v + 1 WHERE k = 1")
 	mustExec(t, s2, "COMMIT")
 	if got := intOf(t, setup, "SELECT v FROM kv WHERE k = 1"); got != 100 {
 		t.Errorf("v = %d, want 100", got)
+	}
+}
+
+// TestTxnDisjointWritersCommit: transactions writing different rows both
+// commit even though their snapshots overlap — the point of per-row
+// validation over a whole-database stale-snapshot check.
+func TestTxnDisjointWritersCommit(t *testing.T) {
+	e := New()
+	setup := e.NewSession()
+	mustExec(t, setup, "CREATE TABLE kv (k int, v int); INSERT INTO kv VALUES (1, 10), (2, 20)")
+
+	s1, s2 := e.NewSession(), e.NewSession()
+	mustExec(t, s1, "BEGIN")
+	mustExec(t, s2, "BEGIN")
+	mustExec(t, s1, "UPDATE kv SET v = 11 WHERE k = 1")
+	mustExec(t, s2, "UPDATE kv SET v = 22 WHERE k = 2")
+	mustExec(t, s1, "COMMIT")
+	mustExec(t, s2, "COMMIT") // disjoint rows: no conflict despite the overlap
+	if got := intOf(t, setup, "SELECT v FROM kv WHERE k = 1"); got != 11 {
+		t.Errorf("k=1: v = %d, want 11", got)
+	}
+	if got := intOf(t, setup, "SELECT v FROM kv WHERE k = 2"); got != 22 {
+		t.Errorf("k=2: v = %d, want 22", got)
+	}
+}
+
+// TestTxnInsertNeverConflicts: pure inserts touch no existing rows, so
+// concurrent transactions inserting into the same table both commit.
+func TestTxnInsertNeverConflicts(t *testing.T) {
+	e := New()
+	setup := e.NewSession()
+	mustExec(t, setup, "CREATE TABLE t (a int)")
+
+	s1, s2 := e.NewSession(), e.NewSession()
+	mustExec(t, s1, "BEGIN")
+	mustExec(t, s2, "BEGIN")
+	mustExec(t, s1, "INSERT INTO t VALUES (1)")
+	mustExec(t, s2, "INSERT INTO t VALUES (2)")
+	mustExec(t, s1, "COMMIT")
+	mustExec(t, s2, "COMMIT")
+	if got := intOf(t, setup, "SELECT count(*) FROM t"); got != 2 {
+		t.Errorf("count = %d, want 2", got)
 	}
 }
 

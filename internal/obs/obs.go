@@ -93,6 +93,39 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum reports the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// Quantile estimates the q-quantile (0 < q < 1) from the bucket counts,
+// linearly interpolating inside the bucket the rank lands in — the same
+// estimate Prometheus's histogram_quantile computes server-side. The
+// overflow (+Inf) bucket clamps to the largest finite bound, and an
+// empty histogram reports NaN. The estimate is only as fine as the
+// bucket grid; use it for operator-facing summaries, not assertions.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		n := h.counts[i].Load()
+		if float64(cum)+float64(n) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if n == 0 {
+				return bound
+			}
+			return lo + (bound-lo)*(rank-float64(cum))/float64(n)
+		}
+		cum += n
+	}
+	if len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // DurationBuckets are the latency bounds (seconds) every latency
 // histogram in the engine uses: 5µs .. 10s, roughly ×2.5 per step —
 // wide enough to hold both a plan-cache hit and a cold WAL fsync.
@@ -361,6 +394,9 @@ type Sample struct {
 	Value   *float64 `json:"value,omitempty"` // counters and gauges
 	Count   *int64   `json:"count,omitempty"` // histograms
 	Sum     *float64 `json:"sum,omitempty"`
+	P50     *float64 `json:"p50,omitempty"` // interpolated quantiles (see Histogram.Quantile)
+	P95     *float64 `json:"p95,omitempty"`
+	P99     *float64 `json:"p99,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"` // finite bounds only; Count is the +Inf total
 }
 
@@ -392,6 +428,12 @@ func (r *Registry) Gather() []Metric {
 				}
 				n, sum := c.hist.Count(), c.hist.Sum()
 				s.Count, s.Sum = &n, &sum
+				// NaN (empty or bucketless histogram) is not JSON-encodable;
+				// leave the quantile fields off instead.
+				if p50 := c.hist.Quantile(0.50); !math.IsNaN(p50) {
+					p95, p99 := c.hist.Quantile(0.95), c.hist.Quantile(0.99)
+					s.P50, s.P95, s.P99 = &p50, &p95, &p99
+				}
 			} else {
 				v := float64(c.value())
 				s.Value = &v

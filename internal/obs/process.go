@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// RegisterProcessMetrics publishes process-level health series into r as
+// render-time gauges — nothing is sampled until a scrape reads them, so
+// registering costs nothing on the hot path:
+//
+//	process_resident_memory_bytes  RSS from /proc/self/statm (0 where absent)
+//	go_goroutines                  runtime.NumGoroutine
+//	go_gc_pause_total_ns           cumulative stop-the-world pause time
+//	go_heap_alloc_bytes            live heap (runtime.MemStats.HeapAlloc)
+//
+// The MemStats-backed gauges each pay a ReadMemStats at scrape time —
+// microseconds on modern runtimes, and only when something scrapes.
+func RegisterProcessMetrics(r *Registry) {
+	pageSize := int64(os.Getpagesize())
+	r.GaugeFunc("process_resident_memory_bytes",
+		"Resident set size in bytes, read from /proc/self/statm.",
+		func() int64 { return residentBytes(pageSize) })
+	r.GaugeFunc("go_goroutines",
+		"Number of live goroutines.",
+		func() int64 { return int64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_gc_pause_total_ns",
+		"Cumulative garbage-collection stop-the-world pause time in nanoseconds.",
+		func() int64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return int64(ms.PauseTotalNs)
+		})
+	r.GaugeFunc("go_heap_alloc_bytes",
+		"Bytes of live heap objects (runtime.MemStats.HeapAlloc).",
+		func() int64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return int64(ms.HeapAlloc)
+		})
+}
+
+// residentBytes reads the RSS page count (second field) from
+// /proc/self/statm. Platforms without procfs report 0 — a visible
+// "unsupported" marker rather than an error the scrape would choke on.
+func residentBytes(pageSize int64) int64 {
+	raw, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	fields := strings.Fields(string(raw))
+	if len(fields) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return pages * pageSize
+}

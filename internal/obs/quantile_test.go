@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_test", "quantile fixture", []float64{1, 2, 4, 8})
+
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatalf("empty histogram should report NaN, got %v", h.Quantile(0.5))
+	}
+
+	// 100 observations spread uniformly over (0,1]: every one lands in the
+	// first bucket, so the interpolated median is mid-bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i+1) / 100)
+	}
+	if got := h.Quantile(0.50); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("p50 of uniform (0,1] = %v, want 0.5", got)
+	}
+	if got := h.Quantile(1.0); got != 1 {
+		t.Errorf("p100 should clamp to the bucket bound, got %v", got)
+	}
+
+	// Push 100 more into the (2,4] bucket: the median rank now falls
+	// exactly at the boundary between the two populated buckets.
+	for i := 0; i < 100; i++ {
+		h.Observe(3)
+	}
+	if got := h.Quantile(0.25); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("p25 = %v, want 0.5", got)
+	}
+	if got := h.Quantile(0.75); math.Abs(got-3) > 1e-9 {
+		t.Errorf("p75 = %v, want 3 (midpoint of (2,4])", got)
+	}
+
+	// Overflow: everything above the last finite bound clamps there.
+	over := r.Histogram("q_over", "overflow fixture", []float64{1, 2})
+	for i := 0; i < 10; i++ {
+		over.Observe(100)
+	}
+	if got := over.Quantile(0.99); got != 2 {
+		t.Errorf("overflow p99 = %v, want clamp to 2", got)
+	}
+}
+
+func TestGatherQuantiles(t *testing.T) {
+	r := NewRegistry()
+	empty := r.Histogram("g_empty", "no observations", DurationBuckets)
+	_ = empty
+	h := r.Histogram("g_full", "with observations", DurationBuckets)
+	for i := 0; i < 50; i++ {
+		h.Observe(0.003)
+	}
+
+	for _, m := range r.Gather() {
+		s := m.Samples[0]
+		switch m.Name {
+		case "g_empty":
+			if s.P50 != nil || s.P95 != nil || s.P99 != nil {
+				t.Errorf("empty histogram should omit quantiles, got p50=%v", s.P50)
+			}
+		case "g_full":
+			if s.P50 == nil || s.P95 == nil || s.P99 == nil {
+				t.Fatalf("populated histogram missing quantiles: %+v", s)
+			}
+			// 0.003 lands in the (0.0025, 0.005] bucket.
+			if *s.P50 <= 0.0025 || *s.P50 > 0.005 {
+				t.Errorf("p50 = %v, want inside (0.0025, 0.005]", *s.P50)
+			}
+			if *s.P99 < *s.P50 {
+				t.Errorf("p99 %v < p50 %v", *s.P99, *s.P50)
+			}
+		}
+	}
+}
+
+func TestJSONHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("j_requests_total", "requests").Add(7)
+	h := r.Histogram("j_latency_seconds", "latency", DurationBuckets)
+	h.Observe(0.01)
+	h.Observe(0.02)
+
+	rec := httptest.NewRecorder()
+	JSONHandler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var metrics []Metric
+	if err := json.Unmarshal(rec.Body.Bytes(), &metrics); err != nil {
+		t.Fatalf("response is not valid JSON: %v\n%s", err, rec.Body.String())
+	}
+	byName := map[string]Metric{}
+	for _, m := range metrics {
+		byName[m.Name] = m
+	}
+	if c, ok := byName["j_requests_total"]; !ok || c.Samples[0].Value == nil || *c.Samples[0].Value != 7 {
+		t.Errorf("counter sample wrong: %+v", c)
+	}
+	lat, ok := byName["j_latency_seconds"]
+	if !ok || len(lat.Samples) != 1 {
+		t.Fatalf("latency family missing: %+v", lat)
+	}
+	s := lat.Samples[0]
+	if s.Count == nil || *s.Count != 2 || s.P50 == nil || s.P95 == nil {
+		t.Errorf("latency sample missing count/quantiles: %+v", s)
+	}
+
+	// The mux must serve it at /metrics.json alongside /metrics.
+	rec2 := httptest.NewRecorder()
+	NewMux(r).ServeHTTP(rec2, httptest.NewRequest("GET", "/metrics.json", nil))
+	if rec2.Code != 200 || !strings.Contains(rec2.Body.String(), "j_latency_seconds") {
+		t.Errorf("mux /metrics.json: code=%d body=%q", rec2.Code, rec2.Body.String())
+	}
+}
+
+func TestProcessMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterProcessMetrics(r)
+
+	vals := map[string]float64{}
+	for _, m := range r.Gather() {
+		if len(m.Samples) == 1 && m.Samples[0].Value != nil {
+			vals[m.Name] = *m.Samples[0].Value
+		}
+	}
+	if vals["go_goroutines"] < 1 {
+		t.Errorf("go_goroutines = %v, want >= 1", vals["go_goroutines"])
+	}
+	if vals["go_heap_alloc_bytes"] <= 0 {
+		t.Errorf("go_heap_alloc_bytes = %v, want > 0", vals["go_heap_alloc_bytes"])
+	}
+	if _, ok := vals["go_gc_pause_total_ns"]; !ok {
+		t.Errorf("go_gc_pause_total_ns not gathered")
+	}
+	// RSS is Linux-procfs-backed; on platforms without /proc it reports 0,
+	// so only assert positivity where the file exists.
+	if rss, ok := vals["process_resident_memory_bytes"]; !ok {
+		t.Errorf("process_resident_memory_bytes not gathered")
+	} else if rss == 0 {
+		t.Logf("RSS reported 0 (no procfs?); skipping positivity check")
+	} else if rss < 1<<20 {
+		t.Errorf("RSS = %v bytes, implausibly small", rss)
+	}
+
+	// Re-registering must replace callbacks, not panic (benchmark harness
+	// registers per-run over a shared registry).
+	RegisterProcessMetrics(r)
+}

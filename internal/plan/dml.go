@@ -1,0 +1,74 @@
+package plan
+
+import (
+	"fmt"
+
+	"plsqlaway/internal/catalog"
+)
+
+// DMLAccess is the access path a writer statement (UPDATE/DELETE) uses
+// to find its write set: a probe on a declared hash index, selected when
+// an equality conjunct of the WHERE clause covers an indexed column —
+// the same recognition useIndexes applies to queries, surfaced here
+// because writer statements run outside the query planner (a direct row
+// loop in the engine).
+type DMLAccess struct {
+	Index *catalog.Index
+	Col   int
+	Key   Expr // row-independent probe key
+	// Residual carries the conjuncts the probe does not cover; nil when
+	// the indexed equality is the whole predicate.
+	Residual Expr
+}
+
+// SelectDMLAccess inspects a writer statement's bound WHERE predicate
+// and returns the index probe to drive its scan, or nil when no declared
+// index matches an equality conjunct (the statement then scans
+// sequentially, as before).
+func SelectDMLAccess(tbl *catalog.Table, pred Expr) *DMLAccess {
+	if pred == nil {
+		return nil
+	}
+	conjuncts := splitConjuncts(pred)
+	for i, c := range conjuncts {
+		col, key, ok := indexableEquality(c, tbl)
+		if !ok {
+			continue
+		}
+		idx, _ := tbl.IndexOn(col)
+		rest := make([]Expr, 0, len(conjuncts)-1)
+		rest = append(rest, conjuncts[:i]...)
+		rest = append(rest, conjuncts[i+1:]...)
+		a := &DMLAccess{Index: idx, Col: col, Key: key}
+		if len(rest) > 0 {
+			a.Residual = andAll(rest)
+		}
+		return a
+	}
+	return nil
+}
+
+// ExplainDML renders a writer statement's plan tree in EXPLAIN's format:
+// the write node over its scan — an IndexScan (plus residual Filter)
+// when access is set, otherwise a Filter→SeqScan or bare SeqScan. The
+// same stable one-node-per-line, two-space-indent contract as Explain.
+func ExplainDML(op string, tbl *catalog.Table, pred Expr, access *DMLAccess) []string {
+	lines := []string{fmt.Sprintf("%s on %s", op, tbl.Name)}
+	depth := 1
+	pad := func() string { return fmt.Sprintf("%*s", depth*2, "") }
+	if access != nil {
+		if access.Residual != nil {
+			lines = append(lines, pad()+fmt.Sprintf("Filter %s", exprStr(access.Residual)))
+			depth++
+		}
+		lines = append(lines, pad()+fmt.Sprintf("IndexScan %s (%s = %s)",
+			tbl.Name, tbl.Cols[access.Col].Name, exprStr(access.Key)))
+		return lines
+	}
+	if pred != nil {
+		lines = append(lines, pad()+fmt.Sprintf("Filter %s", exprStr(pred)))
+		depth++
+	}
+	lines = append(lines, pad()+fmt.Sprintf("SeqScan %s", tbl.Name))
+	return lines
+}

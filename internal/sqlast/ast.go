@@ -480,40 +480,70 @@ type Transaction struct {
 	Kind TxnKind
 }
 
+// Savepoint is SAVEPOINT <name>: a nested rollback point inside a
+// transaction block.
+type Savepoint struct {
+	Name string
+}
+
+// RollbackTo is ROLLBACK [WORK|TRANSACTION] TO [SAVEPOINT] <name>:
+// unwind the block's buffered writes (and in-block DDL) to the named
+// savepoint without ending the block.
+type RollbackTo struct {
+	Name string
+}
+
+// ReleaseSavepoint is RELEASE [SAVEPOINT] <name>: destroy the named
+// savepoint (and any established after it), keeping its effects.
+type ReleaseSavepoint struct {
+	Name string
+}
+
 // Explain is EXPLAIN [ANALYZE] <query>: the query is planned (through the
 // same cache and options as execution, so UDF inlining and specialization
 // show) and the plan tree renders as one text column. With Analyze the
 // query also runs to completion under per-node instrumentation and each
 // line carries its actuals (rows, batches, wall time).
+//
+// Exactly one of Query and Stmt is set: Stmt carries an UPDATE or DELETE
+// target instead of a query, so index-assisted DML plans render too.
+// EXPLAIN ANALYZE of a Stmt really executes the write.
 type Explain struct {
 	Query   *Query
+	Stmt    Statement // UPDATE or DELETE when explaining DML; nil otherwise
 	Analyze bool
 }
 
-func (*SelectStatement) isNode() {}
-func (*CreateIndex) isNode()     {}
-func (*CreateTable) isNode()     {}
-func (*DropTable) isNode()       {}
-func (*CreateFunction) isNode()  {}
-func (*DropFunction) isNode()    {}
-func (*Insert) isNode()          {}
-func (*Update) isNode()          {}
-func (*Delete) isNode()          {}
-func (*Transaction) isNode()     {}
-func (*Explain) isNode()         {}
-func (*Query) isNode()           {}
+func (*SelectStatement) isNode()  {}
+func (*CreateIndex) isNode()      {}
+func (*CreateTable) isNode()      {}
+func (*DropTable) isNode()        {}
+func (*CreateFunction) isNode()   {}
+func (*DropFunction) isNode()     {}
+func (*Insert) isNode()           {}
+func (*Update) isNode()           {}
+func (*Delete) isNode()           {}
+func (*Transaction) isNode()      {}
+func (*Savepoint) isNode()        {}
+func (*RollbackTo) isNode()       {}
+func (*ReleaseSavepoint) isNode() {}
+func (*Explain) isNode()          {}
+func (*Query) isNode()            {}
 
-func (*SelectStatement) isStatement() {}
-func (*CreateIndex) isStatement()     {}
-func (*CreateTable) isStatement()     {}
-func (*DropTable) isStatement()       {}
-func (*CreateFunction) isStatement()  {}
-func (*DropFunction) isStatement()    {}
-func (*Insert) isStatement()          {}
-func (*Update) isStatement()          {}
-func (*Delete) isStatement()          {}
-func (*Transaction) isStatement()     {}
-func (*Explain) isStatement()         {}
+func (*SelectStatement) isStatement()  {}
+func (*CreateIndex) isStatement()      {}
+func (*CreateTable) isStatement()      {}
+func (*DropTable) isStatement()        {}
+func (*CreateFunction) isStatement()   {}
+func (*DropFunction) isStatement()     {}
+func (*Insert) isStatement()           {}
+func (*Update) isStatement()           {}
+func (*Delete) isStatement()           {}
+func (*Transaction) isStatement()      {}
+func (*Savepoint) isStatement()        {}
+func (*RollbackTo) isStatement()       {}
+func (*ReleaseSavepoint) isStatement() {}
+func (*Explain) isStatement()          {}
 
 // ---------------------------------------------------------------------------
 // Construction helpers (heavily used by the compiler back end)

@@ -152,12 +152,25 @@ func (p *printer) statement(s Statement) {
 		}
 	case *Transaction:
 		p.ws(s.Kind.String())
+	case *Savepoint:
+		p.ws("SAVEPOINT ")
+		p.ident(s.Name)
+	case *RollbackTo:
+		p.ws("ROLLBACK TO SAVEPOINT ")
+		p.ident(s.Name)
+	case *ReleaseSavepoint:
+		p.ws("RELEASE SAVEPOINT ")
+		p.ident(s.Name)
 	case *Explain:
 		p.ws("EXPLAIN ")
 		if s.Analyze {
 			p.ws("ANALYZE ")
 		}
-		p.query(s.Query)
+		if s.Stmt != nil {
+			p.statement(s.Stmt)
+		} else {
+			p.query(s.Query)
+		}
 	default:
 		p.wf("/* unknown statement %T */", s)
 	}

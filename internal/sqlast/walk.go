@@ -335,7 +335,11 @@ func WalkStatement(stmt Statement, fn func(Expr) bool) {
 	case *SelectStatement:
 		WalkQuery(x.Query, fn)
 	case *Explain:
-		WalkQuery(x.Query, fn)
+		if x.Stmt != nil {
+			WalkStatement(x.Stmt, fn)
+		} else {
+			WalkQuery(x.Query, fn)
+		}
 	case *Insert:
 		WalkQuery(x.Query, fn)
 	case *Update:

@@ -199,12 +199,43 @@ func (p *Parser) parseStatement() (sqlast.Statement, error) {
 		return p.parseTxn(sqlast.TxnCommit)
 	case t.IsKeyword("ROLLBACK") || t.IsKeyword("ABORT"):
 		return p.parseTxn(sqlast.TxnRollback)
+	case t.IsKeyword("SAVEPOINT"):
+		p.next()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.Savepoint{Name: name}, nil
+	case t.IsKeyword("RELEASE"):
+		p.next()
+		p.acceptKw("SAVEPOINT")
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.ReleaseSavepoint{Name: name}, nil
 	case t.IsKeyword("EXPLAIN"):
 		p.next()
 		analyze := false
 		if p.peek().IsKeyword("ANALYZE") {
 			p.next()
 			analyze = true
+		}
+		// EXPLAIN [ANALYZE] also takes UPDATE/DELETE, rendering the
+		// write node over its scan (and with ANALYZE, executing it).
+		switch {
+		case p.peek().IsKeyword("UPDATE"):
+			st, err := p.parseUpdate()
+			if err != nil {
+				return nil, err
+			}
+			return &sqlast.Explain{Stmt: st, Analyze: analyze}, nil
+		case p.peek().IsKeyword("DELETE"):
+			st, err := p.parseDelete()
+			if err != nil {
+				return nil, err
+			}
+			return &sqlast.Explain{Stmt: st, Analyze: analyze}, nil
 		}
 		q, err := p.parseQuery()
 		if err != nil {
@@ -217,10 +248,20 @@ func (p *Parser) parseStatement() (sqlast.Statement, error) {
 
 // parseTxn parses a transaction-control statement: the keyword already
 // peeked, plus Postgres's optional WORK/TRANSACTION noise word.
+// ROLLBACK [WORK|TRANSACTION] TO [SAVEPOINT] name branches off to the
+// savepoint form rather than ending the block.
 func (p *Parser) parseTxn(kind sqlast.TxnKind) (sqlast.Statement, error) {
 	p.next() // BEGIN / COMMIT / ROLLBACK / ABORT
 	if !p.acceptKw("WORK") {
 		p.acceptKw("TRANSACTION")
+	}
+	if kind == sqlast.TxnRollback && p.acceptKw("TO") {
+		p.acceptKw("SAVEPOINT")
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.RollbackTo{Name: name}, nil
 	}
 	return &sqlast.Transaction{Kind: kind}, nil
 }

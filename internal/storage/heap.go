@@ -31,7 +31,8 @@ func (v *rowVersion) visible(ts int64) bool {
 // tip entry (hi becomes commitTS-1) and derive the next tip from it
 // without re-decoding pages. rows and vidx are immutable once published;
 // vacuum may remap vidx in place, but only under the heap lock while no
-// writer is in flight (the engine's commit lock serializes writers).
+// writer holds buffered version indices (the engine's vacuum gate keeps
+// vacuum out of every open writer window).
 type snapEntry struct {
 	lo, hi int64
 	id     int64   // unique per entry: the cache key secondary structures rebuild by
@@ -52,9 +53,10 @@ const maxSnapEntries = 4
 // old ones dead in one Commit call, and Vacuum reclaims versions no live
 // snapshot can reach.
 //
-// Concurrency: the engine's commit lock serializes writers (Commit,
-// Vacuum); any number of readers call RowsAt/ScannerAt/VersionsAt
-// concurrently. The internal mutex guards the version headers and the
+// Concurrency: the engine's commit lock serializes committers (Commit,
+// Vacuum) while writer statements buffer changes optimistically outside
+// it — ValidateDead under the lock detects per-row conflicts; any number
+// of readers call RowsAt/ScannerAt/VersionsAt concurrently. The internal mutex guards the version headers and the
 // snapshot cache. Returned row slices are immutable snapshots and stay
 // valid for the reader that obtained them across any later mutation.
 type Heap struct {
@@ -108,12 +110,35 @@ func (h *Heap) insertVersionLocked(t Tuple, xmin int64) int {
 	return len(h.versions) - 1
 }
 
+// ValidateDead is the first-updater-wins check an optimistic committer
+// runs under the engine's commit lock just before Commit: it reports
+// whether every version index in dead is still unstamped (xmax == 0).
+// A false answer means a concurrent commit already superseded one of the
+// rows this transaction wants to delete or update — the caller must fail
+// with a serialization error instead of applying, because its buffered
+// changes were derived from a row that no longer exists at the tip.
+// Stamping only ever happens under the commit lock, so a validate-then-
+// Commit sequence under that lock is atomic with respect to other
+// committers.
+func (h *Heap) ValidateDead(dead []int) bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	for _, vi := range dead {
+		if vi < 0 || vi >= len(h.versions) || h.versions[vi].xmax != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Commit atomically applies one transaction's changes to this heap: the
 // versions listed in dead (indices previously obtained from VersionsAt)
 // get xmax = ts, and each tuple in added becomes a new version with
-// xmin = ts. Callers hold the engine's commit lock; readers at snapshots
-// < ts keep seeing the dead versions and never see the added ones, so
-// the heap change may safely precede the global publication of ts.
+// xmin = ts. Callers hold the engine's commit lock (commits are buffered
+// optimistically and applied one at a time after ValidateDead passes);
+// readers at snapshots < ts keep seeing the dead versions and never see
+// the added ones, so the heap change may safely precede the global
+// publication of ts.
 //
 // The tip cache entry, if present, is sealed at ts-1 and the next tip is
 // derived from it incrementally — no page re-decode — so readers landing
@@ -435,9 +460,10 @@ func (h *Heap) RestoreVersion(enc []byte, xmin, xmax int64) {
 // with xmax <= oldest), rebuilding the pages from the surviving encoded
 // payloads — no re-encode, and no page-write charge to stats: vacuum
 // recycles storage rather than writing new tuples. Returns the number of
-// versions reclaimed. Callers hold the engine's commit lock; cached
-// snapshot windows older than oldest are dropped and surviving windows
-// are remapped in place.
+// versions reclaimed. Callers hold the engine's commit lock AND its
+// vacuum gate (renumbering must never race a writer statement's buffered
+// version indices); cached snapshot windows older than oldest are
+// dropped and surviving windows are remapped in place.
 func (h *Heap) Vacuum(oldest int64) int {
 	h.mu.Lock()
 	defer h.mu.Unlock()

@@ -117,13 +117,13 @@ func LogPath(dir string, epoch uint64) string {
 // (the engine's commit lock); WaitDurable may be called from any number
 // of goroutines concurrently.
 type WAL struct {
-	dir          string
-	mode         SyncMode
-	stats        *storage.Stats
-	open         func(path string) (File, error)
-	obsFsync     func(float64)
-	obsBatch     func(int64)
-	sinceSync    atomic.Int64 // records appended since the last fsync
+	dir       string
+	mode      SyncMode
+	stats     *storage.Stats
+	open      func(path string) (File, error)
+	obsFsync  func(float64)
+	obsBatch  func(int64)
+	sinceSync atomic.Int64 // records appended since the last fsync
 
 	// mu guards the file handle and the written watermark.
 	mu      sync.Mutex

@@ -31,11 +31,16 @@
 //	go func() { v, _ := s.QueryValue("SELECT fib_compiled($1)", plsqlaway.Int(30)) … }()
 //
 // Sessions share the catalog, storage, and plan cache under snapshot
-// isolation (readers never block; writers serialize on a commit lock)
-// but keep private random streams, counters, interpreter state, and
-// prepared statements. BEGIN/COMMIT/ROLLBACK open multi-statement
-// transaction blocks on a session: one snapshot for the whole block,
-// buffered writes the block reads back, atomic publication at COMMIT.
+// isolation with optimistic, first-updater-wins writes: readers never
+// block, writers buffer privately and validate per-row at commit, and
+// only the validate-and-publish step serializes. Each session keeps
+// private random streams, counters, interpreter state, and prepared
+// statements. BEGIN/COMMIT/ROLLBACK open multi-statement transaction
+// blocks on a session: one snapshot for the whole block, buffered
+// writes the block reads back, atomic publication at COMMIT — which
+// fails with ErrSerialization if another transaction committed a
+// change to the same rows first. SAVEPOINT / ROLLBACK TO / RELEASE
+// mark and unwind points within a block.
 package plsqlaway
 
 import (
@@ -90,6 +95,15 @@ var (
 const (
 	DialectPostgres = udf.DialectPostgres
 	DialectSQLite   = udf.DialectSQLite
+)
+
+// Transaction sentinel errors, matchable with errors.Is. COMMIT of an
+// explicit block returns ErrSerialization when first-updater-wins
+// validation finds a row the block wrote that another transaction
+// already re-wrote; the block has rolled back and the caller retries.
+var (
+	ErrSerialization = engine.ErrSerialization
+	ErrTxnAborted    = engine.ErrTxnAborted
 )
 
 // NewEngine creates an embedded engine. Options: WithProfile, WithSeed,
